@@ -1,0 +1,38 @@
+//! Ablation: controller state encoding (binary / gray / one-hot) vs the
+//! fault universe size and classification cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, classify_system, Encoding, System, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::facet(4).expect("facet builds");
+    let mut g = c.benchmark_group("ablation_encoding");
+    g.sample_size(10);
+    for encoding in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+        let sys = System::build(
+            &emitted,
+            SystemConfig {
+                encoding,
+                ..SystemConfig::default()
+            },
+        )
+        .expect("system builds");
+        let cls = classify_system(&sys, &cfg.classify);
+        println!(
+            "encoding={encoding}: ctl_gates={} total={} sfr={} ({:.1}%)",
+            sys.ctrl.gate_count(),
+            cls.total(),
+            cls.sfr_count(),
+            cls.percent_sfr()
+        );
+        g.bench_function(format!("classify_{encoding}"), |b| {
+            b.iter(|| classify_system(&sys, &cfg.classify))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

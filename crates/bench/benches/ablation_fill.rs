@@ -1,0 +1,47 @@
+//! Ablation: don't-care fill policy (arbitrary / synthesis / zeros /
+//! ones) vs the SFR population. The paper deliberately did not
+//! power-optimize its fills; this bench quantifies what each policy does
+//! to classification cost and, via the printed counts, to the SFR
+//! fraction. Key reproduction finding: exact don't-care absorption
+//! (`synthesis`) eliminates select-line SFR faults entirely — prime
+//! covers leave no slack a fault can flip harmlessly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, classify_system, FillPolicy, System, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::poly(4).expect("poly builds");
+    let mut g = c.benchmark_group("ablation_fill");
+    g.sample_size(10);
+    for fill in [
+        FillPolicy::Arbitrary(0x5EED),
+        FillPolicy::Synthesis,
+        FillPolicy::Zeros,
+        FillPolicy::Ones,
+    ] {
+        let sys = System::build(
+            &emitted,
+            SystemConfig {
+                fill,
+                ..SystemConfig::default()
+            },
+        )
+        .expect("system builds");
+        let cls = classify_system(&sys, &cfg.classify);
+        println!(
+            "fill={fill}: total={} sfr={} ({:.1}%)",
+            cls.total(),
+            cls.sfr_count(),
+            cls.percent_sfr()
+        );
+        g.bench_function(format!("classify_{fill}"), |b| {
+            b.iter(|| classify_system(&sys, &cfg.classify))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

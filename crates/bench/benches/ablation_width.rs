@@ -1,0 +1,33 @@
+//! Ablation: datapath width (4/8/12 bits) vs classification cost. The
+//! paper fixes 4 bits; the printed SFR counts let the width-stability of
+//! the fault population be checked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, classify_system, System};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let mut g = c.benchmark_group("ablation_width");
+    g.sample_size(10);
+    // Pattern words are u64: 5 ports × width must stay ≤ 64 bits.
+    for width in [4usize, 8, 12] {
+        let emitted = benchmarks::poly(width).expect("poly builds");
+        let sys = System::build(&emitted, cfg.system).expect("system builds");
+        let cls = classify_system(&sys, &cfg.classify);
+        println!(
+            "width={width}: system_gates={} total={} sfr={} ({:.1}%)",
+            sys.netlist.gate_count(),
+            cls.total(),
+            cls.sfr_count(),
+            cls.percent_sfr()
+        );
+        g.bench_function(format!("classify_poly_w{width}"), |b| {
+            b.iter(|| classify_system(&sys, &cfg.classify))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 7 pipeline: classify + grade one full
+//! benchmark (facet, the smallest) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, run_study, Fig7Series};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::facet(4).expect("facet builds");
+    let mut g = c.benchmark_group("fig7_end_to_end");
+    g.sample_size(10);
+    g.bench_function("facet_study_and_series", |b| {
+        b.iter(|| {
+            let study = run_study("facet", &emitted, &cfg).expect("study runs");
+            Fig7Series::from_study(&study, cfg.grade.threshold_pct)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 1 computation: Monte Carlo power
+//! grading of one diffeq SFR fault against the fault-free baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{
+    benchmarks, classify_system, measure_power_monte_carlo, System,
+};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::diffeq(4).expect("diffeq builds");
+    let sys = System::build(&emitted, cfg.system).expect("system builds");
+    let cls = classify_system(&sys, &cfg.classify);
+    let fault = cls.sfr().next().expect("diffeq has SFR faults").fault;
+
+    let mut g = c.benchmark_group("table1_power_grading");
+    g.sample_size(10);
+    g.bench_function("fault_free_monte_carlo", |b| {
+        b.iter(|| measure_power_monte_carlo(&sys, None, &cfg.grade))
+    });
+    g.bench_function("single_sfr_fault_monte_carlo", |b| {
+        b.iter(|| measure_power_monte_carlo(&sys, Some(fault), &cfg.grade))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Table 2 computation: full classification of
+//! each benchmark's controller fault universe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, classify_system, System};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let mut g = c.benchmark_group("table2_classification");
+    g.sample_size(10);
+    for (name, emitted) in benchmarks::all_benchmarks(4).expect("benchmarks build") {
+        let sys = System::build(&emitted, cfg.system).expect("system builds");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cls = classify_system(&sys, &cfg.classify);
+                assert!(cls.sfr_count() > 0);
+                cls
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

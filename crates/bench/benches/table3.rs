@@ -1,0 +1,25 @@
+//! Criterion bench for the Table 3 measurement: datapath power of the
+//! polynomial evaluator over one 1200-pattern test set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, measure_power_with_testset, System, TestSet};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::poly(4).expect("poly builds");
+    let sys = System::build(&emitted, cfg.system).expect("system builds");
+    let trio = TestSet::paper_trio(sys.pattern_width()).expect("test sets");
+
+    let mut g = c.benchmark_group("table3_testset_power");
+    g.sample_size(10);
+    for (i, ts) in trio.iter().enumerate() {
+        g.bench_function(format!("poly_testset_{}", i + 1), |b| {
+            b.iter(|| measure_power_with_testset(&sys, None, ts, &cfg.grade))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

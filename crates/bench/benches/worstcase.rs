@@ -1,0 +1,21 @@
+//! Criterion bench for the worst-case experiment on the toy-sized facet
+//! system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::{benchmarks, worst_case_extra_effects, System};
+
+fn bench(c: &mut Criterion) {
+    let cfg = quick_config();
+    let emitted = benchmarks::facet(4).expect("facet builds");
+    let sys = System::build(&emitted, cfg.system).expect("system builds");
+    let mut g = c.benchmark_group("worstcase");
+    g.sample_size(10);
+    g.bench_function("facet_greedy_max_effects", |b| {
+        b.iter(|| worst_case_extra_effects(&sys, &cfg.grade))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates **Figure 7(a,b,c)**: the effect of SFR faults within the
+//! controller on datapath power for all three 4-bit examples — one point
+//! per SFR fault (select-line-only faults left, load-line faults right,
+//! each group sorted by power) against the fault-free line and the ±5%
+//! tolerance band.
+//!
+//! Emits an ASCII rendition per circuit plus a CSV block for external
+//! plotting. Run with `cargo run --release -p sfr-bench --bin fig7`.
+
+use sfr_bench::paper_config;
+use sfr_core::{benchmarks, run_study, Fig7Series};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = paper_config();
+    println!("Figure 7: SFR controller faults vs datapath power (±5% band).");
+    println!();
+    let labels = ["(a) diffeq", "(b) facet", "(c) poly"];
+    for ((name, emitted), label) in benchmarks::all_benchmarks(4)?.into_iter().zip(labels) {
+        eprintln!("grading {name}...");
+        let study = run_study(name, &emitted, &cfg)?;
+        let fig = Fig7Series::from_study(&study, cfg.grade.threshold_pct);
+        println!("{label}");
+        print!("{}", fig.render_ascii(21));
+        println!();
+        println!("--- CSV ({name}) ---");
+        print!("{}", fig.render_csv());
+        println!();
+    }
+    println!("Paper shapes to compare against:");
+    println!(" - all select-only faults fall inside the ±5% band (small, either sign);");
+    println!(" - load-line faults only ever increase power;");
+    println!(" - diffeq: 15/18 load faults detected; facet: 26/30 (shared lines ⇒ big");
+    println!("   effects); poly: 4/12 (long lifespans ⇒ few harmless loads, small effects).");
+    Ok(())
+}

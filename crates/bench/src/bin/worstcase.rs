@@ -1,0 +1,32 @@
+//! Regenerates the **Section 4 worst-case experiment**: add as many
+//! control line effects as possible to the differential equation solver
+//! while keeping the computation intact, and measure the power increase
+//! (the paper reports over 200%).
+//!
+//! Run with `cargo run --release -p sfr-bench --bin worstcase`.
+
+use sfr_bench::paper_config;
+use sfr_core::{benchmarks, worst_case_extra_effects, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = paper_config();
+    println!("Worst-case non-disruptive control line effects (paper Section 4).");
+    println!();
+    for (name, emitted) in benchmarks::all_benchmarks(4)? {
+        let sys = System::build(&emitted, cfg.system)?;
+        let wc = worst_case_extra_effects(&sys, &cfg.grade);
+        println!(
+            "{name:<8} extra loads: {:>3}  select flips: {:>2}  power {:>8.2} -> {:>8.2} uW  ({:+.1}%)",
+            wc.extra_loads,
+            wc.select_flips,
+            wc.baseline.total_uw,
+            wc.worst.total_uw,
+            wc.pct_increase()
+        );
+    }
+    println!();
+    println!("The paper reports >200% for diffeq — a worst case only multiple");
+    println!("simultaneous faults could cause, but an upper bound on the power a");
+    println!("defective controller can silently waste.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Shared configuration for the table/figure regeneration binaries and
+//! benches.
+//!
+//! Every experiment of the paper's evaluation section has a binary here
+//! (`cargo run --release -p sfr-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — representative Diffeq SFR faults, effects and power |
+//! | `table2` | Table 2 — fault breakdown for all three examples |
+//! | `table3` | Table 3 — power consistency across test sets |
+//! | `fig7` | Figure 7(a,b,c) — per-SFR-fault power scatter with ±5% band |
+//! | `worstcase` | the Section 4 worst-case multi-effect experiment |
+//!
+//! The matching Criterion benches in `benches/` measure the *cost* of
+//! each pipeline stage and the ablations called out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sfr_core::{ClassifyConfig, GradeConfig, MonteCarloConfig, StudyConfig};
+
+/// The full-fidelity configuration used to regenerate the paper's
+/// numbers: 1200-pattern TPGR detection (the paper's test-set size) and
+/// Monte Carlo power to 1% relative confidence.
+pub fn paper_config() -> StudyConfig {
+    StudyConfig {
+        classify: ClassifyConfig {
+            test_patterns: 1200,
+            ..Default::default()
+        },
+        grade: GradeConfig {
+            mc: MonteCarloConfig {
+                rel_tolerance: 0.01,
+                min_batches: 8,
+                max_batches: 80,
+            },
+            patterns_per_batch: 240,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A reduced configuration for Criterion benches (same pipeline, fewer
+/// patterns/batches so iterations stay fast).
+pub fn quick_config() -> StudyConfig {
+    StudyConfig {
+        classify: ClassifyConfig {
+            test_patterns: 240,
+            ..Default::default()
+        },
+        grade: GradeConfig {
+            mc: MonteCarloConfig {
+                rel_tolerance: 0.05,
+                min_batches: 3,
+                max_batches: 8,
+            },
+            patterns_per_batch: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}

@@ -1,0 +1,145 @@
+//! The FACET benchmark.
+//!
+//! The second high-level synthesis example from [11]. Its defining
+//! property for the paper's study is **shared load lines**: several sets
+//! of registers load in parallel from a single control line, so one SFR
+//! fault can force extra loads in many registers at once and cause a
+//! large power increase (Section 6).
+//!
+//! Dataflow (straight-line, 5 control steps):
+//!
+//! ```text
+//! v1..v4 = inputs;
+//! t1 = v1 + v2;   t2 = v3 & v4;
+//! t3 = t1 - v4;   t4 = v1 | t2;
+//! t5 = t3 * t4;   t6 = t2 + v1;
+//! o1 = t5 + t2;   o2 = t6 ^ v2;
+//! ```
+
+use sfr_hls::{emit, BindingBuilder, DesignBuilder, EmitError, EmittedSystem, Rhs};
+use sfr_rtl::FuOp;
+
+/// Builds the FACET example at the given datapath width.
+///
+/// # Errors
+///
+/// Propagates [`EmitError`] (impossible for valid widths).
+pub fn facet(width: usize) -> Result<EmittedSystem, EmitError> {
+    let mut d = DesignBuilder::new("facet", width, 5);
+    let p: Vec<_> = (1..=4).map(|i| d.port(format!("p{i}"))).collect();
+    let v1 = d.var("v1");
+    let v2 = d.var("v2");
+    let v3 = d.var("v3");
+    let v4 = d.var("v4");
+    let t1 = d.var("t1");
+    let t2 = d.var("t2");
+    let t3 = d.var("t3");
+    let t4 = d.var("t4");
+    let t5 = d.var("t5");
+    let t6 = d.var("t6");
+    let o1 = d.var("o1");
+    let o2 = d.var("o2");
+
+    d.sample(1, v1, Rhs::Port(p[0]));
+    d.sample(1, v2, Rhs::Port(p[1]));
+    d.sample(1, v3, Rhs::Port(p[2]));
+    d.sample(1, v4, Rhs::Port(p[3]));
+    let k_t1 = d.compute(2, t1, FuOp::Add, Rhs::Var(v1), Rhs::Var(v2));
+    let k_t2 = d.compute(2, t2, FuOp::And, Rhs::Var(v3), Rhs::Var(v4));
+    let k_t3 = d.compute(3, t3, FuOp::Sub, Rhs::Var(t1), Rhs::Var(v4));
+    let k_t4 = d.compute(3, t4, FuOp::Or, Rhs::Var(v1), Rhs::Var(t2));
+    let k_t5 = d.compute(4, t5, FuOp::Mul, Rhs::Var(t3), Rhs::Var(t4));
+    let k_t6 = d.compute(4, t6, FuOp::Add, Rhs::Var(t2), Rhs::Var(v1));
+    let k_o1 = d.compute(5, o1, FuOp::Add, Rhs::Var(t5), Rhs::Var(t2));
+    let k_o2 = d.compute(5, o2, FuOp::Xor, Rhs::Var(t6), Rhs::Var(v2));
+    d.output("o1", o1);
+    d.output("o2", o2);
+    let design = d.finish().expect("facet design is valid");
+
+    let mut b = BindingBuilder::new(&design);
+    b.bind(v1, "REG1")
+        .bind(v2, "REG2")
+        .bind(v3, "REG3")
+        .bind(v4, "REG4")
+        .bind(t1, "REG5")
+        .bind(t2, "REG6")
+        .bind(t3, "REG7")
+        .bind(t4, "REG8")
+        .bind(t5, "REG9")
+        .bind(t6, "REG10")
+        .bind(o1, "REG11")
+        .bind(o2, "REG12")
+        .bind_op(k_t1, "ADD1")
+        .bind_op(k_t6, "ADD1")
+        .bind_op(k_o1, "ADD1")
+        .bind_op(k_t2, "AND1")
+        .bind_op(k_t3, "SUB1")
+        .bind_op(k_t4, "OR1")
+        .bind_op(k_t5, "MUL1")
+        .bind_op(k_o2, "XOR1")
+        // Parallel-loading register banks on shared lines — the FACET
+        // property the paper highlights.
+        .share_load(&["REG1", "REG2", "REG3", "REG4"])
+        .share_load(&["REG5", "REG6"])
+        .share_load(&["REG7", "REG8"])
+        .share_load(&["REG9", "REG10"])
+        .share_load(&["REG11", "REG12"]);
+    let binding = b.finish().expect("facet binding is valid");
+    emit(&design, &binding)
+}
+
+/// Software reference model: `(o1, o2)` for the given inputs.
+pub fn facet_reference(v: [u64; 4], width: usize) -> (u64, u64) {
+    let [v1, v2, v3, v4] = v;
+    let t1 = FuOp::Add.apply(v1, v2, width);
+    let t2 = FuOp::And.apply(v3, v4, width);
+    let t3 = FuOp::Sub.apply(t1, v4, width);
+    let t4 = FuOp::Or.apply(v1, t2, width);
+    let t5 = FuOp::Mul.apply(t3, t4, width);
+    let t6 = FuOp::Add.apply(t2, v1, width);
+    let o1 = FuOp::Add.apply(t5, t2, width);
+    let o2 = FuOp::Xor.apply(t6, v2, width);
+    (o1, o2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfr_rtl::CtrlKind;
+
+    #[test]
+    fn structure_exhibits_shared_load_lines() {
+        let sys = facet(4).expect("builds");
+        assert_eq!(sys.datapath.registers().len(), 12);
+        let loads = sys
+            .datapath
+            .control()
+            .iter()
+            .filter(|c| c.kind() == CtrlKind::Load)
+            .count();
+        assert_eq!(loads, 5, "five shared load lines");
+        // The input bank's line gates four registers.
+        let bank = sys
+            .datapath
+            .find_ctrl("LD_REG1_REG2_REG3_REG4")
+            .expect("shared line exists");
+        assert_eq!(sys.datapath.registers_on_load(bank).len(), 4);
+        assert_eq!(sys.fsm.state_count(), 7); // RESET + 5 + HOLD
+    }
+
+    #[test]
+    fn reference_model_spot_values() {
+        let (o1, o2) = facet_reference([1, 2, 3, 6], 4);
+        // t1=3, t2=2, t3=3-6 mod 16=13, t4=1|2=3, t5=13*3 mod 16=7,
+        // t6=3, o1=7+2=9, o2=3^2=1.
+        assert_eq!(o1, 9);
+        assert_eq!(o2, 1);
+    }
+
+    #[test]
+    fn builds_at_wider_widths() {
+        for w in [4, 8] {
+            assert!(facet(w).is_ok());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's three example systems.
+//!
+//! All three circuits of the paper's Section 6, rebuilt through the
+//! `sfr-hls` flow from their published dataflow:
+//!
+//! * [`diffeq`] — the HAL differential equation solver (looping; the
+//!   paper's running example with 11 registers and 10 controller
+//!   states);
+//! * [`facet`] — the FACET example (shared load lines ⇒ single faults
+//!   with large power effects);
+//! * [`poly`] — a third-degree polynomial evaluator (long lifespans ⇒
+//!   mostly small SFR power effects).
+//!
+//! Each comes with a plain-software reference model
+//! ([`diffeq_reference`], [`facet_reference`], [`poly_reference`]) used
+//! by the integration tests to prove the synthesized systems compute the
+//! right function end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use sfr_benchmarks::all_benchmarks;
+//!
+//! let systems = all_benchmarks(4).expect("benchmarks build");
+//! let names: Vec<&str> = systems.iter().map(|(n, _)| *n).collect();
+//! assert_eq!(names, ["diffeq", "facet", "poly"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diffeq;
+mod facet;
+mod fir;
+mod poly;
+
+pub use diffeq::{diffeq, diffeq_reference};
+pub use facet::{facet, facet_reference};
+pub use fir::{fir, fir_reference_constant_input, FIR_SAMPLES};
+pub use poly::{poly, poly_reference};
+
+use sfr_hls::{EmitError, EmittedSystem};
+
+/// Builds the paper's three benchmarks at the given width, with their
+/// names.
+///
+/// # Errors
+///
+/// Propagates the first [`EmitError`] (impossible for valid widths).
+pub fn all_benchmarks(width: usize) -> Result<Vec<(&'static str, EmittedSystem)>, EmitError> {
+    Ok(vec![
+        ("diffeq", diffeq(width)?),
+        ("facet", facet(width)?),
+        ("poly", poly(width)?),
+    ])
+}
+
+/// The paper's three benchmarks plus this workspace's extensions
+/// (currently the [`fir`] filter).
+///
+/// # Errors
+///
+/// Propagates the first [`EmitError`] (impossible for valid widths).
+pub fn extended_benchmarks(
+    width: usize,
+) -> Result<Vec<(&'static str, EmittedSystem)>, EmitError> {
+    let mut v = all_benchmarks(width)?;
+    v.push(("fir", fir(width)?));
+    Ok(v)
+}

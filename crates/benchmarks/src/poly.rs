@@ -1,0 +1,134 @@
+//! The third-degree polynomial evaluator: `a·x³ + b·x² + c·x + d`.
+//!
+//! The paper's third example. Its defining property is **long variable
+//! lifespans** — the coefficients are sampled in CS1 but consumed as
+//! late as CS9, so most control steps find most registers *live*, extra
+//! loads tend to be disruptive, and the SFR population is dominated by
+//! select-line don't-cares with small power effects (Figure 7(c)).
+
+use sfr_hls::{emit, BindingBuilder, DesignBuilder, EmitError, EmittedSystem, Rhs};
+use sfr_rtl::FuOp;
+
+/// Builds the polynomial evaluator at the given datapath width.
+///
+/// # Errors
+///
+/// Propagates [`EmitError`] (impossible for valid widths).
+pub fn poly(width: usize) -> Result<EmittedSystem, EmitError> {
+    let mut d = DesignBuilder::new("poly", width, 9);
+    let x_in = d.port("x_in");
+    let a_in = d.port("a_in");
+    let b_in = d.port("b_in");
+    let c_in = d.port("c_in");
+    let d_in = d.port("d_in");
+
+    let x = d.var("x");
+    let va = d.var("a");
+    let vb = d.var("b");
+    let vc = d.var("c");
+    let vd = d.var("d");
+    let x2 = d.var("x2");
+    let x3 = d.var("x3");
+    let t1 = d.var("t1"); // a*x^3
+    let t2 = d.var("t2"); // b*x^2
+    let t3 = d.var("t3"); // c*x
+    let s1 = d.var("s1"); // t1 + t2
+    let s2 = d.var("s2"); // s1 + t3
+    let r = d.var("r"); // s2 + d
+
+    d.sample(1, x, Rhs::Port(x_in));
+    d.sample(1, va, Rhs::Port(a_in));
+    d.sample(1, vb, Rhs::Port(b_in));
+    d.sample(1, vc, Rhs::Port(c_in));
+    d.sample(1, vd, Rhs::Port(d_in));
+    let k_x2 = d.compute(2, x2, FuOp::Mul, Rhs::Var(x), Rhs::Var(x));
+    let k_x3 = d.compute(3, x3, FuOp::Mul, Rhs::Var(x2), Rhs::Var(x));
+    let k_t1 = d.compute(4, t1, FuOp::Mul, Rhs::Var(va), Rhs::Var(x3));
+    let k_t2 = d.compute(5, t2, FuOp::Mul, Rhs::Var(vb), Rhs::Var(x2));
+    let k_t3 = d.compute(6, t3, FuOp::Mul, Rhs::Var(vc), Rhs::Var(x));
+    let k_s1 = d.compute(7, s1, FuOp::Add, Rhs::Var(t1), Rhs::Var(t2));
+    let k_s2 = d.compute(8, s2, FuOp::Add, Rhs::Var(s1), Rhs::Var(t3));
+    let k_r = d.compute(9, r, FuOp::Add, Rhs::Var(s2), Rhs::Var(vd));
+    d.output("p_out", r);
+    let design = d.finish().expect("poly design is valid");
+
+    let mut b = BindingBuilder::new(&design);
+    b.bind(x, "REG1")
+        .bind(va, "REG2")
+        .bind(vb, "REG3")
+        .bind(vc, "REG4")
+        .bind(vd, "REG5")
+        .bind(x2, "REG6")
+        .bind(x3, "REG7")
+        .bind(t1, "REG8")
+        .bind(s1, "REG8")
+        .bind(t2, "REG9")
+        .bind(s2, "REG9")
+        .bind(t3, "REG10")
+        .bind(r, "REG10")
+        .bind_op(k_x2, "MUL1")
+        .bind_op(k_x3, "MUL1")
+        .bind_op(k_t1, "MUL1")
+        .bind_op(k_t2, "MUL1")
+        .bind_op(k_t3, "MUL1")
+        .bind_op(k_s1, "ADD1")
+        .bind_op(k_s2, "ADD1")
+        .bind_op(k_r, "ADD1");
+    let binding = b.finish().expect("poly binding is valid");
+    emit(&design, &binding)
+}
+
+/// Software reference model: `a·x³ + b·x² + c·x + d` at the given width.
+pub fn poly_reference(x: u64, a: u64, b: u64, c: u64, d: u64, width: usize) -> u64 {
+    let x2 = FuOp::Mul.apply(x, x, width);
+    let x3 = FuOp::Mul.apply(x2, x, width);
+    let t1 = FuOp::Mul.apply(a, x3, width);
+    let t2 = FuOp::Mul.apply(b, x2, width);
+    let t3 = FuOp::Mul.apply(c, x, width);
+    let s1 = FuOp::Add.apply(t1, t2, width);
+    let s2 = FuOp::Add.apply(s1, t3, width);
+    FuOp::Add.apply(s2, d, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_reuses_registers_for_late_sums() {
+        let sys = poly(4).expect("builds");
+        assert_eq!(sys.datapath.registers().len(), 10);
+        assert_eq!(sys.fsm.state_count(), 11); // RESET + 9 + HOLD
+        assert!(sys.meta.loop_spec.is_none());
+    }
+
+    #[test]
+    fn coefficients_have_long_lifespans() {
+        let sys = poly(4).expect("builds");
+        // d (REG5) is live from CS2 through CS8.
+        let reg5 = sys
+            .meta
+            .reg_names
+            .iter()
+            .position(|n| n == "REG5")
+            .unwrap();
+        for t in 2..=8 {
+            assert!(sys.meta.reg_live_at(reg5, t), "d live at CS{t}");
+        }
+    }
+
+    #[test]
+    fn reference_model_spot_values() {
+        // 4-bit: x=2, a=1, b=1, c=1, d=1 → 8 + 4 + 2 + 1 = 15.
+        assert_eq!(poly_reference(2, 1, 1, 1, 1, 4), 15);
+        // Wrapping: x=3 → 27+9+3+1 = 40 mod 16 = 8.
+        assert_eq!(poly_reference(3, 1, 1, 1, 1, 4), 8);
+    }
+
+    #[test]
+    fn builds_at_wider_widths() {
+        for w in [4, 8, 16] {
+            assert!(poly(w).is_ok());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The SFR/SFI oracle: symbolic input-output equivalence of the faulty
+//! and fault-free system.
+//!
+//! A fault is system-functionally *redundant* exactly when the pair's
+//! I/O behaviour is unchanged for **all** input data (Section 2). For a
+//! non-sequence-altering controller fault, the faulty system is the same
+//! datapath driven by a per-state-substituted control word; running both
+//! control traces over the symbolic RTL domain and comparing output
+//! *expressions* decides equivalence:
+//!
+//! * identical expression ids ⇒ identical functions of the input data —
+//!   a sound "redundant" verdict;
+//! * different ids at an *observable* point ⇒ the computations differ
+//!   structurally, which for the arithmetic in these datapaths means
+//!   some input data exposes the difference — an "irredundant" verdict
+//!   (cross-validated against gate-level fault simulation in tests).
+//!
+//! Observability follows the tester model: an output cycle whose
+//! fault-free expression still contains an unknown (a boot value) is an
+//! unusable comparison point — the golden simulation itself cannot say
+//! what to expect there — so differences at such cycles do not count.
+//! Status bits are compared only at loop-decision states, where the
+//! controller actually samples them.
+
+use sfr_faultsim::System;
+use sfr_fsm::StateId;
+use sfr_netlist::Logic;
+use sfr_rtl::{DatapathSim, ExprId, InputId, RegId, SymbolicDomain};
+
+/// Why the oracle called a fault irredundant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mismatch {
+    /// A data output expression differed at an observable cycle.
+    Output {
+        /// Cycle within the trajectory.
+        cycle: usize,
+        /// Output port index.
+        port: usize,
+    },
+    /// A status expression differed at a decision state — the faulty
+    /// system's control flow depends differently on the data.
+    Status {
+        /// Cycle within the trajectory.
+        cycle: usize,
+        /// Status index.
+        status: usize,
+    },
+}
+
+/// The oracle's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Input-output equivalent on every checked trajectory: SFR.
+    Redundant,
+    /// A structural difference at an observable point: SFI.
+    Irredundant(Mismatch),
+}
+
+/// Which loop iteration counts to exercise (trajectories with `k`
+/// loop-backs for each `k` listed). Non-looping designs ignore this.
+pub const LOOP_DEPTHS: [usize; 4] = [0, 1, 2, 3];
+
+/// Hold-state cycles appended to each trajectory.
+pub const HOLD_OBSERVE_CYCLES: usize = 3;
+
+/// The canonical state trajectories for a system: RESET, the body
+/// (repeated per loop depth), then HOLD observation cycles.
+fn trajectories(sys: &System) -> Vec<Vec<StateId>> {
+    let n = sys.meta.n_steps;
+    match sys.meta.loop_spec {
+        None => {
+            let mut t = vec![sys.meta.reset_state()];
+            t.extend((1..=n).map(|k| sys.meta.state_of_step(k)));
+            t.extend(std::iter::repeat(sys.meta.hold_state()).take(HOLD_OBSERVE_CYCLES));
+            vec![t]
+        }
+        Some(l) => {
+            // Prologue once, then the loop region per depth.
+            let prologue: Vec<StateId> =
+                (1..l.back_to).map(|k| sys.meta.state_of_step(k)).collect();
+            let region: Vec<StateId> =
+                (l.back_to..=n).map(|k| sys.meta.state_of_step(k)).collect();
+            LOOP_DEPTHS
+                .iter()
+                .map(|&d| {
+                    let mut t = vec![sys.meta.reset_state()];
+                    t.extend(&prologue);
+                    for _ in 0..=d {
+                        t.extend(&region);
+                    }
+                    t.extend(
+                        std::iter::repeat(sys.meta.hold_state()).take(HOLD_OBSERVE_CYCLES),
+                    );
+                    t
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs one symbolic trace along `trajectory` using the given per-state
+/// output table, returning per-cycle `(outputs, statuses)` expression
+/// ids and the (moved-through) domain.
+fn run_trace(
+    sys: &System,
+    domain: SymbolicDomain,
+    trajectory: &[StateId],
+    table: &[Vec<bool>],
+) -> (Vec<(Vec<ExprId>, Vec<ExprId>)>, SymbolicDomain) {
+    let dp = &sys.datapath;
+    let mut sim = DatapathSim::new(dp, domain);
+    // Boot values: the same named unknown per register in every trace.
+    for r in 0..dp.registers().len() {
+        let boot = sim.domain_mut().named_unknown(r as u32);
+        sim.set_reg(RegId(r), boot);
+    }
+    let mut rows = Vec::with_capacity(trajectory.len());
+    for (t, &st) in trajectory.iter().enumerate() {
+        let word: Vec<Logic> = table[st.0]
+            .iter()
+            .map(|&b| Logic::from_bool(b))
+            .collect();
+        let inputs: Vec<ExprId> = (0..dp.inputs().len())
+            .map(|p| sim.domain_mut().input(InputId(p), t as u64))
+            .collect();
+        let r = sim.step(&word, &inputs);
+        rows.push((r.outputs, r.statuses));
+    }
+    (rows, sim.into_domain())
+}
+
+/// Decides SFR vs SFI for a non-sequence-altering controller fault given
+/// its faulty realized output table.
+///
+/// # Panics
+///
+/// Panics if `faulty_table` has the wrong shape.
+pub fn judge(sys: &System, faulty_table: &[Vec<bool>]) -> Verdict {
+    assert_eq!(faulty_table.len(), sys.fsm.spec().state_count());
+    let golden_table = &sys.ctrl.realized_outputs;
+    let decision_state = sys
+        .meta
+        .loop_spec
+        .map(|_| sys.meta.state_of_step(sys.meta.n_steps));
+
+    for trajectory in trajectories(sys) {
+        let domain = SymbolicDomain::new(sys.datapath.width());
+        let (golden_rows, domain) = run_trace(sys, domain, &trajectory, golden_table);
+        let (faulty_rows, domain) = run_trace(sys, domain, &trajectory, faulty_table);
+        for (cycle, ((go, gs), (fo, fs))) in
+            golden_rows.iter().zip(&faulty_rows).enumerate()
+        {
+            for (port, (a, b)) in go.iter().zip(fo).enumerate() {
+                if a != b && !domain.contains_unknown(*a) {
+                    return Verdict::Irredundant(Mismatch::Output { cycle, port });
+                }
+            }
+            if Some(trajectory[cycle]) == decision_state {
+                for (status, (a, b)) in gs.iter().zip(fs).enumerate() {
+                    if a != b && !domain.contains_unknown(*a) {
+                        return Verdict::Irredundant(Mismatch::Status { cycle, status });
+                    }
+                }
+            }
+        }
+    }
+    Verdict::Redundant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_system;
+
+    #[test]
+    fn golden_table_judged_redundant_against_itself() {
+        let sys = toy_system();
+        let v = judge(&sys, &sys.ctrl.realized_outputs);
+        assert_eq!(v, Verdict::Redundant);
+    }
+
+    #[test]
+    fn skipped_load_is_irredundant() {
+        let sys = toy_system();
+        let mut table = sys.ctrl.realized_outputs.clone();
+        // Clear the output register R4's load in CS3 (its only load).
+        let ld = sys.datapath.find_ctrl("LD_R4").unwrap();
+        let cs3 = sys.meta.state_of_step(3);
+        assert!(table[cs3.0][ld.0]);
+        table[cs3.0][ld.0] = false;
+        assert!(matches!(judge(&sys, &table), Verdict::Irredundant(_)));
+    }
+
+    #[test]
+    fn extra_load_that_gets_overwritten_is_redundant() {
+        let sys = toy_system();
+        let mut table = sys.ctrl.realized_outputs.clone();
+        // R3 (t) loads in CS2; an extra load in CS1 writes MUL of boot
+        // values, overwritten in CS2 before the CS3 read: harmless.
+        let ld = sys.datapath.find_ctrl("LD_R3").unwrap();
+        let cs1 = sys.meta.state_of_step(1);
+        assert!(!table[cs1.0][ld.0]);
+        table[cs1.0][ld.0] = true;
+        assert_eq!(judge(&sys, &table), Verdict::Redundant);
+    }
+
+    #[test]
+    fn extra_load_rewriting_same_value_is_redundant() {
+        let sys = toy_system();
+        let mut table = sys.ctrl.realized_outputs.clone();
+        // R4 (s) loads ADD(R3, R1) in CS3; an extra load in HOLD re-loads
+        // ADD(R3, R1) — R3 and R1 are unchanged in HOLD, so the same
+        // expression is rewritten (the paper's "rewrite a variable
+        // unchanged" case, like its fault 21).
+        let ld = sys.datapath.find_ctrl("LD_R4").unwrap();
+        let hold = sys.meta.hold_state();
+        table[hold.0][ld.0] = true;
+        assert_eq!(judge(&sys, &table), Verdict::Redundant);
+    }
+
+    #[test]
+    fn extra_load_clobbering_a_live_register_is_irredundant() {
+        let sys = toy_system();
+        let mut table = sys.ctrl.realized_outputs.clone();
+        // R1 (va) is live in CS2 (read at CS3). An extra load in CS2
+        // overwrites it with the sampled port value of that cycle, which
+        // differs from the CS1 sample for some data.
+        let ld = sys.datapath.find_ctrl("LD_R1").unwrap();
+        let cs2 = sys.meta.state_of_step(2);
+        assert!(!table[cs2.0][ld.0]);
+        table[cs2.0][ld.0] = true;
+        assert!(matches!(judge(&sys, &table), Verdict::Irredundant(_)));
+    }
+
+    #[test]
+    fn extra_load_in_reset_is_redundant() {
+        let sys = toy_system();
+        let mut table = sys.ctrl.realized_outputs.clone();
+        // Loading R3 during RESET writes garbage that CS2 overwrites.
+        let ld = sys.datapath.find_ctrl("LD_R3").unwrap();
+        let reset = sys.meta.reset_state();
+        table[reset.0][ld.0] = true;
+        assert_eq!(judge(&sys, &table), Verdict::Redundant);
+    }
+}

@@ -1,0 +1,317 @@
+//! The paper's four-step classification methodology (Section 5).
+//!
+//! 1. Integrated fault simulation with TPGR data: detected faults are
+//!    SFI.
+//! 2. "Potentially detected" verdicts (an `X` reaching an output whose
+//!    fault-free value is known) are resolved to detected — the real
+//!    circuit holds *some* boot value, and over a long test it will
+//!    mismatch (the paper's output-register load-stuck-at-0 argument).
+//! 3. Exhaustive controller-table analysis separates CFR faults (no
+//!    output or next-state change anywhere reachable).
+//! 4. The remaining faults' control line effects are analyzed: the
+//!    Section 3 structural rules decide the clear cases, and the
+//!    symbolic input-output [oracle](crate::judge) decides the
+//!    data-dependent ones — yielding the final SFR/SFI split.
+
+use crate::oracle::{judge, Mismatch, Verdict};
+use crate::rules::{judge_by_rules, RuleVerdict};
+use crate::table::{analyze_controller_fault, ControlLineEffect};
+use sfr_faultsim::{golden_trace, run_parallel, run_serial, Detection, RunConfig, System};
+use sfr_netlist::StuckAt;
+use sfr_tpg::TestSet;
+
+/// Why a fault was classified SFI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfiReason {
+    /// Detected by integrated fault simulation (step 1).
+    Simulation {
+        /// First detecting cycle.
+        cycle: usize,
+    },
+    /// "Potentially detected" resolved to detected (step 2).
+    PotentialResolved {
+        /// First ambiguous cycle.
+        cycle: usize,
+    },
+    /// The fault changes the controller's state sequencing on some
+    /// reachable (state, status) pair.
+    SequenceAltering,
+    /// The symbolic oracle found an observable structural difference.
+    Oracle(Mismatch),
+}
+
+/// The final class of a controller fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Controller-functionally redundant: no effect on the controller's
+    /// behaviour at all.
+    Cfr,
+    /// System-functionally redundant: changes control lines but never
+    /// the pair's I/O behaviour — the paper's power-detectable class.
+    Sfr,
+    /// System-functionally irredundant.
+    Sfi(SfiReason),
+}
+
+impl FaultClass {
+    /// Whether the fault is SFR.
+    pub fn is_sfr(self) -> bool {
+        matches!(self, FaultClass::Sfr)
+    }
+}
+
+/// One classified fault with its analysis artifacts.
+#[derive(Debug, Clone)]
+pub struct ClassifiedFault {
+    /// The fault (system-netlist coordinates).
+    pub fault: StuckAt,
+    /// Its class.
+    pub class: FaultClass,
+    /// The fault's control line effects (populated for faults that
+    /// reached table analysis; empty for simulation-detected faults).
+    pub effects: Vec<ControlLineEffect>,
+    /// The Section 3 rule engine's verdict, where computed.
+    pub rule_verdict: Option<RuleVerdict>,
+}
+
+/// Classification settings.
+#[derive(Debug, Clone)]
+pub struct ClassifyConfig {
+    /// TPGR seed for the detection fault simulation.
+    pub test_seed: u32,
+    /// Number of TPGR patterns for detection.
+    pub test_patterns: usize,
+    /// Run shaping.
+    pub run: RunConfig,
+    /// Use the bit-parallel engine (identical results, faster).
+    pub parallel: bool,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            test_seed: 0xACE1,
+            test_patterns: 1200,
+            run: RunConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// A complete classification of a system's controller fault universe.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Per-fault results, in fault-universe order.
+    pub faults: Vec<ClassifiedFault>,
+}
+
+impl Classification {
+    /// Total number of controller faults.
+    pub fn total(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The SFR faults.
+    pub fn sfr(&self) -> impl Iterator<Item = &ClassifiedFault> {
+        self.faults.iter().filter(|f| f.class.is_sfr())
+    }
+
+    /// Number of SFR faults.
+    pub fn sfr_count(&self) -> usize {
+        self.sfr().count()
+    }
+
+    /// Number of CFR faults.
+    pub fn cfr_count(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.class == FaultClass::Cfr)
+            .count()
+    }
+
+    /// Number of SFI faults.
+    pub fn sfi_count(&self) -> usize {
+        self.total() - self.sfr_count() - self.cfr_count()
+    }
+
+    /// Percentage of faults that are SFR (the paper's Table 2 column).
+    pub fn percent_sfr(&self) -> f64 {
+        100.0 * self.sfr_count() as f64 / self.total() as f64
+    }
+}
+
+/// Runs the full methodology over a system's controller fault universe.
+pub fn classify_system(sys: &System, cfg: &ClassifyConfig) -> Classification {
+    let faults = sys.controller_faults();
+    let ts = TestSet::pseudorandom(sys.pattern_width(), cfg.test_patterns, cfg.test_seed)
+        .expect("16-stage TPGR always constructs");
+    let golden = golden_trace(sys, &ts, &cfg.run);
+    let outcomes = if cfg.parallel {
+        run_parallel(sys, &golden, &faults)
+    } else {
+        run_serial(sys, &golden, &faults)
+    };
+
+    let classified = outcomes
+        .into_iter()
+        .map(|o| {
+            // Step 1: simulation-detected faults are SFI.
+            if let Detection::Detected { cycle } = o.detection {
+                return ClassifiedFault {
+                    fault: o.fault,
+                    class: FaultClass::Sfi(SfiReason::Simulation { cycle }),
+                    effects: Vec::new(),
+                    rule_verdict: None,
+                };
+            }
+            // Steps 3–4: exhaustive controller analysis.
+            let sf = sys
+                .fault_to_standalone(o.fault)
+                .expect("controller faults remap");
+            let behavior = analyze_controller_fault(sys, sf);
+            if behavior.is_cfr() {
+                return ClassifiedFault {
+                    fault: o.fault,
+                    class: FaultClass::Cfr,
+                    effects: Vec::new(),
+                    rule_verdict: None,
+                };
+            }
+            // The Section 3 rules reason about control line effects only
+            // — they presuppose an unchanged state sequence — so they
+            // are consulted only for non-sequence-altering faults.
+            let rule_verdict =
+                (!behavior.sequence_altering).then(|| judge_by_rules(sys, &behavior.effects));
+            if behavior.sequence_altering {
+                // Step 2 first: a potential detection confirms the fault
+                // manifests; otherwise label by its sequence effect.
+                let class = match o.detection {
+                    Detection::Potential { cycle } => {
+                        FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
+                    }
+                    _ => FaultClass::Sfi(SfiReason::SequenceAltering),
+                };
+                return ClassifiedFault {
+                    fault: o.fault,
+                    class,
+                    effects: behavior.effects,
+                    rule_verdict,
+                };
+            }
+            // Step 4: the oracle decides.
+            let class = match judge(sys, &behavior.faulty_outputs) {
+                Verdict::Redundant => FaultClass::Sfr,
+                Verdict::Irredundant(m) => {
+                    // Prefer the concrete step-2 evidence when present.
+                    match o.detection {
+                        Detection::Potential { cycle } => {
+                            FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
+                        }
+                        _ => FaultClass::Sfi(SfiReason::Oracle(m)),
+                    }
+                }
+            };
+            ClassifiedFault {
+                fault: o.fault,
+                class,
+                effects: behavior.effects,
+                rule_verdict,
+            }
+        })
+        .collect();
+
+    Classification { faults: classified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{muxed_system, toy_system};
+    use sfr_faultsim::CampaignOutcome;
+
+    fn quick_cfg() -> ClassifyConfig {
+        ClassifyConfig {
+            test_patterns: 240,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn classification_partitions_the_universe() {
+        let sys = toy_system();
+        let c = classify_system(&sys, &quick_cfg());
+        assert_eq!(c.total(), sys.controller_faults().len());
+        assert_eq!(c.cfr_count() + c.sfr_count() + c.sfi_count(), c.total());
+        assert_eq!(c.cfr_count(), 0, "minimized controller: no CFR");
+        assert!(c.sfr_count() > 0, "toy system should expose SFR faults");
+        assert!(c.sfi_count() > 0);
+    }
+
+    #[test]
+    fn rule_engine_never_contradicts_the_final_class() {
+        for sys in [toy_system(), muxed_system()] {
+            let c = classify_system(&sys, &quick_cfg());
+            for f in &c.faults {
+                match (f.rule_verdict, f.class) {
+                    (Some(RuleVerdict::Sfr), FaultClass::Sfi(reason)) => panic!(
+                        "rules said SFR but pipeline said SFI({reason:?}) for {}",
+                        f.fault
+                    ),
+                    (Some(RuleVerdict::Sfi), FaultClass::Sfr) => panic!(
+                        "rules said SFI but pipeline said SFR for {}",
+                        f.fault
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sfr_faults_are_never_detected_by_longer_simulation() {
+        // Soundness spot-check: re-simulate every SFR fault with a
+        // different, longer test set; none may be detected.
+        let sys = toy_system();
+        let c = classify_system(&sys, &quick_cfg());
+        let sfr: Vec<_> = c.sfr().map(|f| f.fault).collect();
+        let ts = sfr_tpg::TestSet::pseudorandom(sys.pattern_width(), 600, 0xBEEF).unwrap();
+        let golden = golden_trace(&sys, &ts, &RunConfig::default());
+        let outcomes: Vec<CampaignOutcome> = run_serial(&sys, &golden, &sfr);
+        for o in outcomes {
+            assert!(
+                !o.detection.is_detected(),
+                "SFR fault {} was detected by a longer test",
+                o.fault
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_pipelines_agree() {
+        let sys = toy_system();
+        let mut cfg = quick_cfg();
+        let a = classify_system(&sys, &cfg);
+        cfg.parallel = false;
+        let b = classify_system(&sys, &cfg);
+        for (x, y) in a.faults.iter().zip(&b.faults) {
+            assert_eq!(x.fault, y.fault);
+            // Classes agree up to the SFI reason's detection cycle.
+            assert_eq!(
+                std::mem::discriminant(&x.class),
+                std::mem::discriminant(&y.class)
+            );
+        }
+    }
+
+    #[test]
+    fn sfr_faults_have_effects_recorded() {
+        let sys = toy_system();
+        let c = classify_system(&sys, &quick_cfg());
+        for f in c.sfr() {
+            assert!(
+                !f.effects.is_empty(),
+                "an SFR fault must have at least one control line effect"
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared test fixtures for the classification crate.
+
+use sfr_faultsim::{System, SystemConfig};
+use sfr_hls::{emit, BindingBuilder, DesignBuilder, Rhs};
+use sfr_rtl::FuOp;
+
+/// A 3-step toy: CS1 samples `a`, `b`; CS2 `t = a*b`; CS3 `s = t + a`.
+pub(crate) fn toy_system() -> System {
+    let mut d = DesignBuilder::new("toy", 4, 3);
+    let pa = d.port("a");
+    let pb = d.port("b");
+    let va = d.var("va");
+    let vb = d.var("vb");
+    let t = d.var("t");
+    let s = d.var("s");
+    d.sample(1, va, Rhs::Port(pa));
+    d.sample(1, vb, Rhs::Port(pb));
+    let m = d.compute(2, t, FuOp::Mul, Rhs::Var(va), Rhs::Var(vb));
+    let a = d.compute(3, s, FuOp::Add, Rhs::Var(t), Rhs::Var(va));
+    d.output("s_out", s);
+    let d = d.finish().expect("valid design");
+    let mut bb = BindingBuilder::new(&d);
+    bb.bind(va, "R1")
+        .bind(vb, "R2")
+        .bind(t, "R3")
+        .bind(s, "R4")
+        .bind_op(m, "MUL1")
+        .bind_op(a, "ADD1");
+    let binding = bb.finish().expect("valid binding");
+    System::build(&emit(&d, &binding).expect("emits"), SystemConfig::default())
+        .expect("system builds")
+}
+
+/// A design with a shared adder, so an operand mux (and its select-line
+/// don't-cares) exists: CS1 samples; CS2 `t1 = a + b`; CS3 `t2 = t1 + b`.
+pub(crate) fn muxed_system() -> System {
+    let mut d = DesignBuilder::new("muxed", 4, 3);
+    let pa = d.port("a");
+    let pb = d.port("b");
+    let va = d.var("va");
+    let vb = d.var("vb");
+    let t1 = d.var("t1");
+    let t2 = d.var("t2");
+    d.sample(1, va, Rhs::Port(pa));
+    d.sample(1, vb, Rhs::Port(pb));
+    let o1 = d.compute(2, t1, FuOp::Add, Rhs::Var(va), Rhs::Var(vb));
+    let o2 = d.compute(3, t2, FuOp::Add, Rhs::Var(t1), Rhs::Var(vb));
+    d.output("o", t2);
+    let d = d.finish().expect("valid design");
+    let mut bb = BindingBuilder::new(&d);
+    bb.bind(va, "R1")
+        .bind(vb, "R2")
+        .bind(t1, "R3")
+        .bind(t2, "R4")
+        .bind_op(o1, "ADD1")
+        .bind_op(o2, "ADD1");
+    let binding = bb.finish().expect("valid binding");
+    System::build(&emit(&d, &binding).expect("emits"), SystemConfig::default())
+        .expect("system builds")
+}

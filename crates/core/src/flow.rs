@@ -1,0 +1,126 @@
+//! The end-to-end study flow: synthesize → classify → grade.
+
+use sfr_classify::{
+    classify_system, grade_faults, Classification, ClassifyConfig, GradeConfig, PowerGrade,
+};
+use sfr_faultsim::{System, SystemConfig};
+use sfr_hls::EmittedSystem;
+use sfr_netlist::{NetlistError, StuckAt};
+use sfr_power_model::MonteCarloResult;
+
+/// Configuration of a full study.
+#[derive(Debug, Clone, Default)]
+pub struct StudyConfig {
+    /// Controller synthesis options (encoding, don't-care fill).
+    pub system: SystemConfig,
+    /// Classification options (test set, engines).
+    pub classify: ClassifyConfig,
+    /// Power grading options (Monte Carlo, threshold band).
+    pub grade: GradeConfig,
+}
+
+/// A completed study of one benchmark: the built system, the fault
+/// classification, and the power grades of every SFR fault.
+#[derive(Debug)]
+pub struct Study {
+    /// Benchmark name.
+    pub name: String,
+    /// The integrated system.
+    pub system: System,
+    /// The classified controller fault universe.
+    pub classification: Classification,
+    /// Fault-free Monte Carlo datapath power.
+    pub baseline: MonteCarloResult,
+    /// Power grades, one per SFR fault (same order as
+    /// [`Classification::sfr`]).
+    pub grades: Vec<PowerGrade>,
+}
+
+impl Study {
+    /// The SFR faults in grading order.
+    pub fn sfr_faults(&self) -> Vec<StuckAt> {
+        self.classification.sfr().map(|f| f.fault).collect()
+    }
+
+    /// How many SFR faults the power test flags at the configured
+    /// threshold.
+    pub fn flagged_count(&self) -> usize {
+        self.grades.iter().filter(|g| g.flagged).count()
+    }
+}
+
+/// Runs the full methodology over one emitted benchmark.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which indicate an internal
+/// inconsistency rather than user error).
+pub fn run_study(
+    name: impl Into<String>,
+    emitted: &EmittedSystem,
+    cfg: &StudyConfig,
+) -> Result<Study, NetlistError> {
+    let system = System::build(emitted, cfg.system)?;
+    let classification = classify_system(&system, &cfg.classify);
+    let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
+    let (baseline, grades) = grade_faults(&system, &sfr, &cfg.grade);
+    Ok(Study {
+        name: name.into(),
+        system,
+        classification,
+        baseline,
+        grades,
+    })
+}
+
+/// Runs the study over all three paper benchmarks at 4 bits.
+///
+/// # Errors
+///
+/// Propagates construction errors from any benchmark.
+pub fn run_paper_studies(cfg: &StudyConfig) -> Result<Vec<Study>, Box<dyn std::error::Error>> {
+    let mut studies = Vec::new();
+    for (name, emitted) in sfr_benchmarks::all_benchmarks(4)? {
+        studies.push(run_study(name, &emitted, cfg)?);
+    }
+    Ok(studies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfr_power_model::MonteCarloConfig;
+
+    /// A configuration small enough for unit tests.
+    pub(crate) fn quick() -> StudyConfig {
+        StudyConfig {
+            classify: ClassifyConfig {
+                test_patterns: 240,
+                ..Default::default()
+            },
+            grade: GradeConfig {
+                mc: MonteCarloConfig {
+                    rel_tolerance: 0.05,
+                    min_batches: 3,
+                    max_batches: 6,
+                },
+                patterns_per_batch: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn study_runs_on_poly() {
+        let emitted = sfr_benchmarks::poly(4).expect("builds");
+        let study = run_study("poly", &emitted, &quick()).expect("study runs");
+        assert_eq!(
+            study.grades.len(),
+            study.classification.sfr_count(),
+            "one grade per SFR fault"
+        );
+        assert!(study.baseline.mean_uw > 0.0);
+        assert!(study.classification.total() > 50);
+    }
+}

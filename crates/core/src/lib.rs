@@ -1,0 +1,113 @@
+//! `sfr-core` — the public facade of the **sfr-power** workspace: a
+//! complete reproduction of *“Detecting Undetectable Controller Faults
+//! Using Power Analysis”* (J. Carletta, C. A. Papachristou, M. Nourani —
+//! DATE 2000).
+//!
+//! # The idea
+//!
+//! A controller–datapath pair shipped as an embedded hard core can only
+//! be tested *integrated*: stimulate the data inputs, observe the data
+//! outputs. Some controller stuck-at faults — the **system-functionally
+//! redundant (SFR)** class — change control lines (extra register loads,
+//! flipped don't-care mux selects) yet never change the pair's I/O
+//! behaviour, making them undetectable by any such test *and* by IDDQ.
+//! Their one observable signature is analog: they change dynamic power.
+//! Extra loads un-gate register clocks and must increase power; the paper
+//! detects them by comparing measured power against a fault-free
+//! baseline with a tolerance band.
+//!
+//! # What this crate offers
+//!
+//! * [`run_study`] / [`run_paper_studies`] — the end-to-end flow over a
+//!   benchmark: build the gate-level [`System`], run the four-step
+//!   [classification](classify_system), grade every SFR fault's power.
+//! * [`render_table1`], [`render_table2`], [`Fig7Series`] — regenerate
+//!   the paper's tables and Figure 7.
+//! * [`worst_case_extra_effects`] — the Section 4 experiment: the most
+//!   power a maximal set of non-disruptive control line effects can
+//!   waste.
+//! * Re-exports of every substrate: netlist, logic synthesis, RTL, FSM
+//!   synthesis, HLS, TPG, fault simulation, classification, power.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sfr_core::{run_study, ClassifyConfig, GradeConfig, StudyConfig};
+//! use sfr_core::MonteCarloConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let emitted = sfr_core::benchmarks::poly(4)?;
+//! let cfg = StudyConfig {
+//!     classify: ClassifyConfig { test_patterns: 240, ..Default::default() },
+//!     grade: GradeConfig {
+//!         mc: MonteCarloConfig { rel_tolerance: 0.08, min_batches: 2, max_batches: 3 },
+//!         patterns_per_batch: 60,
+//!         ..Default::default()
+//!     },
+//!     ..Default::default()
+//! };
+//! let study = run_study("poly", &emitted, &cfg)?;
+//! println!(
+//!     "{}: {}/{} controller faults are SFR; {} escape the ±5% power band",
+//!     study.name,
+//!     study.classification.sfr_count(),
+//!     study.classification.total(),
+//!     study.classification.sfr_count() - study.flagged_count(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod flow;
+mod report;
+mod testprogram;
+mod worstcase;
+
+pub use flow::{run_paper_studies, run_study, Study, StudyConfig};
+pub use report::{
+    describe_effect, render_classification_csv, render_table1, render_table2, state_label,
+    Fig7Series,
+};
+pub use breakdown::{measure_breakdown, ComponentPower, PowerBreakdown};
+pub use testprogram::{generate_test_program, TestProgram, TestProgramConfig};
+pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, WorstCase};
+
+// The substrates, re-exported under their domain names.
+pub use sfr_benchmarks as benchmarks;
+pub use sfr_classify::{
+    analyze_controller_fault, classify_system, grade_faults, judge, judge_by_rules,
+    measure_power_monte_carlo, measure_power_with_testset, Classification, ClassifiedFault,
+    ClassifyConfig, ControlLineEffect, ControllerBehavior, EffectClass, FaultClass, GradeConfig,
+    Mismatch, PowerGrade, RuleVerdict, SfiReason, Verdict,
+};
+pub use sfr_faultsim::{
+    golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
+    RunSpec, System, SystemConfig,
+};
+pub use sfr_fsm::{
+    Encoding, EncodedFsm, FillPolicy, FsmSpec, FsmSpecBuilder, StateId, Tri,
+};
+pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
+pub use sfr_hls::{
+    emit, BindingBuilder, DesignBuilder, DesignMeta, EmittedSystem, LoopSpec, OpId, Rhs,
+    ScheduledDesign, Span, VarId,
+};
+pub use sfr_netlist::{
+    critical_path, Atpg, EventSim, TestOutcome, logic_to_u64, u64_to_logic, Activity, CellKind, CycleSim, FaultSite, GateId,
+    Logic, NetId,
+    write_cell_library, write_verilog, Netlist, NetlistBuilder, NetlistError, NetlistStats,
+    ParallelFaultSim, PatVec, StuckAt, VcdRecorder,
+};
+pub use sfr_power_model::{
+    power_from_activity, power_from_activity_where, run_monte_carlo, MonteCarloConfig,
+    MonteCarloResult, PowerConfig, PowerPopulation, PowerReport, VariationModel,
+};
+pub use sfr_rtl::{
+    elaborate_into, ConcreteDomain, CtrlId, CtrlKind, Datapath, DatapathBuilder, DatapathSim,
+    DataSrc, ElabNets, ExprId, FuOp, InputId, MuxId, RegId, SymbolicDomain,
+};
+pub use sfr_tpg::{Lfsr, TestSet, PAPER_PATTERNS, PAPER_SEEDS};

@@ -1,0 +1,375 @@
+//! Report generation: the paper's tables and figures as text.
+
+use crate::flow::Study;
+use sfr_classify::ControlLineEffect;
+use sfr_faultsim::System;
+use sfr_fsm::StateId;
+use sfr_rtl::CtrlKind;
+use std::fmt::Write as _;
+
+/// Renders a state name the way the paper labels control steps.
+pub fn state_label(sys: &System, s: StateId) -> String {
+    sys.fsm.spec().state_name(s).to_string()
+}
+
+/// Describes one control line effect in the paper's Table 1 style, e.g.
+/// `REG3: extra load in CS5` or `MS2 changes in CS3`.
+pub fn describe_effect(sys: &System, e: &ControlLineEffect) -> String {
+    let line = &sys.datapath.control()[e.line];
+    let state = state_label(sys, e.state);
+    match line.kind() {
+        CtrlKind::Load => {
+            let what = if e.faulty { "extra load" } else { "skipped load" };
+            let regs: Vec<&str> = sys
+                .datapath
+                .registers_on_load(sfr_rtl::CtrlId(e.line))
+                .into_iter()
+                .map(|r| sys.datapath.registers()[r.0].name())
+                .collect();
+            format!("{}: {what} in {state}", regs.join("+"))
+        }
+        CtrlKind::Select => format!("{} changes in {state}", line.name()),
+    }
+}
+
+/// The per-fault series behind Figure 7: SFR faults split into
+/// select-line-only and load-line-affecting groups, each sorted by
+/// power, exactly as the paper orders its x-axis.
+#[derive(Debug, Clone)]
+pub struct Fig7Series {
+    /// Benchmark name.
+    pub name: String,
+    /// Fault-free power, µW.
+    pub fault_free_uw: f64,
+    /// Detection band half-width, percent.
+    pub threshold_pct: f64,
+    /// `(power µW, % change)` of select-only SFR faults, ascending.
+    pub select_faults: Vec<(f64, f64)>,
+    /// `(power µW, % change)` of load-affecting SFR faults, ascending.
+    pub load_faults: Vec<(f64, f64)>,
+}
+
+impl Fig7Series {
+    /// Extracts the series from a study.
+    pub fn from_study(study: &Study, threshold_pct: f64) -> Fig7Series {
+        let mut select_faults = Vec::new();
+        let mut load_faults = Vec::new();
+        for (cls, grade) in study.classification.sfr().zip(&study.grades) {
+            let affects_load = cls.effects.iter().any(|e| {
+                study.system.datapath.control()[e.line].kind() == CtrlKind::Load
+            });
+            let entry = (grade.mean_uw, grade.pct_change);
+            if affects_load {
+                load_faults.push(entry);
+            } else {
+                select_faults.push(entry);
+            }
+        }
+        select_faults.sort_by(|a, b| a.0.total_cmp(&b.0));
+        load_faults.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Fig7Series {
+            name: study.name.clone(),
+            fault_free_uw: study.baseline.mean_uw,
+            threshold_pct,
+            select_faults,
+            load_faults,
+        }
+    }
+
+    /// Number of faults outside the ±threshold band (the paper's
+    /// "detected by power analysis" count).
+    pub fn detected(&self) -> usize {
+        self.all()
+            .filter(|&&(_, pct)| pct.abs() > self.threshold_pct)
+            .count()
+    }
+
+    /// Detected counts split by group: `(select, load)`.
+    pub fn detected_by_group(&self) -> (usize, usize) {
+        let d = |v: &[(f64, f64)]| {
+            v.iter()
+                .filter(|&&(_, pct)| pct.abs() > self.threshold_pct)
+                .count()
+        };
+        (d(&self.select_faults), d(&self.load_faults))
+    }
+
+    fn all(&self) -> impl Iterator<Item = &(f64, f64)> {
+        self.select_faults.iter().chain(&self.load_faults)
+    }
+
+    /// Renders an ASCII scatter in the style of Figure 7: one column per
+    /// fault (selects left, loads right), the fault-free line and the
+    /// ±band marked.
+    pub fn render_ascii(&self, height: usize) -> String {
+        let mut out = String::new();
+        let n = self.select_faults.len() + self.load_faults.len();
+        if n == 0 {
+            return format!("{}: no SFR faults\n", self.name);
+        }
+        let pcts: Vec<f64> = self.all().map(|&(_, p)| p).collect();
+        let mut lo = pcts.iter().cloned().fold(f64::MAX, f64::min);
+        let mut hi = pcts.iter().cloned().fold(f64::MIN, f64::max);
+        lo = lo.min(-self.threshold_pct - 1.0);
+        hi = hi.max(self.threshold_pct + 1.0);
+        let row_of = |pct: f64| -> usize {
+            let frac = (hi - pct) / (hi - lo);
+            ((height - 1) as f64 * frac).round() as usize
+        };
+        let band_hi = row_of(self.threshold_pct);
+        let band_lo = row_of(-self.threshold_pct);
+        let zero = row_of(0.0);
+        let mut grid = vec![vec![' '; n]; height];
+        for (i, &(_, pct)) in self.all().enumerate() {
+            let r = row_of(pct).min(height - 1);
+            grid[r][i] = '*';
+        }
+        let _ = writeln!(
+            out,
+            "{} — datapath power per SFR fault (fault-free {:.2} uW, band ±{:.0}%)",
+            self.name, self.fault_free_uw, self.threshold_pct
+        );
+        for (r, row) in grid.iter().enumerate() {
+            let mark = if r == zero {
+                "0% ".to_string()
+            } else if r == band_hi {
+                format!("+{:.0}% ", self.threshold_pct)
+            } else if r == band_lo {
+                format!("-{:.0}% ", self.threshold_pct)
+            } else {
+                String::new()
+            };
+            let line: String = row.iter().collect();
+            let fill = if r == zero || r == band_hi || r == band_lo {
+                line.replace(' ', "-")
+            } else {
+                line
+            };
+            let _ = writeln!(out, "{mark:>6}|{fill}|");
+        }
+        let _ = writeln!(
+            out,
+            "       {}{}",
+            "s".repeat(self.select_faults.len()),
+            "l".repeat(self.load_faults.len()),
+        );
+        let (ds, dl) = self.detected_by_group();
+        let _ = writeln!(
+            out,
+            "  selects: {}/{} detected; loads: {}/{} detected",
+            ds,
+            self.select_faults.len(),
+            dl,
+            self.load_faults.len()
+        );
+        out
+    }
+
+    /// Renders the series as CSV (`group,index,power_uw,pct_change`).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("group,index,power_uw,pct_change\n");
+        for (i, (uw, pct)) in self.select_faults.iter().enumerate() {
+            let _ = writeln!(out, "select,{i},{uw:.3},{pct:.3}");
+        }
+        for (i, (uw, pct)) in self.load_faults.iter().enumerate() {
+            let _ = writeln!(out, "load,{i},{uw:.3},{pct:.3}");
+        }
+        out
+    }
+}
+
+/// Serializes a study as CSV: one row per controller fault with its
+/// class, effects, and (for SFR faults) power grade.
+///
+/// Columns: `fault,class,detail,effects,power_uw,pct_change,flagged`.
+pub fn render_classification_csv(study: &Study) -> String {
+    use sfr_classify::{FaultClass, SfiReason};
+    let mut out = String::from("fault,class,detail,effects,power_uw,pct_change,flagged\n");
+    let mut grade_iter = study.grades.iter();
+    for f in &study.classification.faults {
+        let (class, detail) = match f.class {
+            FaultClass::Cfr => ("CFR", String::new()),
+            FaultClass::Sfr => ("SFR", String::new()),
+            FaultClass::Sfi(reason) => (
+                "SFI",
+                match reason {
+                    SfiReason::Simulation { cycle } => format!("simulated@{cycle}"),
+                    SfiReason::PotentialResolved { cycle } => format!("potential@{cycle}"),
+                    SfiReason::SequenceAltering => "sequence-altering".to_string(),
+                    SfiReason::Oracle(_) => "oracle".to_string(),
+                },
+            ),
+        };
+        let effects: Vec<String> = f
+            .effects
+            .iter()
+            .map(|e| describe_effect(&study.system, e))
+            .collect();
+        let (uw, pct, flagged) = if f.class.is_sfr() {
+            let g = grade_iter.next().expect("one grade per SFR fault");
+            (
+                format!("{:.3}", g.mean_uw),
+                format!("{:.3}", g.pct_change),
+                if g.flagged { "yes" } else { "no" }.to_string(),
+            )
+        } else {
+            (String::new(), String::new(), String::new())
+        };
+        let _ = writeln!(
+            out,
+            "{},{class},{detail},\"{}\",{uw},{pct},{flagged}",
+            f.fault,
+            effects.join("; ")
+        );
+    }
+    out
+}
+
+/// Renders the paper's Table 2: fault breakdown per benchmark.
+pub fn render_table2(studies: &[Study]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10} {:>11}",
+        "", "Total Faults", "SFR Faults", "%Faults SFR"
+    );
+    for s in studies {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10} {:>10.1}%",
+            s.name,
+            s.classification.total(),
+            s.classification.sfr_count(),
+            s.classification.percent_sfr()
+        );
+    }
+    out
+}
+
+/// Renders a Table 1-style listing for a study: representative SFR
+/// faults spanning the power range (most negative, quartiles, most
+/// positive), with their control line effects.
+pub fn render_table1(study: &Study, rows: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<44} {:>10} {:>10}",
+        "", "Control line effects", "Power uW", "% change"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<44} {:>10.2} {:>10}",
+        "fault-free", "-", study.baseline.mean_uw, "-"
+    );
+    // Order SFR faults by power and pick `rows` spread across the range.
+    let mut order: Vec<usize> = (0..study.grades.len()).collect();
+    order.sort_by(|&a, &b| study.grades[a].mean_uw.total_cmp(&study.grades[b].mean_uw));
+    let picks: Vec<usize> = if order.len() <= rows {
+        order.clone()
+    } else {
+        (0..rows)
+            .map(|i| order[i * (order.len() - 1) / (rows - 1)])
+            .collect()
+    };
+    let sfr: Vec<_> = study.classification.sfr().collect();
+    for &idx in &picks {
+        let grade = &study.grades[idx];
+        let cls = sfr[idx];
+        let effects: Vec<String> = cls
+            .effects
+            .iter()
+            .map(|e| describe_effect(&study.system, e))
+            .collect();
+        // Position of this fault in the power-sorted order, 1-based —
+        // the paper's "fault N" numbering.
+        let rank = order.iter().position(|&o| o == idx).unwrap() + 1;
+        let _ = writeln!(
+            out,
+            "{:<10} {:<44} {:>10.2} {:>+9.2}%",
+            format!("fault {rank}"),
+            effects.join("; "),
+            grade.mean_uw,
+            grade.pct_change
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_study, StudyConfig};
+    use sfr_classify::{ClassifyConfig, GradeConfig};
+    use sfr_power_model::MonteCarloConfig;
+
+    fn quick_study() -> Study {
+        let emitted = sfr_benchmarks::poly(4).expect("builds");
+        let cfg = StudyConfig {
+            classify: ClassifyConfig {
+                test_patterns: 240,
+                ..Default::default()
+            },
+            grade: GradeConfig {
+                mc: MonteCarloConfig {
+                    rel_tolerance: 0.08,
+                    min_batches: 2,
+                    max_batches: 3,
+                },
+                patterns_per_batch: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        run_study("poly", &emitted, &cfg).expect("study runs")
+    }
+
+    #[test]
+    fn fig7_series_and_renders() {
+        let study = quick_study();
+        let fig = Fig7Series::from_study(&study, 5.0);
+        assert_eq!(
+            fig.select_faults.len() + fig.load_faults.len(),
+            study.classification.sfr_count()
+        );
+        // Sorted ascending within groups.
+        for w in fig.select_faults.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        let ascii = fig.render_ascii(16);
+        assert!(ascii.contains("poly"));
+        assert!(ascii.contains("detected"));
+        let csv = fig.render_csv();
+        assert!(csv.starts_with("group,index"));
+        assert_eq!(
+            csv.lines().count(),
+            1 + study.classification.sfr_count()
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let study = quick_study();
+        let t2 = render_table2(std::slice::from_ref(&study));
+        assert!(t2.contains("poly"));
+        assert!(t2.contains("%Faults SFR"));
+        let t1 = render_table1(&study, 5);
+        assert!(t1.contains("fault-free"));
+        assert!(t1.contains("fault 1"));
+    }
+
+    #[test]
+    fn effect_descriptions_read_like_the_paper() {
+        let study = quick_study();
+        let any_load_effect = study
+            .classification
+            .sfr()
+            .flat_map(|f| f.effects.iter())
+            .find(|e| {
+                study.system.datapath.control()[e.line].kind() == CtrlKind::Load
+            });
+        if let Some(e) = any_load_effect {
+            let s = describe_effect(&study.system, e);
+            assert!(s.contains("load in"), "got: {s}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The fault-free reference trace of an integrated test session.
+//!
+//! A test session is a sequence of *runs*: the tester resets the pair,
+//! lets the computation execute with TPGR data on the inputs, observes
+//! the data outputs every cycle, and resets again. Run boundaries are
+//! fixed by simulating the fault-free system once (the test program a
+//! real tester would replay); faulty circuits are then compared
+//! cycle-for-cycle against this trace.
+
+use crate::system::System;
+use sfr_fsm::StateId;
+use sfr_netlist::{CycleSim, Logic};
+use sfr_tpg::TestSet;
+
+/// One run within a session (a reset-to-reset window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Index of the run's first cycle in the session.
+    pub start: usize,
+    /// Number of cycles.
+    pub len: usize,
+}
+
+/// Session shaping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Hard per-run cycle limit (loop guard for data that never exits).
+    pub max_cycles_per_run: usize,
+    /// Cycles to keep observing after the controller reaches HOLD.
+    pub hold_cycles: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_cycles_per_run: 200,
+            hold_cycles: 2,
+        }
+    }
+}
+
+/// The fault-free session trace.
+#[derive(Debug, Clone)]
+pub struct GoldenTrace {
+    /// Run boundaries.
+    pub runs: Vec<RunSpec>,
+    /// The pattern applied in each cycle.
+    pub patterns: Vec<u64>,
+    /// Settled primary-output values per cycle.
+    pub outputs: Vec<Vec<Logic>>,
+    /// Settled control-word values per cycle (controller output nets).
+    pub ctrl: Vec<Vec<Logic>>,
+    /// Decoded controller state per cycle (`None` if undecodable).
+    pub states: Vec<Option<StateId>>,
+}
+
+impl GoldenTrace {
+    /// Total cycles in the session.
+    pub fn cycles(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// Simulates the fault-free system over a test set, fixing the session's
+/// run boundaries.
+///
+/// Each run starts from a tester reset (controller in its reset state,
+/// datapath registers unknown — real silicon powers up to arbitrary
+/// values, and `X` is the simulator's sound abstraction of that). One
+/// pattern is consumed per cycle; a run ends `hold_cycles` after the
+/// controller reaches HOLD (or at the loop-guard limit), and the next
+/// run begins on the following pattern. Trailing patterns too few to
+/// start a meaningful run are still consumed (a short final run).
+pub fn golden_trace(sys: &System, ts: &TestSet, cfg: &RunConfig) -> GoldenTrace {
+    assert_eq!(
+        ts.width(),
+        sys.pattern_width(),
+        "test set width must equal ports × datapath width"
+    );
+    let mut trace = GoldenTrace {
+        runs: Vec::new(),
+        patterns: Vec::new(),
+        outputs: Vec::new(),
+        ctrl: Vec::new(),
+        states: Vec::new(),
+    };
+    let mut sim = CycleSim::new(&sys.netlist);
+    let mut idx = 0usize;
+    let hold = sys.meta.hold_state();
+
+    while idx < ts.len() {
+        let start = trace.patterns.len();
+        sys.reset_sim(&mut sim, Logic::X);
+        let mut in_hold_for = 0usize;
+        let mut len = 0usize;
+        while idx < ts.len() && len < cfg.max_cycles_per_run {
+            let pat = ts.patterns()[idx];
+            idx += 1;
+            len += 1;
+            sys.apply_pattern(&mut sim, pat);
+            sim.eval();
+            trace.patterns.push(pat);
+            trace.outputs.push(sim.outputs());
+            trace.ctrl.push(
+                sys.ctrl
+                    .output_nets
+                    .iter()
+                    .map(|&n| sim.value(n))
+                    .collect(),
+            );
+            let st = sys.decode_state(&sim);
+            trace.states.push(st);
+            sim.clock();
+            if st == Some(hold) {
+                in_hold_for += 1;
+                if in_hold_for > cfg.hold_cycles {
+                    break;
+                }
+            }
+        }
+        trace.runs.push(RunSpec { start, len });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests::toy_system;
+    use sfr_netlist::logic_to_u64;
+
+    #[test]
+    fn golden_trace_partitions_patterns_into_runs() {
+        let sys = toy_system();
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 60, 0xACE1).unwrap();
+        let trace = golden_trace(&sys, &ts, &RunConfig::default());
+        assert_eq!(trace.cycles(), 60);
+        // toy: RESET, CS1..CS3, HOLD + 2 extra hold cycles = 7 cycles/run.
+        assert!(trace.runs.len() >= 8);
+        let total: usize = trace.runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 60);
+        // Runs are contiguous.
+        let mut expect = 0;
+        for r in &trace.runs {
+            assert_eq!(r.start, expect);
+            expect += r.len;
+        }
+    }
+
+    #[test]
+    fn golden_outputs_settle_to_computation_results() {
+        let sys = toy_system();
+        // One fixed pattern: a=3, b=4 always → s=15 at HOLD.
+        let ts = TestSet::from_patterns(8, vec![3 | 4 << 4; 14]);
+        let trace = golden_trace(&sys, &ts, &RunConfig::default());
+        let hold = sys.meta.hold_state();
+        let hold_cycles: Vec<usize> = (0..trace.cycles())
+            .filter(|&c| trace.states[c] == Some(hold))
+            .collect();
+        assert!(!hold_cycles.is_empty());
+        for c in hold_cycles {
+            assert_eq!(logic_to_u64(&trace.outputs[c]), Some(15));
+        }
+    }
+
+    #[test]
+    fn golden_ctrl_trace_is_fully_known() {
+        let sys = toy_system();
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 30, 7).unwrap();
+        let trace = golden_trace(&sys, &ts, &RunConfig::default());
+        for (c, word) in trace.ctrl.iter().enumerate() {
+            for v in word {
+                assert!(v.is_known(), "control X at cycle {c}");
+            }
+        }
+        // States always decodable in the fault-free machine.
+        assert!(trace.states.iter().all(|s| s.is_some()));
+    }
+}

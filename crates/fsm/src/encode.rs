@@ -1,0 +1,200 @@
+//! State assignment (encoding) for FSM synthesis.
+//!
+//! The paper's controllers were synthesized "using a finite state machine
+//! implementation" by the COMPASS flow; the encoding determines the
+//! controller's gate structure and therefore its stuck-at fault universe.
+//! Three standard encodings are provided; the ablation bench
+//! `ablation_encoding` measures how the choice moves the SFR statistics.
+
+use crate::spec::{FsmSpec, StateId};
+use std::fmt;
+
+/// A state-assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Sequential binary codes (state `i` gets code `i`).
+    #[default]
+    Binary,
+    /// Gray codes (successive state indices differ in one bit).
+    Gray,
+    /// One-hot (one flip-flop per state).
+    OneHot,
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Encoding::Binary => "binary",
+            Encoding::Gray => "gray",
+            Encoding::OneHot => "one-hot",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An [`FsmSpec`] with a concrete state assignment.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_fsm::{Encoding, EncodedFsm, FsmSpecBuilder, StateId, Tri};
+///
+/// # fn main() -> Result<(), sfr_fsm::FsmError> {
+/// let mut b = FsmSpecBuilder::new("m", 0, vec!["C".into()]);
+/// let s0 = b.state("S0", vec![Tri::Zero]);
+/// let s1 = b.state("S1", vec![Tri::One]);
+/// let s2 = b.state("S2", vec![Tri::X]);
+/// for s in [s0, s1, s2] { b.transition(s, &[], s0); }
+/// let spec = b.finish()?;
+///
+/// let enc = EncodedFsm::new(spec, Encoding::Gray);
+/// assert_eq!(enc.state_bits(), 2);
+/// assert_eq!(enc.code(StateId(2)), 0b11); // gray: 00, 01, 11
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncodedFsm {
+    spec: FsmSpec,
+    encoding: Encoding,
+    state_bits: usize,
+    codes: Vec<u32>,
+}
+
+impl EncodedFsm {
+    /// Encodes a specification.
+    pub fn new(spec: FsmSpec, encoding: Encoding) -> Self {
+        let n = spec.state_count();
+        let (state_bits, codes) = match encoding {
+            Encoding::Binary => {
+                let bits = bits_for(n);
+                (bits, (0..n as u32).collect())
+            }
+            Encoding::Gray => {
+                let bits = bits_for(n);
+                (bits, (0..n as u32).map(|i| i ^ (i >> 1)).collect())
+            }
+            Encoding::OneHot => (n, (0..n).map(|i| 1u32 << i).collect()),
+        };
+        EncodedFsm {
+            spec,
+            encoding,
+            state_bits,
+            codes,
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &FsmSpec {
+        &self.spec
+    }
+
+    /// The encoding used.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Number of state flip-flops.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// The code of a state.
+    pub fn code(&self, s: StateId) -> u32 {
+        self.codes[s.0]
+    }
+
+    /// The reset state's code (state 0).
+    pub fn reset_code(&self) -> u32 {
+        self.codes[0]
+    }
+
+    /// The state carrying a code, if any.
+    pub fn decode(&self, code: u32) -> Option<StateId> {
+        self.codes.iter().position(|&c| c == code).map(StateId)
+    }
+
+    /// Iterates the code values that correspond to no state — the
+    /// synthesis don't-care set.
+    pub fn unused_codes(&self) -> Vec<u32> {
+        (0..1u64 << self.state_bits)
+            .map(|c| c as u32)
+            .filter(|&c| self.decode(c).is_none())
+            .collect()
+    }
+}
+
+fn bits_for(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FsmSpecBuilder, Tri};
+
+    fn spec(n: usize) -> FsmSpec {
+        let mut b = FsmSpecBuilder::new("s", 0, vec!["C".into()]);
+        let states: Vec<StateId> = (0..n).map(|i| b.state(format!("S{i}"), vec![Tri::X])).collect();
+        for &s in &states {
+            b.transition(s, &[], states[0]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn binary_codes_are_sequential() {
+        let e = EncodedFsm::new(spec(5), Encoding::Binary);
+        assert_eq!(e.state_bits(), 3);
+        assert_eq!(e.code(StateId(4)), 4);
+        assert_eq!(e.unused_codes(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn gray_codes_differ_in_one_bit() {
+        let e = EncodedFsm::new(spec(8), Encoding::Gray);
+        for i in 0..7 {
+            let a = e.code(StateId(i));
+            let b = e.code(StateId(i + 1));
+            assert_eq!((a ^ b).count_ones(), 1, "gray adjacency at {i}");
+        }
+        assert!(e.unused_codes().is_empty());
+    }
+
+    #[test]
+    fn one_hot_codes() {
+        let e = EncodedFsm::new(spec(4), Encoding::OneHot);
+        assert_eq!(e.state_bits(), 4);
+        assert_eq!(e.code(StateId(2)), 0b0100);
+        assert_eq!(e.unused_codes().len(), 16 - 4);
+        assert_eq!(e.reset_code(), 1);
+    }
+
+    #[test]
+    fn decode_inverts_code() {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let e = EncodedFsm::new(spec(6), enc);
+            for s in 0..6 {
+                assert_eq!(e.decode(e.code(StateId(s))), Some(StateId(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_state_machine_gets_one_bit() {
+        let e = EncodedFsm::new(spec(1), Encoding::Binary);
+        assert_eq!(e.state_bits(), 1);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        for enc in [Encoding::Binary, Encoding::Gray, Encoding::OneHot] {
+            let e = EncodedFsm::new(spec(10), enc);
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..10 {
+                assert!(seen.insert(e.code(StateId(s))), "{enc} duplicates");
+            }
+        }
+    }
+}

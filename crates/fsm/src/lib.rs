@@ -1,0 +1,41 @@
+//! FSM controller specification, encoding and synthesis.
+//!
+//! The controller half of the paper's controller–datapath pairs: a Moore
+//! machine whose per-state control word drives the datapath's register
+//! load and multiplexer select lines, with three-valued output
+//! specifications (don't-cares on inactive steps). The synthesis path —
+//! [`FsmSpec`] → [`EncodedFsm`] → [`synthesize_into`] — produces the
+//! gate-level controller whose stuck-at faults the paper classifies.
+//!
+//! # Example
+//!
+//! ```
+//! use sfr_fsm::{Encoding, EncodedFsm, FillPolicy, FsmSpecBuilder, Tri};
+//! use sfr_fsm::synthesize_standalone;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FsmSpecBuilder::new("two_step", 0, vec!["REG1".into(), "MS1".into()]);
+//! let s0 = b.state("CS1", vec![Tri::One, Tri::Zero]);
+//! let s1 = b.state("CS2", vec![Tri::Zero, Tri::X]);
+//! b.transition(s0, &[], s1);
+//! b.transition(s1, &[], s0);
+//! let spec = b.finish()?;
+//!
+//! let fsm = EncodedFsm::new(spec, Encoding::Binary);
+//! let (netlist, ctrl) = synthesize_standalone(&fsm, FillPolicy::Synthesis)?;
+//! assert_eq!(ctrl.output_nets.len(), 2);
+//! assert!(netlist.gate_count() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod spec;
+mod synth;
+
+pub use encode::{EncodedFsm, Encoding};
+pub use spec::{FsmError, FsmSpec, FsmSpecBuilder, StateId, Transition, Tri};
+pub use synth::{synthesize_into, synthesize_standalone, FillPolicy, SynthesizedController};

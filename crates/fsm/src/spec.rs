@@ -1,0 +1,407 @@
+//! Symbolic (pre-synthesis) finite state machine controllers.
+//!
+//! The controller of a controller–datapath pair is a Moore FSM: each state
+//! asserts a control word over the datapath's load and select lines, and
+//! transitions are guarded by datapath status bits (comparison results).
+//! Control outputs are specified in three-valued form — `0`, `1`, or
+//! *don't care* — because inactive-step select lines genuinely are don't
+//! cares at specification time (paper Section 3.1), and how synthesis fills
+//! them decides which faults end up system-functionally redundant.
+
+use std::fmt;
+
+/// Index of a controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+/// A three-valued control output specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tri {
+    /// Must be 0.
+    Zero,
+    /// Must be 1.
+    One,
+    /// Don't care — synthesis chooses.
+    X,
+}
+
+impl Tri {
+    /// Converts a concrete bool.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Tri::One
+        } else {
+            Tri::Zero
+        }
+    }
+
+    /// `Some(bool)` for specified values, `None` for don't care.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tri::Zero => Some(false),
+            Tri::One => Some(true),
+            Tri::X => None,
+        }
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Tri::Zero => '0',
+            Tri::One => '1',
+            Tri::X => '-',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A guarded transition: taken when every `(status_index, polarity)`
+/// literal holds. An empty guard always matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Conjunction of status literals.
+    pub guard: Vec<(usize, bool)>,
+    /// Destination state.
+    pub to: StateId,
+}
+
+/// Errors detected while validating an [`FsmSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmError {
+    /// The machine has no states.
+    Empty,
+    /// A control word has the wrong width.
+    OutputWidth {
+        /// The offending state.
+        state: String,
+    },
+    /// A transition references a nonexistent state or status bit.
+    DanglingTransition {
+        /// The source state.
+        state: String,
+    },
+    /// Some status assignment matches no transition of a state.
+    IncompleteTransitions {
+        /// The state lacking a successor.
+        state: String,
+        /// A status assignment (bit `i` = status `i`) with no match.
+        status: u32,
+    },
+    /// Too many status inputs for exhaustive validation.
+    TooManyStatus {
+        /// The requested number of status bits.
+        n: usize,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::Empty => write!(f, "state machine has no states"),
+            FsmError::OutputWidth { state } => {
+                write!(f, "state `{state}` has a mis-sized control word")
+            }
+            FsmError::DanglingTransition { state } => {
+                write!(f, "state `{state}` has a transition to nowhere")
+            }
+            FsmError::IncompleteTransitions { state, status } => write!(
+                f,
+                "state `{state}` has no transition for status {status:#b}"
+            ),
+            FsmError::TooManyStatus { n } => {
+                write!(f, "{n} status inputs exceed the supported 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+/// A validated Moore FSM controller specification.
+///
+/// State 0 is the reset state. Transitions are ordered: the first guard
+/// that matches the current status wins (validation guarantees at least
+/// one always matches).
+///
+/// # Examples
+///
+/// ```
+/// use sfr_fsm::{FsmSpecBuilder, StateId, Tri};
+///
+/// # fn main() -> Result<(), sfr_fsm::FsmError> {
+/// // Two-state toggle asserting one load line in state RUN.
+/// let mut b = FsmSpecBuilder::new("toggle", 1, vec!["LD".into()]);
+/// let idle = b.state("IDLE", vec![Tri::Zero]);
+/// let run = b.state("RUN", vec![Tri::One]);
+/// b.transition(idle, &[(0, true)], run); // go on status
+/// b.transition(idle, &[], idle);
+/// b.transition(run, &[], idle);
+/// let fsm = b.finish()?;
+/// assert_eq!(fsm.next_state(idle, 0b1), run);
+/// assert_eq!(fsm.next_state(idle, 0b0), idle);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsmSpec {
+    name: String,
+    n_status: usize,
+    control_names: Vec<String>,
+    state_names: Vec<String>,
+    outputs: Vec<Vec<Tri>>,
+    transitions: Vec<Vec<Transition>>,
+}
+
+impl FsmSpec {
+    /// The machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of status inputs.
+    pub fn n_status(&self) -> usize {
+        self.n_status
+    }
+
+    /// Control line names (the control word layout).
+    pub fn control_names(&self) -> &[String] {
+        &self.control_names
+    }
+
+    /// Control word width.
+    pub fn control_width(&self) -> usize {
+        self.control_names.len()
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// A state's name.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.state_names[s.0]
+    }
+
+    /// All state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.state_names.len()).map(StateId)
+    }
+
+    /// The three-valued control word asserted in a state.
+    pub fn output(&self, s: StateId) -> &[Tri] {
+        &self.outputs[s.0]
+    }
+
+    /// The transitions out of a state, in priority order.
+    pub fn transitions(&self, s: StateId) -> &[Transition] {
+        &self.transitions[s.0]
+    }
+
+    /// The successor of `s` under the given status assignment (bit `i` of
+    /// `status` is status input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for validated machines: validation guarantees a
+    /// matching transition exists.
+    pub fn next_state(&self, s: StateId, status: u32) -> StateId {
+        self.transitions[s.0]
+            .iter()
+            .find(|t| {
+                t.guard
+                    .iter()
+                    .all(|&(bit, pol)| (status >> bit & 1 == 1) == pol)
+            })
+            .map(|t| t.to)
+            .expect("validated FSM has complete transitions")
+    }
+
+    /// Looks up a control line index by name.
+    pub fn find_control(&self, name: &str) -> Option<usize> {
+        self.control_names.iter().position(|n| n == name)
+    }
+}
+
+/// Builder for [`FsmSpec`]. See [`FsmSpec`] for an example.
+#[derive(Debug)]
+pub struct FsmSpecBuilder {
+    spec: FsmSpec,
+}
+
+impl FsmSpecBuilder {
+    /// Starts a machine with `n_status` status inputs and the given
+    /// control word layout.
+    pub fn new(name: impl Into<String>, n_status: usize, control_names: Vec<String>) -> Self {
+        FsmSpecBuilder {
+            spec: FsmSpec {
+                name: name.into(),
+                n_status,
+                control_names,
+                state_names: Vec::new(),
+                outputs: Vec::new(),
+                transitions: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a state asserting the given control word. The first state
+    /// added is the reset state.
+    pub fn state(&mut self, name: impl Into<String>, output: Vec<Tri>) -> StateId {
+        self.spec.state_names.push(name.into());
+        self.spec.outputs.push(output);
+        self.spec.transitions.push(Vec::new());
+        StateId(self.spec.state_names.len() - 1)
+    }
+
+    /// Adds a guarded transition (appended at the lowest priority so far).
+    pub fn transition(&mut self, from: StateId, guard: &[(usize, bool)], to: StateId) {
+        self.spec.transitions[from.0].push(Transition {
+            guard: guard.to_vec(),
+            to,
+        });
+    }
+
+    /// Validates the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`FsmError`] if the machine is empty, a control word is
+    /// mis-sized, a transition dangles, or some state lacks a successor
+    /// for some status assignment.
+    pub fn finish(self) -> Result<FsmSpec, FsmError> {
+        let spec = self.spec;
+        if spec.state_names.is_empty() {
+            return Err(FsmError::Empty);
+        }
+        if spec.n_status > 16 {
+            return Err(FsmError::TooManyStatus { n: spec.n_status });
+        }
+        for (i, out) in spec.outputs.iter().enumerate() {
+            if out.len() != spec.control_names.len() {
+                return Err(FsmError::OutputWidth {
+                    state: spec.state_names[i].clone(),
+                });
+            }
+        }
+        for (i, ts) in spec.transitions.iter().enumerate() {
+            for t in ts {
+                if t.to.0 >= spec.state_names.len()
+                    || t.guard.iter().any(|&(bit, _)| bit >= spec.n_status)
+                {
+                    return Err(FsmError::DanglingTransition {
+                        state: spec.state_names[i].clone(),
+                    });
+                }
+            }
+            // Completeness over all status assignments.
+            for status in 0..(1u32 << spec.n_status) {
+                let matched = ts.iter().any(|t| {
+                    t.guard
+                        .iter()
+                        .all(|&(bit, pol)| (status >> bit & 1 == 1) == pol)
+                });
+                if !matched {
+                    return Err(FsmError::IncompleteTransitions {
+                        state: spec.state_names[i].clone(),
+                        status,
+                    });
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> FsmSpec {
+        let mut b = FsmSpecBuilder::new("t", 1, vec!["LD".into()]);
+        let s0 = b.state("A", vec![Tri::Zero]);
+        let s1 = b.state("B", vec![Tri::One]);
+        b.transition(s0, &[(0, true)], s1);
+        b.transition(s0, &[], s0);
+        b.transition(s1, &[], s0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn next_state_respects_priority() {
+        let f = toggle();
+        assert_eq!(f.next_state(StateId(0), 1), StateId(1));
+        assert_eq!(f.next_state(StateId(0), 0), StateId(0));
+        assert_eq!(f.next_state(StateId(1), 1), StateId(0));
+    }
+
+    #[test]
+    fn rejects_empty_machine() {
+        let b = FsmSpecBuilder::new("e", 0, vec![]);
+        assert!(matches!(b.finish(), Err(FsmError::Empty)));
+    }
+
+    #[test]
+    fn rejects_incomplete_transitions() {
+        let mut b = FsmSpecBuilder::new("i", 1, vec!["LD".into()]);
+        let s0 = b.state("A", vec![Tri::Zero]);
+        b.transition(s0, &[(0, true)], s0); // nothing for status = 0
+        assert!(matches!(
+            b.finish(),
+            Err(FsmError::IncompleteTransitions { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_output_width() {
+        let mut b = FsmSpecBuilder::new("w", 0, vec!["A".into(), "B".into()]);
+        let s0 = b.state("S", vec![Tri::Zero]); // width 1, expected 2
+        b.transition(s0, &[], s0);
+        assert!(matches!(b.finish(), Err(FsmError::OutputWidth { .. })));
+    }
+
+    #[test]
+    fn rejects_dangling_transition() {
+        let mut b = FsmSpecBuilder::new("d", 0, vec![]);
+        let s0 = b.state("S", vec![]);
+        b.transition(s0, &[], StateId(9));
+        assert!(matches!(
+            b.finish(),
+            Err(FsmError::DanglingTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_guard_on_missing_status() {
+        let mut b = FsmSpecBuilder::new("d", 1, vec![]);
+        let s0 = b.state("S", vec![]);
+        b.transition(s0, &[(3, true)], s0);
+        b.transition(s0, &[], s0);
+        assert!(matches!(
+            b.finish(),
+            Err(FsmError::DanglingTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn tri_round_trips() {
+        assert_eq!(Tri::from_bool(true), Tri::One);
+        assert_eq!(Tri::One.to_bool(), Some(true));
+        assert_eq!(Tri::X.to_bool(), None);
+        assert_eq!(Tri::X.to_string(), "-");
+    }
+
+    #[test]
+    fn accessors() {
+        let f = toggle();
+        assert_eq!(f.state_count(), 2);
+        assert_eq!(f.control_width(), 1);
+        assert_eq!(f.find_control("LD"), Some(0));
+        assert_eq!(f.find_control("NOPE"), None);
+        assert_eq!(f.state_name(StateId(1)), "B");
+        assert_eq!(f.output(StateId(1)), &[Tri::One]);
+        assert_eq!(f.states().count(), 2);
+        assert_eq!(f.transitions(StateId(0)).len(), 2);
+    }
+}

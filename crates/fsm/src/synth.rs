@@ -1,0 +1,463 @@
+//! Controller synthesis: encoded FSM → gate-level netlist.
+//!
+//! Per-output exact two-level minimization (Quine–McCluskey from
+//! [`sfr_logic`]) followed by technology mapping with shared input
+//! inverters — the structure of a PLA-style standard-cell controller.
+//! Unused state codes are don't-cares for every function; specification
+//! don't-cares on control outputs are resolved by the [`FillPolicy`],
+//! which is the design choice the paper calls out: filling for minimum
+//! logic (the default, matching the paper's deliberately *not*
+//! power-optimized controllers) versus pinning inactive values.
+
+use crate::encode::{EncodedFsm, Encoding};
+use crate::spec::Tri;
+use sfr_logic::{minimize, Cover, Cube, SopMapper};
+use sfr_netlist::{CellKind, GateId, NetId, NetlistBuilder};
+
+/// How specification don't-cares on control outputs are filled.
+///
+/// The choice decides the population of system-functionally redundant
+/// faults: [`FillPolicy::Synthesis`] hands the don't-cares to the exact
+/// minimizer, whose prime covers absorb them completely — any
+/// fault-induced flip then lands on a *care* and is SFI. A 1990s flow
+/// like the paper's COMPASS instead committed the don't-cares to
+/// whatever values fell out of synthesis, leaving slack a fault can
+/// flip harmlessly; [`FillPolicy::Arbitrary`] models exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FillPolicy {
+    /// Give the don't-cares to the logic minimizer (area-minimal; the
+    /// strongest possible absorption of don't-cares).
+    #[default]
+    Synthesis,
+    /// Pin don't-cares to 0 (keeps inactive select lines parked low —
+    /// the power-friendly fill the paper deliberately avoided).
+    Zeros,
+    /// Pin don't-cares to 1.
+    Ones,
+    /// Pin each don't-care to a deterministic pseudorandom constant
+    /// derived from the seed — the paper's "the controller may have been
+    /// designed without taking power into account" (Section 4).
+    Arbitrary(u32),
+}
+
+impl std::fmt::Display for FillPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FillPolicy::Synthesis => f.write_str("synthesis"),
+            FillPolicy::Zeros => f.write_str("zeros"),
+            FillPolicy::Ones => f.write_str("ones"),
+            FillPolicy::Arbitrary(seed) => write!(f, "arbitrary({seed:#x})"),
+        }
+    }
+}
+
+/// What [`FillPolicy::Arbitrary`] does with one don't-care.
+enum ArbitraryFill {
+    /// Leave it to the minimizer (the flow absorbed this one).
+    Absorb,
+    /// Commit it to a constant.
+    Pin(bool),
+}
+
+/// Deterministic pseudorandom disposition of a don't-care for
+/// [`FillPolicy::Arbitrary`].
+///
+/// A heuristic multi-level flow (like the paper's COMPASS) absorbs many
+/// don't-cares into its covers but commits the rest to whatever constant
+/// falls out of synthesis — "the select lines will be either 0s or 1s"
+/// (Section 3.1). Five of eight don't-cares are absorbed; committed
+/// ones are 0 two times out of three (lines park low more often than
+/// high).
+fn arbitrary_fill(seed: u32, code: u32, line: usize) -> ArbitraryFill {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(code.wrapping_mul(0x85EB_CA6B))
+        .wrapping_add((line as u32).wrapping_mul(0xC2B2_AE35));
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x7FEB_352D);
+    h ^= h >> 15;
+    match h & 7 {
+        0..=4 => ArbitraryFill::Absorb,
+        5..=6 => ArbitraryFill::Pin(false),
+        _ => ArbitraryFill::Pin(true),
+    }
+}
+
+/// Handles into a synthesized controller.
+#[derive(Debug, Clone)]
+pub struct SynthesizedController {
+    /// The state flip-flops, LSB first.
+    pub state_gates: Vec<GateId>,
+    /// The state Q nets, LSB first.
+    pub state_nets: Vec<NetId>,
+    /// The control word nets, one per control line of the spec.
+    pub output_nets: Vec<NetId>,
+    /// Gate-index range `[first, last)` occupied by the controller inside
+    /// the enclosing netlist — the paper's fault universe is exactly the
+    /// stuck-at faults on these gates.
+    pub gate_range: (usize, usize),
+    /// The *realized* control word per state after don't-care fill: what
+    /// the synthesized logic actually emits (`realized_outputs[state][line]`).
+    pub realized_outputs: Vec<Vec<bool>>,
+}
+
+impl SynthesizedController {
+    /// Number of gates in the controller.
+    pub fn gate_count(&self) -> usize {
+        self.gate_range.1 - self.gate_range.0
+    }
+
+    /// Whether a gate index belongs to the controller.
+    pub fn contains_gate(&self, g: GateId) -> bool {
+        (self.gate_range.0..self.gate_range.1).contains(&g.index())
+    }
+}
+
+/// Synthesizes `fsm` into the builder, reading status inputs from
+/// `status_nets`.
+///
+/// The controller's gates are appended contiguously; no other gates may
+/// be interleaved by the caller between entry and return (the returned
+/// [`SynthesizedController::gate_range`] assumes contiguity).
+///
+/// State flip-flops are plain [`CellKind::Dff`]s; reset is performed by
+/// the simulator loading [`EncodedFsm::reset_code`] into them (modelling
+/// a global reset pin, which keeps reset wiring out of the stuck-at fault
+/// universe — see `DESIGN.md`).
+///
+/// # Panics
+///
+/// Panics if `status_nets.len()` differs from the spec's status count.
+pub fn synthesize_into(
+    b: &mut NetlistBuilder,
+    fsm: &EncodedFsm,
+    status_nets: &[NetId],
+    fill: FillPolicy,
+    prefix: &str,
+) -> SynthesizedController {
+    let spec = fsm.spec();
+    assert_eq!(
+        status_nets.len(),
+        spec.n_status(),
+        "status net count mismatch"
+    );
+    let sb = fsm.state_bits();
+    let first_gate = b.gate_count();
+
+    // State Q nets first; everything reads them.
+    let state_nets: Vec<NetId> = (0..sb)
+        .map(|i| b.net(format!("{prefix}_sb{i}")))
+        .collect();
+
+    let mut mapper = SopMapper::new();
+
+    // --- Next-state logic over [state bits ++ status bits]. ---
+    //
+    // Dense encodings go through exact minimization over the full code
+    // space. One-hot state spaces are far too large to enumerate (and
+    // real flows never do): their next-state logic is built directly as
+    // a sum over incoming transitions, with only the status dimension
+    // minimized.
+    let n_vars = sb + spec.n_status();
+    let ns_covers: Vec<Cover> = if fsm.encoding() == Encoding::OneHot {
+        let mut covers: Vec<Vec<Cube>> = vec![Vec::new(); sb];
+        for s in spec.states() {
+            // Group the status assignments by destination state.
+            let mut by_target: std::collections::BTreeMap<usize, Vec<u32>> =
+                std::collections::BTreeMap::new();
+            for status in 0..(1u32 << spec.n_status()) {
+                by_target
+                    .entry(spec.next_state(s, status).0)
+                    .or_default()
+                    .push(status);
+            }
+            let state_bit = s.0; // one-hot: state s is bit s
+            for (target, statuses) in by_target {
+                let status_cover = minimize(spec.n_status(), &statuses, &[]);
+                let target_bit = fsm
+                    .code(crate::spec::StateId(target))
+                    .trailing_zeros() as usize;
+                if status_cover.is_constant_true() {
+                    covers[target_bit]
+                        .push(Cube::new(1u32 << state_bit, 1u32 << state_bit));
+                    continue;
+                }
+                for sc in status_cover.cubes() {
+                    let care = (1u32 << state_bit) | sc.care() << sb;
+                    let value = (1u32 << state_bit) | sc.value() << sb;
+                    covers[target_bit].push(Cube::new(care, value));
+                }
+            }
+        }
+        covers
+            .into_iter()
+            .map(|cubes| Cover::from_cubes(n_vars, cubes))
+            .collect()
+    } else {
+        let mut ns_on: Vec<Vec<u32>> = vec![Vec::new(); sb];
+        let mut ns_dc: Vec<Vec<u32>> = vec![Vec::new(); sb];
+        for status in 0..(1u32 << spec.n_status()) {
+            for code in 0..(1u32 << sb) {
+                let m = code | status << sb;
+                match fsm.decode(code) {
+                    Some(s) => {
+                        let next = fsm.code(spec.next_state(s, status));
+                        for (k, on) in ns_on.iter_mut().enumerate() {
+                            if next >> k & 1 == 1 {
+                                on.push(m);
+                            }
+                        }
+                    }
+                    None => {
+                        for dc in ns_dc.iter_mut() {
+                            dc.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        (0..sb)
+            .map(|k| minimize(n_vars, &ns_on[k], &ns_dc[k]))
+            .collect()
+    };
+    let mut ns_inputs = state_nets.clone();
+    ns_inputs.extend_from_slice(status_nets);
+    let d_nets: Vec<NetId> = ns_covers
+        .iter()
+        .enumerate()
+        .map(|(k, cover)| mapper.map(b, cover, &ns_inputs, &format!("{prefix}_ns{k}")))
+        .collect();
+
+    // --- Output logic (Moore: over state bits only). ---
+    let unused = fsm.unused_codes();
+    let mut output_nets = Vec::with_capacity(spec.control_width());
+    let mut covers = Vec::with_capacity(spec.control_width());
+    for j in 0..spec.control_width() {
+        let mut on_states: Vec<u32> = Vec::new();
+        let mut dc_states: Vec<u32> = Vec::new();
+        for s in spec.states() {
+            let code = fsm.code(s);
+            match (spec.output(s)[j], fill) {
+                (Tri::One, _) | (Tri::X, FillPolicy::Ones) => on_states.push(code),
+                (Tri::X, FillPolicy::Synthesis) => dc_states.push(code),
+                (Tri::X, FillPolicy::Arbitrary(seed)) => match arbitrary_fill(seed, code, j) {
+                    ArbitraryFill::Absorb => dc_states.push(code),
+                    ArbitraryFill::Pin(true) => on_states.push(code),
+                    ArbitraryFill::Pin(false) => {}
+                },
+                (Tri::Zero, _) | (Tri::X, FillPolicy::Zeros) => {}
+            }
+        }
+        let cover = if fsm.encoding() == Encoding::OneHot {
+            // Direct sum of state bits (one positive literal per
+            // asserting state) — the canonical one-hot output plane.
+            let cubes = on_states
+                .iter()
+                .map(|&code| Cube::new(code, code))
+                .collect();
+            Cover::from_cubes(sb, cubes)
+        } else {
+            let mut dc = unused.clone();
+            dc.extend_from_slice(&dc_states);
+            minimize(sb, &on_states, &dc)
+        };
+        let name = &spec.control_names()[j];
+        let net = mapper.map(b, &cover, &state_nets, &format!("{prefix}_{name}"));
+        output_nets.push(net);
+        covers.push(cover);
+    }
+
+    // --- State flip-flops. ---
+    let state_gates: Vec<GateId> = (0..sb)
+        .map(|k| {
+            b.gate(
+                CellKind::Dff,
+                format!("{prefix}_ff{k}"),
+                &[d_nets[k]],
+                state_nets[k],
+            )
+        })
+        .collect();
+
+    let last_gate = b.gate_count();
+
+    // Realized outputs: evaluate each cover at each state code.
+    let realized_outputs = spec
+        .states()
+        .map(|s| {
+            let code = fsm.code(s);
+            covers.iter().map(|c| c.eval(code)).collect()
+        })
+        .collect();
+
+    SynthesizedController {
+        state_gates,
+        state_nets,
+        output_nets,
+        gate_range: (first_gate, last_gate),
+        realized_outputs,
+    }
+}
+
+/// Convenience: synthesizes a *standalone* controller netlist whose
+/// primary inputs are the status bits and whose primary outputs are the
+/// control word (useful for inspecting the controller in isolation).
+///
+/// # Errors
+///
+/// Propagates netlist validation errors (which indicate a bug in
+/// synthesis rather than user error).
+pub fn synthesize_standalone(
+    fsm: &EncodedFsm,
+    fill: FillPolicy,
+) -> Result<(sfr_netlist::Netlist, SynthesizedController), sfr_netlist::NetlistError> {
+    let mut b = NetlistBuilder::new(format!("{}_ctrl", fsm.spec().name()));
+    let status: Vec<NetId> = (0..fsm.spec().n_status())
+        .map(|i| b.input(format!("status{i}")))
+        .collect();
+    let ctrl = synthesize_into(&mut b, fsm, &status, fill, "ctl");
+    for &n in &ctrl.output_nets {
+        b.mark_output(n);
+    }
+    Ok((b.finish()?, ctrl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoding;
+    use crate::spec::{FsmSpec, FsmSpecBuilder};
+    use sfr_netlist::{CycleSim, Logic};
+
+    /// A 4-state machine with one status input and a mix of 0/1/X
+    /// outputs, exercising branches and don't-cares.
+    fn sample_spec() -> FsmSpec {
+        let mut b = FsmSpecBuilder::new(
+            "m",
+            1,
+            vec!["LD1".into(), "LD2".into(), "MS1".into()],
+        );
+        let s0 = b.state("RESET", vec![Tri::Zero, Tri::Zero, Tri::X]);
+        let s1 = b.state("CS1", vec![Tri::One, Tri::Zero, Tri::Zero]);
+        let s2 = b.state("CS2", vec![Tri::Zero, Tri::One, Tri::One]);
+        let s3 = b.state("HOLD", vec![Tri::Zero, Tri::Zero, Tri::X]);
+        b.transition(s0, &[], s1);
+        b.transition(s1, &[], s2);
+        b.transition(s2, &[(0, true)], s1); // loop while status
+        b.transition(s2, &[], s3);
+        b.transition(s3, &[], s3);
+        b.finish().unwrap()
+    }
+
+    /// Simulates the synthesized controller and checks next-state and
+    /// output behaviour against the spec for every (state, status) pair.
+    fn verify(encoding: Encoding, fill: FillPolicy) {
+        let fsm = EncodedFsm::new(sample_spec(), encoding);
+        let (nl, ctrl) = synthesize_standalone(&fsm, fill).expect("synthesizable");
+        let mut sim = CycleSim::new(&nl);
+        for s in fsm.spec().states() {
+            for status in 0..2u32 {
+                // Force the state registers to this state's code.
+                let code = fsm.code(s);
+                for (k, &g) in ctrl.state_gates.iter().enumerate() {
+                    sim.set_state(g, Logic::from_bool(code >> k & 1 == 1));
+                }
+                sim.set_inputs(&[Logic::from_bool(status == 1)]);
+                sim.eval();
+                // Outputs must match the realized table and respect the
+                // specification where it is a care.
+                for (j, &net) in ctrl.output_nets.iter().enumerate() {
+                    let got = sim.value(net).to_bool().expect("known output");
+                    assert_eq!(
+                        got, ctrl.realized_outputs[s.0][j],
+                        "realized table mismatch {encoding} {fill} state {s:?} line {j}"
+                    );
+                    if let Some(spec_v) = fsm.spec().output(s)[j].to_bool() {
+                        assert_eq!(got, spec_v, "spec care violated");
+                    }
+                }
+                // Clock and check the next state.
+                sim.clock();
+                sim.eval();
+                let mut next_code = 0u32;
+                for (k, &g) in ctrl.state_gates.iter().enumerate() {
+                    if sim.state(g) == Logic::One {
+                        next_code |= 1 << k;
+                    }
+                }
+                let expect = fsm.code(fsm.spec().next_state(s, status));
+                assert_eq!(
+                    next_code, expect,
+                    "next state mismatch {encoding} {fill} from {s:?} status {status}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_synthesis_matches_spec() {
+        verify(Encoding::Binary, FillPolicy::Synthesis);
+    }
+
+    #[test]
+    fn gray_synthesis_matches_spec() {
+        verify(Encoding::Gray, FillPolicy::Synthesis);
+    }
+
+    #[test]
+    fn one_hot_synthesis_matches_spec() {
+        verify(Encoding::OneHot, FillPolicy::Synthesis);
+    }
+
+    #[test]
+    fn zero_fill_matches_spec() {
+        verify(Encoding::Binary, FillPolicy::Zeros);
+    }
+
+    #[test]
+    fn ones_fill_matches_spec() {
+        verify(Encoding::Binary, FillPolicy::Ones);
+    }
+
+    #[test]
+    fn zero_fill_pins_dont_cares_low() {
+        let fsm = EncodedFsm::new(sample_spec(), Encoding::Binary);
+        let (_, ctrl) = synthesize_standalone(&fsm, FillPolicy::Zeros).unwrap();
+        // MS1 (line 2) is X in RESET and HOLD; zero fill pins it to 0.
+        assert!(!ctrl.realized_outputs[0][2]);
+        assert!(!ctrl.realized_outputs[3][2]);
+    }
+
+    #[test]
+    fn ones_fill_pins_dont_cares_high() {
+        let fsm = EncodedFsm::new(sample_spec(), Encoding::Binary);
+        let (_, ctrl) = synthesize_standalone(&fsm, FillPolicy::Ones).unwrap();
+        assert!(ctrl.realized_outputs[0][2]);
+        assert!(ctrl.realized_outputs[3][2]);
+    }
+
+    #[test]
+    fn gate_range_covers_whole_controller() {
+        let fsm = EncodedFsm::new(sample_spec(), Encoding::Binary);
+        let (nl, ctrl) = synthesize_standalone(&fsm, FillPolicy::Synthesis).unwrap();
+        assert_eq!(ctrl.gate_range.0, 0);
+        assert_eq!(ctrl.gate_range.1, nl.gate_count());
+        assert!(ctrl.gate_count() > 0);
+        for &g in &ctrl.state_gates {
+            assert!(ctrl.contains_gate(g));
+        }
+    }
+
+    #[test]
+    fn synthesis_fill_never_beats_pinned_fills_on_literals() {
+        // The synthesis fill gives the minimizer strictly more freedom, so
+        // its total literal count is never worse than either pinned fill.
+        let fsm = EncodedFsm::new(sample_spec(), Encoding::Binary);
+        let count = |fill| {
+            let (nl, _) = synthesize_standalone(&fsm, fill).unwrap();
+            nl.gate_count()
+        };
+        let syn = count(FillPolicy::Synthesis);
+        assert!(syn <= count(FillPolicy::Zeros).max(count(FillPolicy::Ones)));
+    }
+}

@@ -1,0 +1,586 @@
+//! Resource binding: variables onto registers, operations onto
+//! functional units, and load-line sharing.
+//!
+//! Binding is where the paper's fault behaviour is decided: register
+//! sharing creates the lifespans of Section 3.2, multiplexer sharing
+//! creates the select-line don't-cares of Section 3.1, and shared load
+//! lines (the FACET example) let a single controller fault activate many
+//! registers at once.
+
+use crate::design::{OpId, OpKind, ScheduledDesign, VarId};
+use crate::lifespan::{span_for, spans_conflict, Span, SpanContext};
+use sfr_rtl::FuOp;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors detected while validating a [`Binding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A variable was never bound to a register.
+    UnboundVar {
+        /// The variable's name.
+        var: String,
+    },
+    /// A compute operation was never bound to a functional unit.
+    UnboundOp {
+        /// The operation index.
+        op: usize,
+    },
+    /// Two operations with different [`FuOp`]s share a unit (units are
+    /// fixed-function in this architecture — the controller has no
+    /// opcode lines, only loads and selects).
+    MixedOps {
+        /// The unit's name.
+        fu: String,
+    },
+    /// Two operations on the same unit share a control step.
+    FuStepConflict {
+        /// The unit's name.
+        fu: String,
+        /// The contested step.
+        step: usize,
+    },
+    /// Two variables bound to one register have overlapping lifespans.
+    LifespanConflict {
+        /// The register's name.
+        reg: String,
+        /// First variable.
+        a: String,
+        /// Second variable.
+        b: String,
+    },
+    /// Registers sharing a load line have different load-step sets.
+    LoadGroupMismatch {
+        /// The group's registers.
+        group: Vec<String>,
+    },
+    /// A read of a variable precedes its write in a non-looping design.
+    ReadBeforeWrite {
+        /// The variable's name.
+        var: String,
+    },
+    /// `share_load` named an unknown register.
+    UnknownRegister {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A loop-carry pair was bound to two different registers.
+    CarrySplit {
+        /// The carry source variable.
+        from: String,
+        /// The carry target variable.
+        to: String,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnboundVar { var } => write!(f, "variable `{var}` not bound"),
+            BindError::UnboundOp { op } => write!(f, "operation {op} not bound to a unit"),
+            BindError::MixedOps { fu } => {
+                write!(f, "unit `{fu}` asked to perform different operations")
+            }
+            BindError::FuStepConflict { fu, step } => {
+                write!(f, "unit `{fu}` double-booked in step {step}")
+            }
+            BindError::LifespanConflict { reg, a, b } => {
+                write!(f, "register `{reg}`: lifespans of `{a}` and `{b}` overlap")
+            }
+            BindError::LoadGroupMismatch { group } => {
+                write!(f, "shared load line over {group:?} with unequal load steps")
+            }
+            BindError::ReadBeforeWrite { var } => {
+                write!(f, "`{var}` read before written in a non-looping design")
+            }
+            BindError::UnknownRegister { name } => write!(f, "unknown register `{name}`"),
+            BindError::CarrySplit { from, to } => {
+                write!(f, "carry `{from}` -> `{to}` bound to different registers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// A validated binding for a [`ScheduledDesign`].
+#[derive(Debug, Clone)]
+pub struct Binding {
+    pub(crate) reg_names: Vec<String>,
+    pub(crate) reg_of_var: Vec<usize>,
+    pub(crate) fu_names: Vec<String>,
+    pub(crate) fu_ops: Vec<FuOp>,
+    pub(crate) fu_of_op: Vec<Option<usize>>,
+    /// Partition of register indices into load-line groups.
+    pub(crate) load_groups: Vec<Vec<usize>>,
+    /// Per-register variable lifespans.
+    pub(crate) spans: Vec<Vec<Span>>,
+    /// Per-register load steps.
+    pub(crate) load_steps: Vec<BTreeSet<usize>>,
+}
+
+impl Binding {
+    /// Register names, in binding order.
+    pub fn reg_names(&self) -> &[String] {
+        &self.reg_names
+    }
+
+    /// The register index a variable is bound to.
+    pub fn reg_of(&self, v: VarId) -> usize {
+        self.reg_of_var[v.0]
+    }
+
+    /// Functional-unit names.
+    pub fn fu_names(&self) -> &[String] {
+        &self.fu_names
+    }
+
+    /// The fixed operation of each unit.
+    pub fn fu_ops(&self) -> &[FuOp] {
+        &self.fu_ops
+    }
+
+    /// The unit an operation is bound to (`None` for samples).
+    pub fn fu_of(&self, op: OpId) -> Option<usize> {
+        self.fu_of_op[op.0]
+    }
+
+    /// Load-line groups (partition of register indices).
+    pub fn load_groups(&self) -> &[Vec<usize>] {
+        &self.load_groups
+    }
+
+    /// Lifespans of the variables bound to each register.
+    pub fn spans(&self) -> &[Vec<Span>] {
+        &self.spans
+    }
+
+    /// Steps in which each register loads.
+    pub fn load_steps(&self) -> &[BTreeSet<usize>] {
+        &self.load_steps
+    }
+}
+
+/// Builder for [`Binding`]. See [`crate::emit`] for an end-to-end
+/// example.
+#[derive(Debug)]
+pub struct BindingBuilder<'a> {
+    design: &'a ScheduledDesign,
+    reg_names: Vec<String>,
+    reg_of_var: Vec<Option<usize>>,
+    fu_names: Vec<String>,
+    fu_of_op: Vec<Option<usize>>,
+    shared_loads: Vec<Vec<String>>,
+}
+
+impl<'a> BindingBuilder<'a> {
+    /// Starts a binding for `design`.
+    pub fn new(design: &'a ScheduledDesign) -> Self {
+        BindingBuilder {
+            design,
+            reg_names: Vec::new(),
+            reg_of_var: vec![None; design.vars().len()],
+            fu_names: Vec::new(),
+            fu_of_op: vec![None; design.ops().len()],
+            shared_loads: Vec::new(),
+        }
+    }
+
+    fn reg_index(&mut self, name: &str) -> usize {
+        match self.reg_names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.reg_names.push(name.to_string());
+                self.reg_names.len() - 1
+            }
+        }
+    }
+
+    /// Binds a variable to a register (created on first mention).
+    pub fn bind(&mut self, var: VarId, reg: &str) -> &mut Self {
+        let r = self.reg_index(reg);
+        self.reg_of_var[var.0] = Some(r);
+        self
+    }
+
+    /// Binds a compute operation to a functional unit (created on first
+    /// mention).
+    pub fn bind_op(&mut self, op: OpId, fu: &str) -> &mut Self {
+        let f = match self.fu_names.iter().position(|n| n == fu) {
+            Some(i) => i,
+            None => {
+                self.fu_names.push(fu.to_string());
+                self.fu_names.len() - 1
+            }
+        };
+        self.fu_of_op[op.0] = Some(f);
+        self
+    }
+
+    /// Declares that the named registers share one load line.
+    pub fn share_load(&mut self, regs: &[&str]) -> &mut Self {
+        self.shared_loads
+            .push(regs.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Validates the binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`BindError`] (see the
+    /// variants for the full list).
+    pub fn finish(self) -> Result<Binding, BindError> {
+        let d = self.design;
+        // Everything bound.
+        let mut reg_of_var = Vec::with_capacity(d.vars().len());
+        for (i, r) in self.reg_of_var.iter().enumerate() {
+            match r {
+                Some(r) => reg_of_var.push(*r),
+                None => {
+                    return Err(BindError::UnboundVar {
+                        var: d.vars()[i].clone(),
+                    })
+                }
+            }
+        }
+        for (i, o) in d.ops().iter().enumerate() {
+            if matches!(o.kind, OpKind::Compute(_)) && self.fu_of_op[i].is_none() {
+                return Err(BindError::UnboundOp { op: i });
+            }
+        }
+
+        // Unit consistency: one FuOp per unit, one op per (unit, step).
+        let mut fu_ops: Vec<Option<FuOp>> = vec![None; self.fu_names.len()];
+        let mut busy: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (i, o) in d.ops().iter().enumerate() {
+            let OpKind::Compute(op) = o.kind else { continue };
+            let f = self.fu_of_op[i].expect("checked above");
+            match fu_ops[f] {
+                None => fu_ops[f] = Some(op),
+                Some(existing) if existing == op => {}
+                Some(_) => {
+                    return Err(BindError::MixedOps {
+                        fu: self.fu_names[f].clone(),
+                    })
+                }
+            }
+            if !busy.insert((f, o.step)) {
+                return Err(BindError::FuStepConflict {
+                    fu: self.fu_names[f].clone(),
+                    step: o.step,
+                });
+            }
+        }
+        let fu_ops: Vec<FuOp> = fu_ops
+            .into_iter()
+            .map(|o| o.expect("every unit has at least one op by construction"))
+            .collect();
+
+        // Read-before-write legality: in a straight-line schedule every
+        // read follows the write; in a looping schedule, prologue
+        // variables must still be read after their write, while
+        // loop-region variables may be read "before" the write (that is a
+        // next-iteration read) as long as the read is inside the loop.
+        let loop_start = d.loop_spec().map(|l| l.back_to);
+        for v in 0..d.vars().len() {
+            let v = VarId(v);
+            let w = d.ops()[d.writer_of(v).0].step;
+            let legal = |r: usize| match loop_start {
+                None => r > w,
+                Some(b) => {
+                    if w < b {
+                        r > w
+                    } else {
+                        r >= b
+                    }
+                }
+            };
+            if d.read_steps_of(v).iter().any(|&r| !legal(r)) {
+                return Err(BindError::ReadBeforeWrite {
+                    var: d.var_name(v).to_string(),
+                });
+            }
+        }
+
+        // Carry pairs must share a register.
+        for &(from, to) in d.carries() {
+            if self.reg_of_var[from.0] != self.reg_of_var[to.0] {
+                return Err(BindError::CarrySplit {
+                    from: d.var_name(from).to_string(),
+                    to: d.var_name(to).to_string(),
+                });
+            }
+        }
+
+        // Lifespans and register conflicts.
+        let mut spans: Vec<Vec<Span>> = vec![Vec::new(); self.reg_names.len()];
+        for v in 0..d.vars().len() {
+            let v = VarId(v);
+            let w = d.ops()[d.writer_of(v).0].step;
+            let mut reads = d.read_steps_of(v);
+            let mut held = d.is_output(v);
+            if d.is_status(v) {
+                // The controller samples status at the loop decision step.
+                reads.push(d.n_steps());
+            }
+            if let Some(target) = d.carry_from(v) {
+                // A carry source is consumed as its target next iteration.
+                reads.extend(d.read_steps_of(target));
+                if d.is_status(target) {
+                    reads.push(d.n_steps());
+                }
+                held |= d.is_output(target);
+            }
+            reads.sort_unstable();
+            reads.dedup();
+            let ctx = SpanContext {
+                n_steps: d.n_steps(),
+                loop_start,
+                carried_over: d.is_carry_target(v),
+            };
+            let span = span_for(d.var_name(v), w, &reads, held, ctx);
+            spans[reg_of_var[v.0]].push(span);
+        }
+        for (r, rspans) in spans.iter().enumerate() {
+            for i in 0..rspans.len() {
+                for j in (i + 1)..rspans.len() {
+                    if spans_conflict(&rspans[i], &rspans[j], d.n_steps()) {
+                        return Err(BindError::LifespanConflict {
+                            reg: self.reg_names[r].clone(),
+                            a: rspans[i].var.clone(),
+                            b: rspans[j].var.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Load steps per register.
+        let mut load_steps: Vec<BTreeSet<usize>> =
+            vec![BTreeSet::new(); self.reg_names.len()];
+        for o in d.ops() {
+            load_steps[reg_of_var[o.dst.0]].insert(o.step);
+        }
+
+        // Load groups: resolve names, default singletons, check equality.
+        let mut grouped: Vec<bool> = vec![false; self.reg_names.len()];
+        let mut load_groups: Vec<Vec<usize>> = Vec::new();
+        for names in &self.shared_loads {
+            let mut group = Vec::new();
+            for n in names {
+                let idx = self
+                    .reg_names
+                    .iter()
+                    .position(|r| r == n)
+                    .ok_or_else(|| BindError::UnknownRegister { name: n.clone() })?;
+                grouped[idx] = true;
+                group.push(idx);
+            }
+            let first = &load_steps[group[0]];
+            if group.iter().any(|&g| &load_steps[g] != first) {
+                return Err(BindError::LoadGroupMismatch {
+                    group: names.clone(),
+                });
+            }
+            load_groups.push(group);
+        }
+        for r in 0..self.reg_names.len() {
+            if !grouped[r] {
+                load_groups.push(vec![r]);
+            }
+        }
+        load_groups.sort();
+
+        Ok(Binding {
+            reg_names: self.reg_names,
+            reg_of_var,
+            fu_names: self.fu_names,
+            fu_ops,
+            fu_of_op: self.fu_of_op,
+            load_groups,
+            spans,
+            load_steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignBuilder, Rhs};
+
+    /// v1 = port (CS1); v2 = v1 + 1 (CS2); v3 = v1 * v2 (CS3); out v3.
+    fn design() -> ScheduledDesign {
+        let mut d = DesignBuilder::new("d", 4, 3);
+        let p = d.port("p");
+        let v1 = d.var("v1");
+        let v2 = d.var("v2");
+        let v3 = d.var("v3");
+        d.sample(1, v1, Rhs::Port(p));
+        d.compute(2, v2, FuOp::Add, Rhs::Var(v1), Rhs::Const(1));
+        d.compute(3, v3, FuOp::Mul, Rhs::Var(v1), Rhs::Var(v2));
+        d.output("o", v3);
+        d.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_binding() {
+        let d = design();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R3")
+            .bind_op(OpId(1), "ADD1")
+            .bind_op(OpId(2), "MUL1");
+        let bind = b.finish().unwrap();
+        assert_eq!(bind.reg_names().len(), 3);
+        assert_eq!(bind.fu_names(), &["ADD1", "MUL1"]);
+        assert_eq!(bind.fu_ops(), &[FuOp::Add, FuOp::Mul]);
+        assert_eq!(bind.load_groups().len(), 3);
+        assert_eq!(bind.reg_of(VarId(0)), 0);
+        assert!(bind.load_steps()[0].contains(&1));
+    }
+
+    #[test]
+    fn register_sharing_with_disjoint_lifespans() {
+        let d = design();
+        // v2 (live CS2→CS3) and v3 (written CS3, held) can't share...
+        // but v1 (live CS1→CS3) and nothing overlaps v3 after CS3 ends?
+        // v3 written at 3, held; v2 written 2, last read 3. Sharing
+        // v2/v3: v3's write at 3 == v2's last read: legal.
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R2")
+            .bind_op(OpId(1), "ADD1")
+            .bind_op(OpId(2), "MUL1");
+        let bind = b.finish().unwrap();
+        assert_eq!(bind.spans()[1].len(), 2);
+    }
+
+    #[test]
+    fn rejects_lifespan_conflict() {
+        let d = design();
+        // v1 live CS1→CS3; v2 written CS2 — overlaps.
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R1")
+            .bind(VarId(2), "R3")
+            .bind_op(OpId(1), "ADD1")
+            .bind_op(OpId(2), "MUL1");
+        assert!(matches!(
+            b.finish(),
+            Err(BindError::LifespanConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound() {
+        let d = design();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1");
+        assert!(matches!(b.finish(), Err(BindError::UnboundVar { .. })));
+    }
+
+    #[test]
+    fn rejects_mixed_ops_on_one_unit() {
+        let d = design();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R3")
+            .bind_op(OpId(1), "ALU")
+            .bind_op(OpId(2), "ALU");
+        assert!(matches!(b.finish(), Err(BindError::MixedOps { .. })));
+    }
+
+    #[test]
+    fn rejects_fu_double_booking() {
+        let mut d = DesignBuilder::new("d", 4, 2);
+        let p = d.port("p");
+        let v1 = d.var("v1");
+        let v2 = d.var("v2");
+        let v3 = d.var("v3");
+        d.sample(1, v1, Rhs::Port(p));
+        let o1 = d.compute(2, v2, FuOp::Add, Rhs::Var(v1), Rhs::Const(1));
+        let o2 = d.compute(2, v3, FuOp::Add, Rhs::Var(v1), Rhs::Const(2));
+        d.output("o", v2);
+        d.output("o2", v3);
+        let d = d.finish().unwrap();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R3")
+            .bind_op(o1, "ADD1")
+            .bind_op(o2, "ADD1");
+        assert!(matches!(b.finish(), Err(BindError::FuStepConflict { .. })));
+    }
+
+    #[test]
+    fn shared_load_requires_equal_steps() {
+        let d = design();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R3")
+            .bind_op(OpId(1), "ADD1")
+            .bind_op(OpId(2), "MUL1")
+            .share_load(&["R1", "R2"]); // load at CS1 vs CS2
+        assert!(matches!(
+            b.finish(),
+            Err(BindError::LoadGroupMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_load_group_accepted_when_steps_match() {
+        let mut d = DesignBuilder::new("d", 4, 2);
+        let p = d.port("p");
+        let q = d.port("q");
+        let v1 = d.var("v1");
+        let v2 = d.var("v2");
+        d.sample(1, v1, Rhs::Port(p));
+        d.sample(1, v2, Rhs::Port(q));
+        d.output("o1", v1);
+        d.output("o2", v2);
+        let d = d.finish().unwrap();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .share_load(&["R1", "R2"]);
+        let bind = b.finish().unwrap();
+        assert_eq!(bind.load_groups().len(), 1);
+        assert_eq!(bind.load_groups()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_read_before_write_without_loop() {
+        let mut d = DesignBuilder::new("d", 4, 2);
+        let v1 = d.var("v1");
+        let v2 = d.var("v2");
+        // v2 computed at CS1 from v1, v1 sampled at CS2: backwards.
+        d.compute(1, v2, FuOp::Add, Rhs::Var(v1), Rhs::Const(1));
+        d.sample(2, v1, Rhs::Const(3));
+        d.output("o", v2);
+        let d = d.finish().unwrap();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind_op(OpId(0), "ADD1");
+        assert!(matches!(b.finish(), Err(BindError::ReadBeforeWrite { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_register_in_group() {
+        let d = design();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(VarId(0), "R1")
+            .bind(VarId(1), "R2")
+            .bind(VarId(2), "R3")
+            .bind_op(OpId(1), "ADD1")
+            .bind_op(OpId(2), "MUL1")
+            .share_load(&["R1", "NOPE"]);
+        assert!(matches!(b.finish(), Err(BindError::UnknownRegister { .. })));
+    }
+}

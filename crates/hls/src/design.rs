@@ -1,0 +1,625 @@
+//! Scheduled behavioural designs: the input to binding and emission.
+//!
+//! A [`ScheduledDesign`] is what a scheduler hands a binder in a classic
+//! high-level synthesis flow (the paper's SYNTEST): a set of register
+//! transfers, each assigned to a control step, over named variables, with
+//! designated outputs, status bits and an optional loop.
+
+use crate::lifespan::Step;
+use sfr_rtl::FuOp;
+use std::fmt;
+
+/// Index of a variable within a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Index of a scheduled operation within a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// Index of a data-input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// An operand of a scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rhs {
+    /// A variable (read from its bound register).
+    Var(VarId),
+    /// A constant.
+    Const(u64),
+    /// A data-input port, sampled live in the op's step.
+    Port(PortId),
+}
+
+/// What an operation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A functional-unit computation.
+    Compute(FuOp),
+    /// A move of a port or constant into a register (no functional unit;
+    /// the value routes through the register's input mux).
+    Sample,
+}
+
+/// One register transfer, scheduled into a control step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// The control step (1-based) in which the transfer completes.
+    pub step: Step,
+    /// Compute or sample.
+    pub kind: OpKind,
+    /// Destination variable.
+    pub dst: VarId,
+    /// First operand.
+    pub a: Rhs,
+    /// Second operand (ignored by [`OpKind::Sample`] and `Pass`).
+    pub b: Rhs,
+}
+
+/// The loop structure of a design: after the last body step, repeat from
+/// step `back_to` while `status` (a status-bit index) equals `polarity`,
+/// otherwise proceed to the hold state. Steps before `back_to` form a
+/// once-executed *prologue* (input sampling, constant loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSpec {
+    /// Index into [`ScheduledDesign::statuses`].
+    pub status: usize,
+    /// Loop continues while the status bit equals this value.
+    pub polarity: bool,
+    /// First step of the loop region.
+    pub back_to: Step,
+}
+
+/// Errors detected while validating a [`ScheduledDesign`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// The design has no steps or no operations.
+    Empty,
+    /// An op's step is outside `1..=n_steps`.
+    StepRange {
+        /// The op's index.
+        op: usize,
+    },
+    /// A variable is written by more than one operation.
+    MultipleWrites {
+        /// The variable's name.
+        var: String,
+    },
+    /// A variable is read (or exported) but never written.
+    NeverWritten {
+        /// The variable's name.
+        var: String,
+    },
+    /// A variable is written but never read, exported, or used as status.
+    DeadVariable {
+        /// The variable's name.
+        var: String,
+    },
+    /// A reference (operand, output, status) is out of range.
+    Dangling {
+        /// Description of the bad reference.
+        what: String,
+    },
+    /// The loop spec names a nonexistent status bit or an out-of-range
+    /// loop start.
+    BadLoop,
+    /// A carry declaration is inconsistent (no loop, bad variables, or
+    /// source/target on the wrong side of the loop start).
+    BadCarry {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Empty => write!(f, "design has no steps or no operations"),
+            DesignError::StepRange { op } => write!(f, "operation {op} scheduled out of range"),
+            DesignError::MultipleWrites { var } => {
+                write!(f, "variable `{var}` written more than once")
+            }
+            DesignError::NeverWritten { var } => {
+                write!(f, "variable `{var}` read but never written")
+            }
+            DesignError::DeadVariable { var } => {
+                write!(f, "variable `{var}` written but never used")
+            }
+            DesignError::Dangling { what } => write!(f, "dangling reference: {what}"),
+            DesignError::BadLoop => write!(f, "loop condition references a missing status"),
+            DesignError::BadCarry { what } => write!(f, "bad loop carry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A validated scheduled design.
+///
+/// Invariants: every variable is written exactly once and used at least
+/// once (as an operand, output, or status); operands reference existing
+/// variables/ports; steps lie in `1..=n_steps`.
+///
+/// Loop-carried values are declared with [`DesignBuilder::carry`]: at
+/// loop-back the carry target's register already holds the source's
+/// value, so reads of the target from the second iteration on read the
+/// source (the pair must be bound to one register; see
+/// [`crate::span_for`] for the lifespan consequences).
+#[derive(Debug, Clone)]
+pub struct ScheduledDesign {
+    pub(crate) name: String,
+    pub(crate) width: usize,
+    pub(crate) n_steps: usize,
+    pub(crate) ports: Vec<String>,
+    pub(crate) vars: Vec<String>,
+    pub(crate) ops: Vec<ScheduledOp>,
+    pub(crate) outputs: Vec<(String, VarId)>,
+    pub(crate) statuses: Vec<VarId>,
+    pub(crate) loop_spec: Option<LoopSpec>,
+    pub(crate) carries: Vec<(VarId, VarId)>,
+}
+
+impl ScheduledDesign {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Datapath bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of body control steps.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Data-input port names.
+    pub fn ports(&self) -> &[String] {
+        &self.ports
+    }
+
+    /// Variable names.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// A variable's name.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0]
+    }
+
+    /// The scheduled operations.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Output ports as `(name, variable)`.
+    pub fn outputs(&self) -> &[(String, VarId)] {
+        &self.outputs
+    }
+
+    /// Status variables (bit 0 feeds the controller).
+    pub fn statuses(&self) -> &[VarId] {
+        &self.statuses
+    }
+
+    /// The loop structure, if any.
+    pub fn loop_spec(&self) -> Option<LoopSpec> {
+        self.loop_spec
+    }
+
+    /// Loop carries as `(source, target)` pairs: at loop-back the target
+    /// variable's register already holds the source's value (they must be
+    /// bound to the same register).
+    pub fn carries(&self) -> &[(VarId, VarId)] {
+        &self.carries
+    }
+
+    /// Whether `v` is the target of a carry (rewritten at loop-back).
+    pub fn is_carry_target(&self, v: VarId) -> bool {
+        self.carries.iter().any(|&(_, to)| to == v)
+    }
+
+    /// The carry whose source is `v`, if any.
+    pub fn carry_from(&self, v: VarId) -> Option<VarId> {
+        self.carries
+            .iter()
+            .find(|&&(from, _)| from == v)
+            .map(|&(_, to)| to)
+    }
+
+    /// The operation writing a variable.
+    pub fn writer_of(&self, v: VarId) -> OpId {
+        OpId(
+            self.ops
+                .iter()
+                .position(|o| o.dst == v)
+                .expect("validated: every var written"),
+        )
+    }
+
+    /// Steps at which a variable is read by body operations (not outputs
+    /// or statuses), with duplicates removed, unsorted.
+    pub fn read_steps_of(&self, v: VarId) -> Vec<Step> {
+        let mut steps: Vec<Step> = self
+            .ops
+            .iter()
+            .filter(|o| {
+                o.a == Rhs::Var(v) || (o.b == Rhs::Var(v) && matches!(o.kind, OpKind::Compute(op) if op.uses_b()))
+            })
+            .map(|o| o.step)
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Whether a variable is exported as an output.
+    pub fn is_output(&self, v: VarId) -> bool {
+        self.outputs.iter().any(|&(_, ov)| ov == v)
+    }
+
+    /// Whether a variable feeds a status bit.
+    pub fn is_status(&self, v: VarId) -> bool {
+        self.statuses.contains(&v)
+    }
+}
+
+/// Builder for [`ScheduledDesign`].
+///
+/// # Examples
+///
+/// ```
+/// use sfr_hls::{DesignBuilder, Rhs};
+/// use sfr_rtl::FuOp;
+///
+/// # fn main() -> Result<(), sfr_hls::DesignError> {
+/// // sum = a + b over two steps: sample then add.
+/// let mut d = DesignBuilder::new("sum", 4, 2);
+/// let pa = d.port("a_in");
+/// let pb = d.port("b_in");
+/// let va = d.var("a");
+/// let sum = d.var("sum");
+/// d.sample(1, va, Rhs::Port(pa));
+/// d.compute(2, sum, FuOp::Add, Rhs::Var(va), Rhs::Port(pb));
+/// d.output("sum_out", sum);
+/// let design = d.finish()?;
+/// assert_eq!(design.n_steps(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DesignBuilder {
+    d: ScheduledDesign,
+}
+
+impl DesignBuilder {
+    /// Starts a design with the given width and number of body steps.
+    pub fn new(name: impl Into<String>, width: usize, n_steps: usize) -> Self {
+        DesignBuilder {
+            d: ScheduledDesign {
+                name: name.into(),
+                width,
+                n_steps,
+                ports: Vec::new(),
+                vars: Vec::new(),
+                ops: Vec::new(),
+                outputs: Vec::new(),
+                statuses: Vec::new(),
+                loop_spec: None,
+                carries: Vec::new(),
+            },
+        }
+    }
+
+    /// Declares a data-input port.
+    pub fn port(&mut self, name: impl Into<String>) -> PortId {
+        self.d.ports.push(name.into());
+        PortId(self.d.ports.len() - 1)
+    }
+
+    /// Declares a variable.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        self.d.vars.push(name.into());
+        VarId(self.d.vars.len() - 1)
+    }
+
+    /// Schedules a computation `dst = op(a, b)` completing in `step`.
+    pub fn compute(&mut self, step: Step, dst: VarId, op: FuOp, a: Rhs, b: Rhs) -> OpId {
+        self.d.ops.push(ScheduledOp {
+            step,
+            kind: OpKind::Compute(op),
+            dst,
+            a,
+            b,
+        });
+        OpId(self.d.ops.len() - 1)
+    }
+
+    /// Schedules a sample/move `dst = src` completing in `step`.
+    pub fn sample(&mut self, step: Step, dst: VarId, src: Rhs) -> OpId {
+        self.d.ops.push(ScheduledOp {
+            step,
+            kind: OpKind::Sample,
+            dst,
+            a: src,
+            b: Rhs::Const(0),
+        });
+        OpId(self.d.ops.len() - 1)
+    }
+
+    /// Exports a variable on an output port.
+    pub fn output(&mut self, name: impl Into<String>, v: VarId) {
+        self.d.outputs.push((name.into(), v));
+    }
+
+    /// Declares a variable as a controller status bit.
+    pub fn status(&mut self, v: VarId) -> usize {
+        self.d.statuses.push(v);
+        self.d.statuses.len() - 1
+    }
+
+    /// Declares the loop: repeat from `back_to` while status `status`
+    /// equals `polarity`. Steps before `back_to` run once as a prologue.
+    pub fn loop_while(&mut self, status: usize, polarity: bool, back_to: Step) {
+        self.d.loop_spec = Some(LoopSpec {
+            status,
+            polarity,
+            back_to,
+        });
+    }
+
+    /// Declares a loop carry: at loop-back, `to` takes `from`'s value
+    /// (they must be bound to the same register; reads of `to` inside the
+    /// loop read `from`'s value from the second iteration on).
+    pub fn carry(&mut self, from: VarId, to: VarId) {
+        self.d.carries.push((from, to));
+    }
+
+    /// Validates the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`DesignError`].
+    pub fn finish(self) -> Result<ScheduledDesign, DesignError> {
+        let d = self.d;
+        if d.n_steps == 0 || d.ops.is_empty() {
+            return Err(DesignError::Empty);
+        }
+        for (i, o) in d.ops.iter().enumerate() {
+            if !(1..=d.n_steps).contains(&o.step) {
+                return Err(DesignError::StepRange { op: i });
+            }
+            if o.dst.0 >= d.vars.len() {
+                return Err(DesignError::Dangling {
+                    what: format!("op {i} destination"),
+                });
+            }
+            for (label, r) in [("a", o.a), ("b", o.b)] {
+                match r {
+                    Rhs::Var(v) if v.0 >= d.vars.len() => {
+                        return Err(DesignError::Dangling {
+                            what: format!("op {i} operand {label}"),
+                        })
+                    }
+                    Rhs::Port(p) if p.0 >= d.ports.len() => {
+                        return Err(DesignError::Dangling {
+                            what: format!("op {i} operand {label}"),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Single assignment.
+        let mut written = vec![0usize; d.vars.len()];
+        for o in &d.ops {
+            written[o.dst.0] += 1;
+        }
+        if let Some(i) = written.iter().position(|&w| w > 1) {
+            return Err(DesignError::MultipleWrites {
+                var: d.vars[i].clone(),
+            });
+        }
+        // Every read/exported/status var is written; every var used.
+        let mut used = vec![false; d.vars.len()];
+        let mut mark = |r: Rhs, uses_b: bool| -> Option<usize> {
+            match r {
+                Rhs::Var(v) if uses_b => {
+                    used[v.0] = true;
+                    Some(v.0)
+                }
+                _ => None,
+            }
+        };
+        let mut read_vars: Vec<usize> = Vec::new();
+        for o in &d.ops {
+            let b_used = match o.kind {
+                OpKind::Compute(op) => op.uses_b(),
+                OpKind::Sample => false,
+            };
+            read_vars.extend(mark(o.a, true));
+            read_vars.extend(mark(o.b, b_used));
+        }
+        for &(_, v) in &d.outputs {
+            if v.0 >= d.vars.len() {
+                return Err(DesignError::Dangling {
+                    what: "output variable".to_string(),
+                });
+            }
+            used[v.0] = true;
+            read_vars.push(v.0);
+        }
+        for &v in &d.statuses {
+            if v.0 >= d.vars.len() {
+                return Err(DesignError::Dangling {
+                    what: "status variable".to_string(),
+                });
+            }
+            used[v.0] = true;
+            read_vars.push(v.0);
+        }
+        // A carry source is consumed at loop-back (read as its target).
+        for &(from, _) in &d.carries {
+            if from.0 < d.vars.len() {
+                used[from.0] = true;
+            }
+        }
+        for &v in &read_vars {
+            if written[v] == 0 {
+                return Err(DesignError::NeverWritten {
+                    var: d.vars[v].clone(),
+                });
+            }
+        }
+        if let Some(i) = (0..d.vars.len()).find(|&i| written[i] == 1 && !used[i]) {
+            return Err(DesignError::DeadVariable {
+                var: d.vars[i].clone(),
+            });
+        }
+        if let Some(l) = d.loop_spec {
+            if l.status >= d.statuses.len() || !(1..=d.n_steps).contains(&l.back_to) {
+                return Err(DesignError::BadLoop);
+            }
+        }
+        for &(from, to) in &d.carries {
+            let Some(l) = d.loop_spec else {
+                return Err(DesignError::BadCarry {
+                    what: "carry without a loop".to_string(),
+                });
+            };
+            if from.0 >= d.vars.len() || to.0 >= d.vars.len() || from == to {
+                return Err(DesignError::BadCarry {
+                    what: "carry references bad variables".to_string(),
+                });
+            }
+            let w_from = d.ops[d.ops.iter().position(|o| o.dst == from).expect("written")].step;
+            let w_to = d.ops[d.ops.iter().position(|o| o.dst == to).expect("written")].step;
+            if w_from < l.back_to {
+                return Err(DesignError::BadCarry {
+                    what: format!("carry source `{}` written in the prologue", d.vars[from.0]),
+                });
+            }
+            if w_to >= l.back_to {
+                return Err(DesignError::BadCarry {
+                    what: format!("carry target `{}` written inside the loop", d.vars[to.0]),
+                });
+            }
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step() -> DesignBuilder {
+        let mut d = DesignBuilder::new("t", 4, 2);
+        let pa = d.port("a");
+        let va = d.var("va");
+        let vs = d.var("vs");
+        d.sample(1, va, Rhs::Port(pa));
+        d.compute(2, vs, FuOp::Add, Rhs::Var(va), Rhs::Const(1));
+        d.output("o", vs);
+        d
+    }
+
+    #[test]
+    fn valid_design_builds() {
+        let d = two_step().finish().unwrap();
+        assert_eq!(d.ops().len(), 2);
+        assert_eq!(d.read_steps_of(VarId(0)), vec![2]);
+        assert!(d.is_output(VarId(1)));
+        assert!(!d.is_status(VarId(0)));
+        assert_eq!(d.writer_of(VarId(1)), OpId(1));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let d = DesignBuilder::new("e", 4, 0);
+        assert!(matches!(d.finish(), Err(DesignError::Empty)));
+    }
+
+    #[test]
+    fn rejects_step_out_of_range() {
+        let mut d = DesignBuilder::new("r", 4, 2);
+        let v = d.var("v");
+        d.sample(3, v, Rhs::Const(0));
+        d.output("o", v);
+        assert!(matches!(d.finish(), Err(DesignError::StepRange { .. })));
+    }
+
+    #[test]
+    fn rejects_double_write() {
+        let mut d = DesignBuilder::new("w", 4, 2);
+        let v = d.var("v");
+        d.sample(1, v, Rhs::Const(0));
+        d.sample(2, v, Rhs::Const(1));
+        d.output("o", v);
+        assert!(matches!(
+            d.finish(),
+            Err(DesignError::MultipleWrites { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_never_written_read() {
+        let mut d = DesignBuilder::new("nw", 4, 1);
+        let v = d.var("v");
+        let w = d.var("w");
+        d.compute(1, w, FuOp::Add, Rhs::Var(v), Rhs::Const(0));
+        d.output("o", w);
+        assert!(matches!(d.finish(), Err(DesignError::NeverWritten { .. })));
+    }
+
+    #[test]
+    fn rejects_dead_variable() {
+        let mut d = DesignBuilder::new("dead", 4, 1);
+        let v = d.var("v");
+        let w = d.var("w");
+        d.sample(1, v, Rhs::Const(0));
+        d.sample(1, w, Rhs::Const(1));
+        d.output("o", w);
+        assert!(matches!(d.finish(), Err(DesignError::DeadVariable { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_loop() {
+        let mut d = two_step();
+        d.loop_while(0, true, 1); // no statuses declared
+        assert!(matches!(d.finish(), Err(DesignError::BadLoop)));
+    }
+
+    #[test]
+    fn pass_b_operand_not_a_read() {
+        // Pass ignores b, so b's variable is not "read" via Pass.
+        let mut d = DesignBuilder::new("p", 4, 2);
+        let v = d.var("v");
+        let w = d.var("w");
+        d.sample(1, v, Rhs::Const(3));
+        d.compute(2, w, FuOp::Pass, Rhs::Var(v), Rhs::Var(v));
+        d.output("o", w);
+        let d = d.finish().unwrap();
+        assert_eq!(d.read_steps_of(VarId(0)), vec![2]);
+    }
+
+    #[test]
+    fn status_counts_as_use() {
+        let mut d = DesignBuilder::new("s", 4, 2);
+        let pa = d.port("a");
+        let va = d.var("va");
+        let c = d.var("c");
+        d.sample(1, va, Rhs::Port(pa));
+        d.compute(2, c, FuOp::Lt, Rhs::Var(va), Rhs::Const(7));
+        d.output("o", va);
+        let s = d.status(c);
+        d.loop_while(s, true, 1);
+        let d = d.finish().unwrap();
+        assert!(d.is_status(VarId(1)));
+        assert_eq!(d.loop_spec().unwrap().status, 0);
+    }
+}

@@ -1,0 +1,639 @@
+//! Emission: scheduled design + binding → RTL datapath, controller
+//! specification, and the structural metadata the fault analysis needs.
+//!
+//! This is the step the paper delegates to SYNTEST [13]: producing "a
+//! register transfer level datapath and state diagram controller". The
+//! controller specification it emits contains the crucial don't-cares —
+//! select lines of inactive multiplexers — whose synthesis-time fill
+//! determines the population of system-functionally redundant faults.
+
+use crate::bind::Binding;
+use crate::design::{LoopSpec, OpKind, Rhs, ScheduledDesign};
+use crate::lifespan::{Span, Step};
+use sfr_fsm::{FsmError, FsmSpec, FsmSpecBuilder, StateId, Tri};
+use sfr_rtl::{
+    CtrlId, Datapath, DatapathBuilder, DatapathError, DataSrc, FuId, InputId, MuxId, RegId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors from emission (always indicate an internal inconsistency, since
+/// designs and bindings are validated earlier).
+#[derive(Debug)]
+pub enum EmitError {
+    /// Datapath validation failed.
+    Datapath(DatapathError),
+    /// Controller specification validation failed.
+    Fsm(FsmError),
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::Datapath(e) => write!(f, "emitted datapath invalid: {e}"),
+            EmitError::Fsm(e) => write!(f, "emitted controller invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+impl From<DatapathError> for EmitError {
+    fn from(e: DatapathError) -> Self {
+        EmitError::Datapath(e)
+    }
+}
+
+impl From<FsmError> for EmitError {
+    fn from(e: FsmError) -> Self {
+        EmitError::Fsm(e)
+    }
+}
+
+/// Structural metadata tying the emitted system back to the schedule —
+/// the inputs to the paper's Section 3 control-line-effect analysis.
+#[derive(Debug, Clone)]
+pub struct DesignMeta {
+    /// Number of body control steps.
+    pub n_steps: usize,
+    /// Register names (index = `RegId`).
+    pub reg_names: Vec<String>,
+    /// Steps in which each register loads.
+    pub reg_load_steps: Vec<BTreeSet<Step>>,
+    /// Variable lifespans per register.
+    pub spans: Vec<Vec<Span>>,
+    /// Steps in which each mux is *active* (its output is consumed by a
+    /// register load).
+    pub mux_active_steps: Vec<BTreeSet<Step>>,
+    /// The input index each active mux must route, per `(mux, step)`.
+    pub required_select: BTreeMap<(usize, Step), usize>,
+    /// The load control line of each load group.
+    pub load_line_of_group: Vec<CtrlId>,
+    /// The load group each register belongs to.
+    pub group_of_reg: Vec<usize>,
+    /// The loop structure, if any.
+    pub loop_spec: Option<LoopSpec>,
+}
+
+impl DesignMeta {
+    /// The controller state executing body step `k` (`RESET` is state 0,
+    /// `CS_k` is state `k`, `HOLD` is state `n_steps + 1`).
+    pub fn state_of_step(&self, k: Step) -> StateId {
+        debug_assert!((1..=self.n_steps).contains(&k));
+        StateId(k)
+    }
+
+    /// The body step a state executes, if it is a body state.
+    pub fn step_of_state(&self, s: StateId) -> Option<Step> {
+        (1..=self.n_steps).contains(&s.0).then_some(s.0)
+    }
+
+    /// The reset state.
+    pub fn reset_state(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// The hold state.
+    pub fn hold_state(&self) -> StateId {
+        StateId(self.n_steps + 1)
+    }
+
+    /// Whether the register is live (some variable's lifespan covers `t`)
+    /// at body step `t`.
+    pub fn reg_live_at(&self, reg: usize, t: Step) -> bool {
+        self.spans[reg].iter().any(|s| s.live_at(t, self.n_steps))
+    }
+}
+
+/// Everything emission produces.
+#[derive(Debug, Clone)]
+pub struct EmittedSystem {
+    /// The RTL datapath.
+    pub datapath: Datapath,
+    /// The controller specification (unencoded, unsynthesized).
+    pub fsm: FsmSpec,
+    /// Structural analysis metadata.
+    pub meta: DesignMeta,
+}
+
+/// One distinct data source feeding a mux or connection.
+fn resolve(rhs: Rhs, binding: &Binding) -> DataSrc {
+    match rhs {
+        Rhs::Var(v) => DataSrc::Reg(RegId(binding.reg_of(v))),
+        Rhs::Const(c) => DataSrc::Const(c),
+        Rhs::Port(p) => DataSrc::Input(InputId(p.0)),
+    }
+}
+
+/// A connection point that may need a mux: per-step required sources.
+struct MuxPlan {
+    name: String,
+    /// Distinct sources in first-use order.
+    sources: Vec<DataSrc>,
+    /// `(step, source index)` requirements.
+    requirements: Vec<(Step, usize)>,
+}
+
+impl MuxPlan {
+    fn new(name: String) -> Self {
+        MuxPlan {
+            name,
+            sources: Vec::new(),
+            requirements: Vec::new(),
+        }
+    }
+
+    fn require(&mut self, step: Step, src: DataSrc) {
+        let idx = match self.sources.iter().position(|&s| s == src) {
+            Some(i) => i,
+            None => {
+                self.sources.push(src);
+                self.sources.len() - 1
+            }
+        };
+        self.requirements.push((step, idx));
+    }
+
+    /// Realizes the plan: returns the direct source (no mux) or creates a
+    /// mux, recording metadata.
+    fn realize(
+        self,
+        b: &mut DatapathBuilder,
+        ms_counter: &mut usize,
+        meta_active: &mut Vec<BTreeSet<Step>>,
+        meta_required: &mut BTreeMap<(usize, Step), usize>,
+    ) -> DataSrc {
+        debug_assert!(!self.sources.is_empty(), "unused connection point");
+        if self.sources.len() == 1 {
+            return self.sources[0];
+        }
+        let n = self.sources.len();
+        let sel_bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        let mut inputs = self.sources.clone();
+        while inputs.len() < 1 << sel_bits {
+            inputs.push(self.sources[0]);
+        }
+        let sels: Vec<CtrlId> = (0..sel_bits)
+            .map(|_| {
+                *ms_counter += 1;
+                b.select_line(format!("MS{ms_counter}"))
+            })
+            .collect();
+        let mux = b.mux(&self.name, &sels, &inputs);
+        let mi = mux.0;
+        if meta_active.len() <= mi {
+            meta_active.resize_with(mi + 1, BTreeSet::new);
+        }
+        for (step, idx) in self.requirements {
+            meta_active[mi].insert(step);
+            let prev = meta_required.insert((mi, step), idx);
+            debug_assert!(
+                prev.is_none() || prev == Some(idx),
+                "conflicting select requirement on {} step {}",
+                self.name,
+                step
+            );
+        }
+        DataSrc::Mux(MuxId(mi))
+    }
+}
+
+/// Emits the datapath, controller spec and metadata for a bound design.
+///
+/// # Errors
+///
+/// Returns [`EmitError`] if the generated structures fail their own
+/// validation — which indicates an internal bug, not user error, since
+/// [`crate::DesignBuilder::finish`] and [`crate::BindingBuilder::finish`]
+/// enforce all user-facing invariants.
+pub fn emit(design: &ScheduledDesign, binding: &Binding) -> Result<EmittedSystem, EmitError> {
+    let mut b = DatapathBuilder::new(design.name(), design.width());
+
+    // Ports.
+    for p in design.ports() {
+        b.input(p.clone());
+    }
+
+    // Load lines, one per group, in group order.
+    let mut group_of_reg = vec![usize::MAX; binding.reg_names().len()];
+    let mut load_line_of_group = Vec::with_capacity(binding.load_groups().len());
+    for (gi, group) in binding.load_groups().iter().enumerate() {
+        let name = if group.len() == 1 {
+            format!("LD_{}", binding.reg_names()[group[0]])
+        } else {
+            let names: Vec<&str> = group
+                .iter()
+                .map(|&r| binding.reg_names()[r].as_str())
+                .collect();
+            format!("LD_{}", names.join("_"))
+        };
+        load_line_of_group.push(b.load_line(name));
+        for &r in group {
+            group_of_reg[r] = gi;
+        }
+    }
+
+    // Plan muxes: FU operands first (in unit order), then register inputs
+    // (in register order).
+    let mut fu_a_plans: Vec<MuxPlan> = binding
+        .fu_names()
+        .iter()
+        .map(|n| MuxPlan::new(format!("{n}_a")))
+        .collect();
+    let mut fu_b_plans: Vec<MuxPlan> = binding
+        .fu_names()
+        .iter()
+        .map(|n| MuxPlan::new(format!("{n}_b")))
+        .collect();
+    let mut reg_plans: Vec<MuxPlan> = binding
+        .reg_names()
+        .iter()
+        .map(|n| MuxPlan::new(format!("{n}_in")))
+        .collect();
+
+    let mut ops_by_step: Vec<usize> = (0..design.ops().len()).collect();
+    ops_by_step.sort_by_key(|&i| design.ops()[i].step);
+    for &oi in &ops_by_step {
+        let op = &design.ops()[oi];
+        let dst_reg = binding.reg_of(op.dst);
+        match op.kind {
+            OpKind::Compute(fuop) => {
+                let f = binding
+                    .fu_of(crate::design::OpId(oi))
+                    .expect("validated: compute ops bound");
+                fu_a_plans[f].require(op.step, resolve(op.a, binding));
+                if fuop.uses_b() {
+                    fu_b_plans[f].require(op.step, resolve(op.b, binding));
+                }
+                reg_plans[dst_reg].require(op.step, DataSrc::Fu(FuId(f)));
+            }
+            OpKind::Sample => {
+                reg_plans[dst_reg].require(op.step, resolve(op.a, binding));
+            }
+        }
+    }
+
+    let mut ms_counter = 0usize;
+    let mut mux_active: Vec<BTreeSet<Step>> = Vec::new();
+    let mut required_select: BTreeMap<(usize, Step), usize> = BTreeMap::new();
+
+    // Realize FU operand muxes and create FUs (FU indices must equal
+    // binding order; `DataSrc::Fu` forward references are resolved by the
+    // datapath validator at finish()).
+    let fu_count = binding.fu_names().len();
+    let mut fu_srcs = Vec::with_capacity(fu_count);
+    for f in 0..fu_count {
+        let plan_a = std::mem::replace(&mut fu_a_plans[f], MuxPlan::new(String::new()));
+        let a = plan_a.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select);
+        let op = binding.fu_ops()[f];
+        let bsrc = if op.uses_b() {
+            let plan_b = std::mem::replace(&mut fu_b_plans[f], MuxPlan::new(String::new()));
+            plan_b.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select)
+        } else {
+            DataSrc::Const(0)
+        };
+        fu_srcs.push((a, bsrc));
+    }
+    for (f, name) in binding.fu_names().iter().enumerate() {
+        let (a, bsrc) = fu_srcs[f];
+        b.fu(name.clone(), binding.fu_ops()[f], a, bsrc);
+    }
+
+    // Realize register input muxes and create registers.
+    for (r, name) in binding.reg_names().iter().enumerate() {
+        let plan = std::mem::replace(&mut reg_plans[r], MuxPlan::new(String::new()));
+        let src = plan.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select);
+        b.register(name.clone(), load_line_of_group[group_of_reg[r]], src);
+    }
+
+    // Outputs and statuses.
+    for (name, v) in design.outputs() {
+        b.output(name.clone(), DataSrc::Reg(RegId(binding.reg_of(*v))));
+    }
+    for &v in design.statuses() {
+        b.status(
+            format!("st_{}", design.var_name(v)),
+            DataSrc::Reg(RegId(binding.reg_of(v))),
+        );
+    }
+
+    let datapath = b.finish()?;
+    mux_active.resize_with(datapath.muxes().len(), BTreeSet::new);
+
+    // --- Controller specification. ---
+    let control_names: Vec<String> = datapath
+        .control()
+        .iter()
+        .map(|c| c.name().to_string())
+        .collect();
+    let n_groups = load_line_of_group.len();
+    let mut fb = FsmSpecBuilder::new(
+        format!("{}_ctl", design.name()),
+        design.statuses().len(),
+        control_names,
+    );
+
+    let n = design.n_steps();
+
+    // Build per-state control words. Control order: load lines (group
+    // order), then select lines (mux creation order, LSB-first bits).
+    let word_for = |step: Option<Step>| -> Vec<Tri> {
+        let mut w = Vec::with_capacity(datapath.control_width());
+        for (gi, group) in binding.load_groups().iter().enumerate() {
+            let _ = gi;
+            let loads = match step {
+                Some(k) => binding.load_steps()[group[0]].contains(&k),
+                None => false,
+            };
+            w.push(if loads { Tri::One } else { Tri::Zero });
+        }
+        debug_assert_eq!(w.len(), n_groups);
+        // Select lines follow in mux creation order.
+        for (mi, mux) in datapath.muxes().iter().enumerate() {
+            let bits = mux.sels().len();
+            match step.and_then(|k| required_select.get(&(mi, k))) {
+                Some(&idx) => {
+                    for bit in 0..bits {
+                        w.push(Tri::from_bool(idx >> bit & 1 == 1));
+                    }
+                }
+                None => w.extend(std::iter::repeat(Tri::X).take(bits)),
+            }
+        }
+        w
+    };
+
+    let reset = fb.state("RESET", word_for(None));
+    let body: Vec<StateId> = (1..=n)
+        .map(|k| fb.state(format!("CS{k}"), word_for(Some(k))))
+        .collect();
+    let hold = fb.state("HOLD", word_for(None));
+
+    fb.transition(reset, &[], body[0]);
+    for k in 0..n - 1 {
+        fb.transition(body[k], &[], body[k + 1]);
+    }
+    match design.loop_spec() {
+        Some(l) => {
+            fb.transition(body[n - 1], &[(l.status, l.polarity)], body[l.back_to - 1]);
+            fb.transition(body[n - 1], &[], hold);
+        }
+        None => fb.transition(body[n - 1], &[], hold),
+    }
+    fb.transition(hold, &[], hold);
+    let fsm = fb.finish()?;
+
+    let meta = DesignMeta {
+        n_steps: n,
+        reg_names: binding.reg_names().to_vec(),
+        reg_load_steps: binding.load_steps().to_vec(),
+        spans: binding.spans().to_vec(),
+        mux_active_steps: mux_active,
+        required_select,
+        load_line_of_group,
+        group_of_reg,
+        loop_spec: design.loop_spec(),
+    };
+
+    Ok(EmittedSystem {
+        datapath,
+        fsm,
+        meta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::BindingBuilder;
+    use crate::design::{DesignBuilder, Rhs};
+    use sfr_netlist::Logic;
+    use sfr_rtl::{ConcreteDomain, DatapathSim, FuOp};
+
+    /// sum-of-products toy: m1 = a*b (CS1 samples, CS2 mul)…
+    /// Design: CS1 sample va, vb; CS2 t = va * vb; CS3 s = t + va; out s.
+    fn toy() -> EmittedSystem {
+        let mut d = DesignBuilder::new("toy", 4, 3);
+        let pa = d.port("a");
+        let pb = d.port("b");
+        let va = d.var("va");
+        let vb = d.var("vb");
+        let t = d.var("t");
+        let s = d.var("s");
+        d.sample(1, va, Rhs::Port(pa));
+        d.sample(1, vb, Rhs::Port(pb));
+        let m = d.compute(2, t, FuOp::Mul, Rhs::Var(va), Rhs::Var(vb));
+        let a = d.compute(3, s, FuOp::Add, Rhs::Var(t), Rhs::Var(va));
+        d.output("s_out", s);
+        let d = d.finish().unwrap();
+        let mut bb = BindingBuilder::new(&d);
+        bb.bind(crate::design::VarId(0), "R1")
+            .bind(crate::design::VarId(1), "R2")
+            .bind(crate::design::VarId(2), "R3")
+            .bind(crate::design::VarId(3), "R4")
+            .bind_op(m, "MUL1")
+            .bind_op(a, "ADD1");
+        let binding = bb.finish().unwrap();
+        emit(&d, &binding).unwrap()
+    }
+
+    #[test]
+    fn emits_expected_structure() {
+        let sys = toy();
+        assert_eq!(sys.datapath.registers().len(), 4);
+        assert_eq!(sys.datapath.fus().len(), 2);
+        // No muxes needed: every connection point has one source.
+        assert_eq!(sys.datapath.muxes().len(), 0);
+        assert_eq!(sys.fsm.state_count(), 5); // RESET + 3 + HOLD
+        assert_eq!(sys.datapath.control_width(), 4); // four load lines
+    }
+
+    #[test]
+    fn fsm_control_words_assert_loads_in_right_states() {
+        let sys = toy();
+        // Find each register's load line position; control word layout is
+        // group order, which equals sorted singleton groups.
+        let cs1 = sys.meta.state_of_step(1);
+        let word = sys.fsm.output(cs1);
+        // R1 and R2 load in CS1.
+        let r1 = sys.datapath.find_ctrl("LD_R1").unwrap();
+        let r3 = sys.datapath.find_ctrl("LD_R3").unwrap();
+        assert_eq!(word[r1.0], Tri::One);
+        assert_eq!(word[r3.0], Tri::Zero);
+        // RESET and HOLD assert nothing.
+        for s in [sys.meta.reset_state(), sys.meta.hold_state()] {
+            assert!(sys
+                .fsm
+                .output(s)
+                .iter()
+                .all(|&t| t != Tri::One));
+        }
+    }
+
+    #[test]
+    fn toy_computes_correctly_under_spec_control() {
+        let sys = toy();
+        let mut sim = DatapathSim::new(&sys.datapath, ConcreteDomain::new(4));
+        // Walk the FSM's realized words, replacing X with 0.
+        let mut state = sys.meta.reset_state();
+        let inputs = [Some(3u64), Some(4)];
+        for _ in 0..8 {
+            let word: Vec<Logic> = sys
+                .fsm
+                .output(state)
+                .iter()
+                .map(|t| match t.to_bool() {
+                    Some(v) => Logic::from_bool(v),
+                    None => Logic::Zero,
+                })
+                .collect();
+            let r = sim.step(&word, &inputs);
+            if state == sys.meta.hold_state() {
+                // s = a*b + a = 12 + 3 = 15, observed while holding.
+                assert_eq!(r.outputs, vec![Some(15)]);
+                return;
+            }
+            state = sys.fsm.next_state(state, 0);
+        }
+        panic!("never reached HOLD");
+    }
+
+    /// A design that shares one adder across steps, forcing an operand
+    /// mux with don't-cares.
+    fn muxed() -> EmittedSystem {
+        let mut d = DesignBuilder::new("muxed", 4, 3);
+        let pa = d.port("a");
+        let pb = d.port("b");
+        let va = d.var("va");
+        let vb = d.var("vb");
+        let t1 = d.var("t1");
+        let t2 = d.var("t2");
+        d.sample(1, va, Rhs::Port(pa));
+        d.sample(1, vb, Rhs::Port(pb));
+        let o1 = d.compute(2, t1, FuOp::Add, Rhs::Var(va), Rhs::Var(vb));
+        let o2 = d.compute(3, t2, FuOp::Add, Rhs::Var(t1), Rhs::Var(vb));
+        d.output("o", t2);
+        let d = d.finish().unwrap();
+        let mut bb = BindingBuilder::new(&d);
+        bb.bind(crate::design::VarId(0), "R1")
+            .bind(crate::design::VarId(1), "R2")
+            .bind(crate::design::VarId(2), "R3")
+            .bind(crate::design::VarId(3), "R4")
+            .bind_op(o1, "ADD1")
+            .bind_op(o2, "ADD1");
+        let binding = bb.finish().unwrap();
+        emit(&d, &binding).unwrap()
+    }
+
+    #[test]
+    fn shared_fu_gets_an_operand_mux_with_dont_cares() {
+        let sys = muxed();
+        assert_eq!(sys.datapath.muxes().len(), 1);
+        let sel = sys.datapath.find_ctrl("MS1").expect("select line exists");
+        // Active in CS2 and CS3 with different required values.
+        let w2 = sys.fsm.output(sys.meta.state_of_step(2))[sel.0];
+        let w3 = sys.fsm.output(sys.meta.state_of_step(3))[sel.0];
+        assert_ne!(w2, Tri::X);
+        assert_ne!(w3, Tri::X);
+        assert_ne!(w2, w3);
+        // Don't care in CS1 (mux inactive), RESET and HOLD.
+        assert_eq!(sys.fsm.output(sys.meta.state_of_step(1))[sel.0], Tri::X);
+        assert_eq!(sys.fsm.output(sys.meta.reset_state())[sel.0], Tri::X);
+        assert_eq!(sys.fsm.output(sys.meta.hold_state())[sel.0], Tri::X);
+        // Metadata agrees.
+        assert!(sys.meta.mux_active_steps[0].contains(&2));
+        assert!(sys.meta.mux_active_steps[0].contains(&3));
+        assert!(!sys.meta.mux_active_steps[0].contains(&1));
+    }
+
+    #[test]
+    fn muxed_design_computes() {
+        let sys = muxed();
+        let mut sim = DatapathSim::new(&sys.datapath, ConcreteDomain::new(4));
+        let mut state = sys.meta.reset_state();
+        let inputs = [Some(2u64), Some(3)];
+        for _ in 0..8 {
+            let word: Vec<Logic> = sys
+                .fsm
+                .output(state)
+                .iter()
+                .map(|t| Logic::from_bool(t.to_bool().unwrap_or(false)))
+                .collect();
+            let r = sim.step(&word, &inputs);
+            if state == sys.meta.hold_state() {
+                // (2+3) + 3 = 8, observed while holding.
+                assert_eq!(r.outputs, vec![Some(8)]);
+                return;
+            }
+            state = sys.fsm.next_state(state, 0);
+        }
+        panic!("never reached HOLD");
+    }
+
+    #[test]
+    fn looped_design_emits_guarded_transition() {
+        // acc = acc + a, loop while acc < 8.
+        let mut d = DesignBuilder::new("loopy", 4, 2);
+        let pa = d.port("a");
+        let acc = d.var("acc");
+        let c = d.var("c");
+        let o1 = d.compute(1, acc, FuOp::Add, Rhs::Var(acc), Rhs::Port(pa));
+        let o2 = d.compute(2, c, FuOp::Lt, Rhs::Var(acc), Rhs::Const(8));
+        d.output("o", acc);
+        let s = d.status(c);
+        d.loop_while(s, true, 1);
+        let d = d.finish().unwrap();
+        let mut bb = BindingBuilder::new(&d);
+        bb.bind(crate::design::VarId(0), "R1")
+            .bind(crate::design::VarId(1), "R2")
+            .bind_op(o1, "ADD1")
+            .bind_op(o2, "CMP1");
+        let binding = bb.finish().unwrap();
+        let sys = emit(&d, &binding).unwrap();
+        // CS2 branches on status.
+        let cs2 = sys.meta.state_of_step(2);
+        assert_eq!(sys.fsm.next_state(cs2, 1), sys.meta.state_of_step(1));
+        assert_eq!(sys.fsm.next_state(cs2, 0), sys.meta.hold_state());
+        assert_eq!(sys.datapath.statuses().len(), 1);
+    }
+
+    #[test]
+    fn meta_liveness_reflects_lifespans() {
+        let sys = toy();
+        // va (R1) written CS1, last read CS3: live at CS2 only.
+        assert!(sys.meta.reg_live_at(0, 2));
+        assert!(!sys.meta.reg_live_at(0, 1));
+        assert!(!sys.meta.reg_live_at(0, 3));
+        // s (R4) is held and written in the last body step of a
+        // non-looping design: no *body* step after its write exists, so
+        // it is never live within the body (it is live at HOLD, which the
+        // classifier treats separately).
+        assert!(!sys.meta.reg_live_at(3, 1));
+        assert!(!sys.meta.reg_live_at(3, 3));
+    }
+
+    #[test]
+    fn shared_load_line_emits_single_control() {
+        let mut d = DesignBuilder::new("share", 4, 2);
+        let pa = d.port("a");
+        let pb = d.port("b");
+        let va = d.var("va");
+        let vb = d.var("vb");
+        let vs = d.var("vs");
+        d.sample(1, va, Rhs::Port(pa));
+        d.sample(1, vb, Rhs::Port(pb));
+        let o = d.compute(2, vs, FuOp::Add, Rhs::Var(va), Rhs::Var(vb));
+        d.output("o", vs);
+        let d = d.finish().unwrap();
+        let mut bb = BindingBuilder::new(&d);
+        bb.bind(crate::design::VarId(0), "R1")
+            .bind(crate::design::VarId(1), "R2")
+            .bind(crate::design::VarId(2), "R3")
+            .bind_op(o, "ADD1")
+            .share_load(&["R1", "R2"]);
+        let binding = bb.finish().unwrap();
+        let sys = emit(&d, &binding).unwrap();
+        assert_eq!(sys.datapath.control_width(), 2); // LD_R1_R2 + LD_R3
+        assert!(sys.datapath.find_ctrl("LD_R1_R2").is_some());
+    }
+}

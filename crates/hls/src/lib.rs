@@ -1,0 +1,64 @@
+//! A miniature high-level synthesis back end.
+//!
+//! The paper's three example systems were produced by SYNTEST [13]: a
+//! scheduled, bound behavioural description becomes an RTL datapath plus
+//! a state-diagram controller. This crate reproduces that final HLS
+//! stage:
+//!
+//! * [`DesignBuilder`] captures a *scheduled design* — register transfers
+//!   assigned to control steps, with outputs, status bits, and an
+//!   optional loop;
+//! * [`BindingBuilder`] maps variables onto registers (validating
+//!   [lifespan](span_for) disjointness), operations onto fixed-function
+//!   units, and optionally shares load lines between registers;
+//! * [`emit`] produces the [`sfr_rtl::Datapath`], the
+//!   [`sfr_fsm::FsmSpec`] — whose inactive-step select lines are genuine
+//!   don't-cares — and the [`DesignMeta`] lifespan/activity tables that
+//!   the paper's Section 3 fault analysis consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use sfr_hls::{emit, BindingBuilder, DesignBuilder, Rhs};
+//! use sfr_rtl::FuOp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // sum = a + b, scheduled over two steps.
+//! let mut d = DesignBuilder::new("sum", 4, 2);
+//! let pa = d.port("a_in");
+//! let pb = d.port("b_in");
+//! let va = d.var("a");
+//! let vs = d.var("sum");
+//! d.sample(1, va, Rhs::Port(pa));
+//! let add = d.compute(2, vs, FuOp::Add, Rhs::Var(va), Rhs::Port(pb));
+//! d.output("sum_out", vs);
+//! let design = d.finish()?;
+//!
+//! let mut b = BindingBuilder::new(&design);
+//! b.bind(va, "R1").bind(vs, "R2").bind_op(add, "ADD1");
+//! let binding = b.finish()?;
+//!
+//! let sys = emit(&design, &binding)?;
+//! assert_eq!(sys.datapath.registers().len(), 2);
+//! assert_eq!(sys.fsm.state_count(), 4); // RESET, CS1, CS2, HOLD
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bind;
+mod design;
+mod emit;
+mod lifespan;
+mod render;
+
+pub use bind::{BindError, Binding, BindingBuilder};
+pub use design::{
+    DesignBuilder, DesignError, LoopSpec, OpId, OpKind, PortId, Rhs, ScheduledDesign,
+    ScheduledOp, VarId,
+};
+pub use emit::{emit, DesignMeta, EmitError, EmittedSystem};
+pub use lifespan::{span_for, spans_conflict, Span, SpanContext, Step};
+pub use render::{render_lifespans, render_schedule};

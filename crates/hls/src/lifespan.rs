@@ -1,0 +1,307 @@
+//! Variable lifespans over schedules with an optional loop.
+//!
+//! Section 3.2 of the paper: each variable bound to a register has a
+//! *lifespan* starting at the end of the control step that loads it and
+//! ending at the beginning of the step of its last read. Outside every
+//! lifespan the register is *idle*; extra loads there are harmless, extra
+//! loads inside a lifespan are the "potentially disruptive" cases of
+//! Figure 5.
+//!
+//! Schedules may loop from their last step back to a *loop start* `B`
+//! (the differential equation solver samples its inputs in a prologue and
+//! iterates `CS_B..CS_n`). Liveness is therefore computed as an explicit
+//! per-step *live set* rather than an interval:
+//!
+//! * a **prologue** variable (written before `B`) read inside the loop is
+//!   live at every loop step — it is needed again next iteration (loop
+//!   constants like `dx`, `a`);
+//! * a prologue variable that is a *carry target* (rewritten by a carried
+//!   loop variable) is only needed until its last first-pass read;
+//! * a **loop** variable's span runs cyclically over the loop region from
+//!   its write to its last read, where carried variables inherit their
+//!   target's read steps as next-iteration reads;
+//! * a write landing exactly on a read step is safe (reads happen before
+//!   the clock edge).
+
+use std::collections::BTreeSet;
+
+/// A control-step position, 1-based (`CS1` = 1). The reset state is step
+/// 0 and the hold state is `n_steps + 1`, but lifespans only ever span
+/// the body `1..=n_steps`.
+pub type Step = usize;
+
+/// One variable's occupancy of a register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The variable's name (diagnostic).
+    pub var: String,
+    /// The step whose end loads the variable.
+    pub write: Step,
+    /// Steps at which the variable is read (first-pass reads plus, for
+    /// carried variables, inherited next-iteration reads).
+    pub reads: Vec<Step>,
+    /// Whether the variable must survive to the hold state.
+    pub held: bool,
+    /// The computed live set: steps at which an extra register load
+    /// would overwrite a still-needed value.
+    pub live: BTreeSet<Step>,
+}
+
+impl Span {
+    /// Whether the register is live with this variable during step `t`.
+    pub fn live_at(&self, t: Step, _n_steps: usize) -> bool {
+        self.live.contains(&t)
+    }
+}
+
+/// Inputs to [`span_for`] describing a variable's role in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Number of body steps.
+    pub n_steps: usize,
+    /// First step of the loop region, if the schedule loops (`1` for a
+    /// whole-body loop; `None` for straight-line schedules).
+    pub loop_start: Option<Step>,
+    /// Whether the variable is overwritten at loop-back by a carried
+    /// variable (it is a carry *target*): its reads beyond the first
+    /// pass belong to the carrier, not to it.
+    pub carried_over: bool,
+}
+
+/// Computes a variable's lifespan.
+///
+/// `reads` are the steps of the variable's reads; for a carry *source*
+/// the caller must include the target's read steps (they become
+/// next-iteration reads). `held` marks output variables that must
+/// survive to the hold state.
+///
+/// # Panics
+///
+/// Panics if any step is out of range, if `reads` is empty while the
+/// variable is neither held nor a status feed (a variable nobody reads
+/// has no lifespan), or if `loop_start` is out of range.
+pub fn span_for(
+    var: impl Into<String>,
+    write: Step,
+    reads: &[Step],
+    held: bool,
+    ctx: SpanContext,
+) -> Span {
+    let n = ctx.n_steps;
+    assert!((1..=n).contains(&write), "write step {write} out of range");
+    for &r in reads {
+        assert!((1..=n).contains(&r), "read step {r} out of range");
+    }
+    if let Some(b) = ctx.loop_start {
+        assert!((1..=n).contains(&b), "loop start {b} out of range");
+    }
+    assert!(!reads.is_empty() || held, "variable with no reads has no lifespan");
+
+    let mut live: BTreeSet<Step> = BTreeSet::new();
+    match ctx.loop_start {
+        None => {
+            // Straight-line schedule: live strictly between write and
+            // each read; held variables stay live to the end of the body.
+            for &r in reads {
+                debug_assert!(r > write, "validated: no read-before-write");
+                live.extend(write + 1..r);
+            }
+            if held {
+                live.extend(write + 1..=n);
+            }
+        }
+        Some(b) if write < b => {
+            // Prologue variable.
+            let loop_reads = reads.iter().any(|&r| r >= b);
+            if loop_reads && !ctx.carried_over {
+                // Needed every iteration: live from the write through
+                // the entire loop region.
+                live.extend(write + 1..=n);
+            } else {
+                // First-pass reads only.
+                for &r in reads {
+                    debug_assert!(r > write, "prologue reads follow the write");
+                    live.extend(write + 1..r);
+                }
+            }
+            if held {
+                live.extend(write + 1..=n);
+            }
+        }
+        Some(b) => {
+            // Loop variable: cyclic over the loop region [b..=n].
+            let len = n - b + 1;
+            let dist = |s: Step| -> usize {
+                debug_assert!((b..=n).contains(&s));
+                if s > write {
+                    s - write
+                } else {
+                    len - (write - s)
+                }
+            };
+            let max_read_dist = reads
+                .iter()
+                .map(|&r| {
+                    assert!(r >= b, "loop variable read in the prologue");
+                    dist(r)
+                })
+                .max()
+                .unwrap_or(0);
+            for s in b..=n {
+                if s != write && dist(s) < max_read_dist {
+                    live.insert(s);
+                }
+            }
+            if held {
+                // The final iteration's value must survive to HOLD: every
+                // loop step except the write itself.
+                live.extend((b..=n).filter(|&s| s != write));
+            }
+        }
+    }
+
+    Span {
+        var: var.into(),
+        write,
+        reads: {
+            let mut r = reads.to_vec();
+            r.sort_unstable();
+            r.dedup();
+            r
+        },
+        held,
+        live,
+    }
+}
+
+/// Whether two spans on the same register conflict: one variable's write
+/// lands inside the other's live set, or they write in the same step.
+pub fn spans_conflict(a: &Span, b: &Span, _n_steps: usize) -> bool {
+    a.write == b.write || a.live.contains(&b.write) || b.live.contains(&a.write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(n: usize) -> SpanContext {
+        SpanContext {
+            n_steps: n,
+            loop_start: None,
+            carried_over: false,
+        }
+    }
+
+    fn looped(n: usize, b: Step) -> SpanContext {
+        SpanContext {
+            n_steps: n,
+            loop_start: Some(b),
+            carried_over: false,
+        }
+    }
+
+    #[test]
+    fn linear_span_liveness() {
+        // Loaded at end of CS2, last read CS5 (paper Fig 5 style).
+        let s = span_for("v", 2, &[3, 5], false, linear(8));
+        assert!(!s.live_at(2, 8));
+        assert!(s.live_at(3, 8));
+        assert!(s.live_at(4, 8));
+        assert!(!s.live_at(5, 8), "a write at the last-read step is safe");
+        assert!(!s.live_at(6, 8));
+    }
+
+    #[test]
+    fn whole_body_loop_wrapping_span() {
+        // Written CS7, read CS2 of the next iteration (loop over all 8).
+        let s = span_for("v", 7, &[2], false, looped(8, 1));
+        assert!(s.live_at(8, 8));
+        assert!(s.live_at(1, 8));
+        assert!(!s.live_at(2, 8));
+        assert!(!s.live_at(5, 8));
+    }
+
+    #[test]
+    fn read_in_write_step_means_next_iteration() {
+        // x := x + dx at CS5 both reads and rewrites x's register.
+        let s = span_for("x", 5, &[5], false, looped(8, 1));
+        for t in [6, 7, 8, 1, 2, 3, 4] {
+            assert!(s.live_at(t, 8), "live at {t}");
+        }
+        assert!(!s.live_at(5, 8));
+    }
+
+    #[test]
+    fn loop_constant_is_live_for_the_whole_loop() {
+        // dx: sampled in the prologue (CS1), read at CS3 every iteration
+        // of the loop CS2..CS8.
+        let s = span_for("dx", 1, &[3], false, looped(8, 2));
+        for t in 2..=8 {
+            assert!(s.live_at(t, 8), "constant live at {t}");
+        }
+        assert!(!s.live_at(1, 8));
+    }
+
+    #[test]
+    fn carried_target_only_lives_through_first_pass() {
+        // u: sampled CS1, read CS2 and CS4 first pass; rewritten by the
+        // carried u1 at loop-back.
+        let ctx = SpanContext {
+            n_steps: 8,
+            loop_start: Some(2),
+            carried_over: true,
+        };
+        let s = span_for("u", 1, &[2, 4], false, ctx);
+        assert!(s.live_at(2, 8));
+        assert!(s.live_at(3, 8));
+        assert!(!s.live_at(4, 8), "write at the last read is safe");
+        assert!(!s.live_at(5, 8));
+        assert!(!s.live_at(8, 8));
+    }
+
+    #[test]
+    fn carry_source_lifespan_covers_next_iteration_reads() {
+        // u1 written CS5, consumed (as u) at CS2 and CS4 next iteration.
+        let s = span_for("u1", 5, &[2, 4], false, looped(8, 2));
+        for t in [6, 7, 8, 2, 3] {
+            assert!(s.live_at(t, 8), "live at {t}");
+        }
+        assert!(!s.live_at(4, 8));
+        assert!(!s.live_at(5, 8));
+    }
+
+    #[test]
+    fn held_variables_stay_live() {
+        let lin = span_for("out", 6, &[], true, linear(8));
+        assert!(lin.live_at(7, 8));
+        assert!(lin.live_at(8, 8));
+        assert!(!lin.live_at(1, 8));
+        let lp = span_for("y1", 6, &[2], true, looped(8, 2));
+        assert!(lp.live_at(2, 8));
+        assert!(lp.live_at(8, 8));
+        assert!(!lp.live_at(6, 8));
+    }
+
+    #[test]
+    fn conflicts_detected() {
+        let a = span_for("a", 2, &[5], false, linear(8));
+        let ok = span_for("b", 5, &[7], false, linear(8));
+        assert!(!spans_conflict(&a, &ok, 8));
+        let bad = span_for("c", 3, &[4], false, linear(8));
+        assert!(spans_conflict(&a, &bad, 8));
+        let same = span_for("d", 2, &[6], false, linear(8));
+        assert!(spans_conflict(&a, &same, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "no reads")]
+    fn rejects_unread_variable() {
+        let _ = span_for("v", 1, &[], false, linear(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_write() {
+        let _ = span_for("v", 9, &[1], false, linear(8));
+    }
+}

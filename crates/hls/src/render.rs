@@ -1,0 +1,147 @@
+//! Text rendering of schedules and lifespans (the paper's Figure 5).
+
+use crate::bind::Binding;
+use crate::design::{OpKind, ScheduledDesign};
+use std::fmt::Write as _;
+
+/// Renders the schedule as a step-by-op table:
+///
+/// ```text
+/// CS1: x <- sample(x_in); y <- sample(y_in)
+/// CS2: m1 <- mul(3, x); x1 <- add(x, dx)
+/// ```
+pub fn render_schedule(d: &ScheduledDesign) -> String {
+    let mut out = String::new();
+    for step in 1..=d.n_steps() {
+        let ops: Vec<String> = d
+            .ops()
+            .iter()
+            .filter(|o| o.step == step)
+            .map(|o| {
+                let dst = d.var_name(o.dst);
+                let rhs = |r: crate::design::Rhs| match r {
+                    crate::design::Rhs::Var(v) => d.var_name(v).to_string(),
+                    crate::design::Rhs::Const(c) => c.to_string(),
+                    crate::design::Rhs::Port(p) => d.ports()[p.0].clone(),
+                };
+                match o.kind {
+                    OpKind::Sample => format!("{dst} <- sample({})", rhs(o.a)),
+                    OpKind::Compute(op) => {
+                        if op.uses_b() {
+                            format!("{dst} <- {op}({}, {})", rhs(o.a), rhs(o.b))
+                        } else {
+                            format!("{dst} <- {op}({})", rhs(o.a))
+                        }
+                    }
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "CS{step}: {}", ops.join("; "));
+    }
+    if let Some(l) = d.loop_spec() {
+        let _ = writeln!(
+            out,
+            "loop: CS{} -> CS{} while {} == {}",
+            d.n_steps(),
+            l.back_to,
+            d.var_name(d.statuses()[l.status]),
+            u8::from(l.polarity)
+        );
+    }
+    out
+}
+
+/// Renders the register occupancy chart in the style of the paper's
+/// Figure 5: one row per register, one column per body step, `W` at
+/// write steps, `#` while live, `r` at read steps, `.` when idle.
+pub fn render_lifespans(binding: &Binding, n_steps: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<8}", "");
+    for step in 1..=n_steps {
+        let _ = write!(out, "{:>4}", format!("CS{step}"));
+    }
+    let _ = writeln!(out);
+    for (r, name) in binding.reg_names().iter().enumerate() {
+        let _ = write!(out, "{name:<8}");
+        for step in 1..=n_steps {
+            let writes = binding.spans()[r].iter().any(|s| s.write == step);
+            let reads = binding.spans()[r].iter().any(|s| s.reads.contains(&step));
+            let live = binding.spans()[r]
+                .iter()
+                .any(|s| s.live_at(step, n_steps));
+            let c = match (writes, reads, live) {
+                (true, _, _) => 'W',
+                (_, true, _) => 'r',
+                (_, _, true) => '#',
+                _ => '.',
+            };
+            let _ = write!(out, "{c:>4}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "        W=write  r=read  #=live  .=idle");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::BindingBuilder;
+    use crate::design::{DesignBuilder, Rhs};
+    use sfr_rtl::FuOp;
+
+    fn fixture() -> (ScheduledDesign, Binding) {
+        let mut d = DesignBuilder::new("t", 4, 3);
+        let p = d.port("p");
+        let v1 = d.var("v1");
+        let v2 = d.var("v2");
+        d.sample(1, v1, Rhs::Port(p));
+        let op = d.compute(3, v2, FuOp::Add, Rhs::Var(v1), Rhs::Const(1));
+        d.output("o", v2);
+        let d = d.finish().unwrap();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(v1, "R1").bind(v2, "R2").bind_op(op, "ADD1");
+        let binding = b.finish().unwrap();
+        (d, binding)
+    }
+
+    #[test]
+    fn schedule_renders_each_step() {
+        let (d, _) = fixture();
+        let text = render_schedule(&d);
+        assert!(text.contains("CS1: v1 <- sample(p)"));
+        assert!(text.contains("CS3: v2 <- add(v1, 1)"));
+        assert!(!text.contains("loop:"));
+    }
+
+    #[test]
+    fn lifespans_mark_writes_reads_and_liveness() {
+        let (d, binding) = fixture();
+        let text = render_lifespans(&binding, d.n_steps());
+        // R1: W at CS1, live CS2, read CS3.
+        let r1 = text.lines().find(|l| l.starts_with("R1")).unwrap();
+        assert!(r1.contains('W'));
+        assert!(r1.contains('#'));
+        assert!(r1.contains('r'));
+        assert!(text.contains("W=write"));
+    }
+
+    #[test]
+    fn looped_schedule_mentions_the_loop() {
+        let mut d = DesignBuilder::new("l", 4, 2);
+        let p = d.port("p");
+        let acc = d.var("acc");
+        let c = d.var("c");
+        let a = d.compute(1, acc, FuOp::Add, Rhs::Var(acc), Rhs::Port(p));
+        let k = d.compute(2, c, FuOp::Lt, Rhs::Var(acc), Rhs::Const(8));
+        d.output("o", acc);
+        let s = d.status(c);
+        d.loop_while(s, true, 1);
+        let d = d.finish().unwrap();
+        let mut b = BindingBuilder::new(&d);
+        b.bind(acc, "R1").bind(c, "R2").bind_op(a, "ADD1").bind_op(k, "CMP1");
+        let _ = b.finish().unwrap();
+        let text = render_schedule(&d);
+        assert!(text.contains("loop: CS2 -> CS1 while c == 1"));
+    }
+}

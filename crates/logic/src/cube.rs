@@ -1,0 +1,317 @@
+//! Cubes (product terms) and covers (sums of products) over up to 32
+//! variables.
+
+use std::fmt;
+
+/// A product term over `n` boolean variables.
+///
+/// Bit `i` of `care` is set when variable `i` is a literal of the cube;
+/// bit `i` of `value` gives that literal's polarity (only meaningful where
+/// `care` is set). A cube with `care == 0` is the tautology (covers every
+/// minterm).
+///
+/// # Examples
+///
+/// ```
+/// use sfr_logic::Cube;
+///
+/// // x1' x3  over any width: care bits 1 and 3, value bit 3.
+/// let c = Cube::new(0b1010, 0b1000);
+/// assert!(c.covers(0b1000));  // x3=1, x1=0
+/// assert!(!c.covers(0b1010)); // x1=1 violates x1'
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    care: u32,
+    value: u32,
+}
+
+impl Cube {
+    /// Creates a cube from care and value masks.
+    ///
+    /// Bits of `value` outside `care` are cleared, so cubes have a unique
+    /// canonical representation.
+    pub fn new(care: u32, value: u32) -> Self {
+        Cube {
+            care,
+            value: value & care,
+        }
+    }
+
+    /// The tautology cube (no literals; covers everything).
+    pub fn tautology() -> Self {
+        Cube { care: 0, value: 0 }
+    }
+
+    /// The minterm cube fixing all `n_vars` variables to `assignment`.
+    pub fn minterm(assignment: u32, n_vars: usize) -> Self {
+        let care = mask(n_vars);
+        Cube::new(care, assignment)
+    }
+
+    /// Care mask.
+    pub fn care(self) -> u32 {
+        self.care
+    }
+
+    /// Value mask (zero outside the care bits).
+    pub fn value(self) -> u32 {
+        self.value
+    }
+
+    /// Number of literals.
+    pub fn literal_count(self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Whether the cube covers the given minterm (full assignment).
+    #[inline]
+    pub fn covers(self, assignment: u32) -> bool {
+        assignment & self.care == self.value
+    }
+
+    /// Whether `self` covers every minterm `other` covers.
+    pub fn contains(self, other: Cube) -> bool {
+        // Every literal of self must be a literal of other with equal
+        // polarity.
+        self.care & other.care == self.care && other.value & self.care == self.value
+    }
+
+    /// Attempts the Quine–McCluskey merge: two cubes with identical care
+    /// masks whose values differ in exactly one bit combine into one cube
+    /// with that bit freed.
+    pub fn merge(self, other: Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Cube::new(self.care & !diff, self.value & !diff))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the polarity of variable `i`: `Some(true)` positive
+    /// literal, `Some(false)` negative literal, `None` absent.
+    pub fn literal(self, i: usize) -> Option<bool> {
+        if self.care >> i & 1 == 1 {
+            Some(self.value >> i & 1 == 1)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Renders in PLA style over however many variables fit the care
+    /// mask: `1`, `0`, or `-` per position, LSB leftmost.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = if self.care == 0 {
+            1
+        } else {
+            32 - self.care.leading_zeros() as usize
+        };
+        for i in 0..width {
+            let c = match self.literal(i) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Low-`n` bit mask.
+pub(crate) fn mask(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// A sum-of-products cover of a single-output boolean function over
+/// `n_vars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_logic::{Cover, Cube};
+///
+/// let xor = Cover::from_cubes(2, vec![Cube::new(0b11, 0b01), Cube::new(0b11, 0b10)]);
+/// assert!(xor.eval(0b01));
+/// assert!(!xor.eval(0b11));
+/// assert_eq!(xor.cube_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    n_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The constant-false cover.
+    pub fn constant_false(n_vars: usize) -> Self {
+        Cover {
+            n_vars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The constant-true cover.
+    pub fn constant_true(n_vars: usize) -> Self {
+        Cover {
+            n_vars,
+            cubes: vec![Cube::tautology()],
+        }
+    }
+
+    /// Builds a cover from explicit cubes.
+    pub fn from_cubes(n_vars: usize, cubes: Vec<Cube>) -> Self {
+        Cover { n_vars, cubes }
+    }
+
+    /// Number of input variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of product terms.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count (the usual two-level cost metric).
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(|c| c.literal_count()).sum()
+    }
+
+    /// Whether the cover is the constant-false function.
+    pub fn is_constant_false(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Whether the cover is the constant-true function (contains a
+    /// tautology cube).
+    pub fn is_constant_true(&self) -> bool {
+        self.cubes.iter().any(|c| c.care() == 0)
+    }
+
+    /// Evaluates the function at a full assignment.
+    pub fn eval(&self, assignment: u32) -> bool {
+        self.cubes.iter().any(|c| c.covers(assignment))
+    }
+
+    /// Enumerates all minterms of the cover (exponential in `n_vars`;
+    /// intended for verification on small functions).
+    pub fn minterms(&self) -> Vec<u32> {
+        (0..1u64 << self.n_vars)
+            .map(|m| m as u32)
+            .filter(|&m| self.eval(m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_covers_only_itself() {
+        let c = Cube::minterm(0b101, 3);
+        for m in 0..8 {
+            assert_eq!(c.covers(m), m == 0b101);
+        }
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn tautology_covers_everything() {
+        let t = Cube::tautology();
+        for m in 0..16 {
+            assert!(t.covers(m));
+        }
+        assert_eq!(t.literal_count(), 0);
+    }
+
+    #[test]
+    fn merge_adjacent_minterms() {
+        let a = Cube::minterm(0b000, 3);
+        let b = Cube::minterm(0b001, 3);
+        let m = a.merge(b).expect("adjacent");
+        assert_eq!(m, Cube::new(0b110, 0b000));
+        assert!(m.covers(0b000));
+        assert!(m.covers(0b001));
+        assert!(!m.covers(0b010));
+    }
+
+    #[test]
+    fn merge_rejects_distance_two() {
+        let a = Cube::minterm(0b00, 2);
+        let b = Cube::minterm(0b11, 2);
+        assert!(a.merge(b).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_different_care() {
+        let a = Cube::new(0b11, 0b00);
+        let b = Cube::new(0b01, 0b01);
+        assert!(a.merge(b).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::new(0b010, 0b010); // x1
+        let small = Cube::new(0b011, 0b010); // x1 x0'
+        assert!(big.contains(small));
+        assert!(!small.contains(big));
+        assert!(big.contains(big));
+        assert!(Cube::tautology().contains(big));
+    }
+
+    #[test]
+    fn canonical_value_masked_by_care() {
+        let c = Cube::new(0b01, 0b11);
+        assert_eq!(c.value(), 0b01);
+        assert_eq!(c, Cube::new(0b01, 0b01));
+    }
+
+    #[test]
+    fn display_pla_style() {
+        let c = Cube::new(0b101, 0b100);
+        assert_eq!(c.to_string(), "0-1");
+        assert_eq!(Cube::tautology().to_string(), "-");
+    }
+
+    #[test]
+    fn cover_eval_and_constants() {
+        let f = Cover::constant_false(3);
+        let t = Cover::constant_true(3);
+        for m in 0..8 {
+            assert!(!f.eval(m));
+            assert!(t.eval(m));
+        }
+        assert!(f.is_constant_false());
+        assert!(t.is_constant_true());
+    }
+
+    #[test]
+    fn cover_minterms_of_or() {
+        // x0 + x1 over 2 vars.
+        let c = Cover::from_cubes(
+            2,
+            vec![Cube::new(0b01, 0b01), Cube::new(0b10, 0b10)],
+        );
+        assert_eq!(c.minterms(), vec![1, 2, 3]);
+        assert_eq!(c.literal_count(), 2);
+    }
+}

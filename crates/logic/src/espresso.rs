@@ -1,0 +1,253 @@
+//! A heuristic two-level minimizer in the espresso style.
+//!
+//! EXPAND → IRREDUNDANT → REDUCE, iterated to a fixpoint. Unlike the
+//! exact Quine–McCluskey path ([`crate::minimize`]), the result is
+//! near-minimal rather than minimal, but the cost is polynomial in the
+//! cover size — the trade real flows (including the paper's COMPASS)
+//! made. Having both engines also gives the workspace a strong
+//! cross-check: they must agree *functionally* on every input
+//! (property-tested), while their cube counts measure the heuristic's
+//! optimality gap.
+
+use crate::cube::{Cover, Cube};
+use std::collections::BTreeSet;
+
+/// Minimizes with the heuristic loop. Semantics match
+/// [`crate::minimize`]: don't-cares may be absorbed, never required.
+///
+/// # Panics
+///
+/// Panics if `n_vars > 16` (the off-set is enumerated explicitly) or a
+/// minterm is out of range.
+pub fn minimize_heuristic(n_vars: usize, on: &[u32], dc: &[u32]) -> Cover {
+    assert!(n_vars <= 16, "heuristic minimizer limited to 16 variables");
+    let total: u64 = 1 << n_vars;
+    let in_range = |m: u32| (m as u64) < total;
+    assert!(on.iter().all(|&m| in_range(m)), "on-set minterm out of range");
+    assert!(dc.iter().all(|&m| in_range(m)), "dc-set minterm out of range");
+
+    let on: BTreeSet<u32> = on.iter().copied().collect();
+    if on.is_empty() {
+        return Cover::constant_false(n_vars);
+    }
+    let dc: BTreeSet<u32> = dc.iter().copied().collect();
+    let off: Vec<u32> = (0..total as u32)
+        .filter(|m| !on.contains(m) && !dc.contains(m))
+        .collect();
+    if off.is_empty() {
+        return Cover::constant_true(n_vars);
+    }
+
+    let mut cubes: Vec<Cube> = on.iter().map(|&m| Cube::minterm(m, n_vars)).collect();
+    let mut best = cubes.clone();
+    let mut best_cost = cost(&best);
+    for _ in 0..4 {
+        expand(&mut cubes, &off, n_vars);
+        irredundant(&mut cubes, &on);
+        let c = cost(&cubes);
+        if c < best_cost {
+            best = cubes.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        reduce(&mut cubes, &on, n_vars);
+    }
+    Cover::from_cubes(n_vars, best)
+}
+
+fn cost(cubes: &[Cube]) -> (usize, u32) {
+    (cubes.len(), cubes.iter().map(|c| c.literal_count()).sum())
+}
+
+/// Whether a cube intersects the off-set.
+fn hits_off(c: Cube, off: &[u32]) -> bool {
+    off.iter().any(|&m| c.covers(m))
+}
+
+/// EXPAND: enlarge each cube literal-by-literal while it stays off-free;
+/// drop cubes covered by the expanded result.
+fn expand(cubes: &mut Vec<Cube>, off: &[u32], n_vars: usize) {
+    // Largest cubes first: they absorb the most.
+    cubes.sort_by_key(|c| c.literal_count());
+    let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
+    'next: for i in 0..cubes.len() {
+        let mut c = cubes[i];
+        for covered in &result {
+            if covered.contains(c) {
+                continue 'next;
+            }
+        }
+        for v in 0..n_vars {
+            if c.literal(v).is_none() {
+                continue;
+            }
+            let freed = Cube::new(c.care() & !(1 << v), c.value());
+            if !hits_off(freed, off) {
+                c = freed;
+            }
+        }
+        result.retain(|r| !c.contains(*r));
+        result.push(c);
+    }
+    *cubes = result;
+}
+
+/// IRREDUNDANT: drop cubes whose on-set contribution is covered by the
+/// rest (greedy, smallest contribution first).
+fn irredundant(cubes: &mut Vec<Cube>, on: &BTreeSet<u32>) {
+    loop {
+        let mut removed = false;
+        // Find a cube all of whose on-minterms are covered elsewhere.
+        'scan: for i in 0..cubes.len() {
+            for &m in on {
+                if cubes[i].covers(m)
+                    && !cubes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.covers(m))
+                {
+                    continue 'scan; // essential for m
+                }
+            }
+            cubes.remove(i);
+            removed = true;
+            break;
+        }
+        if !removed {
+            return;
+        }
+    }
+}
+
+/// REDUCE: shrink each cube to the smallest cube containing the
+/// on-minterms only it covers (giving the next EXPAND a different
+/// direction to grow in).
+fn reduce(cubes: &mut [Cube], on: &BTreeSet<u32>, n_vars: usize) {
+    for i in 0..cubes.len() {
+        let mine: Vec<u32> = on
+            .iter()
+            .copied()
+            .filter(|&m| {
+                cubes[i].covers(m)
+                    && !cubes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, c)| j != i && c.covers(m))
+            })
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        // Smallest enclosing cube of `mine`, intersected with the
+        // current cube's fixed literals.
+        let mut care = crate::cube::mask(n_vars);
+        let first = mine[0];
+        for &m in &mine[1..] {
+            care &= !(m ^ first);
+        }
+        let shrunk = Cube::new(care, first);
+        if cubes[i].contains(shrunk) {
+            cubes[i] = shrunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qm::minimize;
+
+    fn check(n: usize, on: &[u32], dc: &[u32], cover: &Cover) {
+        let on_set: BTreeSet<u32> = on.iter().copied().collect();
+        let dc_set: BTreeSet<u32> = dc.iter().copied().collect();
+        for m in 0..(1u32 << n) {
+            if on_set.contains(&m) {
+                assert!(cover.eval(m), "on minterm {m} uncovered");
+            } else if !dc_set.contains(&m) {
+                assert!(!cover.eval(m), "off minterm {m} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_example_matches_exact_cost() {
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let h = minimize_heuristic(4, &on, &dc);
+        check(4, &on, &dc, &h);
+        let exact = minimize(4, &on, &dc);
+        assert_eq!(h.cube_count(), exact.cube_count(), "no gap on the classic");
+    }
+
+    #[test]
+    fn constants() {
+        assert!(minimize_heuristic(3, &[], &[]).is_constant_false());
+        let all: Vec<u32> = (0..8).collect();
+        assert!(minimize_heuristic(3, &all, &[]).is_constant_true());
+        assert!(minimize_heuristic(2, &[0], &[1, 2, 3]).is_constant_true());
+    }
+
+    #[test]
+    fn random_functions_are_correct_and_near_exact() {
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut total_h = 0usize;
+        let mut total_e = 0usize;
+        for _ in 0..80 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let truth = (s & 0xffff) as u16;
+            let dcm = ((s >> 16) & 0xffff) as u16 & !truth;
+            let on: Vec<u32> = (0..16).filter(|&m| truth >> m & 1 == 1).collect();
+            let dc: Vec<u32> = (0..16).filter(|&m| dcm >> m & 1 == 1).collect();
+            let h = minimize_heuristic(4, &on, &dc);
+            check(4, &on, &dc, &h);
+            let e = minimize(4, &on, &dc);
+            total_h += h.cube_count();
+            total_e += e.cube_count();
+            assert!(
+                h.cube_count() <= e.cube_count() + 2,
+                "heuristic gap too large: {} vs {}",
+                h.cube_count(),
+                e.cube_count()
+            );
+        }
+        // Aggregate optimality gap stays small.
+        assert!(
+            total_h as f64 <= total_e as f64 * 1.15,
+            "aggregate gap: {total_h} vs {total_e}"
+        );
+    }
+
+    #[test]
+    fn handles_wider_functions_than_exact_would_like() {
+        // 12 variables, a sparse on-set: runs fast and correctly.
+        let on: Vec<u32> = (0..40u32).map(|i| i * 97 % 4096).collect();
+        let h = minimize_heuristic(12, &on, &[]);
+        let on_set: BTreeSet<u32> = on.iter().copied().collect();
+        for m in 0..4096u32 {
+            assert_eq!(h.eval(m), on_set.contains(&m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn expanded_cubes_are_off_free_primes() {
+        let on = [0u32, 1, 2, 3, 8];
+        let h = minimize_heuristic(4, &on, &[]);
+        check(4, &on, &[], &h);
+        // Every cube must be expandable no further.
+        let off: Vec<u32> = (0..16u32).filter(|m| !on.contains(m)).collect();
+        for c in h.cubes() {
+            for v in 0..4 {
+                if c.literal(v).is_some() {
+                    let freed = Cube::new(c.care() & !(1 << v), c.value());
+                    assert!(
+                        hits_off(freed, &off),
+                        "cube {c} not prime (can free var {v})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Technology mapping of sum-of-products covers onto the
+//! [`sfr_netlist`] cell library.
+//!
+//! Produces AND/OR trees (using the widest available 2–4 input gates) with
+//! inverters shared across all outputs mapped through one [`SopMapper`] —
+//! the structure a 1990s FSM synthesis flow would emit for a two-level
+//! PLA-style controller realized in standard cells.
+
+use crate::cube::Cover;
+use sfr_netlist::{CellKind, NetId, NetlistBuilder};
+use std::collections::HashMap;
+
+/// Maps covers into gates, sharing input inverters between outputs.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_logic::{minimize, SopMapper};
+/// use sfr_netlist::NetlistBuilder;
+///
+/// # fn main() -> Result<(), sfr_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("f");
+/// let x0 = b.input("x0");
+/// let x1 = b.input("x1");
+/// let cover = minimize(2, &[1, 2], &[]); // XOR as two cubes
+/// let mut mapper = SopMapper::new();
+/// let f = mapper.map(&mut b, &cover, &[x0, x1], "f");
+/// b.mark_output(f);
+/// let nl = b.finish()?;
+/// assert!(nl.gate_count() >= 4); // 2 inverters, 2 ANDs, 1 OR
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SopMapper {
+    inverted: HashMap<NetId, NetId>,
+    counter: usize,
+}
+
+impl SopMapper {
+    /// Creates a mapper with an empty inverter cache.
+    pub fn new() -> Self {
+        SopMapper::default()
+    }
+
+    fn unique(&mut self, prefix: &str, what: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{what}{}", self.counter)
+    }
+
+    /// The complement of `net`, creating (and caching) an inverter on
+    /// first use.
+    pub fn inverted(
+        &mut self,
+        b: &mut NetlistBuilder,
+        net: NetId,
+        prefix: &str,
+    ) -> NetId {
+        if let Some(&n) = self.inverted.get(&net) {
+            return n;
+        }
+        let name = self.unique(prefix, "inv");
+        let out = b.gate_net(CellKind::Inv, name, &[net]);
+        self.inverted.insert(net, out);
+        out
+    }
+
+    /// Reduces `nets` with a tree of AND or OR gates (2–4 inputs each).
+    fn reduce(
+        &mut self,
+        b: &mut NetlistBuilder,
+        mut nets: Vec<NetId>,
+        and: bool,
+        prefix: &str,
+    ) -> NetId {
+        assert!(!nets.is_empty());
+        while nets.len() > 1 {
+            let mut next = Vec::with_capacity(nets.len().div_ceil(4));
+            for chunk in nets.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                let kind = match (and, chunk.len()) {
+                    (true, 2) => CellKind::And2,
+                    (true, 3) => CellKind::And3,
+                    (true, 4) => CellKind::And4,
+                    (false, 2) => CellKind::Or2,
+                    (false, 3) => CellKind::Or3,
+                    (false, 4) => CellKind::Or4,
+                    _ => unreachable!(),
+                };
+                let what = if and { "and" } else { "or" };
+                let name = self.unique(prefix, what);
+                next.push(b.gate_net(kind, name, chunk));
+            }
+            nets = next;
+        }
+        nets[0]
+    }
+
+    /// Maps `cover` over the given input nets (variable `i` of the cover
+    /// reads `inputs[i]`), returning the net computing the function.
+    ///
+    /// Constant covers map to [`CellKind::Const0`] / [`CellKind::Const1`]
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != cover.n_vars()`.
+    pub fn map(
+        &mut self,
+        b: &mut NetlistBuilder,
+        cover: &Cover,
+        inputs: &[NetId],
+        prefix: &str,
+    ) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            cover.n_vars(),
+            "cover over {} vars mapped onto {} nets",
+            cover.n_vars(),
+            inputs.len()
+        );
+        if cover.is_constant_false() {
+            let name = self.unique(prefix, "c0_");
+            return b.gate_net(CellKind::Const0, name, &[]);
+        }
+        if cover.is_constant_true() {
+            let name = self.unique(prefix, "c1_");
+            return b.gate_net(CellKind::Const1, name, &[]);
+        }
+        let mut products = Vec::with_capacity(cover.cube_count());
+        for cube in cover.cubes() {
+            let mut lits = Vec::new();
+            for (i, &net) in inputs.iter().enumerate() {
+                match cube.literal(i) {
+                    Some(true) => lits.push(net),
+                    Some(false) => lits.push(self.inverted(b, net, prefix)),
+                    None => {}
+                }
+            }
+            debug_assert!(!lits.is_empty(), "non-constant cover has empty cube");
+            products.push(self.reduce(b, lits, true, prefix));
+        }
+        self.reduce(b, products, false, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qm::minimize;
+    use sfr_netlist::{logic_to_u64, u64_to_logic, CycleSim, Netlist};
+
+    /// Maps a cover and exhaustively compares netlist output to the cover.
+    fn verify_mapping(n_vars: usize, on: &[u32], dc: &[u32]) -> Netlist {
+        let cover = minimize(n_vars, on, dc);
+        let mut b = NetlistBuilder::new("f");
+        let inputs: Vec<NetId> = (0..n_vars).map(|i| b.input(format!("x{i}"))).collect();
+        let mut mapper = SopMapper::new();
+        let f = mapper.map(&mut b, &cover, &inputs, "f");
+        b.mark_output(f);
+        let nl = b.finish().expect("valid netlist");
+        let mut sim = CycleSim::new(&nl);
+        for m in 0..(1u32 << n_vars) {
+            sim.set_inputs(&u64_to_logic(m as u64, n_vars));
+            sim.eval();
+            let got = logic_to_u64(&sim.outputs()).expect("known output");
+            assert_eq!(got == 1, cover.eval(m), "mismatch at minterm {m}");
+        }
+        nl
+    }
+
+    #[test]
+    fn maps_xor() {
+        let nl = verify_mapping(2, &[1, 2], &[]);
+        // 2 shared inverters + 2 AND2 + 1 OR2.
+        assert_eq!(nl.gate_count(), 5);
+    }
+
+    #[test]
+    fn maps_constants() {
+        verify_mapping(3, &[], &[]);
+        let all: Vec<u32> = (0..8).collect();
+        verify_mapping(3, &all, &[]);
+    }
+
+    #[test]
+    fn maps_wide_products_with_trees() {
+        // 6-input AND of complemented variables: forces inverter + tree.
+        let on = [0u32];
+        let nl = verify_mapping(6, &on, &[]);
+        assert!(nl.gate_count() >= 8); // 6 inverters + at least 2 tree gates
+    }
+
+    #[test]
+    fn inverters_shared_between_outputs() {
+        let mut b = NetlistBuilder::new("two");
+        let x0 = b.input("x0");
+        let x1 = b.input("x1");
+        let mut mapper = SopMapper::new();
+        // f = x0' x1, g = x0' x1'
+        let f_cover = minimize(2, &[2], &[]);
+        let g_cover = minimize(2, &[0], &[]);
+        let f = mapper.map(&mut b, &f_cover, &[x0, x1], "f");
+        let g = mapper.map(&mut b, &g_cover, &[x0, x1], "g");
+        b.mark_output(f);
+        b.mark_output(g);
+        let nl = b.finish().unwrap();
+        let inverters = nl
+            .gate_ids()
+            .filter(|&g| nl.gate(g).kind() == CellKind::Inv)
+            .count();
+        // x0' used by both, x1' only by g: exactly 2 inverters, not 3.
+        assert_eq!(inverters, 2);
+    }
+
+    #[test]
+    fn random_functions_map_correctly() {
+        let mut s = 0xdeadbeefcafef00du64;
+        for _ in 0..40 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let truth = (s & 0xffff) as u16;
+            let on: Vec<u32> = (0..16).filter(|&m| truth >> m & 1 == 1).collect();
+            verify_mapping(4, &on, &[]);
+        }
+    }
+}

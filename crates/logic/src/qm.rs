@@ -1,0 +1,292 @@
+//! Quine–McCluskey prime implicant generation and minimum-cover selection.
+//!
+//! Exact prime generation with an essential-prime + dominance + greedy
+//! covering step (Petrick's method on what remains when small). Intended
+//! for the function sizes that arise in FSM controller synthesis — a
+//! handful of state bits plus status inputs — where exactness is cheap.
+
+use crate::cube::{mask, Cover, Cube};
+use std::collections::BTreeSet;
+
+/// Generates all prime implicants of the function whose on-set is
+/// `on` and don't-care set is `dc` (minterm lists over `n_vars` variables).
+///
+/// # Panics
+///
+/// Panics if `n_vars > 24` (the minterm table would be unreasonable) or if
+/// any minterm exceeds `2^n_vars`.
+pub fn prime_implicants(n_vars: usize, on: &[u32], dc: &[u32]) -> Vec<Cube> {
+    assert!(n_vars <= 24, "QM limited to 24 variables, got {n_vars}");
+    let m = mask(n_vars);
+    for &x in on.iter().chain(dc) {
+        assert!(x & !m == 0, "minterm {x:#b} out of range for {n_vars} vars");
+    }
+    // Level 0: all distinct minterms of on ∪ dc.
+    let mut current: BTreeSet<Cube> = on
+        .iter()
+        .chain(dc)
+        .map(|&v| Cube::minterm(v, n_vars))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flag = vec![false; cubes.len()];
+        let mut next: BTreeSet<Cube> = BTreeSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = cubes[i].merge(cubes[j]) {
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, c) in cubes.iter().enumerate() {
+            if !merged_flag[i] {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+    primes
+}
+
+/// Selects a minimal (exact for small residuals, otherwise greedily
+/// near-minimal) subset of `primes` covering every on-set minterm.
+fn select_cover(n_vars: usize, on: &[u32], primes: &[Cube]) -> Vec<Cube> {
+    let mut remaining: BTreeSet<u32> = on.iter().copied().collect();
+    let mut chosen: Vec<Cube> = Vec::new();
+    let mut pool: Vec<Cube> = primes.to_vec();
+
+    // Essential primes: a minterm covered by exactly one prime.
+    loop {
+        let mut essential: Option<Cube> = None;
+        'outer: for &m in &remaining {
+            let mut only: Option<Cube> = None;
+            for &p in &pool {
+                if p.covers(m) {
+                    if only.is_some() {
+                        continue 'outer;
+                    }
+                    only = Some(p);
+                }
+            }
+            if let Some(p) = only {
+                essential = Some(p);
+                break;
+            }
+        }
+        match essential {
+            Some(p) => {
+                remaining.retain(|&m| !p.covers(m));
+                pool.retain(|&q| q != p);
+                chosen.push(p);
+                if remaining.is_empty() {
+                    return chosen;
+                }
+            }
+            None => break,
+        }
+    }
+
+    // Exact branch-and-bound on the residual chart when small; greedy
+    // set-cover otherwise.
+    let residual: Vec<u32> = remaining.iter().copied().collect();
+    pool.retain(|p| residual.iter().any(|&m| p.covers(m)));
+    if residual.len() <= 20 && pool.len() <= 20 {
+        let best = exact_cover(&residual, &pool);
+        chosen.extend(best);
+    } else {
+        let mut remaining = remaining;
+        while !remaining.is_empty() {
+            let (&best, _) = pool
+                .iter()
+                .map(|p| {
+                    let gain = remaining.iter().filter(|&&m| p.covers(m)).count();
+                    (p, gain)
+                })
+                .max_by_key(|&(p, gain)| (gain, std::cmp::Reverse(p.literal_count())))
+                .expect("primes cover all on-set minterms");
+            remaining.retain(|&m| !best.covers(m));
+            pool.retain(|&q| q != best);
+            chosen.push(best);
+        }
+    }
+    let _ = n_vars;
+    chosen
+}
+
+/// Exhaustive minimum cover over a small chart (cost: cube count, then
+/// literal count).
+fn exact_cover(minterms: &[u32], pool: &[Cube]) -> Vec<Cube> {
+    let mut best: Option<Vec<Cube>> = None;
+    let n = pool.len();
+    // Iterate subsets in increasing popcount via simple enumeration (n<=20).
+    for subset in 0u32..(1u32 << n) {
+        if let Some(ref b) = best {
+            if subset.count_ones() as usize > b.len() {
+                continue;
+            }
+        }
+        let covers_all = minterms
+            .iter()
+            .all(|&m| (0..n).any(|i| subset >> i & 1 == 1 && pool[i].covers(m)));
+        if !covers_all {
+            continue;
+        }
+        let cand: Vec<Cube> = (0..n)
+            .filter(|&i| subset >> i & 1 == 1)
+            .map(|i| pool[i])
+            .collect();
+        let cand_cost = (
+            cand.len(),
+            cand.iter().map(|c| c.literal_count()).sum::<u32>(),
+        );
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let bc = (b.len(), b.iter().map(|c| c.literal_count()).sum::<u32>());
+                cand_cost < bc
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+/// Minimizes a single-output function given by on-set and don't-care
+/// minterm lists, returning a prime, irredundant sum-of-products cover.
+///
+/// Don't-care minterms may be used to enlarge primes but are never
+/// required to be covered.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_logic::minimize;
+///
+/// // f(a,b,c) = Σm(1,3,5,7) — minimizes to the single literal a (bit 0).
+/// let cover = minimize(3, &[1, 3, 5, 7], &[]);
+/// assert_eq!(cover.cube_count(), 1);
+/// assert_eq!(cover.literal_count(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`prime_implicants`].
+pub fn minimize(n_vars: usize, on: &[u32], dc: &[u32]) -> Cover {
+    if on.is_empty() {
+        return Cover::constant_false(n_vars);
+    }
+    let total = 1u64 << n_vars;
+    let distinct: BTreeSet<u32> = on.iter().chain(dc).copied().collect();
+    if distinct.len() as u64 == total {
+        return Cover::constant_true(n_vars);
+    }
+    let primes = prime_implicants(n_vars, on, dc);
+    let on_dedup: Vec<u32> = on.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+    let chosen = select_cover(n_vars, &on_dedup, &primes);
+    Cover::from_cubes(n_vars, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks a cover exactly matches the specification: covers every
+    /// on-set minterm, never covers an off-set minterm.
+    fn check(n: usize, on: &[u32], dc: &[u32], cover: &Cover) {
+        use std::collections::BTreeSet;
+        let on: BTreeSet<u32> = on.iter().copied().collect();
+        let dc: BTreeSet<u32> = dc.iter().copied().collect();
+        for m in 0..(1u32 << n) {
+            if on.contains(&m) {
+                assert!(cover.eval(m), "on-set minterm {m} uncovered");
+            } else if !dc.contains(&m) {
+                assert!(!cover.eval(m), "off-set minterm {m} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_qm_example() {
+        // The canonical 4-variable example: f = Σm(4,8,10,11,12,15) +
+        // d(9,14). Minimum cover has 3 cubes.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let c = minimize(4, &on, &dc);
+        check(4, &on, &dc, &c);
+        assert_eq!(c.cube_count(), 3);
+    }
+
+    #[test]
+    fn single_variable_collapse() {
+        let c = minimize(3, &[1, 3, 5, 7], &[]);
+        assert_eq!(c.cube_count(), 1);
+        assert_eq!(c.cubes()[0], Cube::new(0b001, 0b001));
+    }
+
+    #[test]
+    fn constant_functions() {
+        assert!(minimize(3, &[], &[]).is_constant_false());
+        let all: Vec<u32> = (0..8).collect();
+        assert!(minimize(3, &all, &[]).is_constant_true());
+        // On-set plus don't-cares filling the space is also constant true.
+        assert!(minimize(2, &[0], &[1, 2, 3]).is_constant_true());
+    }
+
+    #[test]
+    fn xor_is_irreducible() {
+        let c = minimize(2, &[1, 2], &[]);
+        check(2, &[1, 2], &[], &c);
+        assert_eq!(c.cube_count(), 2);
+        assert_eq!(c.literal_count(), 4);
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // f = Σm(1) with dc(3,5,7) over 3 vars minimizes to x0.
+        let c = minimize(3, &[1], &[3, 5, 7]);
+        check(3, &[1], &[3, 5, 7], &c);
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    fn duplicated_minterms_tolerated() {
+        let c = minimize(3, &[1, 1, 3, 3], &[]);
+        check(3, &[1, 3], &[], &c);
+    }
+
+    #[test]
+    fn primes_of_xor_are_minterms() {
+        let p = prime_implicants(2, &[1, 2], &[]);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|c| c.literal_count() == 2));
+    }
+
+    #[test]
+    fn exhaustive_verification_random_functions() {
+        // Deterministic xorshift to exercise many random 4-var functions.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for _ in 0..60 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let truth = (s & 0xffff) as u16;
+            let dcm = ((s >> 16) & 0xffff) as u16 & !truth;
+            let on: Vec<u32> = (0..16).filter(|&m| truth >> m & 1 == 1).collect();
+            let dc: Vec<u32> = (0..16).filter(|&m| dcm >> m & 1 == 1).collect();
+            let c = minimize(4, &on, &dc);
+            check(4, &on, &dc, &c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_minterm() {
+        let _ = minimize(2, &[5], &[]);
+    }
+}

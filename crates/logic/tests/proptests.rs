@@ -1,0 +1,101 @@
+//! Property-based tests of the two-level minimizer and mapper.
+
+use proptest::prelude::*;
+use sfr_logic::{minimize, prime_implicants, Cube, SopMapper};
+use sfr_netlist::{logic_to_u64, u64_to_logic, CycleSim, NetId, NetlistBuilder};
+
+/// Strategy: a random (on-set, dc-set) pair over `n` variables encoded
+/// as disjoint bit masks over the 2^n minterms.
+fn function(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    let total = 1u64 << n;
+    (0..(1u64 << total), 0..(1u64 << total)).prop_map(move |(on_mask, dc_raw)| {
+        let dc_mask = dc_raw & !on_mask;
+        let on: Vec<u32> = (0..total as u32).filter(|&m| on_mask >> m & 1 == 1).collect();
+        let dc: Vec<u32> = (0..total as u32).filter(|&m| dc_mask >> m & 1 == 1).collect();
+        (on, dc)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The minimized cover matches the specification exactly: every
+    /// on-set minterm covered, no off-set minterm covered.
+    #[test]
+    fn minimize_matches_specification((on, dc) in function(5)) {
+        let cover = minimize(5, &on, &dc);
+        for m in 0..32u32 {
+            if on.contains(&m) {
+                prop_assert!(cover.eval(m), "on-set minterm {m} uncovered");
+            } else if !dc.contains(&m) {
+                prop_assert!(!cover.eval(m), "off-set minterm {m} covered");
+            }
+        }
+    }
+
+    /// Every cube of the minimized cover is a prime implicant, and the
+    /// cover is irredundant (dropping any cube uncovers some on-set
+    /// minterm).
+    #[test]
+    fn minimize_yields_prime_irredundant_covers((on, dc) in function(4)) {
+        let cover = minimize(4, &on, &dc);
+        if cover.is_constant_false() || cover.is_constant_true() {
+            return Ok(());
+        }
+        let primes = prime_implicants(4, &on, &dc);
+        for cube in cover.cubes() {
+            prop_assert!(
+                primes.contains(cube),
+                "cube {cube} of the cover is not prime"
+            );
+        }
+        for skip in 0..cover.cube_count() {
+            let uncovered = on.iter().any(|&m| {
+                !cover
+                    .cubes()
+                    .iter()
+                    .enumerate()
+                    .any(|(i, c)| i != skip && c.covers(m))
+            });
+            prop_assert!(uncovered, "cube {skip} is redundant");
+        }
+    }
+
+    /// Technology mapping preserves the function exactly.
+    #[test]
+    fn mapping_preserves_the_function((on, dc) in function(4)) {
+        let cover = minimize(4, &on, &dc);
+        let mut b = NetlistBuilder::new("f");
+        let inputs: Vec<NetId> = (0..4).map(|i| b.input(format!("x{i}"))).collect();
+        let f = SopMapper::new().map(&mut b, &cover, &inputs, "f");
+        b.mark_output(f);
+        let nl = b.finish().expect("valid netlist");
+        let mut sim = CycleSim::new(&nl);
+        for m in 0..16u32 {
+            sim.set_inputs(&u64_to_logic(m as u64, 4));
+            sim.eval();
+            prop_assert_eq!(
+                logic_to_u64(&sim.outputs()),
+                Some(cover.eval(m) as u64),
+                "minterm {}", m
+            );
+        }
+    }
+
+    /// Cube merge is sound: the merged cube covers exactly the union of
+    /// the two inputs' minterms.
+    #[test]
+    fn cube_merge_covers_the_union(a in 0u32..16, b in 0u32..16) {
+        let ca = Cube::minterm(a, 4);
+        let cb = Cube::minterm(b, 4);
+        match ca.merge(cb) {
+            Some(m) => {
+                prop_assert_eq!((a ^ b).count_ones(), 1);
+                for x in 0..16u32 {
+                    prop_assert_eq!(m.covers(x), x == a || x == b);
+                }
+            }
+            None => prop_assert_ne!((a ^ b).count_ones(), 1),
+        }
+    }
+}

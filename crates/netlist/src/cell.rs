@@ -1,0 +1,337 @@
+//! The standard-cell library.
+//!
+//! A deliberately small library in the style of an early-1990s 0.8 µm CMOS
+//! gate-array kit (the paper used VLSI Technology's VSC450 portable library
+//! [18]). Each cell carries representative pin capacitances so that
+//! toggle-count power estimation has honest relative weights; the absolute
+//! femto-farad values are documented constants, not extracted silicon data
+//! (see `DESIGN.md` §2).
+
+use crate::logic::Logic;
+use std::fmt;
+
+/// The kind of a library cell.
+///
+/// Combinational cells compute a single output from one or more inputs.
+/// Sequential cells ([`CellKind::Dff`] and [`CellKind::Dffe`]) sample their
+/// data input on the (implicit, global) rising clock edge.
+///
+/// [`CellKind::Dffe`] is a *clock-gated* register bit: its clock only fires
+/// in cycles where the enable pin is `1`. This models the gated-clock,
+/// load-enabled datapath registers whose spurious activation by SFR faults
+/// is the paper's central power mechanism (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Constant logic zero (no inputs).
+    Const0,
+    /// Constant logic one (no inputs).
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 multiplexer; pins are `[a, b, sel]`, output is `a` when
+    /// `sel = 0` and `b` when `sel = 1`.
+    Mux2,
+    /// D flip-flop clocked every cycle; pins are `[d]`.
+    Dff,
+    /// Clock-gated D flip-flop; pins are `[d, en]`. The clock fires (and
+    /// consumes clock energy) only in cycles where `en = 1`.
+    Dffe,
+}
+
+/// All cell kinds, in a stable order (useful for iteration in tests and
+/// reporting).
+pub const ALL_CELL_KINDS: [CellKind; 21] = [
+    CellKind::Const0,
+    CellKind::Const1,
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And2,
+    CellKind::And3,
+    CellKind::And4,
+    CellKind::Or2,
+    CellKind::Or3,
+    CellKind::Or4,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nand4,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::Nor4,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Dff,
+    CellKind::Dffe,
+];
+
+impl CellKind {
+    /// Number of input pins the cell requires.
+    pub fn arity(self) -> usize {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0,
+            Buf | Inv | Dff => 1,
+            And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Dffe => 2,
+            And3 | Or3 | Nand3 | Nor3 | Mux2 => 3,
+            And4 | Or4 | Nand4 | Nor4 => 4,
+        }
+    }
+
+    /// Whether the cell is sequential (samples on the clock edge).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::Dffe)
+    }
+
+    /// Evaluates the combinational function of the cell.
+    ///
+    /// For sequential cells this returns the value that *would be loaded*
+    /// at the next clock edge (i.e. the sampled `d`), which is how the
+    /// simulator computes next-state; the current output of a sequential
+    /// cell is its stored state, not this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`CellKind::arity`]; the
+    /// netlist builder validates arity, so this indicates internal misuse.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        use CellKind::*;
+        match self {
+            Const0 => Logic::Zero,
+            Const1 => Logic::One,
+            Buf | Dff => inputs[0],
+            Inv => !inputs[0],
+            And2 | And3 | And4 => inputs.iter().copied().fold(Logic::One, |a, b| a & b),
+            Or2 | Or3 | Or4 => inputs.iter().copied().fold(Logic::Zero, |a, b| a | b),
+            Nand2 | Nand3 | Nand4 => !inputs.iter().copied().fold(Logic::One, |a, b| a & b),
+            Nor2 | Nor3 | Nor4 => !inputs.iter().copied().fold(Logic::Zero, |a, b| a | b),
+            Xor2 => inputs[0] ^ inputs[1],
+            Xnor2 => !(inputs[0] ^ inputs[1]),
+            Mux2 => match inputs[2] {
+                Logic::Zero => inputs[0],
+                Logic::One => inputs[1],
+                // X select: output is known only if both data inputs agree.
+                Logic::X => {
+                    if inputs[0].is_known() && inputs[0] == inputs[1] {
+                        inputs[0]
+                    } else {
+                        Logic::X
+                    }
+                }
+            },
+            Dffe => unreachable!("Dffe next-state is computed by the simulator, not eval()"),
+        }
+    }
+
+    /// Input pin capacitance in femtofarads, per pin.
+    ///
+    /// Representative of a 0.8 µm library: a minimum-size inverter input is
+    /// ~12 fF; wider gates present slightly larger gate capacitance per pin;
+    /// XOR/MUX pins drive internal transmission structures and cost more.
+    pub fn input_cap_ff(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Buf => 12.0,
+            Inv => 12.0,
+            And2 | Nand2 => 13.0,
+            And3 | Nand3 => 14.0,
+            And4 | Nand4 => 15.0,
+            Or2 | Nor2 => 13.0,
+            Or3 | Nor3 => 14.0,
+            Or4 | Nor4 => 15.0,
+            Xor2 | Xnor2 => 22.0,
+            Mux2 => 18.0,
+            Dff => 16.0,
+            Dffe => 16.0,
+        }
+    }
+
+    /// Intrinsic output (self-load) capacitance in femtofarads: the
+    /// diffusion capacitance the cell must swing regardless of fanout.
+    pub fn output_cap_ff(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Buf | Inv => 8.0,
+            And2 | Or2 | Nand2 | Nor2 => 10.0,
+            And3 | Or3 | Nand3 | Nor3 => 12.0,
+            And4 | Or4 | Nand4 | Nor4 => 14.0,
+            Xor2 | Xnor2 => 16.0,
+            Mux2 => 14.0,
+            Dff | Dffe => 18.0,
+        }
+    }
+
+    /// Internal capacitance switched by one clock event of a sequential
+    /// cell (clock buffer, master/slave internal nodes), in femtofarads.
+    ///
+    /// For [`CellKind::Dff`] this energy is spent every cycle; for
+    /// [`CellKind::Dffe`] only in cycles where the enable is high — which is
+    /// exactly why an SFR fault forcing extra loads *must* increase power
+    /// (Section 4 of the paper).
+    pub fn clock_cap_ff(self) -> f64 {
+        match self {
+            // A master-slave FF swings its clock pin plus four internal
+            // transmission/latch nodes per edge; at 0.8 µm that is
+            // several gate-loads of capacitance. The gated flavour adds
+            // the clock-gating latch.
+            CellKind::Dff => 55.0,
+            CellKind::Dffe => 60.0,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Const0 => "CONST0",
+            CellKind::Const1 => "CONST1",
+            CellKind::Buf => "BUF",
+            CellKind::Inv => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::And3 => "AND3",
+            CellKind::And4 => "AND4",
+            CellKind::Or2 => "OR2",
+            CellKind::Or3 => "OR3",
+            CellKind::Or4 => "OR4",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nand4 => "NAND4",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::Nor4 => "NOR4",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Dff => "DFF",
+            CellKind::Dffe => "DFFE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, X, Zero};
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        for kind in ALL_CELL_KINDS {
+            if kind.is_sequential() {
+                continue;
+            }
+            let inputs = vec![Logic::Zero; kind.arity()];
+            // Must not panic.
+            let _ = kind.eval(&inputs);
+        }
+    }
+
+    #[test]
+    fn basic_gate_truth_tables() {
+        assert_eq!(CellKind::And2.eval(&[One, One]), One);
+        assert_eq!(CellKind::And2.eval(&[One, Zero]), Zero);
+        assert_eq!(CellKind::Nand3.eval(&[One, One, One]), Zero);
+        assert_eq!(CellKind::Nand3.eval(&[One, Zero, One]), One);
+        assert_eq!(CellKind::Nor2.eval(&[Zero, Zero]), One);
+        assert_eq!(CellKind::Or4.eval(&[Zero, Zero, One, Zero]), One);
+        assert_eq!(CellKind::Xor2.eval(&[One, Zero]), One);
+        assert_eq!(CellKind::Xnor2.eval(&[One, One]), One);
+        assert_eq!(CellKind::Inv.eval(&[Zero]), One);
+        assert_eq!(CellKind::Buf.eval(&[X]), X);
+        assert_eq!(CellKind::Const0.eval(&[]), Zero);
+        assert_eq!(CellKind::Const1.eval(&[]), One);
+    }
+
+    #[test]
+    fn mux_select_semantics() {
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, Zero]), Zero);
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, One]), One);
+        // X select with agreeing data is still known.
+        assert_eq!(CellKind::Mux2.eval(&[One, One, X]), One);
+        assert_eq!(CellKind::Mux2.eval(&[Zero, One, X]), X);
+        assert_eq!(CellKind::Mux2.eval(&[X, X, X]), X);
+    }
+
+    #[test]
+    fn nand_is_not_of_and_for_all_inputs() {
+        let vals = [Zero, One, X];
+        for a in vals {
+            for b in vals {
+                assert_eq!(
+                    CellKind::Nand2.eval(&[a, b]),
+                    !CellKind::And2.eval(&[a, b])
+                );
+                assert_eq!(CellKind::Nor2.eval(&[a, b]), !CellKind::Or2.eval(&[a, b]));
+                assert_eq!(
+                    CellKind::Xnor2.eval(&[a, b]),
+                    !CellKind::Xor2.eval(&[a, b])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacitances_are_positive_for_real_cells() {
+        for kind in ALL_CELL_KINDS {
+            if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                continue;
+            }
+            assert!(kind.input_cap_ff() > 0.0, "{kind} input cap");
+            assert!(kind.output_cap_ff() > 0.0, "{kind} output cap");
+        }
+        assert!(CellKind::Dffe.clock_cap_ff() > 0.0);
+        assert_eq!(CellKind::Inv.clock_cap_ff(), 0.0);
+    }
+
+    #[test]
+    fn sequential_cells_flagged() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(CellKind::Dffe.is_sequential());
+        assert!(!CellKind::Mux2.is_sequential());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn eval_panics_on_bad_arity() {
+        let _ = CellKind::And2.eval(&[Logic::One]);
+    }
+}

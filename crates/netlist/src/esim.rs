@@ -1,0 +1,327 @@
+//! Event-driven cycle simulation.
+//!
+//! [`crate::CycleSim`] evaluates every combinational gate every cycle —
+//! simple and branch-predictable, but wasteful on circuits where little
+//! changes per cycle (a controller idling in HOLD, a datapath with most
+//! registers gated off). [`EventSim`] keeps the same zero-delay,
+//! settle-then-clock semantics but only re-evaluates the fanout cones of
+//! nets that actually changed — the classic selective-trace trade.
+//! Equivalence with the reference simulator is property-tested; the
+//! `substrates` bench measures the crossover.
+
+use crate::fault::{FaultSite, StuckAt};
+use crate::graph::{GateId, NetId, Netlist};
+use crate::logic::Logic;
+
+/// Event-driven counterpart of [`crate::CycleSim`].
+///
+/// Semantics match the reference simulator exactly: same three-valued
+/// algebra, same fault injection, same settle-then-clock cycle
+/// structure. Activity accounting is not provided here — power runs use
+/// the reference engine.
+#[derive(Debug, Clone)]
+pub struct EventSim<'a> {
+    nl: &'a Netlist,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    fault: Option<StuckAt>,
+    /// Evaluation order position per gate (combinational only).
+    level: Vec<u32>,
+    /// Scheduled flags to deduplicate the worklist.
+    scheduled: Vec<bool>,
+    /// Worklist of gates to evaluate, kept sorted by level per pass.
+    worklist: Vec<GateId>,
+}
+
+impl<'a> EventSim<'a> {
+    /// Creates an event-driven simulator (all values start `X`).
+    pub fn new(nl: &'a Netlist) -> Self {
+        let mut level = vec![0u32; nl.gate_count()];
+        for (i, &g) in nl.topo_order().iter().enumerate() {
+            level[g.index()] = i as u32;
+        }
+        EventSim {
+            nl,
+            values: vec![Logic::X; nl.net_count()],
+            state: vec![Logic::X; nl.gate_count()],
+            fault: None,
+            level,
+            scheduled: vec![false; nl.gate_count()],
+            worklist: Vec::new(),
+        }
+    }
+
+    /// Creates an event-driven simulator with a stuck-at fault injected.
+    pub fn with_fault(nl: &'a Netlist, fault: StuckAt) -> Self {
+        let mut s = EventSim::new(nl);
+        s.fault = Some(fault);
+        s
+    }
+
+    /// Sets every sequential cell's state.
+    pub fn reset_state(&mut self, v: Logic) {
+        for &g in self.nl.sequential_gates() {
+            if self.state[g.index()] != v {
+                self.state[g.index()] = v;
+                self.schedule_net_fanout(self.nl.gate(g).output());
+            }
+        }
+    }
+
+    /// Applies a primary-input value, scheduling its fanout if changed.
+    pub fn set_input(&mut self, net: NetId, mut v: Logic) {
+        if let Some(f) = self.fault {
+            if f.site == (FaultSite::PrimaryInput { net }) {
+                v = f.stuck_logic();
+            }
+        }
+        if self.values[net.index()] != v {
+            self.values[net.index()] = v;
+            self.schedule_net_fanout(net);
+        }
+    }
+
+    /// Applies all primary inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn set_inputs(&mut self, vals: &[Logic]) {
+        assert_eq!(vals.len(), self.nl.inputs().len(), "input width mismatch");
+        for (i, &v) in vals.iter().enumerate() {
+            self.set_input(self.nl.inputs()[i], v);
+        }
+    }
+
+    fn schedule_net_fanout(&mut self, net: NetId) {
+        for &(g, _) in self.nl.fanout(net) {
+            if !self.nl.gate(g).kind().is_sequential() && !self.scheduled[g.index()] {
+                self.scheduled[g.index()] = true;
+                self.worklist.push(g);
+            }
+        }
+    }
+
+    fn pin_value(&self, gate: GateId, pin: usize, net: NetId) -> Logic {
+        if let Some(f) = self.fault {
+            if f.site == (FaultSite::GateInput { gate, pin }) {
+                return f.stuck_logic();
+            }
+        }
+        self.values[net.index()]
+    }
+
+    /// Settles the combinational network (selective trace).
+    pub fn eval(&mut self) {
+        // Present sequential state (with output faults applied).
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            let mut v = self.state[g.index()];
+            if let Some(f) = self.fault {
+                if f.site == (FaultSite::GateOutput { gate: g }) {
+                    v = f.stuck_logic();
+                }
+            }
+            if self.values[out.index()] != v {
+                self.values[out.index()] = v;
+                self.schedule_net_fanout(out);
+            }
+        }
+        // Zero-delay settle: process strictly in topological level order
+        // so each gate is evaluated at most once per settle.
+        let mut ins: Vec<Logic> = Vec::with_capacity(4);
+        while !self.worklist.is_empty() {
+            let mut batch = std::mem::take(&mut self.worklist);
+            batch.sort_by_key(|g| self.level[g.index()]);
+            for g in batch {
+                self.scheduled[g.index()] = false;
+                let gate = self.nl.gate(g);
+                ins.clear();
+                for (pin, &net) in gate.inputs().iter().enumerate() {
+                    ins.push(self.pin_value(g, pin, net));
+                }
+                let mut v = gate.kind().eval(&ins);
+                if let Some(f) = self.fault {
+                    if f.site == (FaultSite::GateOutput { gate: g }) {
+                        v = f.stuck_logic();
+                    }
+                }
+                let out = gate.output();
+                if self.values[out.index()] != v {
+                    self.values[out.index()] = v;
+                    self.schedule_net_fanout(out);
+                }
+            }
+        }
+    }
+
+    /// Advances sequential state one clock edge.
+    pub fn clock(&mut self) {
+        // Compute next states from settled values first, then commit.
+        let mut next: Vec<(GateId, Logic)> = Vec::new();
+        for &g in self.nl.sequential_gates() {
+            let gate = self.nl.gate(g);
+            let cur = self.state[g.index()];
+            let v = match gate.kind() {
+                crate::cell::CellKind::Dff => self.pin_value(g, 0, gate.inputs()[0]),
+                crate::cell::CellKind::Dffe => {
+                    let d = self.pin_value(g, 0, gate.inputs()[0]);
+                    match self.pin_value(g, 1, gate.inputs()[1]) {
+                        Logic::One => d,
+                        Logic::Zero => cur,
+                        Logic::X => {
+                            if cur.is_known() && cur == d {
+                                cur
+                            } else {
+                                Logic::X
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("non-sequential gate in sequential list"),
+            };
+            if v != cur {
+                next.push((g, v));
+            }
+        }
+        for (g, v) in next {
+            self.state[g.index()] = v;
+            self.schedule_net_fanout(self.nl.gate(g).output());
+        }
+    }
+
+    /// One full cycle.
+    pub fn step(&mut self, inputs: &[Logic]) {
+        self.set_inputs(inputs);
+        self.eval();
+        self.clock();
+    }
+
+    /// Settled value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Settled primary outputs.
+    pub fn outputs(&self) -> Vec<Logic> {
+        self.nl
+            .outputs()
+            .iter()
+            .map(|&n| self.values[n.index()])
+            .collect()
+    }
+
+    /// Sets one sequential gate's state directly (scheduling fanout).
+    pub fn set_state(&mut self, gate: GateId, v: Logic) {
+        if self.state[gate.index()] != v {
+            self.state[gate.index()] = v;
+            self.schedule_net_fanout(self.nl.gate(gate).output());
+        }
+    }
+
+    /// One sequential gate's stored state.
+    pub fn state(&self, gate: GateId) -> Logic {
+        self.state[gate.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::NetlistBuilder;
+    use crate::sim::CycleSim;
+
+    fn circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let c = b.input("b");
+        let en = b.input("en");
+        let q = b.net("q");
+        let x1 = b.gate_net(CellKind::Xor2, "x1", &[a, c]);
+        let n1 = b.gate_net(CellKind::Nand2, "n1", &[x1, q]);
+        let o1 = b.gate_net(CellKind::Or2, "o1", &[n1, a]);
+        b.gate(CellKind::Dffe, "r", &[o1, en], q);
+        let out = b.gate_net(CellKind::Xnor2, "out", &[q, x1]);
+        b.mark_output(out);
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    fn compare_engines(fault: Option<StuckAt>, stimulus: &[[Logic; 3]]) {
+        let nl = circuit();
+        let mut reference = match fault {
+            Some(f) => CycleSim::with_fault(&nl, f),
+            None => CycleSim::new(&nl),
+        };
+        let mut event = match fault {
+            Some(f) => EventSim::with_fault(&nl, f),
+            None => EventSim::new(&nl),
+        };
+        reference.reset_state(Logic::Zero);
+        event.reset_state(Logic::Zero);
+        for inputs in stimulus {
+            reference.set_inputs(inputs);
+            reference.eval();
+            event.set_inputs(inputs);
+            event.eval();
+            for net in nl.net_ids() {
+                assert_eq!(
+                    reference.value(net),
+                    event.value(net),
+                    "net {} under {:?}",
+                    nl.net(net).name(),
+                    fault
+                );
+            }
+            reference.clock();
+            event.clock();
+        }
+    }
+
+    #[test]
+    fn matches_reference_fault_free() {
+        use Logic::{One, Zero};
+        compare_engines(
+            None,
+            &[
+                [One, Zero, One],
+                [One, Zero, One], // repeat: almost no events
+                [Zero, Zero, Zero],
+                [One, One, One],
+            ],
+        );
+    }
+
+    #[test]
+    fn matches_reference_under_every_fault() {
+        use Logic::{One, Zero};
+        let nl = circuit();
+        let stim = [
+            [One, Zero, One],
+            [Zero, One, Zero],
+            [One, One, One],
+            [Zero, Zero, One],
+        ];
+        for fault in StuckAt::enumerate_collapsed(&nl) {
+            compare_engines(Some(fault), &stim);
+        }
+    }
+
+    #[test]
+    fn quiet_cycles_do_no_work() {
+        let nl = circuit();
+        let mut event = EventSim::new(&nl);
+        event.reset_state(Logic::Zero);
+        // Run to a fixpoint under constant inputs.
+        for _ in 0..4 {
+            event.step(&[Logic::One, Logic::Zero, Logic::One]);
+        }
+        event.eval();
+        // Same inputs once more: nothing changes, nothing schedules.
+        event.set_inputs(&[Logic::One, Logic::Zero, Logic::One]);
+        assert!(event.worklist.is_empty(), "no events for unchanged inputs");
+        event.clock();
+        assert!(event.worklist.is_empty(), "stable state: quiet clock");
+    }
+}

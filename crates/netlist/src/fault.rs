@@ -1,0 +1,289 @@
+//! Single stuck-at fault model: enumeration, equivalence collapsing,
+//! injection sites.
+//!
+//! The paper's fault universe is "gate level stuck-at faults that can occur
+//! within the controller" (Section 1). We enumerate stuck-at-0/1 on every
+//! gate input pin, every gate output, and every primary-input stem, then
+//! optionally collapse structurally equivalent faults the way classic ATPG
+//! tools (and the paper's GENTEST) do.
+
+use crate::cell::CellKind;
+use crate::graph::{GateId, NetId, Netlist};
+use crate::logic::Logic;
+use std::fmt;
+
+/// Where a stuck-at fault is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A specific input pin of a gate. Faults here affect only this pin,
+    /// not other fanout branches of the same net.
+    GateInput {
+        /// The gate whose pin is faulty.
+        gate: GateId,
+        /// Pin index within [`crate::Gate::inputs`].
+        pin: usize,
+    },
+    /// The output of a gate — equivalently, the stem of the net it drives.
+    GateOutput {
+        /// The gate whose output is stuck.
+        gate: GateId,
+    },
+    /// The stem of a primary-input net.
+    PrimaryInput {
+        /// The stuck input net.
+        net: NetId,
+    },
+}
+
+/// A single stuck-at fault.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{CellKind, NetlistBuilder, StuckAt};
+///
+/// # fn main() -> Result<(), sfr_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let o = b.gate_net(CellKind::Inv, "i", &[a]);
+/// b.mark_output(o);
+/// let nl = b.finish()?;
+/// let faults = StuckAt::enumerate(&nl);
+/// // Inverter: 2 pin faults + 2 output faults + 2 input-stem faults.
+/// assert_eq!(faults.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAt {
+    /// Fault location.
+    pub site: FaultSite,
+    /// The value the node is stuck at.
+    pub stuck: bool,
+}
+
+impl StuckAt {
+    /// A stuck-at on a gate input pin.
+    pub fn input(gate: GateId, pin: usize, stuck: bool) -> Self {
+        StuckAt {
+            site: FaultSite::GateInput { gate, pin },
+            stuck,
+        }
+    }
+
+    /// A stuck-at on a gate output.
+    pub fn output(gate: GateId, stuck: bool) -> Self {
+        StuckAt {
+            site: FaultSite::GateOutput { gate },
+            stuck,
+        }
+    }
+
+    /// A stuck-at on a primary-input stem.
+    pub fn primary_input(net: NetId, stuck: bool) -> Self {
+        StuckAt {
+            site: FaultSite::PrimaryInput { net },
+            stuck,
+        }
+    }
+
+    /// The stuck value as a [`Logic`] level.
+    pub fn stuck_logic(self) -> Logic {
+        Logic::from_bool(self.stuck)
+    }
+
+    /// Enumerates the complete (uncollapsed) single stuck-at fault list.
+    pub fn enumerate(nl: &Netlist) -> Vec<StuckAt> {
+        let mut faults = Vec::new();
+        for &net in nl.inputs() {
+            for stuck in [false, true] {
+                faults.push(StuckAt::primary_input(net, stuck));
+            }
+        }
+        for g in nl.gate_ids() {
+            for stuck in [false, true] {
+                faults.push(StuckAt::output(g, stuck));
+            }
+            for pin in 0..nl.gate(g).inputs().len() {
+                for stuck in [false, true] {
+                    faults.push(StuckAt::input(g, pin, stuck));
+                }
+            }
+        }
+        faults
+    }
+
+    /// Enumerates the fault list after intra-gate equivalence collapsing.
+    ///
+    /// Rules (classic structural equivalence):
+    ///
+    /// * AND/NAND: any input s-a-0 is equivalent to the output s-a-0 (AND)
+    ///   or s-a-1 (NAND) — input s-a-0 faults are dropped.
+    /// * OR/NOR: any input s-a-1 is equivalent to the output s-a-1 (OR) or
+    ///   s-a-0 (NOR) — input s-a-1 faults are dropped.
+    /// * BUF/INV: both input faults are equivalent to output faults and are
+    ///   dropped.
+    /// * A gate-input pin fault on a *fanout-free* net (exactly one reader)
+    ///   is equivalent to the driver's output fault and is dropped.
+    /// * XOR/XNOR/MUX2/DFF/DFFE pins have no intra-gate equivalences.
+    ///
+    /// Dominance collapsing is deliberately not applied: dominance preserves
+    /// detectability but not the fault's *behaviour*, and this library
+    /// classifies faults by behaviour (power signature), not detection only.
+    pub fn enumerate_collapsed(nl: &Netlist) -> Vec<StuckAt> {
+        StuckAt::enumerate(nl)
+            .into_iter()
+            .filter(|f| match f.site {
+                FaultSite::GateInput { gate, pin } => {
+                    let g = nl.gate(gate);
+                    if equivalent_to_output(g.kind(), f.stuck) {
+                        return false;
+                    }
+                    // Fanout-free branch fault == stem fault.
+                    let net = g.inputs()[pin];
+                    nl.fanout(net).len() != 1
+                }
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// Restricts a fault list to faults lying inside a gate-id range —
+    /// useful when a larger netlist embeds a region of interest (e.g. "the
+    /// controller") as a contiguous block of gates.
+    pub fn in_gate_range(faults: &[StuckAt], lo: GateId, hi: GateId) -> Vec<StuckAt> {
+        faults
+            .iter()
+            .copied()
+            .filter(|f| match f.site {
+                FaultSite::GateInput { gate, .. } | FaultSite::GateOutput { gate } => {
+                    gate >= lo && gate <= hi
+                }
+                FaultSite::PrimaryInput { .. } => false,
+            })
+            .collect()
+    }
+}
+
+/// Whether a pin stuck-at `stuck` on a gate of `kind` is structurally
+/// equivalent to one of the gate's output faults.
+fn equivalent_to_output(kind: CellKind, stuck: bool) -> bool {
+    use CellKind::*;
+    match kind {
+        Buf | Inv => true,
+        And2 | And3 | And4 | Nand2 | Nand3 | Nand4 => !stuck,
+        Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 => stuck,
+        _ => false,
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = if self.stuck { 1 } else { 0 };
+        match self.site {
+            FaultSite::GateInput { gate, pin } => write!(f, "{gate}.in{pin}/sa{v}"),
+            FaultSite::GateOutput { gate } => write!(f, "{gate}.out/sa{v}"),
+            FaultSite::PrimaryInput { net } => write!(f, "{net}/sa{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetlistBuilder;
+
+    fn and_or() -> Netlist {
+        let mut b = NetlistBuilder::new("ao");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let n1 = b.gate_net(CellKind::And2, "g1", &[a, c]);
+        let o = b.gate_net(CellKind::Or2, "g2", &[n1, d]);
+        b.mark_output(o);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_enumeration_counts() {
+        let nl = and_or();
+        // 3 PIs * 2 + 2 gates * (2 output + 2 pins * 2) = 6 + 12 = 18.
+        assert_eq!(StuckAt::enumerate(&nl).len(), 18);
+    }
+
+    #[test]
+    fn collapsing_removes_equivalents() {
+        let nl = and_or();
+        let collapsed = StuckAt::enumerate_collapsed(&nl);
+        let full = StuckAt::enumerate(&nl);
+        assert!(collapsed.len() < full.len());
+        // No AND input s-a-0 survives.
+        for f in &collapsed {
+            if let FaultSite::GateInput { gate, .. } = f.site {
+                if nl.gate(gate).kind() == CellKind::And2 {
+                    assert!(f.stuck, "AND input sa0 should be collapsed");
+                }
+            }
+        }
+        // Every collapsed fault is in the full list.
+        for f in &collapsed {
+            assert!(full.contains(f));
+        }
+    }
+
+    #[test]
+    fn fanout_free_branch_faults_collapse_to_stem() {
+        let nl = and_or();
+        let collapsed = StuckAt::enumerate_collapsed(&nl);
+        // The nets a, b, c, g1_o all have fanout 1, so no surviving pin
+        // faults except those already removed by gate rules; OR input
+        // s-a-0 on pin fed by g1_o would otherwise survive, but the net is
+        // fanout-free so it collapses to g1 output s-a-0.
+        assert!(collapsed.iter().all(|f| !matches!(
+            f.site,
+            FaultSite::GateInput { .. }
+        )));
+    }
+
+    #[test]
+    fn xor_pins_do_not_collapse() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("b");
+        let shared = b.gate_net(CellKind::Buf, "bf", &[a]);
+        let o1 = b.gate_net(CellKind::Xor2, "x1", &[shared, c]);
+        let o2 = b.gate_net(CellKind::Inv, "i1", &[shared]);
+        b.mark_output(o1);
+        b.mark_output(o2);
+        let nl = b.finish().unwrap();
+        let collapsed = StuckAt::enumerate_collapsed(&nl);
+        // `shared` has fanout 2, so XOR pin faults survive.
+        let xor_pin_faults = collapsed
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::GateInput { gate, .. }
+                if nl.gate(gate).kind() == CellKind::Xor2))
+            .count();
+        assert_eq!(xor_pin_faults, 2); // pin 0 sa0 + sa1 (pin 1 is fanout-free)
+    }
+
+    #[test]
+    fn gate_range_filter() {
+        let nl = and_or();
+        let all = StuckAt::enumerate(&nl);
+        let g0 = GateId(0);
+        let only_first = StuckAt::in_gate_range(&all, g0, g0);
+        assert!(only_first.iter().all(|f| match f.site {
+            FaultSite::GateInput { gate, .. } | FaultSite::GateOutput { gate } => gate == g0,
+            _ => false,
+        }));
+        assert_eq!(only_first.len(), 6); // 2 out + 2 pins * 2
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = StuckAt::output(GateId(3), true);
+        assert_eq!(f.to_string(), "g3.out/sa1");
+        let f = StuckAt::input(GateId(1), 0, false);
+        assert_eq!(f.to_string(), "g1.in0/sa0");
+    }
+}

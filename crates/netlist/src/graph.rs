@@ -1,0 +1,714 @@
+//! Netlist graph: nets, gates, primary ports, topological order.
+
+use crate::cell::CellKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net (a named wire) within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a gate (a cell instance) within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index of this net, usable to index per-net side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a net id from an index previously obtained via
+    /// [`NetId::index`] (or a builder position). Indices are only
+    /// meaningful within the netlist they came from.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NetId(i as u32)
+    }
+}
+
+impl GateId {
+    /// The raw index of this gate, usable to index per-gate side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a gate id from an index previously obtained via
+    /// [`GateId::index`] (or a builder position). Indices are only
+    /// meaningful within the netlist they came from.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        GateId(i as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A named wire.
+#[derive(Debug, Clone)]
+pub struct Net {
+    name: String,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A cell instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    name: String,
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library cell implemented by this gate.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// Errors detected while building or validating a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net is driven by more than one gate (or by a gate and a primary
+    /// input).
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A net has no driver and is not a primary input.
+    UndrivenNet {
+        /// Name of the floating net.
+        net: String,
+    },
+    /// A gate was instantiated with the wrong number of input pins.
+    BadArity {
+        /// Instance name.
+        gate: String,
+        /// The cell kind.
+        kind: CellKind,
+        /// Pins supplied.
+        got: usize,
+    },
+    /// The combinational portion of the netlist contains a cycle.
+    CombinationalLoop {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A primary output names a net that does not exist.
+    UnknownNet {
+        /// The offending name.
+        net: String,
+    },
+    /// Two nets were declared with the same name.
+    DuplicateNetName {
+        /// The duplicated name.
+        net: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::UndrivenNet { net } => {
+                write!(f, "net `{net}` has no driver and is not a primary input")
+            }
+            NetlistError::BadArity { gate, kind, got } => write!(
+                f,
+                "gate `{gate}` of kind {kind} given {got} inputs, expected {}",
+                kind.arity()
+            ),
+            NetlistError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            NetlistError::UnknownNet { net } => write!(f, "unknown net `{net}`"),
+            NetlistError::DuplicateNetName { net } => {
+                write!(f, "duplicate net name `{net}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An immutable, validated gate-level netlist.
+///
+/// Invariants established by [`NetlistBuilder::finish`]:
+///
+/// * every net is driven by exactly one gate or is a primary input;
+/// * gate arities match their [`CellKind`];
+/// * the combinational subgraph is acyclic (sequential cell outputs are
+///   cycle-breaking sources);
+/// * [`Netlist::topo_order`] lists all combinational gates such that every
+///   gate appears after the drivers of all of its inputs.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{CellKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), sfr_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let sum = b.net("sum");
+/// let carry = b.net("carry");
+/// b.gate(CellKind::Xor2, "x1", &[a, c], sum);
+/// b.gate(CellKind::And2, "a1", &[a, c], carry);
+/// b.mark_output(sum);
+/// b.mark_output(carry);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    driver: Vec<Option<GateId>>,
+    fanout: Vec<Vec<(GateId, usize)>>,
+    topo: Vec<GateId>,
+    seq: Vec<GateId>,
+}
+
+/// Additional wire capacitance per fanout connection, femtofarads.
+pub const WIRE_CAP_PER_FANOUT_FF: f64 = 6.0;
+/// Base routing capacitance of any net, femtofarads.
+pub const WIRE_CAP_BASE_FF: f64 = 4.0;
+
+impl Netlist {
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gates (cell instances), sequential cells included.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The net with the given id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Primary input nets, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gate ids.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// All net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Combinational gates in topological (evaluation) order.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Sequential gates ([`CellKind::Dff`] / [`CellKind::Dffe`]).
+    pub fn sequential_gates(&self) -> &[GateId] {
+        &self.seq
+    }
+
+    /// The gate driving `net`, or `None` for primary inputs.
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.driver[net.index()]
+    }
+
+    /// The `(gate, pin)` pairs reading `net`.
+    pub fn fanout(&self, net: NetId) -> &[(GateId, usize)] {
+        &self.fanout[net.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Total switched capacitance of `net` in femtofarads: driver diffusion
+    /// capacitance plus the gate capacitance of every fanout pin plus a
+    /// simple wire-load estimate.
+    pub fn net_cap_ff(&self, net: NetId) -> f64 {
+        let drv = self
+            .driver(net)
+            .map(|g| self.gate(g).kind().output_cap_ff())
+            .unwrap_or(WIRE_CAP_BASE_FF); // primary inputs: pad driver
+        let pins: f64 = self.fanout(net)
+            .iter()
+            .map(|&(g, _)| self.gate(g).kind().input_cap_ff())
+            .sum();
+        let wire = WIRE_CAP_BASE_FF + WIRE_CAP_PER_FANOUT_FF * self.fanout(net).len() as f64;
+        drv + pins + wire
+    }
+
+    /// Per-cell-kind instance counts, for reporting.
+    pub fn cell_histogram(&self) -> HashMap<CellKind, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Builder for [`Netlist`].
+///
+/// Collects nets and gates, then validates the whole design in
+/// [`NetlistBuilder::finish`]. See [`Netlist`] for an example.
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    net_names: HashMap<String, NetId>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    errors: Vec<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Re-opens an existing netlist for modification: the builder starts
+    /// with identical nets (same ids), gates (same ids) and ports, so
+    /// side tables keyed by [`NetId`]/[`GateId`] stay valid for the
+    /// copied prefix.
+    pub fn from_netlist(nl: &Netlist) -> Self {
+        let mut b = NetlistBuilder::new(nl.name().to_string());
+        for net in nl.net_ids() {
+            let name = nl.net(net).name().to_string();
+            if nl.inputs().contains(&net) {
+                b.input(name);
+            } else {
+                b.net(name);
+            }
+        }
+        for g in nl.gate_ids() {
+            let gate = nl.gate(g);
+            b.gate(
+                gate.kind(),
+                gate.name().to_string(),
+                gate.inputs(),
+                gate.output(),
+            );
+        }
+        for &o in nl.outputs() {
+            b.mark_output(o);
+        }
+        b
+    }
+
+    /// Declares a new internal net. Names must be unique; a duplicate is
+    /// recorded as an error and reported by [`NetlistBuilder::finish`].
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let id = NetId(self.nets.len() as u32);
+        if self.net_names.contains_key(&name) {
+            self.errors.push(NetlistError::DuplicateNetName { net: name.clone() });
+        }
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net { name });
+        id
+    }
+
+    /// Declares a primary input net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Instantiates a gate driving `output` from `inputs`.
+    pub fn gate(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> GateId {
+        let name = name.into();
+        if inputs.len() != kind.arity() {
+            self.errors.push(NetlistError::BadArity {
+                gate: name.clone(),
+                kind,
+                got: inputs.len(),
+            });
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        id
+    }
+
+    /// Convenience: declares a fresh net named `name` and drives it with a
+    /// new gate, returning the net.
+    pub fn gate_net(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+    ) -> NetId {
+        let name = name.into();
+        let out = self.net(format!("{name}_o"));
+        self.gate(kind, name, inputs, out);
+        out
+    }
+
+    /// Number of gates added so far (used for generating unique names).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first of any recorded or detected
+    /// [`NetlistError`]: duplicate names, bad arity, multiple drivers,
+    /// floating nets, or combinational loops.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let n_nets = self.nets.len();
+        let mut driver: Vec<Option<GateId>> = vec![None; n_nets];
+        let mut fanout: Vec<Vec<(GateId, usize)>> = vec![Vec::new(); n_nets];
+
+        for (gi, g) in self.gates.iter().enumerate() {
+            let gid = GateId(gi as u32);
+            let out = g.output.index();
+            if driver[out].is_some() || self.inputs.contains(&g.output) {
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.nets[out].name.clone(),
+                });
+            }
+            driver[out] = Some(gid);
+            for (pin, &inp) in g.inputs.iter().enumerate() {
+                fanout[inp.index()].push((gid, pin));
+            }
+        }
+
+        for (ni, net) in self.nets.iter().enumerate() {
+            let id = NetId(ni as u32);
+            if driver[ni].is_none() && !self.inputs.contains(&id) {
+                return Err(NetlistError::UndrivenNet {
+                    net: net.name.clone(),
+                });
+            }
+        }
+
+        // Kahn's algorithm over combinational gates only. Sequential gate
+        // outputs are sources; their inputs are sinks.
+        let mut indeg: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                if g.kind.is_sequential() {
+                    0
+                } else {
+                    g.inputs
+                        .iter()
+                        .filter(|&&n| {
+                            driver[n.index()]
+                                .map(|d| !self.gates[d.index()].kind.is_sequential())
+                                .unwrap_or(false)
+                        })
+                        .count()
+                }
+            })
+            .collect();
+
+        let mut queue: Vec<GateId> = (0..self.gates.len())
+            .filter(|&i| !self.gates[i].kind.is_sequential() && indeg[i] == 0)
+            .map(|i| GateId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(self.gates.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            topo.push(g);
+            let out = self.gates[g.index()].output;
+            for &(succ, _) in &fanout[out.index()] {
+                if self.gates[succ.index()].kind.is_sequential() {
+                    continue;
+                }
+                indeg[succ.index()] -= 1;
+                if indeg[succ.index()] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+
+        let comb_count = self.gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        if topo.len() != comb_count {
+            // Some combinational gate never reached indegree 0: find one.
+            let stuck = (0..self.gates.len())
+                .find(|&i| !self.gates[i].kind.is_sequential() && indeg[i] > 0)
+                .expect("loop implies a stuck gate");
+            return Err(NetlistError::CombinationalLoop {
+                net: self.nets[self.gates[stuck].output.index()].name.clone(),
+            });
+        }
+
+        let seq = (0..self.gates.len())
+            .filter(|&i| self.gates[i].kind.is_sequential())
+            .map(|i| GateId(i as u32))
+            .collect();
+
+        for &o in &self.outputs {
+            if o.index() >= n_nets {
+                return Err(NetlistError::UnknownNet {
+                    net: format!("{o}"),
+                });
+            }
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            nets: self.nets,
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            driver,
+            fanout,
+            topo,
+            seq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("ha");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.net("s");
+        let cy = b.net("cy");
+        b.gate(CellKind::Xor2, "x", &[a, c], s);
+        b.gate(CellKind::And2, "g", &[a, c], cy);
+        b.mark_output(s);
+        b.mark_output(cy);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn builds_and_reports_counts() {
+        let nl = half_adder();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.topo_order().len(), 2);
+        assert!(nl.sequential_gates().is_empty());
+    }
+
+    #[test]
+    fn fanout_and_driver_are_consistent() {
+        let nl = half_adder();
+        let a = nl.find_net("a").unwrap();
+        assert_eq!(nl.driver(a), None);
+        assert_eq!(nl.fanout(a).len(), 2);
+        let s = nl.find_net("s").unwrap();
+        let drv = nl.driver(s).unwrap();
+        assert_eq!(nl.gate(drv).kind(), CellKind::Xor2);
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let n = b.net("n");
+        b.gate(CellKind::Inv, "i1", &[a], n);
+        b.gate(CellKind::Buf, "b1", &[a], n);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undriven_net() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let n = b.net("floating");
+        let o = b.net("o");
+        b.gate(CellKind::And2, "g", &[a, n], o);
+        assert!(matches!(b.finish(), Err(NetlistError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn rejects_combinational_loop() {
+        let mut b = NetlistBuilder::new("loop");
+        let a = b.input("a");
+        let x = b.net("x");
+        let y = b.net("y");
+        b.gate(CellKind::And2, "g1", &[a, y], x);
+        b.gate(CellKind::Buf, "g2", &[x], y);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut b = NetlistBuilder::new("counter_bit");
+        let q = b.net("q");
+        let d = b.net("d");
+        b.gate(CellKind::Inv, "i", &[q], d);
+        b.gate(CellKind::Dff, "ff", &[d], q);
+        b.mark_output(q);
+        let nl = b.finish().expect("dff breaks the loop");
+        assert_eq!(nl.sequential_gates().len(), 1);
+        assert_eq!(nl.topo_order().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let o = b.net("o");
+        b.gate(CellKind::And2, "g", &[a], o);
+        assert!(matches!(b.finish(), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_net_names() {
+        let mut b = NetlistBuilder::new("bad");
+        let _ = b.input("a");
+        let _ = b.net("a");
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateNetName { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.net("n1");
+        let n2 = b.net("n2");
+        let n3 = b.net("n3");
+        // Add in reverse order to make the builder work for it.
+        b.gate(CellKind::Inv, "i3", &[n2], n3);
+        b.gate(CellKind::Inv, "i2", &[n1], n2);
+        b.gate(CellKind::Inv, "i1", &[a], n1);
+        b.mark_output(n3);
+        let nl = b.finish().unwrap();
+        let order = nl.topo_order();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&g| nl.gate(g).name() == name)
+                .unwrap()
+        };
+        assert!(pos("i1") < pos("i2"));
+        assert!(pos("i2") < pos("i3"));
+    }
+
+    #[test]
+    fn net_cap_grows_with_fanout() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let o1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let _o2 = b.gate_net(CellKind::Inv, "i2", &[a]);
+        b.mark_output(o1);
+        let nl = b.finish().unwrap();
+        let a = nl.find_net("a").unwrap();
+        let o1 = nl.find_net("i1_o").unwrap();
+        assert!(nl.net_cap_ff(a) > nl.net_cap_ff(o1));
+    }
+
+    #[test]
+    fn cell_histogram_counts() {
+        let nl = half_adder();
+        let h = nl.cell_histogram();
+        assert_eq!(h[&CellKind::Xor2], 1);
+        assert_eq!(h[&CellKind::And2], 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Three-valued logic (`0`, `1`, `X`) used throughout gate-level simulation.
+//!
+//! Registers power up unknown, and the paper's methodology (step 2 of
+//! Section 5) depends on faithfully reproducing "potentially detected"
+//! outcomes that arise from `X` values reaching observed outputs. All
+//! combinational evaluation therefore uses the pessimistic three-valued
+//! algebra below.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A three-valued logic level: logic zero, logic one, or unknown.
+///
+/// `X` is the *pessimistic unknown* of classic fault simulators: any value
+/// that cannot be proven constant is `X`, and `X` absorbs through gates
+/// except where a controlling value decides the output (`0 AND X = 0`,
+/// `1 OR X = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::Logic;
+///
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(Logic::One | Logic::X, Logic::One);
+/// assert_eq!(Logic::One ^ Logic::X, Logic::X);
+/// assert_eq!(!Logic::X, Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts a `bool` into a known logic level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(true)` for [`Logic::One`], `Some(false)` for
+    /// [`Logic::Zero`] and `None` for [`Logic::X`].
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Whether the value is `0` or `1` (not `X`).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Whether two values are known and different — i.e. a real, observable
+    /// mismatch rather than an `X`-vs-anything ambiguity.
+    ///
+    /// This is the comparison a tester performs: an `X` on either side is
+    /// *potentially* a mismatch, never a definite one.
+    #[inline]
+    pub fn definitely_differs(self, other: Logic) -> bool {
+        self.is_known() && other.is_known() && self != other
+    }
+
+    /// Whether a mismatch with `other` is possible (either a definite
+    /// difference or at least one side unknown while the other is known).
+    #[inline]
+    pub fn possibly_differs(self, other: Logic) -> bool {
+        match (self, other) {
+            (Logic::X, Logic::X) => false,
+            (a, b) => a != b,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    #[inline]
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    #[inline]
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) if a == b => Logic::Zero,
+            _ => Logic::One,
+        }
+    }
+}
+
+/// Converts a slice of logic levels (LSB first) into an integer, if every
+/// bit is known.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{logic_to_u64, Logic};
+///
+/// let bits = [Logic::One, Logic::Zero, Logic::One]; // LSB first: 0b101
+/// assert_eq!(logic_to_u64(&bits), Some(5));
+/// assert_eq!(logic_to_u64(&[Logic::X]), None);
+/// ```
+pub fn logic_to_u64(bits: &[Logic]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool()? {
+            true => v |= 1 << i,
+            false => {}
+        }
+    }
+    Some(v)
+}
+
+/// Expands the low `width` bits of `value` into a vector of known logic
+/// levels, LSB first.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{u64_to_logic, Logic};
+///
+/// assert_eq!(u64_to_logic(5, 3), vec![Logic::One, Logic::Zero, Logic::One]);
+/// ```
+pub fn u64_to_logic(value: u64, width: usize) -> Vec<Logic> {
+    (0..width).map(|i| Logic::from_bool(value >> i & 1 == 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    #[test]
+    fn not_is_involutive_on_known() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+        for v in ALL {
+            assert_eq!(!!v, v);
+        }
+    }
+
+    #[test]
+    fn and_controlling_zero_beats_x() {
+        assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+        assert_eq!(Logic::X & Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::One & Logic::X, Logic::X);
+        assert_eq!(Logic::X & Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn or_controlling_one_beats_x() {
+        assert_eq!(Logic::One | Logic::X, Logic::One);
+        assert_eq!(Logic::X | Logic::One, Logic::One);
+        assert_eq!(Logic::Zero | Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn xor_propagates_x() {
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+        assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+        assert_eq!(Logic::Zero ^ Logic::X, Logic::X);
+        assert_eq!(Logic::X ^ Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn and_or_commute_and_associate_on_all_values() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                assert_eq!(a ^ b, b ^ a);
+                for c in ALL {
+                    assert_eq!((a & b) & c, a & (b & c));
+                    assert_eq!((a | b) | c, a | (b | c));
+                    assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_valued_algebra() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn definite_and_possible_difference() {
+        assert!(Logic::Zero.definitely_differs(Logic::One));
+        assert!(!Logic::Zero.definitely_differs(Logic::X));
+        assert!(Logic::Zero.possibly_differs(Logic::X));
+        assert!(!Logic::X.possibly_differs(Logic::X));
+        assert!(!Logic::One.possibly_differs(Logic::One));
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 5, 10, 255] {
+            let bits = u64_to_logic(v, 8);
+            assert_eq!(logic_to_u64(&bits), Some(v & 0xff));
+        }
+        let mut bits = u64_to_logic(3, 4);
+        bits[2] = Logic::X;
+        assert_eq!(logic_to_u64(&bits), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "X");
+    }
+}

@@ -1,0 +1,601 @@
+//! Bit-parallel fault simulation: 64 simulation lanes per machine word.
+//!
+//! Classic *parallel fault* simulation — lane 0 carries the fault-free
+//! circuit and up to 63 further lanes each carry one injected stuck-at
+//! fault. All lanes share the same primary-input stimulus, and sequential
+//! state diverges per lane naturally, so the scheme is exact for
+//! sequential circuits (unlike parallel-pattern schemes, which require
+//! identical control flow across lanes).
+//!
+//! Values are dual-rail: a lane can be `0`, `1`, or `X` (neither rail
+//! set). This preserves the three-valued semantics of [`crate::CycleSim`].
+
+use crate::fault::{FaultSite, StuckAt};
+use crate::graph::{GateId, NetId, Netlist};
+use crate::logic::Logic;
+
+/// Maximum number of faults in one [`ParallelFaultSim`] (lane 0 is the
+/// fault-free reference).
+pub const MAX_PARALLEL_FAULTS: usize = 63;
+
+/// A 64-lane dual-rail logic word.
+///
+/// Invariant: `lo & hi == 0`; a lane with neither bit set is `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatVec {
+    /// Lanes that are definitely 0.
+    pub lo: u64,
+    /// Lanes that are definitely 1.
+    pub hi: u64,
+}
+
+impl PatVec {
+    /// All lanes `X`.
+    pub const ALL_X: PatVec = PatVec { lo: 0, hi: 0 };
+    /// All lanes 0.
+    pub const ALL_ZERO: PatVec = PatVec { lo: !0, hi: 0 };
+    /// All lanes 1.
+    pub const ALL_ONE: PatVec = PatVec { lo: 0, hi: !0 };
+
+    /// Broadcasts a scalar logic value to all lanes.
+    pub fn splat(v: Logic) -> PatVec {
+        match v {
+            Logic::Zero => PatVec::ALL_ZERO,
+            Logic::One => PatVec::ALL_ONE,
+            Logic::X => PatVec::ALL_X,
+        }
+    }
+
+    /// Reads one lane.
+    pub fn lane(self, i: usize) -> Logic {
+        let m = 1u64 << i;
+        if self.lo & m != 0 {
+            Logic::Zero
+        } else if self.hi & m != 0 {
+            Logic::One
+        } else {
+            Logic::X
+        }
+    }
+
+    /// Writes one lane.
+    #[must_use]
+    pub fn with_lane(self, i: usize, v: Logic) -> PatVec {
+        let m = 1u64 << i;
+        let mut r = PatVec {
+            lo: self.lo & !m,
+            hi: self.hi & !m,
+        };
+        match v {
+            Logic::Zero => r.lo |= m,
+            Logic::One => r.hi |= m,
+            Logic::X => {}
+        }
+        r
+    }
+
+    /// Forces the lanes selected by `mask` to `v`.
+    #[must_use]
+    pub fn force(self, mask: u64, v: Logic) -> PatVec {
+        let mut r = PatVec {
+            lo: self.lo & !mask,
+            hi: self.hi & !mask,
+        };
+        match v {
+            Logic::Zero => r.lo |= mask,
+            Logic::One => r.hi |= mask,
+            Logic::X => {}
+        }
+        r
+    }
+
+    /// Lane-wise NOT.
+    #[must_use]
+    pub fn not(self) -> PatVec {
+        PatVec {
+            lo: self.hi,
+            hi: self.lo,
+        }
+    }
+
+    /// Lane-wise AND.
+    #[must_use]
+    pub fn and(self, o: PatVec) -> PatVec {
+        PatVec {
+            lo: self.lo | o.lo,
+            hi: self.hi & o.hi,
+        }
+    }
+
+    /// Lane-wise OR.
+    #[must_use]
+    pub fn or(self, o: PatVec) -> PatVec {
+        PatVec {
+            lo: self.lo & o.lo,
+            hi: self.hi | o.hi,
+        }
+    }
+
+    /// Lane-wise XOR.
+    #[must_use]
+    pub fn xor(self, o: PatVec) -> PatVec {
+        PatVec {
+            lo: (self.lo & o.lo) | (self.hi & o.hi),
+            hi: (self.lo & o.hi) | (self.hi & o.lo),
+        }
+    }
+
+    /// Lane-wise 2:1 mux (`sel=0` picks `a`, `sel=1` picks `b`); an `X`
+    /// select yields the data value only where both data lanes agree.
+    #[must_use]
+    pub fn mux(a: PatVec, b: PatVec, sel: PatVec) -> PatVec {
+        let agree_lo = a.lo & b.lo;
+        let agree_hi = a.hi & b.hi;
+        let x_sel = !(sel.lo | sel.hi);
+        PatVec {
+            lo: (sel.lo & a.lo) | (sel.hi & b.lo) | (x_sel & agree_lo),
+            hi: (sel.lo & a.hi) | (sel.hi & b.hi) | (x_sel & agree_hi),
+        }
+    }
+
+    /// Lanes (as a mask) whose value definitely differs from the
+    /// corresponding lane of `o` — both lanes known, opposite values.
+    pub fn definitely_differs(self, o: PatVec) -> u64 {
+        (self.lo & o.hi) | (self.hi & o.lo)
+    }
+
+    /// Lanes (as a mask) that are known (`0` or `1`).
+    pub fn known(self) -> u64 {
+        self.lo | self.hi
+    }
+}
+
+/// Evaluates a cell over lane vectors.
+fn eval_cell(kind: crate::cell::CellKind, ins: &[PatVec]) -> PatVec {
+    use crate::cell::CellKind::*;
+    match kind {
+        Const0 => PatVec::ALL_ZERO,
+        Const1 => PatVec::ALL_ONE,
+        Buf | Dff => ins[0],
+        Inv => ins[0].not(),
+        And2 | And3 | And4 => ins.iter().copied().fold(PatVec::ALL_ONE, PatVec::and),
+        Or2 | Or3 | Or4 => ins.iter().copied().fold(PatVec::ALL_ZERO, PatVec::or),
+        Nand2 | Nand3 | Nand4 => ins
+            .iter()
+            .copied()
+            .fold(PatVec::ALL_ONE, PatVec::and)
+            .not(),
+        Nor2 | Nor3 | Nor4 => ins
+            .iter()
+            .copied()
+            .fold(PatVec::ALL_ZERO, PatVec::or)
+            .not(),
+        Xor2 => ins[0].xor(ins[1]),
+        Xnor2 => ins[0].xor(ins[1]).not(),
+        Mux2 => PatVec::mux(ins[0], ins[1], ins[2]),
+        Dffe => unreachable!("Dffe handled by the simulator clock"),
+    }
+}
+
+/// Parallel fault simulator: lane 0 fault-free, lanes `1..=faults.len()`
+/// each carrying one stuck-at fault.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{CellKind, Logic, NetlistBuilder, ParallelFaultSim, StuckAt};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let o = b.gate_net(CellKind::Inv, "i", &[a]);
+/// b.mark_output(o);
+/// let nl = b.finish()?;
+/// let g = nl.driver(nl.find_net("i_o").unwrap()).unwrap();
+///
+/// let faults = vec![StuckAt::output(g, false), StuckAt::output(g, true)];
+/// let mut sim = ParallelFaultSim::new(&nl, &faults)?;
+/// sim.set_inputs(&[Logic::Zero]);
+/// sim.eval();
+/// // Fault-free output is 1, so only the s-a-0 lane differs.
+/// assert_eq!(sim.detected_mask(), 0b01 << 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelFaultSim<'a> {
+    nl: &'a Netlist,
+    faults: Vec<StuckAt>,
+    values: Vec<PatVec>,
+    state: Vec<PatVec>,
+    /// Per-gate, per-pin force masks: (gate, pin, mask, value).
+    pin_forces: Vec<(GateId, usize, u64, Logic)>,
+    /// Per-gate output force masks.
+    out_forces: Vec<(GateId, u64, Logic)>,
+    /// Primary-input stem force masks.
+    pi_forces: Vec<(NetId, u64, Logic)>,
+}
+
+/// Error returned when more than [`MAX_PARALLEL_FAULTS`] faults are given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyFaultsError {
+    /// Number of faults requested.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for TooManyFaultsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} faults requested, at most {MAX_PARALLEL_FAULTS} fit in one parallel batch",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for TooManyFaultsError {}
+
+impl<'a> ParallelFaultSim<'a> {
+    /// Creates a simulator for one batch of faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyFaultsError`] if `faults.len() > 63`.
+    pub fn new(nl: &'a Netlist, faults: &[StuckAt]) -> Result<Self, TooManyFaultsError> {
+        if faults.len() > MAX_PARALLEL_FAULTS {
+            return Err(TooManyFaultsError {
+                requested: faults.len(),
+            });
+        }
+        let mut pin_forces = Vec::new();
+        let mut out_forces = Vec::new();
+        let mut pi_forces = Vec::new();
+        for (i, f) in faults.iter().enumerate() {
+            let mask = 1u64 << (i + 1);
+            let v = f.stuck_logic();
+            match f.site {
+                FaultSite::GateInput { gate, pin } => pin_forces.push((gate, pin, mask, v)),
+                FaultSite::GateOutput { gate } => out_forces.push((gate, mask, v)),
+                FaultSite::PrimaryInput { net } => pi_forces.push((net, mask, v)),
+            }
+        }
+        Ok(ParallelFaultSim {
+            nl,
+            faults: faults.to_vec(),
+            values: vec![PatVec::ALL_X; nl.net_count()],
+            state: vec![PatVec::ALL_X; nl.gate_count()],
+            pin_forces,
+            out_forces,
+            pi_forces,
+        })
+    }
+
+    /// The faults carried by lanes `1..`.
+    pub fn faults(&self) -> &[StuckAt] {
+        &self.faults
+    }
+
+    /// Resets all sequential state in all lanes.
+    pub fn reset_state(&mut self, v: Logic) {
+        for &g in self.nl.sequential_gates() {
+            self.state[g.index()] = PatVec::splat(v);
+        }
+    }
+
+    /// Overwrites one sequential gate's stored state (all lanes) — used
+    /// by system-level reset to load a specific controller state code.
+    pub fn set_gate_state(&mut self, gate: GateId, v: PatVec) {
+        self.state[gate.index()] = v;
+    }
+
+    /// Reads one sequential gate's stored state lanes.
+    pub fn gate_state(&self, gate: GateId) -> PatVec {
+        self.state[gate.index()]
+    }
+
+    /// Applies the same value to a primary input across all lanes.
+    pub fn set_input(&mut self, net: NetId, v: Logic) {
+        self.values[net.index()] = PatVec::splat(v);
+    }
+
+    /// Applies the same values to all primary inputs across all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` length differs from the number of primary inputs.
+    pub fn set_inputs(&mut self, vals: &[Logic]) {
+        assert_eq!(vals.len(), self.nl.inputs().len(), "input width mismatch");
+        for (&net, &v) in self.nl.inputs().iter().zip(vals) {
+            self.values[net.index()] = PatVec::splat(v);
+        }
+    }
+
+    /// Applies per-lane values to a primary input (used when co-simulating
+    /// with per-lane environments, e.g. per-fault datapath status bits).
+    pub fn set_input_lanes(&mut self, net: NetId, v: PatVec) {
+        self.values[net.index()] = v;
+    }
+
+    fn pin(&self, gate: GateId, pin: usize, net: NetId) -> PatVec {
+        let mut v = self.values[net.index()];
+        for &(g, p, mask, val) in &self.pin_forces {
+            if g == gate && p == pin {
+                v = v.force(mask, val);
+            }
+        }
+        v
+    }
+
+    /// Settles all combinational logic.
+    pub fn eval(&mut self) {
+        for &(net, mask, v) in &self.pi_forces {
+            self.values[net.index()] = self.values[net.index()].force(mask, v);
+        }
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            let mut v = self.state[g.index()];
+            for &(fg, mask, val) in &self.out_forces {
+                if fg == g {
+                    v = v.force(mask, val);
+                }
+            }
+            self.values[out.index()] = v;
+        }
+        let mut ins: Vec<PatVec> = Vec::with_capacity(4);
+        for &g in self.nl.topo_order() {
+            let gate = self.nl.gate(g);
+            ins.clear();
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                ins.push(self.pin(g, pin, net));
+            }
+            let mut v = eval_cell(gate.kind(), &ins);
+            for &(fg, mask, val) in &self.out_forces {
+                if fg == g {
+                    v = v.force(mask, val);
+                }
+            }
+            self.values[gate.output().index()] = v;
+        }
+    }
+
+    /// Advances sequential state one clock edge in all lanes.
+    pub fn clock(&mut self) {
+        for &g in self.nl.sequential_gates() {
+            let gate = self.nl.gate(g);
+            match gate.kind() {
+                crate::cell::CellKind::Dff => {
+                    self.state[g.index()] = self.pin(g, 0, gate.inputs()[0]);
+                }
+                crate::cell::CellKind::Dffe => {
+                    let d = self.pin(g, 0, gate.inputs()[0]);
+                    let en = self.pin(g, 1, gate.inputs()[1]);
+                    let cur = self.state[g.index()];
+                    // en=1: d. en=0: hold. en=X: keep only where d agrees
+                    // with current known state, else X.
+                    let agree_lo = d.lo & cur.lo;
+                    let agree_hi = d.hi & cur.hi;
+                    let x_en = !(en.lo | en.hi);
+                    self.state[g.index()] = PatVec {
+                        lo: (en.hi & d.lo) | (en.lo & cur.lo) | (x_en & agree_lo),
+                        hi: (en.hi & d.hi) | (en.lo & cur.hi) | (x_en & agree_hi),
+                    };
+                }
+                _ => unreachable!("non-sequential gate in sequential list"),
+            }
+        }
+    }
+
+    /// Lane-vector value of a net (valid after [`ParallelFaultSim::eval`]).
+    pub fn value(&self, net: NetId) -> PatVec {
+        self.values[net.index()]
+    }
+
+    /// Mask of fault lanes whose primary outputs *definitely* differ from
+    /// lane 0 in the current cycle. Bit `i+1` corresponds to
+    /// `self.faults()[i]`.
+    pub fn detected_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for &o in self.nl.outputs() {
+            let v = self.values[o.index()];
+            // Compare each lane against lane 0 by broadcasting lane 0.
+            let golden = PatVec::splat(v.lane(0));
+            mask |= v.definitely_differs(golden);
+        }
+        mask & !1
+    }
+
+    /// Mask of fault lanes where some primary output is known in lane 0
+    /// but unknown in the fault lane (the "potentially detected" outcome
+    /// GENTEST reports — see step 2 of the paper's Section 5 methodology).
+    pub fn potentially_detected_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for &o in self.nl.outputs() {
+            let v = self.values[o.index()];
+            if v.lane(0).is_known() {
+                mask |= !v.known();
+            }
+        }
+        mask & !1 & lanes_mask(self.faults.len())
+    }
+}
+
+/// Mask covering the fault lanes `1..=n`.
+fn lanes_mask(n: usize) -> u64 {
+    if n >= 63 {
+        !1
+    } else {
+        ((1u64 << (n + 1)) - 1) & !1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::NetlistBuilder;
+    use crate::sim::CycleSim;
+    use Logic::{One, X, Zero};
+
+    #[test]
+    fn patvec_lane_round_trip() {
+        let mut v = PatVec::ALL_X;
+        v = v.with_lane(3, One);
+        v = v.with_lane(5, Zero);
+        assert_eq!(v.lane(3), One);
+        assert_eq!(v.lane(5), Zero);
+        assert_eq!(v.lane(0), X);
+        assert_eq!(v.lo & v.hi, 0);
+    }
+
+    #[test]
+    fn patvec_ops_match_scalar_logic() {
+        let vals = [Zero, One, X];
+        for (i, &a) in vals.iter().enumerate() {
+            for (j, &b) in vals.iter().enumerate() {
+                let lane = i * 3 + j;
+                let va = PatVec::ALL_X.with_lane(lane, a);
+                let vb = PatVec::ALL_X.with_lane(lane, b);
+                assert_eq!(va.and(vb).lane(lane), a & b, "and {a} {b}");
+                assert_eq!(va.or(vb).lane(lane), a | b, "or {a} {b}");
+                assert_eq!(va.xor(vb).lane(lane), a ^ b, "xor {a} {b}");
+                assert_eq!(va.not().lane(lane), !a, "not {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn patvec_mux_matches_cell_eval() {
+        let vals = [Zero, One, X];
+        for &a in &vals {
+            for &b in &vals {
+                for &s in &vals {
+                    let va = PatVec::splat(a);
+                    let vb = PatVec::splat(b);
+                    let vs = PatVec::splat(s);
+                    let expect = CellKind::Mux2.eval(&[a, b, s]);
+                    assert_eq!(PatVec::mux(va, vb, vs).lane(7), expect, "mux {a} {b} {s}");
+                }
+            }
+        }
+    }
+
+    /// Small sequential circuit: enabled register + inverter cloud.
+    fn build() -> Netlist {
+        let mut b = NetlistBuilder::new("seq");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.net("q");
+        b.gate(CellKind::Dffe, "r", &[d, en], q);
+        let nq = b.gate_net(CellKind::Inv, "i", &[q]);
+        let o = b.gate_net(CellKind::And2, "a", &[nq, d]);
+        b.mark_output(o);
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_lanes_agree_with_serial_simulation() {
+        let nl = build();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let mut psim = ParallelFaultSim::new(&nl, &faults).unwrap();
+        psim.reset_state(Zero);
+
+        let mut serials: Vec<CycleSim> = faults
+            .iter()
+            .map(|&f| {
+                let mut s = CycleSim::with_fault(&nl, f);
+                s.reset_state(Zero);
+                s
+            })
+            .collect();
+        let mut golden = CycleSim::new(&nl);
+        golden.reset_state(Zero);
+
+        let stim = [
+            [One, One],
+            [Zero, Zero],
+            [One, Zero],
+            [Zero, One],
+            [One, One],
+        ];
+        for inputs in stim {
+            psim.set_inputs(&inputs);
+            psim.eval();
+            golden.set_inputs(&inputs);
+            golden.eval();
+            for (i, s) in serials.iter_mut().enumerate() {
+                s.set_inputs(&inputs);
+                s.eval();
+                for net in nl.net_ids() {
+                    assert_eq!(
+                        psim.value(net).lane(i + 1),
+                        s.value(net),
+                        "fault {} net {}",
+                        faults[i],
+                        nl.net(net).name()
+                    );
+                }
+            }
+            for net in nl.net_ids() {
+                assert_eq!(psim.value(net).lane(0), golden.value(net));
+            }
+            psim.clock();
+            golden.clock();
+            for s in serials.iter_mut() {
+                s.clock();
+            }
+        }
+    }
+
+    #[test]
+    fn detected_mask_flags_only_differing_lanes() {
+        let nl = build();
+        let r = nl.sequential_gates()[0];
+        // q stuck at 1 vs stuck at 0: with state reset to 0, only s-a-1
+        // differs at output q.
+        let faults = [StuckAt::output(r, true), StuckAt::output(r, false)];
+        let mut psim = ParallelFaultSim::new(&nl, &faults).unwrap();
+        psim.reset_state(Zero);
+        psim.set_inputs(&[Zero, Zero]);
+        psim.eval();
+        assert_eq!(psim.detected_mask(), 0b10);
+    }
+
+    #[test]
+    fn potentially_detected_requires_known_golden() {
+        let mut b = NetlistBuilder::new("p");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.net("q");
+        b.gate(CellKind::Dffe, "r", &[d, en], q);
+        b.mark_output(q);
+        let nl = b.finish().unwrap();
+        let r = nl.sequential_gates()[0];
+        // Enable pin stuck at 0: register never loads, stays X while the
+        // fault-free register loads known data.
+        let faults = [StuckAt::input(r, 1, false)];
+        let mut psim = ParallelFaultSim::new(&nl, &faults).unwrap();
+        // Power-up X everywhere (no reset): like a real tester boot.
+        psim.set_inputs(&[One, One]);
+        psim.eval();
+        psim.clock();
+        psim.set_inputs(&[One, Zero]);
+        psim.eval();
+        assert_eq!(psim.detected_mask(), 0, "X is never a definite detect");
+        assert_eq!(psim.potentially_detected_mask(), 0b10);
+    }
+
+    #[test]
+    fn too_many_faults_rejected() {
+        let nl = build();
+        let faults = vec![StuckAt::output(nl.sequential_gates()[0], true); 64];
+        assert!(ParallelFaultSim::new(&nl, &faults).is_err());
+    }
+
+    #[test]
+    fn lanes_mask_limits() {
+        assert_eq!(lanes_mask(0), 0);
+        assert_eq!(lanes_mask(1), 0b10);
+        assert_eq!(lanes_mask(63), !1);
+    }
+}

@@ -1,0 +1,483 @@
+//! Cycle-accurate three-valued simulation with optional single-fault
+//! injection and switching-activity accounting.
+//!
+//! Evaluation is zero-delay: each cycle, primary inputs are applied, all
+//! combinational gates settle in topological order, activity is recorded as
+//! the set of nets whose settled value toggled `0↔1` relative to the
+//! previous cycle, and then the clock edge updates sequential state.
+//! Glitch power is therefore not modelled; the paper's power comparison is
+//! likewise between settled per-cycle activities.
+
+use crate::fault::{FaultSite, StuckAt};
+use crate::graph::{GateId, NetId, Netlist};
+use crate::logic::Logic;
+
+/// Per-simulation switching-activity counters consumed by the power model.
+#[derive(Debug, Clone, Default)]
+pub struct Activity {
+    /// `0↔1` transition count per net (indexed by [`NetId::index`]).
+    pub net_toggles: Vec<u64>,
+    /// Clock events per gate (indexed by [`GateId::index`]); nonzero only
+    /// for sequential cells. A [`crate::CellKind::Dff`] clocks every cycle,
+    /// a [`crate::CellKind::Dffe`] only when its enable is high.
+    pub clock_events: Vec<u64>,
+    /// Number of simulated cycles.
+    pub cycles: u64,
+}
+
+impl Activity {
+    fn new(nets: usize, gates: usize) -> Self {
+        Activity {
+            net_toggles: vec![0; nets],
+            clock_events: vec![0; gates],
+            cycles: 0,
+        }
+    }
+
+    /// Merges another activity record (e.g. from a later batch) into this
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two records come from differently-sized netlists.
+    pub fn merge(&mut self, other: &Activity) {
+        assert_eq!(self.net_toggles.len(), other.net_toggles.len());
+        assert_eq!(self.clock_events.len(), other.clock_events.len());
+        for (a, b) in self.net_toggles.iter_mut().zip(&other.net_toggles) {
+            *a += b;
+        }
+        for (a, b) in self.clock_events.iter_mut().zip(&other.clock_events) {
+            *a += b;
+        }
+        self.cycles += other.cycles;
+    }
+}
+
+/// Cycle simulator over a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{CellKind, CycleSim, Logic, NetlistBuilder};
+///
+/// # fn main() -> Result<(), sfr_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("toggle");
+/// let q = b.net("q");
+/// let d = b.gate_net(CellKind::Inv, "i", &[q]);
+/// b.gate(CellKind::Dff, "ff", &[d], q);
+/// b.mark_output(q);
+/// let nl = b.finish()?;
+///
+/// let mut sim = CycleSim::new(&nl);
+/// sim.reset_state(Logic::Zero);
+/// sim.eval();
+/// assert_eq!(sim.outputs(), vec![Logic::Zero]);
+/// sim.clock();
+/// sim.eval();
+/// assert_eq!(sim.outputs(), vec![Logic::One]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CycleSim<'a> {
+    nl: &'a Netlist,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    prev: Vec<Logic>,
+    have_prev: bool,
+    fault: Option<StuckAt>,
+    activity: Activity,
+    track_activity: bool,
+}
+
+impl<'a> CycleSim<'a> {
+    /// Creates a fault-free simulator. All nets and all sequential state
+    /// start at [`Logic::X`].
+    pub fn new(nl: &'a Netlist) -> Self {
+        CycleSim {
+            nl,
+            values: vec![Logic::X; nl.net_count()],
+            state: vec![Logic::X; nl.gate_count()],
+            prev: vec![Logic::X; nl.net_count()],
+            have_prev: false,
+            fault: None,
+            activity: Activity::new(nl.net_count(), nl.gate_count()),
+            track_activity: false,
+        }
+    }
+
+    /// Creates a simulator with a single stuck-at fault permanently
+    /// injected.
+    pub fn with_fault(nl: &'a Netlist, fault: StuckAt) -> Self {
+        let mut s = CycleSim::new(nl);
+        s.fault = Some(fault);
+        s
+    }
+
+    /// Enables switching-activity accounting (off by default; it costs one
+    /// pass over the nets per cycle).
+    pub fn track_activity(&mut self, on: bool) {
+        self.track_activity = on;
+    }
+
+    /// The injected fault, if any.
+    pub fn fault(&self) -> Option<StuckAt> {
+        self.fault
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// Sets every sequential cell's stored state (e.g. [`Logic::X`] at
+    /// power-up, [`Logic::Zero`] after a global reset).
+    pub fn reset_state(&mut self, v: Logic) {
+        for &g in self.nl.sequential_gates() {
+            self.state[g.index()] = v;
+        }
+        self.have_prev = false;
+    }
+
+    /// Sets the state of one sequential gate.
+    pub fn set_state(&mut self, gate: GateId, v: Logic) {
+        self.state[gate.index()] = v;
+    }
+
+    /// Stored state of one sequential gate.
+    pub fn state(&self, gate: GateId) -> Logic {
+        self.state[gate.index()]
+    }
+
+    /// Applies a value to a primary input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, v: Logic) {
+        assert!(
+            self.nl.inputs().contains(&net),
+            "{net} is not a primary input"
+        );
+        self.values[net.index()] = v;
+    }
+
+    /// Applies values to all primary inputs in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` length differs from the number of primary inputs.
+    pub fn set_inputs(&mut self, vals: &[Logic]) {
+        assert_eq!(vals.len(), self.nl.inputs().len(), "input width mismatch");
+        for (&net, &v) in self.nl.inputs().iter().zip(vals) {
+            self.values[net.index()] = v;
+        }
+    }
+
+    fn pin_value(&self, gate: GateId, pin: usize, net: NetId) -> Logic {
+        if let Some(f) = self.fault {
+            if f.site == (FaultSite::GateInput { gate, pin }) {
+                return f.stuck_logic();
+            }
+        }
+        self.values[net.index()]
+    }
+
+    /// Settles all combinational logic for the current cycle.
+    pub fn eval(&mut self) {
+        // Stem faults on primary inputs.
+        if let Some(f) = self.fault {
+            if let FaultSite::PrimaryInput { net } = f.site {
+                self.values[net.index()] = f.stuck_logic();
+            }
+        }
+        // Sequential outputs present their stored state.
+        for &g in self.nl.sequential_gates() {
+            let out = self.nl.gate(g).output();
+            let mut v = self.state[g.index()];
+            if let Some(f) = self.fault {
+                if f.site == (FaultSite::GateOutput { gate: g }) {
+                    v = f.stuck_logic();
+                }
+            }
+            self.values[out.index()] = v;
+        }
+        // Combinational gates in topological order.
+        let mut ins: Vec<Logic> = Vec::with_capacity(4);
+        for &g in self.nl.topo_order() {
+            let gate = self.nl.gate(g);
+            ins.clear();
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                ins.push(self.pin_value(g, pin, net));
+            }
+            let mut v = gate.kind().eval(&ins);
+            if let Some(f) = self.fault {
+                if f.site == (FaultSite::GateOutput { gate: g }) {
+                    v = f.stuck_logic();
+                }
+            }
+            self.values[gate.output().index()] = v;
+        }
+    }
+
+    /// Advances sequential state one clock edge, recording activity.
+    ///
+    /// Call after [`CycleSim::eval`]. Activity recorded per cycle:
+    ///
+    /// * a net toggle for every net whose settled value changed `0↔1`
+    ///   since the previous cycle's settled value;
+    /// * a clock event for every [`crate::CellKind::Dff`], and for every
+    ///   [`crate::CellKind::Dffe`] whose enable is `1` (this is the
+    ///   gated-clock energy the paper's register-load faults un-gate).
+    pub fn clock(&mut self) {
+        if self.track_activity {
+            if self.have_prev {
+                for i in 0..self.values.len() {
+                    if self.values[i].definitely_differs(self.prev[i]) {
+                        self.activity.net_toggles[i] += 1;
+                    }
+                }
+            }
+            self.prev.copy_from_slice(&self.values);
+            self.have_prev = true;
+            self.activity.cycles += 1;
+        }
+        for &g in self.nl.sequential_gates() {
+            let gate = self.nl.gate(g);
+            match gate.kind() {
+                crate::cell::CellKind::Dff => {
+                    let d = self.pin_value(g, 0, gate.inputs()[0]);
+                    self.state[g.index()] = d;
+                    if self.track_activity {
+                        self.activity.clock_events[g.index()] += 1;
+                    }
+                }
+                crate::cell::CellKind::Dffe => {
+                    let d = self.pin_value(g, 0, gate.inputs()[0]);
+                    let en = self.pin_value(g, 1, gate.inputs()[1]);
+                    match en {
+                        Logic::One => {
+                            self.state[g.index()] = d;
+                            if self.track_activity {
+                                self.activity.clock_events[g.index()] += 1;
+                            }
+                        }
+                        Logic::Zero => {}
+                        Logic::X => {
+                            // Unknown enable: state survives only if the
+                            // incoming data provably equals it.
+                            let cur = self.state[g.index()];
+                            if !(cur.is_known() && cur == d) {
+                                self.state[g.index()] = Logic::X;
+                            }
+                            // Pessimistic: no clock event counted; power
+                            // accounting only runs on reset, X-free traces.
+                        }
+                    }
+                }
+                _ => unreachable!("non-sequential gate in sequential list"),
+            }
+        }
+    }
+
+    /// `eval` + `clock` with fresh primary-input values: one full cycle.
+    pub fn step(&mut self, inputs: &[Logic]) {
+        self.set_inputs(inputs);
+        self.eval();
+        self.clock();
+    }
+
+    /// Settled value of a net (valid after [`CycleSim::eval`]).
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Settled primary-output values, in declaration order.
+    pub fn outputs(&self) -> Vec<Logic> {
+        self.nl
+            .outputs()
+            .iter()
+            .map(|&n| self.values[n.index()])
+            .collect()
+    }
+
+    /// The accumulated switching activity.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
+    }
+
+    /// Takes the accumulated activity, resetting the counters.
+    pub fn take_activity(&mut self) -> Activity {
+        let fresh = Activity::new(self.nl.net_count(), self.nl.gate_count());
+        std::mem::replace(&mut self.activity, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::NetlistBuilder;
+    use Logic::{One, X, Zero};
+
+    /// 1-bit register with enable feeding an inverter.
+    fn regbit() -> Netlist {
+        let mut b = NetlistBuilder::new("regbit");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.net("q");
+        b.gate(CellKind::Dffe, "r", &[d, en], q);
+        let o = b.gate_net(CellKind::Inv, "i", &[q]);
+        b.mark_output(o);
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinational_eval() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let c = b.input("b");
+        let o = b.gate_net(CellKind::Nand2, "g", &[a, c]);
+        b.mark_output(o);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set_inputs(&[One, One]);
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![Zero]);
+        sim.set_inputs(&[One, Zero]);
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![One]);
+    }
+
+    #[test]
+    fn registers_power_up_x_and_hold_without_enable() {
+        let nl = regbit();
+        let mut sim = CycleSim::new(&nl);
+        sim.set_inputs(&[One, Zero]);
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![X, X]);
+        sim.clock(); // en=0: stays X
+        sim.eval();
+        assert_eq!(sim.outputs()[1], X);
+        sim.set_inputs(&[One, One]);
+        sim.eval();
+        sim.clock(); // loads 1
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![Zero, One]);
+        sim.set_inputs(&[Zero, Zero]);
+        sim.eval();
+        sim.clock(); // enable low: holds
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![Zero, One]);
+    }
+
+    #[test]
+    fn x_enable_degrades_state_unless_data_matches() {
+        let nl = regbit();
+        let mut sim = CycleSim::new(&nl);
+        sim.step(&[One, One]); // load 1
+        sim.set_inputs(&[One, X]);
+        sim.eval();
+        sim.clock(); // d == state: survives
+        sim.eval();
+        assert_eq!(sim.outputs()[1], One);
+        sim.set_inputs(&[Zero, X]);
+        sim.eval();
+        sim.clock(); // d != state, en unknown: X
+        sim.eval();
+        assert_eq!(sim.outputs()[1], X);
+    }
+
+    #[test]
+    fn output_fault_forces_net() {
+        let nl = regbit();
+        let ff = nl.sequential_gates()[0];
+        let mut sim = CycleSim::with_fault(&nl, StuckAt::output(ff, true));
+        sim.set_inputs(&[Zero, One]);
+        sim.eval();
+        // q forced to 1 even though state is X.
+        assert_eq!(sim.outputs(), vec![Zero, One]);
+    }
+
+    #[test]
+    fn input_pin_fault_affects_only_that_pin() {
+        let mut b = NetlistBuilder::new("branch");
+        let a = b.input("a");
+        let o1 = b.gate_net(CellKind::Buf, "b1", &[a]);
+        let o2 = b.gate_net(CellKind::Buf, "b2", &[a]);
+        b.mark_output(o1);
+        b.mark_output(o2);
+        let nl = b.finish().unwrap();
+        let g1 = nl.driver(nl.find_net("b1_o").unwrap()).unwrap();
+        let mut sim = CycleSim::with_fault(&nl, StuckAt::input(g1, 0, false));
+        sim.set_inputs(&[One]);
+        sim.eval();
+        // Only the faulted branch sees 0; the sibling branch sees 1.
+        assert_eq!(sim.outputs(), vec![Zero, One]);
+    }
+
+    #[test]
+    fn primary_input_stem_fault_affects_all_branches() {
+        let mut b = NetlistBuilder::new("branch");
+        let a = b.input("a");
+        let o1 = b.gate_net(CellKind::Buf, "b1", &[a]);
+        let o2 = b.gate_net(CellKind::Buf, "b2", &[a]);
+        b.mark_output(o1);
+        b.mark_output(o2);
+        let nl = b.finish().unwrap();
+        let a = nl.find_net("a").unwrap();
+        let mut sim = CycleSim::with_fault(&nl, StuckAt::primary_input(a, false));
+        sim.set_inputs(&[One]);
+        sim.eval();
+        assert_eq!(sim.outputs(), vec![Zero, Zero]);
+    }
+
+    #[test]
+    fn activity_counts_toggles_and_gated_clocks() {
+        let nl = regbit();
+        let mut sim = CycleSim::new(&nl);
+        sim.track_activity(true);
+        sim.reset_state(Zero);
+        // Cycle 1: load 1. Cycle 2: hold. Cycle 3: load 0.
+        sim.step(&[One, One]);
+        sim.step(&[One, Zero]);
+        sim.step(&[Zero, One]);
+        let act = sim.activity();
+        assert_eq!(act.cycles, 3);
+        let ff = nl.sequential_gates()[0];
+        // Clock fired on the two enabled cycles only.
+        assert_eq!(act.clock_events[ff.index()], 2);
+        let q = nl.find_net("q").unwrap();
+        // q: X->X (cycle1 settle), 1 (cycle2), 1 (cycle3 pre-edge)... q
+        // toggles are definite 0<->1 changes between settled cycles.
+        assert!(act.net_toggles[q.index()] >= 1);
+    }
+
+    #[test]
+    fn take_activity_resets() {
+        let nl = regbit();
+        let mut sim = CycleSim::new(&nl);
+        sim.track_activity(true);
+        sim.reset_state(Zero);
+        sim.step(&[One, One]);
+        let a = sim.take_activity();
+        assert_eq!(a.cycles, 1);
+        assert_eq!(sim.activity().cycles, 0);
+    }
+
+    #[test]
+    fn merge_activity() {
+        let mut a = Activity::new(2, 1);
+        let mut b = Activity::new(2, 1);
+        a.net_toggles[0] = 3;
+        b.net_toggles[0] = 4;
+        a.cycles = 10;
+        b.cycles = 5;
+        b.clock_events[0] = 2;
+        a.merge(&b);
+        assert_eq!(a.net_toggles[0], 7);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.clock_events[0], 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Netlist statistics: area, logic depth, and a formatted summary.
+//!
+//! The paper's era graded controllers by cell area and logic depth as a
+//! matter of course; these metrics also feed the ablation benches (how
+//! encoding/fill choices change the controller's size and therefore its
+//! fault universe).
+
+use crate::cell::CellKind;
+use crate::graph::{GateId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+impl CellKind {
+    /// Relative cell area in gate-equivalents (a NAND2 is 1.0) —
+    /// representative of a 0.8 µm gate-array library.
+    pub fn area_ge(self) -> f64 {
+        use CellKind::*;
+        match self {
+            Const0 | Const1 => 0.0,
+            Buf => 0.75,
+            Inv => 0.5,
+            Nand2 | Nor2 => 1.0,
+            And2 | Or2 => 1.25,
+            Nand3 | Nor3 => 1.5,
+            And3 | Or3 => 1.75,
+            Nand4 | Nor4 => 2.0,
+            And4 | Or4 => 2.25,
+            Xor2 | Xnor2 => 2.5,
+            Mux2 => 2.25,
+            Dff => 5.0,
+            Dffe => 5.5,
+        }
+    }
+}
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total gate count (sequential cells included).
+    pub gates: usize,
+    /// Sequential cell count.
+    pub sequential: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Total area in gate equivalents.
+    pub area_ge: f64,
+    /// Maximum combinational depth in cell levels (register-to-register
+    /// or port-to-port).
+    pub depth: usize,
+    /// Instance count per cell kind.
+    pub histogram: HashMap<CellKind, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        let mut area = 0.0;
+        let mut sequential = 0;
+        for g in nl.gate_ids() {
+            let kind = nl.gate(g).kind();
+            area += kind.area_ge();
+            if kind.is_sequential() {
+                sequential += 1;
+            }
+        }
+        // Depth: longest path in cell levels over the combinational
+        // topological order. Sources (PIs, sequential outputs) are
+        // level 0.
+        let mut level: Vec<usize> = vec![0; nl.net_count()];
+        let mut depth = 0;
+        for &g in nl.topo_order() {
+            let gate = nl.gate(g);
+            let input_level = gate
+                .inputs()
+                .iter()
+                .map(|n| level[n.index()])
+                .max()
+                .unwrap_or(0);
+            let l = input_level + 1;
+            level[gate.output().index()] = l;
+            depth = depth.max(l);
+        }
+        // A sequential cell's D input also terminates a path.
+        for &g in nl.sequential_gates() {
+            for n in nl.gate(g).inputs() {
+                depth = depth.max(level[n.index()]);
+            }
+        }
+        NetlistStats {
+            gates: nl.gate_count(),
+            sequential,
+            nets: nl.net_count(),
+            area_ge: area,
+            depth,
+            histogram: nl.cell_histogram(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} gates ({} sequential), {} nets, {:.1} GE, depth {}",
+            self.gates, self.sequential, self.nets, self.area_ge, self.depth
+        )?;
+        let mut kinds: Vec<(&CellKind, &usize)> = self.histogram.iter().collect();
+        kinds.sort_by_key(|(k, _)| format!("{k}"));
+        for (k, n) in kinds {
+            writeln!(f, "  {k:<7} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The longest combinational path of a netlist as a gate sequence
+/// (useful for spotting what dominates the critical path).
+pub fn critical_path(nl: &Netlist) -> Vec<GateId> {
+    let mut level: Vec<usize> = vec![0; nl.net_count()];
+    let mut pred: Vec<Option<GateId>> = vec![None; nl.net_count()];
+    let mut best: Option<(usize, GateId)> = None;
+    for &g in nl.topo_order() {
+        let gate = nl.gate(g);
+        let (input_level, input_net) = gate
+            .inputs()
+            .iter()
+            .map(|n| (level[n.index()], *n))
+            .max_by_key(|&(l, _)| l)
+            .unwrap_or((0, gate.output()));
+        let l = input_level + 1;
+        let out = gate.output().index();
+        level[out] = l;
+        pred[out] = if input_level > 0 {
+            nl.driver(input_net)
+        } else {
+            None
+        };
+        if best.map(|(bl, _)| l > bl).unwrap_or(true) {
+            best = Some((l, g));
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = best.map(|(_, g)| g);
+    while let Some(g) = cur {
+        path.push(g);
+        cur = pred[nl.gate(g).output().index()];
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetlistBuilder;
+
+    fn chain(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut cur = b.input("a");
+        for i in 0..n {
+            cur = b.gate_net(CellKind::Inv, format!("i{i}"), &[cur]);
+        }
+        b.mark_output(cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn depth_of_a_chain() {
+        let nl = chain(7);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.depth, 7);
+        assert_eq!(s.gates, 7);
+        assert_eq!(s.histogram[&CellKind::Inv], 7);
+        assert!((s.area_ge - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_counts_paths_into_flops() {
+        let mut b = NetlistBuilder::new("ff");
+        let a = b.input("a");
+        let n1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let n2 = b.gate_net(CellKind::Inv, "i2", &[n1]);
+        let q = b.net("q");
+        b.gate(CellKind::Dff, "ff", &[n2], q);
+        b.mark_output(q);
+        let nl = b.finish().unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.sequential, 1);
+    }
+
+    #[test]
+    fn critical_path_follows_the_chain() {
+        let nl = chain(5);
+        let path = critical_path(&nl);
+        assert_eq!(path.len(), 5);
+        let names: Vec<&str> = path.iter().map(|&g| nl.gate(g).name()).collect();
+        assert_eq!(names, ["i0", "i1", "i2", "i3", "i4"]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = NetlistStats::of(&chain(3));
+        let text = s.to_string();
+        assert!(text.contains("3 gates"));
+        assert!(text.contains("INV"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Value-change-dump (VCD) waveform export.
+//!
+//! Debugging a controller fault means watching control lines, state
+//! bits and register contents cycle by cycle; VCD is the lingua franca
+//! every waveform viewer (GTKWave, Surfer, …) reads. [`VcdRecorder`]
+//! snapshots a [`crate::CycleSim`]'s settled values each cycle and
+//! writes a standard four-state VCD file.
+
+use crate::graph::{NetId, Netlist};
+use crate::logic::Logic;
+use crate::sim::CycleSim;
+use std::io::{self, Write};
+
+/// Records per-cycle net values and serializes them as VCD.
+///
+/// # Examples
+///
+/// ```
+/// use sfr_netlist::{CellKind, CycleSim, Logic, NetlistBuilder, VcdRecorder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let o = b.gate_net(CellKind::Inv, "i", &[a]);
+/// b.mark_output(o);
+/// let nl = b.finish()?;
+///
+/// let mut sim = CycleSim::new(&nl);
+/// let mut vcd = VcdRecorder::all_nets(&nl);
+/// for v in [Logic::Zero, Logic::One, Logic::Zero] {
+///     sim.set_inputs(&[v]);
+///     sim.eval();
+///     vcd.sample(&sim);
+///     sim.clock();
+/// }
+/// let mut out = Vec::new();
+/// vcd.write(&nl, &mut out)?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.contains("$enddefinitions"));
+/// assert!(text.contains("#2"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    nets: Vec<NetId>,
+    /// `samples[cycle][i]` = value of `nets[i]`.
+    samples: Vec<Vec<Logic>>,
+}
+
+impl VcdRecorder {
+    /// Records the given nets.
+    pub fn new(nets: Vec<NetId>) -> Self {
+        VcdRecorder {
+            nets,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records every net of the netlist.
+    pub fn all_nets(nl: &Netlist) -> Self {
+        VcdRecorder::new(nl.net_ids().collect())
+    }
+
+    /// Records only the primary inputs and outputs.
+    pub fn ports_only(nl: &Netlist) -> Self {
+        let mut nets: Vec<NetId> = nl.inputs().to_vec();
+        nets.extend(nl.outputs().iter().copied());
+        nets.dedup();
+        VcdRecorder::new(nets)
+    }
+
+    /// The recorded nets.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Snapshots the simulator's settled values (call after
+    /// [`CycleSim::eval`], once per cycle).
+    pub fn sample(&mut self, sim: &CycleSim<'_>) {
+        self.samples
+            .push(self.nets.iter().map(|&n| sim.value(n)).collect());
+    }
+
+    /// Writes the recording as VCD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(&self, nl: &Netlist, mut w: W) -> io::Result<()> {
+        writeln!(w, "$version sfr-netlist VCD export $end")?;
+        writeln!(w, "$timescale 1ns $end")?;
+        writeln!(w, "$scope module {} $end", sanitize(nl.name()))?;
+        for (i, &net) in self.nets.iter().enumerate() {
+            writeln!(
+                w,
+                "$var wire 1 {} {} $end",
+                ident(i),
+                sanitize(nl.net(net).name())
+            )?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        let mut last: Vec<Option<Logic>> = vec![None; self.nets.len()];
+        for (t, row) in self.samples.iter().enumerate() {
+            let mut header_written = false;
+            for (i, &v) in row.iter().enumerate() {
+                if last[i] == Some(v) {
+                    continue;
+                }
+                if !header_written {
+                    writeln!(w, "#{t}")?;
+                    if t == 0 {
+                        writeln!(w, "$dumpvars")?;
+                    }
+                    header_written = true;
+                }
+                let c = match v {
+                    Logic::Zero => '0',
+                    Logic::One => '1',
+                    Logic::X => 'x',
+                };
+                writeln!(w, "{c}{}", ident(i))?;
+                last[i] = Some(v);
+            }
+            if t == 0 && header_written {
+                writeln!(w, "$end")?;
+            }
+        }
+        writeln!(w, "#{}", self.samples.len())?;
+        Ok(())
+    }
+}
+
+/// Short printable-ASCII identifier for variable `i` (VCD id chars are
+/// `!`..`~`).
+fn ident(mut i: usize) -> String {
+    const FIRST: u8 = b'!';
+    const RANGE: usize = 94;
+    let mut s = String::new();
+    loop {
+        s.push((FIRST + (i % RANGE) as u8) as char);
+        i /= RANGE;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
+}
+
+/// Replaces characters VCD scopes/names dislike.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::NetlistBuilder;
+
+    fn toggler() -> Netlist {
+        let mut b = NetlistBuilder::new("t t"); // space exercises sanitize
+        let q = b.net("q");
+        let d = b.gate_net(CellKind::Inv, "i", &[q]);
+        b.gate(CellKind::Dff, "ff", &[d], q);
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    fn dump(rec: &VcdRecorder, nl: &Netlist) -> String {
+        let mut out = Vec::new();
+        rec.write(nl, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn records_and_writes_changes_only() {
+        let nl = toggler();
+        let mut sim = CycleSim::new(&nl);
+        sim.reset_state(Logic::Zero);
+        let mut rec = VcdRecorder::all_nets(&nl);
+        for _ in 0..4 {
+            sim.eval();
+            rec.sample(&sim);
+            sim.clock();
+        }
+        assert_eq!(rec.cycles(), 4);
+        let text = dump(&rec, &nl);
+        assert!(text.contains("$scope module t_t $end"));
+        assert!(text.contains("$dumpvars"));
+        // q toggles every cycle: a change record at every timestamp.
+        for t in 0..4 {
+            assert!(text.contains(&format!("#{t}\n")), "missing #{t}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn unchanged_values_are_not_re_emitted() {
+        let mut b = NetlistBuilder::new("const");
+        let a = b.input("a");
+        let o = b.gate_net(CellKind::Buf, "bf", &[a]);
+        b.mark_output(o);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        let mut rec = VcdRecorder::ports_only(&nl);
+        for _ in 0..5 {
+            sim.set_inputs(&[Logic::One]);
+            sim.eval();
+            rec.sample(&sim);
+            sim.clock();
+        }
+        let text = dump(&rec, &nl);
+        // Only the initial dump and the final timestamp marker.
+        assert_eq!(text.matches("\n1").count(), 2, "{text}");
+        assert!(!text.contains("#3\n"));
+    }
+
+    #[test]
+    fn x_values_render_as_x() {
+        let nl = toggler();
+        let mut sim = CycleSim::new(&nl); // no reset: q is X
+        let mut rec = VcdRecorder::all_nets(&nl);
+        sim.eval();
+        rec.sample(&sim);
+        let text = dump(&rec, &nl);
+        assert!(text.contains("\nx"), "{text}");
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..500).map(ident).collect();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        for id in &ids {
+            assert!(id.bytes().all(|b| (b'!'..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn ports_only_selects_ports() {
+        let nl = toggler();
+        let rec = VcdRecorder::ports_only(&nl);
+        assert_eq!(rec.nets().len(), 1); // q is the only port
+    }
+}

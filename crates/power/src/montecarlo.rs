@@ -1,0 +1,167 @@
+//! Monte Carlo power estimation with convergence control.
+//!
+//! "To get an idea of the average power consumption over a wide range of
+//! test sets, a Monte Carlo simulation can be used; the faulty circuit is
+//! simulated for random data until the power converges." (paper,
+//! Section 5). Batches of random runs produce per-batch power samples;
+//! estimation stops when the 95% confidence half-width falls below a
+//! relative tolerance.
+
+use crate::energy::PowerReport;
+
+/// Convergence settings for [`run_monte_carlo`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Target relative half-width of the 95% confidence interval.
+    pub rel_tolerance: f64,
+    /// Minimum number of batches before convergence may be declared.
+    pub min_batches: usize,
+    /// Hard ceiling on batches.
+    pub max_batches: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            rel_tolerance: 0.01,
+            min_batches: 8,
+            max_batches: 200,
+        }
+    }
+}
+
+/// Result of a Monte Carlo power estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Mean power across batches, µW.
+    pub mean_uw: f64,
+    /// Half-width of the 95% confidence interval, µW.
+    pub half_width_uw: f64,
+    /// Batches actually run.
+    pub batches: usize,
+    /// Whether the tolerance was met (false = stopped at `max_batches`).
+    pub converged: bool,
+}
+
+impl MonteCarloResult {
+    /// Relative half-width (half-width / mean).
+    pub fn rel_half_width(&self) -> f64 {
+        if self.mean_uw == 0.0 {
+            0.0
+        } else {
+            self.half_width_uw / self.mean_uw
+        }
+    }
+}
+
+/// Runs `batch(i)` — which must simulate one batch of random runs and
+/// return its average power — until the mean converges.
+///
+/// # Panics
+///
+/// Panics if `cfg.min_batches < 2` or `max_batches < min_batches`.
+pub fn run_monte_carlo<F>(cfg: &MonteCarloConfig, mut batch: F) -> MonteCarloResult
+where
+    F: FnMut(usize) -> PowerReport,
+{
+    assert!(cfg.min_batches >= 2, "need at least 2 batches for a CI");
+    assert!(cfg.max_batches >= cfg.min_batches);
+    let mut samples: Vec<f64> = Vec::new();
+    loop {
+        let i = samples.len();
+        samples.push(batch(i).total_uw);
+        if samples.len() >= cfg.min_batches {
+            let n = samples.len() as f64;
+            let mean = samples.iter().sum::<f64>() / n;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let half = 1.96 * (var / n).sqrt();
+            let rel = if mean == 0.0 { 0.0 } else { half / mean };
+            if rel <= cfg.rel_tolerance {
+                return MonteCarloResult {
+                    mean_uw: mean,
+                    half_width_uw: half,
+                    batches: samples.len(),
+                    converged: true,
+                };
+            }
+            if samples.len() >= cfg.max_batches {
+                return MonteCarloResult {
+                    mean_uw: mean,
+                    half_width_uw: half,
+                    batches: samples.len(),
+                    converged: false,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(uw: f64) -> PowerReport {
+        PowerReport {
+            total_uw: uw,
+            switching_uw: uw,
+            clock_uw: 0.0,
+            cycles: 100,
+        }
+    }
+
+    #[test]
+    fn constant_sequence_converges_immediately() {
+        let r = run_monte_carlo(&MonteCarloConfig::default(), |_| report(42.0));
+        assert!(r.converged);
+        assert_eq!(r.batches, 8);
+        assert!((r.mean_uw - 42.0).abs() < 1e-12);
+        assert!(r.half_width_uw < 1e-12);
+    }
+
+    #[test]
+    fn noisy_sequence_takes_more_batches() {
+        // Deterministic pseudo-noise around 100.
+        let mut s = 12345u64;
+        let cfg = MonteCarloConfig {
+            rel_tolerance: 0.005,
+            min_batches: 4,
+            max_batches: 10_000,
+        };
+        let r = run_monte_carlo(&cfg, |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            report(100.0 + (s % 21) as f64 - 10.0)
+        });
+        assert!(r.converged);
+        assert!(r.batches > 4);
+        assert!((r.mean_uw - 100.0).abs() < 2.0);
+        assert!(r.rel_half_width() <= 0.005);
+    }
+
+    #[test]
+    fn max_batches_caps_divergent_input() {
+        let mut i = 0.0;
+        let cfg = MonteCarloConfig {
+            rel_tolerance: 1e-9,
+            min_batches: 2,
+            max_batches: 5,
+        };
+        let r = run_monte_carlo(&cfg, |_| {
+            i += 100.0;
+            report(i)
+        });
+        assert!(!r.converged);
+        assert_eq!(r.batches, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_batch_minimum() {
+        let cfg = MonteCarloConfig {
+            min_batches: 1,
+            ..Default::default()
+        };
+        let _ = run_monte_carlo(&cfg, |_| report(1.0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Process/environment variation and the tolerance-band trade-off.
+//!
+//! The paper's second practical difficulty (Section 5): "the threshold
+//! must be chosen large enough to accommodate normal variations in a
+//! core's power consumption, due to process variations when the chip was
+//! fabricated, environmental variations, et cetera. The smaller the
+//! threshold can be made in practice, the greater is the percentage of
+//! SFR faults that can be detected."
+//!
+//! This module models a fabricated population: each virtual chip scales
+//! every switched capacitance by a lognormal process factor and its
+//! supply by a small Gaussian deviation. Sampling the population's
+//! fault-free power yields the spread a tester must tolerate — and
+//! therefore the smallest usable detection band.
+
+use crate::energy::{PowerConfig, PowerReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple chip-to-chip variation model.
+///
+/// Power scales multiplicatively: `P_chip = P_nominal · k_c · (v/V)²`
+/// where `k_c` is a per-chip capacitance/activity factor (lognormal
+/// around 1) and `v` a per-chip supply (Gaussian around nominal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Standard deviation of `ln(k_c)` (e.g. `0.02` ≈ 2% sigma).
+    pub cap_sigma: f64,
+    /// Relative standard deviation of the supply voltage.
+    pub vdd_rel_sigma: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel {
+            cap_sigma: 0.010,
+            vdd_rel_sigma: 0.005,
+        }
+    }
+}
+
+/// The sampled fault-free power population of one design.
+#[derive(Debug, Clone)]
+pub struct PowerPopulation {
+    samples: Vec<f64>,
+    nominal_uw: f64,
+}
+
+impl VariationModel {
+    /// Samples `n` virtual chips around a nominal power figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn sample_population(
+        &self,
+        nominal: &PowerReport,
+        cfg: &PowerConfig,
+        n: usize,
+        seed: u64,
+    ) -> PowerPopulation {
+        assert!(n >= 2, "a population needs at least two chips");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|_| {
+                let k_c = (gaussian(&mut rng) * self.cap_sigma).exp();
+                let v = cfg.vdd * (1.0 + gaussian(&mut rng) * self.vdd_rel_sigma);
+                nominal.total_uw * k_c * (v / cfg.vdd).powi(2)
+            })
+            .collect();
+        PowerPopulation {
+            samples,
+            nominal_uw: nominal.total_uw,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl PowerPopulation {
+    /// The sampled per-chip powers, µW.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The nominal (golden-simulation) power, µW.
+    pub fn nominal_uw(&self) -> f64 {
+        self.nominal_uw
+    }
+
+    /// The maximum absolute percentage deviation of any sampled chip
+    /// from nominal — the band a tester must at least tolerate to avoid
+    /// failing good parts.
+    pub fn worst_deviation_pct(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&s| (100.0 * (s - self.nominal_uw) / self.nominal_uw).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The smallest symmetric band (percent) that keeps the given
+    /// fraction of good chips inside — e.g. `0.999` for a 0.1% yield
+    /// loss budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < keep_fraction <= 1.0`.
+    pub fn band_for_yield(&self, keep_fraction: f64) -> f64 {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in (0, 1]"
+        );
+        let mut devs: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|&s| (100.0 * (s - self.nominal_uw) / self.nominal_uw).abs())
+            .collect();
+        devs.sort_by(f64::total_cmp);
+        let idx = ((devs.len() as f64 * keep_fraction).ceil() as usize)
+            .clamp(1, devs.len());
+        devs[idx - 1]
+    }
+
+    /// The fraction of chips a band of `band_pct` percent would falsely
+    /// reject.
+    pub fn false_reject_rate(&self, band_pct: f64) -> f64 {
+        let rejected = self
+            .samples
+            .iter()
+            .filter(|&&s| (100.0 * (s - self.nominal_uw) / self.nominal_uw).abs() > band_pct)
+            .count();
+        rejected as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> PowerReport {
+        PowerReport {
+            total_uw: 1000.0,
+            switching_uw: 800.0,
+            clock_uw: 200.0,
+            cycles: 1200,
+        }
+    }
+
+    #[test]
+    fn population_centers_on_nominal() {
+        let pop = VariationModel::default().sample_population(
+            &nominal(),
+            &PowerConfig::default(),
+            4000,
+            7,
+        );
+        let mean: f64 = pop.samples().iter().sum::<f64>() / pop.samples().len() as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn bands_grow_with_yield_requirements() {
+        let pop = VariationModel::default().sample_population(
+            &nominal(),
+            &PowerConfig::default(),
+            4000,
+            7,
+        );
+        let b90 = pop.band_for_yield(0.90);
+        let b99 = pop.band_for_yield(0.99);
+        let b999 = pop.band_for_yield(0.999);
+        assert!(b90 < b99);
+        assert!(b99 < b999);
+        assert!(b999 <= pop.worst_deviation_pct());
+        // With ~1% cap sigma and 0.5% vdd sigma (≈1.4% combined power
+        // sigma), the paper's 5% band sits at ~3.5σ and keeps
+        // essentially every good chip.
+        assert!(pop.false_reject_rate(5.0) < 0.005);
+        // A 1% band would fail a large share of good parts.
+        assert!(pop.false_reject_rate(1.0) > 0.2);
+    }
+
+    #[test]
+    fn zero_variation_population_is_tight() {
+        let model = VariationModel {
+            cap_sigma: 0.0,
+            vdd_rel_sigma: 0.0,
+        };
+        let pop = model.sample_population(&nominal(), &PowerConfig::default(), 100, 1);
+        assert!(pop.worst_deviation_pct() < 1e-9);
+        assert_eq!(pop.false_reject_rate(0.1), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let m = VariationModel::default();
+        let a = m.sample_population(&nominal(), &PowerConfig::default(), 50, 42);
+        let b = m.sample_population(&nominal(), &PowerConfig::default(), 50, 42);
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_populations() {
+        let _ = VariationModel::default().sample_population(
+            &nominal(),
+            &PowerConfig::default(),
+            1,
+            1,
+        );
+    }
+}

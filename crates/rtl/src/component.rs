@@ -1,0 +1,193 @@
+//! RTL datapath component vocabulary.
+//!
+//! The paper's datapath style (Figure 4) is the classic high-level
+//! synthesis output: multiplexers select operands for fixed-function
+//! arithmetic/logic units whose results are loaded into clock-gated
+//! registers. Control enters exclusively through **multiplexer select
+//! lines** and **register load lines** — precisely the two kinds of
+//! control line whose faulty behaviour Section 3 analyzes.
+
+use std::fmt;
+
+/// Index of a primary data-input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputId(pub usize);
+
+/// Index of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub usize);
+
+/// Index of a multiplexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MuxId(pub usize);
+
+/// Index of a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuId(pub usize);
+
+/// Index of a control line in the datapath's control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtrlId(pub usize);
+
+impl fmt::Display for CtrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The source feeding a datapath connection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSrc {
+    /// A primary data-input port.
+    Input(InputId),
+    /// A register output.
+    Reg(RegId),
+    /// A multiplexer output.
+    Mux(MuxId),
+    /// A functional-unit output.
+    Fu(FuId),
+    /// A hard-wired constant (must fit the datapath width).
+    Const(u64),
+}
+
+/// Fixed operation of a functional unit.
+///
+/// Results are truncated to the datapath width; [`FuOp::Lt`] produces `1`
+/// or `0` zero-extended to the width (its bit 0 is the natural status
+/// feed for controller branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping (truncated) multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Unsigned less-than (`a < b`), result 0 or 1.
+    Lt,
+    /// Passes operand `a` through (operand `b` ignored).
+    Pass,
+}
+
+impl FuOp {
+    /// Applies the operation to concrete operands at the given bit width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sfr_rtl::FuOp;
+    ///
+    /// assert_eq!(FuOp::Add.apply(9, 9, 4), 2);  // wraps at 4 bits
+    /// assert_eq!(FuOp::Lt.apply(3, 5, 4), 1);
+    /// assert_eq!(FuOp::Pass.apply(7, 0, 4), 7);
+    /// ```
+    pub fn apply(self, a: u64, b: u64, width: usize) -> u64 {
+        let m = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let r = match self {
+            FuOp::Add => a.wrapping_add(b),
+            FuOp::Sub => a.wrapping_sub(b),
+            FuOp::Mul => a.wrapping_mul(b),
+            FuOp::And => a & b,
+            FuOp::Or => a | b,
+            FuOp::Xor => a ^ b,
+            FuOp::Lt => u64::from((a & m) < (b & m)),
+            FuOp::Pass => a,
+        };
+        r & m
+    }
+
+    /// Whether operand `b` participates in the result.
+    pub fn uses_b(self) -> bool {
+        !matches!(self, FuOp::Pass)
+    }
+
+    /// Whether the operation commutes in its operands.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            FuOp::Add | FuOp::Mul | FuOp::And | FuOp::Or | FuOp::Xor
+        )
+    }
+}
+
+impl fmt::Display for FuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuOp::Add => "add",
+            FuOp::Sub => "sub",
+            FuOp::Mul => "mul",
+            FuOp::And => "and",
+            FuOp::Or => "or",
+            FuOp::Xor => "xor",
+            FuOp::Lt => "lt",
+            FuOp::Pass => "pass",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a control line does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Register load enable. Several registers may share one load line
+    /// (the FACET example in the paper exploits exactly this to produce
+    /// large power effects from a single fault).
+    Load,
+    /// One bit of a multiplexer select bus.
+    Select,
+}
+
+impl fmt::Display for CtrlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlKind::Load => f.write_str("load"),
+            CtrlKind::Select => f.write_str("select"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_truncate_to_width() {
+        assert_eq!(FuOp::Add.apply(15, 1, 4), 0);
+        assert_eq!(FuOp::Mul.apply(5, 5, 4), 9); // 25 mod 16
+        assert_eq!(FuOp::Sub.apply(0, 1, 4), 15);
+    }
+
+    #[test]
+    fn lt_is_unsigned_on_masked_operands() {
+        assert_eq!(FuOp::Lt.apply(2, 3, 4), 1);
+        assert_eq!(FuOp::Lt.apply(3, 3, 4), 0);
+        assert_eq!(FuOp::Lt.apply(0x12, 0x03, 4), 1); // masked: 2 < 3
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(FuOp::And.apply(0b1100, 0b1010, 4), 0b1000);
+        assert_eq!(FuOp::Or.apply(0b1100, 0b1010, 4), 0b1110);
+        assert_eq!(FuOp::Xor.apply(0b1100, 0b1010, 4), 0b0110);
+    }
+
+    #[test]
+    fn pass_ignores_b() {
+        assert_eq!(FuOp::Pass.apply(6, 99, 4), 6);
+        assert!(!FuOp::Pass.uses_b());
+        assert!(FuOp::Add.uses_b());
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(FuOp::Add.is_commutative());
+        assert!(!FuOp::Sub.is_commutative());
+        assert!(!FuOp::Lt.is_commutative());
+    }
+}

@@ -1,0 +1,331 @@
+//! Value domains for RTL simulation.
+//!
+//! The same simulation engine ([`crate::DatapathSim`]) runs over two
+//! domains:
+//!
+//! * [`ConcreteDomain`] — values are `Option<u64>` words (`None` = unknown),
+//!   used for functional golden runs and elaboration cross-checks;
+//! * [`SymbolicDomain`] — values are hash-consed expression DAG nodes over
+//!   per-(port, time) input symbols, used by the SFR/SFI oracle: two
+//!   simulation traces compute the same function exactly when their output
+//!   expressions are identical (see `sfr-classify`).
+
+use crate::component::{FuOp, InputId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A domain of data values the RTL simulator can compute over.
+pub trait DataDomain {
+    /// The value type.
+    type Value: Clone + PartialEq + fmt::Debug;
+
+    /// A constant word (already fitting the datapath width).
+    fn constant(&mut self, v: u64) -> Self::Value;
+
+    /// A fresh unknown value (results of X-gated loads, etc.). Two
+    /// unknowns are never equal.
+    fn unknown(&mut self) -> Self::Value;
+
+    /// Applies a functional-unit operation.
+    fn op(&mut self, op: FuOp, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Extracts bit 0 as a concrete boolean, if the domain can.
+    fn status_bit(&self, v: &Self::Value) -> Option<bool>;
+}
+
+/// Concrete word-level domain: `Some(word)` or `None` for unknown.
+///
+/// Unknowns are modelled conservatively at word granularity: any unknown
+/// operand makes the result unknown. Note `None == None` in this domain;
+/// the simulator only relies on equality to decide whether an unknown
+/// *stays* unknown, so this coarseness is sound.
+#[derive(Debug, Clone)]
+pub struct ConcreteDomain {
+    width: usize,
+}
+
+impl ConcreteDomain {
+    /// A concrete domain at the given bit width.
+    pub fn new(width: usize) -> Self {
+        ConcreteDomain { width }
+    }
+}
+
+impl DataDomain for ConcreteDomain {
+    type Value = Option<u64>;
+
+    fn constant(&mut self, v: u64) -> Option<u64> {
+        let m = if self.width >= 64 { u64::MAX } else { (1 << self.width) - 1 };
+        Some(v & m)
+    }
+
+    fn unknown(&mut self) -> Option<u64> {
+        None
+    }
+
+    fn op(&mut self, op: FuOp, a: &Option<u64>, b: &Option<u64>) -> Option<u64> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(op.apply(*a, *b, self.width)),
+            // Pass ignores b entirely.
+            (Some(a), None) if !op.uses_b() => Some(op.apply(*a, 0, self.width)),
+            _ => None,
+        }
+    }
+
+    fn status_bit(&self, v: &Option<u64>) -> Option<bool> {
+        v.map(|w| w & 1 == 1)
+    }
+}
+
+/// A node id in the [`SymbolicDomain`] expression DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+/// An expression DAG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant word.
+    Const(u64),
+    /// The value presented at data input `port` in cycle `time`.
+    Input {
+        /// The input port.
+        port: InputId,
+        /// The cycle the value was sampled.
+        time: u64,
+    },
+    /// An unknown (unique; never equal to anything else).
+    Unknown(u32),
+    /// An operation over two sub-expressions.
+    Op(FuOp, ExprId, ExprId),
+}
+
+/// Hash-consed symbolic domain.
+///
+/// Structurally identical expressions get identical [`ExprId`]s, so value
+/// equality is O(1) id comparison. Commutative operations canonicalize
+/// operand order and constants fold, which makes the equality check a
+/// little stronger than pure syntax while remaining sound: equal ids ⇒
+/// equal functions (the converse need not hold — see the classification
+/// crate for why that direction is the safe one for SFI labelling).
+#[derive(Debug, Default, Clone)]
+pub struct SymbolicDomain {
+    width: usize,
+    nodes: Vec<Expr>,
+    intern: HashMap<Expr, ExprId>,
+    next_unknown: u32,
+}
+
+impl SymbolicDomain {
+    /// A symbolic domain at the given bit width (used for constant
+    /// folding).
+    pub fn new(width: usize) -> Self {
+        SymbolicDomain {
+            width,
+            ..Default::default()
+        }
+    }
+
+    fn mk(&mut self, e: Expr) -> ExprId {
+        if let Some(&id) = self.intern.get(&e) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(e);
+        self.intern.insert(e, id);
+        id
+    }
+
+    /// The symbol for data input `port` at cycle `time`.
+    pub fn input(&mut self, port: InputId, time: u64) -> ExprId {
+        self.mk(Expr::Input { port, time })
+    }
+
+    /// A *named* unknown: two calls with the same tag yield the same
+    /// node. Used to give the fault-free and faulty traces identical
+    /// symbols for the same physical boot value (register `r` powers up
+    /// to the same arbitrary word in both circuits).
+    ///
+    /// Tags live in a reserved range so they can never collide with the
+    /// anonymous unknowns produced by [`DataDomain::unknown`].
+    pub fn named_unknown(&mut self, tag: u32) -> ExprId {
+        self.mk(Expr::Unknown(tag | 0x8000_0000))
+    }
+
+    /// Whether the expression contains any unknown node — i.e. whether a
+    /// tester could predict its value. Outputs whose fault-free
+    /// expression contains an unknown are unobservable comparison points
+    /// (the golden simulation itself cannot say what to expect).
+    pub fn contains_unknown(&self, id: ExprId) -> bool {
+        // Iterative DFS; the DAG is hash-consed so memoize by node id.
+        let mut memo: HashMap<ExprId, bool> = HashMap::new();
+        self.contains_unknown_memo(id, &mut memo)
+    }
+
+    fn contains_unknown_memo(&self, id: ExprId, memo: &mut HashMap<ExprId, bool>) -> bool {
+        if let Some(&v) = memo.get(&id) {
+            return v;
+        }
+        let v = match self.node(id) {
+            Expr::Const(_) | Expr::Input { .. } => false,
+            Expr::Unknown(_) => true,
+            Expr::Op(_, a, b) => {
+                self.contains_unknown_memo(a, memo) || self.contains_unknown_memo(b, memo)
+            }
+        };
+        memo.insert(id, v);
+        v
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: ExprId) -> Expr {
+        self.nodes[id.0 as usize]
+    }
+
+    /// Number of distinct nodes created.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates an expression with concrete input assignments
+    /// (`inputs[(port, time)]`); unknowns evaluate to `None`.
+    pub fn eval(
+        &self,
+        id: ExprId,
+        inputs: &HashMap<(InputId, u64), u64>,
+    ) -> Option<u64> {
+        match self.node(id) {
+            Expr::Const(c) => Some(c),
+            Expr::Input { port, time } => inputs.get(&(port, time)).copied(),
+            Expr::Unknown(_) => None,
+            Expr::Op(op, a, b) => {
+                let a = self.eval(a, inputs)?;
+                let b = if op.uses_b() {
+                    self.eval(b, inputs)?
+                } else {
+                    0
+                };
+                Some(op.apply(a, b, self.width))
+            }
+        }
+    }
+}
+
+impl DataDomain for SymbolicDomain {
+    type Value = ExprId;
+
+    fn constant(&mut self, v: u64) -> ExprId {
+        let m = if self.width >= 64 { u64::MAX } else { (1 << self.width) - 1 };
+        self.mk(Expr::Const(v & m))
+    }
+
+    fn unknown(&mut self) -> ExprId {
+        let id = self.next_unknown;
+        self.next_unknown += 1;
+        self.mk(Expr::Unknown(id))
+    }
+
+    fn op(&mut self, op: FuOp, a: &ExprId, b: &ExprId) -> ExprId {
+        let (mut a, mut b) = (*a, *b);
+        if !op.uses_b() {
+            // Normalize the ignored operand so pass(a, x) == pass(a, y).
+            b = self.constant(0);
+        }
+        // Constant folding.
+        if let (Expr::Const(ca), Expr::Const(cb)) = (self.node(a), self.node(b)) {
+            let v = op.apply(ca, cb, self.width);
+            return self.mk(Expr::Const(v));
+        }
+        // Canonical operand order for commutative ops.
+        if op.is_commutative() && b < a {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.mk(Expr::Op(op, a, b))
+    }
+
+    fn status_bit(&self, _v: &ExprId) -> Option<bool> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_ops_and_unknowns() {
+        let mut d = ConcreteDomain::new(4);
+        let a = d.constant(9);
+        let b = d.constant(9);
+        assert_eq!(d.op(FuOp::Add, &a, &b), Some(2));
+        let u = d.unknown();
+        assert_eq!(d.op(FuOp::Add, &a, &u), None);
+        assert_eq!(d.op(FuOp::Pass, &a, &u), Some(9));
+        assert_eq!(d.status_bit(&a), Some(true));
+        assert_eq!(d.status_bit(&u), None);
+    }
+
+    #[test]
+    fn symbolic_hash_consing() {
+        let mut d = SymbolicDomain::new(4);
+        let x = d.input(InputId(0), 3);
+        let y = d.input(InputId(1), 3);
+        let e1 = d.op(FuOp::Add, &x, &y);
+        let e2 = d.op(FuOp::Add, &x, &y);
+        assert_eq!(e1, e2);
+        let x2 = d.input(InputId(0), 3);
+        assert_eq!(x, x2);
+        // Different times are different symbols.
+        let x_later = d.input(InputId(0), 4);
+        assert_ne!(x, x_later);
+    }
+
+    #[test]
+    fn commutative_canonicalization() {
+        let mut d = SymbolicDomain::new(4);
+        let x = d.input(InputId(0), 0);
+        let y = d.input(InputId(1), 0);
+        assert_eq!(d.op(FuOp::Add, &x, &y), d.op(FuOp::Add, &y, &x));
+        assert_ne!(d.op(FuOp::Sub, &x, &y), d.op(FuOp::Sub, &y, &x));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut d = SymbolicDomain::new(4);
+        let a = d.constant(7);
+        let b = d.constant(12);
+        let s = d.op(FuOp::Add, &a, &b);
+        assert_eq!(d.node(s), Expr::Const(3)); // 19 mod 16
+    }
+
+    #[test]
+    fn unknowns_are_distinct() {
+        let mut d = SymbolicDomain::new(4);
+        let u1 = d.unknown();
+        let u2 = d.unknown();
+        assert_ne!(u1, u2);
+    }
+
+    #[test]
+    fn pass_normalizes_ignored_operand() {
+        let mut d = SymbolicDomain::new(4);
+        let x = d.input(InputId(0), 0);
+        let y = d.input(InputId(1), 0);
+        let z = d.input(InputId(2), 0);
+        assert_eq!(d.op(FuOp::Pass, &x, &y), d.op(FuOp::Pass, &x, &z));
+    }
+
+    #[test]
+    fn symbolic_eval_matches_concrete() {
+        let mut d = SymbolicDomain::new(4);
+        let x = d.input(InputId(0), 0);
+        let y = d.input(InputId(1), 0);
+        let e = d.op(FuOp::Mul, &x, &y);
+        let mut inputs = HashMap::new();
+        inputs.insert((InputId(0), 0), 5u64);
+        inputs.insert((InputId(1), 0), 5u64);
+        assert_eq!(d.eval(e, &inputs), Some(9));
+        let u = d.unknown();
+        let e2 = d.op(FuOp::Add, &e, &u);
+        assert_eq!(d.eval(e2, &inputs), None);
+    }
+}

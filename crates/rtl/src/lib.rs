@@ -1,0 +1,61 @@
+//! RTL datapath modelling in the architectural style of the paper's
+//! Figure 4: multiplexers select operands for fixed-function units whose
+//! results land in clock-gated registers, with control entering solely
+//! through **register load lines** and **multiplexer select lines**.
+//!
+//! Three views of the same [`Datapath`]:
+//!
+//! * a [cycle-accurate simulator](DatapathSim) generic over a value
+//!   [domain](DataDomain) — concrete words ([`ConcreteDomain`]) for golden
+//!   runs, hash-consed expressions ([`SymbolicDomain`]) for the SFR/SFI
+//!   equivalence oracle used by `sfr-classify`;
+//! * a [gate-level elaboration](elaborate_into) onto the `sfr-netlist`
+//!   cell library, the surface on which power is measured;
+//! * the structural metadata (`registers_on_load`, `muxes_on_select`,
+//!   control-word layout) that the paper's Section 3 control-line-effect
+//!   analysis consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use sfr_rtl::{ConcreteDomain, DatapathBuilder, DatapathSim, DataSrc, FuOp};
+//! use sfr_netlist::Logic;
+//!
+//! # fn main() -> Result<(), sfr_rtl::DatapathError> {
+//! // One functional block: mux(x, y) + z -> R1.
+//! let mut b = DatapathBuilder::new("block", 4);
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let z = b.input("z");
+//! let ms1 = b.select_line("MS1");
+//! let ld1 = b.load_line("REG1");
+//! let m = b.mux("M1", &[ms1], &[DataSrc::Input(x), DataSrc::Input(y)]);
+//! let f = b.fu("ALU", FuOp::Add, DataSrc::Mux(m), DataSrc::Input(z));
+//! let r = b.register("R1", ld1, DataSrc::Fu(f));
+//! b.output("out", DataSrc::Reg(r));
+//! let dp = b.finish()?;
+//!
+//! let mut sim = DatapathSim::new(&dp, ConcreteDomain::new(4));
+//! sim.step(&[Logic::Zero, Logic::One], &[Some(3), Some(9), Some(2)]);
+//! let got = sim.step(&[Logic::Zero, Logic::Zero], &[Some(0), Some(0), Some(0)]);
+//! assert_eq!(got.outputs, vec![Some(5)]); // x + z
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod datapath;
+mod domain;
+mod elab;
+mod sim;
+
+pub use component::{CtrlId, CtrlKind, DataSrc, FuId, FuOp, InputId, MuxId, RegId};
+pub use datapath::{
+    CtrlLine, Datapath, DatapathBuilder, DatapathError, Fu, InputPort, Mux, Register,
+};
+pub use domain::{ConcreteDomain, DataDomain, Expr, ExprId, SymbolicDomain};
+pub use elab::{elaborate_into, ElabNets};
+pub use sim::{DatapathSim, StepResult};

@@ -1,0 +1,331 @@
+//! `sfr` — command-line front end for the sfr-power workspace.
+//!
+//! ```text
+//! sfr classify    <benchmark> [--width N] [--patterns N]
+//! sfr grade       <benchmark> [--width N] [--threshold PCT]
+//! sfr stats       <benchmark> [--width N]
+//! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
+//! sfr verilog     <benchmark> [--width N] [--out FILE]
+//! sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE]
+//! sfr table2      [--patterns N]
+//! ```
+//!
+//! `<benchmark>` is one of `diffeq`, `facet`, `poly`, `fir`.
+//!
+//! `vcd` dumps a waveform of one computation run (optionally with a
+//! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
+//! viewer.
+
+use sfr_power::{
+    benchmarks, classify_system, describe_effect, grade_faults, ClassifyConfig, EmittedSystem,
+    FaultClass, GradeConfig, Logic, StuckAt, System, SystemConfig,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N]\n  \
+         sfr grade       <benchmark> [--width N] [--threshold PCT]\n  \
+         sfr stats       <benchmark> [--width N]\n  \
+         sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
+         sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
+         sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE]\n  \
+         sfr table2      [--patterns N]\n\
+         benchmarks: diffeq | facet | poly | fir"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal `--key value` argument scanner.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(args: Vec<String>) -> Self {
+        Args { rest: args }
+    }
+
+    fn flag(&mut self, name: &str) -> Option<String> {
+        let pos = self.rest.iter().position(|a| a == name)?;
+        if pos + 1 >= self.rest.len() {
+            return None;
+        }
+        self.rest.remove(pos);
+        Some(self.rest.remove(pos))
+    }
+
+    fn positional(&mut self) -> Option<String> {
+        if self.rest.is_empty() {
+            None
+        } else {
+            Some(self.rest.remove(0))
+        }
+    }
+}
+
+fn build_bench(name: &str, width: usize) -> Result<EmittedSystem, String> {
+    match name {
+        "diffeq" => benchmarks::diffeq(width).map_err(|e| e.to_string()),
+        "facet" => benchmarks::facet(width).map_err(|e| e.to_string()),
+        "poly" => benchmarks::poly(width).map_err(|e| e.to_string()),
+        "fir" => benchmarks::fir(width).map_err(|e| e.to_string()),
+        other => Err(format!("unknown benchmark `{other}` (diffeq|facet|poly|fir)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    let mut args = Args::new(argv);
+    match run(&cmd, &mut args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
+    let width: usize = args
+        .flag("--width")
+        .map(|s| s.parse().map_err(|_| "bad --width"))
+        .transpose()?
+        .unwrap_or(4);
+    let patterns: usize = args
+        .flag("--patterns")
+        .map(|s| s.parse().map_err(|_| "bad --patterns"))
+        .transpose()?
+        .unwrap_or(1200);
+    let threshold: f64 = args
+        .flag("--threshold")
+        .map(|s| s.parse().map_err(|_| "bad --threshold"))
+        .transpose()?
+        .unwrap_or(5.0);
+    let fault_spec = args.flag("--fault");
+    let out_file = args.flag("--out");
+
+    match cmd {
+        "classify" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys = System::build(&emitted, SystemConfig::default())
+                .map_err(|e| e.to_string())?;
+            let c = classify_system(
+                &sys,
+                &ClassifyConfig {
+                    test_patterns: patterns,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "{name} (width {width}): {} controller faults — {} SFI, {} CFR, {} SFR ({:.1}%)",
+                c.total(),
+                c.sfi_count(),
+                c.cfr_count(),
+                c.sfr_count(),
+                c.percent_sfr()
+            );
+            for f in c.sfr() {
+                let effects: Vec<String> = f
+                    .effects
+                    .iter()
+                    .map(|e| describe_effect(&sys, e))
+                    .collect();
+                println!("  SFR {:<14} {}", f.fault.to_string(), effects.join("; "));
+            }
+            Ok(())
+        }
+        "grade" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys = System::build(&emitted, SystemConfig::default())
+                .map_err(|e| e.to_string())?;
+            let c = classify_system(
+                &sys,
+                &ClassifyConfig {
+                    test_patterns: patterns,
+                    ..Default::default()
+                },
+            );
+            let sfr: Vec<StuckAt> = c.sfr().map(|f| f.fault).collect();
+            let cfg = GradeConfig {
+                threshold_pct: threshold,
+                ..Default::default()
+            };
+            eprintln!("grading {} SFR faults by Monte Carlo power...", sfr.len());
+            let (base, grades) = grade_faults(&sys, &sfr, &cfg);
+            println!(
+                "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
+                base.mean_uw
+            );
+            let mut flagged = 0;
+            for g in &grades {
+                if g.flagged {
+                    flagged += 1;
+                }
+                println!(
+                    "  {:<14} {:>9.2} uW {:>+8.2}% {}",
+                    g.fault.to_string(),
+                    g.mean_uw,
+                    g.pct_change,
+                    if g.flagged { "DETECTED" } else { "" }
+                );
+            }
+            println!("{flagged}/{} undetectable faults flagged by power", grades.len());
+            Ok(())
+        }
+        "stats" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys = System::build(&emitted, SystemConfig::default())
+                .map_err(|e| e.to_string())?;
+            println!("{name} (width {width}) — integrated system:");
+            print!("{}", sfr_netlist_stats(&sys.netlist));
+            println!("controller alone:");
+            print!("{}", sfr_netlist_stats(&sys.ctrl_netlist));
+            println!(
+                "controller fault universe: {} collapsed stuck-at faults",
+                sys.controller_faults().len()
+            );
+            Ok(())
+        }
+        "vcd" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys = System::build(&emitted, SystemConfig::default())
+                .map_err(|e| e.to_string())?;
+            let fault = match fault_spec {
+                Some(spec) => Some(parse_fault(&sys, &spec)?),
+                None => None,
+            };
+            let mut sim = match fault {
+                Some(f) => sfr_power::CycleSim::with_fault(&sys.netlist, f),
+                None => sfr_power::CycleSim::new(&sys.netlist),
+            };
+            let mut rec = sfr_power::VcdRecorder::all_nets(&sys.netlist);
+            sys.reset_sim(&mut sim, Logic::Zero);
+            let ts = sfr_power::TestSet::pseudorandom(sys.pattern_width(), 64, 0xACE1)
+                .map_err(|e| e.to_string())?;
+            for &p in ts.iter() {
+                sys.apply_pattern(&mut sim, p);
+                sim.eval();
+                rec.sample(&sim);
+                let at_hold = sys.decode_state(&sim) == Some(sys.meta.hold_state());
+                sim.clock();
+                if at_hold {
+                    break;
+                }
+            }
+            let path = out_file.unwrap_or_else(|| format!("{name}.vcd"));
+            let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            rec.write(&sys.netlist, std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {} cycles to {path}", rec.cycles());
+            Ok(())
+        }
+        "verilog" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys = System::build(&emitted, SystemConfig::default())
+                .map_err(|e| e.to_string())?;
+            let path = out_file.unwrap_or_else(|| format!("{name}.v"));
+            let mut text = Vec::new();
+            sfr_power::write_cell_library(&mut text).map_err(|e| e.to_string())?;
+            sfr_power::write_verilog(&sys.netlist, &mut text).map_err(|e| e.to_string())?;
+            std::fs::write(&path, text).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} gates ({} nets) to {path}",
+                sys.netlist.gate_count(),
+                sys.netlist.net_count()
+            );
+            Ok(())
+        }
+        "testprogram" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            eprintln!("running the full study (classification + power grading)...");
+            let study = sfr_power::run_study(
+                &name,
+                &emitted,
+                &sfr_power::StudyConfig {
+                    classify: sfr_power::ClassifyConfig {
+                        test_patterns: patterns,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let prog = sfr_power::generate_test_program(
+                &study,
+                &sfr_power::TestProgramConfig {
+                    patterns,
+                    band_pct: threshold,
+                    ..Default::default()
+                },
+            );
+            let text = prog.render();
+            match out_file {
+                Some(path) => {
+                    std::fs::write(&path, &text).map_err(|e| e.to_string())?;
+                    // Print just the header lines to the console.
+                    for l in text.lines().take_while(|l| l.starts_with('#')) {
+                        println!("{l}");
+                    }
+                    println!("(full program written to {path})");
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        "table2" => {
+            for name in ["diffeq", "facet", "poly"] {
+                let emitted = build_bench(name, width)?;
+                let sys = System::build(&emitted, SystemConfig::default())
+                    .map_err(|e| e.to_string())?;
+                let c = classify_system(
+                    &sys,
+                    &ClassifyConfig {
+                        test_patterns: patterns,
+                        ..Default::default()
+                    },
+                );
+                println!(
+                    "{name:<8} {:>5} faults  {:>4} SFR  {:>5.1}%",
+                    c.total(),
+                    c.sfr_count(),
+                    c.percent_sfr()
+                );
+                debug_assert!(matches!(
+                    c.faults.first().map(|f| f.class),
+                    Some(FaultClass::Sfi(_)) | Some(FaultClass::Sfr) | Some(FaultClass::Cfr) | None
+                ));
+            }
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(format!("unknown command `{cmd}`"))
+        }
+    }
+}
+
+fn sfr_netlist_stats(nl: &sfr_power::Netlist) -> String {
+    sfr_power::NetlistStats::of(nl).to_string()
+}
+
+/// Parses a fault spec like `g21.out/sa1` or `g7.in2/sa0` against the
+/// system's controller fault universe.
+fn parse_fault(sys: &System, spec: &str) -> Result<StuckAt, String> {
+    sys.controller_faults()
+        .into_iter()
+        .find(|f| f.to_string() == spec)
+        .ok_or_else(|| {
+            format!("`{spec}` is not a controller fault of this system (try `sfr classify`)")
+        })
+}

@@ -1,0 +1,144 @@
+//! End-to-end functional correctness: each synthesized benchmark system,
+//! simulated at gate level with its synthesized controller, computes the
+//! same function as its plain-software reference model.
+
+use sfr_power::{benchmarks, logic_to_u64, CycleSim, Logic, System, SystemConfig};
+
+/// Runs one computation with all inputs held at fixed values and returns
+/// the outputs observed at HOLD (None if HOLD is not reached within the
+/// guard).
+fn run_once(sys: &System, inputs: &[u64], max_cycles: usize) -> Option<Vec<Option<u64>>> {
+    let w = sys.datapath.width();
+    let pattern: u64 = inputs
+        .iter()
+        .enumerate()
+        .map(|(p, &v)| (v & ((1 << w) - 1)) << (p * w))
+        .sum();
+    let mut sim = CycleSim::new(&sys.netlist);
+    sys.reset_sim(&mut sim, Logic::X);
+    for _ in 0..max_cycles {
+        sys.apply_pattern(&mut sim, pattern);
+        sim.eval();
+        if sys.decode_state(&sim) == Some(sys.meta.hold_state()) {
+            let out = sim.outputs();
+            return Some(
+                out.chunks(w)
+                    .map(logic_to_u64)
+                    .collect::<Vec<Option<u64>>>(),
+            );
+        }
+        sim.clock();
+    }
+    None
+}
+
+fn rng_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+#[test]
+fn poly_computes_its_polynomial() {
+    let sys = System::build(&benchmarks::poly(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut rng = rng_stream(0x5eed_1);
+    for _ in 0..60 {
+        let v: Vec<u64> = (0..5).map(|_| rng() & 0xf).collect();
+        let got = run_once(&sys, &v, 40).expect("poly always reaches HOLD");
+        let want = benchmarks::poly_reference(v[0], v[1], v[2], v[3], v[4], 4);
+        assert_eq!(got, vec![Some(want)], "inputs {v:?}");
+    }
+}
+
+#[test]
+fn facet_computes_both_outputs() {
+    let sys = System::build(&benchmarks::facet(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut rng = rng_stream(0x5eed_2);
+    for _ in 0..60 {
+        let v: Vec<u64> = (0..4).map(|_| rng() & 0xf).collect();
+        let got = run_once(&sys, &v, 40).expect("facet always reaches HOLD");
+        let (o1, o2) = benchmarks::facet_reference([v[0], v[1], v[2], v[3]], 4);
+        assert_eq!(got, vec![Some(o1), Some(o2)], "inputs {v:?}");
+    }
+}
+
+#[test]
+fn diffeq_agrees_with_the_euler_reference() {
+    let sys = System::build(&benchmarks::diffeq(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut rng = rng_stream(0x5eed_3);
+    let mut checked = 0;
+    for _ in 0..120 {
+        // Inputs: x, y, u, dx, a. dx >= 1 so most runs terminate.
+        let v: Vec<u64> = (0..5).map(|_| rng() & 0xf).collect();
+        let want = benchmarks::diffeq_reference(v[0], v[1], v[2], v[3], v[4], 4, 64);
+        let Some(want) = want else { continue };
+        // Loop iterations × 7 loop steps + prologue; generous guard.
+        let got = run_once(&sys, &v, 600).expect("terminating data reaches HOLD");
+        assert_eq!(got, vec![Some(want)], "inputs {v:?}");
+        checked += 1;
+    }
+    assert!(checked > 40, "need a meaningful sample, got {checked}");
+}
+
+#[test]
+fn diffeq_iterates_the_right_number_of_times() {
+    // x=0, a=9, dx=4: iterations until x1 >= a: x1 = 4, 8, 12 → 3 passes.
+    let sys = System::build(&benchmarks::diffeq(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut sim = CycleSim::new(&sys.netlist);
+    let pattern = 0u64 | (0 << 4) | (0 << 8) | (4 << 12) | (9 << 16);
+    sys.reset_sim(&mut sim, Logic::X);
+    let mut cs2_visits = 0;
+    for _ in 0..200 {
+        sys.apply_pattern(&mut sim, pattern);
+        sim.eval();
+        let st = sys.decode_state(&sim).expect("state decodes");
+        if st == sys.meta.state_of_step(2) {
+            cs2_visits += 1;
+        }
+        if st == sys.meta.hold_state() {
+            break;
+        }
+        sim.clock();
+    }
+    assert_eq!(cs2_visits, 3, "three loop iterations for x:0→12, a=9, dx=4");
+}
+
+#[test]
+fn fir_filter_matches_its_reference() {
+    use sfr_power::benchmarks::{fir, fir_reference_constant_input};
+    let sys = System::build(&fir(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut rng = rng_stream(0x5eed_4);
+    for _ in 0..40 {
+        // Ports: x, c0, c1, c2 — held constant for the run.
+        let v: Vec<u64> = (0..4).map(|_| rng() & 0xf).collect();
+        let got = run_once(&sys, &v, 80).expect("fir always reaches HOLD");
+        let want = fir_reference_constant_input(v[0], v[1], v[2], v[3], 4);
+        assert_eq!(got, vec![Some(want)], "inputs {v:?}");
+    }
+}
+
+#[test]
+fn fir_runs_exactly_its_sample_count() {
+    use sfr_power::benchmarks::{fir, FIR_SAMPLES};
+    let sys = System::build(&fir(4).unwrap(), SystemConfig::default()).unwrap();
+    let mut sim = CycleSim::new(&sys.netlist);
+    sys.reset_sim(&mut sim, Logic::X);
+    let mut iterations = 0;
+    for _ in 0..100 {
+        sys.apply_pattern(&mut sim, 0x3213);
+        sim.eval();
+        let st = sys.decode_state(&sim).expect("state decodes");
+        if st == sys.meta.state_of_step(2) {
+            iterations += 1;
+        }
+        if st == sys.meta.hold_state() {
+            break;
+        }
+        sim.clock();
+    }
+    assert_eq!(iterations as u64, FIR_SAMPLES);
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the export surfaces: structural Verilog, VCD
+//! waveforms, netlist statistics, and classification CSV.
+
+use sfr_power::{
+    benchmarks, classify_system, critical_path, run_study, ClassifyConfig, CycleSim, GradeConfig,
+    Logic, MonteCarloConfig, NetlistStats, StudyConfig, System, SystemConfig, VcdRecorder,
+};
+
+fn facet() -> System {
+    System::build(&benchmarks::facet(4).unwrap(), SystemConfig::default()).unwrap()
+}
+
+#[test]
+fn verilog_export_is_structurally_complete() {
+    let sys = facet();
+    let mut out = Vec::new();
+    sfr_power::write_verilog(&sys.netlist, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    // One instance or assign per gate.
+    let gate_lines = text.matches("  SFR_").count() + text.matches("  assign ").count();
+    assert_eq!(gate_lines, sys.netlist.gate_count());
+    // Every primary output appears in the port list.
+    let header = text.lines().nth(1).unwrap();
+    for &o in sys.netlist.outputs() {
+        let n = sys.netlist.net(o).name().replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_");
+        assert!(header.contains(&format!("n_{n}")), "missing port for {n}");
+    }
+    // And the cell library defines everything referenced.
+    let mut lib = Vec::new();
+    sfr_power::write_cell_library(&mut lib).unwrap();
+    let lib = String::from_utf8(lib).unwrap();
+    for token in text.split_whitespace().filter(|t| t.starts_with("SFR_")) {
+        assert!(
+            lib.contains(&format!("module {token}(")),
+            "undefined cell {token}"
+        );
+    }
+}
+
+#[test]
+fn vcd_capture_of_a_computation_run() {
+    let sys = facet();
+    let mut sim = CycleSim::new(&sys.netlist);
+    let mut rec = VcdRecorder::ports_only(&sys.netlist);
+    sys.reset_sim(&mut sim, Logic::Zero);
+    for _ in 0..10 {
+        sys.apply_pattern(&mut sim, 0x9A3C);
+        sim.eval();
+        rec.sample(&sim);
+        sim.clock();
+    }
+    let mut out = Vec::new();
+    rec.write(&sys.netlist, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("$enddefinitions"));
+    assert!(text.contains("$dumpvars"));
+    assert_eq!(rec.cycles(), 10);
+}
+
+#[test]
+fn stats_and_critical_path_are_consistent() {
+    let sys = facet();
+    let stats = NetlistStats::of(&sys.netlist);
+    assert_eq!(stats.gates, sys.netlist.gate_count());
+    assert!(stats.area_ge > 100.0, "a real system has real area");
+    let path = critical_path(&sys.netlist);
+    assert_eq!(path.len(), stats.depth, "critical path spans the depth");
+    // The path is connected: each gate drives an input of the next.
+    for pair in path.windows(2) {
+        let out = sys.netlist.gate(pair[0]).output();
+        assert!(
+            sys.netlist.gate(pair[1]).inputs().contains(&out),
+            "critical path is disconnected"
+        );
+    }
+}
+
+#[test]
+fn classification_csv_round_trips_counts() {
+    let emitted = benchmarks::facet(4).unwrap();
+    let cfg = StudyConfig {
+        classify: ClassifyConfig {
+            test_patterns: 240,
+            ..Default::default()
+        },
+        grade: GradeConfig {
+            mc: MonteCarloConfig {
+                rel_tolerance: 0.1,
+                min_batches: 2,
+                max_batches: 3,
+            },
+            patterns_per_batch: 40,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let study = run_study("facet", &emitted, &cfg).unwrap();
+    let csv = sfr_power::render_classification_csv(&study);
+    let rows = csv.lines().count() - 1;
+    assert_eq!(rows, study.classification.total());
+    let sfr_rows = csv.lines().filter(|l| l.contains(",SFR,")).count();
+    assert_eq!(sfr_rows, study.classification.sfr_count());
+    let flagged_rows = csv.lines().filter(|l| l.ends_with(",yes")).count();
+    assert_eq!(flagged_rows, study.flagged_count());
+}
+
+#[test]
+fn classification_is_stable_across_engines_on_facet() {
+    let sys = facet();
+    let a = classify_system(
+        &sys,
+        &ClassifyConfig {
+            test_patterns: 240,
+            parallel: true,
+            ..Default::default()
+        },
+    );
+    let b = classify_system(
+        &sys,
+        &ClassifyConfig {
+            test_patterns: 240,
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(a.sfr_count(), b.sfr_count());
+    assert_eq!(a.cfr_count(), b.cfr_count());
+}

@@ -1,0 +1,187 @@
+//! Integration checks of the power-detection result itself (paper
+//! Sections 4–6): extra-load SFR faults always increase power; the ±5%
+//! band detection behaves like Figure 7; percentage changes are
+//! consistent across test sets (Table 3's point).
+
+use sfr_power::{
+    benchmarks, measure_power_with_testset, run_study, ClassifyConfig, CtrlKind, Fig7Series,
+    GradeConfig, MonteCarloConfig, StudyConfig, TestSet,
+};
+
+fn quick_cfg() -> StudyConfig {
+    StudyConfig {
+        classify: ClassifyConfig {
+            test_patterns: 600,
+            ..Default::default()
+        },
+        grade: GradeConfig {
+            mc: MonteCarloConfig {
+                rel_tolerance: 0.02,
+                min_batches: 4,
+                max_batches: 24,
+            },
+            patterns_per_batch: 120,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn extra_load_faults_increase_power_at_the_affected_registers() {
+    // "In the case of SFR faults affecting register load lines, we are
+    // guaranteed that power consumption will increase, not only in the
+    // affected register, but also in the combinational circuitry driven
+    // by that register" (Section 4). The guarantee is exact for the
+    // affected registers themselves (extra clock events cannot be
+    // negative); reproduction finding: *total* datapath power can dip by
+    // a fraction of a percent for a few faults, because the garbage the
+    // extra load captures occasionally reduces downstream switching —
+    // see EXPERIMENTS.md. Both halves are asserted here.
+    use sfr_power::{power_from_activity_where, CycleSim, Logic, PowerConfig};
+    let cfg = quick_cfg();
+    for (name, emitted) in benchmarks::all_benchmarks(4).expect("benchmarks build") {
+        let study = run_study(name, &emitted, &cfg).expect("study runs");
+        let sys = &study.system;
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 600, 0xACE1).expect("test set");
+        for (cls, grade) in study.classification.sfr().zip(&study.grades) {
+            let extra_load_lines: Vec<usize> = cls
+                .effects
+                .iter()
+                .filter(|e| {
+                    sys.datapath.control()[e.line].kind() == CtrlKind::Load && e.faulty
+                })
+                .map(|e| e.line)
+                .collect();
+            if extra_load_lines.is_empty() {
+                continue;
+            }
+            // Total power never drops meaningfully.
+            assert!(
+                grade.pct_change > -1.0,
+                "{name}: extra-load SFR fault {} lost {:.2}% total power",
+                cls.fault,
+                grade.pct_change
+            );
+            // The affected registers' own power strictly increases.
+            let affected: std::collections::HashSet<_> = extra_load_lines
+                .iter()
+                .flat_map(|&l| sys.datapath.registers_on_load(sfr_power::CtrlId(l)))
+                .flat_map(|r| sys.elab.reg_gates[r.0].iter().copied())
+                .collect();
+            let reg_power = |fault: Option<sfr_power::StuckAt>| -> f64 {
+                let mut sim = match fault {
+                    Some(f) => CycleSim::with_fault(&sys.netlist, f),
+                    None => CycleSim::new(&sys.netlist),
+                };
+                sim.track_activity(true);
+                let mut idx = 0;
+                while idx < ts.len() {
+                    sys.reset_sim(&mut sim, Logic::Zero);
+                    let mut len = 0;
+                    let mut held = 0;
+                    while idx < ts.len() && len < 64 {
+                        sys.apply_pattern(&mut sim, ts.patterns()[idx]);
+                        idx += 1;
+                        len += 1;
+                        sim.eval();
+                        let st = sys.decode_state(&sim);
+                        sim.clock();
+                        if st == Some(sys.meta.hold_state()) {
+                            held += 1;
+                            if held > 2 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                power_from_activity_where(
+                    &sys.netlist,
+                    sim.activity(),
+                    &PowerConfig::default(),
+                    |g| affected.contains(&g),
+                )
+                .total_uw
+            };
+            let base = reg_power(None);
+            let faulty = reg_power(Some(cls.fault));
+            assert!(
+                faulty > base,
+                "{name}: fault {} did not raise the affected registers' power \
+                 ({base:.3} -> {faulty:.3} uW)",
+                cls.fault
+            );
+        }
+    }
+}
+
+#[test]
+fn facet_power_detection_shape_matches_figure7b() {
+    // FACET's shared load lines produce large power effects: a majority
+    // of its load-affecting SFR faults must escape the ±5% band.
+    let cfg = quick_cfg();
+    let study = run_study("facet", &benchmarks::facet(4).unwrap(), &cfg).expect("study");
+    let fig = Fig7Series::from_study(&study, 5.0);
+    let (sel_det, load_det) = fig.detected_by_group();
+    assert!(
+        !fig.load_faults.is_empty(),
+        "facet must have load-affecting SFR faults"
+    );
+    assert!(
+        load_det * 2 > fig.load_faults.len(),
+        "facet: only {load_det}/{} load faults detected — shared lines \
+         should make most of them visible",
+        fig.load_faults.len()
+    );
+    // Select-only faults have small effects in all three examples.
+    assert_eq!(
+        sel_det, 0,
+        "facet: select-only faults should stay inside the ±5% band"
+    );
+}
+
+#[test]
+fn percentage_change_is_consistent_across_test_sets() {
+    // Table 3's conclusion: given any test set, the fault-free power of
+    // that test set is a valid baseline, because the *percentage* effect
+    // of an SFR fault hardly depends on the set.
+    let cfg = quick_cfg();
+    let study = run_study("facet", &benchmarks::facet(4).unwrap(), &cfg).expect("study");
+    let sys = &study.system;
+    let trio = TestSet::paper_trio(sys.pattern_width()).expect("trio");
+    // Take the largest-effect SFR fault.
+    let Some((idx, _)) = study
+        .grades
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.pct_change.total_cmp(&b.1.pct_change))
+    else {
+        panic!("facet has SFR faults");
+    };
+    let fault = study.sfr_faults()[idx];
+    let mut pcts = Vec::new();
+    for ts in &trio {
+        let base = measure_power_with_testset(sys, None, ts, &cfg.grade);
+        let faulty = measure_power_with_testset(sys, Some(fault), ts, &cfg.grade);
+        pcts.push(faulty.percent_change_from(&base));
+    }
+    let spread = pcts.iter().cloned().fold(f64::MIN, f64::max)
+        - pcts.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread < 5.0,
+        "percentage effect varies too much across test sets: {pcts:?}"
+    );
+    // And the absolute *sign/magnitude class* agrees with Monte Carlo.
+    assert!(pcts.iter().all(|&p| p > 0.0));
+}
+
+#[test]
+fn graded_power_is_deterministic() {
+    let cfg = quick_cfg();
+    let a = run_study("poly", &benchmarks::poly(4).unwrap(), &cfg).expect("study");
+    let b = run_study("poly", &benchmarks::poly(4).unwrap(), &cfg).expect("study");
+    assert_eq!(a.baseline.mean_uw, b.baseline.mean_uw);
+    for (x, y) in a.grades.iter().zip(&b.grades) {
+        assert_eq!(x.pct_change, y.pct_change);
+    }
+}
