@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_faultsim");
     g.sample_size(10);
-    g.bench_function("serial", |b| {
-        b.iter(|| run_serial(&sys, &golden, &faults))
-    });
+    g.bench_function("serial", |b| b.iter(|| run_serial(&sys, &golden, &faults)));
     g.bench_function("parallel_63_lanes", |b| {
         b.iter(|| run_parallel(&sys, &golden, &faults))
     });

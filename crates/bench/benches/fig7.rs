@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
-use sfr_core::{benchmarks, run_study, Fig7Series};
+use sfr_core::{benchmarks, Fig7Series, StudyBuilder};
 
 fn bench(c: &mut Criterion) {
     let cfg = quick_config();
@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("facet_study_and_series", |b| {
         b.iter(|| {
-            let study = run_study("facet", &emitted, &cfg).expect("study runs");
+            let study = StudyBuilder::from_emitted("facet", emitted.clone())
+                .config(cfg.clone())
+                .build()
+                .expect("study builds")
+                .run();
             Fig7Series::from_study(&study, cfg.grade.threshold_pct)
         })
     });

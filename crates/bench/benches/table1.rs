@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
-use sfr_core::{
-    benchmarks, classify_system, measure_power_monte_carlo, System,
-};
+use sfr_core::{benchmarks, classify_system, measure_power_monte_carlo, System};
 
 fn bench(c: &mut Criterion) {
     let cfg = quick_config();

@@ -7,17 +7,25 @@
 //! Emits an ASCII rendition per circuit plus a CSV block for external
 //! plotting. Run with `cargo run --release -p sfr-bench --bin fig7`.
 
-use sfr_bench::paper_config;
-use sfr_core::{benchmarks, run_study, Fig7Series};
+use sfr_bench::{paper_config, report_counters, threads_from_args};
+use sfr_core::exec::Counters;
+use sfr_core::{benchmarks, Fig7Series, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = paper_config();
+    let threads = threads_from_args();
     println!("Figure 7: SFR controller faults vs datapath power (±5% band).");
     println!();
     let labels = ["(a) diffeq", "(b) facet", "(c) poly"];
     for ((name, emitted), label) in benchmarks::all_benchmarks(4)?.into_iter().zip(labels) {
-        eprintln!("grading {name}...");
-        let study = run_study(name, &emitted, &cfg)?;
+        eprintln!("grading {name} on {threads} thread(s)...");
+        let counters = Counters::new();
+        let study = StudyBuilder::from_emitted(name, emitted)
+            .config(cfg.clone())
+            .threads(threads)
+            .build()?
+            .run_with(&counters);
+        report_counters(&counters);
         let fig = Fig7Series::from_study(&study, cfg.grade.threshold_pct);
         println!("{label}");
         print!("{}", fig.render_ascii(21));

@@ -5,20 +5,25 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin table1`.
 
-use sfr_bench::paper_config;
-use sfr_core::{benchmarks, render_table1, run_study};
+use sfr_bench::{paper_config, report_counters, threads_from_args};
+use sfr_core::exec::Counters;
+use sfr_core::{render_table1, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = paper_config();
-    let emitted = benchmarks::diffeq(4)?;
-    eprintln!("classifying and grading diffeq (this runs Monte Carlo power per SFR fault)...");
-    let study = run_study("diffeq", &emitted, &cfg)?;
-    println!(
-        "Table 1: SFR faults vs datapath power, 4-bit differential equation solver."
+    let threads = threads_from_args();
+    eprintln!(
+        "classifying and grading diffeq on {threads} thread(s) \
+         (this runs Monte Carlo power per SFR fault)..."
     );
-    println!(
-        "(faults ranked by power; the paper's table spans -3.02% .. +20.98%)"
-    );
+    let counters = Counters::new();
+    let study = StudyBuilder::new("diffeq")
+        .config(paper_config())
+        .threads(threads)
+        .build()?
+        .run_with(&counters);
+    report_counters(&counters);
+    println!("Table 1: SFR faults vs datapath power, 4-bit differential equation solver.");
+    println!("(faults ranked by power; the paper's table spans -3.02% .. +20.98%)");
     println!();
     print!("{}", render_table1(&study, 6));
     println!();

@@ -5,16 +5,24 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin worstcase`.
 
-use sfr_bench::paper_config;
+use sfr_bench::{paper_config, threads_from_args};
 use sfr_core::{benchmarks, worst_case_extra_effects, System};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = paper_config();
+    let threads = threads_from_args();
     println!("Worst-case non-disruptive control line effects (paper Section 4).");
     println!();
-    for (name, emitted) in benchmarks::all_benchmarks(4)? {
-        let sys = System::build(&emitted, cfg.system)?;
-        let wc = worst_case_extra_effects(&sys, &cfg.grade);
+    // The three benchmarks are independent experiments; shard across
+    // them and print in benchmark order.
+    let built: Vec<(&str, System)> = benchmarks::all_benchmarks(4)?
+        .into_iter()
+        .map(|(name, emitted)| Ok((name, System::build(&emitted, cfg.system)?)))
+        .collect::<Result<_, sfr_core::NetlistError>>()?;
+    let results = sfr_core::exec::par_map_indexed(threads, built.len(), |i| {
+        worst_case_extra_effects(&built[i].1, &cfg.grade)
+    });
+    for ((name, _), wc) in built.iter().zip(&results) {
         println!(
             "{name:<8} extra loads: {:>3}  select flips: {:>2}  power {:>8.2} -> {:>8.2} uW  ({:+.1}%)",
             wc.extra_loads,

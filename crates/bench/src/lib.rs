@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sfr_core::exec::{CounterState, Counters};
 use sfr_core::{ClassifyConfig, GradeConfig, MonteCarloConfig, StudyConfig};
 
 /// The full-fidelity configuration used to regenerate the paper's
@@ -60,5 +61,51 @@ pub fn quick_config() -> StudyConfig {
             ..Default::default()
         },
         ..Default::default()
+    }
+}
+
+/// Reads the shared `--threads N` flag every table/figure binary
+/// accepts (`cargo run -p sfr-bench --bin table2 -- --threads 8`).
+/// Returns 1 when absent; 0 resolves to all available cores. Results
+/// are byte-identical at every thread count — the flag only changes
+/// wall-clock time.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    if threads == 0 {
+        sfr_core::exec::default_threads()
+    } else {
+        threads
+    }
+}
+
+/// Prints a campaign summary (the [`Counters`] snapshot) to stderr:
+/// faults simulated/dropped, Monte Carlo convergence, per-phase wall
+/// time.
+pub fn report_counters(counters: &Counters) {
+    let s: CounterState = counters.snapshot();
+    if s.faults_simulated > 0 {
+        eprintln!(
+            "campaign: {} faults simulated, {} dropped by detection",
+            s.faults_simulated, s.faults_dropped
+        );
+    }
+    if s.mc_converged + s.mc_capped > 0 {
+        eprintln!(
+            "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
+            s.mc_converged, s.mc_capped, s.mc_batches
+        );
+    }
+    for (phase, elapsed) in &s.phase_times {
+        eprintln!(
+            "phase {:<8} {:>8.1} ms",
+            phase.label(),
+            elapsed.as_secs_f64() * 1e3
+        );
     }
 }

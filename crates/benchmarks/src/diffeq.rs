@@ -35,7 +35,10 @@ use sfr_rtl::FuOp;
 ///
 /// Panics if `width < 2` (the constant 3 must be representable).
 pub fn diffeq(width: usize) -> Result<EmittedSystem, EmitError> {
-    assert!(width >= 2, "diffeq needs at least 2 bits for the constant 3");
+    assert!(
+        width >= 2,
+        "diffeq needs at least 2 bits for the constant 3"
+    );
     let mut d = DesignBuilder::new("diffeq", width, 8);
     let x_in = d.port("x_in");
     let y_in = d.port("y_in");

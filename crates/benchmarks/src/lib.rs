@@ -61,9 +61,7 @@ pub fn all_benchmarks(width: usize) -> Result<Vec<(&'static str, EmittedSystem)>
 /// # Errors
 ///
 /// Propagates the first [`EmitError`] (impossible for valid widths).
-pub fn extended_benchmarks(
-    width: usize,
-) -> Result<Vec<(&'static str, EmittedSystem)>, EmitError> {
+pub fn extended_benchmarks(width: usize) -> Result<Vec<(&'static str, EmittedSystem)>, EmitError> {
     let mut v = all_benchmarks(width)?;
     v.push(("fir", fir(width)?));
     Ok(v)

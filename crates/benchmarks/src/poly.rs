@@ -106,12 +106,7 @@ mod tests {
     fn coefficients_have_long_lifespans() {
         let sys = poly(4).expect("builds");
         // d (REG5) is live from CS2 through CS8.
-        let reg5 = sys
-            .meta
-            .reg_names
-            .iter()
-            .position(|n| n == "REG5")
-            .unwrap();
+        let reg5 = sys.meta.reg_names.iter().position(|n| n == "REG5").unwrap();
         for t in 2..=8 {
             assert!(sys.meta.reg_live_at(reg5, t), "d live at CS{t}");
         }

@@ -6,11 +6,12 @@
 //! *flagged* when its percentage change from the fault-free baseline
 //! exceeds a tolerance band (the paper uses ±5%).
 
+use sfr_exec::{par_map_indexed, NullProgress, Phase, PhaseTimer, Progress, ProgressEvent};
 use sfr_faultsim::{RunConfig, System};
 use sfr_netlist::{CycleSim, Logic, StuckAt};
 use sfr_power_model::{
-    power_from_activity_where, run_monte_carlo, MonteCarloConfig, MonteCarloResult, PowerConfig,
-    PowerReport,
+    power_from_activity_where, run_monte_carlo, run_monte_carlo_par, MonteCarloConfig,
+    MonteCarloResult, PowerConfig, PowerReport,
 };
 use sfr_tpg::TestSet;
 
@@ -115,21 +116,38 @@ pub fn measure_power_with_testset(
     })
 }
 
+/// One Monte Carlo batch: fresh pseudorandom data keyed by the *batch
+/// index* (never by the executing thread), so serial and sharded
+/// estimations draw identical samples.
+fn mc_batch(sys: &System, fault: Option<StuckAt>, cfg: &GradeConfig, batch: usize) -> PowerReport {
+    let ts = TestSet::pseudorandom(
+        sys.pattern_width(),
+        cfg.patterns_per_batch,
+        cfg.seed.wrapping_add(batch as u32),
+    )
+    .expect("16-stage TPGR always constructs");
+    measure_power_with_testset(sys, fault, &ts, cfg)
+}
+
 /// Monte Carlo datapath power of an (optionally faulty) system.
 pub fn measure_power_monte_carlo(
     sys: &System,
     fault: Option<StuckAt>,
     cfg: &GradeConfig,
 ) -> MonteCarloResult {
-    run_monte_carlo(&cfg.mc, |batch| {
-        let ts = TestSet::pseudorandom(
-            sys.pattern_width(),
-            cfg.patterns_per_batch,
-            cfg.seed.wrapping_add(batch as u32),
-        )
-        .expect("16-stage TPGR always constructs");
-        measure_power_with_testset(sys, fault, &ts, cfg)
-    })
+    run_monte_carlo(&cfg.mc, |batch| mc_batch(sys, fault, cfg, batch))
+}
+
+/// Monte Carlo datapath power with batches sharded across `threads`
+/// workers — byte-identical to [`measure_power_monte_carlo`] (see
+/// [`run_monte_carlo_par`]).
+pub fn measure_power_monte_carlo_par(
+    sys: &System,
+    fault: Option<StuckAt>,
+    cfg: &GradeConfig,
+    threads: usize,
+) -> MonteCarloResult {
+    run_monte_carlo_par(&cfg.mc, threads, |batch| mc_batch(sys, fault, cfg, batch))
 }
 
 /// Grades a set of SFR faults against the fault-free baseline.
@@ -144,20 +162,48 @@ pub fn grade_faults(
     faults: &[StuckAt],
     cfg: &GradeConfig,
 ) -> (MonteCarloResult, Vec<PowerGrade>) {
-    let baseline = measure_power_monte_carlo(sys, None, cfg);
-    let grades = faults
-        .iter()
-        .map(|&fault| {
-            let mc = measure_power_monte_carlo(sys, Some(fault), cfg);
-            let pct = 100.0 * (mc.mean_uw - baseline.mean_uw) / baseline.mean_uw;
-            PowerGrade {
-                fault,
-                mean_uw: mc.mean_uw,
-                pct_change: pct,
-                flagged: pct.abs() > cfg.threshold_pct,
-            }
-        })
-        .collect();
+    grade_faults_with(sys, faults, cfg, 1, &NullProgress)
+}
+
+/// [`grade_faults`] sharded across `threads` workers, reporting one
+/// [`ProgressEvent::MonteCarlo`] per estimation and one
+/// [`ProgressEvent::FaultGraded`] per fault.
+///
+/// The baseline estimation shards its *batches* (there is only one of
+/// it); the per-fault estimations shard across *faults*, each fault's
+/// Monte Carlo loop running serially so its sample sequence — and hence
+/// every mean, percentage, and flag — is byte-identical to the serial
+/// path at any thread count.
+pub fn grade_faults_with(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    threads: usize,
+    progress: &dyn Progress,
+) -> (MonteCarloResult, Vec<PowerGrade>) {
+    let _timer = PhaseTimer::start(progress, Phase::Grade);
+    let baseline = measure_power_monte_carlo_par(sys, None, cfg, threads);
+    progress.event(ProgressEvent::MonteCarlo {
+        batches: baseline.batches,
+        converged: baseline.converged,
+    });
+    let grades = par_map_indexed(threads, faults.len(), |i| {
+        let fault = faults[i];
+        let mc = measure_power_monte_carlo(sys, Some(fault), cfg);
+        progress.event(ProgressEvent::MonteCarlo {
+            batches: mc.batches,
+            converged: mc.converged,
+        });
+        let pct = 100.0 * (mc.mean_uw - baseline.mean_uw) / baseline.mean_uw;
+        let flagged = pct.abs() > cfg.threshold_pct;
+        progress.event(ProgressEvent::FaultGraded { flagged });
+        PowerGrade {
+            fault,
+            mean_uw: mc.mean_uw,
+            pct_change: pct,
+            flagged,
+        }
+    });
     (baseline, grades)
 }
 
@@ -217,6 +263,39 @@ mod tests {
         assert!(p.total_uw > 0.0);
         assert!(p.cycles >= 100);
         assert!(p.clock_uw > 0.0, "registers clock at least once per run");
+    }
+
+    #[test]
+    fn threaded_grading_is_byte_identical_to_serial() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let faults: Vec<StuckAt> = sys.controller_faults().into_iter().take(5).collect();
+        let (base_s, grades_s) = grade_faults(&sys, &faults, &cfg);
+        for threads in [2, 4, 8] {
+            let (base_t, grades_t) = grade_faults_with(&sys, &faults, &cfg, threads, &NullProgress);
+            assert_eq!(base_s, base_t, "baseline, threads = {threads}");
+            assert_eq!(grades_s.len(), grades_t.len());
+            for (s, t) in grades_s.iter().zip(&grades_t) {
+                assert_eq!(s.fault, t.fault);
+                assert_eq!(s.mean_uw, t.mean_uw, "threads = {threads}");
+                assert_eq!(s.pct_change, t.pct_change, "threads = {threads}");
+                assert_eq!(s.flagged, t.flagged);
+            }
+        }
+    }
+
+    #[test]
+    fn grading_reports_progress_events() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let faults: Vec<StuckAt> = sys.controller_faults().into_iter().take(3).collect();
+        let counters = sfr_exec::Counters::new();
+        let _ = grade_faults_with(&sys, &faults, &cfg, 2, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.faults_graded, 3);
+        // Baseline + one estimation per fault.
+        assert_eq!(snap.mc_converged + snap.mc_capped, 4);
+        assert!(snap.phase_times.iter().any(|(p, _)| *p == Phase::Grade));
     }
 
     #[test]

@@ -27,6 +27,9 @@ use sfr_fsm::StateId;
 use sfr_netlist::Logic;
 use sfr_rtl::{DatapathSim, ExprId, InputId, RegId, SymbolicDomain};
 
+/// Per-cycle `(outputs, statuses)` expression ids of one symbolic trace.
+type TraceRows = Vec<(Vec<ExprId>, Vec<ExprId>)>;
+
 /// Why the oracle called a fault irredundant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mismatch {
@@ -78,8 +81,7 @@ fn trajectories(sys: &System) -> Vec<Vec<StateId>> {
             // Prologue once, then the loop region per depth.
             let prologue: Vec<StateId> =
                 (1..l.back_to).map(|k| sys.meta.state_of_step(k)).collect();
-            let region: Vec<StateId> =
-                (l.back_to..=n).map(|k| sys.meta.state_of_step(k)).collect();
+            let region: Vec<StateId> = (l.back_to..=n).map(|k| sys.meta.state_of_step(k)).collect();
             LOOP_DEPTHS
                 .iter()
                 .map(|&d| {
@@ -88,9 +90,7 @@ fn trajectories(sys: &System) -> Vec<Vec<StateId>> {
                     for _ in 0..=d {
                         t.extend(&region);
                     }
-                    t.extend(
-                        std::iter::repeat(sys.meta.hold_state()).take(HOLD_OBSERVE_CYCLES),
-                    );
+                    t.extend(std::iter::repeat(sys.meta.hold_state()).take(HOLD_OBSERVE_CYCLES));
                     t
                 })
                 .collect()
@@ -106,7 +106,7 @@ fn run_trace(
     domain: SymbolicDomain,
     trajectory: &[StateId],
     table: &[Vec<bool>],
-) -> (Vec<(Vec<ExprId>, Vec<ExprId>)>, SymbolicDomain) {
+) -> (TraceRows, SymbolicDomain) {
     let dp = &sys.datapath;
     let mut sim = DatapathSim::new(dp, domain);
     // Boot values: the same named unknown per register in every trace.
@@ -116,10 +116,7 @@ fn run_trace(
     }
     let mut rows = Vec::with_capacity(trajectory.len());
     for (t, &st) in trajectory.iter().enumerate() {
-        let word: Vec<Logic> = table[st.0]
-            .iter()
-            .map(|&b| Logic::from_bool(b))
-            .collect();
+        let word: Vec<Logic> = table[st.0].iter().map(|&b| Logic::from_bool(b)).collect();
         let inputs: Vec<ExprId> = (0..dp.inputs().len())
             .map(|p| sim.domain_mut().input(InputId(p), t as u64))
             .collect();
@@ -147,9 +144,7 @@ pub fn judge(sys: &System, faulty_table: &[Vec<bool>]) -> Verdict {
         let domain = SymbolicDomain::new(sys.datapath.width());
         let (golden_rows, domain) = run_trace(sys, domain, &trajectory, golden_table);
         let (faulty_rows, domain) = run_trace(sys, domain, &trajectory, faulty_table);
-        for (cycle, ((go, gs), (fo, fs))) in
-            golden_rows.iter().zip(&faulty_rows).enumerate()
-        {
+        for (cycle, ((go, gs), (fo, fs))) in golden_rows.iter().zip(&faulty_rows).enumerate() {
             for (port, (a, b)) in go.iter().zip(fo).enumerate() {
                 if a != b && !domain.contains_unknown(*a) {
                     return Verdict::Irredundant(Mismatch::Output { cycle, port });

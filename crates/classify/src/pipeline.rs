@@ -16,7 +16,10 @@
 use crate::oracle::{judge, Mismatch, Verdict};
 use crate::rules::{judge_by_rules, RuleVerdict};
 use crate::table::{analyze_controller_fault, ControlLineEffect};
-use sfr_faultsim::{golden_trace, run_parallel, run_serial, Detection, RunConfig, System};
+use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
+use sfr_faultsim::{
+    golden_trace, run_campaign, Detection, Engine, LaneEngine, RunConfig, SerialEngine, System,
+};
 use sfr_netlist::StuckAt;
 use sfr_tpg::TestSet;
 
@@ -140,87 +143,116 @@ impl Classification {
     }
 }
 
-/// Runs the full methodology over a system's controller fault universe.
+/// Runs the full methodology over a system's controller fault universe
+/// with the default engine selection from `cfg.parallel` and no
+/// observer. See [`classify_system_with`] for the engine- and
+/// progress-aware entry point.
 pub fn classify_system(sys: &System, cfg: &ClassifyConfig) -> Classification {
+    let engine: &dyn Engine = if cfg.parallel {
+        &LaneEngine
+    } else {
+        &SerialEngine
+    };
+    classify_system_with(sys, cfg, engine, &NullProgress)
+}
+
+/// Runs the full methodology on an explicit fault-simulation [`Engine`],
+/// reporting phase timings and per-fault events to `progress`.
+///
+/// All engines yield identical classifications (the campaign verdicts
+/// are engine-invariant and every later step is deterministic).
+pub fn classify_system_with(
+    sys: &System,
+    cfg: &ClassifyConfig,
+    engine: &dyn Engine,
+    progress: &dyn Progress,
+) -> Classification {
     let faults = sys.controller_faults();
+    let timer = PhaseTimer::start(progress, Phase::Golden);
     let ts = TestSet::pseudorandom(sys.pattern_width(), cfg.test_patterns, cfg.test_seed)
         .expect("16-stage TPGR always constructs");
     let golden = golden_trace(sys, &ts, &cfg.run);
-    let outcomes = if cfg.parallel {
-        run_parallel(sys, &golden, &faults)
-    } else {
-        run_serial(sys, &golden, &faults)
-    };
+    timer.finish();
 
-    let classified = outcomes
-        .into_iter()
-        .map(|o| {
-            // Step 1: simulation-detected faults are SFI.
-            if let Detection::Detected { cycle } = o.detection {
-                return ClassifiedFault {
-                    fault: o.fault,
-                    class: FaultClass::Sfi(SfiReason::Simulation { cycle }),
-                    effects: Vec::new(),
-                    rule_verdict: None,
-                };
-            }
-            // Steps 3–4: exhaustive controller analysis.
-            let sf = sys
-                .fault_to_standalone(o.fault)
-                .expect("controller faults remap");
-            let behavior = analyze_controller_fault(sys, sf);
-            if behavior.is_cfr() {
-                return ClassifiedFault {
-                    fault: o.fault,
-                    class: FaultClass::Cfr,
-                    effects: Vec::new(),
-                    rule_verdict: None,
-                };
-            }
-            // The Section 3 rules reason about control line effects only
-            // — they presuppose an unchanged state sequence — so they
-            // are consulted only for non-sequence-altering faults.
-            let rule_verdict =
-                (!behavior.sequence_altering).then(|| judge_by_rules(sys, &behavior.effects));
-            if behavior.sequence_altering {
-                // Step 2 first: a potential detection confirms the fault
-                // manifests; otherwise label by its sequence effect.
-                let class = match o.detection {
-                    Detection::Potential { cycle } => {
-                        FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
-                    }
-                    _ => FaultClass::Sfi(SfiReason::SequenceAltering),
-                };
-                return ClassifiedFault {
-                    fault: o.fault,
-                    class,
-                    effects: behavior.effects,
-                    rule_verdict,
-                };
-            }
-            // Step 4: the oracle decides.
-            let class = match judge(sys, &behavior.faulty_outputs) {
-                Verdict::Redundant => FaultClass::Sfr,
-                Verdict::Irredundant(m) => {
-                    // Prefer the concrete step-2 evidence when present.
-                    match o.detection {
-                        Detection::Potential { cycle } => {
-                            FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
-                        }
-                        _ => FaultClass::Sfi(SfiReason::Oracle(m)),
-                    }
-                }
-            };
-            ClassifiedFault {
-                fault: o.fault,
-                class,
-                effects: behavior.effects,
-                rule_verdict,
-            }
-        })
-        .collect();
+    let timer = PhaseTimer::start(progress, Phase::FaultSim);
+    let outcomes = run_campaign(engine, sys, &golden, &faults, progress);
+    timer.finish();
+
+    // Steps 2–4 are independent per fault; shard them to the engine's
+    // width. Results land in fault order, so the classification is
+    // engine- and thread-count-invariant.
+    let _timer = PhaseTimer::start(progress, Phase::Analyze);
+    let classified = sfr_exec::par_map_indexed(engine.threads(), outcomes.len(), |i| {
+        classify_outcome(sys, outcomes[i])
+    });
 
     Classification { faults: classified }
+}
+
+/// Steps 2–4 of the methodology for one campaign outcome.
+fn classify_outcome(sys: &System, o: sfr_faultsim::CampaignOutcome) -> ClassifiedFault {
+    // Step 1: simulation-detected faults are SFI.
+    if let Detection::Detected { cycle } = o.detection {
+        return ClassifiedFault {
+            fault: o.fault,
+            class: FaultClass::Sfi(SfiReason::Simulation { cycle }),
+            effects: Vec::new(),
+            rule_verdict: None,
+        };
+    }
+    // Steps 3–4: exhaustive controller analysis.
+    let sf = sys
+        .fault_to_standalone(o.fault)
+        .expect("controller faults remap");
+    let behavior = analyze_controller_fault(sys, sf);
+    if behavior.is_cfr() {
+        return ClassifiedFault {
+            fault: o.fault,
+            class: FaultClass::Cfr,
+            effects: Vec::new(),
+            rule_verdict: None,
+        };
+    }
+    // The Section 3 rules reason about control line effects only
+    // — they presuppose an unchanged state sequence — so they
+    // are consulted only for non-sequence-altering faults.
+    let rule_verdict =
+        (!behavior.sequence_altering).then(|| judge_by_rules(sys, &behavior.effects));
+    if behavior.sequence_altering {
+        // Step 2 first: a potential detection confirms the fault
+        // manifests; otherwise label by its sequence effect.
+        let class = match o.detection {
+            Detection::Potential { cycle } => {
+                FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
+            }
+            _ => FaultClass::Sfi(SfiReason::SequenceAltering),
+        };
+        return ClassifiedFault {
+            fault: o.fault,
+            class,
+            effects: behavior.effects,
+            rule_verdict,
+        };
+    }
+    // Step 4: the oracle decides.
+    let class = match judge(sys, &behavior.faulty_outputs) {
+        Verdict::Redundant => FaultClass::Sfr,
+        Verdict::Irredundant(m) => {
+            // Prefer the concrete step-2 evidence when present.
+            match o.detection {
+                Detection::Potential { cycle } => {
+                    FaultClass::Sfi(SfiReason::PotentialResolved { cycle })
+                }
+                _ => FaultClass::Sfi(SfiReason::Oracle(m)),
+            }
+        }
+    };
+    ClassifiedFault {
+        fault: o.fault,
+        class,
+        effects: behavior.effects,
+        rule_verdict,
+    }
 }
 
 #[cfg(test)]
@@ -257,10 +289,9 @@ mod tests {
                         "rules said SFR but pipeline said SFI({reason:?}) for {}",
                         f.fault
                     ),
-                    (Some(RuleVerdict::Sfi), FaultClass::Sfr) => panic!(
-                        "rules said SFI but pipeline said SFR for {}",
-                        f.fault
-                    ),
+                    (Some(RuleVerdict::Sfi), FaultClass::Sfr) => {
+                        panic!("rules said SFI but pipeline said SFR for {}", f.fault)
+                    }
                     _ => {}
                 }
             }
@@ -276,7 +307,7 @@ mod tests {
         let sfr: Vec<_> = c.sfr().map(|f| f.fault).collect();
         let ts = sfr_tpg::TestSet::pseudorandom(sys.pattern_width(), 600, 0xBEEF).unwrap();
         let golden = golden_trace(&sys, &ts, &RunConfig::default());
-        let outcomes: Vec<CampaignOutcome> = run_serial(&sys, &golden, &sfr);
+        let outcomes: Vec<CampaignOutcome> = sfr_faultsim::run_serial(&sys, &golden, &sfr);
         for o in outcomes {
             assert!(
                 !o.detection.is_detected(),
@@ -300,6 +331,24 @@ mod tests {
                 std::mem::discriminant(&x.class),
                 std::mem::discriminant(&y.class)
             );
+        }
+    }
+
+    #[test]
+    fn threaded_classification_matches_lane_exactly() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let lane = classify_system(&sys, &cfg);
+        for threads in [2, 8] {
+            let engine = sfr_faultsim::ThreadedEngine::new(threads);
+            let threaded = classify_system_with(&sys, &cfg, &engine, &sfr_exec::NullProgress);
+            assert_eq!(lane.faults.len(), threaded.faults.len());
+            for (a, b) in lane.faults.iter().zip(&threaded.faults) {
+                assert_eq!(a.fault, b.fault);
+                assert_eq!(a.class, b.class, "threads = {threads}, fault {}", a.fault);
+                assert_eq!(a.effects, b.effects);
+                assert_eq!(a.rule_verdict, b.rule_verdict);
+            }
         }
     }
 

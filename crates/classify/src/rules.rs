@@ -43,7 +43,10 @@ pub enum EffectClass {
 impl EffectClass {
     /// Whether the effect is decided irredundant by structure alone.
     pub fn is_sfi(self) -> bool {
-        matches!(self, EffectClass::SfiActiveSelect | EffectClass::SfiSkippedLoad)
+        matches!(
+            self,
+            EffectClass::SfiActiveSelect | EffectClass::SfiSkippedLoad
+        )
     }
 
     /// Whether the effect is decided redundant by structure alone.
@@ -104,9 +107,7 @@ pub fn classify_effect(sys: &System, e: &ControlLineEffect) -> EffectClass {
                     }
                 }
                 None if e.state == meta.hold_state() => {
-                    let any_held = regs
-                        .iter()
-                        .any(|r| meta.spans[r.0].iter().any(|s| s.held));
+                    let any_held = regs.iter().any(|r| meta.spans[r.0].iter().any(|s| s.held));
                     if any_held {
                         EffectClass::PotentiallyDisruptiveLoad
                     } else {

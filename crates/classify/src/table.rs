@@ -161,10 +161,7 @@ mod tests {
                 for j in 0..sys.fsm.spec().control_width() {
                     let golden = sys.ctrl.realized_outputs[s.0][j];
                     let faulty = b.faulty_outputs[s.0][j];
-                    let reported = b
-                        .effects
-                        .iter()
-                        .any(|e| e.state == s && e.line == j);
+                    let reported = b.effects.iter().any(|e| e.state == s && e.line == j);
                     assert_eq!(
                         golden != faulty,
                         reported,

@@ -45,9 +45,7 @@ impl PowerBreakdown {
             }
         }
         let mut components = Vec::new();
-        let ctl = power_from_activity_where(&sys.netlist, act, cfg, |g| {
-            sys.is_controller_gate(g)
-        });
+        let ctl = power_from_activity_where(&sys.netlist, act, cfg, |g| sys.is_controller_gate(g));
         components.push(ComponentPower {
             name: "controller".to_string(),
             power_uw: ctl.total_uw,
@@ -156,8 +154,11 @@ mod tests {
     use sfr_faultsim::SystemConfig;
 
     fn system() -> System {
-        System::build(&sfr_benchmarks::facet(4).expect("builds"), SystemConfig::default())
-            .expect("system builds")
+        System::build(
+            &sfr_benchmarks::facet(4).expect("builds"),
+            SystemConfig::default(),
+        )
+        .expect("system builds")
     }
 
     fn run_cfg() -> RunConfig {

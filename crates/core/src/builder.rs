@@ -1,0 +1,340 @@
+//! The chainable study API: configure, [`build`](StudyBuilder::build),
+//! [`run`](PreparedStudy::run).
+//!
+//! ```
+//! use sfr_core::StudyBuilder;
+//!
+//! # fn main() -> Result<(), sfr_core::StudyError> {
+//! let study = StudyBuilder::new("poly")
+//!     .width(4)
+//!     .test_patterns(240)
+//!     .quick_monte_carlo()
+//!     .threads(2)
+//!     .build()?
+//!     .run();
+//! assert!(study.classification.sfr_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::StudyError;
+use crate::flow::{execute_study, Study, StudyConfig};
+use sfr_classify::{ClassifyConfig, GradeConfig};
+use sfr_exec::{NullProgress, Progress};
+use sfr_faultsim::{EngineKind, System};
+use sfr_fsm::{Encoding, FillPolicy};
+use sfr_hls::EmittedSystem;
+use sfr_power_model::MonteCarloConfig;
+
+/// Where a study's system comes from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// A named benchmark from [`sfr_benchmarks`], built at
+    /// [`StudyBuilder::width`].
+    Named(String),
+    /// A caller-supplied emitted system (custom designs).
+    Emitted(String, Box<EmittedSystem>),
+}
+
+/// Chainable configuration for one study.
+///
+/// Replaces the free functions `run_study` / `run_paper_studies`: every
+/// knob of the flow — benchmark, datapath width, controller encoding,
+/// don't-care fill, test set, worker threads, detection threshold — is
+/// a setter, and [`build`](Self::build) validates the combination
+/// before any simulation starts.
+#[derive(Debug, Clone)]
+pub struct StudyBuilder {
+    source: Source,
+    width: usize,
+    cfg: StudyConfig,
+    threads: usize,
+    engine: Option<EngineKind>,
+}
+
+impl StudyBuilder {
+    /// A study of the named benchmark (`"diffeq"`, `"facet"`, `"poly"`,
+    /// or `"fir"`), 4 bits wide unless [`width`](Self::width) says
+    /// otherwise.
+    pub fn new(benchmark: impl Into<String>) -> Self {
+        StudyBuilder {
+            source: Source::Named(benchmark.into()),
+            width: 4,
+            cfg: StudyConfig::default(),
+            threads: 1,
+            engine: None,
+        }
+    }
+
+    /// A study of a caller-supplied emitted system.
+    pub fn from_emitted(name: impl Into<String>, emitted: EmittedSystem) -> Self {
+        StudyBuilder {
+            source: Source::Emitted(name.into(), Box::new(emitted)),
+            width: 4,
+            cfg: StudyConfig::default(),
+            threads: 1,
+            engine: None,
+        }
+    }
+
+    /// Datapath width in bits (named benchmarks only; default 4).
+    pub fn width(mut self, bits: usize) -> Self {
+        self.width = bits;
+        self
+    }
+
+    /// Controller state encoding.
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.cfg.system.encoding = encoding;
+        self
+    }
+
+    /// Don't-care fill policy for controller synthesis.
+    pub fn fill(mut self, fill: FillPolicy) -> Self {
+        self.cfg.system.fill = fill;
+        self
+    }
+
+    /// Number of TPGR patterns in the detection test set.
+    pub fn test_patterns(mut self, patterns: usize) -> Self {
+        self.cfg.classify.test_patterns = patterns;
+        self
+    }
+
+    /// TPGR seed for the detection test set.
+    pub fn test_seed(mut self, seed: u32) -> Self {
+        self.cfg.classify.test_seed = seed;
+        self
+    }
+
+    /// Worker threads for fault simulation and power grading
+    /// (0 = all available cores; default 1). Results are byte-identical
+    /// at every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            sfr_exec::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Detection tolerance band in percent (the paper's ±5%).
+    pub fn threshold_pct(mut self, pct: f64) -> Self {
+        self.cfg.grade.threshold_pct = pct;
+        self
+    }
+
+    /// Monte Carlo convergence settings.
+    pub fn monte_carlo(mut self, mc: MonteCarloConfig) -> Self {
+        self.cfg.grade.mc = mc;
+        self
+    }
+
+    /// A loose Monte Carlo setting (few batches, wide tolerance) for
+    /// tests and examples that need speed over tight confidence.
+    pub fn quick_monte_carlo(mut self) -> Self {
+        self.cfg.grade.mc = MonteCarloConfig {
+            rel_tolerance: 0.05,
+            min_batches: 3,
+            max_batches: 6,
+        };
+        self.cfg.grade.patterns_per_batch = 60;
+        self
+    }
+
+    /// Replaces the classification settings wholesale.
+    pub fn classify_config(mut self, classify: ClassifyConfig) -> Self {
+        self.cfg.classify = classify;
+        self
+    }
+
+    /// Replaces the grading settings wholesale.
+    pub fn grade_config(mut self, grade: GradeConfig) -> Self {
+        self.cfg.grade = grade;
+        self
+    }
+
+    /// Replaces the whole [`StudyConfig`] (system, classify, grade) in
+    /// one call — the migration path from the deprecated free
+    /// functions.
+    pub fn config(mut self, cfg: StudyConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Overrides the fault-simulation engine (default: chosen from the
+    /// thread count — the 63-lane engine at 1 thread, the threaded
+    /// engine above).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Validates the configuration, builds the benchmark and its
+    /// gate-level system, and returns a ready-to-run study.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::InvalidConfig`] for an unknown benchmark name or
+    /// out-of-range settings, [`StudyError::Benchmark`] if HLS emission
+    /// fails, [`StudyError::Netlist`] if gate-level construction fails.
+    pub fn build(self) -> Result<PreparedStudy, StudyError> {
+        if self.width == 0 || self.width > 64 {
+            return Err(StudyError::InvalidConfig(format!(
+                "datapath width must be 1..=64 bits, got {}",
+                self.width
+            )));
+        }
+        if self.cfg.classify.test_patterns == 0 {
+            return Err(StudyError::InvalidConfig(
+                "detection test set must contain at least one pattern".into(),
+            ));
+        }
+        if self.cfg.grade.threshold_pct < 0.0 {
+            return Err(StudyError::InvalidConfig(format!(
+                "detection threshold must be non-negative, got {}%",
+                self.cfg.grade.threshold_pct
+            )));
+        }
+        let (name, emitted) = match self.source {
+            Source::Named(name) => {
+                let emitted = match name.as_str() {
+                    "diffeq" => sfr_benchmarks::diffeq(self.width)?,
+                    "facet" => sfr_benchmarks::facet(self.width)?,
+                    "poly" => sfr_benchmarks::poly(self.width)?,
+                    "fir" => sfr_benchmarks::fir(self.width)?,
+                    other => {
+                        return Err(StudyError::InvalidConfig(format!(
+                            "unknown benchmark `{other}` (expected diffeq, facet, poly, or fir)"
+                        )))
+                    }
+                };
+                (name, emitted)
+            }
+            Source::Emitted(name, emitted) => (name, *emitted),
+        };
+        let system = System::build(&emitted, self.cfg.system)?;
+        let engine = self
+            .engine
+            .unwrap_or_else(|| EngineKind::for_threads(self.threads));
+        Ok(PreparedStudy {
+            name,
+            system,
+            cfg: self.cfg,
+            threads: self.threads,
+            engine,
+        })
+    }
+}
+
+/// A validated, fully constructed study awaiting execution.
+#[derive(Debug)]
+pub struct PreparedStudy {
+    name: String,
+    system: System,
+    cfg: StudyConfig,
+    threads: usize,
+    engine: EngineKind,
+}
+
+impl PreparedStudy {
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The built gate-level system (inspectable before running).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The worker-thread count the run will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs classification and power grading to completion.
+    pub fn run(self) -> Study {
+        self.run_with(&NullProgress)
+    }
+
+    /// [`run`](Self::run) with an observer receiving phase timings,
+    /// per-fault simulation events, and Monte Carlo convergence.
+    pub fn run_with(self, progress: &dyn Progress) -> Study {
+        let engine = self.engine.build();
+        execute_study(
+            self.name,
+            self.system,
+            &self.cfg,
+            engine.as_ref(),
+            self.threads,
+            progress,
+        )
+    }
+}
+
+/// Runs the builder flow over all three paper benchmarks at 4 bits —
+/// the replacement for the deprecated `run_paper_studies`.
+///
+/// # Errors
+///
+/// Propagates the first [`StudyError`] from any benchmark.
+pub fn paper_studies(cfg: &StudyConfig, threads: usize) -> Result<Vec<Study>, StudyError> {
+    ["diffeq", "facet", "poly"]
+        .into_iter()
+        .map(|name| {
+            Ok(StudyBuilder::new(name)
+                .config(cfg.clone())
+                .threads(threads)
+                .build()?
+                .run())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_benchmark_is_an_invalid_config() {
+        let err = StudyBuilder::new("quux").build().unwrap_err();
+        assert!(matches!(err, StudyError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("quux"));
+    }
+
+    #[test]
+    fn zero_width_is_rejected_before_any_build() {
+        let err = StudyBuilder::new("poly").width(0).build().unwrap_err();
+        assert!(matches!(err, StudyError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn empty_test_set_is_rejected() {
+        let err = StudyBuilder::new("poly")
+            .test_patterns(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StudyError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_runs_a_quick_study() {
+        let study = StudyBuilder::new("poly")
+            .test_patterns(240)
+            .quick_monte_carlo()
+            .build()
+            .expect("poly builds")
+            .run();
+        assert_eq!(study.name, "poly");
+        assert_eq!(study.grades.len(), study.classification.sfr_count());
+        assert_eq!(study.sfr_faults().len(), study.grades.len());
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let prepared = StudyBuilder::new("poly").threads(0).build().expect("poly");
+        assert!(prepared.threads() >= 1);
+    }
+}

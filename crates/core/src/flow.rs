@@ -1,11 +1,14 @@
 //! The end-to-end study flow: synthesize → classify → grade.
 
+use crate::error::StudyError;
 use sfr_classify::{
-    classify_system, grade_faults, Classification, ClassifyConfig, GradeConfig, PowerGrade,
+    classify_system_with, grade_faults_with, Classification, ClassifyConfig, GradeConfig,
+    PowerGrade,
 };
-use sfr_faultsim::{System, SystemConfig};
+use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
+use sfr_faultsim::{Engine, LaneEngine, SerialEngine, System, SystemConfig};
 use sfr_hls::EmittedSystem;
-use sfr_netlist::{NetlistError, StuckAt};
+use sfr_netlist::StuckAt;
 use sfr_power_model::MonteCarloResult;
 
 /// Configuration of a full study.
@@ -29,6 +32,9 @@ pub struct Study {
     pub system: System,
     /// The classified controller fault universe.
     pub classification: Classification,
+    /// The SFR faults in grading order (collected once at the end of
+    /// classification).
+    sfr: Vec<StuckAt>,
     /// Fault-free Monte Carlo datapath power.
     pub baseline: MonteCarloResult,
     /// Power grades, one per SFR fault (same order as
@@ -38,8 +44,8 @@ pub struct Study {
 
 impl Study {
     /// The SFR faults in grading order.
-    pub fn sfr_faults(&self) -> Vec<StuckAt> {
-        self.classification.sfr().map(|f| f.fault).collect()
+    pub fn sfr_faults(&self) -> &[StuckAt] {
+        &self.sfr
     }
 
     /// How many SFR faults the power test flags at the configured
@@ -49,28 +55,66 @@ impl Study {
     }
 }
 
+/// The shared execution path behind [`crate::StudyBuilder`] and the
+/// deprecated free functions: classify on `engine`, grade on `threads`
+/// workers, report everything to `progress`.
+pub(crate) fn execute_study(
+    name: String,
+    system: System,
+    cfg: &StudyConfig,
+    engine: &dyn Engine,
+    threads: usize,
+    progress: &dyn Progress,
+) -> Study {
+    let classification = classify_system_with(&system, &cfg.classify, engine, progress);
+    let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
+    let (baseline, grades) = grade_faults_with(&system, &sfr, &cfg.grade, threads, progress);
+    Study {
+        name,
+        system,
+        classification,
+        sfr,
+        baseline,
+        grades,
+    }
+}
+
+/// Builds the system for `emitted` and runs the full study serially —
+/// the engine chosen from `cfg.classify.parallel`, exactly as before
+/// the builder API existed.
+pub(crate) fn run_study_impl(
+    name: String,
+    emitted: &EmittedSystem,
+    cfg: &StudyConfig,
+    progress: &dyn Progress,
+) -> Result<Study, StudyError> {
+    let timer = PhaseTimer::start(progress, Phase::Build);
+    let system = System::build(emitted, cfg.system)?;
+    timer.finish();
+    let engine: &dyn Engine = if cfg.classify.parallel {
+        &LaneEngine
+    } else {
+        &SerialEngine
+    };
+    Ok(execute_study(name, system, cfg, engine, 1, progress))
+}
+
 /// Runs the full methodology over one emitted benchmark.
 ///
 /// # Errors
 ///
 /// Propagates netlist construction errors (which indicate an internal
 /// inconsistency rather than user error).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `StudyBuilder::from_emitted(name, emitted).config(cfg).build()?.run()`"
+)]
 pub fn run_study(
     name: impl Into<String>,
     emitted: &EmittedSystem,
     cfg: &StudyConfig,
-) -> Result<Study, NetlistError> {
-    let system = System::build(emitted, cfg.system)?;
-    let classification = classify_system(&system, &cfg.classify);
-    let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
-    let (baseline, grades) = grade_faults(&system, &sfr, &cfg.grade);
-    Ok(Study {
-        name: name.into(),
-        system,
-        classification,
-        baseline,
-        grades,
-    })
+) -> Result<Study, StudyError> {
+    run_study_impl(name.into(), emitted, cfg, &NullProgress)
 }
 
 /// Runs the study over all three paper benchmarks at 4 bits.
@@ -78,10 +122,14 @@ pub fn run_study(
 /// # Errors
 ///
 /// Propagates construction errors from any benchmark.
-pub fn run_paper_studies(cfg: &StudyConfig) -> Result<Vec<Study>, Box<dyn std::error::Error>> {
+#[deprecated(
+    since = "0.2.0",
+    note = "use `paper_studies(cfg, threads)` or `StudyBuilder::new(benchmark)`"
+)]
+pub fn run_paper_studies(cfg: &StudyConfig) -> Result<Vec<Study>, StudyError> {
     let mut studies = Vec::new();
     for (name, emitted) in sfr_benchmarks::all_benchmarks(4)? {
-        studies.push(run_study(name, &emitted, cfg)?);
+        studies.push(run_study_impl(name.into(), &emitted, cfg, &NullProgress)?);
     }
     Ok(studies)
 }
@@ -114,7 +162,8 @@ mod tests {
     #[test]
     fn study_runs_on_poly() {
         let emitted = sfr_benchmarks::poly(4).expect("builds");
-        let study = run_study("poly", &emitted, &quick()).expect("study runs");
+        let study =
+            run_study_impl("poly".into(), &emitted, &quick(), &NullProgress).expect("study runs");
         assert_eq!(
             study.grades.len(),
             study.classification.sfr_count(),
@@ -122,5 +171,27 @@ mod tests {
         );
         assert!(study.baseline.mean_uw > 0.0);
         assert!(study.classification.total() > 50);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let emitted = sfr_benchmarks::poly(4).expect("builds");
+        let study = run_study("poly", &emitted, &quick()).expect("shim runs");
+        assert_eq!(study.sfr_faults().len(), study.grades.len());
+    }
+
+    #[test]
+    fn sfr_faults_is_a_stable_slice() {
+        let emitted = sfr_benchmarks::poly(4).expect("builds");
+        let study =
+            run_study_impl("poly".into(), &emitted, &quick(), &NullProgress).expect("study runs");
+        let from_classification: Vec<StuckAt> =
+            study.classification.sfr().map(|f| f.fault).collect();
+        assert_eq!(study.sfr_faults(), from_classification.as_slice());
+        // Grading order matches the stored order.
+        for (f, g) in study.sfr_faults().iter().zip(&study.grades) {
+            assert_eq!(*f, g.fault);
+        }
     }
 }

@@ -18,9 +18,15 @@
 //!
 //! # What this crate offers
 //!
-//! * [`run_study`] / [`run_paper_studies`] — the end-to-end flow over a
-//!   benchmark: build the gate-level [`System`], run the four-step
-//!   [classification](classify_system), grade every SFR fault's power.
+//! * [`StudyBuilder`] — the end-to-end flow over a benchmark as a
+//!   chainable configuration: build the gate-level [`System`], run the
+//!   four-step [classification](classify_system), grade every SFR
+//!   fault's power — optionally sharded across worker threads with
+//!   byte-identical results ([`StudyBuilder::threads`]).
+//! * [`exec`] — the parallel execution substrate: selectable
+//!   fault-simulation [engines](exec::Engine), the
+//!   [progress](exec::Progress) observer hook, and the scoped-thread
+//!   work queue itself.
 //! * [`render_table1`], [`render_table2`], [`Fig7Series`] — regenerate
 //!   the paper's tables and Figure 7.
 //! * [`worst_case_extra_effects`] — the Section 4 experiment: the most
@@ -32,21 +38,15 @@
 //! # Quickstart
 //!
 //! ```
-//! use sfr_core::{run_study, ClassifyConfig, GradeConfig, StudyConfig};
-//! use sfr_core::MonteCarloConfig;
+//! use sfr_core::StudyBuilder;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let emitted = sfr_core::benchmarks::poly(4)?;
-//! let cfg = StudyConfig {
-//!     classify: ClassifyConfig { test_patterns: 240, ..Default::default() },
-//!     grade: GradeConfig {
-//!         mc: MonteCarloConfig { rel_tolerance: 0.08, min_batches: 2, max_batches: 3 },
-//!         patterns_per_batch: 60,
-//!         ..Default::default()
-//!     },
-//!     ..Default::default()
-//! };
-//! let study = run_study("poly", &emitted, &cfg)?;
+//! # fn main() -> Result<(), sfr_core::StudyError> {
+//! let study = StudyBuilder::new("poly")
+//!     .test_patterns(240)
+//!     .quick_monte_carlo()
+//!     .threads(2)
+//!     .build()?
+//!     .run();
 //! println!(
 //!     "{}: {}/{} controller faults are SFR; {} escape the ±5% power band",
 //!     study.name,
@@ -62,25 +62,33 @@
 #![warn(missing_docs)]
 
 mod breakdown;
+mod builder;
+mod error;
+pub mod exec;
 mod flow;
 mod report;
 mod testprogram;
 mod worstcase;
 
-pub use flow::{run_paper_studies, run_study, Study, StudyConfig};
+pub use breakdown::{measure_breakdown, ComponentPower, PowerBreakdown};
+pub use builder::{paper_studies, PreparedStudy, StudyBuilder};
+pub use error::StudyError;
+#[allow(deprecated)]
+pub use flow::{run_paper_studies, run_study};
+pub use flow::{Study, StudyConfig};
 pub use report::{
     describe_effect, render_classification_csv, render_table1, render_table2, state_label,
     Fig7Series,
 };
-pub use breakdown::{measure_breakdown, ComponentPower, PowerBreakdown};
 pub use testprogram::{generate_test_program, TestProgram, TestProgramConfig};
 pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, WorstCase};
 
 // The substrates, re-exported under their domain names.
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
-    analyze_controller_fault, classify_system, grade_faults, judge, judge_by_rules,
-    measure_power_monte_carlo, measure_power_with_testset, Classification, ClassifiedFault,
+    analyze_controller_fault, classify_system, classify_system_with, grade_faults,
+    grade_faults_with, judge, judge_by_rules, measure_power_monte_carlo,
+    measure_power_monte_carlo_par, measure_power_with_testset, Classification, ClassifiedFault,
     ClassifyConfig, ControlLineEffect, ControllerBehavior, EffectClass, FaultClass, GradeConfig,
     Mismatch, PowerGrade, RuleVerdict, SfiReason, Verdict,
 };
@@ -88,26 +96,23 @@ pub use sfr_faultsim::{
     golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
     RunSpec, System, SystemConfig,
 };
-pub use sfr_fsm::{
-    Encoding, EncodedFsm, FillPolicy, FsmSpec, FsmSpecBuilder, StateId, Tri,
-};
-pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
+pub use sfr_fsm::{EncodedFsm, Encoding, FillPolicy, FsmSpec, FsmSpecBuilder, StateId, Tri};
 pub use sfr_hls::{
     emit, BindingBuilder, DesignBuilder, DesignMeta, EmittedSystem, LoopSpec, OpId, Rhs,
     ScheduledDesign, Span, VarId,
 };
+pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
-    critical_path, Atpg, EventSim, TestOutcome, logic_to_u64, u64_to_logic, Activity, CellKind, CycleSim, FaultSite, GateId,
-    Logic, NetId,
-    write_cell_library, write_verilog, Netlist, NetlistBuilder, NetlistError, NetlistStats,
-    ParallelFaultSim, PatVec, StuckAt, VcdRecorder,
+    critical_path, logic_to_u64, u64_to_logic, write_cell_library, write_verilog, Activity, Atpg,
+    CellKind, CycleSim, EventSim, FaultSite, GateId, Logic, NetId, Netlist, NetlistBuilder,
+    NetlistError, NetlistStats, ParallelFaultSim, PatVec, StuckAt, TestOutcome, VcdRecorder,
 };
 pub use sfr_power_model::{
     power_from_activity, power_from_activity_where, run_monte_carlo, MonteCarloConfig,
     MonteCarloResult, PowerConfig, PowerPopulation, PowerReport, VariationModel,
 };
 pub use sfr_rtl::{
-    elaborate_into, ConcreteDomain, CtrlId, CtrlKind, Datapath, DatapathBuilder, DatapathSim,
-    DataSrc, ElabNets, ExprId, FuOp, InputId, MuxId, RegId, SymbolicDomain,
+    elaborate_into, ConcreteDomain, CtrlId, CtrlKind, DataSrc, Datapath, DatapathBuilder,
+    DatapathSim, ElabNets, ExprId, FuOp, InputId, MuxId, RegId, SymbolicDomain,
 };
 pub use sfr_tpg::{Lfsr, TestSet, PAPER_PATTERNS, PAPER_SEEDS};

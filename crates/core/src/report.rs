@@ -19,7 +19,11 @@ pub fn describe_effect(sys: &System, e: &ControlLineEffect) -> String {
     let state = state_label(sys, e.state);
     match line.kind() {
         CtrlKind::Load => {
-            let what = if e.faulty { "extra load" } else { "skipped load" };
+            let what = if e.faulty {
+                "extra load"
+            } else {
+                "skipped load"
+            };
             let regs: Vec<&str> = sys
                 .datapath
                 .registers_on_load(sfr_rtl::CtrlId(e.line))
@@ -55,9 +59,10 @@ impl Fig7Series {
         let mut select_faults = Vec::new();
         let mut load_faults = Vec::new();
         for (cls, grade) in study.classification.sfr().zip(&study.grades) {
-            let affects_load = cls.effects.iter().any(|e| {
-                study.system.datapath.control()[e.line].kind() == CtrlKind::Load
-            });
+            let affects_load = cls
+                .effects
+                .iter()
+                .any(|e| study.system.datapath.control()[e.line].kind() == CtrlKind::Load);
             let entry = (grade.mean_uw, grade.pct_change);
             if affects_load {
                 load_faults.push(entry);
@@ -298,29 +303,21 @@ pub fn render_table1(study: &Study, rows: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{run_study, StudyConfig};
-    use sfr_classify::{ClassifyConfig, GradeConfig};
+    use crate::builder::StudyBuilder;
     use sfr_power_model::MonteCarloConfig;
 
     fn quick_study() -> Study {
-        let emitted = sfr_benchmarks::poly(4).expect("builds");
-        let cfg = StudyConfig {
-            classify: ClassifyConfig {
-                test_patterns: 240,
-                ..Default::default()
-            },
-            grade: GradeConfig {
-                mc: MonteCarloConfig {
-                    rel_tolerance: 0.08,
-                    min_batches: 2,
-                    max_batches: 3,
-                },
-                patterns_per_batch: 60,
-                ..Default::default()
-            },
-            ..Default::default()
-        };
-        run_study("poly", &emitted, &cfg).expect("study runs")
+        StudyBuilder::new("poly")
+            .test_patterns(240)
+            .quick_monte_carlo()
+            .monte_carlo(MonteCarloConfig {
+                rel_tolerance: 0.08,
+                min_batches: 2,
+                max_batches: 3,
+            })
+            .build()
+            .expect("poly builds")
+            .run()
     }
 
     #[test]
@@ -340,10 +337,7 @@ mod tests {
         assert!(ascii.contains("detected"));
         let csv = fig.render_csv();
         assert!(csv.starts_with("group,index"));
-        assert_eq!(
-            csv.lines().count(),
-            1 + study.classification.sfr_count()
-        );
+        assert_eq!(csv.lines().count(), 1 + study.classification.sfr_count());
     }
 
     #[test]
@@ -364,9 +358,7 @@ mod tests {
             .classification
             .sfr()
             .flat_map(|f| f.effects.iter())
-            .find(|e| {
-                study.system.datapath.control()[e.line].kind() == CtrlKind::Load
-            });
+            .find(|e| study.system.datapath.control()[e.line].kind() == CtrlKind::Load);
         if let Some(e) = any_load_effect {
             let s = describe_effect(&study.system, e);
             assert!(s.contains("load in"), "got: {s}");

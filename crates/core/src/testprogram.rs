@@ -158,18 +158,14 @@ pub fn generate_test_program(study: &Study, cfg: &TestProgramConfig) -> TestProg
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{run_study, StudyConfig};
-    use sfr_classify::{ClassifyConfig, GradeConfig};
+    use crate::builder::StudyBuilder;
+    use sfr_classify::GradeConfig;
     use sfr_power_model::MonteCarloConfig;
 
     fn study() -> Study {
-        let emitted = sfr_benchmarks::facet(4).expect("builds");
-        let cfg = StudyConfig {
-            classify: ClassifyConfig {
-                test_patterns: 240,
-                ..Default::default()
-            },
-            grade: GradeConfig {
+        StudyBuilder::new("facet")
+            .test_patterns(240)
+            .grade_config(GradeConfig {
                 mc: MonteCarloConfig {
                     rel_tolerance: 0.1,
                     min_batches: 2,
@@ -177,10 +173,10 @@ mod tests {
                 },
                 patterns_per_batch: 40,
                 ..Default::default()
-            },
-            ..Default::default()
-        };
-        run_study("facet", &emitted, &cfg).expect("study runs")
+            })
+            .build()
+            .expect("facet builds")
+            .run()
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use sfr_classify::{judge, GradeConfig, Verdict};
 use sfr_faultsim::System;
-use sfr_netlist::{CycleSim, Logic, NetId, Netlist, NetlistBuilder, u64_to_logic};
+use sfr_netlist::{u64_to_logic, CycleSim, Logic, NetId, Netlist, NetlistBuilder};
 use sfr_power_model::{power_from_activity, PowerReport};
 use sfr_rtl::{elaborate_into, CtrlKind};
 use sfr_tpg::TestSet;

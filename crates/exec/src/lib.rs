@@ -1,0 +1,411 @@
+//! `sfr-exec` — the workspace's parallel execution substrate.
+//!
+//! Fault-simulation campaigns and Monte Carlo power grading are
+//! embarrassingly parallel across faults and batches, and both must
+//! stay *byte-identical* to their serial counterparts at any thread
+//! count (every workspace table regenerates deterministically). This
+//! crate provides the two primitives that make that possible with
+//! nothing beyond `std`:
+//!
+//! * [`par_map_indexed`] — an order-preserving parallel map over an
+//!   index space, built from `std::thread::scope` plus a shared atomic
+//!   work queue. Workers *pull* the next index when they finish one
+//!   (self-scheduling, the classic work-stealing discipline for a
+//!   single shared deque), so imbalanced items — faults detected in
+//!   cycle 2 next to faults that survive a whole session — keep every
+//!   core busy. Results land at their item's index, so the output is
+//!   independent of which worker computed what.
+//! * [`Progress`] — a campaign observer: phase wall times, per-fault
+//!   simulation/drop events, Monte Carlo convergence. The CLI and the
+//!   table/figure binaries subscribe to it; library callers pass
+//!   [`NullProgress`].
+//!
+//! Determinism contract: callers key every random stream by the *work
+//! item* (fault index, batch index — see [`stream_seed`]), never by the
+//! executing thread. The executor only decides *where* an item runs;
+//! the item's inputs, seeds, and output slot are pure functions of its
+//! index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A conservative thread-count default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Derives an independent per-item seed from a base seed and a stream
+/// index (splitmix64 finalizer).
+///
+/// Work items — not threads — own random streams: item `i` always draws
+/// from `stream_seed(base, i)` no matter which worker executes it,
+/// which is what keeps parallel runs byte-identical to serial ones.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD605_0B91_5D2C_EB4F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-preserving parallel map over `0..n`: returns
+/// `vec![f(0), f(1), …, f(n-1)]`, computed on up to `threads` scoped
+/// worker threads pulling indices from a shared atomic queue.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on
+/// the caller's thread — the parallel and serial paths produce the same
+/// vector by construction, because item `i`'s result depends only
+/// on `i`.
+pub fn par_map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A worker that dies (panics) drops its sender; the
+                // receiver loop below notices the missing item count
+                // and the scope re-raises the panic.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        while let Ok((i, r)) = rx.recv() {
+            out[i] = Some(r);
+            received += 1;
+            if received == n {
+                break;
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("worker panicked before delivering its item"))
+            .collect()
+    })
+}
+
+/// Order-preserving parallel map over contiguous chunks of `items`:
+/// the concatenated result equals
+/// `items.chunks(chunk).flat_map(f).collect()`.
+///
+/// Chunk boundaries are fixed by `chunk` alone — never by the thread
+/// count — so engines with batch semantics (the 63-lane fault
+/// simulator) produce identical per-batch behaviour at any parallelism.
+pub fn par_map_chunks<T, R, F>(threads: usize, items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    par_map_indexed(threads, chunks.len(), |i| f(chunks[i]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The pipeline stages an observer can time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Gate-level system construction (controller synthesis +
+    /// datapath elaboration).
+    Build,
+    /// Fault-free golden-trace simulation.
+    Golden,
+    /// Integrated fault-simulation campaign (step 1).
+    FaultSim,
+    /// Controller-table and oracle analysis (steps 3–4).
+    Analyze,
+    /// Monte Carlo power grading of the SFR faults.
+    Grade,
+}
+
+impl Phase {
+    /// A short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Golden => "golden",
+            Phase::FaultSim => "faultsim",
+            Phase::Analyze => "analyze",
+            Phase::Grade => "grade",
+        }
+    }
+}
+
+/// One observable event in a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEvent {
+    /// A pipeline phase began.
+    PhaseStart {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A pipeline phase finished.
+    PhaseDone {
+        /// Which phase.
+        phase: Phase,
+        /// Its wall-clock duration.
+        elapsed: Duration,
+    },
+    /// One fault finished fault simulation. `dropped` is the campaign's
+    /// fault-dropping verdict: a detected fault is dropped from further
+    /// simulation.
+    FaultSimulated {
+        /// Whether the fault was detected (and therefore dropped).
+        dropped: bool,
+    },
+    /// One Monte Carlo power estimation finished.
+    MonteCarlo {
+        /// Batches it took.
+        batches: usize,
+        /// Whether the confidence target was met (vs. hitting the
+        /// batch ceiling).
+        converged: bool,
+    },
+    /// One SFR fault received its power grade.
+    FaultGraded {
+        /// Whether the power test flags the fault.
+        flagged: bool,
+    },
+}
+
+/// A campaign observer. Implementations must be cheap and `Sync`:
+/// events arrive concurrently from worker threads.
+pub trait Progress: Sync {
+    /// Receives one event.
+    fn event(&self, event: ProgressEvent);
+}
+
+/// The do-nothing observer for library callers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl Progress for NullProgress {
+    fn event(&self, _event: ProgressEvent) {}
+}
+
+/// Times one phase: emits [`ProgressEvent::PhaseStart`] on creation and
+/// [`ProgressEvent::PhaseDone`] when finished or dropped.
+pub struct PhaseTimer<'a> {
+    progress: &'a dyn Progress,
+    phase: Phase,
+    start: std::time::Instant,
+    done: bool,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing `phase`.
+    pub fn start(progress: &'a dyn Progress, phase: Phase) -> Self {
+        progress.event(ProgressEvent::PhaseStart { phase });
+        PhaseTimer {
+            progress,
+            phase,
+            start: std::time::Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Ends the phase explicitly (otherwise `Drop` ends it).
+    pub fn finish(mut self) {
+        self.emit();
+    }
+
+    fn emit(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.progress.event(ProgressEvent::PhaseDone {
+                phase: self.phase,
+                elapsed: self.start.elapsed(),
+            });
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.emit();
+    }
+}
+
+/// An observer that accumulates campaign counters and phase wall times
+/// — the numbers the CLI and the bench binaries report.
+#[derive(Debug, Default)]
+pub struct Counters {
+    inner: std::sync::Mutex<CounterState>,
+}
+
+/// Snapshot of [`Counters`].
+#[derive(Debug, Default, Clone)]
+pub struct CounterState {
+    /// Faults that finished fault simulation.
+    pub faults_simulated: usize,
+    /// Of those, how many were detected and dropped.
+    pub faults_dropped: usize,
+    /// Monte Carlo estimations that met their confidence target.
+    pub mc_converged: usize,
+    /// Monte Carlo estimations that hit the batch ceiling instead.
+    pub mc_capped: usize,
+    /// Total Monte Carlo batches simulated.
+    pub mc_batches: usize,
+    /// Faults graded, and how many the power test flagged.
+    pub faults_graded: usize,
+    /// Flagged subset of `faults_graded`.
+    pub faults_flagged: usize,
+    /// Wall time per completed phase, in completion order.
+    pub phase_times: Vec<(Phase, Duration)>,
+}
+
+impl Counters {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// A snapshot of everything observed so far.
+    pub fn snapshot(&self) -> CounterState {
+        self.inner.lock().expect("counter lock").clone()
+    }
+}
+
+impl Progress for Counters {
+    fn event(&self, event: ProgressEvent) {
+        let mut s = self.inner.lock().expect("counter lock");
+        match event {
+            ProgressEvent::PhaseStart { .. } => {}
+            ProgressEvent::PhaseDone { phase, elapsed } => s.phase_times.push((phase, elapsed)),
+            ProgressEvent::FaultSimulated { dropped } => {
+                s.faults_simulated += 1;
+                if dropped {
+                    s.faults_dropped += 1;
+                }
+            }
+            ProgressEvent::MonteCarlo { batches, converged } => {
+                s.mc_batches += batches;
+                if converged {
+                    s.mc_converged += 1;
+                } else {
+                    s.mc_capped += 1;
+                }
+            }
+            ProgressEvent::FaultGraded { flagged } => {
+                s.faults_graded += 1;
+                if flagged {
+                    s.faults_flagged += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let par = par_map_indexed(threads, 97, |i| i * i);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_chunks_matches_flat_serial() {
+        let items: Vec<u32> = (0..200).collect();
+        let serial: Vec<u64> = items
+            .chunks(63)
+            .flat_map(|c| c.iter().map(|&x| u64::from(x) * 3).collect::<Vec<_>>())
+            .collect();
+        for threads in [1, 4] {
+            let par = par_map_chunks(threads, &items, 63, |c| {
+                c.iter().map(|&x| u64::from(x) * 3).collect()
+            });
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_items_all_complete() {
+        // Items with wildly different costs: the shared queue keeps
+        // workers busy and every result lands in its slot.
+        let out = par_map_indexed(4, 40, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_seed_separates_streams() {
+        let a = stream_seed(0xACE1, 0);
+        let b = stream_seed(0xACE1, 1);
+        let c = stream_seed(0xACE2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, stream_seed(0xACE1, 0), "deterministic");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.event(ProgressEvent::FaultSimulated { dropped: true });
+        c.event(ProgressEvent::FaultSimulated { dropped: false });
+        c.event(ProgressEvent::MonteCarlo {
+            batches: 6,
+            converged: true,
+        });
+        c.event(ProgressEvent::FaultGraded { flagged: true });
+        let s = c.snapshot();
+        assert_eq!(s.faults_simulated, 2);
+        assert_eq!(s.faults_dropped, 1);
+        assert_eq!(s.mc_batches, 6);
+        assert_eq!(s.mc_converged, 1);
+        assert_eq!(s.faults_graded, 1);
+        assert_eq!(s.faults_flagged, 1);
+    }
+
+    #[test]
+    fn phase_timer_emits_start_and_done() {
+        let c = Counters::new();
+        PhaseTimer::start(&c, Phase::Build).finish();
+        let s = c.snapshot();
+        assert_eq!(s.phase_times.len(), 1);
+        assert_eq!(s.phase_times[0].0, Phase::Build);
+    }
+}

@@ -1,0 +1,231 @@
+//! Selectable fault-simulation engines behind one trait.
+//!
+//! The three engines — [`SerialEngine`] (one fault at a time),
+//! [`LaneEngine`] (63 faults per machine word), [`ThreadedEngine`]
+//! (63-fault batches sharded across scoped worker threads) — produce
+//! identical verdict vectors for the same inputs. The threaded engine
+//! is outcome-identical to the lane engine *by construction*: batch
+//! boundaries are fixed at [`MAX_PARALLEL_FAULTS`] regardless of thread
+//! count, each batch is an independent simulation, and the executor
+//! reassembles batch results in fault order.
+
+use crate::campaign::{run_parallel, run_serial, CampaignOutcome};
+use crate::golden::GoldenTrace;
+use crate::system::System;
+use sfr_exec::{par_map_indexed, NullProgress, Progress, ProgressEvent};
+use sfr_netlist::{StuckAt, MAX_PARALLEL_FAULTS};
+
+/// A fault-simulation engine: turns a fault list into a verdict per
+/// fault, against one golden trace.
+///
+/// All engines must return outcomes in fault order and agree on every
+/// verdict (see the equivalence tests); they differ only in wall-clock
+/// time.
+pub trait Engine: Sync {
+    /// A short identifier for reports (`"serial"`, `"lane"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the campaign.
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome>;
+
+    /// The worker count this engine represents — downstream per-fault
+    /// stages (controller-table analysis, the symbolic oracle) shard to
+    /// the same width. 1 for the single-threaded engines.
+    fn threads(&self) -> usize {
+        1
+    }
+}
+
+/// One fault at a time — the reference engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialEngine;
+
+impl Engine for SerialEngine {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
+        run_serial(sys, golden, faults)
+    }
+}
+
+/// 63 faults per machine word, single-threaded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneEngine;
+
+impl Engine for LaneEngine {
+    fn name(&self) -> &'static str {
+        "lane"
+    }
+
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
+        run_parallel(sys, golden, faults)
+    }
+}
+
+/// 63-fault batches sharded across scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedEngine {
+    threads: usize,
+}
+
+impl ThreadedEngine {
+    /// An engine using `threads` workers (0 means the machine's
+    /// available parallelism).
+    pub fn new(threads: usize) -> Self {
+        ThreadedEngine {
+            threads: if threads == 0 {
+                sfr_exec::default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+}
+
+impl Engine for ThreadedEngine {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
+        // Batch boundaries match the lane engine exactly; each batch is
+        // an independent `run_parallel` call, so per-batch behaviour
+        // (lane assignment, fault dropping) is untouched by sharding.
+        let batches: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+        par_map_indexed(self.threads, batches.len(), |i| {
+            run_parallel(sys, golden, batches[i])
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Which engine to run — the serializable selector the study API and
+/// the CLI expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// [`SerialEngine`].
+    Serial,
+    /// [`LaneEngine`] (the single-threaded default).
+    #[default]
+    Lane,
+    /// [`ThreadedEngine`] with the given worker count (0 = all cores).
+    Threaded(usize),
+}
+
+impl EngineKind {
+    /// Instantiates the selected engine.
+    pub fn build(self) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Serial => Box::new(SerialEngine),
+            EngineKind::Lane => Box::new(LaneEngine),
+            EngineKind::Threaded(n) => Box::new(ThreadedEngine::new(n)),
+        }
+    }
+
+    /// The selector for a worker count: 0 or 1 workers degenerate to
+    /// the lane engine (same outcomes, no thread overhead).
+    pub fn for_threads(threads: usize) -> Self {
+        if threads == 1 {
+            EngineKind::Lane
+        } else {
+            EngineKind::Threaded(threads)
+        }
+    }
+}
+
+/// Runs a campaign on `engine`, reporting one
+/// [`ProgressEvent::FaultSimulated`] per fault (a detected fault is
+/// dropped from further phases).
+pub fn run_campaign(
+    engine: &dyn Engine,
+    sys: &System,
+    golden: &GoldenTrace,
+    faults: &[StuckAt],
+    progress: &dyn Progress,
+) -> Vec<CampaignOutcome> {
+    let outcomes = engine.run(sys, golden, faults);
+    for o in &outcomes {
+        progress.event(ProgressEvent::FaultSimulated {
+            dropped: o.detection.is_detected(),
+        });
+    }
+    outcomes
+}
+
+/// Convenience wrapper: campaign with no observer.
+pub fn run_with(
+    engine: &dyn Engine,
+    sys: &System,
+    golden: &GoldenTrace,
+    faults: &[StuckAt],
+) -> Vec<CampaignOutcome> {
+    run_campaign(engine, sys, golden, faults, &NullProgress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{golden_trace, RunConfig};
+    use crate::system::tests::toy_system;
+    use sfr_tpg::TestSet;
+
+    fn setup() -> (System, GoldenTrace, Vec<StuckAt>) {
+        let sys = toy_system();
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 120, 0xACE1).unwrap();
+        let golden = golden_trace(&sys, &ts, &RunConfig::default());
+        let faults = sys.controller_faults();
+        (sys, golden, faults)
+    }
+
+    #[test]
+    fn all_three_engines_agree() {
+        let (sys, golden, faults) = setup();
+        let reference = SerialEngine.run(&sys, &golden, &faults);
+        for kind in [
+            EngineKind::Lane,
+            EngineKind::Threaded(2),
+            EngineKind::Threaded(8),
+        ] {
+            let got = kind.build().run(&sys, &golden, &faults);
+            assert_eq!(got, reference, "{kind:?} disagrees with serial");
+        }
+    }
+
+    #[test]
+    fn threaded_is_byte_identical_to_lane_at_any_thread_count() {
+        let (sys, golden, faults) = setup();
+        let lane = LaneEngine.run(&sys, &golden, &faults);
+        for threads in [1, 2, 3, 8] {
+            let threaded = ThreadedEngine::new(threads).run(&sys, &golden, &faults);
+            assert_eq!(threaded, lane, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_threads_degenerates_to_lane_at_one() {
+        assert_eq!(EngineKind::for_threads(1), EngineKind::Lane);
+        assert_eq!(EngineKind::for_threads(4), EngineKind::Threaded(4));
+    }
+
+    #[test]
+    fn campaign_reports_one_event_per_fault() {
+        let (sys, golden, faults) = setup();
+        let counters = sfr_exec::Counters::new();
+        let outcomes = run_campaign(&LaneEngine, &sys, &golden, &faults, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.faults_simulated, faults.len());
+        let detected = outcomes
+            .iter()
+            .filter(|o| o.detection.is_detected())
+            .count();
+        assert_eq!(snap.faults_dropped, detected);
+    }
+}

@@ -101,13 +101,9 @@ pub fn golden_trace(sys: &System, ts: &TestSet, cfg: &RunConfig) -> GoldenTrace 
             sim.eval();
             trace.patterns.push(pat);
             trace.outputs.push(sim.outputs());
-            trace.ctrl.push(
-                sys.ctrl
-                    .output_nets
-                    .iter()
-                    .map(|&n| sim.value(n))
-                    .collect(),
-            );
+            trace
+                .ctrl
+                .push(sys.ctrl.output_nets.iter().map(|&n| sim.value(n)).collect());
             let st = sys.decode_state(&sim);
             trace.states.push(st);
             sim.clock();

@@ -47,9 +47,13 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod engine;
 mod golden;
 mod system;
 
 pub use campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
+pub use engine::{
+    run_campaign, run_with, Engine, EngineKind, LaneEngine, SerialEngine, ThreadedEngine,
+};
 pub use golden::{golden_trace, GoldenTrace, RunConfig, RunSpec};
 pub use system::{System, SystemConfig};

@@ -124,8 +124,7 @@ impl System {
         // Structurally identical standalone controller for exhaustive
         // table analysis. Same synthesis inputs + same prefix ⇒ same
         // gates in the same order.
-        let (ctrl_netlist, ctrl_standalone) =
-            sfr_fsm::synthesize_standalone(&fsm, cfg.fill)?;
+        let (ctrl_netlist, ctrl_standalone) = sfr_fsm::synthesize_standalone(&fsm, cfg.fill)?;
         debug_assert_eq!(
             ctrl_netlist.gate_count(),
             ctrl.gate_range.1 - ctrl.gate_range.0,
@@ -156,7 +155,9 @@ impl System {
                 .then(|| GateId::from_index(g.index() - lo))
         };
         Some(match f.site {
-            sfr_netlist::FaultSite::GateInput { gate, pin } => StuckAt::input(remap(gate)?, pin, f.stuck),
+            sfr_netlist::FaultSite::GateInput { gate, pin } => {
+                StuckAt::input(remap(gate)?, pin, f.stuck)
+            }
             sfr_netlist::FaultSite::GateOutput { gate } => StuckAt::output(remap(gate)?, f.stuck),
             sfr_netlist::FaultSite::PrimaryInput { .. } => return None,
         })

@@ -136,7 +136,9 @@ mod tests {
 
     fn spec(n: usize) -> FsmSpec {
         let mut b = FsmSpecBuilder::new("s", 0, vec!["C".into()]);
-        let states: Vec<StateId> = (0..n).map(|i| b.state(format!("S{i}"), vec![Tri::X])).collect();
+        let states: Vec<StateId> = (0..n)
+            .map(|i| b.state(format!("S{i}"), vec![Tri::X]))
+            .collect();
         for &s in &states {
             b.transition(s, &[], states[0]);
         }

@@ -145,9 +145,7 @@ pub fn synthesize_into(
     let first_gate = b.gate_count();
 
     // State Q nets first; everything reads them.
-    let state_nets: Vec<NetId> = (0..sb)
-        .map(|i| b.net(format!("{prefix}_sb{i}")))
-        .collect();
+    let state_nets: Vec<NetId> = (0..sb).map(|i| b.net(format!("{prefix}_sb{i}"))).collect();
 
     let mut mapper = SopMapper::new();
 
@@ -174,12 +172,9 @@ pub fn synthesize_into(
             let state_bit = s.0; // one-hot: state s is bit s
             for (target, statuses) in by_target {
                 let status_cover = minimize(spec.n_status(), &statuses, &[]);
-                let target_bit = fsm
-                    .code(crate::spec::StateId(target))
-                    .trailing_zeros() as usize;
+                let target_bit = fsm.code(crate::spec::StateId(target)).trailing_zeros() as usize;
                 if status_cover.is_constant_true() {
-                    covers[target_bit]
-                        .push(Cube::new(1u32 << state_bit, 1u32 << state_bit));
+                    covers[target_bit].push(Cube::new(1u32 << state_bit, 1u32 << state_bit));
                     continue;
                 }
                 for sc in status_cover.cubes() {
@@ -332,11 +327,7 @@ mod tests {
     /// A 4-state machine with one status input and a mix of 0/1/X
     /// outputs, exercising branches and don't-cares.
     fn sample_spec() -> FsmSpec {
-        let mut b = FsmSpecBuilder::new(
-            "m",
-            1,
-            vec!["LD1".into(), "LD2".into(), "MS1".into()],
-        );
+        let mut b = FsmSpecBuilder::new("m", 1, vec!["LD1".into(), "LD2".into(), "MS1".into()]);
         let s0 = b.state("RESET", vec![Tri::Zero, Tri::Zero, Tri::X]);
         let s1 = b.state("CS1", vec![Tri::One, Tri::Zero, Tri::Zero]);
         let s2 = b.state("CS2", vec![Tri::Zero, Tri::One, Tri::One]);

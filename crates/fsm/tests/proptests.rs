@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use sfr_fsm::{
-    synthesize_standalone, EncodedFsm, Encoding, FillPolicy, FsmSpec, FsmSpecBuilder, StateId,
-    Tri,
+    synthesize_standalone, EncodedFsm, Encoding, FillPolicy, FsmSpec, FsmSpecBuilder, StateId, Tri,
 };
 use sfr_netlist::{CycleSim, Logic};
 

@@ -254,7 +254,9 @@ impl<'a> BindingBuilder<'a> {
         let mut fu_ops: Vec<Option<FuOp>> = vec![None; self.fu_names.len()];
         let mut busy: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (i, o) in d.ops().iter().enumerate() {
-            let OpKind::Compute(op) = o.kind else { continue };
+            let OpKind::Compute(op) = o.kind else {
+                continue;
+            };
             let f = self.fu_of_op[i].expect("checked above");
             match fu_ops[f] {
                 None => fu_ops[f] = Some(op),
@@ -357,8 +359,7 @@ impl<'a> BindingBuilder<'a> {
         }
 
         // Load steps per register.
-        let mut load_steps: Vec<BTreeSet<usize>> =
-            vec![BTreeSet::new(); self.reg_names.len()];
+        let mut load_steps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.reg_names.len()];
         for o in d.ops() {
             load_steps[reg_of_var[o.dst.0]].insert(o.step);
         }
@@ -385,8 +386,8 @@ impl<'a> BindingBuilder<'a> {
             }
             load_groups.push(group);
         }
-        for r in 0..self.reg_names.len() {
-            if !grouped[r] {
+        for (r, &in_group) in grouped.iter().enumerate() {
+            if !in_group {
                 load_groups.push(vec![r]);
             }
         }

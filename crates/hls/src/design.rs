@@ -248,7 +248,8 @@ impl ScheduledDesign {
             .ops
             .iter()
             .filter(|o| {
-                o.a == Rhs::Var(v) || (o.b == Rhs::Var(v) && matches!(o.kind, OpKind::Compute(op) if op.uses_b()))
+                o.a == Rhs::Var(v)
+                    || (o.b == Rhs::Var(v) && matches!(o.kind, OpKind::Compute(op) if op.uses_b()))
             })
             .map(|o| o.step)
             .collect();

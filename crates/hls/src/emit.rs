@@ -12,7 +12,7 @@ use crate::design::{LoopSpec, OpKind, Rhs, ScheduledDesign};
 use crate::lifespan::{Span, Step};
 use sfr_fsm::{FsmError, FsmSpec, FsmSpecBuilder, StateId, Tri};
 use sfr_rtl::{
-    CtrlId, Datapath, DatapathBuilder, DatapathError, DataSrc, FuId, InputId, MuxId, RegId,
+    CtrlId, DataSrc, Datapath, DatapathBuilder, DatapathError, FuId, InputId, MuxId, RegId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -284,11 +284,21 @@ pub fn emit(design: &ScheduledDesign, binding: &Binding) -> Result<EmittedSystem
     let mut fu_srcs = Vec::with_capacity(fu_count);
     for f in 0..fu_count {
         let plan_a = std::mem::replace(&mut fu_a_plans[f], MuxPlan::new(String::new()));
-        let a = plan_a.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select);
+        let a = plan_a.realize(
+            &mut b,
+            &mut ms_counter,
+            &mut mux_active,
+            &mut required_select,
+        );
         let op = binding.fu_ops()[f];
         let bsrc = if op.uses_b() {
             let plan_b = std::mem::replace(&mut fu_b_plans[f], MuxPlan::new(String::new()));
-            plan_b.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select)
+            plan_b.realize(
+                &mut b,
+                &mut ms_counter,
+                &mut mux_active,
+                &mut required_select,
+            )
         } else {
             DataSrc::Const(0)
         };
@@ -302,7 +312,12 @@ pub fn emit(design: &ScheduledDesign, binding: &Binding) -> Result<EmittedSystem
     // Realize register input muxes and create registers.
     for (r, name) in binding.reg_names().iter().enumerate() {
         let plan = std::mem::replace(&mut reg_plans[r], MuxPlan::new(String::new()));
-        let src = plan.realize(&mut b, &mut ms_counter, &mut mux_active, &mut required_select);
+        let src = plan.realize(
+            &mut b,
+            &mut ms_counter,
+            &mut mux_active,
+            &mut required_select,
+        );
         b.register(name.clone(), load_line_of_group[group_of_reg[r]], src);
     }
 
@@ -462,11 +477,7 @@ mod tests {
         assert_eq!(word[r3.0], Tri::Zero);
         // RESET and HOLD assert nothing.
         for s in [sys.meta.reset_state(), sys.meta.hold_state()] {
-            assert!(sys
-                .fsm
-                .output(s)
-                .iter()
-                .all(|&t| t != Tri::One));
+            assert!(sys.fsm.output(s).iter().all(|&t| t != Tri::One));
         }
     }
 

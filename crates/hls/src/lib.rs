@@ -56,8 +56,8 @@ mod render;
 
 pub use bind::{BindError, Binding, BindingBuilder};
 pub use design::{
-    DesignBuilder, DesignError, LoopSpec, OpId, OpKind, PortId, Rhs, ScheduledDesign,
-    ScheduledOp, VarId,
+    DesignBuilder, DesignError, LoopSpec, OpId, OpKind, PortId, Rhs, ScheduledDesign, ScheduledOp,
+    VarId,
 };
 pub use emit::{emit, DesignMeta, EmitError, EmittedSystem};
 pub use lifespan::{span_for, spans_conflict, Span, SpanContext, Step};

@@ -95,7 +95,10 @@ pub fn span_for(
     if let Some(b) = ctx.loop_start {
         assert!((1..=n).contains(&b), "loop start {b} out of range");
     }
-    assert!(!reads.is_empty() || held, "variable with no reads has no lifespan");
+    assert!(
+        !reads.is_empty() || held,
+        "variable with no reads has no lifespan"
+    );
 
     let mut live: BTreeSet<Step> = BTreeSet::new();
     match ctx.loop_start {

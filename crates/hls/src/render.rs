@@ -66,9 +66,7 @@ pub fn render_lifespans(binding: &Binding, n_steps: usize) -> String {
         for step in 1..=n_steps {
             let writes = binding.spans()[r].iter().any(|s| s.write == step);
             let reads = binding.spans()[r].iter().any(|s| s.reads.contains(&step));
-            let live = binding.spans()[r]
-                .iter()
-                .any(|s| s.live_at(step, n_steps));
+            let live = binding.spans()[r].iter().any(|s| s.live_at(step, n_steps));
             let c = match (writes, reads, live) {
                 (true, _, _) => 'W',
                 (_, true, _) => 'r',
@@ -139,7 +137,10 @@ mod tests {
         d.loop_while(s, true, 1);
         let d = d.finish().unwrap();
         let mut b = BindingBuilder::new(&d);
-        b.bind(acc, "R1").bind(c, "R2").bind_op(a, "ADD1").bind_op(k, "CMP1");
+        b.bind(acc, "R1")
+            .bind(c, "R2")
+            .bind_op(a, "ADD1")
+            .bind_op(k, "CMP1");
         let _ = b.finish().unwrap();
         let text = render_schedule(&d);
         assert!(text.contains("loop: CS2 -> CS1 while c == 1"));

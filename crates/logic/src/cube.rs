@@ -307,10 +307,7 @@ mod tests {
     #[test]
     fn cover_minterms_of_or() {
         // x0 + x1 over 2 vars.
-        let c = Cover::from_cubes(
-            2,
-            vec![Cube::new(0b01, 0b01), Cube::new(0b10, 0b10)],
-        );
+        let c = Cover::from_cubes(2, vec![Cube::new(0b01, 0b01), Cube::new(0b10, 0b10)]);
         assert_eq!(c.minterms(), vec![1, 2, 3]);
         assert_eq!(c.literal_count(), 2);
     }

@@ -23,8 +23,14 @@ pub fn minimize_heuristic(n_vars: usize, on: &[u32], dc: &[u32]) -> Cover {
     assert!(n_vars <= 16, "heuristic minimizer limited to 16 variables");
     let total: u64 = 1 << n_vars;
     let in_range = |m: u32| (m as u64) < total;
-    assert!(on.iter().all(|&m| in_range(m)), "on-set minterm out of range");
-    assert!(dc.iter().all(|&m| in_range(m)), "dc-set minterm out of range");
+    assert!(
+        on.iter().all(|&m| in_range(m)),
+        "on-set minterm out of range"
+    );
+    assert!(
+        dc.iter().all(|&m| in_range(m)),
+        "dc-set minterm out of range"
+    );
 
     let on: BTreeSet<u32> = on.iter().copied().collect();
     if on.is_empty() {
@@ -71,8 +77,8 @@ fn expand(cubes: &mut Vec<Cube>, off: &[u32], n_vars: usize) {
     // Largest cubes first: they absorb the most.
     cubes.sort_by_key(|c| c.literal_count());
     let mut result: Vec<Cube> = Vec::with_capacity(cubes.len());
-    'next: for i in 0..cubes.len() {
-        let mut c = cubes[i];
+    'next: for &cube in cubes.iter() {
+        let mut c = cube;
         for covered in &result {
             if covered.contains(c) {
                 continue 'next;
@@ -102,10 +108,7 @@ fn irredundant(cubes: &mut Vec<Cube>, on: &BTreeSet<u32>) {
         'scan: for i in 0..cubes.len() {
             for &m in on {
                 if cubes[i].covers(m)
-                    && !cubes
-                        .iter()
-                        .enumerate()
-                        .any(|(j, c)| j != i && c.covers(m))
+                    && !cubes.iter().enumerate().any(|(j, c)| j != i && c.covers(m))
                 {
                     continue 'scan; // essential for m
                 }
@@ -129,11 +132,7 @@ fn reduce(cubes: &mut [Cube], on: &BTreeSet<u32>, n_vars: usize) {
             .iter()
             .copied()
             .filter(|&m| {
-                cubes[i].covers(m)
-                    && !cubes
-                        .iter()
-                        .enumerate()
-                        .any(|(j, c)| j != i && c.covers(m))
+                cubes[i].covers(m) && !cubes.iter().enumerate().any(|(j, c)| j != i && c.covers(m))
             })
             .collect();
         if mine.is_empty() {

@@ -50,12 +50,7 @@ impl SopMapper {
 
     /// The complement of `net`, creating (and caching) an inverter on
     /// first use.
-    pub fn inverted(
-        &mut self,
-        b: &mut NetlistBuilder,
-        net: NetId,
-        prefix: &str,
-    ) -> NetId {
+    pub fn inverted(&mut self, b: &mut NetlistBuilder, net: NetId, prefix: &str) -> NetId {
         if let Some(&n) = self.inverted.get(&net) {
             return n;
         }

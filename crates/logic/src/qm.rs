@@ -187,7 +187,12 @@ pub fn minimize(n_vars: usize, on: &[u32], dc: &[u32]) -> Cover {
         return Cover::constant_true(n_vars);
     }
     let primes = prime_implicants(n_vars, on, dc);
-    let on_dedup: Vec<u32> = on.iter().copied().collect::<BTreeSet<_>>().into_iter().collect();
+    let on_dedup: Vec<u32> = on
+        .iter()
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
     let chosen = select_cover(n_vars, &on_dedup, &primes);
     Cover::from_cubes(n_vars, chosen)
 }

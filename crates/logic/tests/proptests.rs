@@ -10,8 +10,12 @@ fn function(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
     let total = 1u64 << n;
     (0..(1u64 << total), 0..(1u64 << total)).prop_map(move |(on_mask, dc_raw)| {
         let dc_mask = dc_raw & !on_mask;
-        let on: Vec<u32> = (0..total as u32).filter(|&m| on_mask >> m & 1 == 1).collect();
-        let dc: Vec<u32> = (0..total as u32).filter(|&m| dc_mask >> m & 1 == 1).collect();
+        let on: Vec<u32> = (0..total as u32)
+            .filter(|&m| on_mask >> m & 1 == 1)
+            .collect();
+        let dc: Vec<u32> = (0..total as u32)
+            .filter(|&m| dc_mask >> m & 1 == 1)
+            .collect();
         (on, dc)
     })
 }

@@ -185,9 +185,9 @@ impl Search<'_> {
     }
 
     fn detected(&self) -> bool {
-        self.observable.iter().any(|&n| {
-            self.good[n.index()].definitely_differs(self.faulty[n.index()])
-        })
+        self.observable
+            .iter()
+            .any(|&n| self.good[n.index()].definitely_differs(self.faulty[n.index()]))
     }
 
     /// The net whose good value must differ from the stuck value for the
@@ -329,8 +329,7 @@ impl Search<'_> {
                 return TestOutcome::Test(self.assignment.clone());
             }
             let next = if self.discrepancy_alive() {
-                self.objective()
-                    .and_then(|(net, v)| self.backtrace(net, v))
+                self.objective().and_then(|(net, v)| self.backtrace(net, v))
             } else {
                 None
             };
@@ -396,7 +395,10 @@ mod tests {
         let nl = consensus();
         let atpg = Atpg::new(&nl);
         let t3 = nl.driver(nl.find_net("t3_o").unwrap()).unwrap();
-        assert_eq!(atpg.generate(StuckAt::output(t3, false)), TestOutcome::Untestable);
+        assert_eq!(
+            atpg.generate(StuckAt::output(t3, false)),
+            TestOutcome::Untestable
+        );
         // But stuck-at-1 on the same node is testable (a=0 c=0 b=1 ...).
         let out = atpg.generate(StuckAt::output(t3, true));
         assert!(out.is_test(), "sa1 should be testable, got {out:?}");

@@ -251,7 +251,7 @@ impl fmt::Display for CellKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     #[test]
     fn arity_matches_eval_expectations() {
@@ -296,15 +296,9 @@ mod tests {
         let vals = [Zero, One, X];
         for a in vals {
             for b in vals {
-                assert_eq!(
-                    CellKind::Nand2.eval(&[a, b]),
-                    !CellKind::And2.eval(&[a, b])
-                );
+                assert_eq!(CellKind::Nand2.eval(&[a, b]), !CellKind::And2.eval(&[a, b]));
                 assert_eq!(CellKind::Nor2.eval(&[a, b]), !CellKind::Or2.eval(&[a, b]));
-                assert_eq!(
-                    CellKind::Xnor2.eval(&[a, b]),
-                    !CellKind::Xor2.eval(&[a, b])
-                );
+                assert_eq!(CellKind::Xnor2.eval(&[a, b]), !CellKind::Xor2.eval(&[a, b]));
             }
         }
     }

@@ -239,10 +239,9 @@ mod tests {
         // faults except those already removed by gate rules; OR input
         // s-a-0 on pin fed by g1_o would otherwise survive, but the net is
         // fanout-free so it collapses to g1 output s-a-0.
-        assert!(collapsed.iter().all(|f| !matches!(
-            f.site,
-            FaultSite::GateInput { .. }
-        )));
+        assert!(collapsed
+            .iter()
+            .all(|f| !matches!(f.site, FaultSite::GateInput { .. })));
     }
 
     #[test]
@@ -260,8 +259,10 @@ mod tests {
         // `shared` has fanout 2, so XOR pin faults survive.
         let xor_pin_faults = collapsed
             .iter()
-            .filter(|f| matches!(f.site, FaultSite::GateInput { gate, .. }
-                if nl.gate(gate).kind() == CellKind::Xor2))
+            .filter(|f| {
+                matches!(f.site, FaultSite::GateInput { gate, .. }
+                if nl.gate(gate).kind() == CellKind::Xor2)
+            })
             .count();
         assert_eq!(xor_pin_faults, 2); // pin 0 sa0 + sa1 (pin 1 is fanout-free)
     }

@@ -298,7 +298,8 @@ impl Netlist {
             .driver(net)
             .map(|g| self.gate(g).kind().output_cap_ff())
             .unwrap_or(WIRE_CAP_BASE_FF); // primary inputs: pad driver
-        let pins: f64 = self.fanout(net)
+        let pins: f64 = self
+            .fanout(net)
             .iter()
             .map(|&(g, _)| self.gate(g).kind().input_cap_ff())
             .sum();
@@ -375,7 +376,8 @@ impl NetlistBuilder {
         let name = name.into();
         let id = NetId(self.nets.len() as u32);
         if self.net_names.contains_key(&name) {
-            self.errors.push(NetlistError::DuplicateNetName { net: name.clone() });
+            self.errors
+                .push(NetlistError::DuplicateNetName { net: name.clone() });
         }
         self.net_names.insert(name.clone(), id);
         self.nets.push(Net { name });
@@ -422,12 +424,7 @@ impl NetlistBuilder {
 
     /// Convenience: declares a fresh net named `name` and drives it with a
     /// new gate, returning the net.
-    pub fn gate_net(
-        &mut self,
-        kind: CellKind,
-        name: impl Into<String>,
-        inputs: &[NetId],
-    ) -> NetId {
+    pub fn gate_net(&mut self, kind: CellKind, name: impl Into<String>, inputs: &[NetId]) -> NetId {
         let name = name.into();
         let out = self.net(format!("{name}_o"));
         self.gate(kind, name, inputs, out);
@@ -520,7 +517,11 @@ impl NetlistBuilder {
             }
         }
 
-        let comb_count = self.gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        let comb_count = self
+            .gates
+            .iter()
+            .filter(|g| !g.kind.is_sequential())
+            .count();
         if topo.len() != comb_count {
             // Some combinational gate never reached indegree 0: find one.
             let stuck = (0..self.gates.len())

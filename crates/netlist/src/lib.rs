@@ -66,8 +66,8 @@ mod vcd;
 mod verilog;
 
 pub use atpg::{Atpg, TestOutcome};
-pub use esim::EventSim;
 pub use cell::{CellKind, ALL_CELL_KINDS};
+pub use esim::EventSim;
 pub use fault::{FaultSite, StuckAt};
 pub use graph::{
     Gate, GateId, Net, NetId, Netlist, NetlistBuilder, NetlistError, WIRE_CAP_BASE_FF,

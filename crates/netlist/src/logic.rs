@@ -167,9 +167,8 @@ impl BitXor for Logic {
 pub fn logic_to_u64(bits: &[Logic]) -> Option<u64> {
     let mut v = 0u64;
     for (i, b) in bits.iter().enumerate() {
-        match b.to_bool()? {
-            true => v |= 1 << i,
-            false => {}
+        if b.to_bool()? {
+            v |= 1 << i;
         }
     }
     Some(v)
@@ -186,7 +185,9 @@ pub fn logic_to_u64(bits: &[Logic]) -> Option<u64> {
 /// assert_eq!(u64_to_logic(5, 3), vec![Logic::One, Logic::Zero, Logic::One]);
 /// ```
 pub fn u64_to_logic(value: u64, width: usize) -> Vec<Logic> {
-    (0..width).map(|i| Logic::from_bool(value >> i & 1 == 1)).collect()
+    (0..width)
+        .map(|i| Logic::from_bool(value >> i & 1 == 1))
+        .collect()
 }
 
 #[cfg(test)]

@@ -91,6 +91,7 @@ impl PatVec {
 
     /// Lane-wise NOT.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> PatVec {
         PatVec {
             lo: self.hi,
@@ -160,16 +161,8 @@ fn eval_cell(kind: crate::cell::CellKind, ins: &[PatVec]) -> PatVec {
         Inv => ins[0].not(),
         And2 | And3 | And4 => ins.iter().copied().fold(PatVec::ALL_ONE, PatVec::and),
         Or2 | Or3 | Or4 => ins.iter().copied().fold(PatVec::ALL_ZERO, PatVec::or),
-        Nand2 | Nand3 | Nand4 => ins
-            .iter()
-            .copied()
-            .fold(PatVec::ALL_ONE, PatVec::and)
-            .not(),
-        Nor2 | Nor3 | Nor4 => ins
-            .iter()
-            .copied()
-            .fold(PatVec::ALL_ZERO, PatVec::or)
-            .not(),
+        Nand2 | Nand3 | Nand4 => ins.iter().copied().fold(PatVec::ALL_ONE, PatVec::and).not(),
+        Nor2 | Nor3 | Nor4 => ins.iter().copied().fold(PatVec::ALL_ZERO, PatVec::or).not(),
         Xor2 => ins[0].xor(ins[1]),
         Xnor2 => ins[0].xor(ins[1]).not(),
         Mux2 => PatVec::mux(ins[0], ins[1], ins[2]),
@@ -434,7 +427,7 @@ mod tests {
     use crate::cell::CellKind;
     use crate::graph::NetlistBuilder;
     use crate::sim::CycleSim;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     #[test]
     fn patvec_lane_round_trip() {

@@ -318,7 +318,7 @@ mod tests {
     use super::*;
     use crate::cell::CellKind;
     use crate::graph::NetlistBuilder;
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     /// 1-bit register with enable feeding an inverter.
     fn regbit() -> Netlist {

@@ -1,9 +1,7 @@
 //! Property-based tests of the gate-level simulators.
 
 use proptest::prelude::*;
-use sfr_netlist::{
-    CellKind, CycleSim, Logic, Netlist, NetlistBuilder, ParallelFaultSim, StuckAt,
-};
+use sfr_netlist::{CellKind, CycleSim, Logic, Netlist, NetlistBuilder, ParallelFaultSim, StuckAt};
 
 /// A fixed small sequential circuit with reconvergent fanout and a
 /// gated register — rich enough to exercise every simulator path.
@@ -176,8 +174,7 @@ fn random_comb(seed: u64) -> Netlist {
         s
     };
     let mut b = NetlistBuilder::new("rand");
-    let mut nets: Vec<sfr_netlist::NetId> =
-        (0..4).map(|i| b.input(format!("i{i}"))).collect();
+    let mut nets: Vec<sfr_netlist::NetId> = (0..4).map(|i| b.input(format!("i{i}"))).collect();
     let kinds = [
         CellKind::And2,
         CellKind::Or2,
@@ -192,9 +189,8 @@ fn random_comb(seed: u64) -> Netlist {
         let pick = |n: &mut dyn FnMut() -> u64, nets: &[sfr_netlist::NetId]| {
             nets[(n() % nets.len() as u64) as usize]
         };
-        let ins: Vec<sfr_netlist::NetId> = (0..kind.arity())
-            .map(|_| pick(&mut next, &nets))
-            .collect();
+        let ins: Vec<sfr_netlist::NetId> =
+            (0..kind.arity()).map(|_| pick(&mut next, &nets)).collect();
         let out = b.gate_net(kind, format!("g{g}"), &ins);
         nets.push(out);
     }

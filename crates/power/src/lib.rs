@@ -52,5 +52,5 @@ mod montecarlo;
 mod variation;
 
 pub use energy::{power_from_activity, power_from_activity_where, PowerConfig, PowerReport};
-pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloResult};
+pub use montecarlo::{run_monte_carlo, run_monte_carlo_par, MonteCarloConfig, MonteCarloResult};
 pub use variation::{PowerPopulation, VariationModel};

@@ -121,8 +121,7 @@ impl PowerPopulation {
             .map(|&s| (100.0 * (s - self.nominal_uw) / self.nominal_uw).abs())
             .collect();
         devs.sort_by(f64::total_cmp);
-        let idx = ((devs.len() as f64 * keep_fraction).ceil() as usize)
-            .clamp(1, devs.len());
+        let idx = ((devs.len() as f64 * keep_fraction).ceil() as usize).clamp(1, devs.len());
         devs[idx - 1]
     }
 
@@ -207,11 +206,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn rejects_tiny_populations() {
-        let _ = VariationModel::default().sample_population(
-            &nominal(),
-            &PowerConfig::default(),
-            1,
-            1,
-        );
+        let _ =
+            VariationModel::default().sample_population(&nominal(), &PowerConfig::default(), 1, 1);
     }
 }

@@ -88,7 +88,11 @@ impl FuOp {
     /// assert_eq!(FuOp::Pass.apply(7, 0, 4), 7);
     /// ```
     pub fn apply(self, a: u64, b: u64, width: usize) -> u64 {
-        let m = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let m = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let r = match self {
             FuOp::Add => a.wrapping_add(b),
             FuOp::Sub => a.wrapping_sub(b),

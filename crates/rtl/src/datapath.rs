@@ -179,7 +179,10 @@ impl fmt::Display for DatapathError {
                 write!(f, "combinational cycle through {at}")
             }
             DatapathError::CtrlKindMismatch { ctrl, expected } => {
-                write!(f, "control line {ctrl} used as {expected} but declared otherwise")
+                write!(
+                    f,
+                    "control line {ctrl} used as {expected} but declared otherwise"
+                )
             }
             DatapathError::UnusedCtrl { name } => {
                 write!(f, "control line `{name}` is never used")
@@ -272,10 +275,7 @@ impl Datapath {
 
     /// Looks up a control line by name.
     pub fn find_ctrl(&self, name: &str) -> Option<CtrlId> {
-        self.control
-            .iter()
-            .position(|c| c.name == name)
-            .map(CtrlId)
+        self.control.iter().position(|c| c.name == name).map(CtrlId)
     }
 
     /// The registers gated by a given load line (possibly several — load
@@ -332,15 +332,11 @@ impl Datapath {
                 };
                 for d in deps {
                     match d {
-                        DataSrc::Mux(MuxId(i)) => {
-                            if !seen.contains(&CombId::Mux(i)) {
-                                stack.push((CombId::Mux(i), false));
-                            }
+                        DataSrc::Mux(MuxId(i)) if !seen.contains(&CombId::Mux(i)) => {
+                            stack.push((CombId::Mux(i), false));
                         }
-                        DataSrc::Fu(FuId(i)) => {
-                            if !seen.contains(&CombId::Fu(i)) {
-                                stack.push((CombId::Fu(i), false));
-                            }
+                        DataSrc::Fu(FuId(i)) if !seen.contains(&CombId::Fu(i)) => {
+                            stack.push((CombId::Fu(i), false));
                         }
                         _ => {}
                     }
@@ -490,7 +486,11 @@ impl DatapathBuilder {
                 DataSrc::Mux(MuxId(i)) => i < dp.muxes.len(),
                 DataSrc::Fu(FuId(i)) => i < dp.fus.len(),
                 DataSrc::Const(v) => {
-                    let m = if dp.width >= 64 { u64::MAX } else { (1 << dp.width) - 1 };
+                    let m = if dp.width >= 64 {
+                        u64::MAX
+                    } else {
+                        (1 << dp.width) - 1
+                    };
                     if v & !m != 0 {
                         return Err(DatapathError::ConstTooWide { value: v });
                     }

@@ -55,7 +55,11 @@ impl DataDomain for ConcreteDomain {
     type Value = Option<u64>;
 
     fn constant(&mut self, v: u64) -> Option<u64> {
-        let m = if self.width >= 64 { u64::MAX } else { (1 << self.width) - 1 };
+        let m = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
         Some(v & m)
     }
 
@@ -188,11 +192,7 @@ impl SymbolicDomain {
 
     /// Evaluates an expression with concrete input assignments
     /// (`inputs[(port, time)]`); unknowns evaluate to `None`.
-    pub fn eval(
-        &self,
-        id: ExprId,
-        inputs: &HashMap<(InputId, u64), u64>,
-    ) -> Option<u64> {
+    pub fn eval(&self, id: ExprId, inputs: &HashMap<(InputId, u64), u64>) -> Option<u64> {
         match self.node(id) {
             Expr::Const(c) => Some(c),
             Expr::Input { port, time } => inputs.get(&(port, time)).copied(),
@@ -214,7 +214,11 @@ impl DataDomain for SymbolicDomain {
     type Value = ExprId;
 
     fn constant(&mut self, v: u64) -> ExprId {
-        let m = if self.width >= 64 { u64::MAX } else { (1 << self.width) - 1 };
+        let m = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
         self.mk(Expr::Const(v & m))
     }
 

@@ -120,11 +120,7 @@ impl<'a, D: DataDomain> DatapathSim<'a, D> {
 
     /// Settles the network and returns every component's value, indexed
     /// for muxes and FUs.
-    fn settle(
-        &mut self,
-        ctrl: &[Logic],
-        inputs: &[D::Value],
-    ) -> (Vec<D::Value>, Vec<D::Value>) {
+    fn settle(&mut self, ctrl: &[Logic], inputs: &[D::Value]) -> (Vec<D::Value>, Vec<D::Value>) {
         assert_eq!(
             ctrl.len(),
             self.dp.control_width(),
@@ -155,8 +151,14 @@ impl<'a, D: DataDomain> DatapathSim<'a, D> {
             }
         }
         (
-            mux_vals.into_iter().map(|v| v.expect("topo complete")).collect(),
-            fu_vals.into_iter().map(|v| v.expect("topo complete")).collect(),
+            mux_vals
+                .into_iter()
+                .map(|v| v.expect("topo complete"))
+                .collect(),
+            fu_vals
+                .into_iter()
+                .map(|v| v.expect("topo complete"))
+                .collect(),
         )
     }
 
@@ -291,7 +293,7 @@ mod tests {
     use crate::component::{DataSrc, FuOp, RegId};
     use crate::datapath::DatapathBuilder;
     use crate::domain::{ConcreteDomain, SymbolicDomain};
-    use Logic::{One, X, Zero};
+    use Logic::{One, Zero, X};
 
     /// mux(x,y) -> add z -> R1; R1 -> out; lt(R1, z) -> status.
     fn block() -> crate::datapath::Datapath {
@@ -355,7 +357,7 @@ mod tests {
         let dp = block();
         let mut sim = DatapathSim::new(&dp, ConcreteDomain::new(4));
         sim.step(&[Zero, One], &[Some(3), Some(0), Some(2)]); // r = 5
-        // X load with incoming 5 (3 + 2 again): survives.
+                                                              // X load with incoming 5 (3 + 2 again): survives.
         sim.step(&[Zero, X], &[Some(3), Some(0), Some(2)]);
         let r = sim.step(&[Zero, Zero], &[Some(0), Some(0), Some(0)]);
         assert_eq!(r.outputs, vec![Some(5)]);
@@ -407,10 +409,14 @@ mod tests {
         // Run the same control trace twice in two sims with a shared
         // symbol convention: expressions must match id-for-id when using
         // the same domain.
-        let inputs_t0: Vec<_> = (0..3).map(|p| a.domain_mut().input(InputId(p), 0)).collect();
+        let inputs_t0: Vec<_> = (0..3)
+            .map(|p| a.domain_mut().input(InputId(p), 0))
+            .collect();
         let r1 = a.step(&[Zero, One], &inputs_t0);
         let mut b = DatapathSim::new(&dp, SymbolicDomain::new(4));
-        let inputs_t0b: Vec<_> = (0..3).map(|p| b.domain_mut().input(InputId(p), 0)).collect();
+        let inputs_t0b: Vec<_> = (0..3)
+            .map(|p| b.domain_mut().input(InputId(p), 0))
+            .collect();
         let r2 = b.step(&[Zero, One], &inputs_t0b);
         // Output is still the initial unknown (different unknown ids), but
         // statuses and subsequent loads derive from inputs identically.

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use sfr_netlist::{logic_to_u64, u64_to_logic, CycleSim, Logic, NetlistBuilder};
 use sfr_rtl::{
-    elaborate_into, ConcreteDomain, Datapath, DatapathBuilder, DatapathSim, DataSrc, FuOp,
-    InputId, RegId, SymbolicDomain,
+    elaborate_into, ConcreteDomain, DataSrc, Datapath, DatapathBuilder, DatapathSim, FuOp, InputId,
+    RegId, SymbolicDomain,
 };
 use std::collections::HashMap;
 

@@ -100,8 +100,16 @@ impl Lfsr {
         if !(2..=32).contains(&width) {
             return Err(UnsupportedWidthError { width });
         }
-        let taps = if width == 32 { 0x8020_0003 } else { TAPS[width - 2] };
-        let m = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let taps = if width == 32 {
+            0x8020_0003
+        } else {
+            TAPS[width - 2]
+        };
+        let m = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         let mut state = seed & m;
         if state == 0 {
             state = 1;

@@ -64,7 +64,11 @@ impl TestSet {
     ///
     /// Panics if any pattern does not fit in `width` bits.
     pub fn from_patterns(width: usize, patterns: Vec<u64>) -> Self {
-        let m = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let m = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         assert!(
             patterns.iter().all(|&p| p & !m == 0),
             "pattern wider than {width} bits"

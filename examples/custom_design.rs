@@ -13,11 +13,11 @@
 //! cargo run --release --example custom_design
 //! ```
 
+use sfr_power::ScheduledDesign;
 use sfr_power::{
     classify_system, emit, BindingBuilder, ClassifyConfig, DesignBuilder, FuOp, Rhs, System,
     SystemConfig,
 };
-use sfr_power::ScheduledDesign;
 
 /// acc-style design: CS1 sample a,b,k; CS2 p = a*b; CS3 q = p + k;
 /// CS4 r = q * a; CS5 o = r + q.
@@ -46,9 +46,7 @@ fn design() -> ScheduledDesign {
 
 fn classify(name: &str, reg_rich: bool) -> Result<(), Box<dyn std::error::Error>> {
     let d = design();
-    let var = |n: &str| {
-        sfr_power::VarId(d.vars().iter().position(|v| v == n).expect("var exists"))
-    };
+    let var = |n: &str| sfr_power::VarId(d.vars().iter().position(|v| v == n).expect("var exists"));
     let op_of = |dst: &str| {
         sfr_power::OpId(
             d.ops()

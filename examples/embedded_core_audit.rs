@@ -17,19 +17,14 @@
 //! cargo run --release --example embedded_core_audit
 //! ```
 
-use sfr_power::{
-    benchmarks, describe_effect, run_study, ClassifyConfig, FaultClass, GradeConfig,
-    MonteCarloConfig, StudyConfig,
-};
+use sfr_power::{describe_effect, FaultClass, GradeConfig, MonteCarloConfig, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let emitted = benchmarks::diffeq(4)?;
-    let cfg = StudyConfig {
-        classify: ClassifyConfig {
-            test_patterns: 1200,
-            ..Default::default()
-        },
-        grade: GradeConfig {
+    eprintln!("auditing the diffeq core (classification + per-fault power)...");
+    let study = StudyBuilder::new("diffeq")
+        .width(4)
+        .test_patterns(1200)
+        .grade_config(GradeConfig {
             mc: MonteCarloConfig {
                 rel_tolerance: 0.02,
                 min_batches: 4,
@@ -37,11 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             patterns_per_batch: 160,
             ..Default::default()
-        },
-        ..Default::default()
-    };
-    eprintln!("auditing the diffeq core (classification + per-fault power)...");
-    let study = run_study("diffeq", &emitted, &cfg)?;
+        })
+        .threads(2)
+        .build()?
+        .run();
     let c = &study.classification;
 
     println!("== integrated test coverage ==");
@@ -116,12 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clock_uw: 0.0,
         cycles: 0,
     };
-    let pop = model.sample_population(
-        &nominal,
-        &sfr_power::PowerConfig::default(),
-        20_000,
-        0xFAB,
-    );
+    let pop = model.sample_population(&nominal, &sfr_power::PowerConfig::default(), 20_000, 0xFAB);
     println!(
         "simulated fab population (cap σ {:.1}%, Vdd σ {:.1}%): worst good-part deviation {:.2}%",
         100.0 * model.cap_sigma,
@@ -149,7 +138,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let fault = study.sfr_faults()[idx];
         let ts = sfr_power::TestSet::pseudorandom(study.system.pattern_width(), 480, 0xACE1)?;
-        let run = sfr_power::RunConfig { max_cycles_per_run: 64, hold_cycles: 2 };
+        let run = sfr_power::RunConfig {
+            max_cycles_per_run: 64,
+            hold_cycles: 2,
+        };
         let pcfg = sfr_power::PowerConfig::default();
         let base = sfr_power::measure_breakdown(&study.system, None, &ts, &run, &pcfg);
         let faulty = sfr_power::measure_breakdown(&study.system, Some(fault), &ts, &run, &pcfg);

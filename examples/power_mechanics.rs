@@ -15,11 +15,11 @@
 //! cargo run --release --example power_mechanics
 //! ```
 
+use sfr_power::elaborate_into;
 use sfr_power::{
-    power_from_activity, u64_to_logic, CycleSim, DatapathBuilder, DataSrc, FuOp, Logic,
+    power_from_activity, u64_to_logic, CycleSim, DataSrc, DatapathBuilder, FuOp, Logic,
     NetlistBuilder, PowerConfig, PowerReport,
 };
-use sfr_power::elaborate_into;
 
 /// Simulates the block for `cycles` cycles with the given control
 /// function and returns its power.
@@ -68,7 +68,11 @@ fn measure(
         all.push(Logic::from_bool(load));
         sim.step(&all);
     }
-    Ok(power_from_activity(&nl, sim.activity(), &PowerConfig::default()))
+    Ok(power_from_activity(
+        &nl,
+        sim.activity(),
+        &PowerConfig::default(),
+    ))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

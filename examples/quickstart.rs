@@ -5,42 +5,29 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sfr_power::{
-    benchmarks, run_study, ClassifyConfig, GradeConfig, MonteCarloConfig, StudyConfig,
-};
+use sfr_power::{MonteCarloConfig, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Build the paper's polynomial evaluator (a·x³ + b·x² + c·x + d) at
-    // 4 bits, exactly as its evaluation section does.
-    let emitted = benchmarks::poly(4)?;
-
-    // A moderate configuration: 1200-pattern TPGR detection (the paper's
-    // test-set size), Monte Carlo power to ~2% confidence.
-    let cfg = StudyConfig {
-        classify: ClassifyConfig {
-            test_patterns: 1200,
-            ..Default::default()
-        },
-        grade: GradeConfig {
-            mc: MonteCarloConfig {
-                rel_tolerance: 0.02,
-                min_batches: 4,
-                max_batches: 30,
-            },
-            patterns_per_batch: 120,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
-
-    let study = run_study("poly", &emitted, &cfg)?;
+    // Study the paper's polynomial evaluator (a·x³ + b·x² + c·x + d) at
+    // 4 bits, exactly as its evaluation section does: 1200-pattern TPGR
+    // detection (the paper's test-set size), Monte Carlo power to ~2%
+    // confidence. Two worker threads; any thread count gives the same
+    // numbers.
+    let study = StudyBuilder::new("poly")
+        .width(4)
+        .test_patterns(1200)
+        .monte_carlo(MonteCarloConfig {
+            rel_tolerance: 0.02,
+            min_batches: 4,
+            max_batches: 30,
+        })
+        .threads(2)
+        .build()?
+        .run();
 
     let c = &study.classification;
     println!("controller fault universe : {} stuck-at faults", c.total());
-    println!(
-        "  SFI (integrated-test detectable) : {}",
-        c.sfi_count()
-    );
+    println!("  SFI (integrated-test detectable) : {}", c.sfi_count());
     println!("  CFR (controller-redundant)      : {}", c.cfr_count());
     println!(
         "  SFR (UNDETECTABLE by any I/O test): {} ({:.1}%)",
@@ -58,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {fault:<14} {:>9.2} uW  {:>+7.2}%  {}",
             grade.mean_uw,
             grade.pct_change,
-            if grade.flagged { "DETECTED by power analysis" } else { "inside band" }
+            if grade.flagged {
+                "DETECTED by power analysis"
+            } else {
+                "inside band"
+            }
         );
     }
     println!();

@@ -1,39 +1,70 @@
 //! `sfr` — command-line front end for the sfr-power workspace.
 //!
 //! ```text
-//! sfr classify    <benchmark> [--width N] [--patterns N]
-//! sfr grade       <benchmark> [--width N] [--threshold PCT]
+//! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]
+//! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]
 //! sfr stats       <benchmark> [--width N]
 //! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
 //! sfr verilog     <benchmark> [--width N] [--out FILE]
-//! sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE]
-//! sfr table2      [--patterns N]
+//! sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]
+//! sfr table2      [--patterns N] [--threads N]
 //! ```
 //!
 //! `<benchmark>` is one of `diffeq`, `facet`, `poly`, `fir`.
+//!
+//! `--threads N` shards fault simulation and Monte Carlo power grading
+//! across N worker threads (0 = all cores); results are byte-identical
+//! at every thread count. A campaign summary — faults simulated and
+//! dropped, Monte Carlo convergence, wall time per phase — is printed
+//! to stderr.
 //!
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
 
+use sfr_power::exec::{Counters, EngineKind};
 use sfr_power::{
-    benchmarks, classify_system, describe_effect, grade_faults, ClassifyConfig, EmittedSystem,
-    FaultClass, GradeConfig, Logic, StuckAt, System, SystemConfig,
+    benchmarks, classify_system_with, describe_effect, grade_faults_with, ClassifyConfig,
+    EmittedSystem, FaultClass, GradeConfig, Logic, StuckAt, StudyBuilder, System, SystemConfig,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N]\n  \
-         sfr grade       <benchmark> [--width N] [--threshold PCT]\n  \
+        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]\n  \
+         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]\n  \
          sfr stats       <benchmark> [--width N]\n  \
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
-         sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE]\n  \
-         sfr table2      [--patterns N]\n\
+         sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]\n  \
+         sfr table2      [--patterns N] [--threads N]\n\
          benchmarks: diffeq | facet | poly | fir"
     );
     ExitCode::FAILURE
+}
+
+/// Renders a campaign summary (the [`Counters`] snapshot) to stderr.
+fn report_counters(counters: &Counters) {
+    let s = counters.snapshot();
+    if s.faults_simulated > 0 {
+        eprintln!(
+            "campaign: {} faults simulated, {} dropped by detection",
+            s.faults_simulated, s.faults_dropped
+        );
+    }
+    if s.mc_converged + s.mc_capped > 0 {
+        eprintln!(
+            "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
+            s.mc_converged, s.mc_capped, s.mc_batches
+        );
+    }
+    for (phase, elapsed) in &s.phase_times {
+        eprintln!(
+            "phase {:<8} {:>8.1} ms",
+            phase.label(),
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
 }
 
 /// Minimal `--key value` argument scanner.
@@ -70,7 +101,9 @@ fn build_bench(name: &str, width: usize) -> Result<EmittedSystem, String> {
         "facet" => benchmarks::facet(width).map_err(|e| e.to_string()),
         "poly" => benchmarks::poly(width).map_err(|e| e.to_string()),
         "fir" => benchmarks::fir(width).map_err(|e| e.to_string()),
-        other => Err(format!("unknown benchmark `{other}` (diffeq|facet|poly|fir)")),
+        other => Err(format!(
+            "unknown benchmark `{other}` (diffeq|facet|poly|fir)"
+        )),
     }
 }
 
@@ -106,6 +139,16 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --threshold"))
         .transpose()?
         .unwrap_or(5.0);
+    let threads: usize = args
+        .flag("--threads")
+        .map(|s| s.parse().map_err(|_| "bad --threads"))
+        .transpose()?
+        .unwrap_or(1);
+    let engine = EngineKind::for_threads(if threads == 0 {
+        sfr_power::exec::default_threads()
+    } else {
+        threads
+    });
     let fault_spec = args.flag("--fault");
     let out_file = args.flag("--out");
 
@@ -113,15 +156,19 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "classify" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys = System::build(&emitted, SystemConfig::default())
-                .map_err(|e| e.to_string())?;
-            let c = classify_system(
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
+            let counters = Counters::new();
+            let c = classify_system_with(
                 &sys,
                 &ClassifyConfig {
                     test_patterns: patterns,
                     ..Default::default()
                 },
+                engine.build().as_ref(),
+                &counters,
             );
+            report_counters(&counters);
             println!(
                 "{name} (width {width}): {} controller faults — {} SFI, {} CFR, {} SFR ({:.1}%)",
                 c.total(),
@@ -131,11 +178,8 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 c.percent_sfr()
             );
             for f in c.sfr() {
-                let effects: Vec<String> = f
-                    .effects
-                    .iter()
-                    .map(|e| describe_effect(&sys, e))
-                    .collect();
+                let effects: Vec<String> =
+                    f.effects.iter().map(|e| describe_effect(&sys, e)).collect();
                 println!("  SFR {:<14} {}", f.fault.to_string(), effects.join("; "));
             }
             Ok(())
@@ -143,22 +187,29 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "grade" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys = System::build(&emitted, SystemConfig::default())
-                .map_err(|e| e.to_string())?;
-            let c = classify_system(
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
+            let counters = Counters::new();
+            let c = classify_system_with(
                 &sys,
                 &ClassifyConfig {
                     test_patterns: patterns,
                     ..Default::default()
                 },
+                engine.build().as_ref(),
+                &counters,
             );
             let sfr: Vec<StuckAt> = c.sfr().map(|f| f.fault).collect();
             let cfg = GradeConfig {
                 threshold_pct: threshold,
                 ..Default::default()
             };
-            eprintln!("grading {} SFR faults by Monte Carlo power...", sfr.len());
-            let (base, grades) = grade_faults(&sys, &sfr, &cfg);
+            eprintln!(
+                "grading {} SFR faults by Monte Carlo power on {threads} thread(s)...",
+                sfr.len()
+            );
+            let (base, grades) = grade_faults_with(&sys, &sfr, &cfg, threads, &counters);
+            report_counters(&counters);
             println!(
                 "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
                 base.mean_uw
@@ -176,14 +227,17 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     if g.flagged { "DETECTED" } else { "" }
                 );
             }
-            println!("{flagged}/{} undetectable faults flagged by power", grades.len());
+            println!(
+                "{flagged}/{} undetectable faults flagged by power",
+                grades.len()
+            );
             Ok(())
         }
         "stats" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys = System::build(&emitted, SystemConfig::default())
-                .map_err(|e| e.to_string())?;
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
             println!("{name} (width {width}) — integrated system:");
             print!("{}", sfr_netlist_stats(&sys.netlist));
             println!("controller alone:");
@@ -197,8 +251,8 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "vcd" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys = System::build(&emitted, SystemConfig::default())
-                .map_err(|e| e.to_string())?;
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
             let fault = match fault_spec {
                 Some(spec) => Some(parse_fault(&sys, &spec)?),
                 None => None,
@@ -231,8 +285,8 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "verilog" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys = System::build(&emitted, SystemConfig::default())
-                .map_err(|e| e.to_string())?;
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
             let path = out_file.unwrap_or_else(|| format!("{name}.v"));
             let mut text = Vec::new();
             sfr_power::write_cell_library(&mut text).map_err(|e| e.to_string())?;
@@ -249,18 +303,14 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
             eprintln!("running the full study (classification + power grading)...");
-            let study = sfr_power::run_study(
-                &name,
-                &emitted,
-                &sfr_power::StudyConfig {
-                    classify: sfr_power::ClassifyConfig {
-                        test_patterns: patterns,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                },
-            )
-            .map_err(|e| e.to_string())?;
+            let counters = Counters::new();
+            let study = StudyBuilder::from_emitted(&name, emitted)
+                .test_patterns(patterns)
+                .threads(threads)
+                .build()
+                .map_err(|e| e.to_string())?
+                .run_with(&counters);
+            report_counters(&counters);
             let prog = sfr_power::generate_test_program(
                 &study,
                 &sfr_power::TestProgramConfig {
@@ -286,14 +336,16 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "table2" => {
             for name in ["diffeq", "facet", "poly"] {
                 let emitted = build_bench(name, width)?;
-                let sys = System::build(&emitted, SystemConfig::default())
-                    .map_err(|e| e.to_string())?;
-                let c = classify_system(
+                let sys =
+                    System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
+                let c = classify_system_with(
                     &sys,
                     &ClassifyConfig {
                         test_patterns: patterns,
                         ..Default::default()
                     },
+                    engine.build().as_ref(),
+                    &sfr_power::exec::NullProgress,
                 );
                 println!(
                     "{name:<8} {:>5} faults  {:>4} SFR  {:>5.1}%",

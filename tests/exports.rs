@@ -2,8 +2,8 @@
 //! waveforms, netlist statistics, and classification CSV.
 
 use sfr_power::{
-    benchmarks, classify_system, critical_path, run_study, ClassifyConfig, CycleSim, GradeConfig,
-    Logic, MonteCarloConfig, NetlistStats, StudyConfig, System, SystemConfig, VcdRecorder,
+    benchmarks, classify_system, critical_path, ClassifyConfig, CycleSim, GradeConfig, Logic,
+    MonteCarloConfig, NetlistStats, StudyBuilder, StudyConfig, System, SystemConfig, VcdRecorder,
 };
 
 fn facet() -> System {
@@ -22,7 +22,11 @@ fn verilog_export_is_structurally_complete() {
     // Every primary output appears in the port list.
     let header = text.lines().nth(1).unwrap();
     for &o in sys.netlist.outputs() {
-        let n = sys.netlist.net(o).name().replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_");
+        let n = sys
+            .netlist
+            .net(o)
+            .name()
+            .replace(|c: char| !c.is_ascii_alphanumeric() && c != '_', "_");
         assert!(header.contains(&format!("n_{n}")), "missing port for {n}");
     }
     // And the cell library defines everything referenced.
@@ -94,7 +98,11 @@ fn classification_csv_round_trips_counts() {
         },
         ..Default::default()
     };
-    let study = run_study("facet", &emitted, &cfg).unwrap();
+    let study = StudyBuilder::from_emitted("facet", emitted)
+        .config(cfg)
+        .build()
+        .unwrap()
+        .run();
     let csv = sfr_power::render_classification_csv(&study);
     let rows = csv.lines().count() - 1;
     assert_eq!(rows, study.classification.total());

@@ -4,8 +4,8 @@
 //! consistent across test sets (Table 3's point).
 
 use sfr_power::{
-    benchmarks, measure_power_with_testset, run_study, ClassifyConfig, CtrlKind, Fig7Series,
-    GradeConfig, MonteCarloConfig, StudyConfig, TestSet,
+    measure_power_with_testset, ClassifyConfig, CtrlKind, Fig7Series, GradeConfig,
+    MonteCarloConfig, Study, StudyBuilder, StudyConfig, TestSet,
 };
 
 fn quick_cfg() -> StudyConfig {
@@ -27,6 +27,14 @@ fn quick_cfg() -> StudyConfig {
     }
 }
 
+fn quick_study(name: &str) -> Study {
+    StudyBuilder::new(name)
+        .config(quick_cfg())
+        .build()
+        .expect("study builds")
+        .run()
+}
+
 #[test]
 fn extra_load_faults_increase_power_at_the_affected_registers() {
     // "In the case of SFR faults affecting register load lines, we are
@@ -39,18 +47,15 @@ fn extra_load_faults_increase_power_at_the_affected_registers() {
     // extra load captures occasionally reduces downstream switching —
     // see EXPERIMENTS.md. Both halves are asserted here.
     use sfr_power::{power_from_activity_where, CycleSim, Logic, PowerConfig};
-    let cfg = quick_cfg();
-    for (name, emitted) in benchmarks::all_benchmarks(4).expect("benchmarks build") {
-        let study = run_study(name, &emitted, &cfg).expect("study runs");
+    for name in ["diffeq", "facet", "poly"] {
+        let study = quick_study(name);
         let sys = &study.system;
         let ts = TestSet::pseudorandom(sys.pattern_width(), 600, 0xACE1).expect("test set");
         for (cls, grade) in study.classification.sfr().zip(&study.grades) {
             let extra_load_lines: Vec<usize> = cls
                 .effects
                 .iter()
-                .filter(|e| {
-                    sys.datapath.control()[e.line].kind() == CtrlKind::Load && e.faulty
-                })
+                .filter(|e| sys.datapath.control()[e.line].kind() == CtrlKind::Load && e.faulty)
                 .map(|e| e.line)
                 .collect();
             if extra_load_lines.is_empty() {
@@ -119,8 +124,7 @@ fn extra_load_faults_increase_power_at_the_affected_registers() {
 fn facet_power_detection_shape_matches_figure7b() {
     // FACET's shared load lines produce large power effects: a majority
     // of its load-affecting SFR faults must escape the ±5% band.
-    let cfg = quick_cfg();
-    let study = run_study("facet", &benchmarks::facet(4).unwrap(), &cfg).expect("study");
+    let study = quick_study("facet");
     let fig = Fig7Series::from_study(&study, 5.0);
     let (sel_det, load_det) = fig.detected_by_group();
     assert!(
@@ -146,7 +150,7 @@ fn percentage_change_is_consistent_across_test_sets() {
     // that test set is a valid baseline, because the *percentage* effect
     // of an SFR fault hardly depends on the set.
     let cfg = quick_cfg();
-    let study = run_study("facet", &benchmarks::facet(4).unwrap(), &cfg).expect("study");
+    let study = quick_study("facet");
     let sys = &study.system;
     let trio = TestSet::paper_trio(sys.pattern_width()).expect("trio");
     // Take the largest-effect SFR fault.
@@ -177,9 +181,8 @@ fn percentage_change_is_consistent_across_test_sets() {
 
 #[test]
 fn graded_power_is_deterministic() {
-    let cfg = quick_cfg();
-    let a = run_study("poly", &benchmarks::poly(4).unwrap(), &cfg).expect("study");
-    let b = run_study("poly", &benchmarks::poly(4).unwrap(), &cfg).expect("study");
+    let a = quick_study("poly");
+    let b = quick_study("poly");
     assert_eq!(a.baseline.mean_uw, b.baseline.mean_uw);
     for (x, y) in a.grades.iter().zip(&b.grades) {
         assert_eq!(x.pct_change, y.pct_change);

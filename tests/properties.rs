@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sfr_power::{
-    benchmarks, golden_trace, logic_to_u64, run_parallel, run_serial, CycleSim, Logic,
-    RunConfig, System, SystemConfig, TestSet,
+    benchmarks, golden_trace, logic_to_u64, run_parallel, run_serial, CycleSim, Logic, RunConfig,
+    System, SystemConfig, TestSet,
 };
 use std::sync::OnceLock;
 

@@ -5,8 +5,8 @@
 //! band.
 
 use sfr_power::{
-    benchmarks, classify_system, golden_trace, run_serial, ClassifyConfig, FaultClass,
-    RunConfig, RuleVerdict, System, SystemConfig, TestSet,
+    benchmarks, classify_system, golden_trace, run_serial, ClassifyConfig, FaultClass, RuleVerdict,
+    RunConfig, System, SystemConfig, TestSet,
 };
 
 fn studies() -> Vec<(&'static str, System, sfr_power::Classification)> {
@@ -147,7 +147,10 @@ fn atpg_proves_controllers_scan_irredundant() {
         for fault in faults {
             match atpg.generate(fault) {
                 TestOutcome::Test(v) => {
-                    assert!(atpg.check_test(fault, &v), "{name}: bogus witness for {fault}");
+                    assert!(
+                        atpg.check_test(fault, &v),
+                        "{name}: bogus witness for {fault}"
+                    );
                 }
                 other => panic!("{name}: controller fault {fault} not proven testable: {other:?}"),
             }
@@ -180,6 +183,10 @@ fn extension_benchmark_fir_classifies_cleanly() {
     let ts = TestSet::pseudorandom(sys.pattern_width(), 1200, 0xFEED).expect("test set");
     let golden = golden_trace(&sys, &ts, &RunConfig::default());
     for o in run_serial(&sys, &golden, &sfr) {
-        assert!(!o.detection.is_detected(), "fir SFR fault {} detected", o.fault);
+        assert!(
+            !o.detection.is_detected(),
+            "fir SFR fault {} detected",
+            o.fault
+        );
     }
 }

@@ -1,0 +1,136 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over half-open ranges.
+//!
+//! The crates.io registry is unreachable in this build environment, so
+//! the workspace vendors this minimal implementation via
+//! `[patch.crates-io]`. The generator is a splitmix64 stream — not the
+//! same bit sequence as upstream `StdRng` (ChaCha12), but deterministic
+//! in the seed with solid statistical quality, which is all the
+//! workspace relies on (seeded Monte Carlo and variation sampling).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random generators (the one constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value types [`Rng::gen_range`] can sample uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+/// Object-safe core of a generator: a raw 64-bit stream.
+pub trait RngCore {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, range: Range<f64>) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<$t>) -> $t {
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let v = ((rng.next_u64() as u128) % span) as $t;
+                range.start + v
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: a splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele et al.), public domain reference.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn f64_samples_stay_in_range_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
