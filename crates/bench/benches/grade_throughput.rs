@@ -1,0 +1,179 @@
+//! Grading throughput: scalar vs 63-lane vs threaded lane-packed Monte
+//! Carlo power grading, on the differential equation solver.
+//!
+//! Emits `BENCH_grade.json` at the workspace root (faults/sec, simulated
+//! lane-cycles/sec, speedups over the scalar reference) so the perf
+//! trajectory has data points, and cross-checks that every engine's
+//! grades are bit-identical before reporting anything.
+//!
+//! Run with `cargo bench -p sfr-bench --bench grade_throughput`
+//! (add `-- --quick` for the CI smoke mode: fewer faults and batches,
+//! no criterion sampling — finishes in seconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfr_bench::quick_config;
+use sfr_core::exec::{Counters, EngineKind, NullProgress};
+use sfr_core::{
+    benchmarks, classify_system_with, grade_faults_scalar_with, grade_faults_with,
+    measure_power_lanes_with_testset, measure_power_with_testset, GradeConfig, MonteCarloConfig,
+    PowerGrade, StuckAt, System, TestSet,
+};
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// One engine's timed full-grading run.
+struct EngineRun {
+    name: &'static str,
+    seconds: f64,
+    mc_batches: usize,
+    grades: Vec<PowerGrade>,
+}
+
+fn time_run(name: &'static str, run: impl Fn(&Counters) -> Vec<PowerGrade>) -> EngineRun {
+    let counters = Counters::new();
+    let start = Instant::now();
+    let grades = run(&counters);
+    EngineRun {
+        name,
+        seconds: start.elapsed().as_secs_f64(),
+        mc_batches: counters.snapshot().mc_batches,
+        grades,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
+    let cfg = quick_config();
+    let gcfg = if quick {
+        GradeConfig {
+            mc: MonteCarloConfig {
+                rel_tolerance: 0.05,
+                min_batches: 2,
+                max_batches: 3,
+            },
+            patterns_per_batch: 40,
+            ..cfg.grade.clone()
+        }
+    } else {
+        cfg.grade.clone()
+    };
+    let threads = sfr_core::exec::default_threads().max(2);
+
+    let emitted = benchmarks::diffeq(4).expect("diffeq builds");
+    let sys = System::build(&emitted, cfg.system).expect("system builds");
+    let engine = EngineKind::for_threads(threads).build();
+    let cls = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &NullProgress);
+    let mut faults: Vec<StuckAt> = cls.sfr().map(|f| f.fault).collect();
+    if quick {
+        faults.truncate(12);
+    }
+    eprintln!(
+        "grading {} diffeq SFR faults ({} mode, {} threads for the threaded engine)",
+        faults.len(),
+        if quick { "quick" } else { "full" },
+        threads
+    );
+
+    // The batch-0 test set, for the per-batch criterion probes and the
+    // lane-cycle throughput estimate.
+    let ts = TestSet::pseudorandom(sys.pattern_width(), gcfg.patterns_per_batch, gcfg.seed)
+        .expect("16-stage TPGR always constructs");
+    let cycles_per_batch = measure_power_with_testset(&sys, None, &ts, &gcfg).cycles;
+
+    // Full-sweep timings (these feed BENCH_grade.json).
+    let scalar = time_run("scalar_1t", |p| {
+        grade_faults_scalar_with(&sys, &faults, &gcfg, 1, p).1
+    });
+    let lanes = time_run("lanes_1t", |p| {
+        grade_faults_with(&sys, &faults, &gcfg, 1, p).1
+    });
+    let threaded = time_run("lanes_mt", |p| {
+        grade_faults_with(&sys, &faults, &gcfg, threads, p).1
+    });
+
+    // Bit-identity gate: a throughput number for wrong answers is
+    // meaningless.
+    for run in [&lanes, &threaded] {
+        assert_eq!(run.grades.len(), scalar.grades.len());
+        for (s, l) in scalar.grades.iter().zip(&run.grades) {
+            assert_eq!(
+                s.mean_uw, l.mean_uw,
+                "{}: grades must be bit-identical",
+                run.name
+            );
+            assert_eq!(s.pct_change, l.pct_change, "{}", run.name);
+            assert_eq!(s.flagged, l.flagged, "{}", run.name);
+        }
+    }
+
+    let metric = |run: &EngineRun| -> (f64, f64) {
+        let fps = faults.len() as f64 / run.seconds;
+        // Useful (per-lane) simulated cycles per second: every Monte
+        // Carlo batch of every estimation delivers about one batch-0
+        // test set worth of cycles to one lane.
+        let cps = run.mc_batches as f64 * cycles_per_batch as f64 / run.seconds;
+        (fps, cps)
+    };
+    let (scalar_fps, scalar_cps) = metric(&scalar);
+    let mut engines_json = String::new();
+    for run in [&scalar, &lanes, &threaded] {
+        let (fps, cps) = metric(run);
+        engines_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.4}, \"faults_per_sec\": {:.2}, \
+             \"mc_batches\": {}, \"lane_cycles_per_sec\": {:.0}}},\n",
+            run.name, run.seconds, fps, run.mc_batches, cps
+        ));
+        eprintln!(
+            "  {:<9} {:>8.3} s  {:>8.2} faults/s  {:>12.0} lane-cycles/s",
+            run.name, run.seconds, fps, cps
+        );
+    }
+    engines_json.truncate(engines_json.trim_end_matches(",\n").len());
+    let (lanes_fps, _) = metric(&lanes);
+    let (threaded_fps, _) = metric(&threaded);
+    let json = format!(
+        "{{\n  \"design\": \"diffeq\",\n  \"mode\": \"{}\",\n  \"sfr_faults\": {},\n  \
+         \"threads\": {},\n  \"cycles_per_batch\": {},\n  \"engines\": [\n{}\n  ],\n  \
+         \"speedup_lanes_1t\": {:.2},\n  \"speedup_lanes_mt\": {:.2},\n  \
+         \"baseline_cycles_per_sec\": {:.0}\n}}\n",
+        if quick { "quick" } else { "full" },
+        faults.len(),
+        threads,
+        cycles_per_batch,
+        engines_json,
+        lanes_fps / scalar_fps,
+        threaded_fps / scalar_fps,
+        scalar_cps
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grade.json");
+    std::fs::write(out, &json).expect("write BENCH_grade.json");
+    eprintln!(
+        "speedup over scalar: {:.2}x (1 thread), {:.2}x ({} threads) -> {}",
+        lanes_fps / scalar_fps,
+        threaded_fps / scalar_fps,
+        threads,
+        out
+    );
+
+    // Criterion probes of one Monte Carlo batch per engine (skipped in
+    // the CI smoke so the whole bench stays inside its time budget).
+    if !quick {
+        let mut g = c.benchmark_group("grade_throughput");
+        g.sample_size(10);
+        g.bench_function("mc_batch_scalar", |b| {
+            b.iter(|| measure_power_with_testset(&sys, Some(faults[0]), &ts, &gcfg))
+        });
+        g.bench_function("mc_batch_63_lanes", |b| {
+            b.iter(|| {
+                measure_power_lanes_with_testset(&sys, &faults, &ts, &gcfg).expect("pack fits")
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

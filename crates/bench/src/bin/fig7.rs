@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     let labels = ["(a) diffeq", "(b) facet", "(c) poly"];
     for ((name, emitted), label) in benchmarks::all_benchmarks(4)?.into_iter().zip(labels) {
-        eprintln!("grading {name} on {threads} thread(s)...");
+        eprintln!("grading {name} on {threads} thread(s) (lane-packed Monte Carlo)...");
         let counters = Counters::new();
         let study = StudyBuilder::from_emitted(name, emitted)
             .config(cfg.clone())

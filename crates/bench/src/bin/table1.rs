@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = threads_from_args();
     eprintln!(
         "classifying and grading diffeq on {threads} thread(s) \
-         (this runs Monte Carlo power per SFR fault)..."
+         (Monte Carlo power, 63 faults + baseline per lane-packed pass)..."
     );
     let counters = Counters::new();
     let study = StudyBuilder::new("diffeq")

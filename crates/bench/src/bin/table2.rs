@@ -3,14 +3,15 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin table2`.
 
-use sfr_bench::{paper_config, threads_from_args};
-use sfr_core::exec::{EngineKind, NullProgress};
+use sfr_bench::{paper_config, report_counters, threads_from_args};
+use sfr_core::exec::{Counters, EngineKind};
 use sfr_core::{benchmarks, classify_system_with, System};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = paper_config();
     let threads = threads_from_args();
     let engine = EngineKind::for_threads(threads).build();
+    let counters = Counters::new();
     let start = std::time::Instant::now();
     println!("Table 2: Breakdown of controller faults for the three examples.");
     println!();
@@ -28,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         assert_eq!(name, pname);
         let sys = System::build(&emitted, cfg.system)?;
-        let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &NullProgress);
+        let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &counters);
         println!(
             "{:<10} {:>12} {:>10} {:>10.1}%    ({ptot} / {psfr} / {ppct}%)",
             name,
@@ -41,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("No controller-functionally redundant (CFR) faults, as in the paper:");
     println!("exact two-level minimization leaves no redundancy in the controllers.");
+    report_counters(&counters);
     eprintln!(
         "classified all three benchmarks in {:.2} s on {threads} thread(s)",
         start.elapsed().as_secs_f64()

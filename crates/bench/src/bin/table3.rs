@@ -7,13 +7,19 @@
 //! *percentage change* from fault-free is consistent, so any short test
 //! set can serve as the basis for power-based detection.
 //!
+//! All measurements are lane-packed: the Monte Carlo column comes from
+//! the 63-fault-per-pass grading sweep (lane 0 doubling as the
+//! fault-free baseline), and each test-set column measures the baseline
+//! plus every shown fault in one 64-lane pass — bit-identical to the
+//! scalar measurements the binary used to make, one at a time.
+//!
 //! Run with `cargo run --release -p sfr-bench --bin table3`.
 
 use sfr_bench::{paper_config, threads_from_args};
 use sfr_core::exec::{EngineKind, NullProgress};
 use sfr_core::{
-    benchmarks, classify_system_with, measure_power_monte_carlo_par, measure_power_with_testset,
-    EmittedSystem, System, TestSet,
+    benchmarks, classify_system_with, grade_faults_with, measure_power_lanes_with_testset,
+    EmittedSystem, PowerReport, StuckAt, System, TestSet,
 };
 
 fn show(
@@ -33,63 +39,61 @@ fn show(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "", "Monte Carlo", "Test set 1", "Test set 2", "Test set 3"
     );
-    let base_mc = measure_power_monte_carlo_par(&sys, None, &cfg.grade, threads);
-    let base_ts: Vec<f64> = trio
-        .iter()
-        .map(|ts| measure_power_with_testset(&sys, None, ts, &cfg.grade).total_uw)
+    // One lane-packed sweep grades every SFR fault and the baseline.
+    let (base_mc, grades) = grade_faults_with(&sys, &sfr, &cfg.grade, threads, &NullProgress);
+
+    // Representative faults spanning the power range (as the paper
+    // does).
+    let mut order: Vec<usize> = (0..grades.len()).collect();
+    order.sort_by(|&a, &b| grades[a].mean_uw.total_cmp(&grades[b].mean_uw));
+    let rows = 5.min(order.len());
+    let picks: Vec<usize> = (0..rows)
+        .map(|i| i * (order.len() - 1) / (rows - 1).max(1))
         .collect();
+    let picked: Vec<StuckAt> = picks.iter().map(|&p| grades[order[p]].fault).collect();
+
+    // One 64-lane pass per test set covers the fault-free baseline
+    // (lane 0) and every shown fault.
+    let per_set: Vec<Vec<PowerReport>> = trio
+        .iter()
+        .map(|ts| measure_power_lanes_with_testset(&sys, &picked, ts, &cfg.grade))
+        .collect::<Result<_, _>>()?;
+    let base_ts: Vec<f64> = per_set.iter().map(|r| r[0].total_uw).collect();
     println!(
         "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
         "fault-free", base_mc.mean_uw, base_ts[0], base_ts[1], base_ts[2]
     );
 
-    // Representative faults spanning the power range (as the paper
-    // does); each fault's estimation is independent, so shard across
-    // faults.
-    let mut graded: Vec<(usize, f64)> = sfr_core::exec::par_map_indexed(threads, sfr.len(), |i| {
-        let mc = sfr_core::measure_power_monte_carlo(&sys, Some(sfr[i]), &cfg.grade);
-        (i, mc.mean_uw)
-    });
-    graded.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let rows = 5.min(graded.len());
-    let picks: Vec<usize> = (0..rows)
-        .map(|i| i * (graded.len() - 1) / (rows - 1).max(1))
-        .collect();
     let mut max_spread: f64 = 0.0;
-    for &p in &picks {
-        let (idx, mc_uw) = graded[p];
-        let fault = sfr[idx];
-        let per_set: Vec<f64> = trio
-            .iter()
-            .map(|ts| measure_power_with_testset(&sys, Some(fault), ts, &cfg.grade).total_uw)
-            .collect();
+    for (row, &p) in picks.iter().enumerate() {
+        let g = &grades[order[p]];
+        let cols: Vec<f64> = per_set.iter().map(|r| r[row + 1].total_uw).collect();
         let pct =
             |uw: f64, base: f64| -> String { format!("({:+.2}%)", 100.0 * (uw - base) / base) };
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-            format!("fault {}", p + 1),
-            mc_uw,
-            per_set[0],
-            per_set[1],
-            per_set[2]
+            format!("fault {}", row + 1),
+            g.mean_uw,
+            cols[0],
+            cols[1],
+            cols[2]
         );
-        let pcts: Vec<f64> = per_set
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12}",
+            "",
+            format!("({:+.2}%)", g.pct_change),
+            pct(cols[0], base_ts[0]),
+            pct(cols[1], base_ts[1]),
+            pct(cols[2], base_ts[2])
+        );
+        let pcts: Vec<f64> = cols
             .iter()
             .zip(&base_ts)
             .map(|(f, b)| 100.0 * (f - b) / b)
             .collect();
-        let mc_pct = 100.0 * (mc_uw - base_mc.mean_uw) / base_mc.mean_uw;
-        println!(
-            "{:<12} {:>12} {:>12} {:>12} {:>12}",
-            "",
-            pct(mc_uw, base_mc.mean_uw),
-            pct(per_set[0], base_ts[0]),
-            pct(per_set[1], base_ts[1]),
-            pct(per_set[2], base_ts[2])
-        );
         let spread = pcts
             .iter()
-            .chain(std::iter::once(&mc_pct))
+            .chain(std::iter::once(&g.pct_change))
             .fold((f64::MAX, f64::MIN), |(lo, hi), &p| (lo.min(p), hi.max(p)));
         max_spread = max_spread.max(spread.1 - spread.0);
     }

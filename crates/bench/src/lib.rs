@@ -101,6 +101,14 @@ pub fn report_counters(counters: &Counters) {
             s.mc_converged, s.mc_capped, s.mc_batches
         );
     }
+    if s.grade_packs > 0 {
+        eprintln!(
+            "grading: {} faults in {} lane packs ({:.1} faults/pack)",
+            s.grade_pack_faults,
+            s.grade_packs,
+            s.grade_pack_faults as f64 / s.grade_packs as f64
+        );
+    }
     for (phase, elapsed) in &s.phase_times {
         eprintln!(
             "phase {:<8} {:>8.1} ms",

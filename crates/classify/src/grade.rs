@@ -5,13 +5,27 @@
 //! of runs with fresh pseudorandom data until the mean converges — and
 //! *flagged* when its percentage change from the fault-free baseline
 //! exceeds a tolerance band (the paper uses ±5%).
+//!
+//! Grading is **lane-packed**: up to [`MAX_PARALLEL_FAULTS`] faults plus
+//! the fault-free baseline (lane 0) share every simulation pass of one
+//! 64-lane [`ParallelFaultSim`], with per-lane switching activity
+//! accumulated bit-parallel ([`sfr_netlist::LaneActivity`]). Lane 0
+//! doubles as a baseline-activity cache: the separate fault-free Monte
+//! Carlo the scalar path runs per design comes for free with pack 0.
+//! Every lane is an exact dual-rail simulation, so lane-packed grades
+//! are bit-identical to the scalar reference path
+//! ([`grade_faults_scalar_with`]) — same means, percentages, and flags
+//! at any thread count.
 
 use sfr_exec::{par_map_indexed, NullProgress, Phase, PhaseTimer, Progress, ProgressEvent};
 use sfr_faultsim::{RunConfig, System};
-use sfr_netlist::{CycleSim, Logic, StuckAt};
+use sfr_netlist::{
+    CycleSim, Logic, ParallelFaultSim, StuckAt, TooManyFaultsError, MAX_PARALLEL_FAULTS,
+};
 use sfr_power_model::{
-    power_from_activity_where, run_monte_carlo, run_monte_carlo_par, MonteCarloConfig,
-    MonteCarloResult, PowerConfig, PowerReport,
+    power_from_activity_where, power_from_lane_activity_where, run_monte_carlo,
+    run_monte_carlo_lanes, run_monte_carlo_par, MonteCarloConfig, MonteCarloResult, PowerConfig,
+    PowerReport,
 };
 use sfr_tpg::TestSet;
 
@@ -116,17 +130,90 @@ pub fn measure_power_with_testset(
     })
 }
 
+/// Lane-packed [`measure_power_with_testset`]: one 64-lane pass measures
+/// the fault-free baseline (lane 0) and up to [`MAX_PARALLEL_FAULTS`]
+/// faults at once, returning one [`PowerReport`] per lane
+/// (`reports[0]` fault-free, `reports[1 + i]` under `faults[i]`).
+///
+/// Run boundaries are steered by decoding **lane 0** — the fault-free
+/// controller — which is exact for the baseline and equal to each fault
+/// lane's own sequencing because SFR faults never alter the controller's
+/// state sequence (the same guarantee the scalar path already leans on).
+/// Per-run resets overwrite sequential state only, so the toggle edge
+/// between consecutive runs is counted exactly as the scalar path counts
+/// it; every report is bit-identical to a scalar measurement of that
+/// lane's circuit.
+///
+/// # Errors
+///
+/// Returns [`TooManyFaultsError`] if more than [`MAX_PARALLEL_FAULTS`]
+/// faults are packed.
+pub fn measure_power_lanes_with_testset(
+    sys: &System,
+    faults: &[StuckAt],
+    ts: &TestSet,
+    cfg: &GradeConfig,
+) -> Result<Vec<PowerReport>, TooManyFaultsError> {
+    let mut sim = ParallelFaultSim::new(&sys.netlist, faults)?;
+    sim.track_activity(true);
+    let hold = sys.meta.hold_state();
+    let mut idx = 0usize;
+    while idx < ts.len() {
+        sys.reset_psim(&mut sim, Logic::Zero);
+        let mut len = 0usize;
+        let mut in_hold_for = 0usize;
+        while idx < ts.len() && len < cfg.run.max_cycles_per_run {
+            sys.apply_pattern_parallel(&mut sim, ts.patterns()[idx]);
+            idx += 1;
+            len += 1;
+            sim.eval();
+            let st = sys.decode_state_lane(&sim, 0);
+            sim.clock();
+            if st == Some(hold) {
+                in_hold_for += 1;
+                if in_hold_for > cfg.run.hold_cycles {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(power_from_lane_activity_where(
+        &sys.netlist,
+        sim.activity().expect("tracking enabled above"),
+        &cfg.power,
+        |g| !sys.is_controller_gate(g),
+    ))
+}
+
 /// One Monte Carlo batch: fresh pseudorandom data keyed by the *batch
 /// index* (never by the executing thread), so serial and sharded
 /// estimations draw identical samples.
 fn mc_batch(sys: &System, fault: Option<StuckAt>, cfg: &GradeConfig, batch: usize) -> PowerReport {
-    let ts = TestSet::pseudorandom(
+    let ts = batch_testset(sys, cfg, batch);
+    measure_power_with_testset(sys, fault, &ts, cfg)
+}
+
+/// The pseudorandom test set of Monte Carlo batch `batch` — shared by
+/// the scalar and lane-packed paths, so their sample streams align.
+fn batch_testset(sys: &System, cfg: &GradeConfig, batch: usize) -> TestSet {
+    TestSet::pseudorandom(
         sys.pattern_width(),
         cfg.patterns_per_batch,
         cfg.seed.wrapping_add(batch as u32),
     )
-    .expect("16-stage TPGR always constructs");
-    measure_power_with_testset(sys, fault, &ts, cfg)
+    .expect("16-stage TPGR always constructs")
+}
+
+/// Lane-packed [`mc_batch`]: one batch's reports for a whole fault pack
+/// (lane 0 fault-free first).
+fn mc_batch_lanes(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    batch: usize,
+) -> Result<Vec<PowerReport>, TooManyFaultsError> {
+    let ts = batch_testset(sys, cfg, batch);
+    measure_power_lanes_with_testset(sys, faults, &ts, cfg)
 }
 
 /// Monte Carlo datapath power of an (optionally faulty) system.
@@ -166,15 +253,82 @@ pub fn grade_faults(
 }
 
 /// [`grade_faults`] sharded across `threads` workers, reporting one
-/// [`ProgressEvent::MonteCarlo`] per estimation and one
+/// [`ProgressEvent::MonteCarlo`] per estimation (faults + baseline), one
+/// [`ProgressEvent::GradePack`] per lane pack, and one
 /// [`ProgressEvent::FaultGraded`] per fault.
 ///
-/// The baseline estimation shards its *batches* (there is only one of
-/// it); the per-fault estimations shard across *faults*, each fault's
-/// Monte Carlo loop running serially so its sample sequence — and hence
-/// every mean, percentage, and flag — is byte-identical to the serial
-/// path at any thread count.
+/// Faults are packed [`MAX_PARALLEL_FAULTS`] to a 64-lane simulator
+/// (lane 0 fault-free) and packs shard across `threads` workers, so a
+/// sweep costs `O(faults / 63)` simulation passes per thread instead of
+/// `O(faults)`. Pack 0's lane 0 is the baseline-activity cache: it *is*
+/// the fault-free Monte Carlo estimation, so no separate baseline sweep
+/// runs. Each lane's convergence is the serial stopping rule replayed on
+/// that lane's own sample prefix ([`run_monte_carlo_lanes`]), and every
+/// pack is a pure function of its fault slice — grades are bit-identical
+/// to [`grade_faults_scalar_with`] and to themselves at any thread
+/// count.
 pub fn grade_faults_with(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    threads: usize,
+    progress: &dyn Progress,
+) -> (MonteCarloResult, Vec<PowerGrade>) {
+    let _timer = PhaseTimer::start(progress, Phase::Grade);
+    // Pack 0 always exists — with no faults to grade it still carries
+    // the baseline on lane 0.
+    let packs: Vec<&[StuckAt]> = if faults.is_empty() {
+        vec![&[]]
+    } else {
+        faults.chunks(MAX_PARALLEL_FAULTS).collect()
+    };
+    let pack_results: Vec<Vec<MonteCarloResult>> = par_map_indexed(threads, packs.len(), |p| {
+        let pack = packs[p];
+        let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+            mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit")
+        });
+        // One MonteCarlo event per estimation: every pack's fault lanes,
+        // plus the shared baseline (lane 0) once, from pack 0.
+        for r in results.iter().skip(usize::from(p != 0)) {
+            progress.event(ProgressEvent::MonteCarlo {
+                batches: r.batches,
+                converged: r.converged,
+            });
+        }
+        progress.event(ProgressEvent::GradePack { faults: pack.len() });
+        results
+    });
+    let baseline = pack_results[0][0];
+    let mut grades = Vec::with_capacity(faults.len());
+    for (pack, results) in packs.iter().zip(&pack_results) {
+        for (i, &fault) in pack.iter().enumerate() {
+            let mc = results[i + 1];
+            let pct = 100.0 * (mc.mean_uw - baseline.mean_uw) / baseline.mean_uw;
+            let flagged = pct.abs() > cfg.threshold_pct;
+            progress.event(ProgressEvent::FaultGraded { flagged });
+            grades.push(PowerGrade {
+                fault,
+                mean_uw: mc.mean_uw,
+                pct_change: pct,
+                flagged,
+            });
+        }
+    }
+    (baseline, grades)
+}
+
+/// The scalar reference grading path: one [`CycleSim`] pass per fault
+/// per batch, exactly as the lane-packed [`grade_faults_with`] but
+/// without fault packing.
+///
+/// Kept as the ground truth the lane-packed path is regression-tested
+/// against (and as the baseline the `grade_throughput` bench measures
+/// speedup over). The baseline estimation shards its *batches*; the
+/// per-fault estimations shard across *faults*, each fault's Monte Carlo
+/// loop running serially so its sample sequence — and hence every mean,
+/// percentage, and flag — is byte-identical to the serial path at any
+/// thread count.
+pub fn grade_faults_scalar_with(
     sys: &System,
     faults: &[StuckAt],
     cfg: &GradeConfig,
@@ -295,7 +449,75 @@ mod tests {
         assert_eq!(snap.faults_graded, 3);
         // Baseline + one estimation per fault.
         assert_eq!(snap.mc_converged + snap.mc_capped, 4);
+        // Three faults fit one lane pack.
+        assert_eq!(snap.grade_packs, 1);
+        assert_eq!(snap.grade_pack_faults, 3);
         assert!(snap.phase_times.iter().any(|(p, _)| *p == Phase::Grade));
+    }
+
+    #[test]
+    fn lane_packed_grading_matches_scalar_reference() {
+        // The bit-identity contract on genuine SFR faults (the only
+        // faults the grading phase ever sees in the paper flow).
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let ccfg = crate::ClassifyConfig {
+            test_patterns: 200,
+            ..Default::default()
+        };
+        let c = crate::classify_system(&sys, &ccfg);
+        let faults: Vec<StuckAt> = c.sfr().map(|f| f.fault).collect();
+        assert!(!faults.is_empty(), "toy system exposes SFR faults");
+        let (base_s, grades_s) = grade_faults_scalar_with(&sys, &faults, &cfg, 1, &NullProgress);
+        for threads in [1, 2, 8] {
+            let (base_l, grades_l) = grade_faults_with(&sys, &faults, &cfg, threads, &NullProgress);
+            assert_eq!(base_s, base_l, "baseline, threads = {threads}");
+            assert_eq!(grades_s.len(), grades_l.len());
+            for (s, l) in grades_s.iter().zip(&grades_l) {
+                assert_eq!(s.fault, l.fault);
+                assert_eq!(s.mean_uw, l.mean_uw, "threads = {threads}");
+                assert_eq!(s.pct_change, l.pct_change, "threads = {threads}");
+                assert_eq!(s.flagged, l.flagged);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_testset_measurement_matches_scalar() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 120, 0x5EED).unwrap();
+        let ccfg = crate::ClassifyConfig {
+            test_patterns: 200,
+            ..Default::default()
+        };
+        let c = crate::classify_system(&sys, &ccfg);
+        let faults: Vec<StuckAt> = c.sfr().map(|f| f.fault).take(10).collect();
+        let reports = measure_power_lanes_with_testset(&sys, &faults, &ts, &cfg).unwrap();
+        assert_eq!(reports.len(), faults.len() + 1);
+        assert_eq!(
+            reports[0],
+            measure_power_with_testset(&sys, None, &ts, &cfg),
+            "lane 0 = fault-free"
+        );
+        for (i, &f) in faults.iter().enumerate() {
+            assert_eq!(
+                reports[i + 1],
+                measure_power_with_testset(&sys, Some(f), &ts, &cfg),
+                "fault {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_still_yields_baseline() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let (base, grades) = grade_faults(&sys, &[], &cfg);
+        assert!(base.mean_uw > 0.0);
+        assert!(grades.is_empty());
+        let scalar = measure_power_monte_carlo(&sys, None, &cfg);
+        assert_eq!(base, scalar, "lane-0 baseline = scalar fault-free MC");
     }
 
     #[test]

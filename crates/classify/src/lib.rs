@@ -65,8 +65,9 @@ mod table;
 mod testutil;
 
 pub use grade::{
-    grade_faults, grade_faults_with, measure_power_monte_carlo, measure_power_monte_carlo_par,
-    measure_power_with_testset, GradeConfig, PowerGrade,
+    grade_faults, grade_faults_scalar_with, grade_faults_with, measure_power_lanes_with_testset,
+    measure_power_monte_carlo, measure_power_monte_carlo_par, measure_power_with_testset,
+    GradeConfig, PowerGrade,
 };
 pub use oracle::{judge, Mismatch, Verdict, HOLD_OBSERVE_CYCLES, LOOP_DEPTHS};
 pub use pipeline::{

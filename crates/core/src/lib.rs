@@ -87,10 +87,11 @@ pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, Wors
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
     analyze_controller_fault, classify_system, classify_system_with, grade_faults,
-    grade_faults_with, judge, judge_by_rules, measure_power_monte_carlo,
-    measure_power_monte_carlo_par, measure_power_with_testset, Classification, ClassifiedFault,
-    ClassifyConfig, ControlLineEffect, ControllerBehavior, EffectClass, FaultClass, GradeConfig,
-    Mismatch, PowerGrade, RuleVerdict, SfiReason, Verdict,
+    grade_faults_scalar_with, grade_faults_with, judge, judge_by_rules,
+    measure_power_lanes_with_testset, measure_power_monte_carlo, measure_power_monte_carlo_par,
+    measure_power_with_testset, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
+    ControllerBehavior, EffectClass, FaultClass, GradeConfig, Mismatch, PowerGrade, RuleVerdict,
+    SfiReason, Verdict,
 };
 pub use sfr_faultsim::{
     golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
@@ -103,12 +104,14 @@ pub use sfr_hls::{
 };
 pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
-    critical_path, logic_to_u64, u64_to_logic, write_cell_library, write_verilog, Activity, Atpg,
-    CellKind, CycleSim, EventSim, FaultSite, GateId, Logic, NetId, Netlist, NetlistBuilder,
-    NetlistError, NetlistStats, ParallelFaultSim, PatVec, StuckAt, TestOutcome, VcdRecorder,
+    critical_path, logic_to_u64, u64_to_logic, write_cell_library, write_verilog, Activity,
+    ActivityMismatch, Atpg, CellKind, CycleSim, EventSim, FaultSite, GateId, LaneActivity, Logic,
+    NetId, Netlist, NetlistBuilder, NetlistError, NetlistStats, ParallelFaultSim, PatVec, StuckAt,
+    TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
 };
 pub use sfr_power_model::{
-    power_from_activity, power_from_activity_where, run_monte_carlo, MonteCarloConfig,
+    power_from_activity, power_from_activity_parts, power_from_activity_where,
+    power_from_lane_activity_where, run_monte_carlo, run_monte_carlo_lanes, MonteCarloConfig,
     MonteCarloResult, PowerConfig, PowerPopulation, PowerReport, VariationModel,
 };
 pub use sfr_rtl::{

@@ -194,6 +194,13 @@ pub enum ProgressEvent {
         /// Whether the power test flags the fault.
         flagged: bool,
     },
+    /// One lane-packed grading pass finished: a batch of faults (plus
+    /// the fault-free baseline on lane 0) graded in a single
+    /// bit-parallel Monte Carlo sweep.
+    GradePack {
+        /// Faults packed into the sweep (excluding the baseline lane).
+        faults: usize,
+    },
 }
 
 /// A campaign observer. Implementations must be cheap and `Sync`:
@@ -278,6 +285,10 @@ pub struct CounterState {
     pub faults_graded: usize,
     /// Flagged subset of `faults_graded`.
     pub faults_flagged: usize,
+    /// Lane-packed grading sweeps completed.
+    pub grade_packs: usize,
+    /// Faults covered by those sweeps (sum of pack sizes).
+    pub grade_pack_faults: usize,
     /// Wall time per completed phase, in completion order.
     pub phase_times: Vec<(Phase, Duration)>,
 }
@@ -319,6 +330,10 @@ impl Progress for Counters {
                 if flagged {
                     s.faults_flagged += 1;
                 }
+            }
+            ProgressEvent::GradePack { faults } => {
+                s.grade_packs += 1;
+                s.grade_pack_faults += faults;
             }
         }
     }
@@ -391,6 +406,8 @@ mod tests {
             converged: true,
         });
         c.event(ProgressEvent::FaultGraded { flagged: true });
+        c.event(ProgressEvent::GradePack { faults: 63 });
+        c.event(ProgressEvent::GradePack { faults: 7 });
         let s = c.snapshot();
         assert_eq!(s.faults_simulated, 2);
         assert_eq!(s.faults_dropped, 1);
@@ -398,6 +415,8 @@ mod tests {
         assert_eq!(s.mc_converged, 1);
         assert_eq!(s.faults_graded, 1);
         assert_eq!(s.faults_flagged, 1);
+        assert_eq!(s.grade_packs, 2);
+        assert_eq!(s.grade_pack_faults, 70);
     }
 
     #[test]

@@ -201,15 +201,23 @@ impl System {
     }
 
     /// Resets all lanes of a parallel fault simulator the same way.
+    ///
+    /// Mirrors [`System::reset_sim`] field for field: only sequential
+    /// *state* is overwritten (per gate, all lanes), never the
+    /// simulator's activity baseline — so, like the scalar
+    /// [`CycleSim::set_state`] path, the toggle edge between the last
+    /// settled cycle of one run and the first of the next is counted.
+    /// That keeps lane-packed power accounting bit-identical to the
+    /// scalar measurement loop across run boundaries.
     pub fn reset_psim(&self, sim: &mut ParallelFaultSim<'_>, datapath_init: Logic) {
-        // Set everything, then fix the controller FFs per reset code.
-        sim.reset_state(datapath_init);
         let code = self.fsm.reset_code();
         for (k, &g) in self.ctrl.state_gates.iter().enumerate() {
-            let v = Logic::from_bool(code >> k & 1 == 1);
-            // reset_state set them to datapath_init; overwrite via lanes.
-            let _ = v;
-            sim_set_state_all_lanes(sim, g, v);
+            sim_set_state_all_lanes(sim, g, Logic::from_bool(code >> k & 1 == 1));
+        }
+        for gates in &self.elab.reg_gates {
+            for &g in gates {
+                sim_set_state_all_lanes(sim, g, datapath_init);
+            }
         }
     }
 
@@ -219,6 +227,24 @@ impl System {
         let mut code = 0u32;
         for (k, &g) in self.ctrl.state_gates.iter().enumerate() {
             match sim.state(g) {
+                Logic::One => code |= 1 << k,
+                Logic::Zero => {}
+                Logic::X => return None,
+            }
+        }
+        self.fsm.decode(code)
+    }
+
+    /// Decodes the controller state carried by one lane of a parallel
+    /// fault simulator, if it matches a known state code.
+    ///
+    /// Lane 0 is the fault-free controller; the grading loop uses it to
+    /// steer run boundaries for a whole fault pack, which is sound
+    /// because SFR faults never alter the controller's state sequence.
+    pub fn decode_state_lane(&self, sim: &ParallelFaultSim<'_>, lane: usize) -> Option<StateId> {
+        let mut code = 0u32;
+        for (k, &g) in self.ctrl.state_gates.iter().enumerate() {
+            match sim.gate_state(g).lane(lane) {
                 Logic::One => code |= 1 << k,
                 Logic::Zero => {}
                 Logic::X => return None,
@@ -264,9 +290,6 @@ impl System {
 
 /// Sets a sequential gate's state across all lanes of a parallel sim.
 fn sim_set_state_all_lanes(sim: &mut ParallelFaultSim<'_>, gate: GateId, v: Logic) {
-    // ParallelFaultSim has no per-gate setter; emulate via reset of that
-    // gate by evaluating with a forced value is not possible either, so
-    // we expose the need here and implement it in sfr-netlist.
     sim.set_gate_state(gate, sfr_netlist::PatVec::splat(v));
 }
 
@@ -354,6 +377,29 @@ pub(crate) mod tests {
             sys.meta.hold_state(),
         ];
         assert_eq!(states, expect);
+    }
+
+    #[test]
+    fn psim_reset_and_lane_decode_mirror_scalar() {
+        let sys = toy_system();
+        let mut sim = CycleSim::new(&sys.netlist);
+        let mut psim = ParallelFaultSim::new(&sys.netlist, &[]).unwrap();
+        sys.reset_sim(&mut sim, Logic::Zero);
+        sys.reset_psim(&mut psim, Logic::Zero);
+        // The per-gate reset paths must cover every sequential gate the
+        // same way in both engines.
+        for &g in sys.netlist.sequential_gates() {
+            assert_eq!(psim.gate_state(g).lane(0), sim.state(g), "gate {g:?}");
+        }
+        for _ in 0..5 {
+            sys.apply_pattern(&mut sim, 9);
+            sys.apply_pattern_parallel(&mut psim, 9);
+            sim.eval();
+            psim.eval();
+            assert_eq!(sys.decode_state_lane(&psim, 0), sys.decode_state(&sim));
+            sim.clock();
+            psim.clock();
+        }
     }
 
     #[test]

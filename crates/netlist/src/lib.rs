@@ -74,8 +74,8 @@ pub use graph::{
     WIRE_CAP_PER_FANOUT_FF,
 };
 pub use logic::{logic_to_u64, u64_to_logic, Logic};
-pub use psim::{ParallelFaultSim, PatVec, TooManyFaultsError, MAX_PARALLEL_FAULTS};
-pub use sim::{Activity, CycleSim};
+pub use psim::{LaneActivity, ParallelFaultSim, PatVec, TooManyFaultsError, MAX_PARALLEL_FAULTS};
+pub use sim::{Activity, ActivityMismatch, CycleSim};
 pub use stats::{critical_path, NetlistStats};
 pub use vcd::VcdRecorder;
 pub use verilog::{write_cell_library, write_verilog};

@@ -13,6 +13,7 @@
 use crate::fault::{FaultSite, StuckAt};
 use crate::graph::{GateId, NetId, Netlist};
 use crate::logic::Logic;
+use crate::sim::Activity;
 
 /// Maximum number of faults in one [`ParallelFaultSim`] (lane 0 is the
 /// fault-free reference).
@@ -151,6 +152,116 @@ impl PatVec {
     }
 }
 
+/// Per-lane switching-activity counters for a [`ParallelFaultSim`]: one
+/// [`Activity`]-worth of counts per simulation lane, accumulated
+/// bit-parallel.
+///
+/// Each cycle, every net contributes one 64-bit *toggle word*
+/// `(prev.lo & cur.hi) | (prev.hi & cur.lo)` — bit `l` set iff lane `l`'s
+/// settled value made a definite `0↔1` transition, the exact per-lane
+/// analogue of the scalar [`crate::CycleSim`] toggle test. Toggle words
+/// are accumulated into *bit-plane counters* (one ripple-carry add of a
+/// 64-lane 1-bit addend into a transposed binary counter), so the common
+/// case — a carry that dies in the first plane or two — costs O(1) word
+/// operations per net per cycle regardless of how many lanes toggled.
+/// [`CellKind::Dffe`](crate::CellKind::Dffe) clock-event words (`enable
+/// definitely 1`) are accumulated the same way.
+///
+/// Because every lane of [`ParallelFaultSim`] is an exact dual-rail
+/// simulation, lane `l`'s extracted [`LaneActivity::lane`] counts are
+/// bit-identical to the [`Activity`] a scalar [`crate::CycleSim`]
+/// records for the same circuit, fault, and stimulus.
+#[derive(Debug, Clone)]
+pub struct LaneActivity {
+    lanes: usize,
+    nets: usize,
+    gates: usize,
+    /// Bit-plane counters: `net_planes[p][net]` holds bit `p` of every
+    /// lane's toggle count for `net` (bit `l` of the word = lane `l`).
+    net_planes: Vec<Vec<u64>>,
+    /// Bit-plane counters for sequential-cell clock events, indexed by
+    /// [`GateId::index`].
+    clock_planes: Vec<Vec<u64>>,
+    cycles: u64,
+}
+
+/// Ripple-carry add of a one-bit-per-lane addend into a bit-plane
+/// counter column, growing planes on demand.
+fn plane_add(planes: &mut Vec<Vec<u64>>, size: usize, idx: usize, mut carry: u64) {
+    let mut p = 0;
+    while carry != 0 {
+        if p == planes.len() {
+            planes.push(vec![0; size]);
+        }
+        let slot = &mut planes[p][idx];
+        let next = *slot & carry;
+        *slot ^= carry;
+        carry = next;
+        p += 1;
+    }
+}
+
+/// Reads lane `lane` of a bit-plane counter column.
+fn plane_read(planes: &[Vec<u64>], idx: usize, lane: usize) -> u64 {
+    planes
+        .iter()
+        .enumerate()
+        .map(|(p, plane)| (plane[idx] >> lane & 1) << p)
+        .sum()
+}
+
+impl LaneActivity {
+    fn new(lanes: usize, nets: usize, gates: usize) -> Self {
+        LaneActivity {
+            lanes,
+            nets,
+            gates,
+            net_planes: Vec::new(),
+            clock_planes: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// Number of lanes tracked (fault count + 1; lane 0 is fault-free).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of simulated cycles (identical across lanes — all lanes
+    /// run in lockstep).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn add_net_toggles(&mut self, net: usize, word: u64) {
+        plane_add(&mut self.net_planes, self.nets, net, word);
+    }
+
+    fn add_clock_events(&mut self, gate: usize, word: u64) {
+        plane_add(&mut self.clock_planes, self.gates, gate, word);
+    }
+
+    /// Extracts one lane's counters as a scalar [`Activity`] record —
+    /// bit-identical to what a scalar simulation of that lane's circuit
+    /// would have accumulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn lane(&self, lane: usize) -> Activity {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        Activity {
+            net_toggles: (0..self.nets)
+                .map(|i| plane_read(&self.net_planes, i, lane))
+                .collect(),
+            clock_events: (0..self.gates)
+                .map(|i| plane_read(&self.clock_planes, i, lane))
+                .collect(),
+            cycles: self.cycles,
+        }
+    }
+}
+
 /// Evaluates a cell over lane vectors.
 fn eval_cell(kind: crate::cell::CellKind, ins: &[PatVec]) -> PatVec {
     use crate::cell::CellKind::*;
@@ -207,6 +318,12 @@ pub struct ParallelFaultSim<'a> {
     out_forces: Vec<(GateId, u64, Logic)>,
     /// Primary-input stem force masks.
     pi_forces: Vec<(NetId, u64, Logic)>,
+    /// Previous cycle's settled values (for toggle accounting).
+    prev: Vec<PatVec>,
+    /// Whether `prev` holds a settled cycle.
+    have_prev: bool,
+    /// Per-lane switching-activity accounting (None = not tracking).
+    activity: Option<LaneActivity>,
 }
 
 /// Error returned when more than [`MAX_PARALLEL_FAULTS`] faults are given.
@@ -260,6 +377,9 @@ impl<'a> ParallelFaultSim<'a> {
             pin_forces,
             out_forces,
             pi_forces,
+            prev: vec![PatVec::ALL_X; nl.net_count()],
+            have_prev: false,
+            activity: None,
         })
     }
 
@@ -268,11 +388,53 @@ impl<'a> ParallelFaultSim<'a> {
         &self.faults
     }
 
-    /// Resets all sequential state in all lanes.
+    /// Number of live lanes (fault count + 1; lane 0 is fault-free).
+    pub fn lanes(&self) -> usize {
+        self.faults.len() + 1
+    }
+
+    /// Mask covering every live lane, including lane 0.
+    fn live_lanes_mask(&self) -> u64 {
+        lanes_mask(self.faults.len()) | 1
+    }
+
+    /// Enables per-lane switching-activity accounting (off by default; it
+    /// costs one pass over the nets per cycle). Enabling (re-)starts the
+    /// counters from zero.
+    pub fn track_activity(&mut self, on: bool) {
+        self.activity =
+            on.then(|| LaneActivity::new(self.lanes(), self.nl.net_count(), self.nl.gate_count()));
+        self.have_prev = false;
+    }
+
+    /// The accumulated per-lane activity, if tracking is enabled.
+    pub fn activity(&self) -> Option<&LaneActivity> {
+        self.activity.as_ref()
+    }
+
+    /// Extracts one lane's accumulated [`Activity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is disabled or `lane` is out of range.
+    pub fn lane_activity(&self, lane: usize) -> Activity {
+        self.activity
+            .as_ref()
+            .expect("activity tracking not enabled")
+            .lane(lane)
+    }
+
+    /// Resets all sequential state in all lanes. Like
+    /// [`crate::CycleSim::reset_state`], this also discards the
+    /// previous-cycle baseline of activity accounting (accumulated
+    /// counts survive; the next cycle records no toggles). System-level
+    /// per-run resets that must keep the inter-run toggle edge use
+    /// [`ParallelFaultSim::set_gate_state`] instead.
     pub fn reset_state(&mut self, v: Logic) {
         for &g in self.nl.sequential_gates() {
             self.state[g.index()] = PatVec::splat(v);
         }
+        self.have_prev = false;
     }
 
     /// Overwrites one sequential gate's stored state (all lanes) — used
@@ -351,13 +513,41 @@ impl<'a> ParallelFaultSim<'a> {
         }
     }
 
-    /// Advances sequential state one clock edge in all lanes.
+    /// Advances sequential state one clock edge in all lanes, recording
+    /// activity when tracking is enabled.
+    ///
+    /// Call after [`ParallelFaultSim::eval`]. Per cycle and per lane, the
+    /// accounting matches [`crate::CycleSim::clock`] exactly: one net
+    /// toggle wherever a lane's settled value made a definite `0↔1`
+    /// transition since the previous settled cycle, one clock event per
+    /// [`crate::CellKind::Dff`] lane, and one per
+    /// [`crate::CellKind::Dffe`] lane whose enable is definitely `1`.
     pub fn clock(&mut self) {
+        let live = self.live_lanes_mask();
+        let mut act = self.activity.take();
+        if let Some(a) = act.as_mut() {
+            if self.have_prev {
+                for (i, (prev, cur)) in self.prev.iter().zip(&self.values).enumerate() {
+                    // The per-lane 0↔1 toggle word (definite transitions
+                    // only, exactly `Logic::definitely_differs` per lane).
+                    let toggled = ((prev.lo & cur.hi) | (prev.hi & cur.lo)) & live;
+                    if toggled != 0 {
+                        a.add_net_toggles(i, toggled);
+                    }
+                }
+            }
+            self.prev.copy_from_slice(&self.values);
+            self.have_prev = true;
+            a.cycles += 1;
+        }
         for &g in self.nl.sequential_gates() {
             let gate = self.nl.gate(g);
             match gate.kind() {
                 crate::cell::CellKind::Dff => {
                     self.state[g.index()] = self.pin(g, 0, gate.inputs()[0]);
+                    if let Some(a) = act.as_mut() {
+                        a.add_clock_events(g.index(), live);
+                    }
                 }
                 crate::cell::CellKind::Dffe => {
                     let d = self.pin(g, 0, gate.inputs()[0]);
@@ -372,10 +562,21 @@ impl<'a> ParallelFaultSim<'a> {
                         lo: (en.hi & d.lo) | (en.lo & cur.lo) | (x_en & agree_lo),
                         hi: (en.hi & d.hi) | (en.lo & cur.hi) | (x_en & agree_hi),
                     };
+                    if let Some(a) = act.as_mut() {
+                        // Gated clock: only lanes whose enable is
+                        // definitely 1 spend clock energy (an X enable is
+                        // pessimistically uncounted, as in the scalar
+                        // simulator).
+                        let enabled = en.hi & live;
+                        if enabled != 0 {
+                            a.add_clock_events(g.index(), enabled);
+                        }
+                    }
                 }
                 _ => unreachable!("non-sequential gate in sequential list"),
             }
         }
+        self.activity = act;
     }
 
     /// Lane-vector value of a net (valid after [`ParallelFaultSim::eval`]).
@@ -576,6 +777,99 @@ mod tests {
         psim.eval();
         assert_eq!(psim.detected_mask(), 0, "X is never a definite detect");
         assert_eq!(psim.potentially_detected_mask(), 0b10);
+    }
+
+    #[test]
+    fn lane_activity_matches_scalar_activity() {
+        let nl = build();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let mut psim = ParallelFaultSim::new(&nl, &faults).unwrap();
+        psim.track_activity(true);
+        psim.reset_state(Zero);
+
+        let mut scalars: Vec<CycleSim> = std::iter::once(CycleSim::new(&nl))
+            .chain(faults.iter().map(|&f| CycleSim::with_fault(&nl, f)))
+            .map(|mut s| {
+                s.track_activity(true);
+                s.reset_state(Zero);
+                s
+            })
+            .collect();
+
+        let stim = [
+            [One, One],
+            [Zero, Zero],
+            [One, Zero],
+            [Zero, One],
+            [One, One],
+            [Zero, One],
+        ];
+        for inputs in stim {
+            psim.set_inputs(&inputs);
+            psim.eval();
+            psim.clock();
+            for s in scalars.iter_mut() {
+                s.step(&inputs);
+            }
+        }
+        let act = psim.activity().expect("tracking enabled");
+        assert_eq!(act.lanes(), faults.len() + 1);
+        assert_eq!(act.cycles(), stim.len() as u64);
+        for (lane, scalar) in scalars.iter().enumerate() {
+            let got = act.lane(lane);
+            let want = scalar.activity();
+            assert_eq!(got.cycles, want.cycles, "lane {lane}");
+            assert_eq!(got.net_toggles, want.net_toggles, "lane {lane}");
+            assert_eq!(got.clock_events, want.clock_events, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn x_enable_lanes_count_no_clock_events() {
+        // Enable pin stuck at X is impossible, but an unreset Dffe whose
+        // enable settles to X must not be charged clock energy in any
+        // lane — mirroring the scalar simulator's pessimism.
+        let mut b = NetlistBuilder::new("xe");
+        let d = b.input("d");
+        let en_src = b.input("en");
+        let en = b.gate_net(CellKind::And2, "g", &[en_src, en_src]);
+        let q = b.net("q");
+        b.gate(CellKind::Dffe, "r", &[d, en], q);
+        b.mark_output(q);
+        let nl = b.finish().unwrap();
+        let r = nl.sequential_gates()[0];
+        let mut psim = ParallelFaultSim::new(&nl, &[]).unwrap();
+        psim.track_activity(true);
+        psim.reset_state(Zero);
+        psim.set_inputs(&[One, X]);
+        psim.eval();
+        psim.clock();
+        assert_eq!(psim.lane_activity(0).clock_events[r.index()], 0);
+        psim.set_inputs(&[One, One]);
+        psim.eval();
+        psim.clock();
+        assert_eq!(psim.lane_activity(0).clock_events[r.index()], 1);
+    }
+
+    #[test]
+    fn plane_counters_carry_across_many_cycles() {
+        // Push a toggle word through enough cycles to exercise several
+        // bit planes (counts up to 200 need 8 planes).
+        let mut act = LaneActivity::new(64, 1, 1);
+        for i in 0..200u64 {
+            // Lane l toggles on cycles where l <= i, so lane l's final
+            // count is 200 - l (clipped at 0 for l >= 200).
+            let word = if i >= 63 { !0 } else { (1u64 << (i + 1)) - 1 };
+            act.add_net_toggles(0, word);
+            act.cycles += 1;
+        }
+        for lane in 0..64 {
+            assert_eq!(
+                act.lane(lane).net_toggles[0],
+                200 - lane as u64,
+                "lane {lane}"
+            );
+        }
     }
 
     #[test]

@@ -25,8 +25,31 @@ pub struct Activity {
     pub cycles: u64,
 }
 
+/// Error returned by [`Activity::merge`] when the two records were
+/// collected on differently-sized netlists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityMismatch {
+    /// (nets, gates) of the record being merged into.
+    pub into: (usize, usize),
+    /// (nets, gates) of the record being merged from.
+    pub from: (usize, usize),
+}
+
+impl std::fmt::Display for ActivityMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge switching activity from a {} net / {} gate netlist \
+             into one recorded on {} nets / {} gates",
+            self.from.0, self.from.1, self.into.0, self.into.1
+        )
+    }
+}
+
+impl std::error::Error for ActivityMismatch {}
+
 impl Activity {
-    fn new(nets: usize, gates: usize) -> Self {
+    pub(crate) fn new(nets: usize, gates: usize) -> Self {
         Activity {
             net_toggles: vec![0; nets],
             clock_events: vec![0; gates],
@@ -37,12 +60,19 @@ impl Activity {
     /// Merges another activity record (e.g. from a later batch) into this
     /// one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the two records come from differently-sized netlists.
-    pub fn merge(&mut self, other: &Activity) {
-        assert_eq!(self.net_toggles.len(), other.net_toggles.len());
-        assert_eq!(self.clock_events.len(), other.clock_events.len());
+    /// Returns [`ActivityMismatch`] if the two records come from
+    /// differently-sized netlists; `self` is left untouched in that case.
+    pub fn merge(&mut self, other: &Activity) -> Result<(), ActivityMismatch> {
+        if self.net_toggles.len() != other.net_toggles.len()
+            || self.clock_events.len() != other.clock_events.len()
+        {
+            return Err(ActivityMismatch {
+                into: (self.net_toggles.len(), self.clock_events.len()),
+                from: (other.net_toggles.len(), other.clock_events.len()),
+            });
+        }
         for (a, b) in self.net_toggles.iter_mut().zip(&other.net_toggles) {
             *a += b;
         }
@@ -50,6 +80,7 @@ impl Activity {
             *a += b;
         }
         self.cycles += other.cycles;
+        Ok(())
     }
 }
 
@@ -475,9 +506,20 @@ mod tests {
         a.cycles = 10;
         b.cycles = 5;
         b.clock_events[0] = 2;
-        a.merge(&b);
+        a.merge(&b).expect("same shape merges");
         assert_eq!(a.net_toggles[0], 7);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.clock_events[0], 2);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Activity::new(2, 1);
+        let b = Activity::new(3, 1);
+        let err = a.merge(&b).expect_err("shape mismatch must error");
+        assert_eq!(err.into, (2, 1));
+        assert_eq!(err.from, (3, 1));
+        assert!(err.to_string().contains("3 net"));
+        assert_eq!(a.cycles, 0, "failed merge leaves the target untouched");
     }
 }

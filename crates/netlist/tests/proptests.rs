@@ -119,7 +119,7 @@ proptest! {
         // NOTE: take_activity resets the "previous values" baseline, so
         // the second half re-anchors; tolerate a ±1 difference per net
         // at the seam and require exact equality elsewhere.
-        first.merge(halves.activity());
+        first.merge(halves.activity()).expect("same netlist merges");
         prop_assert_eq!(first.cycles, whole.activity().cycles);
         for (i, (&a, &b)) in first
             .net_toggles
@@ -160,6 +160,110 @@ proptest! {
             }
             known.clock();
             hazy.clock();
+        }
+    }
+}
+
+/// Random small sequential circuits: a random combinational cloud over
+/// three inputs plus two register feedback nets (one plain [`Dff`], one
+/// clock-gated [`Dffe`]).
+///
+/// [`Dff`]: CellKind::Dff
+/// [`Dffe`]: CellKind::Dffe
+fn random_seq(seed: u64) -> Netlist {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut b = NetlistBuilder::new("randseq");
+    let mut nets: Vec<sfr_netlist::NetId> = (0..3).map(|i| b.input(format!("i{i}"))).collect();
+    let q1 = b.net("q1");
+    let q2 = b.net("q2");
+    nets.push(q1);
+    nets.push(q2);
+    let kinds = [
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Inv,
+        CellKind::Mux2,
+    ];
+    for g in 0..8 {
+        let kind = kinds[(next() % kinds.len() as u64) as usize];
+        let ins: Vec<sfr_netlist::NetId> = (0..kind.arity())
+            .map(|_| nets[(next() % nets.len() as u64) as usize])
+            .collect();
+        let out = b.gate_net(kind, format!("g{g}"), &ins);
+        nets.push(out);
+    }
+    let mut pick = |nets: &[sfr_netlist::NetId]| nets[(next() % nets.len() as u64) as usize];
+    let d1 = pick(&nets);
+    let en = pick(&nets);
+    let d2 = pick(&nets);
+    b.gate(CellKind::Dffe, "r1", &[d1, en], q1);
+    b.gate(CellKind::Dff, "r2", &[d2], q2);
+    b.mark_output(*nets.last().unwrap());
+    b.mark_output(q1);
+    b.finish().expect("valid random sequential netlist")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-lane toggle and clock-event counts extracted from the parallel
+    /// simulator's bit-plane counters are bit-identical to what a scalar
+    /// `CycleSim` records for the same circuit, fault, and stimulus —
+    /// over random netlists, random fault packings, and random stimulus.
+    #[test]
+    fn lane_activity_equals_scalar_activity(
+        seed in 1u64..3000,
+        rot in any::<u64>(),
+        stimulus in proptest::collection::vec(0u8..8, 1..24),
+    ) {
+        let nl = random_seq(seed);
+        let all = StuckAt::enumerate_collapsed(&nl);
+        // A random packing: rotate the collapsed fault list and take up
+        // to a full 63-fault batch.
+        let start = (rot as usize) % all.len();
+        let batch: Vec<StuckAt> = all
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(all.len().min(63))
+            .copied()
+            .collect();
+        let mut psim = ParallelFaultSim::new(&nl, &batch).expect("fits");
+        psim.track_activity(true);
+        psim.reset_state(Logic::Zero);
+        let mut scalars: Vec<CycleSim> = std::iter::once(CycleSim::new(&nl))
+            .chain(batch.iter().map(|&f| CycleSim::with_fault(&nl, f)))
+            .map(|mut s| {
+                s.track_activity(true);
+                s.reset_state(Logic::Zero);
+                s
+            })
+            .collect();
+        for &bits in &stimulus {
+            let inputs = [logic_of(bits, 0), logic_of(bits, 1), logic_of(bits, 2)];
+            psim.set_inputs(&inputs);
+            psim.eval();
+            psim.clock();
+            for s in scalars.iter_mut() {
+                s.step(&inputs);
+            }
+        }
+        for (lane, s) in scalars.iter().enumerate() {
+            let got = psim.lane_activity(lane);
+            let want = s.activity();
+            prop_assert_eq!(got.cycles, want.cycles, "lane {}", lane);
+            prop_assert_eq!(&got.net_toggles, &want.net_toggles, "lane {}", lane);
+            prop_assert_eq!(&got.clock_events, &want.clock_events, "lane {}", lane);
         }
     }
 }

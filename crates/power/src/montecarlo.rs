@@ -168,6 +168,69 @@ where
     }
 }
 
+/// Runs one Monte Carlo estimation per simulation lane off a shared
+/// batch stream: `batch(i)` must simulate batch `i` once for **all**
+/// `lanes` lanes (e.g. one 63-fault [`sfr_netlist::ParallelFaultSim`]
+/// pass) and return one [`PowerReport`] per lane.
+///
+/// Each lane's stopping rule is the serial [`run_monte_carlo`] rule
+/// replayed over that lane's own sample prefix, so lane `l`'s
+/// [`MonteCarloResult`] is bit-identical to
+/// `run_monte_carlo(cfg, |i| scalar_batch_for_lane_l(i))` — same mean,
+/// half-width, batch count, and convergence flag — even though all lanes
+/// share the simulation passes. Batches keep running until the slowest
+/// lane stops; samples past a lane's own stopping point are discarded,
+/// exactly as the serial loop would never have computed them.
+///
+/// # Panics
+///
+/// Panics if `cfg.min_batches < 2`, `max_batches < min_batches`, or
+/// `batch` returns a report count other than `lanes`.
+pub fn run_monte_carlo_lanes<F>(
+    cfg: &MonteCarloConfig,
+    lanes: usize,
+    mut batch: F,
+) -> Vec<MonteCarloResult>
+where
+    F: FnMut(usize) -> Vec<PowerReport>,
+{
+    assert!(cfg.min_batches >= 2, "need at least 2 batches for a CI");
+    assert!(cfg.max_batches >= cfg.min_batches);
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); lanes];
+    let mut results: Vec<Option<MonteCarloResult>> = vec![None; lanes];
+    let mut open = lanes;
+    let mut i = 0;
+    while open > 0 {
+        let reports = batch(i);
+        assert_eq!(reports.len(), lanes, "batch must report every lane");
+        for (l, rep) in reports.iter().enumerate() {
+            if results[l].is_some() {
+                continue;
+            }
+            samples[l].push(rep.total_uw);
+            if samples[l].len() < cfg.min_batches {
+                continue;
+            }
+            let (mean, half, rel) = prefix_stats(&samples[l]);
+            let converged = rel <= cfg.rel_tolerance;
+            if converged || samples[l].len() >= cfg.max_batches {
+                results[l] = Some(MonteCarloResult {
+                    mean_uw: mean,
+                    half_width_uw: half,
+                    batches: samples[l].len(),
+                    converged,
+                });
+                open -= 1;
+            }
+        }
+        i += 1;
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("lane closed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +330,69 @@ mod tests {
             let par = run_monte_carlo_par(&cfg, threads, hashed_batch(50.0));
             assert_eq!(serial, par, "threads {threads}");
         }
+    }
+
+    /// Deterministic per-lane pseudo-noise: value of lane `l`, batch `i`.
+    fn lane_sample(l: usize, i: usize) -> f64 {
+        let mut z = (l as u64)
+            .wrapping_mul(0xD129_0912_8092_1097)
+            .wrapping_add(i as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // Lanes get different spreads so they converge at different
+        // batch counts.
+        100.0 + (l as f64 + 1.0) * ((z % 21) as f64 - 10.0) / 10.0
+    }
+
+    #[test]
+    fn lanes_are_bit_identical_to_per_lane_serial() {
+        let cfg = MonteCarloConfig {
+            rel_tolerance: 0.004,
+            min_batches: 4,
+            max_batches: 300,
+        };
+        let lanes = 9;
+        let joint = run_monte_carlo_lanes(&cfg, lanes, |i| {
+            (0..lanes).map(|l| report(lane_sample(l, i))).collect()
+        });
+        assert_eq!(joint.len(), lanes);
+        let mut batch_counts: Vec<usize> = Vec::new();
+        for (l, got) in joint.iter().enumerate() {
+            let want = run_monte_carlo(&cfg, |i| report(lane_sample(l, i)));
+            assert_eq!(*got, want, "lane {l}");
+            batch_counts.push(want.batches);
+        }
+        // The test is only meaningful if lanes genuinely stop at
+        // different points.
+        batch_counts.dedup();
+        assert!(batch_counts.len() > 1, "lanes all stopped together");
+    }
+
+    #[test]
+    fn lanes_capped_case_matches_serial() {
+        let cfg = MonteCarloConfig {
+            rel_tolerance: 1e-12,
+            min_batches: 2,
+            max_batches: 6,
+        };
+        let joint = run_monte_carlo_lanes(&cfg, 3, |i| {
+            (0..3).map(|l| report(lane_sample(l, i))).collect()
+        });
+        for (l, got) in joint.iter().enumerate() {
+            let want = run_monte_carlo(&cfg, |i| report(lane_sample(l, i)));
+            assert_eq!(*got, want, "lane {l}");
+            assert!(!got.converged);
+            assert_eq!(got.batches, 6);
+        }
+    }
+
+    #[test]
+    fn zero_lanes_returns_empty() {
+        let r = run_monte_carlo_lanes(&MonteCarloConfig::default(), 0, |_| {
+            panic!("no batch should run")
+        });
+        assert!(r.is_empty());
     }
 
     #[test]

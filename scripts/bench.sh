@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Grading-throughput benchmark: times the scalar reference against the
+# 63-lane and threaded lane-packed engines on the diffeq SFR faults and
+# writes the numbers to BENCH_grade.json at the repository root.
+#
+# Usage:
+#   scripts/bench.sh            # full run (all SFR faults, criterion probes)
+#   scripts/bench.sh --quick    # CI smoke: few faults, tiny Monte Carlo,
+#                               # finishes in seconds
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p sfr-bench --bench grade_throughput -- "$@"
+
+echo
+echo "== BENCH_grade.json =="
+cat BENCH_grade.json

@@ -16,4 +16,10 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== cargo bench --no-run =="
+cargo bench --workspace --no-run
+
+echo "== bench smoke (scripts/bench.sh --quick) =="
+scripts/bench.sh --quick
+
 echo "CI gate passed."

@@ -1,0 +1,89 @@
+//! Fixed-seed regression pinning the lane-packed grading engine to the
+//! scalar reference (the paper's Table 3 experiment): every fault's
+//! Monte Carlo mean, percentage change and flag must be **bit-identical**
+//! between `grade_faults_scalar_with` and `grade_faults_with`, at every
+//! thread count, and the per-test-set measurement must agree
+//! fault-for-fault with the scalar simulator.
+
+use sfr_power::exec::NullProgress;
+use sfr_power::{
+    benchmarks, classify_system, grade_faults_scalar_with, grade_faults_with,
+    measure_power_lanes_with_testset, measure_power_with_testset, ClassifyConfig, GradeConfig,
+    MonteCarloConfig, StuckAt, System, SystemConfig, TestSet,
+};
+
+fn quick_grade_cfg() -> GradeConfig {
+    GradeConfig {
+        mc: MonteCarloConfig {
+            rel_tolerance: 0.05,
+            min_batches: 3,
+            max_batches: 8,
+        },
+        patterns_per_batch: 60,
+        ..Default::default()
+    }
+}
+
+fn diffeq_sfr() -> (System, Vec<StuckAt>) {
+    let emitted = benchmarks::diffeq(4).expect("diffeq builds");
+    let sys = System::build(&emitted, SystemConfig::default()).expect("system builds");
+    let cfg = ClassifyConfig {
+        test_patterns: 240,
+        ..Default::default()
+    };
+    let cls = classify_system(&sys, &cfg);
+    let faults: Vec<StuckAt> = cls.sfr().map(|f| f.fault).collect();
+    assert!(faults.len() > 1, "diffeq must yield SFR faults to compare");
+    (sys, faults)
+}
+
+#[test]
+fn lane_packed_grades_are_bit_identical_to_scalar_at_every_thread_count() {
+    let (sys, faults) = diffeq_sfr();
+    let cfg = quick_grade_cfg();
+    let (base_ref, grades_ref) = grade_faults_scalar_with(&sys, &faults, &cfg, 1, &NullProgress);
+    for threads in [1, 2, 8] {
+        let (base, grades) = grade_faults_with(&sys, &faults, &cfg, threads, &NullProgress);
+        assert_eq!(
+            base.mean_uw, base_ref.mean_uw,
+            "baseline, {threads} threads"
+        );
+        assert_eq!(base.batches, base_ref.batches);
+        assert_eq!(grades.len(), grades_ref.len());
+        for (g, r) in grades.iter().zip(&grades_ref) {
+            assert_eq!(g.fault, r.fault);
+            assert_eq!(g.mean_uw, r.mean_uw, "{:?}, {threads} threads", g.fault);
+            assert_eq!(g.pct_change, r.pct_change, "{:?}", g.fault);
+            assert_eq!(g.flagged, r.flagged, "{:?}", g.fault);
+        }
+    }
+}
+
+#[test]
+fn table3_testset_measurement_matches_scalar_fault_for_fault() {
+    let (sys, faults) = diffeq_sfr();
+    let cfg = quick_grade_cfg();
+    // A fixed-seed deterministic test set, as in Table 3's columns.
+    let ts = TestSet::pseudorandom(sys.pattern_width(), 200, 0xB007).expect("test set");
+    let reports =
+        measure_power_lanes_with_testset(&sys, &faults[..faults.len().min(63)], &ts, &cfg)
+            .expect("at most 63 faults packed");
+    let baseline = measure_power_with_testset(&sys, None, &ts, &cfg);
+    assert_eq!(
+        reports[0].total_uw, baseline.total_uw,
+        "lane 0 is fault-free"
+    );
+    assert_eq!(reports[0].cycles, baseline.cycles);
+    for (lane, &f) in faults.iter().take(63).enumerate() {
+        let scalar = measure_power_with_testset(&sys, Some(f), &ts, &cfg);
+        let lane_rep = &reports[lane + 1];
+        assert_eq!(lane_rep.total_uw, scalar.total_uw, "{f:?}");
+        assert_eq!(lane_rep.switching_uw, scalar.switching_uw, "{f:?}");
+        assert_eq!(lane_rep.clock_uw, scalar.clock_uw, "{f:?}");
+        assert_eq!(
+            lane_rep.percent_change_from(&reports[0]),
+            scalar.percent_change_from(&baseline),
+            "Table 3 pct change must be identical for {f:?}"
+        );
+    }
+}
