@@ -109,6 +109,24 @@ pub fn report_counters(counters: &Counters) {
             s.grade_pack_faults as f64 / s.grade_packs as f64
         );
     }
+    if s.packs_restored > 0 {
+        eprintln!(
+            "checkpoint: {} pack(s) restored from the journal ({} faults skipped recomputation)",
+            s.packs_restored, s.faults_restored
+        );
+    }
+    if s.packs_quarantined > 0 {
+        eprintln!(
+            "quarantine: {} pack(s) panicked twice and were set aside ({} faults ungraded)",
+            s.packs_quarantined, s.faults_quarantined
+        );
+    }
+    if s.budget_exhausted > 0 {
+        eprintln!(
+            "watchdog: {} fault(s) exhausted their cycle budget",
+            s.budget_exhausted
+        );
+    }
     for (phase, elapsed) in &s.phase_times {
         eprintln!(
             "phase {:<8} {:>8.1} ms",

@@ -17,8 +17,12 @@
 //! ([`grade_faults_scalar_with`]) — same means, percentages, and flags
 //! at any thread count.
 
-use sfr_exec::{par_map_indexed, NullProgress, Phase, PhaseTimer, Progress, ProgressEvent};
+use sfr_exec::{
+    par_map_indexed, par_map_indexed_caught, NullProgress, Phase, PhaseTimer, Progress,
+    ProgressEvent,
+};
 use sfr_faultsim::{RunConfig, System};
+use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
 use sfr_netlist::{
     CycleSim, Logic, ParallelFaultSim, StuckAt, TooManyFaultsError, MAX_PARALLEL_FAULTS,
 };
@@ -64,6 +68,7 @@ impl Default for GradeConfig {
             run: RunConfig {
                 max_cycles_per_run: 64,
                 hold_cycles: 2,
+                cycle_budget: 0,
             },
             threshold_pct: 5.0,
         }
@@ -102,12 +107,13 @@ pub fn measure_power_with_testset(
     };
     sim.track_activity(true);
     let hold = sys.meta.hold_state();
+    let ceiling = cfg.run.run_ceiling();
     let mut idx = 0usize;
     while idx < ts.len() {
         sys.reset_sim(&mut sim, Logic::Zero);
         let mut len = 0usize;
         let mut in_hold_for = 0usize;
-        while idx < ts.len() && len < cfg.run.max_cycles_per_run {
+        while idx < ts.len() && len < ceiling {
             sys.apply_pattern(&mut sim, ts.patterns()[idx]);
             idx += 1;
             len += 1;
@@ -154,20 +160,56 @@ pub fn measure_power_lanes_with_testset(
     ts: &TestSet,
     cfg: &GradeConfig,
 ) -> Result<Vec<PowerReport>, TooManyFaultsError> {
+    measure_power_lanes_watched(sys, faults, ts, cfg).map(|(reports, _)| reports)
+}
+
+/// [`measure_power_lanes_with_testset`] plus the watchdog's stall mask:
+/// bit `i` is set when `faults[i]`'s lane was *not* in HOLD at the end
+/// of a run the fault-free lane completed normally — i.e. the fault
+/// stalled or diverted the controller's sequencing and would run away
+/// without the tester-imposed ceiling ([`RunConfig::run_ceiling`]).
+///
+/// The criterion is relative to lane 0 on the same data, so runs the
+/// fault-free machine itself cannot finish (looping benchmarks hitting
+/// the loop guard) flag nobody: only genuine fault-induced divergence
+/// trips the watchdog.
+///
+/// The watchdog is armed by [`RunConfig::cycle_budget`]; with the
+/// default budget of 0 no stall accounting happens and the mask is
+/// always 0 — existing grading behaviour is untouched.
+pub fn measure_power_lanes_watched(
+    sys: &System,
+    faults: &[StuckAt],
+    ts: &TestSet,
+    cfg: &GradeConfig,
+) -> Result<(Vec<PowerReport>, u64), TooManyFaultsError> {
     let mut sim = ParallelFaultSim::new(&sys.netlist, faults)?;
     sim.track_activity(true);
     let hold = sys.meta.hold_state();
+    let ceiling = cfg.run.run_ceiling();
+    let armed = cfg.run.cycle_budget != 0;
     let mut idx = 0usize;
+    let mut stalled = 0u64;
     while idx < ts.len() {
         sys.reset_psim(&mut sim, Logic::Zero);
         let mut len = 0usize;
         let mut in_hold_for = 0usize;
-        while idx < ts.len() && len < cfg.run.max_cycles_per_run {
+        while idx < ts.len() && len < ceiling {
             sys.apply_pattern_parallel(&mut sim, ts.patterns()[idx]);
             idx += 1;
             len += 1;
             sim.eval();
             let st = sys.decode_state_lane(&sim, 0);
+            let ending = armed && st == Some(hold) && in_hold_for + 1 > cfg.run.hold_cycles;
+            if ending {
+                // Lane 0 completed this run; a fault lane still outside
+                // HOLD at the same instant has lost the sequence.
+                for (i, _) in faults.iter().enumerate() {
+                    if stalled & (1 << i) == 0 && sys.decode_state_lane(&sim, i + 1) != Some(hold) {
+                        stalled |= 1 << i;
+                    }
+                }
+            }
             sim.clock();
             if st == Some(hold) {
                 in_hold_for += 1;
@@ -177,12 +219,13 @@ pub fn measure_power_lanes_with_testset(
             }
         }
     }
-    Ok(power_from_lane_activity_where(
+    let reports = power_from_lane_activity_where(
         &sys.netlist,
         sim.activity().expect("tracking enabled above"),
         &cfg.power,
         |g| !sys.is_controller_gate(g),
-    ))
+    );
+    Ok((reports, stalled))
 }
 
 /// One Monte Carlo batch: fresh pseudorandom data keyed by the *batch
@@ -211,9 +254,9 @@ fn mc_batch_lanes(
     faults: &[StuckAt],
     cfg: &GradeConfig,
     batch: usize,
-) -> Result<Vec<PowerReport>, TooManyFaultsError> {
+) -> Result<(Vec<PowerReport>, u64), TooManyFaultsError> {
     let ts = batch_testset(sys, cfg, batch);
-    measure_power_lanes_with_testset(sys, faults, &ts, cfg)
+    measure_power_lanes_watched(sys, faults, &ts, cfg)
 }
 
 /// Monte Carlo datapath power of an (optionally faulty) system.
@@ -274,6 +317,148 @@ pub fn grade_faults_with(
     threads: usize,
     progress: &dyn Progress,
 ) -> (MonteCarloResult, Vec<PowerGrade>) {
+    let report = grade_faults_journaled(sys, faults, cfg, threads, progress, None);
+    (report.baseline, report.grades)
+}
+
+/// One resilience incident observed while grading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradeIncident {
+    /// A whole lane pack panicked twice and was quarantined: its faults
+    /// carry no grade, the rest of the study is unaffected.
+    QuarantinedPack {
+        /// Pack index (chunks of [`MAX_PARALLEL_FAULTS`]).
+        pack: usize,
+        /// The faults that were in the pack.
+        faults: Vec<StuckAt>,
+        /// The panic payload message.
+        message: String,
+    },
+    /// The watchdog caught a fault whose lane was still outside HOLD
+    /// when the fault-free lane finished a run: a runaway/stalling
+    /// fault, graded on budget-bounded cycles and reported distinctly.
+    BudgetExhausted {
+        /// The runaway fault.
+        fault: StuckAt,
+    },
+}
+
+/// The full grading outcome: baseline, per-fault grades (faults in
+/// quarantined packs are absent), and the incident list.
+#[derive(Debug, Clone)]
+pub struct GradeReport {
+    /// Fault-free Monte Carlo baseline (lane 0 of pack 0).
+    pub baseline: MonteCarloResult,
+    /// One grade per successfully graded fault, in input order.
+    pub grades: Vec<PowerGrade>,
+    /// Quarantine and watchdog incidents, in pack/fault order.
+    pub incidents: Vec<GradeIncident>,
+}
+
+/// What one pack contributed: either its lane estimations plus the
+/// accumulated watchdog stall mask, or a quarantine record.
+enum PackOutcome {
+    Computed {
+        results: Vec<MonteCarloResult>,
+        stalls: u64,
+        restored: bool,
+    },
+    Quarantined {
+        message: String,
+    },
+}
+
+/// Journal payload tags for grade packs.
+const PACK_OK: u64 = 0;
+const PACK_QUARANTINED: u64 = 1;
+
+fn encode_pack(results: &[MonteCarloResult], stalls: u64) -> Vec<u64> {
+    let mut words = vec![PACK_OK, stalls, results.len() as u64];
+    for r in results {
+        words.push(r.mean_uw.to_bits());
+        words.push(r.half_width_uw.to_bits());
+        words.push(r.batches as u64);
+        words.push(u64::from(r.converged));
+    }
+    words
+}
+
+fn encode_quarantine(message: &str) -> Vec<u64> {
+    let mut words = vec![PACK_QUARANTINED];
+    words.extend(encode_str(message));
+    words
+}
+
+/// Decodes a journaled pack payload; `None` means the payload is not a
+/// valid record for a pack with `lanes` lanes (the pack is recomputed).
+fn decode_pack(words: &[u64], lanes: usize) -> Option<PackOutcome> {
+    match *words.first()? {
+        PACK_OK => {
+            let stalls = *words.get(1)?;
+            let n = usize::try_from(*words.get(2)?).ok()?;
+            if n != lanes || words.len() != 3 + 4 * n {
+                return None;
+            }
+            let results = words[3..]
+                .chunks(4)
+                .map(|c| MonteCarloResult {
+                    mean_uw: f64::from_bits(c[0]),
+                    half_width_uw: f64::from_bits(c[1]),
+                    batches: c[2] as usize,
+                    converged: c[3] != 0,
+                })
+                .collect();
+            Some(PackOutcome::Computed {
+                results,
+                stalls,
+                restored: true,
+            })
+        }
+        PACK_QUARANTINED => {
+            let (message, _) = decode_str(&words[1..])?;
+            Some(PackOutcome::Quarantined { message })
+        }
+        _ => None,
+    }
+}
+
+/// The crash-safe, fault-isolated grading engine behind
+/// [`grade_faults_with`]: lane-packed Monte Carlo grading with
+/// checkpoint journaling, panic quarantine, and watchdog reporting.
+///
+/// Per pack (a chunk of [`MAX_PARALLEL_FAULTS`] faults + the baseline
+/// lane):
+///
+/// * **journal hit** — the pack's estimations (or its quarantine
+///   verdict) are restored verbatim from `journal` and the simulation
+///   is skipped ([`ProgressEvent::PackRestored`]); because journaled
+///   payloads are the bit-exact `f64` words of the original run, a
+///   resumed study is bit-identical to an uninterrupted one;
+/// * **panic** — the pack is retried once, then quarantined
+///   ([`GradeIncident::QuarantinedPack`],
+///   [`ProgressEvent::PackQuarantined`]) without poisoning the study;
+/// * **watchdog** — a fault whose lane misses HOLD while lane 0
+///   completes a run is reported as
+///   [`GradeIncident::BudgetExhausted`] (its grade is still emitted,
+///   measured over [`RunConfig::run_ceiling`]-bounded runs).
+///
+/// Completed packs are recorded to `journal` as they finish, so a kill
+/// at any instant loses at most the packs still in flight.
+///
+/// # Panics
+///
+/// If pack 0 — the pack that carries the fault-free baseline on lane
+/// 0 — quarantines, a baseline-only rescue estimation runs (itself
+/// retried once); if that also panics the study cannot produce any
+/// percentage change and the function panics with the payload message.
+pub fn grade_faults_journaled(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    threads: usize,
+    progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
+) -> GradeReport {
     let _timer = PhaseTimer::start(progress, Phase::Grade);
     // Pack 0 always exists — with no faults to grade it still carries
     // the baseline on lane 0.
@@ -282,39 +467,154 @@ pub fn grade_faults_with(
     } else {
         faults.chunks(MAX_PARALLEL_FAULTS).collect()
     };
-    let pack_results: Vec<Vec<MonteCarloResult>> = par_map_indexed(threads, packs.len(), |p| {
+    let outcomes = par_map_indexed_caught(threads, packs.len(), |p| {
         let pack = packs[p];
-        let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
-            mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit")
-        });
-        // One MonteCarlo event per estimation: every pack's fault lanes,
-        // plus the shared baseline (lane 0) once, from pack 0.
-        for r in results.iter().skip(usize::from(p != 0)) {
-            progress.event(ProgressEvent::MonteCarlo {
-                batches: r.batches,
-                converged: r.converged,
-            });
+        if let Some(j) = journal {
+            if let Some(words) = j.get(RecordKind::GradePack, p as u64) {
+                if let Some(outcome) = decode_pack(&words, pack.len() + 1) {
+                    return outcome;
+                }
+                // An undecodable payload (e.g. written by an older
+                // format) falls through to recomputation.
+            }
         }
-        progress.event(ProgressEvent::GradePack { faults: pack.len() });
-        results
+        let mut stalls = 0u64;
+        let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+            let (reports, batch_stalls) =
+                mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit");
+            stalls |= batch_stalls;
+            reports
+        });
+        if let Some(j) = journal {
+            j.record(
+                RecordKind::GradePack,
+                p as u64,
+                &encode_pack(&results, stalls),
+            );
+        }
+        PackOutcome::Computed {
+            results,
+            stalls,
+            restored: false,
+        }
     });
-    let baseline = pack_results[0][0];
-    let mut grades = Vec::with_capacity(faults.len());
-    for (pack, results) in packs.iter().zip(&pack_results) {
-        for (i, &fault) in pack.iter().enumerate() {
-            let mc = results[i + 1];
-            let pct = 100.0 * (mc.mean_uw - baseline.mean_uw) / baseline.mean_uw;
-            let flagged = pct.abs() > cfg.threshold_pct;
-            progress.event(ProgressEvent::FaultGraded { flagged });
-            grades.push(PowerGrade {
-                fault,
-                mean_uw: mc.mean_uw,
-                pct_change: pct,
-                flagged,
-            });
+
+    // Normalize panics into quarantine outcomes and journal them, so a
+    // resumed study replays the incident instead of re-panicking.
+    let outcomes: Vec<PackOutcome> = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(p, slot)| match slot {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                if let Some(j) = journal {
+                    j.record(
+                        RecordKind::GradePack,
+                        p as u64,
+                        &encode_quarantine(&panic.message),
+                    );
+                }
+                PackOutcome::Quarantined {
+                    message: panic.message,
+                }
+            }
+        })
+        .collect();
+
+    // Progress accounting, in deterministic pack order.
+    for (p, outcome) in outcomes.iter().enumerate() {
+        let n_faults = packs[p].len();
+        match outcome {
+            PackOutcome::Computed {
+                results, restored, ..
+            } => {
+                if *restored {
+                    progress.event(ProgressEvent::PackRestored { faults: n_faults });
+                } else {
+                    // One MonteCarlo event per estimation: every pack's
+                    // fault lanes, plus the shared baseline (lane 0)
+                    // once, from pack 0.
+                    for r in results.iter().skip(usize::from(p != 0)) {
+                        progress.event(ProgressEvent::MonteCarlo {
+                            batches: r.batches,
+                            converged: r.converged,
+                        });
+                    }
+                    progress.event(ProgressEvent::GradePack { faults: n_faults });
+                }
+            }
+            PackOutcome::Quarantined { .. } => {
+                progress.event(ProgressEvent::PackQuarantined { faults: n_faults });
+            }
         }
     }
-    (baseline, grades)
+
+    // The baseline lives on lane 0 of pack 0; if that pack quarantined,
+    // rescue the study with a baseline-only estimation.
+    let baseline = match &outcomes[0] {
+        PackOutcome::Computed { results, .. } => results[0],
+        PackOutcome::Quarantined { message, .. } => {
+            let rescue = par_map_indexed_caught(1, 1, |_| {
+                run_monte_carlo_lanes(&cfg.mc, 1, |batch| {
+                    let (reports, _) = mc_batch_lanes(sys, &[], cfg, batch)
+                        .expect("the empty pack is always in range");
+                    reports
+                })[0]
+            });
+            match rescue.into_iter().next() {
+                Some(Ok(mc)) => {
+                    progress.event(ProgressEvent::MonteCarlo {
+                        batches: mc.batches,
+                        converged: mc.converged,
+                    });
+                    mc
+                }
+                _ => panic!(
+                    "baseline pack quarantined and the baseline-only rescue also \
+                     panicked: {message}"
+                ),
+            }
+        }
+    };
+
+    let mut grades = Vec::with_capacity(faults.len());
+    let mut incidents = Vec::new();
+    for (p, (pack, outcome)) in packs.iter().zip(&outcomes).enumerate() {
+        match outcome {
+            PackOutcome::Computed {
+                results, stalls, ..
+            } => {
+                for (i, &fault) in pack.iter().enumerate() {
+                    let mc = results[i + 1];
+                    let pct = 100.0 * (mc.mean_uw - baseline.mean_uw) / baseline.mean_uw;
+                    let flagged = pct.abs() > cfg.threshold_pct;
+                    progress.event(ProgressEvent::FaultGraded { flagged });
+                    grades.push(PowerGrade {
+                        fault,
+                        mean_uw: mc.mean_uw,
+                        pct_change: pct,
+                        flagged,
+                    });
+                    if stalls & (1 << i) != 0 {
+                        progress.event(ProgressEvent::BudgetExhausted);
+                        incidents.push(GradeIncident::BudgetExhausted { fault });
+                    }
+                }
+            }
+            PackOutcome::Quarantined { message, .. } => {
+                incidents.push(GradeIncident::QuarantinedPack {
+                    pack: p,
+                    faults: pack.to_vec(),
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+    GradeReport {
+        baseline,
+        grades,
+        incidents,
+    }
 }
 
 /// The scalar reference grading path: one [`CycleSim`] pass per fault

@@ -65,14 +65,15 @@ mod table;
 mod testutil;
 
 pub use grade::{
-    grade_faults, grade_faults_scalar_with, grade_faults_with, measure_power_lanes_with_testset,
-    measure_power_monte_carlo, measure_power_monte_carlo_par, measure_power_with_testset,
-    GradeConfig, PowerGrade,
+    grade_faults, grade_faults_journaled, grade_faults_scalar_with, grade_faults_with,
+    measure_power_lanes_watched, measure_power_lanes_with_testset, measure_power_monte_carlo,
+    measure_power_monte_carlo_par, measure_power_with_testset, GradeConfig, GradeIncident,
+    GradeReport, PowerGrade,
 };
 pub use oracle::{judge, Mismatch, Verdict, HOLD_OBSERVE_CYCLES, LOOP_DEPTHS};
 pub use pipeline::{
-    classify_system, classify_system_with, Classification, ClassifiedFault, ClassifyConfig,
-    FaultClass, SfiReason,
+    classify_system, classify_system_journaled, classify_system_with, Classification,
+    ClassifiedFault, ClassifyConfig, FaultClass, SfiReason,
 };
 pub use rules::{classify_effect, judge_by_rules, EffectClass, RuleVerdict};
 pub use table::{analyze_controller_fault, ControlLineEffect, ControllerBehavior};

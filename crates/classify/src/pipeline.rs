@@ -18,8 +18,10 @@ use crate::rules::{judge_by_rules, RuleVerdict};
 use crate::table::{analyze_controller_fault, ControlLineEffect};
 use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
 use sfr_faultsim::{
-    golden_trace, run_campaign, Detection, Engine, LaneEngine, RunConfig, SerialEngine, System,
+    golden_trace, run_campaign_quarantined, Detection, Engine, LaneEngine, QuarantinedChunk,
+    RunConfig, SerialEngine, System,
 };
+use sfr_journal::CampaignJournal;
 use sfr_netlist::StuckAt;
 use sfr_tpg::TestSet;
 
@@ -167,6 +169,26 @@ pub fn classify_system_with(
     engine: &dyn Engine,
     progress: &dyn Progress,
 ) -> Classification {
+    classify_system_journaled(sys, cfg, engine, progress, None).0
+}
+
+/// [`classify_system_with`] plus campaign resilience: fault-simulation
+/// chunks run under panic quarantine and, when `journal` is given,
+/// completed chunks are checkpointed and previously-journaled chunks
+/// restored verbatim (see
+/// [`run_campaign_quarantined`]).
+///
+/// Quarantined chunks' faults are absent from the returned
+/// [`Classification`] — they have no verdict — and are reported in the
+/// second tuple element instead. With a healthy engine the
+/// classification is identical to [`classify_system_with`]'s.
+pub fn classify_system_journaled(
+    sys: &System,
+    cfg: &ClassifyConfig,
+    engine: &dyn Engine,
+    progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
+) -> (Classification, Vec<QuarantinedChunk>) {
     let faults = sys.controller_faults();
     let timer = PhaseTimer::start(progress, Phase::Golden);
     let ts = TestSet::pseudorandom(sys.pattern_width(), cfg.test_patterns, cfg.test_seed)
@@ -175,7 +197,8 @@ pub fn classify_system_with(
     timer.finish();
 
     let timer = PhaseTimer::start(progress, Phase::FaultSim);
-    let outcomes = run_campaign(engine, sys, &golden, &faults, progress);
+    let (outcomes, quarantined) =
+        run_campaign_quarantined(engine, sys, &golden, &faults, progress, journal);
     timer.finish();
 
     // Steps 2–4 are independent per fault; shard them to the engine's
@@ -186,7 +209,7 @@ pub fn classify_system_with(
         classify_outcome(sys, outcomes[i])
     });
 
-    Classification { faults: classified }
+    (Classification { faults: classified }, quarantined)
 }
 
 /// Steps 2–4 of the methodology for one campaign outcome.

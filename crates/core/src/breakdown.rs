@@ -165,6 +165,7 @@ mod tests {
         RunConfig {
             max_cycles_per_run: 64,
             hold_cycles: 2,
+            cycle_budget: 0,
         }
     }
 

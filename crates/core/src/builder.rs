@@ -24,7 +24,9 @@ use sfr_exec::{NullProgress, Progress};
 use sfr_faultsim::{EngineKind, System};
 use sfr_fsm::{Encoding, FillPolicy};
 use sfr_hls::EmittedSystem;
+use sfr_journal::CampaignJournal;
 use sfr_power_model::MonteCarloConfig;
+use std::path::PathBuf;
 
 /// Where a study's system comes from.
 #[derive(Debug, Clone)]
@@ -50,6 +52,9 @@ pub struct StudyBuilder {
     cfg: StudyConfig,
     threads: usize,
     engine: Option<EngineKind>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    cycle_budget: Option<usize>,
 }
 
 impl StudyBuilder {
@@ -63,6 +68,9 @@ impl StudyBuilder {
             cfg: StudyConfig::default(),
             threads: 1,
             engine: None,
+            checkpoint: None,
+            resume: None,
+            cycle_budget: None,
         }
     }
 
@@ -74,6 +82,9 @@ impl StudyBuilder {
             cfg: StudyConfig::default(),
             threads: 1,
             engine: None,
+            checkpoint: None,
+            resume: None,
+            cycle_budget: None,
         }
     }
 
@@ -171,6 +182,39 @@ impl StudyBuilder {
         self
     }
 
+    /// Checkpoint the campaign to `path`: every completed
+    /// fault-simulation chunk and grading pack is recorded to a
+    /// crash-safe journal as it finishes. If the file already exists
+    /// (an interrupted earlier run of the *same* campaign — validated
+    /// by fingerprint), its records are restored and only the missing
+    /// work runs; results are bit-identical either way.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resume from an existing checkpoint journal at `path`.
+    /// [`build`](Self::build) fails with [`StudyError::Journal`] if the
+    /// file is missing, corrupt, or belongs to a different campaign.
+    /// Newly completed work keeps being recorded to the same file.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Watchdog budget for power grading, as a multiple of the
+    /// design's nominal run length
+    /// ([`System::nominal_run_cycles`]): each faulty run is ceilinged
+    /// at `factor × nominal` cycles (never above the existing loop
+    /// guard). Runaway faults — those still outside HOLD when the
+    /// fault-free lane completes a run — are reported as
+    /// budget-exhausted incidents whether or not a budget is set; the
+    /// budget additionally bounds the cycles they can burn.
+    pub fn cycle_budget(mut self, factor: usize) -> Self {
+        self.cycle_budget = Some(factor);
+        self
+    }
+
     /// Validates the configuration, builds the benchmark and its
     /// gate-level system, and returns a ready-to-run study.
     ///
@@ -178,7 +222,9 @@ impl StudyBuilder {
     ///
     /// [`StudyError::InvalidConfig`] for an unknown benchmark name or
     /// out-of-range settings, [`StudyError::Benchmark`] if HLS emission
-    /// fails, [`StudyError::Netlist`] if gate-level construction fails.
+    /// fails, [`StudyError::Netlist`] if gate-level construction fails,
+    /// [`StudyError::Journal`] if a checkpoint/resume journal cannot be
+    /// opened or belongs to a different campaign.
     pub fn build(self) -> Result<PreparedStudy, StudyError> {
         if self.width == 0 || self.width > 64 {
             return Err(StudyError::InvalidConfig(format!(
@@ -196,6 +242,12 @@ impl StudyBuilder {
                 "detection threshold must be non-negative, got {}%",
                 self.cfg.grade.threshold_pct
             )));
+        }
+        if self.cycle_budget == Some(0) {
+            return Err(StudyError::InvalidConfig(
+                "cycle budget factor must be at least 1 (omit it to disable the watchdog ceiling)"
+                    .into(),
+            ));
         }
         let (name, emitted) = match self.source {
             Source::Named(name) => {
@@ -215,17 +267,60 @@ impl StudyBuilder {
             Source::Emitted(name, emitted) => (name, *emitted),
         };
         let system = System::build(&emitted, self.cfg.system)?;
+        let mut cfg = self.cfg;
+        if let Some(factor) = self.cycle_budget {
+            cfg.grade.run.cycle_budget =
+                factor.saturating_mul(system.nominal_run_cycles(cfg.grade.run.hold_cycles));
+        }
+        // The fingerprint ties a journal to one campaign: design, width,
+        // and every setting that influences results. Threads and engine
+        // are deliberately excluded — packs are thread-invariant, so an
+        // interrupted 8-thread run may resume on 1 thread (or vice
+        // versa) and still reproduce bit-identical tables.
+        let fingerprint = campaign_fingerprint(&name, self.width, &cfg);
+        let journal = match (&self.resume, &self.checkpoint) {
+            (Some(path), _) => {
+                let journal = CampaignJournal::open(path).map_err(StudyError::Journal)?;
+                journal
+                    .check_fingerprint(fingerprint)
+                    .map_err(StudyError::Journal)?;
+                Some(journal)
+            }
+            (None, Some(path)) => Some(
+                CampaignJournal::open_or_create(path, fingerprint, &name)
+                    .map_err(StudyError::Journal)?,
+            ),
+            (None, None) => None,
+        };
         let engine = self
             .engine
             .unwrap_or_else(|| EngineKind::for_threads(self.threads));
         Ok(PreparedStudy {
             name,
             system,
-            cfg: self.cfg,
+            cfg,
             threads: self.threads,
             engine,
+            journal,
         })
     }
+}
+
+/// A stable 64-bit fingerprint of everything that determines a
+/// campaign's results (FNV-1a over the configuration's debug
+/// rendering). Two runs with equal fingerprints produce bit-identical
+/// packs, which is what makes restoring journaled packs sound.
+fn campaign_fingerprint(name: &str, width: usize, cfg: &StudyConfig) -> u64 {
+    let desc = format!(
+        "{name}|{width}|{:?}|{:?}|{:?}",
+        cfg.system, cfg.classify, cfg.grade
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in desc.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// A validated, fully constructed study awaiting execution.
@@ -236,6 +331,7 @@ pub struct PreparedStudy {
     cfg: StudyConfig,
     threads: usize,
     engine: EngineKind,
+    journal: Option<CampaignJournal>,
 }
 
 impl PreparedStudy {
@@ -270,7 +366,14 @@ impl PreparedStudy {
             engine.as_ref(),
             self.threads,
             progress,
+            self.journal.as_ref(),
         )
+    }
+
+    /// The checkpoint journal this run records to (or resumes from), if
+    /// one was configured.
+    pub fn journal(&self) -> Option<&CampaignJournal> {
+        self.journal.as_ref()
     }
 }
 

@@ -1,7 +1,8 @@
 //! The facade's unified error type.
 
 use sfr_hls::EmitError;
-use sfr_netlist::NetlistError;
+use sfr_journal::JournalError;
+use sfr_netlist::{NetlistError, ParseError};
 use std::fmt;
 
 /// Everything that can go wrong preparing or running a study.
@@ -18,6 +19,12 @@ pub enum StudyError {
     /// The study configuration is invalid (unknown benchmark name,
     /// zero-width datapath, empty test set, …).
     InvalidConfig(String),
+    /// The checkpoint journal could not be opened or validated
+    /// (missing file on `--resume`, corruption, or a fingerprint from a
+    /// different campaign).
+    Journal(JournalError),
+    /// A structural Verilog source failed to parse.
+    Parse(ParseError),
 }
 
 impl fmt::Display for StudyError {
@@ -26,6 +33,8 @@ impl fmt::Display for StudyError {
             StudyError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
             StudyError::Benchmark(e) => write!(f, "benchmark build failed: {e}"),
             StudyError::InvalidConfig(msg) => write!(f, "invalid study configuration: {msg}"),
+            StudyError::Journal(e) => write!(f, "checkpoint journal error: {e}"),
+            StudyError::Parse(e) => write!(f, "verilog parse error: {e}"),
         }
     }
 }
@@ -36,7 +45,21 @@ impl std::error::Error for StudyError {
             StudyError::Netlist(e) => Some(e),
             StudyError::Benchmark(e) => Some(e),
             StudyError::InvalidConfig(_) => None,
+            StudyError::Journal(e) => Some(e),
+            StudyError::Parse(e) => Some(e),
         }
+    }
+}
+
+impl From<JournalError> for StudyError {
+    fn from(e: JournalError) -> Self {
+        StudyError::Journal(e)
+    }
+}
+
+impl From<ParseError> for StudyError {
+    fn from(e: ParseError) -> Self {
+        StudyError::Parse(e)
     }
 }
 

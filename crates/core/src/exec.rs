@@ -16,9 +16,11 @@
 //!   keeps parallel runs byte-identical to serial ones.
 
 pub use sfr_exec::{
-    default_threads, par_map_chunks, par_map_indexed, stream_seed, CounterState, Counters,
-    NullProgress, Phase, PhaseTimer, Progress, ProgressEvent,
+    default_threads, panic_message, par_map_chunks, par_map_indexed, par_map_indexed_caught,
+    stream_seed, CounterState, Counters, NullProgress, Phase, PhaseTimer, Progress, ProgressEvent,
+    TaskPanic,
 };
 pub use sfr_faultsim::{
-    run_campaign, Engine, EngineKind, LaneEngine, SerialEngine, ThreadedEngine,
+    run_campaign, run_campaign_quarantined, Engine, EngineKind, LaneEngine, QuarantinedChunk,
+    SerialEngine, ThreadedEngine,
 };

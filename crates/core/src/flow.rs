@@ -2,14 +2,16 @@
 
 use crate::error::StudyError;
 use sfr_classify::{
-    classify_system_with, grade_faults_with, Classification, ClassifyConfig, GradeConfig,
-    PowerGrade,
+    classify_system_journaled, grade_faults_journaled, Classification, ClassifyConfig, GradeConfig,
+    GradeIncident, PowerGrade,
 };
 use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
 use sfr_faultsim::{Engine, LaneEngine, SerialEngine, System, SystemConfig};
 use sfr_hls::EmittedSystem;
+use sfr_journal::CampaignJournal;
 use sfr_netlist::StuckAt;
 use sfr_power_model::MonteCarloResult;
+use std::fmt;
 
 /// Configuration of a full study.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +22,78 @@ pub struct StudyConfig {
     pub classify: ClassifyConfig,
     /// Power grading options (Monte Carlo, threshold band).
     pub grade: GradeConfig,
+}
+
+/// One resilience incident from a study: work that was quarantined,
+/// watchdog-flagged, or lost its checkpoint persistence — reported
+/// alongside the results instead of aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incident {
+    /// A fault-simulation chunk panicked twice and was quarantined; its
+    /// faults have no classification verdict.
+    FaultSimQuarantined {
+        /// Chunk index.
+        chunk: usize,
+        /// The faults in the chunk.
+        faults: Vec<StuckAt>,
+        /// The panic payload message.
+        message: String,
+    },
+    /// A grading lane pack panicked twice and was quarantined; its
+    /// faults have no power grade.
+    GradePackQuarantined {
+        /// Pack index.
+        pack: usize,
+        /// The faults in the pack.
+        faults: Vec<StuckAt>,
+        /// The panic payload message.
+        message: String,
+    },
+    /// The watchdog caught this fault stalling the controller (its lane
+    /// missed HOLD while the fault-free lane finished a run); its grade
+    /// was measured over budget-bounded cycles.
+    BudgetExhausted {
+        /// The runaway fault.
+        fault: StuckAt,
+    },
+    /// The checkpoint journal hit a write-side I/O error and fell back
+    /// to in-memory operation; the study completed but is not
+    /// resumable from this journal.
+    JournalDegraded {
+        /// The I/O failure description.
+        message: String,
+    },
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incident::FaultSimQuarantined {
+                chunk,
+                faults,
+                message,
+            } => write!(
+                f,
+                "quarantined: fault-sim chunk {chunk} ({} faults) panicked twice: {message}",
+                faults.len()
+            ),
+            Incident::GradePackQuarantined {
+                pack,
+                faults,
+                message,
+            } => write!(
+                f,
+                "quarantined: grade pack {pack} ({} faults) panicked twice: {message}",
+                faults.len()
+            ),
+            Incident::BudgetExhausted { fault } => {
+                write!(f, "budget exhausted: fault {fault} stalls the controller")
+            }
+            Incident::JournalDegraded { message } => {
+                write!(f, "journal degraded: {message}")
+            }
+        }
+    }
 }
 
 /// A completed study of one benchmark: the built system, the fault
@@ -38,8 +112,13 @@ pub struct Study {
     /// Fault-free Monte Carlo datapath power.
     pub baseline: MonteCarloResult,
     /// Power grades, one per SFR fault (same order as
-    /// [`Classification::sfr`]).
+    /// [`Classification::sfr`]; faults in quarantined grade packs are
+    /// absent).
     pub grades: Vec<PowerGrade>,
+    /// Resilience incidents, in pipeline order (fault-sim quarantines,
+    /// then grading quarantines/watchdog hits, then journal health).
+    /// Empty on a healthy run.
+    pub incidents: Vec<Incident>,
 }
 
 impl Study {
@@ -53,6 +132,32 @@ impl Study {
     pub fn flagged_count(&self) -> usize {
         self.grades.iter().filter(|g| g.flagged).count()
     }
+
+    /// True when the study completed without quarantines, watchdog
+    /// hits, or journal degradation.
+    pub fn is_clean(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// Total faults that lost their verdict or grade to quarantine.
+    pub fn quarantined_fault_count(&self) -> usize {
+        self.incidents
+            .iter()
+            .map(|i| match i {
+                Incident::FaultSimQuarantined { faults, .. }
+                | Incident::GradePackQuarantined { faults, .. } => faults.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Faults the watchdog caught exhausting their cycle budget.
+    pub fn budget_exhausted_count(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i, Incident::BudgetExhausted { .. }))
+            .count()
+    }
 }
 
 /// The shared execution path behind [`crate::StudyBuilder`] and the
@@ -65,17 +170,47 @@ pub(crate) fn execute_study(
     engine: &dyn Engine,
     threads: usize,
     progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
 ) -> Study {
-    let classification = classify_system_with(&system, &cfg.classify, engine, progress);
+    let (classification, quarantined_chunks) =
+        classify_system_journaled(&system, &cfg.classify, engine, progress, journal);
     let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
-    let (baseline, grades) = grade_faults_with(&system, &sfr, &cfg.grade, threads, progress);
+    let report = grade_faults_journaled(&system, &sfr, &cfg.grade, threads, progress, journal);
+
+    let mut incidents = Vec::new();
+    for q in quarantined_chunks {
+        incidents.push(Incident::FaultSimQuarantined {
+            chunk: q.chunk,
+            faults: q.faults,
+            message: q.message,
+        });
+    }
+    for i in report.incidents {
+        incidents.push(match i {
+            GradeIncident::QuarantinedPack {
+                pack,
+                faults,
+                message,
+            } => Incident::GradePackQuarantined {
+                pack,
+                faults,
+                message,
+            },
+            GradeIncident::BudgetExhausted { fault } => Incident::BudgetExhausted { fault },
+        });
+    }
+    if let Some(message) = journal.and_then(CampaignJournal::degradation) {
+        incidents.push(Incident::JournalDegraded { message });
+    }
+
     Study {
         name,
         system,
         classification,
         sfr,
-        baseline,
-        grades,
+        baseline: report.baseline,
+        grades: report.grades,
+        incidents,
     }
 }
 
@@ -96,7 +231,7 @@ pub(crate) fn run_study_impl(
     } else {
         &SerialEngine
     };
-    Ok(execute_study(name, system, cfg, engine, 1, progress))
+    Ok(execute_study(name, system, cfg, engine, 1, progress, None))
 }
 
 /// Runs the full methodology over one emitted benchmark.

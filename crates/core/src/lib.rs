@@ -75,10 +75,10 @@ pub use builder::{paper_studies, PreparedStudy, StudyBuilder};
 pub use error::StudyError;
 #[allow(deprecated)]
 pub use flow::{run_paper_studies, run_study};
-pub use flow::{Study, StudyConfig};
+pub use flow::{Incident, Study, StudyConfig};
 pub use report::{
-    describe_effect, render_classification_csv, render_table1, render_table2, state_label,
-    Fig7Series,
+    describe_effect, render_classification_csv, render_incidents, render_table1, render_table2,
+    state_label, Fig7Series,
 };
 pub use testprogram::{generate_test_program, TestProgram, TestProgramConfig};
 pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, WorstCase};
@@ -86,12 +86,13 @@ pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, Wors
 // The substrates, re-exported under their domain names.
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
-    analyze_controller_fault, classify_system, classify_system_with, grade_faults,
-    grade_faults_scalar_with, grade_faults_with, judge, judge_by_rules,
-    measure_power_lanes_with_testset, measure_power_monte_carlo, measure_power_monte_carlo_par,
-    measure_power_with_testset, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
-    ControllerBehavior, EffectClass, FaultClass, GradeConfig, Mismatch, PowerGrade, RuleVerdict,
-    SfiReason, Verdict,
+    analyze_controller_fault, classify_system, classify_system_journaled, classify_system_with,
+    grade_faults, grade_faults_journaled, grade_faults_scalar_with, grade_faults_with, judge,
+    judge_by_rules, measure_power_lanes_watched, measure_power_lanes_with_testset,
+    measure_power_monte_carlo, measure_power_monte_carlo_par, measure_power_with_testset,
+    Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect, ControllerBehavior,
+    EffectClass, FaultClass, GradeConfig, GradeIncident, GradeReport, Mismatch, PowerGrade,
+    RuleVerdict, SfiReason, Verdict,
 };
 pub use sfr_faultsim::{
     golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
@@ -102,12 +103,13 @@ pub use sfr_hls::{
     emit, BindingBuilder, DesignBuilder, DesignMeta, EmittedSystem, LoopSpec, OpId, Rhs,
     ScheduledDesign, Span, VarId,
 };
+pub use sfr_journal::{CampaignJournal, JournalError, RecordKind};
 pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
-    critical_path, logic_to_u64, u64_to_logic, write_cell_library, write_verilog, Activity,
-    ActivityMismatch, Atpg, CellKind, CycleSim, EventSim, FaultSite, GateId, LaneActivity, Logic,
-    NetId, Netlist, NetlistBuilder, NetlistError, NetlistStats, ParallelFaultSim, PatVec, StuckAt,
-    TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
+    critical_path, logic_to_u64, parse_verilog, u64_to_logic, write_cell_library, write_verilog,
+    Activity, ActivityMismatch, Atpg, CellKind, CycleSim, EventSim, FaultSite, GateId,
+    LaneActivity, Logic, NetId, Netlist, NetlistBuilder, NetlistError, NetlistStats,
+    ParallelFaultSim, ParseError, PatVec, StuckAt, TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
 };
 pub use sfr_power_model::{
     power_from_activity, power_from_activity_parts, power_from_activity_where,

@@ -230,6 +230,27 @@ pub fn render_classification_csv(study: &Study) -> String {
     out
 }
 
+/// Renders a study's resilience incidents as a plain-text summary — one
+/// line per incident plus a closing tally. Returns the empty string for
+/// a clean study, so callers can unconditionally append it to a report.
+pub fn render_incidents(study: &Study) -> String {
+    if study.is_clean() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "incidents ({}):", study.incidents.len());
+    for incident in &study.incidents {
+        let _ = writeln!(out, "  {incident}");
+    }
+    let _ = writeln!(
+        out,
+        "  total: {} fault(s) quarantined, {} over budget",
+        study.quarantined_fault_count(),
+        study.budget_exhausted_count()
+    );
+    out
+}
+
 /// Renders the paper's Table 2: fault breakdown per benchmark.
 pub fn render_table2(studies: &[Study]) -> String {
     let mut out = String::new();

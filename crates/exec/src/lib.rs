@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -107,6 +108,70 @@ where
             .map(|slot| slot.expect("worker panicked before delivering its item"))
             .collect()
     })
+}
+
+/// A work item that panicked (twice — once plus one retry) under
+/// [`par_map_indexed_caught`], with the panic payload rendered to text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload, downcast to a string when possible.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a `catch_unwind` payload to a human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_string(),
+        }
+    }
+}
+
+/// Like [`par_map_indexed`], but each item runs under `catch_unwind`: a
+/// panicking item is retried once (a second chance for transient,
+/// environment-induced failures) and, if it panics again, yields
+/// `Err(TaskPanic)` in its slot instead of poisoning the whole map.
+///
+/// This is the quarantine discipline for fault campaigns: one
+/// misbehaving fault pack must not discard the completed work of every
+/// other pack. Determinism is preserved — whether an item panics is a
+/// pure function of its index, so the same packs quarantine at any
+/// thread count.
+pub fn par_map_indexed_caught<R, F>(threads: usize, n: usize, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let caught = move |i: usize| -> Result<R, TaskPanic> {
+        for attempt in 0..2 {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => return Ok(r),
+                Err(payload) if attempt == 0 => {
+                    // Retry once; a deterministic panic will simply
+                    // reproduce, a flaky one gets a second chance.
+                    drop(payload);
+                }
+                Err(payload) => {
+                    return Err(TaskPanic {
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        unreachable!("loop returns on every attempt")
+    };
+    par_map_indexed(threads, n, caught)
 }
 
 /// Order-preserving parallel map over contiguous chunks of `items`:
@@ -201,6 +266,24 @@ pub enum ProgressEvent {
         /// Faults packed into the sweep (excluding the baseline lane).
         faults: usize,
     },
+    /// A pack/chunk of campaign work panicked (twice) and was
+    /// quarantined instead of aborting the study. The payload message
+    /// travels in the study's incident list, not here — events stay
+    /// `Copy`.
+    PackQuarantined {
+        /// Faults in the quarantined pack.
+        faults: usize,
+    },
+    /// A pack/chunk was restored from a checkpoint journal instead of
+    /// being recomputed.
+    PackRestored {
+        /// Faults in the restored pack.
+        faults: usize,
+    },
+    /// A fault exhausted its per-run cycle budget (the controller never
+    /// reached its hold state): a runaway/livelocked fault caught by
+    /// the watchdog.
+    BudgetExhausted,
 }
 
 /// A campaign observer. Implementations must be cheap and `Sync`:
@@ -289,6 +372,16 @@ pub struct CounterState {
     pub grade_packs: usize,
     /// Faults covered by those sweeps (sum of pack sizes).
     pub grade_pack_faults: usize,
+    /// Packs/chunks quarantined after panicking twice.
+    pub packs_quarantined: usize,
+    /// Faults inside those quarantined packs.
+    pub faults_quarantined: usize,
+    /// Packs/chunks restored from a checkpoint journal.
+    pub packs_restored: usize,
+    /// Faults inside those restored packs.
+    pub faults_restored: usize,
+    /// Faults whose per-run cycle budget was exhausted (watchdog hits).
+    pub budget_exhausted: usize,
     /// Wall time per completed phase, in completion order.
     pub phase_times: Vec<(Phase, Duration)>,
 }
@@ -335,6 +428,15 @@ impl Progress for Counters {
                 s.grade_packs += 1;
                 s.grade_pack_faults += faults;
             }
+            ProgressEvent::PackQuarantined { faults } => {
+                s.packs_quarantined += 1;
+                s.faults_quarantined += faults;
+            }
+            ProgressEvent::PackRestored { faults } => {
+                s.packs_restored += 1;
+                s.faults_restored += faults;
+            }
+            ProgressEvent::BudgetExhausted => s.budget_exhausted += 1,
         }
     }
 }
@@ -384,6 +486,47 @@ mod tests {
             i
         });
         assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caught_map_quarantines_deterministic_panics() {
+        for threads in [1, 4] {
+            let out = par_map_indexed_caught(threads, 10, |i| {
+                if i == 3 {
+                    panic!("lane {i} misbehaved");
+                }
+                i * 2
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i == 3 {
+                    let err = slot.as_ref().expect_err("item 3 panics");
+                    assert_eq!(err.message, "lane 3 misbehaved");
+                } else {
+                    assert_eq!(slot.as_ref().copied(), Ok(i * 2), "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caught_map_retries_flaky_items_once() {
+        use std::sync::atomic::AtomicUsize;
+        let attempts: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        let out = par_map_indexed_caught(2, 6, |i| {
+            let prior = attempts[i].fetch_add(1, Ordering::SeqCst);
+            if i % 2 == 0 && prior == 0 {
+                panic!("first attempt fails");
+            }
+            i
+        });
+        assert!(
+            out.iter().all(Result::is_ok),
+            "flaky items recover on retry"
+        );
+        for (i, a) in attempts.iter().enumerate() {
+            let n = a.load(Ordering::SeqCst);
+            assert_eq!(n, if i % 2 == 0 { 2 } else { 1 }, "item {i}");
+        }
     }
 
     #[test]

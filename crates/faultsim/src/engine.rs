@@ -9,10 +9,11 @@
 //! count, each batch is an independent simulation, and the executor
 //! reassembles batch results in fault order.
 
-use crate::campaign::{run_parallel, run_serial, CampaignOutcome};
+use crate::campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
 use crate::golden::GoldenTrace;
 use crate::system::System;
-use sfr_exec::{par_map_indexed, NullProgress, Progress, ProgressEvent};
+use sfr_exec::{par_map_indexed, par_map_indexed_caught, NullProgress, Progress, ProgressEvent};
+use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
 use sfr_netlist::{StuckAt, MAX_PARALLEL_FAULTS};
 
 /// A fault-simulation engine: turns a fault list into a verdict per
@@ -158,6 +159,153 @@ pub fn run_campaign(
         });
     }
     outcomes
+}
+
+/// A fault-simulation chunk that panicked twice and was quarantined:
+/// its faults carry no verdicts, the rest of the campaign is intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedChunk {
+    /// Chunk index (chunks of [`MAX_PARALLEL_FAULTS`]).
+    pub chunk: usize,
+    /// The faults that were in the chunk.
+    pub faults: Vec<StuckAt>,
+    /// The panic payload message.
+    pub message: String,
+}
+
+/// Journal payload tags for fault-simulation chunks.
+const CHUNK_OK: u64 = 0;
+const CHUNK_QUARANTINED: u64 = 1;
+
+fn encode_outcomes(outcomes: &[CampaignOutcome]) -> Vec<u64> {
+    let mut words = vec![CHUNK_OK, outcomes.len() as u64];
+    for o in outcomes {
+        let (tag, cycle) = match o.detection {
+            Detection::NotDetected => (0u64, 0usize),
+            Detection::Detected { cycle } => (1, cycle),
+            Detection::Potential { cycle } => (2, cycle),
+        };
+        words.push(tag);
+        words.push(cycle as u64);
+    }
+    words
+}
+
+/// Decodes a journaled chunk against the fault slice it was keyed to;
+/// `None` (recompute) on any shape mismatch.
+fn decode_outcomes(words: &[u64], faults: &[StuckAt]) -> Option<Vec<CampaignOutcome>> {
+    if *words.first()? != CHUNK_OK {
+        return None;
+    }
+    let n = usize::try_from(*words.get(1)?).ok()?;
+    if n != faults.len() || words.len() != 2 + 2 * n {
+        return None;
+    }
+    let mut outcomes = Vec::with_capacity(n);
+    for (i, pair) in words[2..].chunks(2).enumerate() {
+        let cycle = usize::try_from(pair[1]).ok()?;
+        let detection = match pair[0] {
+            0 => Detection::NotDetected,
+            1 => Detection::Detected { cycle },
+            2 => Detection::Potential { cycle },
+            _ => return None,
+        };
+        outcomes.push(CampaignOutcome {
+            fault: faults[i],
+            detection,
+        });
+    }
+    Some(outcomes)
+}
+
+/// Crash-safe, fault-isolated [`run_campaign`]: the fault list is cut
+/// into [`MAX_PARALLEL_FAULTS`]-sized chunks (the same boundaries every
+/// engine already batches on, so verdicts are unchanged), each chunk
+/// runs under panic quarantine, and completed chunks are checkpointed
+/// to `journal`.
+///
+/// Returns the outcomes of every surviving chunk in fault order plus
+/// one [`QuarantinedChunk`] per chunk that panicked twice. Chunks found
+/// in `journal` are restored verbatim instead of resimulated
+/// ([`ProgressEvent::PackRestored`]); journaled quarantine verdicts are
+/// likewise replayed, so a resumed campaign reproduces the original
+/// incident list without re-panicking.
+pub fn run_campaign_quarantined(
+    engine: &dyn Engine,
+    sys: &System,
+    golden: &GoldenTrace,
+    faults: &[StuckAt],
+    progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
+) -> (Vec<CampaignOutcome>, Vec<QuarantinedChunk>) {
+    enum ChunkOutcome {
+        Computed(Vec<CampaignOutcome>),
+        Restored(Vec<CampaignOutcome>),
+        ReplayedQuarantine(String),
+    }
+    let chunks: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+    let slots = par_map_indexed_caught(engine.threads(), chunks.len(), |i| {
+        let chunk = chunks[i];
+        if let Some(j) = journal {
+            if let Some(words) = j.get(RecordKind::FaultSim, i as u64) {
+                if let Some(outcomes) = decode_outcomes(&words, chunk) {
+                    return ChunkOutcome::Restored(outcomes);
+                }
+                if words.first() == Some(&CHUNK_QUARANTINED) {
+                    if let Some((message, _)) = decode_str(&words[1..]) {
+                        return ChunkOutcome::ReplayedQuarantine(message);
+                    }
+                }
+                // Undecodable payload: fall through and resimulate.
+            }
+        }
+        let outcomes = engine.run(sys, golden, chunk);
+        if let Some(j) = journal {
+            j.record(RecordKind::FaultSim, i as u64, &encode_outcomes(&outcomes));
+        }
+        ChunkOutcome::Computed(outcomes)
+    });
+
+    let mut all = Vec::with_capacity(faults.len());
+    let mut quarantined = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let mut quarantine = |message: String, journal_it: bool| {
+            if journal_it {
+                if let Some(j) = journal {
+                    let mut words = vec![CHUNK_QUARANTINED];
+                    words.extend(encode_str(&message));
+                    j.record(RecordKind::FaultSim, i as u64, &words);
+                }
+            }
+            progress.event(ProgressEvent::PackQuarantined {
+                faults: chunks[i].len(),
+            });
+            quarantined.push(QuarantinedChunk {
+                chunk: i,
+                faults: chunks[i].to_vec(),
+                message,
+            });
+        };
+        match slot {
+            Ok(ChunkOutcome::Computed(outcomes)) => {
+                for o in &outcomes {
+                    progress.event(ProgressEvent::FaultSimulated {
+                        dropped: o.detection.is_detected(),
+                    });
+                }
+                all.extend(outcomes);
+            }
+            Ok(ChunkOutcome::Restored(outcomes)) => {
+                progress.event(ProgressEvent::PackRestored {
+                    faults: chunks[i].len(),
+                });
+                all.extend(outcomes);
+            }
+            Ok(ChunkOutcome::ReplayedQuarantine(message)) => quarantine(message, false),
+            Err(panic) => quarantine(panic.message, true),
+        }
+    }
+    (all, quarantined)
 }
 
 /// Convenience wrapper: campaign with no observer.

@@ -28,6 +28,17 @@ pub struct RunConfig {
     pub max_cycles_per_run: usize,
     /// Cycles to keep observing after the controller reaches HOLD.
     pub hold_cycles: usize,
+    /// Watchdog budget: an additional per-run cycle ceiling applied to
+    /// *faulty* simulation during power grading (0 = disabled). Callers
+    /// set it to a multiple of the design's nominal run length (see
+    /// `System::nominal_run_cycles`); a faulty run that is still not in
+    /// HOLD when its budget expires is reported as budget-exhausted
+    /// instead of burning cycles until `max_cycles_per_run`.
+    ///
+    /// The fault-free golden trace never consults the budget — run
+    /// boundaries, and therefore every classification verdict, are
+    /// identical with the watchdog on or off.
+    pub cycle_budget: usize,
 }
 
 impl Default for RunConfig {
@@ -35,6 +46,19 @@ impl Default for RunConfig {
         RunConfig {
             max_cycles_per_run: 200,
             hold_cycles: 2,
+            cycle_budget: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The effective per-run cycle ceiling for faulty simulation: the
+    /// loop guard, tightened by the watchdog budget when one is set.
+    pub fn run_ceiling(&self) -> usize {
+        if self.cycle_budget == 0 {
+            self.max_cycles_per_run
+        } else {
+            self.max_cycles_per_run.min(self.cycle_budget)
         }
     }
 }

@@ -53,7 +53,8 @@ mod system;
 
 pub use campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
 pub use engine::{
-    run_campaign, run_with, Engine, EngineKind, LaneEngine, SerialEngine, ThreadedEngine,
+    run_campaign, run_campaign_quarantined, run_with, Engine, EngineKind, LaneEngine,
+    QuarantinedChunk, SerialEngine, ThreadedEngine,
 };
 pub use golden::{golden_trace, GoldenTrace, RunConfig, RunSpec};
 pub use system::{System, SystemConfig};

@@ -286,6 +286,16 @@ impl System {
     pub fn is_controller_gate(&self, g: GateId) -> bool {
         self.ctrl.contains_gate(g)
     }
+
+    /// The fault-free length of one straight-line run under a
+    /// `hold_cycles`-cycle observation tail: reset + every computation
+    /// step + the HOLD entry cycle + the tail. This is the reference
+    /// length watchdog budgets are expressed against (a looping design
+    /// iterates body steps, so its real runs may legitimately exceed
+    /// this; budget factors absorb that).
+    pub fn nominal_run_cycles(&self, hold_cycles: usize) -> usize {
+        self.meta.n_steps + 2 + hold_cycles
+    }
 }
 
 /// Sets a sequential gate's state across all lanes of a parallel sim.

@@ -78,4 +78,4 @@ pub use psim::{LaneActivity, ParallelFaultSim, PatVec, TooManyFaultsError, MAX_P
 pub use sim::{Activity, ActivityMismatch, CycleSim};
 pub use stats::{critical_path, NetlistStats};
 pub use vcd::VcdRecorder;
-pub use verilog::{write_cell_library, write_verilog};
+pub use verilog::{parse_verilog, write_cell_library, write_verilog, ParseError};

@@ -48,7 +48,15 @@ impl PatVec {
     }
 
     /// Reads one lane.
+    ///
+    /// Lane indices are 0..64; a wider index is a caller bug (release
+    /// builds would silently read `i mod 64` through the masked shift,
+    /// so debug builds catch it here).
     pub fn lane(self, i: usize) -> Logic {
+        debug_assert!(
+            i < 64,
+            "PatVec lane index {i} out of range (lanes are 0..64)"
+        );
         let m = 1u64 << i;
         if self.lo & m != 0 {
             Logic::Zero
@@ -62,6 +70,10 @@ impl PatVec {
     /// Writes one lane.
     #[must_use]
     pub fn with_lane(self, i: usize, v: Logic) -> PatVec {
+        debug_assert!(
+            i < 64,
+            "PatVec lane index {i} out of range (lanes are 0..64)"
+        );
         let m = 1u64 << i;
         let mut r = PatVec {
             lo: self.lo & !m,
@@ -243,14 +255,13 @@ impl LaneActivity {
 
     /// Extracts one lane's counters as a scalar [`Activity`] record —
     /// bit-identical to what a scalar simulation of that lane's circuit
-    /// would have accumulated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lane >= self.lanes()`.
-    pub fn lane(&self, lane: usize) -> Activity {
-        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
-        Activity {
+    /// would have accumulated. Returns `None` if `lane` is not one of
+    /// the tracked lanes.
+    pub fn try_lane(&self, lane: usize) -> Option<Activity> {
+        if lane >= self.lanes {
+            return None;
+        }
+        Some(Activity {
             net_toggles: (0..self.nets)
                 .map(|i| plane_read(&self.net_planes, i, lane))
                 .collect(),
@@ -258,6 +269,25 @@ impl LaneActivity {
                 .map(|i| plane_read(&self.clock_planes, i, lane))
                 .collect(),
             cycles: self.cycles,
+        })
+    }
+
+    /// Extracts one lane's counters as a scalar [`Activity`] record —
+    /// bit-identical to what a scalar simulation of that lane's circuit
+    /// would have accumulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`; use
+    /// [`try_lane`](Self::try_lane) for a fallible read.
+    pub fn lane(&self, lane: usize) -> Activity {
+        match self.try_lane(lane) {
+            Some(a) => a,
+            None => panic!(
+                "LaneActivity lane index {lane} out of range: this pack tracks {} lanes \
+                 (lane 0 fault-free, one per fault)",
+                self.lanes
+            ),
         }
     }
 }
@@ -412,15 +442,27 @@ impl<'a> ParallelFaultSim<'a> {
         self.activity.as_ref()
     }
 
+    /// Extracts one lane's accumulated [`Activity`], or `None` when
+    /// tracking is disabled or `lane` is out of range.
+    pub fn try_lane_activity(&self, lane: usize) -> Option<Activity> {
+        self.activity.as_ref().and_then(|a| a.try_lane(lane))
+    }
+
     /// Extracts one lane's accumulated [`Activity`].
     ///
     /// # Panics
     ///
-    /// Panics if tracking is disabled or `lane` is out of range.
+    /// Panics if tracking is disabled (call
+    /// [`track_activity`](Self::track_activity) first) or `lane` is out
+    /// of range; use [`try_lane_activity`](Self::try_lane_activity) for
+    /// a fallible read.
     pub fn lane_activity(&self, lane: usize) -> Activity {
         self.activity
             .as_ref()
-            .expect("activity tracking not enabled")
+            .expect(
+                "activity tracking not enabled: call track_activity(true) before simulating \
+                 to accumulate per-lane toggle counts",
+            )
             .lane(lane)
     }
 
@@ -870,6 +912,29 @@ mod tests {
                 "lane {lane}"
             );
         }
+    }
+
+    #[test]
+    fn try_lane_is_checked() {
+        let act = LaneActivity::new(3, 1, 1);
+        assert!(act.try_lane(2).is_some());
+        assert!(act.try_lane(3).is_none());
+
+        let nl = build();
+        let mut psim = ParallelFaultSim::new(&nl, &[]).unwrap();
+        // Tracking disabled: fallible read reports None instead of
+        // panicking.
+        assert!(psim.try_lane_activity(0).is_none());
+        psim.track_activity(true);
+        psim.reset_state(Zero);
+        assert!(psim.try_lane_activity(0).is_some());
+        assert!(psim.try_lane_activity(1).is_none(), "only lane 0 exists");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_out_of_range_panics_descriptively() {
+        LaneActivity::new(2, 1, 1).lane(2);
     }
 
     #[test]

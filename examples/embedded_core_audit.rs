@@ -141,6 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = sfr_power::RunConfig {
             max_cycles_per_run: 64,
             hold_cycles: 2,
+            cycle_budget: 0,
         };
         let pcfg = sfr_power::PowerConfig::default();
         let base = sfr_power::measure_breakdown(&study.system, None, &ts, &run, &pcfg);

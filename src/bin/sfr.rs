@@ -3,6 +3,7 @@
 //! ```text
 //! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]
 //! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]
+//!                             [--checkpoint FILE] [--resume FILE] [--cycle-budget N]
 //! sfr stats       <benchmark> [--width N]
 //! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
 //! sfr verilog     <benchmark> [--width N] [--out FILE]
@@ -18,21 +19,30 @@
 //! dropped, Monte Carlo convergence, wall time per phase — is printed
 //! to stderr.
 //!
+//! `grade` supports crash-safe campaigns: `--checkpoint FILE` records
+//! every completed work pack to an fsynced journal, `--resume FILE`
+//! restores those packs (byte-identical output, any thread count), and
+//! `--cycle-budget N` arms the runaway-fault watchdog at N times the
+//! design's nominal run length. If a study finishes with quarantined
+//! packs, watchdog hits, or a degraded journal, the incidents are
+//! listed on stderr and the exit status is nonzero.
+//!
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
 
 use sfr_power::exec::{Counters, EngineKind};
 use sfr_power::{
-    benchmarks, classify_system_with, describe_effect, grade_faults_with, ClassifyConfig,
-    EmittedSystem, FaultClass, GradeConfig, Logic, StuckAt, StudyBuilder, System, SystemConfig,
+    benchmarks, classify_system_with, describe_effect, ClassifyConfig, EmittedSystem, FaultClass,
+    Logic, StuckAt, StudyBuilder, System, SystemConfig,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]\n  \
-         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]\n  \
+         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]\n                  \
+         [--checkpoint FILE] [--resume FILE] [--cycle-budget N]\n  \
          sfr stats       <benchmark> [--width N]\n  \
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
@@ -56,6 +66,24 @@ fn report_counters(counters: &Counters) {
         eprintln!(
             "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
             s.mc_converged, s.mc_capped, s.mc_batches
+        );
+    }
+    if s.packs_restored > 0 {
+        eprintln!(
+            "checkpoint: {} pack(s) restored from the journal ({} faults skipped recomputation)",
+            s.packs_restored, s.faults_restored
+        );
+    }
+    if s.packs_quarantined > 0 {
+        eprintln!(
+            "quarantine: {} pack(s) panicked twice and were set aside ({} faults ungraded)",
+            s.packs_quarantined, s.faults_quarantined
+        );
+    }
+    if s.budget_exhausted > 0 {
+        eprintln!(
+            "watchdog: {} fault(s) exhausted their cycle budget",
+            s.budget_exhausted
         );
     }
     for (phase, elapsed) in &s.phase_times {
@@ -151,6 +179,12 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
     });
     let fault_spec = args.flag("--fault");
     let out_file = args.flag("--out");
+    let checkpoint = args.flag("--checkpoint");
+    let resume = args.flag("--resume");
+    let cycle_budget: Option<usize> = args
+        .flag("--cycle-budget")
+        .map(|s| s.parse().map_err(|_| "bad --cycle-budget"))
+        .transpose()?;
 
     match cmd {
         "classify" => {
@@ -187,35 +221,32 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "grade" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let sys =
-                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
             let counters = Counters::new();
-            let c = classify_system_with(
-                &sys,
-                &ClassifyConfig {
-                    test_patterns: patterns,
-                    ..Default::default()
-                },
-                engine.build().as_ref(),
-                &counters,
-            );
-            let sfr: Vec<StuckAt> = c.sfr().map(|f| f.fault).collect();
-            let cfg = GradeConfig {
-                threshold_pct: threshold,
-                ..Default::default()
-            };
+            let mut builder = StudyBuilder::from_emitted(&name, emitted)
+                .test_patterns(patterns)
+                .threshold_pct(threshold)
+                .threads(threads);
+            if let Some(path) = checkpoint {
+                builder = builder.checkpoint(path);
+            }
+            if let Some(path) = resume {
+                builder = builder.resume(path);
+            }
+            if let Some(factor) = cycle_budget {
+                builder = builder.cycle_budget(factor);
+            }
+            let prepared = builder.build().map_err(|e| e.to_string())?;
             eprintln!(
-                "grading {} SFR faults by Monte Carlo power on {threads} thread(s)...",
-                sfr.len()
+                "classifying and grading {name} by Monte Carlo power on {threads} thread(s)..."
             );
-            let (base, grades) = grade_faults_with(&sys, &sfr, &cfg, threads, &counters);
+            let study = prepared.run_with(&counters);
             report_counters(&counters);
             println!(
                 "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
-                base.mean_uw
+                study.baseline.mean_uw
             );
             let mut flagged = 0;
-            for g in &grades {
+            for g in &study.grades {
                 if g.flagged {
                     flagged += 1;
                 }
@@ -229,8 +260,15 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             }
             println!(
                 "{flagged}/{} undetectable faults flagged by power",
-                grades.len()
+                study.grades.len()
             );
+            if !study.is_clean() {
+                eprint!("{}", sfr_power::render_incidents(&study));
+                return Err(format!(
+                    "study completed with {} incident(s)",
+                    study.incidents.len()
+                ));
+            }
             Ok(())
         }
         "stats" => {

@@ -85,7 +85,7 @@ proptest! {
     ) {
         let sys = facet_system();
         let ts = TestSet::pseudorandom(sys.pattern_width(), len, seed).unwrap();
-        let cfg = RunConfig { max_cycles_per_run: 50, hold_cycles: hold };
+        let cfg = RunConfig { max_cycles_per_run: 50, hold_cycles: hold, cycle_budget: 0 };
         let trace = golden_trace(sys, &ts, &cfg);
         prop_assert_eq!(trace.cycles(), len);
         let total: usize = trace.runs.iter().map(|r| r.len).sum();
