@@ -1,6 +1,8 @@
 //! Ablation: controller state encoding (binary / gray / one-hot) vs the
 //! fault universe size and classification cost.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, classify_system, Encoding, System, SystemConfig};

@@ -1,6 +1,8 @@
 //! Ablation: serial vs 63-lane bit-parallel fault simulation — the
 //! substrate speed-up claim of `DESIGN.md`.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_core::{
     benchmarks, golden_trace, run_parallel, run_serial, RunConfig, System, SystemConfig, TestSet,

@@ -6,6 +6,8 @@
 //! (`synthesis`) eliminates select-line SFR faults entirely — prime
 //! covers leave no slack a fault can flip harmlessly.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, classify_system, FillPolicy, System, SystemConfig};

@@ -2,6 +2,8 @@
 //! paper fixes 4 bits; the printed SFR counts let the width-stability of
 //! the fault population be checked.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, classify_system, System};

@@ -1,6 +1,8 @@
 //! Criterion bench for the Figure 7 pipeline: classify + grade one full
 //! benchmark (facet, the smallest) end to end.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, Fig7Series, StudyBuilder};

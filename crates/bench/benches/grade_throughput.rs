@@ -10,6 +10,8 @@
 //! (add `-- --quick` for the CI smoke mode: fewer faults and batches,
 //! no criterion sampling — finishes in seconds).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::exec::{Counters, EngineKind, NullProgress};

@@ -1,6 +1,8 @@
 //! Micro-benches of the substrate layers: logic minimization, gate-level
 //! simulation, and power accounting.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_core::{
     benchmarks, power_from_activity, CycleSim, Logic, PowerConfig, System, SystemConfig,

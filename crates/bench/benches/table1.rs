@@ -1,6 +1,8 @@
 //! Criterion bench for the Table 1 computation: Monte Carlo power
 //! grading of one diffeq SFR fault against the fault-free baseline.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, classify_system, measure_power_monte_carlo, System};

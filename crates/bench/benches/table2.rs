@@ -1,6 +1,8 @@
 //! Criterion bench for the Table 2 computation: full classification of
 //! each benchmark's controller fault universe.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, classify_system, System};

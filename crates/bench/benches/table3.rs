@@ -1,6 +1,8 @@
 //! Criterion bench for the Table 3 measurement: datapath power of the
 //! polynomial evaluator over one 1200-pattern test set.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, measure_power_with_testset, System, TestSet};

@@ -1,6 +1,8 @@
 //! Criterion bench for the worst-case experiment on the toy-sized facet
 //! system.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::{benchmarks, worst_case_extra_effects, System};

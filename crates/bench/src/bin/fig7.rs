@@ -7,6 +7,8 @@
 //! Emits an ASCII rendition per circuit plus a CSV block for external
 //! plotting. Run with `cargo run --release -p sfr-bench --bin fig7`.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_bench::{paper_config, report_counters, threads_from_args};
 use sfr_core::exec::Counters;
 use sfr_core::{benchmarks, Fig7Series, StudyBuilder};

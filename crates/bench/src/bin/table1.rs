@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin table1`.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_bench::{paper_config, report_counters, threads_from_args};
 use sfr_core::exec::Counters;
 use sfr_core::{render_table1, StudyBuilder};

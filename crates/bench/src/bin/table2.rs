@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin table2`.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_bench::{paper_config, report_counters, threads_from_args};
 use sfr_core::exec::{Counters, EngineKind};
 use sfr_core::{benchmarks, classify_system_with, System};

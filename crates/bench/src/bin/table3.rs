@@ -15,6 +15,8 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin table3`.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_bench::{paper_config, threads_from_args};
 use sfr_core::exec::{EngineKind, NullProgress};
 use sfr_core::{

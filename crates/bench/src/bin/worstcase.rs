@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --release -p sfr-bench --bin worstcase`.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_bench::{paper_config, threads_from_args};
 use sfr_core::{benchmarks, worst_case_extra_effects, System};
 

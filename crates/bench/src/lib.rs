@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use sfr_core::exec::{CounterState, Counters};
 use sfr_core::{ClassifyConfig, GradeConfig, MonteCarloConfig, StudyConfig};

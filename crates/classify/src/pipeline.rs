@@ -16,7 +16,7 @@
 use crate::oracle::{judge, Mismatch, Verdict};
 use crate::rules::{judge_by_rules, RuleVerdict};
 use crate::table::{analyze_controller_fault, ControlLineEffect};
-use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
+use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress, ProgressEvent};
 use sfr_faultsim::{
     golden_trace, run_campaign_quarantined, Detection, Engine, LaneEngine, QuarantinedChunk,
     RunConfig, SerialEngine, System,
@@ -90,6 +90,12 @@ pub struct ClassifyConfig {
     pub run: RunConfig,
     /// Use the bit-parallel engine (identical results, faster).
     pub parallel: bool,
+    /// Run the static-analysis pre-pass: faults whose class is provable
+    /// without simulation (statically CFR, or table-CFR/SFR with an
+    /// oracle-redundant effect bundle) are classified up front and
+    /// pruned from the fault-simulation campaign. The resulting
+    /// [`Classification`] is bit-identical to the unpruned one.
+    pub static_prune: bool,
 }
 
 impl Default for ClassifyConfig {
@@ -99,6 +105,7 @@ impl Default for ClassifyConfig {
             test_patterns: 1200,
             run: RunConfig::default(),
             parallel: true,
+            static_prune: false,
         }
     }
 }
@@ -190,6 +197,29 @@ pub fn classify_system_journaled(
     journal: Option<&CampaignJournal>,
 ) -> (Classification, Vec<QuarantinedChunk>) {
     let faults = sys.controller_faults();
+
+    // Static pre-pass: classify what needs no simulation, prune it
+    // from the campaign. Verdicts are per-fault and deterministic, so
+    // the pruned pipeline is bit-identical to the unpruned one.
+    let mut decided: Vec<Option<ClassifiedFault>> = vec![None; faults.len()];
+    if cfg.static_prune {
+        let timer = PhaseTimer::start(progress, Phase::Lint);
+        let analysis = sfr_lint::analyze_controller_static(sys);
+        decided = sfr_exec::par_map_indexed(engine.threads(), faults.len(), |i| {
+            static_decide(sys, &analysis, faults[i])
+        });
+        for _ in decided.iter().flatten() {
+            progress.event(ProgressEvent::FaultPruned);
+        }
+        timer.finish();
+    }
+    let undecided: Vec<StuckAt> = faults
+        .iter()
+        .zip(&decided)
+        .filter(|(_, d)| d.is_none())
+        .map(|(&f, _)| f)
+        .collect();
+
     let timer = PhaseTimer::start(progress, Phase::Golden);
     let ts = TestSet::pseudorandom(sys.pattern_width(), cfg.test_patterns, cfg.test_seed)
         .expect("16-stage TPGR always constructs");
@@ -198,7 +228,7 @@ pub fn classify_system_journaled(
 
     let timer = PhaseTimer::start(progress, Phase::FaultSim);
     let (outcomes, quarantined) =
-        run_campaign_quarantined(engine, sys, &golden, &faults, progress, journal);
+        run_campaign_quarantined(engine, sys, &golden, &undecided, progress, journal);
     timer.finish();
 
     // Steps 2–4 are independent per fault; shard them to the engine's
@@ -209,7 +239,73 @@ pub fn classify_system_journaled(
         classify_outcome(sys, outcomes[i])
     });
 
-    (Classification { faults: classified }, quarantined)
+    // Merge statically-decided faults back into fault-universe order.
+    // `classified` is an ordered subsequence of `undecided` (faults in
+    // quarantined chunks carry no verdict and stay absent).
+    let mut simulated = classified.into_iter().peekable();
+    let mut merged: Vec<ClassifiedFault> = Vec::with_capacity(faults.len());
+    for (f, d) in faults.iter().zip(decided) {
+        if let Some(c) = d {
+            merged.push(c);
+        } else if simulated.peek().is_some_and(|c| c.fault == *f) {
+            merged.push(simulated.next().expect("peeked element exists"));
+        }
+    }
+
+    (Classification { faults: merged }, quarantined)
+}
+
+/// Tries to classify one fault without simulation. `None` means the
+/// fault's final class depends on campaign evidence (a detection cycle)
+/// and it must be simulated.
+///
+/// Sound prunes, and why they reproduce the simulated pipeline bit for
+/// bit:
+///
+/// * **CFR** (static proof or exhaustive table): the faulty machine is
+///   behaviourally identical to the fault-free one on every enumerated
+///   state and status, so no physical execution can ever *detect* it —
+///   and [`classify_outcome`]'s CFR branch returns before consulting
+///   the detection verdict anyway.
+/// * **SFR** (table effects + oracle `Redundant`): the oracle proves
+///   I/O-equivalence, so detection is impossible, and the SFR branch
+///   likewise ignores potential-detection evidence.
+///
+/// Sequence-altering and oracle-irredundant faults are *not* pruned:
+/// their [`SfiReason`] embeds the first detecting/ambiguous cycle,
+/// which only the campaign can produce.
+fn static_decide(
+    sys: &System,
+    analysis: &sfr_lint::StaticAnalysis,
+    fault: StuckAt,
+) -> Option<ClassifiedFault> {
+    let sf = sys.fault_to_standalone(fault)?;
+    let cfr = ClassifiedFault {
+        fault,
+        class: FaultClass::Cfr,
+        effects: Vec::new(),
+        rule_verdict: None,
+    };
+    if sfr_lint::statically_cfr(sys, analysis, sf).is_some() {
+        return Some(cfr);
+    }
+    let behavior = analyze_controller_fault(sys, sf);
+    if behavior.is_cfr() {
+        return Some(cfr);
+    }
+    if behavior.sequence_altering {
+        return None;
+    }
+    let rule_verdict = Some(judge_by_rules(sys, &behavior.effects));
+    match judge(sys, &behavior.faulty_outputs) {
+        Verdict::Redundant => Some(ClassifiedFault {
+            fault,
+            class: FaultClass::Sfr,
+            effects: behavior.effects,
+            rule_verdict,
+        }),
+        Verdict::Irredundant(_) => None,
+    }
 }
 
 /// Steps 2–4 of the methodology for one campaign outcome.
@@ -373,6 +469,39 @@ mod tests {
                 assert_eq!(a.rule_verdict, b.rule_verdict);
             }
         }
+    }
+
+    #[test]
+    fn static_prune_is_bit_identical() {
+        for sys in [toy_system(), muxed_system()] {
+            let mut cfg = quick_cfg();
+            let full = classify_system(&sys, &cfg);
+            cfg.static_prune = true;
+            let pruned = classify_system(&sys, &cfg);
+            assert_eq!(full.faults.len(), pruned.faults.len());
+            for (a, b) in full.faults.iter().zip(&pruned.faults) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "fault {}", a.fault);
+            }
+        }
+    }
+
+    #[test]
+    fn static_prune_skips_every_provable_fault() {
+        // Every final CFR or SFR verdict is reachable without campaign
+        // evidence, so the pre-pass must decide at least those faults.
+        let sys = toy_system();
+        let mut cfg = quick_cfg();
+        cfg.static_prune = true;
+        let counters = sfr_exec::Counters::new();
+        let c = classify_system_with(&sys, &cfg, &LaneEngine, &counters);
+        let snap = counters.snapshot();
+        assert!(snap.faults_pruned > 0, "toy system has SFR faults to prune");
+        assert!(snap.faults_pruned >= c.cfr_count() + c.sfr_count());
+        assert_eq!(
+            snap.faults_simulated,
+            c.total() - snap.faults_pruned,
+            "pruned faults must not enter the campaign"
+        );
     }
 
     #[test]

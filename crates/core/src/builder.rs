@@ -130,6 +130,16 @@ impl StudyBuilder {
         self
     }
 
+    /// Enables the static-analysis pre-pass: faults the `sfr-lint`
+    /// analyses prove CFR (dead cone, constant site) or decide from the
+    /// exhaustive table plus oracle alone are classified up front and
+    /// pruned from the fault-simulation campaign. The classification
+    /// and grade table are bit-identical to the unpruned run.
+    pub fn static_prune(mut self, enabled: bool) -> Self {
+        self.cfg.classify.static_prune = enabled;
+        self
+    }
+
     /// Detection tolerance band in percent (the paper's ±5%).
     pub fn threshold_pct(mut self, pct: f64) -> Self {
         self.cfg.grade.threshold_pct = pct;

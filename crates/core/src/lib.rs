@@ -32,6 +32,10 @@
 //! * [`worst_case_extra_effects`] — the Section 4 experiment: the most
 //!   power a maximal set of non-disruptive control line effects can
 //!   waste.
+//! * [`lint_system`] / [`lint_verilog`] — the `sfr-lint` structural
+//!   rule suite over FSM, schedule, and netlist, plus
+//!   [`StudyBuilder::static_prune`], the simulation-free fault-pruning
+//!   pre-pass built on the same analyses.
 //! * Re-exports of every substrate: netlist, logic synthesis, RTL, FSM
 //!   synthesis, HLS, TPG, fault simulation, classification, power.
 //!
@@ -60,6 +64,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod breakdown;
 mod builder;
@@ -104,12 +109,18 @@ pub use sfr_hls::{
     ScheduledDesign, Span, VarId,
 };
 pub use sfr_journal::{CampaignJournal, JournalError, RecordKind};
+pub use sfr_lint::{
+    analyze_controller_static, cone_is_dead, controller_net_constants, fixture_report, lint_fsm,
+    lint_netlist, lint_schedule, lint_system, lint_verilog, static_cfr_verdicts, statically_cfr,
+    Diagnostic, LintReport, Location, NetConstants, Severity, StaticAnalysis, StaticCfrReason,
+};
 pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
-    critical_path, logic_to_u64, parse_verilog, u64_to_logic, write_cell_library, write_verilog,
-    Activity, ActivityMismatch, Atpg, CellKind, CycleSim, EventSim, FaultSite, GateId,
-    LaneActivity, Logic, NetId, Netlist, NetlistBuilder, NetlistError, NetlistStats,
-    ParallelFaultSim, ParseError, PatVec, StuckAt, TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
+    critical_path, logic_to_u64, parse_verilog, parse_verilog_spanned, u64_to_logic,
+    write_cell_library, write_verilog, Activity, ActivityMismatch, Atpg, CellKind, CycleSim,
+    EventSim, FaultSite, GateId, LaneActivity, Logic, NetId, Netlist, NetlistBuilder, NetlistError,
+    NetlistStats, ParallelFaultSim, ParseError, PatVec, SourceSpans, StuckAt, TestOutcome,
+    VcdRecorder, MAX_PARALLEL_FAULTS,
 };
 pub use sfr_power_model::{
     power_from_activity, power_from_activity_parts, power_from_activity_where,

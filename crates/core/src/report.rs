@@ -308,7 +308,11 @@ pub fn render_table1(study: &Study, rows: usize) -> String {
             .collect();
         // Position of this fault in the power-sorted order, 1-based —
         // the paper's "fault N" numbering.
-        let rank = order.iter().position(|&o| o == idx).unwrap() + 1;
+        let rank = order
+            .iter()
+            .position(|&o| o == idx)
+            .expect("picks are drawn from order")
+            + 1;
         let _ = writeln!(
             out,
             "{:<10} {:<44} {:>10.2} {:>+9.2}%",

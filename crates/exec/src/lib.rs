@@ -28,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -201,6 +202,9 @@ pub enum Phase {
     /// Gate-level system construction (controller synthesis +
     /// datapath elaboration).
     Build,
+    /// Static analysis pre-pass: lint rules and simulation-free fault
+    /// classification over the controller netlist.
+    Lint,
     /// Fault-free golden-trace simulation.
     Golden,
     /// Integrated fault-simulation campaign (step 1).
@@ -216,6 +220,7 @@ impl Phase {
     pub fn label(self) -> &'static str {
         match self {
             Phase::Build => "build",
+            Phase::Lint => "lint",
             Phase::Golden => "golden",
             Phase::FaultSim => "faultsim",
             Phase::Analyze => "analyze",
@@ -284,6 +289,9 @@ pub enum ProgressEvent {
     /// reached its hold state): a runaway/livelocked fault caught by
     /// the watchdog.
     BudgetExhausted,
+    /// The static-analysis pre-pass classified one fault without
+    /// simulation, pruning it from the campaign fault list.
+    FaultPruned,
 }
 
 /// A campaign observer. Implementations must be cheap and `Sync`:
@@ -382,6 +390,9 @@ pub struct CounterState {
     pub faults_restored: usize,
     /// Faults whose per-run cycle budget was exhausted (watchdog hits).
     pub budget_exhausted: usize,
+    /// Faults the static-analysis pre-pass classified without
+    /// simulation.
+    pub faults_pruned: usize,
     /// Wall time per completed phase, in completion order.
     pub phase_times: Vec<(Phase, Duration)>,
 }
@@ -437,6 +448,7 @@ impl Progress for Counters {
                 s.faults_restored += faults;
             }
             ProgressEvent::BudgetExhausted => s.budget_exhausted += 1,
+            ProgressEvent::FaultPruned => s.faults_pruned += 1,
         }
     }
 }

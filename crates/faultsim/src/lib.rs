@@ -45,9 +45,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod campaign;
 mod engine;
+pub mod fixtures;
 mod golden;
 mod system;
 

@@ -306,36 +306,9 @@ fn sim_set_state_all_lanes(sim: &mut ParallelFaultSim<'_>, gate: GateId, v: Logi
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use sfr_hls::{emit, BindingBuilder, DesignBuilder, Rhs};
     use sfr_netlist::logic_to_u64;
-    use sfr_rtl::FuOp;
 
-    /// toy: CS1 sample a,b; CS2 t=a*b; CS3 s=t+a; out s.
-    pub(crate) fn toy_system() -> System {
-        let mut d = DesignBuilder::new("toy", 4, 3);
-        let pa = d.port("a");
-        let pb = d.port("b");
-        let va = d.var("va");
-        let vb = d.var("vb");
-        let t = d.var("t");
-        let s = d.var("s");
-        d.sample(1, va, Rhs::Port(pa));
-        d.sample(1, vb, Rhs::Port(pb));
-        let m = d.compute(2, t, FuOp::Mul, Rhs::Var(va), Rhs::Var(vb));
-        let a = d.compute(3, s, FuOp::Add, Rhs::Var(t), Rhs::Var(va));
-        d.output("s_out", s);
-        let d = d.finish().unwrap();
-        let mut bb = BindingBuilder::new(&d);
-        bb.bind(va, "R1")
-            .bind(vb, "R2")
-            .bind(t, "R3")
-            .bind(s, "R4")
-            .bind_op(m, "MUL1")
-            .bind_op(a, "ADD1");
-        let binding = bb.finish().unwrap();
-        let sys = emit(&d, &binding).unwrap();
-        System::build(&sys, SystemConfig::default()).unwrap()
-    }
+    pub(crate) use crate::fixtures::toy_system;
 
     #[test]
     fn system_builds_and_has_faults() {

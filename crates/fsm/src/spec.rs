@@ -222,6 +222,47 @@ impl FsmSpec {
     pub fn find_control(&self, name: &str) -> Option<usize> {
         self.control_names.iter().position(|n| n == name)
     }
+
+    /// The index of the transition out of `s` that fires under the
+    /// given status assignment — the first whose guard matches.
+    pub fn matching_transition(&self, s: StateId, status: u32) -> Option<usize> {
+        self.transitions[s.0].iter().position(|t| {
+            t.guard
+                .iter()
+                .all(|&(bit, pol)| (status >> bit & 1 == 1) == pol)
+        })
+    }
+
+    /// States reachable from reset (state 0) under first-match
+    /// transition semantics, as a per-state flag indexed by `StateId`.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let mut reachable = vec![false; self.state_count()];
+        let mut stack = vec![StateId(0)];
+        reachable[0] = true;
+        while let Some(s) = stack.pop() {
+            for status in 0..(1u32 << self.n_status) {
+                let next = self.next_state(s, status);
+                if !reachable[next.0] {
+                    reachable[next.0] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        reachable
+    }
+
+    /// Which transitions out of `s` can ever fire: per-transition flag,
+    /// true when the transition is the first match for some status
+    /// assignment. A false entry is dead — shadowed by earlier guards.
+    pub fn transition_liveness(&self, s: StateId) -> Vec<bool> {
+        let mut live = vec![false; self.transitions[s.0].len()];
+        for status in 0..(1u32 << self.n_status) {
+            if let Some(i) = self.matching_transition(s, status) {
+                live[i] = true;
+            }
+        }
+        live
+    }
 }
 
 /// Builder for [`FsmSpec`]. See [`FsmSpec`] for an example.
@@ -390,6 +431,35 @@ mod tests {
         assert_eq!(Tri::One.to_bool(), Some(true));
         assert_eq!(Tri::X.to_bool(), None);
         assert_eq!(Tri::X.to_string(), "-");
+    }
+
+    #[test]
+    fn reachability_sees_only_targeted_states() {
+        // C is never a transition target: unreachable from reset.
+        let mut b = FsmSpecBuilder::new("r", 1, vec!["LD".into()]);
+        let s0 = b.state("A", vec![Tri::Zero]);
+        let s1 = b.state("B", vec![Tri::One]);
+        let s2 = b.state("C", vec![Tri::Zero]);
+        b.transition(s0, &[(0, true)], s1);
+        b.transition(s0, &[], s0);
+        b.transition(s1, &[], s0);
+        b.transition(s2, &[], s0); // complete, but C has no predecessor
+        let f = b.finish().unwrap();
+        assert_eq!(f.reachable_states(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn shadowed_transitions_are_dead() {
+        let mut b = FsmSpecBuilder::new("s", 1, vec![]);
+        let s0 = b.state("A", vec![]);
+        let s1 = b.state("B", vec![]);
+        b.transition(s0, &[], s1); // unconditional: shadows everything after
+        b.transition(s0, &[(0, true)], s0);
+        b.transition(s1, &[], s0);
+        let f = b.finish().unwrap();
+        assert_eq!(f.transition_liveness(s0), vec![true, false]);
+        assert_eq!(f.transition_liveness(s1), vec![true]);
+        assert_eq!(f.matching_transition(s0, 0b1), Some(0));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! specifications exactly, for random machines under every encoding and
 //! fill policy.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_fsm::{
     synthesize_standalone, EncodedFsm, Encoding, FillPolicy, FsmSpec, FsmSpecBuilder, StateId, Tri,

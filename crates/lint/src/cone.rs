@@ -1,0 +1,101 @@
+//! Fanout cone-of-influence analysis over the standalone controller.
+//!
+//! A stuck-at fault can only change controller behaviour through the
+//! combinational fanout cone of the net it disturbs. If that cone
+//! reaches neither a primary output (a control line) nor a sequential
+//! element (a state flip-flop input), the fault is invisible to every
+//! (state, status) evaluation of the exhaustive controller table — it
+//! is *statically* controller-functionally redundant.
+
+use sfr_netlist::{FaultSite, Netlist, StuckAt};
+
+/// Whether `fault`'s influence cone is dead: it cannot reach any primary
+/// output or sequential gate of `nl`.
+///
+/// `fault` must be in the coordinates of `nl` (for the controller, use
+/// [`sfr_faultsim::System::fault_to_standalone`]). Faults attached to a
+/// sequential gate are never dead — they disturb the state directly.
+pub fn cone_is_dead(nl: &Netlist, fault: StuckAt) -> bool {
+    let gate = match fault.site {
+        FaultSite::GateInput { gate, .. } | FaultSite::GateOutput { gate } => gate,
+        // A primary-input stem fans out to the whole netlist; treat it
+        // as live rather than tracing (controller faults never are).
+        FaultSite::PrimaryInput { .. } => return false,
+    };
+    if nl.gate(gate).kind().is_sequential() {
+        return false;
+    }
+    // Both pin and output faults first manifest at the gate's output.
+    let start = nl.gate(gate).output();
+    let mut seen = vec![false; nl.net_ids().count()];
+    let mut work = vec![start];
+    seen[start.index()] = true;
+    while let Some(net) = work.pop() {
+        if nl.outputs().contains(&net) {
+            return false;
+        }
+        for &(reader, _pin) in nl.fanout(net) {
+            if nl.gate(reader).kind().is_sequential() {
+                return false;
+            }
+            let out = nl.gate(reader).output();
+            if !seen[out.index()] {
+                seen[out.index()] = true;
+                work.push(out);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfr_netlist::{CellKind, GateId, NetlistBuilder};
+
+    /// inv chain into an output, plus a dangling inverter off the input.
+    fn with_dangling() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let o = b.gate_net(CellKind::Inv, "live", &[a]);
+        let _dead = b.gate_net(CellKind::Inv, "dead", &[a]);
+        b.mark_output(o);
+        b.finish().expect("valid netlist")
+    }
+
+    #[test]
+    fn dangling_gate_cone_is_dead() {
+        let nl = with_dangling();
+        let dead = GateId::from_index(1);
+        assert!(cone_is_dead(&nl, StuckAt::output(dead, true)));
+        assert!(cone_is_dead(&nl, StuckAt::input(dead, 0, false)));
+    }
+
+    #[test]
+    fn observable_gate_cone_is_live() {
+        let nl = with_dangling();
+        let live = GateId::from_index(0);
+        assert!(!cone_is_dead(&nl, StuckAt::output(live, true)));
+    }
+
+    #[test]
+    fn cone_reaching_a_flipflop_is_live() {
+        let mut b = NetlistBuilder::new("ff");
+        let a = b.input("a");
+        let d = b.gate_net(CellKind::Inv, "i", &[a]);
+        let q = b.gate_net(CellKind::Dff, "r", &[d]);
+        let o = b.gate_net(CellKind::Buf, "ob", &[q]);
+        b.mark_output(o);
+        let nl = b.finish().expect("valid netlist");
+        // The inverter feeds only the FF, never an output directly.
+        assert!(!cone_is_dead(
+            &nl,
+            StuckAt::output(GateId::from_index(0), true)
+        ));
+        // A fault on the FF itself is live by definition.
+        assert!(!cone_is_dead(
+            &nl,
+            StuckAt::input(GateId::from_index(1), 0, true)
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Ternary constant propagation over the standalone controller.
+//!
+//! The controller table's evaluation domain is finite: every enumerated
+//! FSM state code crossed with every binary status assignment. A net
+//! holding the same value over that whole domain is *proven constant* —
+//! a stuck-at fault forcing it to that value is a no-op in every table
+//! evaluation, hence statically CFR.
+//!
+//! Constants are found in two passes. A cheap ternary pass evaluates
+//! each state once with all status inputs `X`: a definite value under
+//! `X` inputs is, by the monotonicity of three-valued simulation, the
+//! value under *every* binary status. Nets the ternary pass leaves
+//! undecided are resolved by the exact binary sweep (the same domain
+//! the exhaustive table analysis walks).
+
+use sfr_faultsim::System;
+use sfr_netlist::{CycleSim, Logic, NetId};
+
+/// Per-net constancy verdicts over the controller-table domain.
+#[derive(Debug, Clone)]
+pub struct NetConstants {
+    all_states: Vec<Option<bool>>,
+    reachable: Vec<Option<bool>>,
+}
+
+impl NetConstants {
+    /// The net's proven-constant value over *every* enumerated state ×
+    /// binary status evaluation, or `None` if it varies. This is the
+    /// domain the exhaustive table analysis quantifies over, so it is
+    /// the sound basis for static fault pruning.
+    pub fn constant_everywhere(&self, net: NetId) -> Option<bool> {
+        self.all_states[net.index()]
+    }
+
+    /// The net's proven-constant value when the state range is
+    /// restricted to states reachable from reset — the meaningful
+    /// domain for reporting stuck nets to a designer.
+    pub fn constant_reachable(&self, net: NetId) -> Option<bool> {
+        self.reachable[net.index()]
+    }
+}
+
+/// One net's accumulated observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Obs {
+    Unset,
+    Const(bool),
+    Varies,
+}
+
+impl Obs {
+    fn merge(&mut self, v: bool) {
+        *self = match *self {
+            Obs::Unset => Obs::Const(v),
+            Obs::Const(c) if c == v => Obs::Const(c),
+            _ => Obs::Varies,
+        };
+    }
+
+    fn verdict(self) -> Option<bool> {
+        match self {
+            Obs::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Computes every controller net's constancy over the table domain.
+pub fn controller_net_constants(sys: &System) -> NetConstants {
+    let nl = &sys.ctrl_netlist;
+    let spec = sys.fsm.spec();
+    let n_status = spec.n_status();
+    let reachable = spec.reachable_states();
+    let n_nets = nl.net_ids().count();
+    let mut sim = CycleSim::new(nl);
+
+    let mut all = vec![Obs::Unset; n_nets];
+    let mut reach = vec![Obs::Unset; n_nets];
+    // Nets some ternary evaluation left at X; only these need the
+    // binary sweep.
+    let mut undecided = vec![false; n_nets];
+
+    let load_state = |sim: &mut CycleSim<'_>, code: u32| {
+        for (k, &g) in sys.ctrl_standalone.state_gates.iter().enumerate() {
+            sim.set_state(g, Logic::from_bool(code >> k & 1 == 1));
+        }
+    };
+
+    // Ternary pass: one evaluation per state, statuses unknown.
+    let x_status = vec![Logic::X; n_status];
+    for s in spec.states() {
+        load_state(&mut sim, sys.fsm.code(s));
+        sim.set_inputs(&x_status);
+        sim.eval();
+        for net in nl.net_ids() {
+            match sim.value(net).to_bool() {
+                Some(v) => {
+                    all[net.index()].merge(v);
+                    if reachable[s.0] {
+                        reach[net.index()].merge(v);
+                    }
+                }
+                None => undecided[net.index()] = true,
+            }
+        }
+    }
+
+    // Binary sweep for the status-dependent nets.
+    if undecided.iter().any(|&u| u) {
+        for s in spec.states() {
+            for status in 0..(1u32 << n_status) {
+                load_state(&mut sim, sys.fsm.code(s));
+                let bits: Vec<Logic> = (0..n_status)
+                    .map(|i| Logic::from_bool(status >> i & 1 == 1))
+                    .collect();
+                sim.set_inputs(&bits);
+                sim.eval();
+                for net in nl.net_ids() {
+                    if !undecided[net.index()] {
+                        continue;
+                    }
+                    let v = sim
+                        .value(net)
+                        .to_bool()
+                        .expect("fully binary evaluation yields known values");
+                    all[net.index()].merge(v);
+                    if reachable[s.0] {
+                        reach[net.index()].merge(v);
+                    }
+                }
+            }
+        }
+    }
+
+    NetConstants {
+        all_states: all.into_iter().map(Obs::verdict).collect(),
+        reachable: reach.into_iter().map(Obs::verdict).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> System {
+        sfr_faultsim::fixtures::toy_system()
+    }
+
+    #[test]
+    fn control_outputs_match_realized_tables() {
+        // A control line constant across all states in the realized
+        // table must be reported constant, and a line that changes
+        // between states must not be.
+        let sys = toy();
+        let c = controller_net_constants(&sys);
+        let spec = sys.fsm.spec();
+        for (j, &net) in sys.ctrl_standalone.output_nets.iter().enumerate() {
+            let column: Vec<bool> = spec
+                .states()
+                .map(|s| sys.ctrl.realized_outputs[s.0][j])
+                .collect();
+            let uniform = column.iter().all(|&v| v == column[0]);
+            match c.constant_everywhere(net) {
+                Some(v) => {
+                    assert!(uniform, "line {j} reported constant but its table varies");
+                    assert_eq!(v, column[0]);
+                }
+                None => assert!(!uniform, "line {j} is uniform but not reported constant"),
+            }
+        }
+    }
+
+    #[test]
+    fn state_nets_vary() {
+        // State bits take different values across enumerated states, so
+        // no state net may be constant (the toy FSM needs >1 state).
+        let sys = toy();
+        let c = controller_net_constants(&sys);
+        assert!(sys.fsm.spec().state_count() > 1);
+        let varying = sys
+            .ctrl_standalone
+            .state_nets
+            .iter()
+            .filter(|&&n| c.constant_everywhere(n).is_none())
+            .count();
+        assert!(varying > 0, "some state bit must vary across states");
+    }
+
+    #[test]
+    fn reachable_domain_is_at_least_as_constant() {
+        let sys = toy();
+        let c = controller_net_constants(&sys);
+        for net in sys.ctrl_netlist.net_ids() {
+            if let Some(v) = c.constant_everywhere(net) {
+                assert_eq!(
+                    c.constant_reachable(net),
+                    Some(v),
+                    "constant-everywhere must imply constant-on-reachable"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Structured lint diagnostics: rule ids, severities, locations.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` marks a structural defect (the design cannot mean what it
+/// says); `Warning` marks redundancy that synthesis or an ECO probably
+/// left behind; `Info` marks expected don't-care slack (paper §3.1) that
+/// the fault analysis exploits rather than forbids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected slack, reported for visibility.
+    Info,
+    /// Likely-unintended redundancy.
+    Warning,
+    /// A structural defect.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Location {
+    /// The net, cell, state, or register the rule fired on.
+    pub subject: String,
+    /// 1-based source (line, column), when the design came from text
+    /// with recorded spans ([`sfr_netlist::SourceSpans`]).
+    pub span: Option<(usize, usize)>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some((line, col)) => write!(f, "{}:{line}:{col}", self.subject),
+            None => write!(f, "{}", self.subject),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `unreachable-state`.
+    pub rule: &'static str,
+    /// How serious it is.
+    pub severity: Severity,
+    /// What the rule fired on.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// The result of a lint run: every diagnostic, in rule order.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Whether the report is clean at `Error` severity.
+    pub fn is_error_free(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn diagnostics_render_rule_and_location() {
+        let d = Diagnostic {
+            rule: "constant-net",
+            severity: Severity::Warning,
+            location: Location {
+                subject: "x".into(),
+                span: Some((7, 3)),
+            },
+            message: "net is stuck at 0".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "warning[constant-net] x:7:3: net is stuck at 0"
+        );
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = LintReport::new();
+        assert!(r.is_error_free());
+        r.push(Diagnostic {
+            rule: "a",
+            severity: Severity::Error,
+            location: Location::default(),
+            message: String::new(),
+        });
+        r.push(Diagnostic {
+            rule: "b",
+            severity: Severity::Info,
+            location: Location::default(),
+            message: String::new(),
+        });
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(!r.is_error_free());
+    }
+}

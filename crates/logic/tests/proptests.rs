@@ -1,5 +1,7 @@
 //! Property-based tests of the two-level minimizer and mapper.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_logic::{minimize, prime_implicants, Cube, SopMapper};
 use sfr_netlist::{logic_to_u64, u64_to_logic, CycleSim, NetId, NetlistBuilder};

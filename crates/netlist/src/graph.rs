@@ -125,8 +125,10 @@ pub enum NetlistError {
     },
     /// The combinational portion of the netlist contains a cycle.
     CombinationalLoop {
-        /// Name of a net on the cycle.
-        net: String,
+        /// Names of the nets along the cycle, in driver order: each net
+        /// feeds the gate driving the next, and the last feeds the
+        /// gate driving the first.
+        cycle: Vec<String>,
     },
     /// A primary output names a net that does not exist.
     UnknownNet {
@@ -154,8 +156,16 @@ impl fmt::Display for NetlistError {
                 "gate `{gate}` of kind {kind} given {got} inputs, expected {}",
                 kind.arity()
             ),
-            NetlistError::CombinationalLoop { net } => {
-                write!(f, "combinational loop through net `{net}`")
+            NetlistError::CombinationalLoop { cycle } => {
+                write!(f, "combinational loop through")?;
+                for (i, net) in cycle.iter().enumerate() {
+                    let sep = if i == 0 { " " } else { " -> " };
+                    write!(f, "{sep}`{net}`")?;
+                }
+                if let Some(first) = cycle.first() {
+                    write!(f, " -> `{first}`")?;
+                }
+                Ok(())
             }
             NetlistError::UnknownNet { net } => write!(f, "unknown net `{net}`"),
             NetlistError::DuplicateNetName { net } => {
@@ -523,13 +533,40 @@ impl NetlistBuilder {
             .filter(|g| !g.kind.is_sequential())
             .count();
         if topo.len() != comb_count {
-            // Some combinational gate never reached indegree 0: find one.
-            let stuck = (0..self.gates.len())
-                .find(|&i| !self.gates[i].kind.is_sequential() && indeg[i] > 0)
+            // Some combinational gate never reached indegree 0. Every
+            // such "stuck" gate reads at least one other stuck gate, so
+            // walking driver edges among them must revisit a gate: the
+            // revisited suffix of the walk is a complete cycle.
+            let stuck = |i: usize| !self.gates[i].kind.is_sequential() && indeg[i] > 0;
+            let stuck_driver = |i: usize| -> usize {
+                self.gates[i]
+                    .inputs
+                    .iter()
+                    .find_map(|&n| driver[n.index()].map(GateId::index).filter(|&d| stuck(d)))
+                    .expect("a stuck gate reads a stuck driver")
+            };
+            let start = (0..self.gates.len())
+                .find(|&i| stuck(i))
                 .expect("loop implies a stuck gate");
-            return Err(NetlistError::CombinationalLoop {
-                net: self.nets[self.gates[stuck].output.index()].name.clone(),
-            });
+            let mut path = vec![start];
+            let mut seen: HashMap<usize, usize> = HashMap::from([(start, 0)]);
+            let on_cycle = loop {
+                let last = *path.last().expect("walk path is never empty");
+                let prev = stuck_driver(last);
+                if let Some(&at) = seen.get(&prev) {
+                    break path.split_off(at);
+                }
+                seen.insert(prev, path.len());
+                path.push(prev);
+            };
+            // The walk followed driver edges backwards; reverse it so the
+            // reported nets read in signal-flow order.
+            let cycle: Vec<String> = on_cycle
+                .iter()
+                .rev()
+                .map(|&i| self.nets[self.gates[i].output.index()].name.clone())
+                .collect();
+            return Err(NetlistError::CombinationalLoop { cycle });
         }
 
         let seq = (0..self.gates.len())
@@ -629,10 +666,16 @@ mod tests {
         let y = b.net("y");
         b.gate(CellKind::And2, "g1", &[a, y], x);
         b.gate(CellKind::Buf, "g2", &[x], y);
-        assert!(matches!(
-            b.finish(),
-            Err(NetlistError::CombinationalLoop { .. })
-        ));
+        let err = b.finish().expect_err("loop must be rejected");
+        let NetlistError::CombinationalLoop { ref cycle } = err else {
+            panic!("expected CombinationalLoop, got {err:?}");
+        };
+        // The full path is reported, not just one net.
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&"x".to_string()));
+        assert!(cycle.contains(&"y".to_string()));
+        let msg = err.to_string();
+        assert!(msg.contains("`x`") && msg.contains("`y`"), "message: {msg}");
     }
 
     #[test]

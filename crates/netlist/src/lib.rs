@@ -52,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod atpg;
 mod cell;
@@ -78,4 +79,7 @@ pub use psim::{LaneActivity, ParallelFaultSim, PatVec, TooManyFaultsError, MAX_P
 pub use sim::{Activity, ActivityMismatch, CycleSim};
 pub use stats::{critical_path, NetlistStats};
 pub use vcd::VcdRecorder;
-pub use verilog::{parse_verilog, write_cell_library, write_verilog, ParseError};
+pub use verilog::{
+    parse_verilog, parse_verilog_spanned, write_cell_library, write_verilog, ParseError,
+    SourceSpans,
+};

@@ -1,5 +1,7 @@
 //! Property-based tests of the gate-level simulators.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_netlist::{CellKind, CycleSim, Logic, Netlist, NetlistBuilder, ParallelFaultSim, StuckAt};
 

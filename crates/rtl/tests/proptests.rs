@@ -1,6 +1,8 @@
 //! Property-based tests: RTL simulation vs gate-level elaboration, and
 //! symbolic vs concrete domains.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_netlist::{logic_to_u64, u64_to_logic, CycleSim, Logic, NetlistBuilder};
 use sfr_rtl::{

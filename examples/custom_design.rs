@@ -13,6 +13,8 @@
 //! cargo run --release --example custom_design
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::ScheduledDesign;
 use sfr_power::{
     classify_system, emit, BindingBuilder, ClassifyConfig, DesignBuilder, FuOp, Rhs, System,

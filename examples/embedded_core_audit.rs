@@ -17,6 +17,8 @@
 //! cargo run --release --example embedded_core_audit
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{describe_effect, FaultClass, GradeConfig, MonteCarloConfig, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -15,6 +15,8 @@
 //! cargo run --release --example power_mechanics
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::elaborate_into;
 use sfr_power::{
     power_from_activity, u64_to_logic, CycleSim, DataSrc, DatapathBuilder, FuOp, Logic,

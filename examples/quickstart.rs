@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{MonteCarloConfig, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -10,8 +10,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (sfr-journal, deny unwrap_used) =="
-cargo clippy -p sfr-journal --all-targets -- -D warnings -D clippy::unwrap-used
+# clippy::unwrap_used is denied workspace-wide via [workspace.lints]
+# in Cargo.toml, so the plain clippy invocation above already covers it.
+
+echo "== cargo deny check =="
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check
+else
+    echo "   cargo-deny not installed; skipping (deny.toml is still authoritative)"
+fi
 
 echo "== cargo build --release =="
 cargo build --release
@@ -19,10 +26,36 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== sfr lint (all benchmarks must be error-free) =="
+SFR=target/release/sfr
+for bench in diffeq facet poly fir; do
+    echo "   lint $bench"
+    "$SFR" lint "$bench"
+done
+echo "   lint --fixture (must fail with rule ids)"
+if "$SFR" lint --fixture > /tmp/sfr-lint-fixture.out 2>&1; then
+    echo "   ERROR: fixture lint unexpectedly passed"
+    exit 1
+fi
+grep -q "unreachable-state" /tmp/sfr-lint-fixture.out
+grep -q "combinational-loop" /tmp/sfr-lint-fixture.out
+rm -f /tmp/sfr-lint-fixture.out
+
+echo "== static prune equivalence (diffeq, threads 1/2/8) =="
+PRUNE_DIR="$(mktemp -d)"
+"$SFR" grade diffeq --patterns 600 > "$PRUNE_DIR/plain.out" 2>/dev/null
+for t in 1 2 8; do
+    "$SFR" grade diffeq --patterns 600 --static-prune --threads "$t" \
+        > "$PRUNE_DIR/pruned-$t.out" 2>"$PRUNE_DIR/pruned-$t.err"
+    diff "$PRUNE_DIR/plain.out" "$PRUNE_DIR/pruned-$t.out"
+    grep -q "static prune: [1-9]" "$PRUNE_DIR/pruned-$t.err"
+done
+rm -rf "$PRUNE_DIR"
+echo "   pruned grade tables are byte-identical at 1/2/8 threads"
+
 echo "== kill-and-resume smoke (SIGKILL mid-campaign, resume, diff) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-SFR=target/release/sfr
 # Width 12 gives the campaign a second-plus of wall time — a wide
 # window for the kill to land mid-flight.
 GRADE_ARGS=(grade diffeq --width 12 --patterns 1200)

@@ -1,9 +1,10 @@
 //! `sfr` — command-line front end for the sfr-power workspace.
 //!
 //! ```text
-//! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]
-//! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]
+//! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--static-prune]
+//! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--static-prune]
 //!                             [--checkpoint FILE] [--resume FILE] [--cycle-budget N]
+//! sfr lint        <benchmark>|--fixture [--width N]
 //! sfr stats       <benchmark> [--width N]
 //! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
 //! sfr verilog     <benchmark> [--width N] [--out FILE]
@@ -27,6 +28,15 @@
 //! packs, watchdog hits, or a degraded journal, the incidents are
 //! listed on stderr and the exit status is nonzero.
 //!
+//! `lint` runs the `sfr-lint` structural rule suite — unreachable FSM
+//! states, dead transitions, constant and stuck nets, never-selected
+//! mux inputs, lifespan overlaps, combinational loops — over a
+//! benchmark (or the built-in broken `--fixture`) and exits nonzero if
+//! any `error`-severity diagnostic fires. `--static-prune` on
+//! `classify`/`grade` classifies statically-provable faults without
+//! simulation and prunes them from the campaign; results are
+//! byte-identical to the unpruned run.
+//!
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
@@ -40,9 +50,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N]\n  \
-         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N]\n                  \
+        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--static-prune]\n  \
+         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--static-prune]\n                  \
          [--checkpoint FILE] [--resume FILE] [--cycle-budget N]\n  \
+         sfr lint        <benchmark>|--fixture [--width N]\n  \
          sfr stats       <benchmark> [--width N]\n  \
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
@@ -56,6 +67,12 @@ fn usage() -> ExitCode {
 /// Renders a campaign summary (the [`Counters`] snapshot) to stderr.
 fn report_counters(counters: &Counters) {
     let s = counters.snapshot();
+    if s.faults_pruned > 0 {
+        eprintln!(
+            "static prune: {} fault(s) classified without simulation",
+            s.faults_pruned
+        );
+    }
     if s.faults_simulated > 0 {
         eprintln!(
             "campaign: {} faults simulated, {} dropped by detection",
@@ -112,6 +129,18 @@ impl Args {
         }
         self.rest.remove(pos);
         Some(self.rest.remove(pos))
+    }
+
+    /// Removes a bare switch (no value) and reports whether it was
+    /// present.
+    fn switch(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| a == name) {
+            Some(pos) => {
+                self.rest.remove(pos);
+                true
+            }
+            None => false,
+        }
     }
 
     fn positional(&mut self) -> Option<String> {
@@ -177,6 +206,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
     } else {
         threads
     });
+    let static_prune = args.switch("--static-prune");
     let fault_spec = args.flag("--fault");
     let out_file = args.flag("--out");
     let checkpoint = args.flag("--checkpoint");
@@ -197,6 +227,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 &sys,
                 &ClassifyConfig {
                     test_patterns: patterns,
+                    static_prune,
                     ..Default::default()
                 },
                 engine.build().as_ref(),
@@ -225,6 +256,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let mut builder = StudyBuilder::from_emitted(&name, emitted)
                 .test_patterns(patterns)
                 .threshold_pct(threshold)
+                .static_prune(static_prune)
                 .threads(threads);
             if let Some(path) = checkpoint {
                 builder = builder.checkpoint(path);
@@ -269,6 +301,32 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     study.incidents.len()
                 ));
             }
+            Ok(())
+        }
+        "lint" => {
+            let report = if args.switch("--fixture") {
+                sfr_power::fixture_report()
+            } else {
+                let name = args.positional().ok_or("missing benchmark name")?;
+                let emitted = build_bench(&name, width)?;
+                let sys =
+                    System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
+                sfr_power::lint_system(&sys)
+            };
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            let errors = report.error_count();
+            if errors > 0 {
+                return Err(format!(
+                    "lint found {errors} error(s) in {} diagnostic(s)",
+                    report.diagnostics.len()
+                ));
+            }
+            eprintln!(
+                "lint: clean ({} non-error diagnostic(s))",
+                report.diagnostics.len()
+            );
             Ok(())
         }
         "stats" => {

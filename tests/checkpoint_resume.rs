@@ -6,6 +6,8 @@
 //! pack starts. Resuming from that prefix must reproduce the
 //! uninterrupted run's reports byte-for-byte at every thread count.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{
     render_classification_csv, render_table1, render_table2, CampaignJournal, Study, StudyBuilder,
 };

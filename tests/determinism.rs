@@ -4,6 +4,8 @@
 //! count. Paper tables regenerated on a 96-core server must match the
 //! ones from a laptop bit for bit.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_power::exec::{Engine, LaneEngine, SerialEngine, ThreadedEngine};
 use sfr_power::{

@@ -2,6 +2,8 @@
 //! simulated at gate level with its synthesized controller, computes the
 //! same function as its plain-software reference model.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{benchmarks, logic_to_u64, CycleSim, Logic, System, SystemConfig};
 
 /// Runs one computation with all inputs held at fixed values and returns

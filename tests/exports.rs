@@ -1,6 +1,8 @@
 //! Integration tests of the export surfaces: structural Verilog, VCD
 //! waveforms, netlist statistics, and classification CSV.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{
     benchmarks, classify_system, critical_path, ClassifyConfig, CycleSim, GradeConfig, Logic,
     MonteCarloConfig, NetlistStats, StudyBuilder, StudyConfig, System, SystemConfig, VcdRecorder,

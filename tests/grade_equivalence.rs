@@ -5,6 +5,8 @@
 //! thread count, and the per-test-set measurement must agree
 //! fault-for-fault with the scalar simulator.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::exec::NullProgress;
 use sfr_power::{
     benchmarks, classify_system, grade_faults_scalar_with, grade_faults_with,

@@ -3,6 +3,8 @@
 //! band detection behaves like Figure 7; percentage changes are
 //! consistent across test sets (Table 3's point).
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{
     measure_power_with_testset, ClassifyConfig, CtrlKind, Fig7Series, GradeConfig,
     MonteCarloConfig, Study, StudyBuilder, StudyConfig, TestSet,

@@ -1,5 +1,7 @@
 //! Property-based integration tests over the public API.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use sfr_power::{
     benchmarks, golden_trace, logic_to_u64, run_parallel, run_serial, CycleSim, Logic, RunConfig,

@@ -2,6 +2,8 @@
 //! with incidents reported — when a fault-simulation chunk panics or a
 //! fault stalls the controller past its cycle budget.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::exec::{Counters, Engine, NullProgress};
 use sfr_power::{
     benchmarks, classify_system, classify_system_journaled, grade_faults_journaled, run_serial,

@@ -1,0 +1,145 @@
+//! The static-analysis pre-pass must be invisible in the results: a
+//! pruned campaign's classification and grade table are byte-identical
+//! to the unpruned ones at every thread count, and no statically-pruned
+//! fault is ever detectable by fault simulation — for *any* test set,
+//! not just the one the pipeline happens to use.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use sfr_power::exec::Counters;
+use sfr_power::{
+    analyze_controller_fault, analyze_controller_static, benchmarks, classify_system, golden_trace,
+    run_serial, statically_cfr, CellKind, ClassifyConfig, FaultClass, GateId, NetId,
+    NetlistBuilder, RunConfig, StuckAt, StudyBuilder, System, SystemConfig, TestSet,
+};
+use std::sync::OnceLock;
+
+/// The acceptance bar: on diffeq, `--static-prune` removes a nonzero
+/// fraction of the campaign and the study output — classification,
+/// baseline, every grade row — is bit-identical at 1, 2, and 8 threads.
+#[test]
+fn pruned_diffeq_study_is_byte_identical_at_every_thread_count() {
+    let reference = StudyBuilder::new("diffeq")
+        .test_patterns(240)
+        .quick_monte_carlo()
+        .build()
+        .expect("diffeq builds")
+        .run();
+    for threads in [1, 2, 8] {
+        let counters = Counters::new();
+        let pruned = StudyBuilder::new("diffeq")
+            .test_patterns(240)
+            .quick_monte_carlo()
+            .static_prune(true)
+            .threads(threads)
+            .build()
+            .expect("diffeq builds")
+            .run_with(&counters);
+        let snap = counters.snapshot();
+        assert!(
+            snap.faults_pruned > 0,
+            "the pre-pass must prune a nonzero fraction ({threads} threads)"
+        );
+        assert_eq!(
+            snap.faults_pruned + snap.faults_simulated,
+            reference.classification.total(),
+            "pruned + simulated must cover the fault universe"
+        );
+        assert_eq!(
+            format!("{:?}", reference.classification.faults),
+            format!("{:?}", pruned.classification.faults),
+            "classification must be bit-identical ({threads} threads)"
+        );
+        assert_eq!(reference.baseline.mean_uw, pruned.baseline.mean_uw);
+        assert_eq!(reference.grades.len(), pruned.grades.len());
+        for (a, b) in reference.grades.iter().zip(&pruned.grades) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.mean_uw, b.mean_uw, "{:?} ({threads} threads)", a.fault);
+            assert_eq!(a.pct_change, b.pct_change, "{:?}", a.fault);
+            assert_eq!(a.flagged, b.flagged, "{:?}", a.fault);
+        }
+    }
+}
+
+/// The poly system plus the faults its pruned pipeline classifies
+/// without campaign evidence (every final CFR or SFR verdict), built
+/// once and shared across proptest cases.
+fn poly_pruned() -> &'static (System, Vec<StuckAt>) {
+    static CACHE: OnceLock<(System, Vec<StuckAt>)> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let emitted = benchmarks::poly(4).expect("poly builds");
+        let sys = System::build(&emitted, SystemConfig::default()).expect("system builds");
+        let cfg = ClassifyConfig {
+            test_patterns: 240,
+            static_prune: true,
+            ..Default::default()
+        };
+        let pruned: Vec<StuckAt> = classify_system(&sys, &cfg)
+            .faults
+            .iter()
+            .filter(|f| matches!(f.class, FaultClass::Cfr | FaultClass::Sfr))
+            .map(|f| f.fault)
+            .collect();
+        assert!(!pruned.is_empty(), "poly must have prunable faults");
+        (sys, pruned)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hard soundness bar: a statically-pruned fault graded detectable
+    /// by the simulation oracle would be a classification corruption.
+    /// No test set of any seed or length may ever detect one.
+    #[test]
+    fn statically_pruned_faults_are_never_detected(seed in 1u32..u32::MAX, patterns in 40usize..160) {
+        let (sys, pruned) = poly_pruned();
+        let ts = TestSet::pseudorandom(sys.pattern_width(), patterns, seed).expect("test set");
+        let golden = golden_trace(sys, &ts, &RunConfig::default());
+        for o in run_serial(sys, &golden, pruned) {
+            prop_assert!(
+                !o.detection.is_detected(),
+                "statically pruned fault {} detected at seed {seed:#x}",
+                o.fault
+            );
+        }
+    }
+
+    /// Static CFR claims on randomly-doctored controllers must agree
+    /// with the exhaustive controller table they shortcut: every claim
+    /// is table-CFR (no output or next-state change anywhere).
+    #[test]
+    fn static_cfr_claims_match_the_exhaustive_table(
+        gates in prop::collection::vec((0usize..64, 0usize..64, 0u8..3), 1..6),
+    ) {
+        let (base, _) = poly_pruned();
+        let mut sys = base.clone();
+        let mut b = NetlistBuilder::from_netlist(&sys.ctrl_netlist);
+        let n_nets = sys.ctrl_netlist.net_count();
+        for (i, &(a, c, kind)) in gates.iter().enumerate() {
+            let a = NetId::from_index(a % n_nets);
+            let c = NetId::from_index(c % n_nets);
+            match kind {
+                0 => b.gate_net(CellKind::Inv, format!("doc_{i}"), &[a]),
+                1 => b.gate_net(CellKind::And2, format!("doc_{i}"), &[a, c]),
+                _ => b.gate_net(CellKind::Or2, format!("doc_{i}"), &[a, c]),
+            };
+        }
+        let doctored = b.finish().expect("appended gates keep the netlist valid");
+        sys.ctrl_netlist = doctored;
+        let analysis = analyze_controller_static(&sys);
+        for g in 0..sys.ctrl_netlist.gate_count() {
+            for stuck in [false, true] {
+                let f = StuckAt::output(GateId::from_index(g), stuck);
+                if statically_cfr(&sys, &analysis, f).is_some() {
+                    let behavior = analyze_controller_fault(&sys, f);
+                    prop_assert!(
+                        behavior.is_cfr(),
+                        "static CFR claim for {f} contradicts the exhaustive table"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! never contradicts the oracle; the SFR fractions land in the paper's
 //! band.
 
+#![allow(clippy::unwrap_used)]
+
 use sfr_power::{
     benchmarks, classify_system, golden_trace, run_serial, ClassifyConfig, FaultClass, RuleVerdict,
     RunConfig, System, SystemConfig, TestSet,
