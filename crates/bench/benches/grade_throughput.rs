@@ -89,16 +89,49 @@ fn bench(c: &mut Criterion) {
     let scalar = time_run("scalar_1t", |p| {
         grade_faults_scalar_with(&sys, &faults, &gcfg, 1, p).1
     });
-    let lanes = time_run("lanes_1t", |p| {
-        grade_faults_with(&sys, &faults, &gcfg, 1, p).1
-    });
+    let run_untraced = |p: &Counters| grade_faults_with(&sys, &faults, &gcfg, 1, p).1;
+    let lanes = time_run("lanes_1t", run_untraced);
     let threaded = time_run("lanes_mt", |p| {
         grade_faults_with(&sys, &faults, &gcfg, threads, p).1
     });
+    // Tracing-overhead probe: the same 1-thread lane sweep with the
+    // JSONL trace sink attached. The observability contract is that an
+    // enabled trace costs under 2% — events are aggregated per worker
+    // and flushed at pack boundaries, never inside the lane loop. Only
+    // the sweep itself is timed (the writer is opened and finalized
+    // outside the clock — one-time setup, not per-fault cost), and the
+    // overhead is the ratio of best-of-3 times to filter the scheduler
+    // jitter that dominates single short runs.
+    let trace_path = std::env::temp_dir().join("sfr_grade_throughput_trace.jsonl");
+    let timed_traced = || {
+        let counters = Counters::new();
+        let trace = sfr_core::obs::TraceWriter::create(&trace_path).expect("trace file opens");
+        let sinks: [&dyn sfr_core::exec::Progress; 2] = [&counters, &trace];
+        let tee = sfr_core::exec::Tee::new(&sinks);
+        let start = Instant::now();
+        let grades = grade_faults_with(&sys, &faults, &gcfg, 1, &tee).1;
+        let seconds = start.elapsed().as_secs_f64();
+        trace.finish().expect("trace flushes");
+        EngineRun {
+            name: "lanes_1t_traced",
+            seconds,
+            mc_batches: counters.snapshot().mc_batches,
+            grades,
+        }
+    };
+    let traced = timed_traced();
+    let mut untraced_best = lanes.seconds;
+    let mut traced_best = traced.seconds;
+    for _ in 0..2 {
+        untraced_best = untraced_best.min(time_run("lanes_1t", run_untraced).seconds);
+        traced_best = traced_best.min(timed_traced().seconds);
+    }
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace reads back");
+    sfr_core::obs::check_trace(&trace_text).expect("trace validates");
 
     // Bit-identity gate: a throughput number for wrong answers is
     // meaningless.
-    for run in [&lanes, &threaded] {
+    for run in [&lanes, &threaded, &traced] {
         assert_eq!(run.grades.len(), scalar.grades.len());
         for (s, l) in scalar.grades.iter().zip(&run.grades) {
             assert_eq!(
@@ -121,7 +154,7 @@ fn bench(c: &mut Criterion) {
     };
     let (scalar_fps, scalar_cps) = metric(&scalar);
     let mut engines_json = String::new();
-    for run in [&scalar, &lanes, &threaded] {
+    for run in [&scalar, &lanes, &threaded, &traced] {
         let (fps, cps) = metric(run);
         engines_json.push_str(&format!(
             "    {{\"name\": \"{}\", \"seconds\": {:.4}, \"faults_per_sec\": {:.2}, \
@@ -136,10 +169,12 @@ fn bench(c: &mut Criterion) {
     engines_json.truncate(engines_json.trim_end_matches(",\n").len());
     let (lanes_fps, _) = metric(&lanes);
     let (threaded_fps, _) = metric(&threaded);
+    let trace_overhead_pct = (traced_best / untraced_best - 1.0) * 100.0;
     let json = format!(
         "{{\n  \"design\": \"diffeq\",\n  \"mode\": \"{}\",\n  \"sfr_faults\": {},\n  \
          \"threads\": {},\n  \"cycles_per_batch\": {},\n  \"engines\": [\n{}\n  ],\n  \
          \"speedup_lanes_1t\": {:.2},\n  \"speedup_lanes_mt\": {:.2},\n  \
+         \"trace_overhead_pct\": {:.2},\n  \
          \"baseline_cycles_per_sec\": {:.0}\n}}\n",
         if quick { "quick" } else { "full" },
         faults.len(),
@@ -148,6 +183,7 @@ fn bench(c: &mut Criterion) {
         engines_json,
         lanes_fps / scalar_fps,
         threaded_fps / scalar_fps,
+        trace_overhead_pct,
         scalar_cps
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grade.json");
@@ -159,6 +195,7 @@ fn bench(c: &mut Criterion) {
         threads,
         out
     );
+    eprintln!("tracing overhead: {trace_overhead_pct:+.2}% (target < 2%)");
 
     // Criterion probes of one Monte Carlo batch per engine (skipped in
     // the CI smoke so the whole bench stays inside its time budget).

@@ -7,8 +7,8 @@
 
 #![allow(clippy::unwrap_used)]
 
-use sfr_bench::{paper_config, report_counters, threads_from_args};
-use sfr_core::exec::Counters;
+use sfr_bench::{paper_config, report_counters, threads_from_args, ObsArgs};
+use sfr_core::exec::{Counters, Tee};
 use sfr_core::{render_table1, StudyBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,11 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (Monte Carlo power, 63 faults + baseline per lane-packed pass)..."
     );
     let counters = Counters::new();
+    let obs = ObsArgs::from_env()?;
+    let sinks = obs.sinks(&counters);
+    let tee = Tee::new(&sinks);
     let study = StudyBuilder::new("diffeq")
         .config(paper_config())
         .threads(threads)
         .build()?
-        .run_with(&counters);
+        .run_with(&tee);
+    drop(sinks);
+    obs.finish()?;
     report_counters(&counters);
     println!("Table 1: SFR faults vs datapath power, 4-bit differential equation solver.");
     println!("(faults ranked by power; the paper's table spans -3.02% .. +20.98%)");

@@ -5,8 +5,8 @@
 
 #![allow(clippy::unwrap_used)]
 
-use sfr_bench::{paper_config, report_counters, threads_from_args};
-use sfr_core::exec::{Counters, EngineKind};
+use sfr_bench::{paper_config, report_counters, threads_from_args, ObsArgs};
+use sfr_core::exec::{Counters, EngineKind, Tee};
 use sfr_core::{benchmarks, classify_system_with, System};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,6 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = threads_from_args();
     let engine = EngineKind::for_threads(threads).build();
     let counters = Counters::new();
+    let obs = ObsArgs::from_env()?;
+    let sinks = obs.sinks(&counters);
+    let tee = Tee::new(&sinks);
     let start = std::time::Instant::now();
     println!("Table 2: Breakdown of controller faults for the three examples.");
     println!();
@@ -31,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         assert_eq!(name, pname);
         let sys = System::build(&emitted, cfg.system)?;
-        let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &counters);
+        let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &tee);
         println!(
             "{:<10} {:>12} {:>10} {:>10.1}%    ({ptot} / {psfr} / {ppct}%)",
             name,
@@ -44,6 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("No controller-functionally redundant (CFR) faults, as in the paper:");
     println!("exact two-level minimization leaves no redundancy in the controllers.");
+    drop(sinks);
+    obs.finish()?;
     report_counters(&counters);
     eprintln!(
         "classified all three benchmarks in {:.2} s on {threads} thread(s)",

@@ -17,8 +17,8 @@
 
 #![allow(clippy::unwrap_used)]
 
-use sfr_bench::{paper_config, threads_from_args};
-use sfr_core::exec::{EngineKind, NullProgress};
+use sfr_bench::{paper_config, threads_from_args, ObsArgs};
+use sfr_core::exec::{Counters, EngineKind, Progress, Tee};
 use sfr_core::{
     benchmarks, classify_system_with, grade_faults_with, measure_power_lanes_with_testset,
     EmittedSystem, PowerReport, StuckAt, System, TestSet,
@@ -28,11 +28,12 @@ fn show(
     name: &str,
     emitted: &EmittedSystem,
     threads: usize,
+    progress: &dyn Progress,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = paper_config();
     let sys = System::build(emitted, cfg.system)?;
     let engine = EngineKind::for_threads(threads).build();
-    let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), &NullProgress);
+    let c = classify_system_with(&sys, &cfg.classify, engine.as_ref(), progress);
     let sfr: Vec<_> = c.sfr().map(|f| f.fault).collect();
     let trio = TestSet::paper_trio(sys.pattern_width())?;
 
@@ -42,7 +43,7 @@ fn show(
         "", "Monte Carlo", "Test set 1", "Test set 2", "Test set 3"
     );
     // One lane-packed sweep grades every SFR fault and the baseline.
-    let (base_mc, grades) = grade_faults_with(&sys, &sfr, &cfg.grade, threads, &NullProgress);
+    let (base_mc, grades) = grade_faults_with(&sys, &sfr, &cfg.grade, threads, progress);
 
     // Representative faults spanning the power range (as the paper
     // does).
@@ -109,6 +110,10 @@ fn show(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = threads_from_args();
+    let counters = Counters::new();
+    let obs = ObsArgs::from_env()?;
+    let sinks = obs.sinks(&counters);
+    let tee = Tee::new(&sinks);
     println!("Table 3: Power in the presence of SFR faults for different test sets");
     println!("(percentage change from fault-free shown beneath each row).");
     println!();
@@ -116,7 +121,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a: differential equation solver",
         &benchmarks::diffeq(4)?,
         threads,
+        &tee,
     )?;
-    show("b: polynomial evaluator", &benchmarks::poly(4)?, threads)?;
+    show(
+        "b: polynomial evaluator",
+        &benchmarks::poly(4)?,
+        threads,
+        &tee,
+    )?;
+    drop(sinks);
+    obs.finish()?;
     Ok(())
 }

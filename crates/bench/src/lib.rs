@@ -19,7 +19,8 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
-use sfr_core::exec::{CounterState, Counters};
+use sfr_core::exec::{Counters, Progress};
+use sfr_core::obs::{Metrics, TraceWriter, TtyStatus};
 use sfr_core::{ClassifyConfig, GradeConfig, MonteCarloConfig, StudyConfig};
 
 /// The full-fidelity configuration used to regenerate the paper's
@@ -85,54 +86,81 @@ pub fn threads_from_args() -> usize {
     }
 }
 
-/// Prints a campaign summary (the [`Counters`] snapshot) to stderr:
-/// faults simulated/dropped, Monte Carlo convergence, per-phase wall
-/// time.
+/// Prints a campaign summary (the [`Counters`] snapshot, via its
+/// `Display` impl) to stderr: faults simulated/dropped, Monte Carlo
+/// convergence, per-phase wall time.
 pub fn report_counters(counters: &Counters) {
-    let s: CounterState = counters.snapshot();
-    if s.faults_simulated > 0 {
-        eprintln!(
-            "campaign: {} faults simulated, {} dropped by detection",
-            s.faults_simulated, s.faults_dropped
-        );
+    eprint!("{}", counters.snapshot());
+}
+
+/// The observability sinks every table/figure binary accepts:
+/// `--trace-out FILE` (structured JSONL trace), `--metrics-out FILE`
+/// (Prometheus text snapshot plus stderr summary), `--quiet` (no live
+/// status line). Mirrors the `sfr` CLI flags so a bench run can be
+/// instrumented the same way as a campaign.
+pub struct ObsArgs {
+    trace: Option<TraceWriter>,
+    metrics: Option<(Metrics, String)>,
+    tty: TtyStatus,
+}
+
+impl ObsArgs {
+    /// Parses the observability flags from the process arguments and
+    /// opens the requested sinks (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the trace file cannot be created.
+    pub fn from_env() -> std::io::Result<Self> {
+        let args: Vec<String> = std::env::args().collect();
+        let value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let trace = match value("--trace-out") {
+            Some(path) => Some(TraceWriter::create(path)?),
+            None => None,
+        };
+        Ok(ObsArgs {
+            trace,
+            metrics: value("--metrics-out").map(|p| (Metrics::new(), p)),
+            tty: TtyStatus::stderr(args.iter().any(|a| a == "--quiet")),
+        })
     }
-    if s.mc_converged + s.mc_capped > 0 {
-        eprintln!(
-            "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
-            s.mc_converged, s.mc_capped, s.mc_batches
-        );
+
+    /// The sink list (always including `counters`) to fan a run out to
+    /// with [`sfr_core::exec::Tee`].
+    pub fn sinks<'a>(&'a self, counters: &'a Counters) -> Vec<&'a dyn Progress> {
+        let mut sinks: Vec<&dyn Progress> = vec![counters, &self.tty];
+        if let Some(t) = &self.trace {
+            sinks.push(t);
+        }
+        if let Some((m, _)) = &self.metrics {
+            sinks.push(m);
+        }
+        sinks
     }
-    if s.grade_packs > 0 {
-        eprintln!(
-            "grading: {} faults in {} lane packs ({:.1} faults/pack)",
-            s.grade_pack_faults,
-            s.grade_packs,
-            s.grade_pack_faults as f64 / s.grade_packs as f64
-        );
-    }
-    if s.packs_restored > 0 {
-        eprintln!(
-            "checkpoint: {} pack(s) restored from the journal ({} faults skipped recomputation)",
-            s.packs_restored, s.faults_restored
-        );
-    }
-    if s.packs_quarantined > 0 {
-        eprintln!(
-            "quarantine: {} pack(s) panicked twice and were set aside ({} faults ungraded)",
-            s.packs_quarantined, s.faults_quarantined
-        );
-    }
-    if s.budget_exhausted > 0 {
-        eprintln!(
-            "watchdog: {} fault(s) exhausted their cycle budget",
-            s.budget_exhausted
-        );
-    }
-    for (phase, elapsed) in &s.phase_times {
-        eprintln!(
-            "phase {:<8} {:>8.1} ms",
-            phase.label(),
-            elapsed.as_secs_f64() * 1e3
-        );
+
+    /// Clears the status line, prints the metrics summary (when
+    /// enabled), and finalizes the trace and metrics files.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a sink file cannot be written.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.tty.finish();
+        if let Some((metrics, path)) = &self.metrics {
+            eprint!("{}", metrics.render_summary());
+            metrics.write_prometheus(path)?;
+            eprintln!("metrics written to {path}");
+        }
+        if let Some(trace) = self.trace {
+            let path = trace.path().display().to_string();
+            trace.finish()?;
+            eprintln!("trace written to {path}");
+        }
+        Ok(())
     }
 }

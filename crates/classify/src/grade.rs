@@ -18,8 +18,8 @@
 //! at any thread count.
 
 use sfr_exec::{
-    par_map_indexed, par_map_indexed_caught, NullProgress, Phase, PhaseTimer, Progress,
-    ProgressEvent,
+    par_map_indexed, par_map_indexed_caught, LaneGrade, NullProgress, Phase, PhaseTimer, Progress,
+    ProgressEvent, TraceRecord, WorkKind,
 };
 use sfr_faultsim::{RunConfig, System};
 use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
@@ -362,6 +362,11 @@ enum PackOutcome {
         results: Vec<MonteCarloResult>,
         stalls: u64,
         restored: bool,
+        /// Simulator cycles the pack's Monte Carlo loop evaluated
+        /// (0 when restored from a journal — nothing was simulated).
+        cycles: u64,
+        /// Wall time spent simulating, measured inside the worker.
+        elapsed: std::time::Duration,
     },
     Quarantined {
         message: String,
@@ -412,6 +417,8 @@ fn decode_pack(words: &[u64], lanes: usize) -> Option<PackOutcome> {
                 results,
                 stalls,
                 restored: true,
+                cycles: 0,
+                elapsed: std::time::Duration::ZERO,
             })
         }
         PACK_QUARANTINED => {
@@ -467,6 +474,10 @@ pub fn grade_faults_journaled(
     } else {
         faults.chunks(MAX_PARALLEL_FAULTS).collect()
     };
+    progress.event(ProgressEvent::WorkPlanned {
+        phase: Phase::Grade,
+        items: packs.len(),
+    });
     let outcomes = par_map_indexed_caught(threads, packs.len(), |p| {
         let pack = packs[p];
         if let Some(j) = journal {
@@ -478,11 +489,18 @@ pub fn grade_faults_journaled(
                 // format) falls through to recomputation.
             }
         }
+        // Cycle and wall-time accounting stays worker-local and is
+        // flushed once per pack — the hot lane loop never observes it.
+        let started = std::time::Instant::now();
         let mut stalls = 0u64;
+        let mut cycles = 0u64;
         let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
             let (reports, batch_stalls) =
                 mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit");
             stalls |= batch_stalls;
+            // All lanes share one schedule; lane 0's cycle count is the
+            // pack's per-batch simulation cost.
+            cycles += reports[0].cycles;
             reports
         });
         if let Some(j) = journal {
@@ -496,6 +514,8 @@ pub fn grade_faults_journaled(
             results,
             stalls,
             restored: false,
+            cycles,
+            elapsed: started.elapsed(),
         }
     });
 
@@ -521,12 +541,19 @@ pub fn grade_faults_journaled(
         })
         .collect();
 
-    // Progress accounting, in deterministic pack order.
+    // Progress accounting, in deterministic pack order. Structured
+    // records allocate (fault-id rendering), so they are only built
+    // when a sink asked for them — the default path stays free.
+    let tracing = progress.wants_records();
     for (p, outcome) in outcomes.iter().enumerate() {
         let n_faults = packs[p].len();
         match outcome {
             PackOutcome::Computed {
-                results, restored, ..
+                results,
+                stalls,
+                restored,
+                cycles,
+                elapsed,
             } => {
                 if *restored {
                     progress.event(ProgressEvent::PackRestored { faults: n_faults });
@@ -540,11 +567,49 @@ pub fn grade_faults_journaled(
                             converged: r.converged,
                         });
                     }
+                    progress.event(ProgressEvent::CyclesSimulated { cycles: *cycles });
                     progress.event(ProgressEvent::GradePack { faults: n_faults });
                 }
+                if tracing {
+                    let lanes = results
+                        .iter()
+                        .enumerate()
+                        .map(|(l, r)| LaneGrade {
+                            fault: l.checked_sub(1).map(|i| packs[p][i].to_string()),
+                            mean_uw: r.mean_uw,
+                            half_width_uw: r.half_width_uw,
+                            batches: r.batches,
+                            converged: r.converged,
+                        })
+                        .collect();
+                    let stalled = packs[p]
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| stalls >> i & 1 == 1)
+                        .map(|(_, f)| f.to_string())
+                        .collect();
+                    progress.record(&TraceRecord::PackGraded {
+                        pack: p,
+                        lanes,
+                        occupancy: results.len(),
+                        cycles: *cycles,
+                        stalled,
+                        elapsed: *elapsed,
+                        restored: *restored,
+                    });
+                }
             }
-            PackOutcome::Quarantined { .. } => {
+            PackOutcome::Quarantined { message } => {
                 progress.event(ProgressEvent::PackQuarantined { faults: n_faults });
+                if tracing {
+                    progress.record(&TraceRecord::Quarantined {
+                        kind: WorkKind::GradePack,
+                        index: p,
+                        fault_ids: packs[p].iter().map(StuckAt::to_string).collect(),
+                        message: message.clone(),
+                        journal_key: journal.map(|_| RecordKind::GradePack.key(p as u64)),
+                    });
+                }
             }
         }
     }
@@ -597,6 +662,12 @@ pub fn grade_faults_journaled(
                     });
                     if stalls & (1 << i) != 0 {
                         progress.event(ProgressEvent::BudgetExhausted);
+                        if tracing {
+                            progress.record(&TraceRecord::BudgetExhausted {
+                                fault_id: fault.to_string(),
+                                journal_key: journal.map(|_| RecordKind::GradePack.key(p as u64)),
+                            });
+                        }
                         incidents.push(GradeIncident::BudgetExhausted { fault });
                     }
                 }

@@ -20,13 +20,16 @@
 use crate::error::StudyError;
 use crate::flow::{execute_study, Study, StudyConfig};
 use sfr_classify::{ClassifyConfig, GradeConfig};
-use sfr_exec::{NullProgress, Progress};
+use sfr_exec::{Counters, NullProgress, Phase, Progress, ProgressEvent, Tee};
 use sfr_faultsim::{EngineKind, System};
 use sfr_fsm::{Encoding, FillPolicy};
 use sfr_hls::EmittedSystem;
 use sfr_journal::CampaignJournal;
+use sfr_obs::{PhaseTime, RunManifest, Tallies};
 use sfr_power_model::MonteCarloConfig;
 use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Where a study's system comes from.
 #[derive(Debug, Clone)]
@@ -55,6 +58,8 @@ pub struct StudyBuilder {
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     cycle_budget: Option<usize>,
+    manifest_out: Option<PathBuf>,
+    force: bool,
 }
 
 impl StudyBuilder {
@@ -71,6 +76,8 @@ impl StudyBuilder {
             checkpoint: None,
             resume: None,
             cycle_budget: None,
+            manifest_out: None,
+            force: false,
         }
     }
 
@@ -85,6 +92,8 @@ impl StudyBuilder {
             checkpoint: None,
             resume: None,
             cycle_budget: None,
+            manifest_out: None,
+            force: false,
         }
     }
 
@@ -225,6 +234,26 @@ impl StudyBuilder {
         self
     }
 
+    /// Write a deterministic run manifest (`manifest.json` provenance
+    /// record: benchmark, fault-universe fingerprint, seeds, engine,
+    /// threads, git/config provenance, per-phase wall time, tallies) to
+    /// `path` when the run completes. Parent directories are created;
+    /// an existing manifest is never overwritten unless
+    /// [`force`](Self::force) — [`build`](Self::build) fails up front
+    /// with [`StudyError::Manifest`] instead of clobbering it after an
+    /// expensive run.
+    pub fn manifest_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_out = Some(path.into());
+        self
+    }
+
+    /// Allow [`manifest_out`](Self::manifest_out) to overwrite an
+    /// existing manifest (the CLI's `--force`).
+    pub fn force(mut self, force: bool) -> Self {
+        self.force = force;
+        self
+    }
+
     /// Validates the configuration, builds the benchmark and its
     /// gate-level system, and returns a ready-to-run study.
     ///
@@ -258,6 +287,16 @@ impl StudyBuilder {
                 "cycle budget factor must be at least 1 (omit it to disable the watchdog ceiling)"
                     .into(),
             ));
+        }
+        if let Some(path) = &self.manifest_out {
+            // Checked here, before any simulation: a refused overwrite
+            // after an hours-long campaign would waste the whole run.
+            if path.exists() && !self.force {
+                return Err(StudyError::Manifest(format!(
+                    "{} already exists (pass --force to overwrite)",
+                    path.display()
+                )));
+            }
         }
         let (name, emitted) = match self.source {
             Source::Named(name) => {
@@ -309,9 +348,12 @@ impl StudyBuilder {
             name,
             system,
             cfg,
+            width: self.width,
             threads: self.threads,
             engine,
             journal,
+            fingerprint,
+            manifest_out: self.manifest_out,
         })
     }
 }
@@ -339,9 +381,31 @@ pub struct PreparedStudy {
     name: String,
     system: System,
     cfg: StudyConfig,
+    width: usize,
     threads: usize,
     engine: EngineKind,
     journal: Option<CampaignJournal>,
+    fingerprint: u64,
+    manifest_out: Option<PathBuf>,
+}
+
+/// Internal sink recording per-phase wall time *with* the aborted flag
+/// (which `Counters` does not keep) for the run manifest.
+struct PhaseLog(Mutex<Vec<(Phase, Duration, bool)>>);
+
+impl Progress for PhaseLog {
+    fn event(&self, event: ProgressEvent) {
+        if let ProgressEvent::PhaseDone {
+            phase,
+            elapsed,
+            aborted,
+        } = event
+        {
+            if let Ok(mut log) = self.0.lock() {
+                log.push((phase, elapsed, aborted));
+            }
+        }
+    }
 }
 
 impl PreparedStudy {
@@ -367,23 +431,143 @@ impl PreparedStudy {
 
     /// [`run`](Self::run) with an observer receiving phase timings,
     /// per-fault simulation events, and Monte Carlo convergence.
+    ///
+    /// When [`StudyBuilder::manifest_out`] was configured, the run
+    /// manifest is assembled from an internal tee'd observer and
+    /// written as the last act; a write failure is reported on stderr
+    /// (the study's results are unaffected).
     pub fn run_with(self, progress: &dyn Progress) -> Study {
         let engine = self.engine.build();
-        execute_study(
-            self.name,
+        let engine_name = engine.name();
+        let started = Instant::now();
+        // Tee the caller's observer with internal manifest sinks. The
+        // tee is transparent: the caller sees the exact event/record
+        // stream it would see without a manifest.
+        let counters = Counters::new();
+        let phases = PhaseLog(Mutex::new(Vec::new()));
+        let sinks: [&dyn Progress; 3] = [progress, &counters, &phases];
+        let tee = Tee::new(&sinks);
+        let study = execute_study(
+            self.name.clone(),
             self.system,
             &self.cfg,
             engine.as_ref(),
             self.threads,
-            progress,
+            &tee,
             self.journal.as_ref(),
-        )
+        );
+        if let Some(path) = &self.manifest_out {
+            let manifest = assemble_manifest(
+                &self.name,
+                self.width,
+                self.fingerprint,
+                &self.cfg,
+                engine_name,
+                self.threads,
+                self.journal.as_ref(),
+                &study,
+                counters.snapshot().faults_pruned,
+                phases.0.lock().map(|log| log.clone()).unwrap_or_default(),
+                started.elapsed(),
+            );
+            // Overwrite was vetted in build(); force unconditionally so
+            // a file that appeared mid-run cannot void the whole study.
+            if let Err(e) = manifest.write(path, true) {
+                eprintln!("warning: run manifest not written: {e}");
+            }
+        }
+        study
     }
 
     /// The checkpoint journal this run records to (or resumes from), if
     /// one was configured.
     pub fn journal(&self) -> Option<&CampaignJournal> {
         self.journal.as_ref()
+    }
+
+    /// Where the run manifest will be written, if configured.
+    pub fn manifest_path(&self) -> Option<&std::path::Path> {
+        self.manifest_out.as_deref()
+    }
+}
+
+/// Builds the [`RunManifest`] for a completed study.
+#[allow(clippy::too_many_arguments)]
+fn assemble_manifest(
+    name: &str,
+    width: usize,
+    fingerprint: u64,
+    cfg: &StudyConfig,
+    engine: &str,
+    threads: usize,
+    journal: Option<&CampaignJournal>,
+    study: &Study,
+    pruned: usize,
+    phases: Vec<(Phase, Duration, bool)>,
+    wall: Duration,
+) -> RunManifest {
+    let c = &study.classification;
+    RunManifest {
+        benchmark: name.to_string(),
+        width,
+        campaign_fingerprint: fingerprint,
+        fault_universe: c.total(),
+        config: vec![
+            (
+                "test_patterns".into(),
+                cfg.classify.test_patterns.to_string(),
+            ),
+            ("test_seed".into(), cfg.classify.test_seed.to_string()),
+            ("static_prune".into(), cfg.classify.static_prune.to_string()),
+            ("grade_seed".into(), cfg.grade.seed.to_string()),
+            (
+                "patterns_per_batch".into(),
+                cfg.grade.patterns_per_batch.to_string(),
+            ),
+            (
+                "mc_rel_tolerance".into(),
+                cfg.grade.mc.rel_tolerance.to_string(),
+            ),
+            (
+                "mc_min_batches".into(),
+                cfg.grade.mc.min_batches.to_string(),
+            ),
+            (
+                "mc_max_batches".into(),
+                cfg.grade.mc.max_batches.to_string(),
+            ),
+            ("threshold_pct".into(), cfg.grade.threshold_pct.to_string()),
+            (
+                "cycle_budget".into(),
+                cfg.grade.run.cycle_budget.to_string(),
+            ),
+            ("encoding".into(), format!("{:?}", cfg.system.encoding)),
+            ("fill".into(), format!("{:?}", cfg.system.fill)),
+        ],
+        engine: engine.to_string(),
+        threads,
+        tallies: Tallies {
+            total: c.total(),
+            sfi: c.sfi_count(),
+            cfr: c.cfr_count(),
+            sfr: c.sfr_count(),
+            graded: study.grades.len(),
+            flagged: study.flagged_count(),
+            pruned,
+            incidents: study.incidents.len(),
+        },
+        phases: phases
+            .into_iter()
+            .map(|(phase, elapsed, aborted)| PhaseTime {
+                name: phase.label().to_string(),
+                wall_ms: elapsed.as_secs_f64() * 1e3,
+                aborted,
+            })
+            .collect(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cpu_ms: sfr_obs::process_cpu_ms(),
+        git: sfr_obs::git_revision(std::path::Path::new(".")),
+        journal: journal.map(|j| j.path().display().to_string()),
     }
 }
 

@@ -25,6 +25,9 @@ pub enum StudyError {
     Journal(JournalError),
     /// A structural Verilog source failed to parse.
     Parse(ParseError),
+    /// The run-manifest destination is unusable (an existing manifest
+    /// without `--force`, or an unwritable path).
+    Manifest(String),
 }
 
 impl fmt::Display for StudyError {
@@ -35,6 +38,7 @@ impl fmt::Display for StudyError {
             StudyError::InvalidConfig(msg) => write!(f, "invalid study configuration: {msg}"),
             StudyError::Journal(e) => write!(f, "checkpoint journal error: {e}"),
             StudyError::Parse(e) => write!(f, "verilog parse error: {e}"),
+            StudyError::Manifest(msg) => write!(f, "run manifest error: {msg}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl std::error::Error for StudyError {
             StudyError::InvalidConfig(_) => None,
             StudyError::Journal(e) => Some(e),
             StudyError::Parse(e) => Some(e),
+            StudyError::Manifest(_) => None,
         }
     }
 }

@@ -17,8 +17,8 @@
 
 pub use sfr_exec::{
     default_threads, panic_message, par_map_chunks, par_map_indexed, par_map_indexed_caught,
-    stream_seed, CounterState, Counters, NullProgress, Phase, PhaseTimer, Progress, ProgressEvent,
-    TaskPanic,
+    stream_seed, CounterState, Counters, LaneGrade, NullProgress, Phase, PhaseTimer, Progress,
+    ProgressEvent, TaskPanic, Tee, TraceRecord, WorkKind,
 };
 pub use sfr_faultsim::{
     run_campaign, run_campaign_quarantined, Engine, EngineKind, LaneEngine, QuarantinedChunk,

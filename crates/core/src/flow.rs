@@ -200,6 +200,11 @@ pub(crate) fn execute_study(
         });
     }
     if let Some(message) = journal.and_then(CampaignJournal::degradation) {
+        if progress.wants_records() {
+            progress.record(&sfr_exec::TraceRecord::JournalDegraded {
+                message: message.clone(),
+            });
+        }
         incidents.push(Incident::JournalDegraded { message });
     }
 

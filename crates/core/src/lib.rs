@@ -122,6 +122,7 @@ pub use sfr_netlist::{
     NetlistStats, ParallelFaultSim, ParseError, PatVec, SourceSpans, StuckAt, TestOutcome,
     VcdRecorder, MAX_PARALLEL_FAULTS,
 };
+pub use sfr_obs as obs;
 pub use sfr_power_model::{
     power_from_activity, power_from_activity_parts, power_from_activity_where,
     power_from_lane_activity_where, run_monte_carlo, run_monte_carlo_lanes, MonteCarloConfig,

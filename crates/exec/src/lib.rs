@@ -243,6 +243,26 @@ pub enum ProgressEvent {
         phase: Phase,
         /// Its wall-clock duration.
         elapsed: Duration,
+        /// True when the phase ended by stack unwinding (its
+        /// [`PhaseTimer`] was dropped during a panic) instead of
+        /// running to completion. Trace spans from quarantined work
+        /// stay balanced — they end `aborted` rather than vanishing.
+        aborted: bool,
+    },
+    /// A phase announced its total work-item count (packs/chunks) up
+    /// front, so observers can render progress ratios and ETAs.
+    WorkPlanned {
+        /// Which phase the items belong to.
+        phase: Phase,
+        /// Total packs/chunks the phase will process.
+        items: usize,
+    },
+    /// A pack/chunk of simulation finished `cycles` simulated cycles
+    /// (aggregated per work item and flushed at its boundary — never
+    /// emitted from the hot per-cycle loop).
+    CyclesSimulated {
+        /// Simulated cycles the work item accounted.
+        cycles: u64,
     },
     /// One fault finished fault simulation. `dropped` is the campaign's
     /// fault-dropping verdict: a detected fault is dropped from further
@@ -294,11 +314,140 @@ pub enum ProgressEvent {
     FaultPruned,
 }
 
+/// Which kind of campaign work a structured record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// A fault-simulation chunk (classification phase).
+    FaultSimChunk,
+    /// A Monte Carlo power-grading lane pack.
+    GradePack,
+}
+
+impl WorkKind {
+    /// A short label for traces (`"faultsim"` / `"grade"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkKind::FaultSimChunk => "faultsim",
+            WorkKind::GradePack => "grade",
+        }
+    }
+}
+
+/// One lane's Monte Carlo outcome inside a [`TraceRecord::PackGraded`]
+/// record: the estimation's mean, 95%-CI half-width at the stopping
+/// point, and how many batches the stopping rule consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneGrade {
+    /// Rendered fault id (`"g21.out/sa1"`); `None` for the fault-free
+    /// baseline on lane 0.
+    pub fault: Option<String>,
+    /// Monte Carlo mean power, µW.
+    pub mean_uw: f64,
+    /// 95% confidence-interval half-width at stop, µW.
+    pub half_width_uw: f64,
+    /// Batches the CI stopping rule consumed.
+    pub batches: usize,
+    /// Whether the tolerance was met (false = batch ceiling).
+    pub converged: bool,
+}
+
+/// A structured trace record — richer than [`ProgressEvent`], carrying
+/// fault ids and per-lane statistics.
+///
+/// Records allocate, so producers must only build one after
+/// [`Progress::wants_records`] returns true, and only at pack/chunk
+/// boundaries — never inside the per-cycle simulation loop. With the
+/// default no-op sink the hot path pays nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// One fault-simulation chunk completed.
+    ChunkSimulated {
+        /// Chunk index.
+        chunk: usize,
+        /// Rendered fault ids in the chunk.
+        fault_ids: Vec<String>,
+        /// Faults definitely detected (and dropped).
+        detected: usize,
+        /// Faults with a potential (X-against-known) detection only.
+        potential: usize,
+        /// Simulated cycles the chunk accounted.
+        cycles: u64,
+        /// Wall time the chunk spent simulating.
+        elapsed: Duration,
+        /// True when the chunk was restored from a checkpoint journal
+        /// instead of recomputed.
+        restored: bool,
+    },
+    /// One Monte Carlo grading pack completed.
+    PackGraded {
+        /// Pack index.
+        pack: usize,
+        /// Per-lane outcomes: lane 0 (the fault-free baseline) first,
+        /// then one entry per packed fault.
+        lanes: Vec<LaneGrade>,
+        /// Lanes occupied, including the baseline lane (≤ 64).
+        occupancy: usize,
+        /// Simulated cycles the pack accounted (fault-free lane).
+        cycles: u64,
+        /// Rendered ids of faults the watchdog saw stall.
+        stalled: Vec<String>,
+        /// Wall time the pack spent simulating.
+        elapsed: Duration,
+        /// True when restored from a checkpoint journal.
+        restored: bool,
+    },
+    /// A pack/chunk panicked twice and was quarantined.
+    Quarantined {
+        /// What kind of work quarantined.
+        kind: WorkKind,
+        /// Pack/chunk index.
+        index: usize,
+        /// Rendered fault ids that lost their verdict/grade.
+        fault_ids: Vec<String>,
+        /// The panic payload message.
+        message: String,
+        /// The checkpoint-journal record key (`"grade/3"`) holding the
+        /// replayable incident, when the campaign is journaled.
+        journal_key: Option<String>,
+    },
+    /// The watchdog caught one fault exhausting its cycle budget.
+    BudgetExhausted {
+        /// Rendered id of the runaway fault.
+        fault_id: String,
+        /// Journal record key of the pack carrying the incident, when
+        /// journaled.
+        journal_key: Option<String>,
+    },
+    /// The checkpoint journal degraded to in-memory operation.
+    JournalDegraded {
+        /// The I/O failure description.
+        message: String,
+    },
+    /// Free-form annotation (campaign metadata, tool chatter that
+    /// previously went to stderr).
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+}
+
 /// A campaign observer. Implementations must be cheap and `Sync`:
 /// events arrive concurrently from worker threads.
 pub trait Progress: Sync {
     /// Receives one event.
     fn event(&self, event: ProgressEvent);
+
+    /// Receives one structured [`TraceRecord`]. Default: discard.
+    fn record(&self, record: &TraceRecord) {
+        let _ = record;
+    }
+
+    /// Whether this observer consumes [`TraceRecord`]s. Producers check
+    /// this before allocating a record, so sinks that return false (the
+    /// default) keep the campaign allocation-free on the grading path.
+    fn wants_records(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing observer for library callers.
@@ -307,6 +456,40 @@ pub struct NullProgress;
 
 impl Progress for NullProgress {
     fn event(&self, _event: ProgressEvent) {}
+}
+
+/// Fans events out to several observers in order — the way the CLI
+/// combines counters, a trace writer, a metrics registry, and the TTY
+/// renderer on one campaign.
+pub struct Tee<'a> {
+    sinks: &'a [&'a dyn Progress],
+}
+
+impl<'a> Tee<'a> {
+    /// An observer forwarding every event/record to each of `sinks`.
+    pub fn new(sinks: &'a [&'a dyn Progress]) -> Self {
+        Tee { sinks }
+    }
+}
+
+impl Progress for Tee<'_> {
+    fn event(&self, event: ProgressEvent) {
+        for s in self.sinks {
+            s.event(event);
+        }
+    }
+
+    fn record(&self, record: &TraceRecord) {
+        for s in self.sinks {
+            if s.wants_records() {
+                s.record(record);
+            }
+        }
+    }
+
+    fn wants_records(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_records())
+    }
 }
 
 /// Times one phase: emits [`ProgressEvent::PhaseStart`] on creation and
@@ -332,15 +515,16 @@ impl<'a> PhaseTimer<'a> {
 
     /// Ends the phase explicitly (otherwise `Drop` ends it).
     pub fn finish(mut self) {
-        self.emit();
+        self.emit(false);
     }
 
-    fn emit(&mut self) {
+    fn emit(&mut self, aborted: bool) {
         if !self.done {
             self.done = true;
             self.progress.event(ProgressEvent::PhaseDone {
                 phase: self.phase,
                 elapsed: self.start.elapsed(),
+                aborted,
             });
         }
     }
@@ -348,7 +532,10 @@ impl<'a> PhaseTimer<'a> {
 
 impl Drop for PhaseTimer<'_> {
     fn drop(&mut self) {
-        self.emit();
+        // A timer dropped while unwinding still closes its span — as
+        // `aborted` — so traces from panicking (quarantined) work are
+        // not truncated and span begin/end stay balanced.
+        self.emit(std::thread::panicking());
     }
 }
 
@@ -393,8 +580,110 @@ pub struct CounterState {
     /// Faults the static-analysis pre-pass classified without
     /// simulation.
     pub faults_pruned: usize,
+    /// Simulated cycles accounted by completed packs/chunks.
+    pub cycles_simulated: u64,
     /// Wall time per completed phase, in completion order.
     pub phase_times: Vec<(Phase, Duration)>,
+}
+
+impl CounterState {
+    /// What happened since `earlier` was snapshotted: every count is
+    /// subtracted field-wise and only the phases completed after
+    /// `earlier` remain. `c.snapshot().delta(&start)` brackets one
+    /// stage of a longer campaign without hand-subtracting fields.
+    pub fn delta(&self, earlier: &CounterState) -> CounterState {
+        CounterState {
+            faults_simulated: self.faults_simulated - earlier.faults_simulated,
+            faults_dropped: self.faults_dropped - earlier.faults_dropped,
+            mc_converged: self.mc_converged - earlier.mc_converged,
+            mc_capped: self.mc_capped - earlier.mc_capped,
+            mc_batches: self.mc_batches - earlier.mc_batches,
+            faults_graded: self.faults_graded - earlier.faults_graded,
+            faults_flagged: self.faults_flagged - earlier.faults_flagged,
+            grade_packs: self.grade_packs - earlier.grade_packs,
+            grade_pack_faults: self.grade_pack_faults - earlier.grade_pack_faults,
+            packs_quarantined: self.packs_quarantined - earlier.packs_quarantined,
+            faults_quarantined: self.faults_quarantined - earlier.faults_quarantined,
+            packs_restored: self.packs_restored - earlier.packs_restored,
+            faults_restored: self.faults_restored - earlier.faults_restored,
+            budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
+            faults_pruned: self.faults_pruned - earlier.faults_pruned,
+            cycles_simulated: self.cycles_simulated - earlier.cycles_simulated,
+            phase_times: self.phase_times[earlier.phase_times.len()..].to_vec(),
+        }
+    }
+}
+
+/// The end-of-run campaign summary the CLI and the bench binaries
+/// print to stderr — every populated counter group, then wall time per
+/// phase. Lines are omitted when their counters are zero, so a
+/// classification-only run prints no grading lines.
+impl std::fmt::Display for CounterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.faults_pruned > 0 {
+            writeln!(
+                f,
+                "static prune: {} fault(s) classified without simulation",
+                self.faults_pruned
+            )?;
+        }
+        if self.faults_simulated > 0 {
+            writeln!(
+                f,
+                "campaign: {} faults simulated, {} dropped by detection",
+                self.faults_simulated, self.faults_dropped
+            )?;
+        }
+        if self.mc_converged + self.mc_capped > 0 {
+            writeln!(
+                f,
+                "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
+                self.mc_converged, self.mc_capped, self.mc_batches
+            )?;
+        }
+        if self.grade_packs > 0 {
+            writeln!(
+                f,
+                "grading: {} faults in {} lane packs ({:.1} faults/pack)",
+                self.grade_pack_faults,
+                self.grade_packs,
+                self.grade_pack_faults as f64 / self.grade_packs as f64
+            )?;
+        }
+        if self.cycles_simulated > 0 {
+            writeln!(f, "simulated: {} cycles", self.cycles_simulated)?;
+        }
+        if self.packs_restored > 0 {
+            writeln!(
+                f,
+                "checkpoint: {} pack(s) restored from the journal ({} faults skipped recomputation)",
+                self.packs_restored, self.faults_restored
+            )?;
+        }
+        if self.packs_quarantined > 0 {
+            writeln!(
+                f,
+                "quarantine: {} pack(s) panicked twice and were set aside ({} faults ungraded)",
+                self.packs_quarantined, self.faults_quarantined
+            )?;
+        }
+        if self.budget_exhausted > 0 {
+            writeln!(
+                f,
+                "watchdog: {} fault(s) exhausted their cycle budget",
+                self.budget_exhausted
+            )?;
+        }
+        for (phase, elapsed) in &self.phase_times {
+            writeln!(
+                f,
+                "phase {:<8} {:>8.1} ms",
+                phase.label(),
+                elapsed.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl Counters {
@@ -413,8 +702,9 @@ impl Progress for Counters {
     fn event(&self, event: ProgressEvent) {
         let mut s = self.inner.lock().expect("counter lock");
         match event {
-            ProgressEvent::PhaseStart { .. } => {}
-            ProgressEvent::PhaseDone { phase, elapsed } => s.phase_times.push((phase, elapsed)),
+            ProgressEvent::PhaseStart { .. } | ProgressEvent::WorkPlanned { .. } => {}
+            ProgressEvent::PhaseDone { phase, elapsed, .. } => s.phase_times.push((phase, elapsed)),
+            ProgressEvent::CyclesSimulated { cycles } => s.cycles_simulated += cycles,
             ProgressEvent::FaultSimulated { dropped } => {
                 s.faults_simulated += 1;
                 if dropped {
@@ -581,5 +871,108 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.phase_times.len(), 1);
         assert_eq!(s.phase_times[0].0, Phase::Build);
+    }
+
+    /// Observer that remembers whether its span ended aborted.
+    struct SpanWatcher {
+        ends: std::sync::Mutex<Vec<(Phase, bool)>>,
+    }
+
+    impl Progress for SpanWatcher {
+        fn event(&self, event: ProgressEvent) {
+            if let ProgressEvent::PhaseDone { phase, aborted, .. } = event {
+                self.ends
+                    .lock()
+                    .expect("watcher lock")
+                    .push((phase, aborted));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_timer_dropped_by_a_panic_emits_an_aborted_span_end() {
+        let w = SpanWatcher {
+            ends: std::sync::Mutex::new(Vec::new()),
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _timer = PhaseTimer::start(&w, Phase::Grade);
+            panic!("pack misbehaved");
+        }));
+        assert!(caught.is_err());
+        let ends = w.ends.lock().expect("watcher lock");
+        assert_eq!(ends.as_slice(), &[(Phase::Grade, true)]);
+    }
+
+    #[test]
+    fn phase_timer_finished_normally_is_not_aborted() {
+        let w = SpanWatcher {
+            ends: std::sync::Mutex::new(Vec::new()),
+        };
+        PhaseTimer::start(&w, Phase::Golden).finish();
+        let ends = w.ends.lock().expect("watcher lock");
+        assert_eq!(ends.as_slice(), &[(Phase::Golden, false)]);
+    }
+
+    #[test]
+    fn counter_delta_subtracts_fieldwise_and_keeps_new_phases() {
+        let c = Counters::new();
+        c.event(ProgressEvent::FaultSimulated { dropped: true });
+        c.event(ProgressEvent::CyclesSimulated { cycles: 100 });
+        PhaseTimer::start(&c, Phase::Golden).finish();
+        let earlier = c.snapshot();
+        c.event(ProgressEvent::FaultSimulated { dropped: false });
+        c.event(ProgressEvent::FaultSimulated { dropped: false });
+        c.event(ProgressEvent::CyclesSimulated { cycles: 50 });
+        PhaseTimer::start(&c, Phase::Grade).finish();
+        let d = c.snapshot().delta(&earlier);
+        assert_eq!(d.faults_simulated, 2);
+        assert_eq!(d.faults_dropped, 0);
+        assert_eq!(d.cycles_simulated, 50);
+        assert_eq!(d.phase_times.len(), 1);
+        assert_eq!(d.phase_times[0].0, Phase::Grade);
+    }
+
+    #[test]
+    fn counter_display_renders_only_populated_groups() {
+        let c = Counters::new();
+        c.event(ProgressEvent::FaultSimulated { dropped: true });
+        let text = c.snapshot().to_string();
+        assert!(text.contains("campaign: 1 faults simulated, 1 dropped by detection"));
+        assert!(
+            !text.contains("monte carlo"),
+            "no MC lines without MC events"
+        );
+        assert!(!text.contains("grading:"));
+    }
+
+    #[test]
+    fn tee_fans_out_events_and_gates_records_on_demand() {
+        struct Recorder {
+            n: AtomicUsize,
+        }
+        impl Progress for Recorder {
+            fn event(&self, _event: ProgressEvent) {}
+            fn record(&self, _record: &TraceRecord) {
+                self.n.fetch_add(1, Ordering::SeqCst);
+            }
+            fn wants_records(&self) -> bool {
+                true
+            }
+        }
+        let a = Counters::new();
+        let b = Recorder {
+            n: AtomicUsize::new(0),
+        };
+        let sinks: [&dyn Progress; 2] = [&a, &b];
+        let tee = Tee::new(&sinks);
+        assert!(tee.wants_records(), "one consumer is enough");
+        tee.event(ProgressEvent::FaultGraded { flagged: true });
+        tee.record(&TraceRecord::Note {
+            text: "hello".into(),
+        });
+        assert_eq!(a.snapshot().faults_graded, 1);
+        assert_eq!(b.n.load(Ordering::SeqCst), 1);
+        let none: [&dyn Progress; 1] = [&a];
+        assert!(!Tee::new(&none).wants_records());
     }
 }

@@ -12,7 +12,10 @@
 use crate::campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
 use crate::golden::GoldenTrace;
 use crate::system::System;
-use sfr_exec::{par_map_indexed, par_map_indexed_caught, NullProgress, Progress, ProgressEvent};
+use sfr_exec::{
+    par_map_indexed, par_map_indexed_caught, NullProgress, Phase, Progress, ProgressEvent,
+    TraceRecord, WorkKind,
+};
 use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
 use sfr_netlist::{StuckAt, MAX_PARALLEL_FAULTS};
 
@@ -28,6 +31,19 @@ pub trait Engine: Sync {
 
     /// Runs the campaign.
     fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome>;
+
+    /// Runs the campaign and also reports the simulator cycles it
+    /// evaluated, for the observability stream. The default conservatively
+    /// reports 0 cycles (an engine that doesn't count doesn't guess);
+    /// all built-in engines override it.
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        (self.run(sys, golden, faults), 0)
+    }
 
     /// The worker count this engine represents — downstream per-fault
     /// stages (controller-table analysis, the symbolic oracle) shard to
@@ -49,6 +65,15 @@ impl Engine for SerialEngine {
     fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
         run_serial(sys, golden, faults)
     }
+
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        crate::campaign::run_serial_counted(sys, golden, faults)
+    }
 }
 
 /// 63 faults per machine word, single-threaded.
@@ -62,6 +87,15 @@ impl Engine for LaneEngine {
 
     fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
         run_parallel(sys, golden, faults)
+    }
+
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        crate::campaign::run_parallel_counted(sys, golden, faults)
     }
 }
 
@@ -105,6 +139,25 @@ impl Engine for ThreadedEngine {
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        let batches: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+        let per_batch = par_map_indexed(self.threads, batches.len(), |i| {
+            crate::campaign::run_parallel_counted(sys, golden, batches[i])
+        });
+        let mut outcomes = Vec::with_capacity(faults.len());
+        let mut cycles = 0u64;
+        for (batch_outcomes, batch_cycles) in per_batch {
+            outcomes.extend(batch_outcomes);
+            cycles += batch_cycles;
+        }
+        (outcomes, cycles)
     }
 }
 
@@ -239,11 +292,19 @@ pub fn run_campaign_quarantined(
     journal: Option<&CampaignJournal>,
 ) -> (Vec<CampaignOutcome>, Vec<QuarantinedChunk>) {
     enum ChunkOutcome {
-        Computed(Vec<CampaignOutcome>),
+        Computed {
+            outcomes: Vec<CampaignOutcome>,
+            cycles: u64,
+            elapsed: std::time::Duration,
+        },
         Restored(Vec<CampaignOutcome>),
         ReplayedQuarantine(String),
     }
     let chunks: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+    progress.event(ProgressEvent::WorkPlanned {
+        phase: Phase::FaultSim,
+        items: chunks.len(),
+    });
     let slots = par_map_indexed_caught(engine.threads(), chunks.len(), |i| {
         let chunk = chunks[i];
         if let Some(j) = journal {
@@ -259,15 +320,48 @@ pub fn run_campaign_quarantined(
                 // Undecodable payload: fall through and resimulate.
             }
         }
-        let outcomes = engine.run(sys, golden, chunk);
+        // Wall time is measured here in the worker (the coordinating
+        // thread replays events post-hoc, long after the work ran).
+        let started = std::time::Instant::now();
+        let (outcomes, cycles) = engine.run_counted(sys, golden, chunk);
+        let elapsed = started.elapsed();
         if let Some(j) = journal {
             j.record(RecordKind::FaultSim, i as u64, &encode_outcomes(&outcomes));
         }
-        ChunkOutcome::Computed(outcomes)
+        ChunkOutcome::Computed {
+            outcomes,
+            cycles,
+            elapsed,
+        }
     });
 
     let mut all = Vec::with_capacity(faults.len());
     let mut quarantined = Vec::new();
+    // Records allocate (fault-id rendering), so only build them when a
+    // sink asked; this loop runs post-hoc on the coordinating thread in
+    // chunk order, keeping the trace layout deterministic.
+    let tracing = progress.wants_records();
+    let chunk_ids = |chunk: &[StuckAt]| chunk.iter().map(StuckAt::to_string).collect::<Vec<_>>();
+    let chunk_record = |i: usize, outcomes: &[CampaignOutcome], cycles, elapsed, restored| {
+        let mut detected = 0;
+        let mut potential = 0;
+        for o in outcomes {
+            match o.detection {
+                Detection::Detected { .. } => detected += 1,
+                Detection::Potential { .. } => potential += 1,
+                Detection::NotDetected => {}
+            }
+        }
+        TraceRecord::ChunkSimulated {
+            chunk: i,
+            fault_ids: chunk_ids(chunks[i]),
+            detected,
+            potential,
+            cycles,
+            elapsed,
+            restored,
+        }
+    };
     for (i, slot) in slots.into_iter().enumerate() {
         let mut quarantine = |message: String, journal_it: bool| {
             if journal_it {
@@ -280,6 +374,15 @@ pub fn run_campaign_quarantined(
             progress.event(ProgressEvent::PackQuarantined {
                 faults: chunks[i].len(),
             });
+            if tracing {
+                progress.record(&TraceRecord::Quarantined {
+                    kind: WorkKind::FaultSimChunk,
+                    index: i,
+                    fault_ids: chunk_ids(chunks[i]),
+                    message: message.clone(),
+                    journal_key: journal.map(|_| RecordKind::FaultSim.key(i as u64)),
+                });
+            }
             quarantined.push(QuarantinedChunk {
                 chunk: i,
                 faults: chunks[i].to_vec(),
@@ -287,11 +390,19 @@ pub fn run_campaign_quarantined(
             });
         };
         match slot {
-            Ok(ChunkOutcome::Computed(outcomes)) => {
+            Ok(ChunkOutcome::Computed {
+                outcomes,
+                cycles,
+                elapsed,
+            }) => {
+                progress.event(ProgressEvent::CyclesSimulated { cycles });
                 for o in &outcomes {
                     progress.event(ProgressEvent::FaultSimulated {
                         dropped: o.detection.is_detected(),
                     });
+                }
+                if tracing {
+                    progress.record(&chunk_record(i, &outcomes, cycles, elapsed, false));
                 }
                 all.extend(outcomes);
             }
@@ -299,6 +410,15 @@ pub fn run_campaign_quarantined(
                 progress.event(ProgressEvent::PackRestored {
                     faults: chunks[i].len(),
                 });
+                if tracing {
+                    progress.record(&chunk_record(
+                        i,
+                        &outcomes,
+                        0,
+                        std::time::Duration::ZERO,
+                        true,
+                    ));
+                }
                 all.extend(outcomes);
             }
             Ok(ChunkOutcome::ReplayedQuarantine(message)) => quarantine(message, false),

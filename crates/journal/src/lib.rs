@@ -67,6 +67,13 @@ impl RecordKind {
             _ => None,
         }
     }
+
+    /// The canonical cross-link key of record `(self, id)` — the id
+    /// observability traces use to point an incident at the journal
+    /// entry that replays it (`"grade/3"`, `"faultsim/0"`).
+    pub fn key(self, id: u64) -> String {
+        format!("{}/{id}", self.tag())
+    }
 }
 
 impl fmt::Display for RecordKind {

@@ -1,0 +1,408 @@
+//! Schema validators behind `sfr obs-check`.
+//!
+//! Line-by-line structural validation of the JSONL trace, the run
+//! manifest, and the Prometheus metrics export — so CI can prove the
+//! artifacts a campaign emitted are well-formed without hauling in an
+//! external toolchain.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+
+/// What a valid trace contained, for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total JSONL lines.
+    pub lines: usize,
+    /// Balanced span begin/end pairs.
+    pub spans: usize,
+    /// Spans that ended `aborted`.
+    pub aborted_spans: usize,
+    /// Grading pack records.
+    pub packs: usize,
+    /// Fault-simulation chunk records.
+    pub chunks: usize,
+    /// Quarantine records.
+    pub quarantines: usize,
+    /// Budget-exhaustion records.
+    pub budgets: usize,
+    /// Note records.
+    pub notes: usize,
+}
+
+fn field<'a>(obj: &'a Value, line_no: usize, key: &str) -> Result<&'a Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("line {line_no}: missing field {key:?}"))
+}
+
+fn str_field<'a>(obj: &'a Value, line_no: usize, key: &str) -> Result<&'a str, String> {
+    field(obj, line_no, key)?
+        .as_str()
+        .ok_or_else(|| format!("line {line_no}: field {key:?} must be a string"))
+}
+
+fn num_field(obj: &Value, line_no: usize, key: &str) -> Result<f64, String> {
+    field(obj, line_no, key)?
+        .as_num()
+        .ok_or_else(|| format!("line {line_no}: field {key:?} must be a number"))
+}
+
+fn bool_field(obj: &Value, line_no: usize, key: &str) -> Result<bool, String> {
+    field(obj, line_no, key)?
+        .as_bool()
+        .ok_or_else(|| format!("line {line_no}: field {key:?} must be a boolean"))
+}
+
+fn id_list(obj: &Value, line_no: usize, key: &str) -> Result<usize, String> {
+    let arr = field(obj, line_no, key)?
+        .as_arr()
+        .ok_or_else(|| format!("line {line_no}: field {key:?} must be an array"))?;
+    for v in arr {
+        if v.as_str().is_none() {
+            return Err(format!("line {line_no}: {key:?} entries must be strings"));
+        }
+    }
+    Ok(arr.len())
+}
+
+fn opt_str(obj: &Value, line_no: usize, key: &str) -> Result<(), String> {
+    match field(obj, line_no, key)? {
+        Value::Null | Value::Str(_) => Ok(()),
+        _ => Err(format!(
+            "line {line_no}: field {key:?} must be a string or null"
+        )),
+    }
+}
+
+/// Validate a JSONL trace: every line parses, every event type is
+/// known and carries its required fields, and span begin/end events
+/// balance per phase (no end without a begin, none left open).
+pub fn check_trace(text: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut open_spans: BTreeMap<String, usize> = BTreeMap::new();
+    let mut started = false;
+    let mut ended = false;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: blank line in trace"));
+        }
+        let v = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if ended {
+            return Err(format!("line {line_no}: data after trace_end"));
+        }
+        let ev = str_field(&v, line_no, "ev")?;
+        if !started && ev != "trace_start" {
+            return Err(format!("line {line_no}: trace must begin with trace_start"));
+        }
+        stats.lines += 1;
+        match ev {
+            "trace_start" => {
+                if started {
+                    return Err(format!("line {line_no}: duplicate trace_start"));
+                }
+                started = true;
+                let version = num_field(&v, line_no, "version")?;
+                if version != f64::from(crate::trace::TRACE_VERSION) {
+                    return Err(format!(
+                        "line {line_no}: unsupported trace version {version}"
+                    ));
+                }
+            }
+            "trace_end" => {
+                num_field(&v, line_no, "t_ms")?;
+                ended = true;
+            }
+            "span_begin" => {
+                let phase = str_field(&v, line_no, "phase")?;
+                num_field(&v, line_no, "t_ms")?;
+                *open_spans.entry(phase.to_string()).or_insert(0) += 1;
+            }
+            "span_end" => {
+                let phase = str_field(&v, line_no, "phase")?;
+                num_field(&v, line_no, "ms")?;
+                if bool_field(&v, line_no, "aborted")? {
+                    stats.aborted_spans += 1;
+                }
+                let open = open_spans
+                    .get_mut(phase)
+                    .filter(|n| **n > 0)
+                    .ok_or_else(|| {
+                        format!(
+                            "line {line_no}: span_end for {phase:?} without matching span_begin"
+                        )
+                    })?;
+                *open -= 1;
+                stats.spans += 1;
+            }
+            "plan" => {
+                str_field(&v, line_no, "phase")?;
+                num_field(&v, line_no, "items")?;
+            }
+            "pack" => {
+                num_field(&v, line_no, "pack")?;
+                num_field(&v, line_no, "cycles")?;
+                bool_field(&v, line_no, "restored")?;
+                id_list(&v, line_no, "stalled")?;
+                let occupancy = num_field(&v, line_no, "occupancy")?;
+                let lanes = field(&v, line_no, "lanes")?
+                    .as_arr()
+                    .ok_or_else(|| format!("line {line_no}: \"lanes\" must be an array"))?;
+                if lanes.len() != occupancy as usize {
+                    return Err(format!(
+                        "line {line_no}: occupancy {occupancy} != {} lanes",
+                        lanes.len()
+                    ));
+                }
+                for lane in lanes {
+                    opt_str(lane, line_no, "fault")?;
+                    num_field(lane, line_no, "mean_uw")?;
+                    num_field(lane, line_no, "half_width_uw")?;
+                    num_field(lane, line_no, "batches")?;
+                    bool_field(lane, line_no, "converged")?;
+                }
+                match lanes.first() {
+                    Some(first) if first.get("fault") == Some(&Value::Null) => {}
+                    _ => {
+                        return Err(format!(
+                            "line {line_no}: lane 0 must be the fault-free baseline (fault null)"
+                        ))
+                    }
+                }
+                stats.packs += 1;
+            }
+            "chunk" => {
+                num_field(&v, line_no, "chunk")?;
+                let faults = id_list(&v, line_no, "faults")?;
+                let detected = num_field(&v, line_no, "detected")?;
+                let potential = num_field(&v, line_no, "potential")?;
+                if detected as usize + potential as usize > faults {
+                    return Err(format!(
+                        "line {line_no}: detected+potential exceeds {faults} chunk faults"
+                    ));
+                }
+                num_field(&v, line_no, "cycles")?;
+                bool_field(&v, line_no, "restored")?;
+                stats.chunks += 1;
+            }
+            "quarantine" => {
+                let kind = str_field(&v, line_no, "kind")?;
+                if kind != "faultsim" && kind != "grade" {
+                    return Err(format!("line {line_no}: unknown quarantine kind {kind:?}"));
+                }
+                num_field(&v, line_no, "index")?;
+                id_list(&v, line_no, "faults")?;
+                str_field(&v, line_no, "message")?;
+                opt_str(&v, line_no, "journal")?;
+                stats.quarantines += 1;
+            }
+            "budget" => {
+                str_field(&v, line_no, "fault")?;
+                opt_str(&v, line_no, "journal")?;
+                stats.budgets += 1;
+            }
+            "journal_degraded" => {
+                str_field(&v, line_no, "message")?;
+            }
+            "note" => {
+                str_field(&v, line_no, "text")?;
+                stats.notes += 1;
+            }
+            other => return Err(format!("line {line_no}: unknown event type {other:?}")),
+        }
+    }
+    if !started {
+        return Err("empty trace (no trace_start)".into());
+    }
+    if !ended {
+        return Err("truncated trace (no trace_end)".into());
+    }
+    for (phase, open) in open_spans {
+        if open > 0 {
+            return Err(format!(
+                "unbalanced spans: {open} open span(s) for phase {phase:?}"
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+/// Validate a run manifest: parses as JSON and carries every field the
+/// schema requires, with the self-fingerprint consistent.
+pub fn check_manifest(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("manifest: {e}"))?;
+    for key in ["benchmark", "engine"] {
+        str_field(&v, 1, key)?;
+    }
+    for key in ["width", "fault_universe", "threads", "wall_ms"] {
+        num_field(&v, 1, key)?;
+    }
+    for key in ["campaign_fingerprint", "fingerprint"] {
+        let fp = str_field(&v, 1, key)?;
+        let digits = fp
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("{key} must start 0x"))?;
+        u64::from_str_radix(digits, 16).map_err(|_| format!("{key} is not a hex u64: {fp:?}"))?;
+    }
+    let tallies = field(&v, 1, "tallies")?;
+    for key in [
+        "total",
+        "sfi",
+        "cfr",
+        "sfr",
+        "graded",
+        "flagged",
+        "pruned",
+        "incidents",
+    ] {
+        num_field(tallies, 1, key)?;
+    }
+    let config = field(&v, 1, "config")?;
+    let config = config.as_obj().ok_or("\"config\" must be an object")?;
+    for value in config.values() {
+        if value.as_str().is_none() {
+            return Err("config values must be strings".into());
+        }
+    }
+    let phases = field(&v, 1, "phases")?
+        .as_arr()
+        .ok_or("\"phases\" must be an array")?;
+    for p in phases {
+        str_field(p, 1, "name")?;
+        num_field(p, 1, "wall_ms")?;
+        bool_field(p, 1, "aborted")?;
+    }
+    for key in ["cpu_ms", "git", "journal"] {
+        field(&v, 1, key)?;
+    }
+    Ok(())
+}
+
+/// Validate a Prometheus text exposition: every line is a comment
+/// (`# HELP` / `# TYPE`) or a `name[{labels}] value` sample with a
+/// parseable value. Returns the sample count.
+pub fn check_metrics(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if !comment.starts_with("HELP ") && !comment.starts_with("TYPE ") {
+                return Err(format!("metrics line {line_no}: unknown comment form"));
+            }
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("metrics line {line_no}: no sample value"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("metrics line {line_no}: bad value {value:?}"))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("metrics line {line_no}: bad metric name {name:?}"));
+        }
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("metrics line {line_no}: unclosed label set"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("metrics file contains no samples".into());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfr_exec::Progress as _;
+
+    const GOOD_TRACE: &str = r#"{"ev":"trace_start","version":1}
+{"ev":"span_begin","phase":"grade","t_ms":0.1}
+{"ev":"plan","phase":"grade","items":1,"t_ms":0.2}
+{"ev":"pack","pack":0,"occupancy":2,"cycles":90,"ms":1.5,"restored":false,"stalled":[],"lanes":[{"fault":null,"mean_uw":100.0,"half_width_uw":2.0,"batches":4,"converged":true},{"fault":"g1.out/sa0","mean_uw":104.0,"half_width_uw":2.1,"batches":4,"converged":true}],"t_ms":1.9}
+{"ev":"span_end","phase":"grade","ms":2.0,"aborted":false,"t_ms":2.1}
+{"ev":"trace_end","t_ms":2.2}"#;
+
+    #[test]
+    fn accepts_good_trace() {
+        let stats = check_trace(GOOD_TRACE).expect("valid");
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.packs, 1);
+        assert_eq!(stats.aborted_spans, 0);
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let truncated = GOOD_TRACE.replace(
+            "{\"ev\":\"span_end\",\"phase\":\"grade\",\"ms\":2.0,\"aborted\":false,\"t_ms\":2.1}\n",
+            "",
+        );
+        let err = check_trace(&truncated).expect_err("unbalanced");
+        assert!(err.contains("open span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_end_without_begin_and_unknown_events() {
+        let orphan = "{\"ev\":\"trace_start\",\"version\":1}\n{\"ev\":\"span_end\",\"phase\":\"grade\",\"ms\":1.0,\"aborted\":false,\"t_ms\":1.0}\n{\"ev\":\"trace_end\",\"t_ms\":2.0}";
+        assert!(check_trace(orphan)
+            .expect_err("orphan end")
+            .contains("without matching"));
+        let unknown = "{\"ev\":\"trace_start\",\"version\":1}\n{\"ev\":\"mystery\"}\n{\"ev\":\"trace_end\",\"t_ms\":2.0}";
+        assert!(check_trace(unknown)
+            .expect_err("unknown ev")
+            .contains("unknown event"));
+        assert!(check_trace("").is_err());
+    }
+
+    #[test]
+    fn counts_aborted_spans() {
+        let aborted = GOOD_TRACE.replace(
+            "\"aborted\":false,\"t_ms\":2.1",
+            "\"aborted\":true,\"t_ms\":2.1",
+        );
+        let stats = check_trace(&aborted).expect("still balanced");
+        assert_eq!(stats.aborted_spans, 1);
+    }
+
+    #[test]
+    fn validates_manifest_shape() {
+        let m = crate::manifest::RunManifest {
+            benchmark: "poly".into(),
+            width: 8,
+            campaign_fingerprint: 1,
+            fault_universe: 10,
+            config: vec![("seed".into(), "7".into())],
+            engine: "lane".into(),
+            threads: 1,
+            tallies: crate::manifest::Tallies::default(),
+            phases: vec![],
+            wall_ms: 1.0,
+            cpu_ms: None,
+            git: None,
+            journal: None,
+        };
+        check_manifest(&m.render_json()).expect("manifest valid");
+        assert!(check_manifest("{}").is_err());
+        assert!(check_manifest("not json").is_err());
+    }
+
+    #[test]
+    fn validates_metrics_text() {
+        let m = crate::metrics::Metrics::new();
+        m.event(sfr_exec::ProgressEvent::FaultGraded { flagged: false });
+        let n = check_metrics(&m.render_prometheus()).expect("metrics valid");
+        assert!(n > 10);
+        assert!(check_metrics("").is_err());
+        assert!(check_metrics("bad metric line with no value at all\n").is_err());
+        assert!(check_metrics("name notanumber\n").is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Lock-free metrics registry: monotonic counters plus fixed
+//! log2-bucket histograms, exportable as Prometheus-style text and as
+//! a human summary table.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — observation never
+//! takes a lock and never allocates, so the registry can sit on the
+//! campaign's progress fan-out at any thread count without perturbing
+//! the hot grading path. The registry *extends* `sfr_exec::Counters`
+//! (which stays the source of truth for the classification tallies):
+//! it adds the latency/throughput distributions Counters has no room
+//! for.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use sfr_exec::{Progress, ProgressEvent, TraceRecord};
+
+/// Number of log2 buckets. Bucket `i` counts observations `v` with
+/// `v <= 2^i - 1` exclusive of lower buckets, i.e. `bits(v) == i`;
+/// the last bucket absorbs everything larger.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log2 histogram. Bucket boundaries are powers of two
+/// minus one (`0, 1, 3, 7, 15, …`), which keeps `observe` at a single
+/// `leading_zeros` plus one relaxed fetch_add.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = (u64::BITS - value.leading_zeros()) as usize;
+        let idx = idx.min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bucket bound (`2^i - 1`) of the bucket containing the
+    /// `q`-quantile (0.0–1.0), or `None` when empty. Log2 buckets give
+    /// an order-of-magnitude answer, which is what the summary needs.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(bucket_bound(i));
+            }
+        }
+        Some(bucket_bound(BUCKETS - 1))
+    }
+
+    fn render_prometheus(&self, out: &mut String, name: &str) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = if i == BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                bucket_bound(i).to_string()
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+macro_rules! registry_counters {
+    ($($(#[$doc:meta])* $name:ident => $metric:literal, $help:literal;)*) => {
+        /// The counter block of the [`Metrics`] registry.
+        #[derive(Debug, Default)]
+        struct RegistryCounters {
+            $($(#[$doc])* $name: AtomicU64,)*
+        }
+
+        impl RegistryCounters {
+            fn render_prometheus(&self, out: &mut String) {
+                $(
+                    let _ = writeln!(out, "# HELP {} {}", $metric, $help);
+                    let _ = writeln!(out, "# TYPE {} counter", $metric);
+                    let _ = writeln!(out, "{} {}", $metric, self.$name.load(Ordering::Relaxed));
+                )*
+            }
+        }
+    };
+}
+
+registry_counters! {
+    faults_simulated => "sfr_faults_simulated_total", "Faults that finished fault simulation";
+    faults_dropped => "sfr_faults_dropped_total", "Simulated faults detected and dropped";
+    faults_pruned => "sfr_faults_pruned_total", "Faults classified statically without simulation";
+    faults_graded => "sfr_faults_graded_total", "SFR faults that received a power grade";
+    faults_flagged => "sfr_faults_flagged_total", "Graded faults the power test flags";
+    mc_estimations => "sfr_mc_estimations_total", "Monte Carlo power estimations completed";
+    mc_converged => "sfr_mc_converged_total", "Estimations that met the CI tolerance";
+    grade_packs => "sfr_grade_packs_total", "Lane-packed grading passes completed";
+    packs_quarantined => "sfr_packs_quarantined_total", "Packs/chunks quarantined after panicking";
+    packs_restored => "sfr_packs_restored_total", "Packs/chunks restored from a checkpoint journal";
+    budget_exhausted => "sfr_budget_exhausted_total", "Faults that exhausted their cycle budget";
+    cycles_simulated => "sfr_cycles_simulated_total", "Simulated controller+datapath cycles";
+}
+
+/// The lock-free metrics registry. Implements [`Progress`], so it taps
+/// the same event stream as `Counters`; observation is allocation-free.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    counters: RegistryCounters,
+    /// Wall time per grading pack, microseconds.
+    pack_latency_us: Histogram,
+    /// Wall time per fault-simulation chunk, microseconds.
+    chunk_latency_us: Histogram,
+    /// Simulated cycles per pack/chunk work item.
+    cycles_per_item: Histogram,
+    /// Monte Carlo batches per estimation.
+    mc_batches: Histogram,
+    /// Occupied lanes per grading pack (including the baseline lane).
+    lane_occupancy: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            counters: RegistryCounters::default(),
+            pack_latency_us: Histogram::default(),
+            chunk_latency_us: Histogram::default(),
+            cycles_per_item: Histogram::default(),
+            mc_batches: Histogram::default(),
+            lane_occupancy: Histogram::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh registry; the faults/s gauge is measured from now.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn load(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Graded faults per wall-clock second since the registry was
+    /// created.
+    pub fn faults_per_sec(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.load(&self.counters.faults_graded) as f64 / secs
+        }
+    }
+
+    /// Fraction (0–1) of classified faults settled by the static
+    /// pre-pass instead of simulation.
+    pub fn prune_hit_rate(&self) -> f64 {
+        let pruned = self.load(&self.counters.faults_pruned) as f64;
+        let simulated = self.load(&self.counters.faults_simulated) as f64;
+        if pruned + simulated == 0.0 {
+            0.0
+        } else {
+            pruned / (pruned + simulated)
+        }
+    }
+
+    /// Mean lane utilization (0–1) across grading packs: occupied
+    /// lanes over the 64-lane pack width.
+    pub fn lane_utilization(&self) -> f64 {
+        self.lane_occupancy.mean() / 64.0
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.counters.render_prometheus(&mut out);
+        for (gauge, help, value) in [
+            (
+                "sfr_faults_per_second",
+                "Graded faults per wall-clock second",
+                self.faults_per_sec(),
+            ),
+            (
+                "sfr_prune_hit_rate",
+                "Fraction of faults settled statically",
+                self.prune_hit_rate(),
+            ),
+            (
+                "sfr_lane_utilization",
+                "Mean occupied fraction of the 64-lane pack",
+                self.lane_utilization(),
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {gauge} {help}");
+            let _ = writeln!(out, "# TYPE {gauge} gauge");
+            let _ = writeln!(out, "{gauge} {value:.6}");
+        }
+        for (hist, name) in [
+            (&self.pack_latency_us, "sfr_pack_latency_microseconds"),
+            (&self.chunk_latency_us, "sfr_chunk_latency_microseconds"),
+            (&self.cycles_per_item, "sfr_cycles_per_work_item"),
+            (&self.mc_batches, "sfr_mc_batches_per_estimation"),
+            (&self.lane_occupancy, "sfr_lane_occupancy"),
+        ] {
+            hist.render_prometheus(&mut out, name);
+        }
+        out
+    }
+
+    /// Render the human summary table printed at campaign end.
+    pub fn render_summary(&self) -> String {
+        fn quantiles(h: &Histogram) -> String {
+            match (h.quantile_bound(0.5), h.quantile_bound(0.95)) {
+                (Some(p50), Some(p95)) => format!("p50≤{p50} p95≤{p95} mean {:.1}", h.mean()),
+                _ => "(no samples)".into(),
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "metrics summary:");
+        for (label, value) in [
+            (
+                "faults graded",
+                self.load(&self.counters.faults_graded).to_string(),
+            ),
+            (
+                "faults flagged",
+                self.load(&self.counters.faults_flagged).to_string(),
+            ),
+            ("faults/s", format!("{:.1}", self.faults_per_sec())),
+            (
+                "prune hit-rate",
+                format!("{:.1}%", self.prune_hit_rate() * 100.0),
+            ),
+            (
+                "lane utilization",
+                format!("{:.1}%", self.lane_utilization() * 100.0),
+            ),
+            (
+                "cycles simulated",
+                self.load(&self.counters.cycles_simulated).to_string(),
+            ),
+            ("pack latency µs", quantiles(&self.pack_latency_us)),
+            ("chunk latency µs", quantiles(&self.chunk_latency_us)),
+            ("cycles/work item", quantiles(&self.cycles_per_item)),
+            ("mc batches", quantiles(&self.mc_batches)),
+        ] {
+            let _ = writeln!(out, "  {label:<18} {value}");
+        }
+        out
+    }
+
+    /// Write the Prometheus rendering to `path`, creating parent
+    /// directories as needed. Metrics files are point-in-time exports,
+    /// so overwriting is fine (unlike manifests).
+    pub fn write_prometheus(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.render_prometheus())
+    }
+}
+
+impl Progress for Metrics {
+    fn event(&self, event: ProgressEvent) {
+        match event {
+            ProgressEvent::FaultSimulated { dropped } => {
+                self.add(&self.counters.faults_simulated, 1);
+                if dropped {
+                    self.add(&self.counters.faults_dropped, 1);
+                }
+            }
+            ProgressEvent::FaultPruned => self.add(&self.counters.faults_pruned, 1),
+            ProgressEvent::FaultGraded { flagged } => {
+                self.add(&self.counters.faults_graded, 1);
+                if flagged {
+                    self.add(&self.counters.faults_flagged, 1);
+                }
+            }
+            ProgressEvent::MonteCarlo { batches, converged } => {
+                self.add(&self.counters.mc_estimations, 1);
+                if converged {
+                    self.add(&self.counters.mc_converged, 1);
+                }
+                self.mc_batches.observe(batches as u64);
+            }
+            ProgressEvent::GradePack { faults } => {
+                self.add(&self.counters.grade_packs, 1);
+                self.lane_occupancy.observe(faults as u64 + 1);
+            }
+            ProgressEvent::CyclesSimulated { cycles } => {
+                self.add(&self.counters.cycles_simulated, cycles);
+                self.cycles_per_item.observe(cycles);
+            }
+            ProgressEvent::PackQuarantined { .. } => self.add(&self.counters.packs_quarantined, 1),
+            ProgressEvent::PackRestored { .. } => self.add(&self.counters.packs_restored, 1),
+            ProgressEvent::BudgetExhausted => self.add(&self.counters.budget_exhausted, 1),
+            ProgressEvent::PhaseStart { .. }
+            | ProgressEvent::PhaseDone { .. }
+            | ProgressEvent::WorkPlanned { .. } => {}
+        }
+    }
+
+    // Latency distributions come from the structured records (latency
+    // is measured inside the worker and carried on the record).
+    fn record(&self, record: &TraceRecord) {
+        match record {
+            TraceRecord::PackGraded {
+                elapsed,
+                restored: false,
+                ..
+            } => self.pack_latency_us.observe(elapsed.as_micros() as u64),
+            TraceRecord::ChunkSimulated {
+                elapsed,
+                restored: false,
+                ..
+            } => self.chunk_latency_us.observe(elapsed.as_micros() as u64),
+            _ => {}
+        }
+    }
+
+    fn wants_records(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 7, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1021);
+        // rank 4 of 7 (p50) lands in the [2,3] bucket → bound 3.
+        assert_eq!(h.quantile_bound(0.5), Some(3));
+        assert_eq!(h.quantile_bound(1.0), Some(1023));
+        assert!(Histogram::default().quantile_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = Metrics::new();
+        m.event(ProgressEvent::FaultGraded { flagged: true });
+        m.event(ProgressEvent::GradePack { faults: 63 });
+        m.event(ProgressEvent::CyclesSimulated { cycles: 500 });
+        let text = m.render_prometheus();
+        assert!(text.contains("sfr_faults_graded_total 1"));
+        assert!(text.contains("sfr_cycles_simulated_total 500"));
+        assert!(text.contains("# TYPE sfr_pack_latency_microseconds histogram"));
+        assert!(text.contains("sfr_lane_occupancy_bucket{le=\"+Inf\"} 1"));
+        // Cumulative buckets: every bucket line's count must be
+        // monotonically non-decreasing.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("sfr_lane_occupancy_bucket"))
+        {
+            let n: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("count");
+            assert!(n >= last, "cumulative: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn summary_mentions_rates() {
+        let m = Metrics::new();
+        m.event(ProgressEvent::FaultPruned);
+        m.event(ProgressEvent::FaultSimulated { dropped: false });
+        let s = m.render_summary();
+        assert!(s.contains("prune hit-rate"));
+        assert!(s.contains("50.0%"), "{s}");
+    }
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Grading-throughput benchmark: times the scalar reference against the
-# 63-lane and threaded lane-packed engines on the diffeq SFR faults and
-# writes the numbers to BENCH_grade.json at the repository root.
+# 63-lane and threaded lane-packed engines on the diffeq SFR faults,
+# measures the overhead of an attached JSONL trace sink, and writes the
+# numbers to BENCH_grade.json at the repository root.
 #
 # Usage:
 #   scripts/bench.sh            # full run (all SFR faults, criterion probes)
@@ -15,3 +16,10 @@ cargo bench -p sfr-bench --bench grade_throughput -- "$@"
 echo
 echo "== BENCH_grade.json =="
 cat BENCH_grade.json
+
+# The observability contract: an enabled trace sink must cost under 2%
+# (events aggregate per worker and flush at pack boundaries). Single
+# runs are noisy, so the number is recorded rather than gated on.
+overhead=$(sed -n 's/.*"trace_overhead_pct": \([-0-9.]*\).*/\1/p' BENCH_grade.json)
+echo
+echo "tracing overhead: ${overhead}% (target < 2%)"

@@ -53,6 +53,26 @@ done
 rm -rf "$PRUNE_DIR"
 echo "   pruned grade tables are byte-identical at 1/2/8 threads"
 
+echo "== observability equivalence (diffeq: trace + metrics + manifest) =="
+OBS_DIR="$(mktemp -d)"
+"$SFR" grade diffeq --patterns 600 > "$OBS_DIR/plain.out" 2>/dev/null
+"$SFR" grade diffeq --patterns 600 --threads 2 \
+    --trace-out "$OBS_DIR/trace.jsonl" --metrics-out "$OBS_DIR/metrics.prom" \
+    --manifest-out "$OBS_DIR/manifest.json" --quiet \
+    > "$OBS_DIR/observed.out" 2>/dev/null
+diff "$OBS_DIR/plain.out" "$OBS_DIR/observed.out"
+echo "   traced grade table is byte-identical to the unobserved run"
+"$SFR" obs-check --trace "$OBS_DIR/trace.jsonl" \
+    --manifest "$OBS_DIR/manifest.json" --metrics "$OBS_DIR/metrics.prom" \
+    | sed 's/^/   /'
+if "$SFR" grade diffeq --patterns 600 --manifest-out "$OBS_DIR/manifest.json" \
+    >/dev/null 2>&1; then
+    echo "   ERROR: manifest overwrite without --force unexpectedly succeeded"
+    exit 1
+fi
+echo "   manifest overwrite without --force refused"
+rm -rf "$OBS_DIR"
+
 echo "== kill-and-resume smoke (SIGKILL mid-campaign, resume, diff) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT

@@ -40,8 +40,20 @@
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
+//!
+//! Every campaign command (`classify`, `grade`, `testprogram`) accepts
+//! the observability flags: `--trace-out FILE` streams a structured
+//! JSONL event trace, `--metrics-out FILE` exports a Prometheus text
+//! snapshot (plus a human summary on stderr), `--manifest-out FILE`
+//! (grade/testprogram) writes a deterministic run manifest —
+//! refusing to overwrite an existing one unless `--force` is given —
+//! and `--quiet` silences the live status line. All observability
+//! output goes to stderr or the named files; stdout carries only the
+//! result tables, byte-identical with every sink on or off.
+//! `obs-check` validates previously written artifacts.
 
-use sfr_power::exec::{Counters, EngineKind};
+use sfr_power::exec::{Counters, EngineKind, Progress, Tee};
+use sfr_power::obs::{Metrics, TraceWriter, TtyStatus};
 use sfr_power::{
     benchmarks, classify_system_with, describe_effect, ClassifyConfig, EmittedSystem, FaultClass,
     Logic, StuckAt, StudyBuilder, System, SystemConfig,
@@ -58,57 +70,83 @@ fn usage() -> ExitCode {
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
          sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]\n  \
-         sfr table2      [--patterns N] [--threads N]\n\
+         sfr table2      [--patterns N] [--threads N]\n  \
+         sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n\
+         observability (classify/grade/testprogram): [--trace-out FILE] [--metrics-out FILE]\n                  \
+         [--manifest-out FILE] [--force] [--quiet]\n\
          benchmarks: diffeq | facet | poly | fir"
     );
     ExitCode::FAILURE
 }
 
-/// Renders a campaign summary (the [`Counters`] snapshot) to stderr.
-fn report_counters(counters: &Counters) {
-    let s = counters.snapshot();
-    if s.faults_pruned > 0 {
-        eprintln!(
-            "static prune: {} fault(s) classified without simulation",
-            s.faults_pruned
-        );
+/// The observability sinks selected on the command line: the always-on
+/// [`Counters`] summary plus the optional JSONL trace writer, metrics
+/// registry, and throttled live status line. Fan them out to a study
+/// with [`Obs::sinks`] and a [`Tee`].
+struct Obs {
+    counters: Counters,
+    trace: Option<TraceWriter>,
+    metrics: Option<(Metrics, String)>,
+    tty: TtyStatus,
+}
+
+impl Obs {
+    /// Opens the sinks requested by `--trace-out` / `--metrics-out` /
+    /// `--quiet`. The trace file (and its parent directories) are
+    /// created up front so a bad path fails before the campaign runs.
+    fn create(
+        trace_out: Option<&str>,
+        metrics_out: Option<&str>,
+        quiet: bool,
+    ) -> Result<Self, String> {
+        let trace = match trace_out {
+            Some(path) => Some(
+                TraceWriter::create(path)
+                    .map_err(|e| format!("cannot open trace file {path}: {e}"))?,
+            ),
+            None => None,
+        };
+        Ok(Obs {
+            counters: Counters::new(),
+            trace,
+            metrics: metrics_out.map(|p| (Metrics::new(), p.to_string())),
+            tty: TtyStatus::stderr(quiet),
+        })
     }
-    if s.faults_simulated > 0 {
-        eprintln!(
-            "campaign: {} faults simulated, {} dropped by detection",
-            s.faults_simulated, s.faults_dropped
-        );
+
+    /// The sink list to pass to [`Tee::new`].
+    fn sinks(&self) -> Vec<&dyn Progress> {
+        let mut sinks: Vec<&dyn Progress> = vec![&self.counters, &self.tty];
+        if let Some(t) = &self.trace {
+            sinks.push(t);
+        }
+        if let Some((m, _)) = &self.metrics {
+            sinks.push(m);
+        }
+        sinks
     }
-    if s.mc_converged + s.mc_capped > 0 {
-        eprintln!(
-            "monte carlo: {} estimations converged, {} hit the batch ceiling ({} batches total)",
-            s.mc_converged, s.mc_capped, s.mc_batches
-        );
-    }
-    if s.packs_restored > 0 {
-        eprintln!(
-            "checkpoint: {} pack(s) restored from the journal ({} faults skipped recomputation)",
-            s.packs_restored, s.faults_restored
-        );
-    }
-    if s.packs_quarantined > 0 {
-        eprintln!(
-            "quarantine: {} pack(s) panicked twice and were set aside ({} faults ungraded)",
-            s.packs_quarantined, s.faults_quarantined
-        );
-    }
-    if s.budget_exhausted > 0 {
-        eprintln!(
-            "watchdog: {} fault(s) exhausted their cycle budget",
-            s.budget_exhausted
-        );
-    }
-    for (phase, elapsed) in &s.phase_times {
-        eprintln!(
-            "phase {:<8} {:>8.1} ms",
-            phase.label(),
-            elapsed.as_secs_f64() * 1e3
-        );
+
+    /// Clears the status line, renders the campaign summary (and the
+    /// metrics summary when enabled) to stderr, and finalizes the
+    /// trace and metrics files.
+    fn finish(self) -> Result<(), String> {
+        self.tty.finish();
+        eprint!("{}", self.counters.snapshot());
+        if let Some((metrics, path)) = &self.metrics {
+            eprint!("{}", metrics.render_summary());
+            metrics
+                .write_prometheus(path)
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+            eprintln!("metrics written to {path}");
+        }
+        if let Some(trace) = self.trace {
+            let path = trace.path().display().to_string();
+            trace
+                .finish()
+                .map_err(|e| format!("cannot finalize trace {path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        Ok(())
     }
 }
 
@@ -215,6 +253,11 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         .flag("--cycle-budget")
         .map(|s| s.parse().map_err(|_| "bad --cycle-budget"))
         .transpose()?;
+    let trace_out = args.flag("--trace-out");
+    let metrics_out = args.flag("--metrics-out");
+    let manifest_out = args.flag("--manifest-out");
+    let force = args.switch("--force");
+    let quiet = args.switch("--quiet");
 
     match cmd {
         "classify" => {
@@ -222,7 +265,9 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let emitted = build_bench(&name, width)?;
             let sys =
                 System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
-            let counters = Counters::new();
+            let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+            let sinks = obs.sinks();
+            let tee = Tee::new(&sinks);
             let c = classify_system_with(
                 &sys,
                 &ClassifyConfig {
@@ -231,9 +276,10 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     ..Default::default()
                 },
                 engine.build().as_ref(),
-                &counters,
+                &tee,
             );
-            report_counters(&counters);
+            drop(sinks);
+            obs.finish()?;
             println!(
                 "{name} (width {width}): {} controller faults — {} SFI, {} CFR, {} SFR ({:.1}%)",
                 c.total(),
@@ -252,12 +298,12 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         "grade" => {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
-            let counters = Counters::new();
             let mut builder = StudyBuilder::from_emitted(&name, emitted)
                 .test_patterns(patterns)
                 .threshold_pct(threshold)
                 .static_prune(static_prune)
-                .threads(threads);
+                .threads(threads)
+                .force(force);
             if let Some(path) = checkpoint {
                 builder = builder.checkpoint(path);
             }
@@ -267,12 +313,25 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             if let Some(factor) = cycle_budget {
                 builder = builder.cycle_budget(factor);
             }
+            if let Some(path) = &manifest_out {
+                builder = builder.manifest_out(path);
+            }
             let prepared = builder.build().map_err(|e| e.to_string())?;
             eprintln!(
                 "classifying and grading {name} by Monte Carlo power on {threads} thread(s)..."
             );
-            let study = prepared.run_with(&counters);
-            report_counters(&counters);
+            let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+            let sinks = obs.sinks();
+            let tee = Tee::new(&sinks);
+            let study = prepared.run_with(&tee);
+            drop(sinks);
+            obs.finish()?;
+            if let Some(path) = &manifest_out {
+                // run_with already warned on stderr if the write failed.
+                if std::path::Path::new(path).exists() {
+                    eprintln!("manifest written to {path}");
+                }
+            }
             println!(
                 "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
                 study.baseline.mean_uw
@@ -399,14 +458,20 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let name = args.positional().ok_or("missing benchmark name")?;
             let emitted = build_bench(&name, width)?;
             eprintln!("running the full study (classification + power grading)...");
-            let counters = Counters::new();
-            let study = StudyBuilder::from_emitted(&name, emitted)
+            let mut builder = StudyBuilder::from_emitted(&name, emitted)
                 .test_patterns(patterns)
                 .threads(threads)
-                .build()
-                .map_err(|e| e.to_string())?
-                .run_with(&counters);
-            report_counters(&counters);
+                .force(force);
+            if let Some(path) = &manifest_out {
+                builder = builder.manifest_out(path);
+            }
+            let prepared = builder.build().map_err(|e| e.to_string())?;
+            let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+            let sinks = obs.sinks();
+            let tee = Tee::new(&sinks);
+            let study = prepared.run_with(&tee);
+            drop(sinks);
+            obs.finish()?;
             let prog = sfr_power::generate_test_program(
                 &study,
                 &sfr_power::TestProgramConfig {
@@ -453,6 +518,48 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     c.faults.first().map(|f| f.class),
                     Some(FaultClass::Sfi(_)) | Some(FaultClass::Sfr) | Some(FaultClass::Cfr) | None
                 ));
+            }
+            Ok(())
+        }
+        "obs-check" => {
+            let trace = args.flag("--trace");
+            let manifest = args.flag("--manifest");
+            let metrics = args.flag("--metrics");
+            if trace.is_none() && manifest.is_none() && metrics.is_none() {
+                return Err(
+                    "obs-check needs at least one of --trace, --manifest, --metrics".into(),
+                );
+            }
+            if let Some(path) = trace {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+                let stats = sfr_power::obs::check_trace(&text)
+                    .map_err(|e| format!("invalid trace {path}: {e}"))?;
+                println!(
+                    "trace {path}: ok — {} lines, {} spans ({} aborted), {} packs, {} chunks, \
+                     {} quarantines, {} budget hits",
+                    stats.lines,
+                    stats.spans,
+                    stats.aborted_spans,
+                    stats.packs,
+                    stats.chunks,
+                    stats.quarantines,
+                    stats.budgets
+                );
+            }
+            if let Some(path) = manifest {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+                sfr_power::obs::check_manifest(&text)
+                    .map_err(|e| format!("invalid manifest {path}: {e}"))?;
+                println!("manifest {path}: ok");
+            }
+            if let Some(path) = metrics {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read metrics {path}: {e}"))?;
+                let samples = sfr_power::obs::check_metrics(&text)
+                    .map_err(|e| format!("invalid metrics {path}: {e}"))?;
+                println!("metrics {path}: ok — {samples} samples");
             }
             Ok(())
         }
