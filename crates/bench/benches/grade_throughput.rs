@@ -1,10 +1,14 @@
-//! Grading throughput: scalar vs 63-lane vs threaded lane-packed Monte
-//! Carlo power grading, on the differential equation solver.
+//! Grading throughput: scalar vs 63-lane vs threaded lane-packed vs
+//! compiled-tape Monte Carlo power grading, on the differential
+//! equation solver.
 //!
 //! Emits `BENCH_grade.json` at the workspace root (faults/sec, simulated
 //! lane-cycles/sec, speedups over the scalar reference) so the perf
 //! trajectory has data points, and cross-checks that every engine's
-//! grades are bit-identical before reporting anything.
+//! grades are bit-identical before reporting anything. The tape rows
+//! are `tape_1t` (compiled 64-bit tape, one thread), `tape_wide_1t`
+//! (256-bit tape, 255 faults + baseline per pass, one thread) and
+//! `tape_mt` (the wide tape sharded across worker threads).
 //!
 //! Run with `cargo bench -p sfr-bench --bench grade_throughput`
 //! (add `-- --quick` for the CI smoke mode: fewer faults and batches,
@@ -14,11 +18,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
-use sfr_core::exec::{Counters, EngineKind, NullProgress};
+use sfr_core::exec::{Counters, EngineKind, NullProgress, SimKernel};
 use sfr_core::{
     benchmarks, classify_system_with, grade_faults_scalar_with, grade_faults_with,
-    measure_power_lanes_with_testset, measure_power_with_testset, GradeConfig, MonteCarloConfig,
-    PowerGrade, StuckAt, System, TestSet,
+    grade_faults_with_kernel, measure_power_lanes_with_testset, measure_power_tape_watched,
+    measure_power_with_testset, GradeConfig, MonteCarloConfig, PowerGrade, StuckAt, System,
+    TapeProgram, TestSet, W256,
 };
 use std::time::Instant;
 
@@ -34,16 +39,45 @@ struct EngineRun {
     grades: Vec<PowerGrade>,
 }
 
-fn time_run(name: &'static str, run: impl Fn(&Counters) -> Vec<PowerGrade>) -> EngineRun {
+/// Times one full grading sweep. Each row closure times its own sweep
+/// so special rows (the traced probe) can keep setup and teardown
+/// outside the clock.
+fn sweep(name: &'static str, run: impl Fn(&Counters) -> Vec<PowerGrade>) -> EngineRun {
     let counters = Counters::new();
     let start = Instant::now();
     let grades = run(&counters);
+    let seconds = start.elapsed().as_secs_f64();
     EngineRun {
         name,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds,
         mc_batches: counters.snapshot().mc_batches,
         grades,
     }
+}
+
+/// Best-of-N over interleaved passes: every row is run once, then the
+/// whole cycle repeats, and each row keeps its fastest observation.
+/// Single short measurements are dominated by scheduler jitter and
+/// frequency scaling; interleaving makes a slow window hit all engines
+/// alike instead of biasing whichever row it lands on, and every run
+/// computes bit-identical grades, so the fastest observation per row
+/// is the honest throughput estimate.
+fn best_of_interleaved(passes: usize, rows: &[Box<dyn Fn() -> EngineRun + '_>]) -> Vec<EngineRun> {
+    let mut best: Vec<Option<EngineRun>> = rows.iter().map(|_| None).collect();
+    for _ in 0..passes {
+        for (slot, row) in rows.iter().enumerate() {
+            let run = row();
+            if best[slot]
+                .as_ref()
+                .map_or(true, |b| run.seconds < b.seconds)
+            {
+                best[slot] = Some(run);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|r| r.expect("every row ran at least once"))
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {
@@ -60,7 +94,11 @@ fn bench(c: &mut Criterion) {
             ..cfg.grade.clone()
         }
     } else {
-        cfg.grade.clone()
+        // Full mode grades at study scale (the `GradeConfig` defaults:
+        // 120-pattern batches to 1% Monte Carlo confidence). The quick
+        // batches are short enough that per-batch fixed costs dominate
+        // every row and the numbers measure overhead, not simulation.
+        GradeConfig::default()
     };
     let threads = sfr_core::exec::default_threads().max(2);
 
@@ -85,53 +123,81 @@ fn bench(c: &mut Criterion) {
         .expect("16-stage TPGR always constructs");
     let cycles_per_batch = measure_power_with_testset(&sys, None, &ts, &gcfg).cycles;
 
-    // Full-sweep timings (these feed BENCH_grade.json).
-    let scalar = time_run("scalar_1t", |p| {
-        grade_faults_scalar_with(&sys, &faults, &gcfg, 1, p).1
-    });
-    let run_untraced = |p: &Counters| grade_faults_with(&sys, &faults, &gcfg, 1, p).1;
-    let lanes = time_run("lanes_1t", run_untraced);
-    let threaded = time_run("lanes_mt", |p| {
-        grade_faults_with(&sys, &faults, &gcfg, threads, p).1
-    });
-    // Tracing-overhead probe: the same 1-thread lane sweep with the
+    // Full-sweep timings (these feed BENCH_grade.json). The last row is
+    // the tracing-overhead probe: the same 1-thread lane sweep with the
     // JSONL trace sink attached. The observability contract is that an
     // enabled trace costs under 2% — events are aggregated per worker
     // and flushed at pack boundaries, never inside the lane loop. Only
     // the sweep itself is timed (the writer is opened and finalized
-    // outside the clock — one-time setup, not per-fault cost), and the
-    // overhead is the ratio of best-of-3 times to filter the scheduler
-    // jitter that dominates single short runs.
+    // outside the clock — one-time setup, not per-fault cost).
     let trace_path = std::env::temp_dir().join("sfr_grade_throughput_trace.jsonl");
-    let timed_traced = || {
-        let counters = Counters::new();
-        let trace = sfr_core::obs::TraceWriter::create(&trace_path).expect("trace file opens");
-        let sinks: [&dyn sfr_core::exec::Progress; 2] = [&counters, &trace];
-        let tee = sfr_core::exec::Tee::new(&sinks);
-        let start = Instant::now();
-        let grades = grade_faults_with(&sys, &faults, &gcfg, 1, &tee).1;
-        let seconds = start.elapsed().as_secs_f64();
-        trace.finish().expect("trace flushes");
-        EngineRun {
-            name: "lanes_1t_traced",
-            seconds,
-            mc_batches: counters.snapshot().mc_batches,
-            grades,
-        }
-    };
-    let traced = timed_traced();
-    let mut untraced_best = lanes.seconds;
-    let mut traced_best = traced.seconds;
-    for _ in 0..2 {
-        untraced_best = untraced_best.min(time_run("lanes_1t", run_untraced).seconds);
-        traced_best = traced_best.min(timed_traced().seconds);
-    }
+    let rows: Vec<Box<dyn Fn() -> EngineRun + '_>> = vec![
+        Box::new(|| {
+            sweep("scalar_1t", |p| {
+                grade_faults_scalar_with(&sys, &faults, &gcfg, 1, p).1
+            })
+        }),
+        Box::new(|| {
+            sweep("lanes_1t", |p| {
+                grade_faults_with(&sys, &faults, &gcfg, 1, p).1
+            })
+        }),
+        Box::new(|| {
+            sweep("lanes_mt", |p| {
+                grade_faults_with(&sys, &faults, &gcfg, threads, p).1
+            })
+        }),
+        Box::new(|| {
+            sweep("tape_1t", |p| {
+                grade_faults_with_kernel(&sys, &faults, &gcfg, 1, p, SimKernel::Tape).1
+            })
+        }),
+        Box::new(|| {
+            sweep("tape_wide_1t", |p| {
+                grade_faults_with_kernel(&sys, &faults, &gcfg, 1, p, SimKernel::TapeWide).1
+            })
+        }),
+        // The fully accelerated configuration: the 256-lane tape with
+        // packs sharded across worker threads.
+        Box::new(|| {
+            sweep("tape_mt", |p| {
+                grade_faults_with_kernel(&sys, &faults, &gcfg, threads, p, SimKernel::TapeWide).1
+            })
+        }),
+        Box::new(|| {
+            let counters = Counters::new();
+            let trace = sfr_core::obs::TraceWriter::create(&trace_path).expect("trace file opens");
+            let sinks: [&dyn sfr_core::exec::Progress; 2] = [&counters, &trace];
+            let tee = sfr_core::exec::Tee::new(&sinks);
+            let start = Instant::now();
+            let grades = grade_faults_with(&sys, &faults, &gcfg, 1, &tee).1;
+            let seconds = start.elapsed().as_secs_f64();
+            trace.finish().expect("trace flushes");
+            EngineRun {
+                name: "lanes_1t_traced",
+                seconds,
+                mc_batches: counters.snapshot().mc_batches,
+                grades,
+            }
+        }),
+    ];
+    let mut runs = best_of_interleaved(4, &rows).into_iter();
+    let (scalar, lanes, threaded, tape, tape_wide, tape_mt, traced) = (
+        runs.next().expect("scalar row"),
+        runs.next().expect("lanes row"),
+        runs.next().expect("threaded row"),
+        runs.next().expect("tape row"),
+        runs.next().expect("wide tape row"),
+        runs.next().expect("threaded tape row"),
+        runs.next().expect("traced row"),
+    );
+    let (untraced_best, traced_best) = (lanes.seconds, traced.seconds);
     let trace_text = std::fs::read_to_string(&trace_path).expect("trace reads back");
     sfr_core::obs::check_trace(&trace_text).expect("trace validates");
 
     // Bit-identity gate: a throughput number for wrong answers is
     // meaningless.
-    for run in [&lanes, &threaded, &traced] {
+    for run in [&lanes, &threaded, &tape, &tape_wide, &tape_mt, &traced] {
         assert_eq!(run.grades.len(), scalar.grades.len());
         for (s, l) in scalar.grades.iter().zip(&run.grades) {
             assert_eq!(
@@ -154,7 +220,9 @@ fn bench(c: &mut Criterion) {
     };
     let (scalar_fps, scalar_cps) = metric(&scalar);
     let mut engines_json = String::new();
-    for run in [&scalar, &lanes, &threaded, &traced] {
+    for run in [
+        &scalar, &lanes, &threaded, &tape, &tape_wide, &tape_mt, &traced,
+    ] {
         let (fps, cps) = metric(run);
         engines_json.push_str(&format!(
             "    {{\"name\": \"{}\", \"seconds\": {:.4}, \"faults_per_sec\": {:.2}, \
@@ -167,13 +235,19 @@ fn bench(c: &mut Criterion) {
         );
     }
     engines_json.truncate(engines_json.trim_end_matches(",\n").len());
-    let (lanes_fps, _) = metric(&lanes);
+    let (lanes_fps, lanes_cps) = metric(&lanes);
     let (threaded_fps, _) = metric(&threaded);
+    let (tape_fps, tape_cps) = metric(&tape);
+    let (tape_wide_fps, tape_wide_cps) = metric(&tape_wide);
+    let (tape_mt_fps, tape_mt_cps) = metric(&tape_mt);
     let trace_overhead_pct = (traced_best / untraced_best - 1.0) * 100.0;
     let json = format!(
         "{{\n  \"design\": \"diffeq\",\n  \"mode\": \"{}\",\n  \"sfr_faults\": {},\n  \
          \"threads\": {},\n  \"cycles_per_batch\": {},\n  \"engines\": [\n{}\n  ],\n  \
          \"speedup_lanes_1t\": {:.2},\n  \"speedup_lanes_mt\": {:.2},\n  \
+         \"speedup_tape_1t\": {:.2},\n  \"speedup_tape_wide_1t\": {:.2},\n  \
+         \"speedup_tape_mt\": {:.2},\n  \"tape_vs_lanes_1t_cycles\": {:.2},\n  \
+         \"tape_wide_vs_lanes_1t_cycles\": {:.2},\n  \"tape_mt_vs_lanes_1t_cycles\": {:.2},\n  \
          \"trace_overhead_pct\": {:.2},\n  \
          \"baseline_cycles_per_sec\": {:.0}\n}}\n",
         if quick { "quick" } else { "full" },
@@ -183,17 +257,38 @@ fn bench(c: &mut Criterion) {
         engines_json,
         lanes_fps / scalar_fps,
         threaded_fps / scalar_fps,
+        tape_fps / scalar_fps,
+        tape_wide_fps / scalar_fps,
+        tape_mt_fps / scalar_fps,
+        tape_cps / lanes_cps,
+        tape_wide_cps / lanes_cps,
+        tape_mt_cps / lanes_cps,
         trace_overhead_pct,
         scalar_cps
     );
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grade.json");
-    std::fs::write(out, &json).expect("write BENCH_grade.json");
+    // The quick CI smoke exercises the whole bench but must not clobber
+    // the committed full-mode numbers.
+    let out = if quick {
+        std::env::temp_dir()
+            .join("BENCH_grade_quick.json")
+            .display()
+            .to_string()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grade.json").to_string()
+    };
+    std::fs::write(&out, &json).expect("write BENCH_grade.json");
     eprintln!(
         "speedup over scalar: {:.2}x (1 thread), {:.2}x ({} threads) -> {}",
         lanes_fps / scalar_fps,
         threaded_fps / scalar_fps,
         threads,
         out
+    );
+    eprintln!(
+        "tape lane-cycles vs lanes_1t: {:.2}x (tape_1t), {:.2}x (tape_wide_1t), {:.2}x (tape_mt)",
+        tape_cps / lanes_cps,
+        tape_wide_cps / lanes_cps,
+        tape_mt_cps / lanes_cps
     );
     eprintln!("tracing overhead: {trace_overhead_pct:+.2}% (target < 2%)");
 
@@ -209,6 +304,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 measure_power_lanes_with_testset(&sys, &faults, &ts, &gcfg).expect("pack fits")
             })
+        });
+        let prog = TapeProgram::<u64>::compile(&sys.netlist, &faults).expect("pack fits");
+        g.bench_function("mc_batch_tape_63_lanes", |b| {
+            b.iter(|| measure_power_tape_watched(&sys, &prog, &ts, &gcfg))
+        });
+        let wprog = TapeProgram::<W256>::compile(&sys.netlist, &faults).expect("pack fits");
+        g.bench_function("mc_batch_tape_wide", |b| {
+            b.iter(|| measure_power_tape_watched(&sys, &wprog, &ts, &gcfg))
         });
         g.finish();
     }

@@ -21,15 +21,16 @@ use sfr_exec::{
     par_map_indexed, par_map_indexed_caught, LaneGrade, NullProgress, Phase, PhaseTimer, Progress,
     ProgressEvent, TraceRecord, WorkKind,
 };
-use sfr_faultsim::{RunConfig, System};
+use sfr_faultsim::{RunConfig, SimKernel, System};
 use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
 use sfr_netlist::{
-    CycleSim, Logic, ParallelFaultSim, StuckAt, TooManyFaultsError, MAX_PARALLEL_FAULTS,
+    CycleSim, Logic, ParallelFaultSim, StuckAt, TapeProgram, TapeSim, TapeWord, TooManyFaultsError,
+    MAX_PARALLEL_FAULTS, MAX_WIDE_FAULTS, W256,
 };
 use sfr_power_model::{
-    power_from_activity_where, power_from_lane_activity_where, run_monte_carlo,
-    run_monte_carlo_lanes, run_monte_carlo_par, MonteCarloConfig, MonteCarloResult, PowerConfig,
-    PowerReport,
+    power_from_activity_where, power_from_lane_activity_where, power_from_tape_activity_where,
+    run_monte_carlo, run_monte_carlo_lanes, run_monte_carlo_par, MonteCarloConfig,
+    MonteCarloResult, PowerConfig, PowerReport,
 };
 use sfr_tpg::TestSet;
 
@@ -228,6 +229,93 @@ pub fn measure_power_lanes_watched(
     Ok((reports, stalled))
 }
 
+/// Tape-compiled [`measure_power_lanes_watched`]: the same measurement
+/// driven by a pre-compiled [`TapeProgram`] instead of the interpretive
+/// [`ParallelFaultSim`].
+///
+/// The program is compiled once per fault pack and shared by every
+/// Monte Carlo batch; this form builds a fresh [`TapeSim`] per call,
+/// while [`measure_power_tape_watched_with`] reuses a caller-owned one
+/// across batches. Run steering (lane 0),
+/// per-run resets, the HOLD exit and the stall watchdog replicate the
+/// interpretive loop operation-for-operation, and each lane's extracted
+/// activity feeds the identical per-lane power accounting — reports are
+/// bit-identical to the interpretive path on the same fault pack.
+///
+/// The stall mask is returned as little-endian `u64` words (bit `i % 64`
+/// of word `i / 64` covers `faults[i]`), because a wide program grades
+/// up to [`MAX_WIDE_FAULTS`] faults — more than one word can index.
+pub fn measure_power_tape_watched<W: TapeWord>(
+    sys: &System,
+    prog: &TapeProgram<W>,
+    ts: &TestSet,
+    cfg: &GradeConfig,
+) -> (Vec<PowerReport>, Vec<u64>) {
+    let mut sim = TapeSim::new(prog);
+    measure_power_tape_watched_with(sys, &mut sim, ts, cfg)
+}
+
+/// [`measure_power_tape_watched`] over a caller-owned [`TapeSim`], so
+/// consecutive Monte Carlo batches reuse one sim's buffers (slot
+/// arrays, deviation scratch, activity counter matrix) instead of
+/// reallocating them per batch. Activity counters restart from zero on
+/// every call; reports are identical to the fresh-sim form.
+pub fn measure_power_tape_watched_with<W: TapeWord>(
+    sys: &System,
+    sim: &mut TapeSim<'_, W>,
+    ts: &TestSet,
+    cfg: &GradeConfig,
+) -> (Vec<PowerReport>, Vec<u64>) {
+    let n_faults = sim.faults().len();
+    sim.track_activity(true);
+    let hold = sys.meta.hold_state();
+    let ceiling = cfg.run.run_ceiling();
+    let armed = cfg.run.cycle_budget != 0;
+    let mut idx = 0usize;
+    let mut stalled = vec![0u64; n_faults.div_ceil(64).max(1)];
+    while idx < ts.len() {
+        sys.reset_tape(sim, Logic::Zero);
+        let mut len = 0usize;
+        let mut in_hold_for = 0usize;
+        while idx < ts.len() && len < ceiling {
+            sys.apply_pattern_tape(sim, ts.patterns()[idx]);
+            idx += 1;
+            len += 1;
+            sim.eval();
+            let st = sys.decode_state_tape_lane(sim, 0);
+            let ending = armed && st == Some(hold) && in_hold_for + 1 > cfg.run.hold_cycles;
+            if ending {
+                // Lane 0 completed this run; a fault lane still outside
+                // HOLD at the same instant has lost the sequence.
+                for i in 0..n_faults {
+                    if !stall_bit(&stalled, i)
+                        && sys.decode_state_tape_lane(sim, i + 1) != Some(hold)
+                    {
+                        stalled[i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+            sim.clock();
+            if st == Some(hold) {
+                in_hold_for += 1;
+                if in_hold_for > cfg.run.hold_cycles {
+                    break;
+                }
+            }
+        }
+    }
+    let act = sim.activity().expect("tracking enabled above");
+    let reports = power_from_tape_activity_where(&sys.netlist, act, &cfg.power, |g| {
+        !sys.is_controller_gate(g)
+    });
+    (reports, stalled)
+}
+
+/// Reads bit `i` of a multi-word stall mask.
+fn stall_bit(stalls: &[u64], i: usize) -> bool {
+    stalls.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
+}
+
 /// One Monte Carlo batch: fresh pseudorandom data keyed by the *batch
 /// index* (never by the executing thread), so serial and sharded
 /// estimations draw identical samples.
@@ -321,6 +409,21 @@ pub fn grade_faults_with(
     (report.baseline, report.grades)
 }
 
+/// [`grade_faults_with`] on an explicit simulation kernel (see
+/// [`grade_faults_journaled_with_kernel`] for the kernel contract).
+pub fn grade_faults_with_kernel(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    threads: usize,
+    progress: &dyn Progress,
+    kernel: SimKernel,
+) -> (MonteCarloResult, Vec<PowerGrade>) {
+    let report =
+        grade_faults_journaled_with_kernel(sys, faults, cfg, threads, progress, None, kernel);
+    (report.baseline, report.grades)
+}
+
 /// One resilience incident observed while grading.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GradeIncident {
@@ -360,7 +463,9 @@ pub struct GradeReport {
 enum PackOutcome {
     Computed {
         results: Vec<MonteCarloResult>,
-        stalls: u64,
+        /// Watchdog stall mask in little-endian `u64` words (one word
+        /// for interpretive/tape packs, four for tape-wide packs).
+        stalls: Vec<u64>,
         restored: bool,
         /// Simulator cycles the pack's Monte Carlo loop evaluated
         /// (0 when restored from a journal — nothing was simulated).
@@ -376,9 +481,30 @@ enum PackOutcome {
 /// Journal payload tags for grade packs.
 const PACK_OK: u64 = 0;
 const PACK_QUARANTINED: u64 = 1;
+/// A pack graded by the wide tape kernel (more than
+/// [`MAX_PARALLEL_FAULTS`] faults): the stall mask spans several words,
+/// so the payload carries an explicit stall-word count. The tag is
+/// distinct from [`PACK_OK`] so a journal written at one pack width can
+/// never be misread as a pack of the other width — a resume that
+/// switches kernel family simply recomputes.
+const PACK_OK_WIDE: u64 = 2;
 
-fn encode_pack(results: &[MonteCarloResult], stalls: u64) -> Vec<u64> {
-    let mut words = vec![PACK_OK, stalls, results.len() as u64];
+fn encode_pack(results: &[MonteCarloResult], stalls: &[u64], wide: bool) -> Vec<u64> {
+    let mut words = if wide {
+        let mut w = vec![PACK_OK_WIDE, stalls.len() as u64];
+        w.extend_from_slice(stalls);
+        w.push(results.len() as u64);
+        w
+    } else {
+        // The narrow layout is byte-compatible with every journal ever
+        // written by the interpretive path, so interpretive and tape
+        // (u64) runs restore each other's packs verbatim.
+        vec![
+            PACK_OK,
+            stalls.first().copied().unwrap_or(0),
+            results.len() as u64,
+        ]
+    };
     for r in results {
         words.push(r.mean_uw.to_bits());
         words.push(r.half_width_uw.to_bits());
@@ -394,32 +520,53 @@ fn encode_quarantine(message: &str) -> Vec<u64> {
     words
 }
 
+/// Decodes the per-lane `(mean, half-width, batches, converged)` tail of
+/// a pack payload.
+fn decode_lane_words(words: &[u64]) -> Vec<MonteCarloResult> {
+    words
+        .chunks(4)
+        .map(|c| MonteCarloResult {
+            mean_uw: f64::from_bits(c[0]),
+            half_width_uw: f64::from_bits(c[1]),
+            batches: c[2] as usize,
+            converged: c[3] != 0,
+        })
+        .collect()
+}
+
 /// Decodes a journaled pack payload; `None` means the payload is not a
-/// valid record for a pack with `lanes` lanes (the pack is recomputed).
-fn decode_pack(words: &[u64], lanes: usize) -> Option<PackOutcome> {
+/// valid record for a pack with `lanes` lanes at the requested width
+/// (the pack is recomputed). `wide` selects which OK tag is acceptable:
+/// restoring a narrow record into a wide run (or vice versa) would pair
+/// the results with the wrong fault slice, so cross-width records are
+/// rejected by tag before any shape check.
+fn decode_pack(words: &[u64], lanes: usize, wide: bool) -> Option<PackOutcome> {
+    let restored = |results, stalls| {
+        Some(PackOutcome::Computed {
+            results,
+            stalls,
+            restored: true,
+            cycles: 0,
+            elapsed: std::time::Duration::ZERO,
+        })
+    };
     match *words.first()? {
-        PACK_OK => {
-            let stalls = *words.get(1)?;
+        PACK_OK if !wide => {
+            let stalls = vec![*words.get(1)?];
             let n = usize::try_from(*words.get(2)?).ok()?;
             if n != lanes || words.len() != 3 + 4 * n {
                 return None;
             }
-            let results = words[3..]
-                .chunks(4)
-                .map(|c| MonteCarloResult {
-                    mean_uw: f64::from_bits(c[0]),
-                    half_width_uw: f64::from_bits(c[1]),
-                    batches: c[2] as usize,
-                    converged: c[3] != 0,
-                })
-                .collect();
-            Some(PackOutcome::Computed {
-                results,
-                stalls,
-                restored: true,
-                cycles: 0,
-                elapsed: std::time::Duration::ZERO,
-            })
+            restored(decode_lane_words(&words[3..]), stalls)
+        }
+        PACK_OK_WIDE if wide => {
+            let n_stall = usize::try_from(*words.get(1)?).ok()?;
+            let stalls = words.get(2..2 + n_stall)?.to_vec();
+            let n = usize::try_from(*words.get(2 + n_stall)?).ok()?;
+            if n != lanes || words.len() != 3 + n_stall + 4 * n {
+                return None;
+            }
+            restored(decode_lane_words(&words[3 + n_stall..]), stalls)
         }
         PACK_QUARANTINED => {
             let (message, _) = decode_str(&words[1..])?;
@@ -466,13 +613,86 @@ pub fn grade_faults_journaled(
     progress: &dyn Progress,
     journal: Option<&CampaignJournal>,
 ) -> GradeReport {
+    grade_faults_journaled_with_kernel(
+        sys,
+        faults,
+        cfg,
+        threads,
+        progress,
+        journal,
+        SimKernel::Interpretive,
+    )
+}
+
+/// One pack's Monte Carlo estimation on a tape kernel: the pack's
+/// [`TapeProgram`] is compiled once and one [`TapeSim`] is reused by
+/// every batch — compile and allocation costs are paid once per pack
+/// while every batch runs on the flat tape.
+fn run_pack_tape<W: TapeWord>(
+    sys: &System,
+    pack: &[StuckAt],
+    cfg: &GradeConfig,
+    stalls: &mut [u64],
+    cycles: &mut u64,
+) -> Vec<MonteCarloResult> {
+    let prog =
+        TapeProgram::<W>::compile(&sys.netlist, pack).expect("packs never exceed the lane limit");
+    let mut sim = TapeSim::new(&prog);
+    run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+        let ts = batch_testset(sys, cfg, batch);
+        let (reports, batch_stalls) = measure_power_tape_watched_with(sys, &mut sim, &ts, cfg);
+        for (acc, w) in stalls.iter_mut().zip(&batch_stalls) {
+            *acc |= *w;
+        }
+        *cycles += reports[0].cycles;
+        reports
+    })
+}
+
+/// [`grade_faults_journaled`] with an explicit simulation kernel.
+///
+/// The kernel selects both the per-batch simulator and the pack width:
+///
+/// * [`SimKernel::Interpretive`] — the dispatching
+///   [`ParallelFaultSim`], packs of [`MAX_PARALLEL_FAULTS`];
+/// * [`SimKernel::Tape`] — the compiled 64-bit op tape, same pack
+///   width. Pack boundaries, sample streams and per-lane activity are
+///   identical to the interpretive path, so grades, progress streams
+///   and journal records are all byte-identical to it;
+/// * [`SimKernel::TapeWide`] — the 256-bit op tape, packs of
+///   [`MAX_WIDE_FAULTS`]. Each lane's Monte Carlo estimation is still
+///   the serial stopping rule replayed on that lane's own sample
+///   prefix, so every grade is byte-identical to the other kernels —
+///   only pack-granular accounting (pack counts, per-pack journal
+///   records and trace records) reflects the wider packing.
+///
+/// Journal compatibility follows the same split: interpretive and tape
+/// runs restore each other's [`PACK_OK`] records verbatim, while wide
+/// records use the distinct [`PACK_OK_WIDE`] tag so a resume that
+/// switches pack width recomputes instead of pairing cached lanes with
+/// the wrong faults.
+#[allow(clippy::too_many_arguments)]
+pub fn grade_faults_journaled_with_kernel(
+    sys: &System,
+    faults: &[StuckAt],
+    cfg: &GradeConfig,
+    threads: usize,
+    progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
+    kernel: SimKernel,
+) -> GradeReport {
     let _timer = PhaseTimer::start(progress, Phase::Grade);
+    let capacity = match kernel {
+        SimKernel::Interpretive | SimKernel::Tape => MAX_PARALLEL_FAULTS,
+        SimKernel::TapeWide => MAX_WIDE_FAULTS,
+    };
+    let wide = capacity > MAX_PARALLEL_FAULTS;
     // Pack 0 always exists — with no faults to grade it still carries
     // the baseline on lane 0.
     let packs: Vec<&[StuckAt]> = if faults.is_empty() {
         vec![&[]]
     } else {
-        faults.chunks(MAX_PARALLEL_FAULTS).collect()
+        faults.chunks(capacity).collect()
     };
     progress.event(ProgressEvent::WorkPlanned {
         phase: Phase::Grade,
@@ -482,32 +702,37 @@ pub fn grade_faults_journaled(
         let pack = packs[p];
         if let Some(j) = journal {
             if let Some(words) = j.get(RecordKind::GradePack, p as u64) {
-                if let Some(outcome) = decode_pack(&words, pack.len() + 1) {
+                if let Some(outcome) = decode_pack(&words, pack.len() + 1, wide) {
                     return outcome;
                 }
                 // An undecodable payload (e.g. written by an older
-                // format) falls through to recomputation.
+                // format or at another pack width) falls through to
+                // recomputation.
             }
         }
         // Cycle and wall-time accounting stays worker-local and is
         // flushed once per pack — the hot lane loop never observes it.
         let started = std::time::Instant::now();
-        let mut stalls = 0u64;
+        let mut stalls = vec![0u64; pack.len().div_ceil(64).max(1)];
         let mut cycles = 0u64;
-        let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
-            let (reports, batch_stalls) =
-                mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit");
-            stalls |= batch_stalls;
-            // All lanes share one schedule; lane 0's cycle count is the
-            // pack's per-batch simulation cost.
-            cycles += reports[0].cycles;
-            reports
-        });
+        let results = match kernel {
+            SimKernel::Interpretive => run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+                let (reports, batch_stalls) = mc_batch_lanes(sys, pack, cfg, batch)
+                    .expect("packs never exceed the lane limit");
+                stalls[0] |= batch_stalls;
+                // All lanes share one schedule; lane 0's cycle count is
+                // the pack's per-batch simulation cost.
+                cycles += reports[0].cycles;
+                reports
+            }),
+            SimKernel::Tape => run_pack_tape::<u64>(sys, pack, cfg, &mut stalls, &mut cycles),
+            SimKernel::TapeWide => run_pack_tape::<W256>(sys, pack, cfg, &mut stalls, &mut cycles),
+        };
         if let Some(j) = journal {
             j.record(
                 RecordKind::GradePack,
                 p as u64,
-                &encode_pack(&results, stalls),
+                &encode_pack(&results, &stalls, wide),
             );
         }
         PackOutcome::Computed {
@@ -585,7 +810,7 @@ pub fn grade_faults_journaled(
                     let stalled = packs[p]
                         .iter()
                         .enumerate()
-                        .filter(|(i, _)| stalls >> i & 1 == 1)
+                        .filter(|(i, _)| stall_bit(stalls, *i))
                         .map(|(_, f)| f.to_string())
                         .collect();
                     progress.record(&TraceRecord::PackGraded {
@@ -660,7 +885,7 @@ pub fn grade_faults_journaled(
                         pct_change: pct,
                         flagged,
                     });
-                    if stalls & (1 << i) != 0 {
+                    if stall_bit(stalls, i) {
                         progress.event(ProgressEvent::BudgetExhausted);
                         if tracing {
                             progress.record(&TraceRecord::BudgetExhausted {
@@ -878,6 +1103,96 @@ mod tests {
                 "fault {f}"
             );
         }
+    }
+
+    #[test]
+    fn tape_kernels_grade_byte_identically_to_interpretive() {
+        let sys = toy_system();
+        let cfg = quick_cfg();
+        let ccfg = crate::ClassifyConfig {
+            test_patterns: 200,
+            ..Default::default()
+        };
+        let c = crate::classify_system(&sys, &ccfg);
+        let faults: Vec<StuckAt> = c.sfr().map(|f| f.fault).collect();
+        assert!(!faults.is_empty(), "toy system exposes SFR faults");
+        let (base_i, grades_i) = grade_faults(&sys, &faults, &cfg);
+        for kernel in [SimKernel::Tape, SimKernel::TapeWide] {
+            for threads in [1, 2, 8] {
+                let (base_t, grades_t) =
+                    grade_faults_with_kernel(&sys, &faults, &cfg, threads, &NullProgress, kernel);
+                assert_eq!(base_i, base_t, "baseline, {kernel:?}, threads = {threads}");
+                assert_eq!(grades_i.len(), grades_t.len());
+                for (i, t) in grades_i.iter().zip(&grades_t) {
+                    assert_eq!(i.fault, t.fault);
+                    assert_eq!(i.mean_uw, t.mean_uw, "{kernel:?}, threads = {threads}");
+                    assert_eq!(
+                        i.pct_change, t.pct_change,
+                        "{kernel:?}, threads = {threads}"
+                    );
+                    assert_eq!(i.flagged, t.flagged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_testset_measurement_matches_interpretive() {
+        let sys = toy_system();
+        let mut cfg = quick_cfg();
+        cfg.run.cycle_budget = 64; // arm the watchdog on both paths
+        let ts = TestSet::pseudorandom(sys.pattern_width(), 120, 0x5EED).unwrap();
+        let faults: Vec<StuckAt> = sys.controller_faults().into_iter().take(10).collect();
+        let (want, want_stalls) = measure_power_lanes_watched(&sys, &faults, &ts, &cfg).unwrap();
+        let prog = TapeProgram::<u64>::compile(&sys.netlist, &faults).unwrap();
+        let (got, got_stalls) = measure_power_tape_watched(&sys, &prog, &ts, &cfg);
+        assert_eq!(want, got, "tape reports = interpretive reports");
+        assert_eq!(vec![want_stalls], got_stalls, "same watchdog verdicts");
+        let wprog = TapeProgram::<W256>::compile(&sys.netlist, &faults).unwrap();
+        let (wgot, wstalls) = measure_power_tape_watched(&sys, &wprog, &ts, &cfg);
+        assert_eq!(want, wgot, "wide tape reports = interpretive reports");
+        assert_eq!(vec![want_stalls], wstalls);
+    }
+
+    #[test]
+    fn wide_pack_payload_roundtrips_and_rejects_cross_width() {
+        let results = vec![
+            MonteCarloResult {
+                mean_uw: 123.456,
+                half_width_uw: 0.5,
+                batches: 7,
+                converged: true,
+            },
+            MonteCarloResult {
+                mean_uw: 130.0,
+                half_width_uw: 1.25,
+                batches: 9,
+                converged: false,
+            },
+        ];
+        let stalls = vec![0b10, 0, 0, 1 << 63];
+        let words = encode_pack(&results, &stalls, true);
+        match decode_pack(&words, results.len(), true) {
+            Some(PackOutcome::Computed {
+                results: r,
+                stalls: s,
+                restored,
+                ..
+            }) => {
+                assert_eq!(r.len(), 2);
+                assert_eq!(r[0].mean_uw, results[0].mean_uw);
+                assert_eq!(r[1].batches, 9);
+                assert_eq!(s, stalls);
+                assert!(restored);
+            }
+            _ => panic!("wide payload must roundtrip"),
+        }
+        // A wide record never restores into a narrow run, and vice
+        // versa — the tag check forces recomputation.
+        assert!(decode_pack(&words, results.len(), false).is_none());
+        let narrow = encode_pack(&results, &stalls[..1], false);
+        assert!(decode_pack(&narrow, results.len(), true).is_none());
+        assert!(decode_pack(&narrow, results.len(), false).is_some());
     }
 
     #[test]

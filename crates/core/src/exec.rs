@@ -5,7 +5,8 @@
 //! flight lives here:
 //!
 //! * [`Engine`] / [`EngineKind`] — selectable fault-simulation engines
-//!   ([`SerialEngine`], [`LaneEngine`], [`ThreadedEngine`]), all
+//!   ([`SerialEngine`], [`LaneEngine`], [`ThreadedEngine`], and the
+//!   compiled-tape [`TapeEngine`] / [`TapeWideEngine`]), all
 //!   verdict-identical;
 //! * [`Progress`] / [`ProgressEvent`] / [`Counters`] — the campaign
 //!   observer hook (phase wall times, faults simulated and dropped,
@@ -22,5 +23,5 @@ pub use sfr_exec::{
 };
 pub use sfr_faultsim::{
     run_campaign, run_campaign_quarantined, Engine, EngineKind, LaneEngine, QuarantinedChunk,
-    SerialEngine, ThreadedEngine,
+    SerialEngine, SimKernel, TapeEngine, TapeWideEngine, ThreadedEngine,
 };

@@ -2,8 +2,8 @@
 
 use crate::error::StudyError;
 use sfr_classify::{
-    classify_system_journaled, grade_faults_journaled, Classification, ClassifyConfig, GradeConfig,
-    GradeIncident, PowerGrade,
+    classify_system_journaled, grade_faults_journaled_with_kernel, Classification, ClassifyConfig,
+    GradeConfig, GradeIncident, PowerGrade,
 };
 use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
 use sfr_faultsim::{Engine, LaneEngine, SerialEngine, System, SystemConfig};
@@ -175,7 +175,17 @@ pub(crate) fn execute_study(
     let (classification, quarantined_chunks) =
         classify_system_journaled(&system, &cfg.classify, engine, progress, journal);
     let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
-    let report = grade_faults_journaled(&system, &sfr, &cfg.grade, threads, progress, journal);
+    // Grading runs on the same kernel family the engine classifies
+    // with, so `--engine tape`/`tape-wide` accelerates both phases.
+    let report = grade_faults_journaled_with_kernel(
+        &system,
+        &sfr,
+        &cfg.grade,
+        threads,
+        progress,
+        journal,
+        engine.kernel(),
+    );
 
     let mut incidents = Vec::new();
     for q in quarantined_chunks {

@@ -92,12 +92,13 @@ pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, Wors
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
     analyze_controller_fault, classify_system, classify_system_journaled, classify_system_with,
-    grade_faults, grade_faults_journaled, grade_faults_scalar_with, grade_faults_with, judge,
-    judge_by_rules, measure_power_lanes_watched, measure_power_lanes_with_testset,
-    measure_power_monte_carlo, measure_power_monte_carlo_par, measure_power_with_testset,
-    Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect, ControllerBehavior,
-    EffectClass, FaultClass, GradeConfig, GradeIncident, GradeReport, Mismatch, PowerGrade,
-    RuleVerdict, SfiReason, Verdict,
+    grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
+    grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel, judge, judge_by_rules,
+    measure_power_lanes_watched, measure_power_lanes_with_testset, measure_power_monte_carlo,
+    measure_power_monte_carlo_par, measure_power_tape_watched, measure_power_tape_watched_with,
+    measure_power_with_testset, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
+    ControllerBehavior, EffectClass, FaultClass, GradeConfig, GradeIncident, GradeReport, Mismatch,
+    PowerGrade, RuleVerdict, SfiReason, Verdict,
 };
 pub use sfr_faultsim::{
     golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
@@ -118,15 +119,17 @@ pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
     critical_path, logic_to_u64, parse_verilog, parse_verilog_spanned, u64_to_logic,
     write_cell_library, write_verilog, Activity, ActivityMismatch, Atpg, CellKind, CycleSim,
-    EventSim, FaultSite, GateId, LaneActivity, Logic, NetId, Netlist, NetlistBuilder, NetlistError,
-    NetlistStats, ParallelFaultSim, ParseError, PatVec, SourceSpans, StuckAt, TestOutcome,
-    VcdRecorder, MAX_PARALLEL_FAULTS,
+    EventSim, FaultSite, GateId, LaneActivity, LaneCounts, Logic, NetId, Netlist, NetlistBuilder,
+    NetlistError, NetlistStats, ParallelFaultSim, ParseError, Pat, PatVec, SourceSpans, StuckAt,
+    TapeActivity, TapeProgram, TapeSim, TapeWord, TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
+    MAX_WIDE_FAULTS, W256,
 };
 pub use sfr_obs as obs;
 pub use sfr_power_model::{
     power_from_activity, power_from_activity_parts, power_from_activity_where,
-    power_from_lane_activity_where, run_monte_carlo, run_monte_carlo_lanes, MonteCarloConfig,
-    MonteCarloResult, PowerConfig, PowerPopulation, PowerReport, VariationModel,
+    power_from_lane_activity_where, power_from_tape_activity_where, run_monte_carlo,
+    run_monte_carlo_lanes, MonteCarloConfig, MonteCarloResult, PowerConfig, PowerPopulation,
+    PowerReport, VariationModel,
 };
 pub use sfr_rtl::{
     elaborate_into, ConcreteDomain, CtrlId, CtrlKind, DataSrc, Datapath, DatapathBuilder,

@@ -1,6 +1,6 @@
 //! Selectable fault-simulation engines behind one trait.
 //!
-//! The three engines — [`SerialEngine`] (one fault at a time),
+//! The interpretive engines — [`SerialEngine`] (one fault at a time),
 //! [`LaneEngine`] (63 faults per machine word), [`ThreadedEngine`]
 //! (63-fault batches sharded across scoped worker threads) — produce
 //! identical verdict vectors for the same inputs. The threaded engine
@@ -8,8 +8,15 @@
 //! boundaries are fixed at [`MAX_PARALLEL_FAULTS`] regardless of thread
 //! count, each batch is an independent simulation, and the executor
 //! reassembles batch results in fault order.
+//!
+//! The compiled engines — [`TapeEngine`] (63 faults per `u64` word on
+//! the levelized op tape) and [`TapeWideEngine`] (255 faults per
+//! 256-bit word) — swap the inner evaluator for
+//! [`sfr_netlist::TapeSim`] while keeping the same verdicts per fault;
+//! the `u64` tape additionally keeps the interpretive engines' batch
+//! boundaries, so its event and trace streams are byte-identical too.
 
-use crate::campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
+use crate::campaign::{run_parallel, run_serial, run_tape_counted, CampaignOutcome, Detection};
 use crate::golden::GoldenTrace;
 use crate::system::System;
 use sfr_exec::{
@@ -17,7 +24,23 @@ use sfr_exec::{
     TraceRecord, WorkKind,
 };
 use sfr_journal::{decode_str, encode_str, CampaignJournal, RecordKind};
-use sfr_netlist::{StuckAt, MAX_PARALLEL_FAULTS};
+use sfr_netlist::{StuckAt, MAX_PARALLEL_FAULTS, MAX_WIDE_FAULTS, W256};
+
+/// The inner evaluation kernel an engine (and the grading stage that
+/// follows it) runs on. Downstream phases that simulate on their own —
+/// Monte Carlo power grading, notably — read this off the campaign
+/// engine so one `--engine` selection drives the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimKernel {
+    /// The graph-walking [`sfr_netlist::ParallelFaultSim`] (63 faults
+    /// per word) — the equivalence reference.
+    #[default]
+    Interpretive,
+    /// The compiled op tape over `u64` words (63 faults per pack).
+    Tape,
+    /// The compiled op tape over 256-bit words (255 faults per pack).
+    TapeWide,
+}
 
 /// A fault-simulation engine: turns a fault list into a verdict per
 /// fault, against one golden trace.
@@ -50,6 +73,20 @@ pub trait Engine: Sync {
     /// the same width. 1 for the single-threaded engines.
     fn threads(&self) -> usize {
         1
+    }
+
+    /// Faults per independent simulation batch. Campaign chunking
+    /// (including the quarantine/journal layer) follows this, so an
+    /// engine with wider words gets proportionally fewer, larger
+    /// chunks.
+    fn chunk_capacity(&self) -> usize {
+        MAX_PARALLEL_FAULTS
+    }
+
+    /// The inner evaluation kernel, for downstream phases that simulate
+    /// on their own (Monte Carlo power grading).
+    fn kernel(&self) -> SimKernel {
+        SimKernel::Interpretive
     }
 }
 
@@ -161,6 +198,136 @@ impl Engine for ThreadedEngine {
     }
 }
 
+/// Compiled op-tape kernel: 63 faults per `u64` word, batches sharded
+/// across scoped worker threads (1 = run inline).
+///
+/// Batch boundaries match the interpretive engines exactly, and every
+/// lane computes the same dual-rail values, so verdicts, cycle counts,
+/// event streams, and trace records are all byte-identical to
+/// [`LaneEngine`] / [`ThreadedEngine`] at any thread count — only the
+/// inner evaluator (and the wall clock) changes.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeEngine {
+    threads: usize,
+}
+
+impl TapeEngine {
+    /// An engine using `threads` workers (0 means the machine's
+    /// available parallelism).
+    pub fn new(threads: usize) -> Self {
+        TapeEngine {
+            threads: if threads == 0 {
+                sfr_exec::default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+}
+
+impl Engine for TapeEngine {
+    fn name(&self) -> &'static str {
+        "tape"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn kernel(&self) -> SimKernel {
+        SimKernel::Tape
+    }
+
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
+        self.run_counted(sys, golden, faults).0
+    }
+
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        let batches: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+        let per_batch = par_map_indexed(self.threads, batches.len(), |i| {
+            run_tape_counted::<u64>(sys, golden, batches[i])
+        });
+        let mut outcomes = Vec::with_capacity(faults.len());
+        let mut cycles = 0u64;
+        for (batch_outcomes, batch_cycles) in per_batch {
+            outcomes.extend(batch_outcomes);
+            cycles += batch_cycles;
+        }
+        (outcomes, cycles)
+    }
+}
+
+/// Compiled op-tape kernel over 256-bit words: 255 faults per pack.
+///
+/// Per-fault verdicts are identical to every other engine, but packs
+/// are four times wider, so chunk-granular artifacts (journal records,
+/// per-chunk trace records, cycle totals under fault dropping) regroup
+/// accordingly — see [`Engine::chunk_capacity`].
+#[derive(Debug, Clone, Copy)]
+pub struct TapeWideEngine {
+    threads: usize,
+}
+
+impl TapeWideEngine {
+    /// An engine using `threads` workers (0 means the machine's
+    /// available parallelism).
+    pub fn new(threads: usize) -> Self {
+        TapeWideEngine {
+            threads: if threads == 0 {
+                sfr_exec::default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+}
+
+impl Engine for TapeWideEngine {
+    fn name(&self) -> &'static str {
+        "tape-wide"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        MAX_WIDE_FAULTS
+    }
+
+    fn kernel(&self) -> SimKernel {
+        SimKernel::TapeWide
+    }
+
+    fn run(&self, sys: &System, golden: &GoldenTrace, faults: &[StuckAt]) -> Vec<CampaignOutcome> {
+        self.run_counted(sys, golden, faults).0
+    }
+
+    fn run_counted(
+        &self,
+        sys: &System,
+        golden: &GoldenTrace,
+        faults: &[StuckAt],
+    ) -> (Vec<CampaignOutcome>, u64) {
+        let batches: Vec<&[StuckAt]> = faults.chunks(MAX_WIDE_FAULTS).collect();
+        let per_batch = par_map_indexed(self.threads, batches.len(), |i| {
+            run_tape_counted::<W256>(sys, golden, batches[i])
+        });
+        let mut outcomes = Vec::with_capacity(faults.len());
+        let mut cycles = 0u64;
+        for (batch_outcomes, batch_cycles) in per_batch {
+            outcomes.extend(batch_outcomes);
+            cycles += batch_cycles;
+        }
+        (outcomes, cycles)
+    }
+}
+
 /// Which engine to run — the serializable selector the study API and
 /// the CLI expose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,6 +339,10 @@ pub enum EngineKind {
     Lane,
     /// [`ThreadedEngine`] with the given worker count (0 = all cores).
     Threaded(usize),
+    /// [`TapeEngine`] with the given worker count (0 = all cores).
+    Tape(usize),
+    /// [`TapeWideEngine`] with the given worker count (0 = all cores).
+    TapeWide(usize),
 }
 
 impl EngineKind {
@@ -181,6 +352,8 @@ impl EngineKind {
             EngineKind::Serial => Box::new(SerialEngine),
             EngineKind::Lane => Box::new(LaneEngine),
             EngineKind::Threaded(n) => Box::new(ThreadedEngine::new(n)),
+            EngineKind::Tape(n) => Box::new(TapeEngine::new(n)),
+            EngineKind::TapeWide(n) => Box::new(TapeWideEngine::new(n)),
         }
     }
 
@@ -192,6 +365,20 @@ impl EngineKind {
         } else {
             EngineKind::Threaded(threads)
         }
+    }
+
+    /// Parses a CLI selector (`serial`, `lane`, `threaded`, `tape`,
+    /// `tape-wide`), binding thread-scalable engines to `threads`.
+    /// Returns `None` for an unknown name.
+    pub fn parse(name: &str, threads: usize) -> Option<EngineKind> {
+        Some(match name {
+            "serial" => EngineKind::Serial,
+            "lane" => EngineKind::Lane,
+            "threaded" => EngineKind::Threaded(threads),
+            "tape" => EngineKind::Tape(threads),
+            "tape-wide" => EngineKind::TapeWide(threads),
+            _ => return None,
+        })
     }
 }
 
@@ -218,7 +405,7 @@ pub fn run_campaign(
 /// its faults carry no verdicts, the rest of the campaign is intact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuarantinedChunk {
-    /// Chunk index (chunks of [`MAX_PARALLEL_FAULTS`]).
+    /// Chunk index (chunks of the engine's [`Engine::chunk_capacity`]).
     pub chunk: usize,
     /// The faults that were in the chunk.
     pub faults: Vec<StuckAt>,
@@ -272,10 +459,12 @@ fn decode_outcomes(words: &[u64], faults: &[StuckAt]) -> Option<Vec<CampaignOutc
 }
 
 /// Crash-safe, fault-isolated [`run_campaign`]: the fault list is cut
-/// into [`MAX_PARALLEL_FAULTS`]-sized chunks (the same boundaries every
-/// engine already batches on, so verdicts are unchanged), each chunk
-/// runs under panic quarantine, and completed chunks are checkpointed
-/// to `journal`.
+/// into [`Engine::chunk_capacity`]-sized chunks (the same boundaries
+/// the engine already batches on, so verdicts are unchanged), each
+/// chunk runs under panic quarantine, and completed chunks are
+/// checkpointed to `journal`. A journal written under one chunk
+/// capacity is shape-checked per record, so resuming with an engine of
+/// a different width recomputes rather than misattributes.
 ///
 /// Returns the outcomes of every surviving chunk in fault order plus
 /// one [`QuarantinedChunk`] per chunk that panicked twice. Chunks found
@@ -300,7 +489,7 @@ pub fn run_campaign_quarantined(
         Restored(Vec<CampaignOutcome>),
         ReplayedQuarantine(String),
     }
-    let chunks: Vec<&[StuckAt]> = faults.chunks(MAX_PARALLEL_FAULTS).collect();
+    let chunks: Vec<&[StuckAt]> = faults.chunks(engine.chunk_capacity()).collect();
     progress.event(ProgressEvent::WorkPlanned {
         phase: Phase::FaultSim,
         items: chunks.len(),
@@ -461,10 +650,41 @@ mod tests {
             EngineKind::Lane,
             EngineKind::Threaded(2),
             EngineKind::Threaded(8),
+            EngineKind::Tape(1),
+            EngineKind::Tape(2),
+            EngineKind::TapeWide(1),
+            EngineKind::TapeWide(2),
         ] {
             let got = kind.build().run(&sys, &golden, &faults);
             assert_eq!(got, reference, "{kind:?} disagrees with serial");
         }
+    }
+
+    #[test]
+    fn tape_is_byte_identical_to_lane_including_cycles() {
+        let (sys, golden, faults) = setup();
+        let (lane, lane_cycles) = LaneEngine.run_counted(&sys, &golden, &faults);
+        for threads in [1, 2, 8] {
+            let (tape, tape_cycles) = TapeEngine::new(threads).run_counted(&sys, &golden, &faults);
+            assert_eq!(tape, lane, "threads = {threads}");
+            assert_eq!(tape_cycles, lane_cycles, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn engine_kind_parses_cli_names() {
+        assert_eq!(EngineKind::parse("serial", 4), Some(EngineKind::Serial));
+        assert_eq!(EngineKind::parse("lane", 4), Some(EngineKind::Lane));
+        assert_eq!(
+            EngineKind::parse("threaded", 4),
+            Some(EngineKind::Threaded(4))
+        );
+        assert_eq!(EngineKind::parse("tape", 4), Some(EngineKind::Tape(4)));
+        assert_eq!(
+            EngineKind::parse("tape-wide", 4),
+            Some(EngineKind::TapeWide(4))
+        );
+        assert_eq!(EngineKind::parse("warp", 4), None);
     }
 
     #[test]

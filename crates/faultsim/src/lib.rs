@@ -53,10 +53,10 @@ pub mod fixtures;
 mod golden;
 mod system;
 
-pub use campaign::{run_parallel, run_serial, CampaignOutcome, Detection};
+pub use campaign::{run_parallel, run_serial, run_tape_counted, CampaignOutcome, Detection};
 pub use engine::{
     run_campaign, run_campaign_quarantined, run_with, Engine, EngineKind, LaneEngine,
-    QuarantinedChunk, SerialEngine, ThreadedEngine,
+    QuarantinedChunk, SerialEngine, SimKernel, TapeEngine, TapeWideEngine, ThreadedEngine,
 };
 pub use golden::{golden_trace, GoldenTrace, RunConfig, RunSpec};
 pub use system::{System, SystemConfig};

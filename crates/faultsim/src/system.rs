@@ -13,7 +13,7 @@ use sfr_fsm::{synthesize_into, EncodedFsm, Encoding, FillPolicy, StateId, Synthe
 use sfr_hls::{DesignMeta, EmittedSystem};
 use sfr_netlist::{
     CellKind, CycleSim, GateId, Logic, NetId, Netlist, NetlistBuilder, NetlistError,
-    ParallelFaultSim, StuckAt,
+    ParallelFaultSim, Pat, StuckAt, TapeSim, TapeWord,
 };
 use sfr_rtl::{elaborate_into, Datapath, ElabNets};
 
@@ -221,6 +221,23 @@ impl System {
         }
     }
 
+    /// Resets all lanes of a compiled tape simulator the same way.
+    ///
+    /// Mirrors [`System::reset_psim`] field for field, so a tape pack's
+    /// per-lane state after reset is bit-identical to the interpretive
+    /// engine's.
+    pub fn reset_tape<W: TapeWord>(&self, sim: &mut TapeSim<'_, W>, datapath_init: Logic) {
+        let code = self.fsm.reset_code();
+        for (k, &g) in self.ctrl.state_gates.iter().enumerate() {
+            sim.set_gate_state(g, Pat::splat(Logic::from_bool(code >> k & 1 == 1)));
+        }
+        for gates in &self.elab.reg_gates {
+            for &g in gates {
+                sim.set_gate_state(g, Pat::splat(datapath_init));
+            }
+        }
+    }
+
     /// Decodes the controller state in a cycle simulator, if it matches a
     /// known state code.
     pub fn decode_state(&self, sim: &CycleSim<'_>) -> Option<StateId> {
@@ -253,6 +270,25 @@ impl System {
         self.fsm.decode(code)
     }
 
+    /// Decodes the controller state carried by one lane of a compiled
+    /// tape simulator, if it matches a known state code (the tape
+    /// analogue of [`System::decode_state_lane`]).
+    pub fn decode_state_tape_lane<W: TapeWord>(
+        &self,
+        sim: &TapeSim<'_, W>,
+        lane: usize,
+    ) -> Option<StateId> {
+        let mut code = 0u32;
+        for (k, &g) in self.ctrl.state_gates.iter().enumerate() {
+            match sim.gate_state(g).lane(lane) {
+                Logic::One => code |= 1 << k,
+                Logic::Zero => {}
+                Logic::X => return None,
+            }
+        }
+        self.fsm.decode(code)
+    }
+
     /// Applies one pattern word (all ports concatenated, port-major,
     /// LSB-first) to a cycle simulator's data inputs.
     pub fn apply_pattern(&self, sim: &mut CycleSim<'_>, pattern: u64) {
@@ -267,6 +303,18 @@ impl System {
 
     /// Applies one pattern word to every lane of a parallel simulator.
     pub fn apply_pattern_parallel(&self, sim: &mut ParallelFaultSim<'_>, pattern: u64) {
+        let w = self.datapath.width();
+        for (p, port) in self.data_inputs.iter().enumerate() {
+            for (i, &net) in port.iter().enumerate() {
+                let bit = pattern >> (p * w + i) & 1 == 1;
+                sim.set_input(net, Logic::from_bool(bit));
+            }
+        }
+    }
+
+    /// Applies one pattern word to every lane of a compiled tape
+    /// simulator.
+    pub fn apply_pattern_tape<W: TapeWord>(&self, sim: &mut TapeSim<'_, W>, pattern: u64) {
         let w = self.datapath.width();
         for (p, port) in self.data_inputs.iter().enumerate() {
             for (i, &net) in port.iter().enumerate() {

@@ -63,6 +63,7 @@ mod logic;
 mod psim;
 mod sim;
 mod stats;
+mod tape;
 mod vcd;
 mod verilog;
 
@@ -78,6 +79,9 @@ pub use logic::{logic_to_u64, u64_to_logic, Logic};
 pub use psim::{LaneActivity, ParallelFaultSim, PatVec, TooManyFaultsError, MAX_PARALLEL_FAULTS};
 pub use sim::{Activity, ActivityMismatch, CycleSim};
 pub use stats::{critical_path, NetlistStats};
+pub use tape::{
+    LaneCounts, Pat, TapeActivity, TapeProgram, TapeSim, TapeWord, MAX_WIDE_FAULTS, W256,
+};
 pub use vcd::VcdRecorder;
 pub use verilog::{
     parse_verilog, parse_verilog_spanned, write_cell_library, write_verilog, ParseError,

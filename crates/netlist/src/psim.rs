@@ -39,6 +39,7 @@ impl PatVec {
     pub const ALL_ONE: PatVec = PatVec { lo: 0, hi: !0 };
 
     /// Broadcasts a scalar logic value to all lanes.
+    #[inline]
     pub fn splat(v: Logic) -> PatVec {
         match v {
             Logic::Zero => PatVec::ALL_ZERO,
@@ -52,6 +53,7 @@ impl PatVec {
     /// Lane indices are 0..64; a wider index is a caller bug (release
     /// builds would silently read `i mod 64` through the masked shift,
     /// so debug builds catch it here).
+    #[inline]
     pub fn lane(self, i: usize) -> Logic {
         debug_assert!(
             i < 64,
@@ -69,6 +71,7 @@ impl PatVec {
 
     /// Writes one lane.
     #[must_use]
+    #[inline]
     pub fn with_lane(self, i: usize, v: Logic) -> PatVec {
         debug_assert!(
             i < 64,
@@ -89,6 +92,7 @@ impl PatVec {
 
     /// Forces the lanes selected by `mask` to `v`.
     #[must_use]
+    #[inline]
     pub fn force(self, mask: u64, v: Logic) -> PatVec {
         let mut r = PatVec {
             lo: self.lo & !mask,
@@ -105,6 +109,7 @@ impl PatVec {
     /// Lane-wise NOT.
     #[must_use]
     #[allow(clippy::should_implement_trait)]
+    #[inline]
     pub fn not(self) -> PatVec {
         PatVec {
             lo: self.hi,
@@ -114,6 +119,7 @@ impl PatVec {
 
     /// Lane-wise AND.
     #[must_use]
+    #[inline]
     pub fn and(self, o: PatVec) -> PatVec {
         PatVec {
             lo: self.lo | o.lo,
@@ -123,6 +129,7 @@ impl PatVec {
 
     /// Lane-wise OR.
     #[must_use]
+    #[inline]
     pub fn or(self, o: PatVec) -> PatVec {
         PatVec {
             lo: self.lo & o.lo,
@@ -132,6 +139,7 @@ impl PatVec {
 
     /// Lane-wise XOR.
     #[must_use]
+    #[inline]
     pub fn xor(self, o: PatVec) -> PatVec {
         PatVec {
             lo: (self.lo & o.lo) | (self.hi & o.hi),
@@ -142,6 +150,7 @@ impl PatVec {
     /// Lane-wise 2:1 mux (`sel=0` picks `a`, `sel=1` picks `b`); an `X`
     /// select yields the data value only where both data lanes agree.
     #[must_use]
+    #[inline]
     pub fn mux(a: PatVec, b: PatVec, sel: PatVec) -> PatVec {
         let agree_lo = a.lo & b.lo;
         let agree_hi = a.hi & b.hi;
@@ -154,11 +163,13 @@ impl PatVec {
 
     /// Lanes (as a mask) whose value definitely differs from the
     /// corresponding lane of `o` — both lanes known, opposite values.
+    #[inline]
     pub fn definitely_differs(self, o: PatVec) -> u64 {
         (self.lo & o.hi) | (self.hi & o.lo)
     }
 
     /// Lanes (as a mask) that are known (`0` or `1`).
+    #[inline]
     pub fn known(self) -> u64 {
         self.lo | self.hi
     }
@@ -354,6 +365,9 @@ pub struct ParallelFaultSim<'a> {
     have_prev: bool,
     /// Per-lane switching-activity accounting (None = not tracking).
     activity: Option<LaneActivity>,
+    /// Reusable operand buffer for [`ParallelFaultSim::eval`] — hoisted
+    /// out of the hot loop so settling a cycle allocates nothing.
+    scratch: Vec<PatVec>,
 }
 
 /// Error returned when more than [`MAX_PARALLEL_FAULTS`] faults are given.
@@ -410,6 +424,7 @@ impl<'a> ParallelFaultSim<'a> {
             prev: vec![PatVec::ALL_X; nl.net_count()],
             have_prev: false,
             activity: None,
+            scratch: Vec::with_capacity(4),
         })
     }
 
@@ -538,7 +553,7 @@ impl<'a> ParallelFaultSim<'a> {
             }
             self.values[out.index()] = v;
         }
-        let mut ins: Vec<PatVec> = Vec::with_capacity(4);
+        let mut ins = std::mem::take(&mut self.scratch);
         for &g in self.nl.topo_order() {
             let gate = self.nl.gate(g);
             ins.clear();
@@ -553,6 +568,7 @@ impl<'a> ParallelFaultSim<'a> {
             }
             self.values[gate.output().index()] = v;
         }
+        self.scratch = ins;
     }
 
     /// Advances sequential state one clock edge in all lanes, recording

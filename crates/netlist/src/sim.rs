@@ -119,6 +119,9 @@ pub struct CycleSim<'a> {
     fault: Option<StuckAt>,
     activity: Activity,
     track_activity: bool,
+    /// Reusable operand buffer for [`CycleSim::eval`] — hoisted out of
+    /// the hot loop so settling a cycle allocates nothing.
+    scratch: Vec<Logic>,
 }
 
 impl<'a> CycleSim<'a> {
@@ -134,6 +137,7 @@ impl<'a> CycleSim<'a> {
             fault: None,
             activity: Activity::new(nl.net_count(), nl.gate_count()),
             track_activity: false,
+            scratch: Vec::with_capacity(4),
         }
     }
 
@@ -234,7 +238,7 @@ impl<'a> CycleSim<'a> {
             self.values[out.index()] = v;
         }
         // Combinational gates in topological order.
-        let mut ins: Vec<Logic> = Vec::with_capacity(4);
+        let mut ins = std::mem::take(&mut self.scratch);
         for &g in self.nl.topo_order() {
             let gate = self.nl.gate(g);
             ins.clear();
@@ -249,6 +253,7 @@ impl<'a> CycleSim<'a> {
             }
             self.values[gate.output().index()] = v;
         }
+        self.scratch = ins;
     }
 
     /// Advances sequential state one clock edge, recording activity.

@@ -1,0 +1,1616 @@
+//! Compiled levelized op-tape simulation kernel.
+//!
+//! The interpretive [`crate::ParallelFaultSim`] walks the netlist graph
+//! every cycle: per gate it re-reads the `CellKind`, re-scans the force
+//! lists for injected faults, and gathers operands through a scratch
+//! vector. This module compiles that walk away, in the style of the
+//! Berkeley Emulation Engine's statically scheduled gate streams: a
+//! netlist (plus one pack of stuck-at faults) is *levelized once* —
+//! reusing the topological order [`crate::Netlist::finish`] already
+//! computed — and emitted as a flat [`TapeOp`] instruction tape over
+//! contiguous value slots. Fault injection is baked in at compile time
+//! as dedicated force ops with per-lane masks, so the evaluator is a
+//! tight match-free-of-surprises loop: no `CellKind` dispatch, no force
+//! scans, no per-cycle allocation.
+//!
+//! On top of the tape, the kernel is generic over the lane word
+//! ([`TapeWord`]): `u64` gives the classic 63-faults-plus-baseline
+//! pack, and [`W256`] — four `u64`s operated element-wise, which the
+//! compiler auto-vectorizes to 256-bit SIMD on targets that have it —
+//! grades 255 faults plus the lane-0 baseline in one Monte Carlo pass.
+//!
+//! Every lane is an exact dual-rail three-valued simulation with the
+//! same semantics as [`crate::CycleSim`] / [`crate::ParallelFaultSim`]:
+//! values, detection masks, and per-lane switching activity are
+//! bit-identical to the interpretive engines for the same circuit,
+//! faults, and stimulus (property-tested in `tests/proptests.rs`).
+
+use crate::fault::{FaultSite, StuckAt};
+use crate::graph::{GateId, NetId, Netlist};
+use crate::logic::Logic;
+use crate::psim::TooManyFaultsError;
+use crate::sim::Activity;
+
+/// Maximum faults in one wide ([`W256`]) tape pack (lane 0 is the
+/// fault-free reference).
+pub const MAX_WIDE_FAULTS: usize = 255;
+
+/// A machine word carrying one simulation lane per bit.
+///
+/// Implemented by `u64` (64 lanes) and [`W256`] (256 lanes). All ops
+/// are pure bitwise combinators, so a wide implementation is free to be
+/// a fixed array of `u64`s operated element-wise — the autovectorizer
+/// turns those loops into SIMD on targets that have the registers,
+/// without any unstable `std::simd` dependency.
+pub trait TapeWord:
+    Copy + Clone + PartialEq + Eq + std::fmt::Debug + Default + Send + Sync + 'static
+{
+    /// Simulation lanes carried per word.
+    const LANES: usize;
+    /// The all-zero word.
+    const ZERO: Self;
+    /// The all-ones word.
+    const ONES: Self;
+    /// Bitwise AND.
+    fn and(self, o: Self) -> Self;
+    /// Bitwise OR.
+    fn or(self, o: Self) -> Self;
+    /// Bitwise XOR.
+    fn xor(self, o: Self) -> Self;
+    /// Bitwise NOT.
+    fn not(self) -> Self;
+    /// Whether no bit is set.
+    fn is_zero(self) -> bool;
+    /// Reads bit `lane`.
+    fn bit(self, lane: usize) -> bool;
+    /// The single-bit mask for `lane`.
+    fn mask(lane: usize) -> Self;
+    /// The mask with bits `0..n` set.
+    fn low_mask(n: usize) -> Self;
+    /// Number of `u64` limbs making up the word.
+    const LIMBS: usize;
+    /// Reads limb `i` (lanes `64·i..64·(i+1)`).
+    fn limb(self, i: usize) -> u64;
+    /// All-ones when bit 0 (lane 0) is set, all-zero otherwise —
+    /// a branch-free broadcast of the fault-free lane's bit.
+    fn lane0_splat(self) -> Self;
+    /// `1` when any bit is set, `0` otherwise — branch-free, so hot
+    /// loops can pack per-column "deviation present" summary bits
+    /// without data-dependent control flow.
+    fn any01(self) -> u64;
+    /// All-ones when any bit is set, all-zero otherwise — the
+    /// branch-free word-wide version of [`any01`](Self::any01).
+    fn nonzero_splat(self) -> Self;
+
+    /// `self & !o`.
+    #[inline]
+    fn andnot(self, o: Self) -> Self {
+        self.and(o.not())
+    }
+}
+
+impl TapeWord for u64 {
+    const LANES: usize = 64;
+    const ZERO: u64 = 0;
+    const ONES: u64 = !0;
+
+    #[inline]
+    fn and(self, o: u64) -> u64 {
+        self & o
+    }
+    #[inline]
+    fn or(self, o: u64) -> u64 {
+        self | o
+    }
+    #[inline]
+    fn xor(self, o: u64) -> u64 {
+        self ^ o
+    }
+    #[inline]
+    fn not(self) -> u64 {
+        !self
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    #[inline]
+    fn bit(self, lane: usize) -> bool {
+        debug_assert!(lane < 64, "lane {lane} out of range");
+        self >> lane & 1 == 1
+    }
+    #[inline]
+    fn mask(lane: usize) -> u64 {
+        debug_assert!(lane < 64, "lane {lane} out of range");
+        1u64 << lane
+    }
+    #[inline]
+    fn low_mask(n: usize) -> u64 {
+        if n >= 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+    const LIMBS: usize = 1;
+    #[inline]
+    fn limb(self, i: usize) -> u64 {
+        debug_assert!(i == 0, "limb {i} out of range");
+        self
+    }
+    #[inline]
+    fn lane0_splat(self) -> u64 {
+        (self & 1).wrapping_neg()
+    }
+    #[inline]
+    fn any01(self) -> u64 {
+        (self | self.wrapping_neg()) >> 63
+    }
+    #[inline]
+    fn nonzero_splat(self) -> u64 {
+        ((self | self.wrapping_neg()) >> 63).wrapping_neg()
+    }
+}
+
+/// A 256-lane word: four `u64`s operated element-wise. The fixed-length
+/// loops below compile to straight-line code the autovectorizer folds
+/// into 256-bit SIMD where available; on narrower targets they stay
+/// four scalar ops, still one instruction stream with no branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct W256(pub [u64; 4]);
+
+impl TapeWord for W256 {
+    const LANES: usize = 256;
+    const ZERO: W256 = W256([0; 4]);
+    const ONES: W256 = W256([!0; 4]);
+
+    #[inline]
+    fn and(self, o: W256) -> W256 {
+        let mut r = [0u64; 4];
+        for (i, w) in r.iter_mut().enumerate() {
+            *w = self.0[i] & o.0[i];
+        }
+        W256(r)
+    }
+    #[inline]
+    fn or(self, o: W256) -> W256 {
+        let mut r = [0u64; 4];
+        for (i, w) in r.iter_mut().enumerate() {
+            *w = self.0[i] | o.0[i];
+        }
+        W256(r)
+    }
+    #[inline]
+    fn xor(self, o: W256) -> W256 {
+        let mut r = [0u64; 4];
+        for (i, w) in r.iter_mut().enumerate() {
+            *w = self.0[i] ^ o.0[i];
+        }
+        W256(r)
+    }
+    #[inline]
+    fn not(self) -> W256 {
+        let mut r = [0u64; 4];
+        for (i, w) in r.iter_mut().enumerate() {
+            *w = !self.0[i];
+        }
+        W256(r)
+    }
+    #[inline]
+    fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+    #[inline]
+    fn bit(self, lane: usize) -> bool {
+        debug_assert!(lane < 256, "lane {lane} out of range");
+        self.0[lane / 64] >> (lane % 64) & 1 == 1
+    }
+    #[inline]
+    fn mask(lane: usize) -> W256 {
+        debug_assert!(lane < 256, "lane {lane} out of range");
+        let mut r = [0u64; 4];
+        r[lane / 64] = 1u64 << (lane % 64);
+        W256(r)
+    }
+    #[inline]
+    fn low_mask(n: usize) -> W256 {
+        let mut r = [0u64; 4];
+        for (i, w) in r.iter_mut().enumerate() {
+            let lo = i * 64;
+            if n >= lo + 64 {
+                *w = !0;
+            } else if n > lo {
+                *w = (1u64 << (n - lo)) - 1;
+            }
+        }
+        W256(r)
+    }
+    const LIMBS: usize = 4;
+    #[inline]
+    fn limb(self, i: usize) -> u64 {
+        self.0[i]
+    }
+    #[inline]
+    fn lane0_splat(self) -> W256 {
+        let m = (self.0[0] & 1).wrapping_neg();
+        W256([m; 4])
+    }
+    #[inline]
+    fn any01(self) -> u64 {
+        let r = self.0[0] | self.0[1] | self.0[2] | self.0[3];
+        (r | r.wrapping_neg()) >> 63
+    }
+    #[inline]
+    fn nonzero_splat(self) -> W256 {
+        let r = self.0[0] | self.0[1] | self.0[2] | self.0[3];
+        let m = ((r | r.wrapping_neg()) >> 63).wrapping_neg();
+        W256([m; 4])
+    }
+}
+
+/// A dual-rail logic word over `W::LANES` lanes — the generic analogue
+/// of [`crate::PatVec`]. Invariant: `lo & hi == 0`; a lane with neither
+/// bit set is `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pat<W> {
+    /// Lanes that are definitely 0.
+    pub lo: W,
+    /// Lanes that are definitely 1.
+    pub hi: W,
+}
+
+impl<W: TapeWord> Pat<W> {
+    /// All lanes `X`.
+    #[inline]
+    pub fn all_x() -> Self {
+        Pat {
+            lo: W::ZERO,
+            hi: W::ZERO,
+        }
+    }
+
+    /// Broadcasts a scalar logic value to all lanes.
+    #[inline]
+    pub fn splat(v: Logic) -> Self {
+        match v {
+            Logic::Zero => Pat {
+                lo: W::ONES,
+                hi: W::ZERO,
+            },
+            Logic::One => Pat {
+                lo: W::ZERO,
+                hi: W::ONES,
+            },
+            Logic::X => Pat::all_x(),
+        }
+    }
+
+    /// Reads one lane.
+    #[inline]
+    pub fn lane(self, i: usize) -> Logic {
+        if self.lo.bit(i) {
+            Logic::Zero
+        } else if self.hi.bit(i) {
+            Logic::One
+        } else {
+            Logic::X
+        }
+    }
+
+    /// Writes one lane.
+    #[inline]
+    #[must_use]
+    pub fn with_lane(self, i: usize, v: Logic) -> Self {
+        self.force(W::mask(i), v)
+    }
+
+    /// Forces the lanes selected by `mask` to `v`.
+    #[inline]
+    #[must_use]
+    pub fn force(self, mask: W, v: Logic) -> Self {
+        let mut r = Pat {
+            lo: self.lo.andnot(mask),
+            hi: self.hi.andnot(mask),
+        };
+        match v {
+            Logic::Zero => r.lo = r.lo.or(mask),
+            Logic::One => r.hi = r.hi.or(mask),
+            Logic::X => {}
+        }
+        r
+    }
+
+    /// Lane-wise NOT (a dual-rail inversion is a rail swap; the name
+    /// mirrors the other lane-wise combinators rather than `ops::Not`,
+    /// which would require a reference-consuming operator impl).
+    #[inline]
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Pat {
+            lo: self.hi,
+            hi: self.lo,
+        }
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    #[must_use]
+    pub fn and(self, o: Self) -> Self {
+        Pat {
+            lo: self.lo.or(o.lo),
+            hi: self.hi.and(o.hi),
+        }
+    }
+
+    /// Lane-wise OR.
+    #[inline]
+    #[must_use]
+    pub fn or(self, o: Self) -> Self {
+        Pat {
+            lo: self.lo.and(o.lo),
+            hi: self.hi.or(o.hi),
+        }
+    }
+
+    /// Lane-wise XOR.
+    #[inline]
+    #[must_use]
+    pub fn xor(self, o: Self) -> Self {
+        Pat {
+            lo: self.lo.and(o.lo).or(self.hi.and(o.hi)),
+            hi: self.lo.and(o.hi).or(self.hi.and(o.lo)),
+        }
+    }
+
+    /// Lane-wise 2:1 mux (`sel=0` picks `a`, `sel=1` picks `b`); an `X`
+    /// select yields the data value only where both data lanes agree.
+    #[inline]
+    #[must_use]
+    pub fn mux(a: Self, b: Self, sel: Self) -> Self {
+        let agree_lo = a.lo.and(b.lo);
+        let agree_hi = a.hi.and(b.hi);
+        let x_sel = sel.lo.or(sel.hi).not();
+        Pat {
+            lo: sel
+                .lo
+                .and(a.lo)
+                .or(sel.hi.and(b.lo))
+                .or(x_sel.and(agree_lo)),
+            hi: sel
+                .lo
+                .and(a.hi)
+                .or(sel.hi.and(b.hi))
+                .or(x_sel.and(agree_hi)),
+        }
+    }
+
+    /// Lanes (as a mask) whose value definitely differs from the
+    /// corresponding lane of `o` — both lanes known, opposite values.
+    #[inline]
+    pub fn definitely_differs(self, o: Self) -> W {
+        self.lo.and(o.hi).or(self.hi.and(o.lo))
+    }
+
+    /// Lanes (as a mask) that are known (`0` or `1`).
+    #[inline]
+    pub fn known(self) -> W {
+        self.lo.or(self.hi)
+    }
+}
+
+/// One compiled tape instruction. Slots index the simulator's flat
+/// value array: nets first, then sequential state, then forced-operand
+/// scratch slots the compiler allocated for faulted pins.
+#[derive(Debug, Clone, Copy)]
+enum TapeOp {
+    /// `slots[dst] = all-zero`.
+    Const0 { dst: u32 },
+    /// `slots[dst] = all-one`.
+    Const1 { dst: u32 },
+    /// `slots[dst] = slots[a]`.
+    Copy { dst: u32, a: u32 },
+    /// `slots[dst] = !slots[a]`.
+    Not { dst: u32, a: u32 },
+    /// `slots[dst] = slots[a] & slots[b]`.
+    And2 { dst: u32, a: u32, b: u32 },
+    /// 3-input AND.
+    And3 { dst: u32, a: u32, b: u32, c: u32 },
+    /// 4-input AND.
+    And4 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        d: u32,
+    },
+    /// `slots[dst] = slots[a] | slots[b]`.
+    Or2 { dst: u32, a: u32, b: u32 },
+    /// 3-input OR.
+    Or3 { dst: u32, a: u32, b: u32, c: u32 },
+    /// 4-input OR.
+    Or4 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        d: u32,
+    },
+    /// 2-input NAND.
+    Nand2 { dst: u32, a: u32, b: u32 },
+    /// 3-input NAND.
+    Nand3 { dst: u32, a: u32, b: u32, c: u32 },
+    /// 4-input NAND.
+    Nand4 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        d: u32,
+    },
+    /// 2-input NOR.
+    Nor2 { dst: u32, a: u32, b: u32 },
+    /// 3-input NOR.
+    Nor3 { dst: u32, a: u32, b: u32, c: u32 },
+    /// 4-input NOR.
+    Nor4 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        d: u32,
+    },
+    /// `slots[dst] = slots[a] ^ slots[b]`.
+    Xor2 { dst: u32, a: u32, b: u32 },
+    /// 2-input XNOR.
+    Xnor2 { dst: u32, a: u32, b: u32 },
+    /// `slots[dst] = mux(slots[a], slots[b], slots[sel])`.
+    Mux2 { dst: u32, a: u32, b: u32, sel: u32 },
+    /// `slots[dst] = slots[src].force(masks[f], vals[f])` — a baked-in
+    /// stuck-at injection site.
+    Force { dst: u32, src: u32, f: u32 },
+}
+
+/// One compiled sequential-state update, executed at the clock edge.
+#[derive(Debug, Clone, Copy)]
+enum SeqOp {
+    /// Plain flip-flop: `state = slots[d]`, clock event in every lane.
+    Dff { state: u32, d: u32, gate: u32 },
+    /// Clock-gated flip-flop: load where the enable is definitely 1,
+    /// hold where definitely 0, degrade to `X` where the enable is
+    /// unknown and the data disagrees with the held state.
+    Dffe {
+        state: u32,
+        d: u32,
+        en: u32,
+        gate: u32,
+    },
+}
+
+/// A netlist (plus one pack of stuck-at faults) compiled to a flat
+/// instruction tape.
+///
+/// Compilation reuses the topological levelization the
+/// [`crate::NetlistBuilder`] already computed: combinational ops are
+/// emitted in dependency order, sequential state lives in dedicated
+/// slots presented to output nets at the head of the tape, and every
+/// fault in the pack becomes a [`TapeOp::Force`] patched into the
+/// exact spot the interpretive simulator would have applied it (input
+/// pins before the consuming gate, outputs after the driving gate,
+/// primary-input stems at the head). Compiling is one linear pass —
+/// trivially cheap next to the thousands of cycles a pack simulates.
+#[derive(Debug, Clone)]
+pub struct TapeProgram<W> {
+    ops: Vec<TapeOp>,
+    seq: Vec<SeqOp>,
+    /// Per-fault force masks (lane `i+1` for fault `i`).
+    masks: Vec<W>,
+    /// Per-fault forced values, parallel to `masks`.
+    vals: Vec<Logic>,
+    n_slots: usize,
+    n_nets: usize,
+    n_gates: usize,
+    /// Primary-input slots, in netlist declaration order.
+    inputs: Vec<u32>,
+    /// Primary-output slots, in netlist declaration order.
+    outputs: Vec<u32>,
+    /// Gate index → state slot (`u32::MAX` for combinational gates).
+    state_slot: Vec<u32>,
+    faults: Vec<StuckAt>,
+}
+
+impl<W: TapeWord> TapeProgram<W> {
+    /// Compiles `nl` with `faults` baked in (lane 0 stays fault-free;
+    /// fault `i` occupies lane `i+1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyFaultsError`] when the pack exceeds
+    /// `W::LANES - 1` faults.
+    pub fn compile(nl: &Netlist, faults: &[StuckAt]) -> Result<Self, TooManyFaultsError> {
+        if faults.len() > W::LANES - 1 {
+            return Err(TooManyFaultsError {
+                requested: faults.len(),
+            });
+        }
+        let n_nets = nl.net_count();
+        let n_gates = nl.gate_count();
+        let mut masks = Vec::with_capacity(faults.len());
+        let mut vals = Vec::with_capacity(faults.len());
+        // Force sites in fault-enumeration order — the same order the
+        // interpretive simulator scans its force lists, so chained
+        // forces on one site resolve identically.
+        let mut pin_forces: Vec<(GateId, usize, u32)> = Vec::new();
+        let mut out_forces: Vec<(GateId, u32)> = Vec::new();
+        let mut pi_forces: Vec<(NetId, u32)> = Vec::new();
+        for (i, f) in faults.iter().enumerate() {
+            let fi = i as u32;
+            masks.push(W::mask(i + 1));
+            vals.push(f.stuck_logic());
+            match f.site {
+                FaultSite::GateInput { gate, pin } => pin_forces.push((gate, pin, fi)),
+                FaultSite::GateOutput { gate } => out_forces.push((gate, fi)),
+                FaultSite::PrimaryInput { net } => pi_forces.push((net, fi)),
+            }
+        }
+
+        let mut state_slot = vec![u32::MAX; n_gates];
+        let mut n_slots = n_nets;
+        for &g in nl.sequential_gates() {
+            state_slot[g.index()] = n_slots as u32;
+            n_slots += 1;
+        }
+
+        let mut ops = Vec::with_capacity(n_gates + faults.len() + nl.sequential_gates().len());
+
+        // 1. Primary-input stem forces.
+        for &(net, f) in &pi_forces {
+            let s = net.index() as u32;
+            ops.push(TapeOp::Force { dst: s, src: s, f });
+        }
+
+        // 2. Sequential outputs present their stored state (then any
+        //    output forces on the sequential gate).
+        for &g in nl.sequential_gates() {
+            let out = nl.gate(g).output().index() as u32;
+            ops.push(TapeOp::Copy {
+                dst: out,
+                a: state_slot[g.index()],
+            });
+            for &(fg, f) in &out_forces {
+                if fg == g {
+                    ops.push(TapeOp::Force {
+                        dst: out,
+                        src: out,
+                        f,
+                    });
+                }
+            }
+        }
+
+        // Resolves the slot a gate pin reads: the net slot, routed
+        // through a fresh forced-operand slot per pin fault so the
+        // branch stays faulted without disturbing the stem.
+        let forced_pin =
+            |g: GateId, pin: usize, net: NetId, ops: &mut Vec<TapeOp>, n_slots: &mut usize| {
+                let mut cur = net.index() as u32;
+                for &(fg, fp, f) in &pin_forces {
+                    if fg == g && fp == pin {
+                        let dst = *n_slots as u32;
+                        *n_slots += 1;
+                        ops.push(TapeOp::Force { dst, src: cur, f });
+                        cur = dst;
+                    }
+                }
+                cur
+            };
+
+        // 3. Combinational gates, levelized and *grouped by cell kind
+        //    within each level*. Gates of one level are mutually
+        //    independent, so any order within it is correct; sorting by
+        //    opcode turns the tape into long same-kind runs whose eval
+        //    dispatch the branch predictor learns, instead of a
+        //    413-way pattern it keeps missing. The (level, kind,
+        //    original position) key is a pure function of the netlist,
+        //    so the tape stays deterministic.
+        let mut net_level = vec![0u32; n_nets];
+        let mut order: Vec<(u32, u8, u32, GateId)> = Vec::with_capacity(nl.topo_order().len());
+        for (i, &g) in nl.topo_order().iter().enumerate() {
+            let gate = nl.gate(g);
+            let lvl = 1 + gate
+                .inputs()
+                .iter()
+                .map(|n| net_level[n.index()])
+                .max()
+                .unwrap_or(0);
+            net_level[gate.output().index()] = lvl;
+            order.push((lvl, gate.kind() as u8, i as u32, g));
+        }
+        order.sort_unstable();
+        for &(_, _, _, g) in &order {
+            let gate = nl.gate(g);
+            let dst = gate.output().index() as u32;
+            let mut s = [0u32; 4];
+            for (pin, &net) in gate.inputs().iter().enumerate() {
+                s[pin] = forced_pin(g, pin, net, &mut ops, &mut n_slots);
+            }
+            use crate::cell::CellKind::*;
+            let (a, b, c, d) = (s[0], s[1], s[2], s[3]);
+            ops.push(match gate.kind() {
+                Const0 => TapeOp::Const0 { dst },
+                Const1 => TapeOp::Const1 { dst },
+                Buf => TapeOp::Copy { dst, a },
+                Inv => TapeOp::Not { dst, a },
+                And2 => TapeOp::And2 { dst, a, b },
+                And3 => TapeOp::And3 { dst, a, b, c },
+                And4 => TapeOp::And4 { dst, a, b, c, d },
+                Or2 => TapeOp::Or2 { dst, a, b },
+                Or3 => TapeOp::Or3 { dst, a, b, c },
+                Or4 => TapeOp::Or4 { dst, a, b, c, d },
+                Nand2 => TapeOp::Nand2 { dst, a, b },
+                Nand3 => TapeOp::Nand3 { dst, a, b, c },
+                Nand4 => TapeOp::Nand4 { dst, a, b, c, d },
+                Nor2 => TapeOp::Nor2 { dst, a, b },
+                Nor3 => TapeOp::Nor3 { dst, a, b, c },
+                Nor4 => TapeOp::Nor4 { dst, a, b, c, d },
+                Xor2 => TapeOp::Xor2 { dst, a, b },
+                Xnor2 => TapeOp::Xnor2 { dst, a, b },
+                Mux2 => TapeOp::Mux2 { dst, a, b, sel: c },
+                Dff | Dffe => unreachable!("sequential gate in combinational topo order"),
+            });
+            for &(fg, f) in &out_forces {
+                if fg == g {
+                    ops.push(TapeOp::Force { dst, src: dst, f });
+                }
+            }
+        }
+
+        // 4. Sequential next-state reads: pin forces on flip-flop data
+        //    and enable pins are materialized at the tail of the tape,
+        //    after every driver has settled, and the clock reads the
+        //    forced slot.
+        let mut seq = Vec::with_capacity(nl.sequential_gates().len());
+        for &g in nl.sequential_gates() {
+            let gate = nl.gate(g);
+            let state = state_slot[g.index()];
+            let d = forced_pin(g, 0, gate.inputs()[0], &mut ops, &mut n_slots);
+            match gate.kind() {
+                crate::cell::CellKind::Dff => seq.push(SeqOp::Dff {
+                    state,
+                    d,
+                    gate: g.index() as u32,
+                }),
+                crate::cell::CellKind::Dffe => {
+                    let en = forced_pin(g, 1, gate.inputs()[1], &mut ops, &mut n_slots);
+                    seq.push(SeqOp::Dffe {
+                        state,
+                        d,
+                        en,
+                        gate: g.index() as u32,
+                    });
+                }
+                _ => unreachable!("non-sequential gate in sequential list"),
+            }
+        }
+
+        Ok(TapeProgram {
+            ops,
+            seq,
+            masks,
+            vals,
+            n_slots,
+            n_nets,
+            n_gates,
+            inputs: nl.inputs().iter().map(|n| n.index() as u32).collect(),
+            outputs: nl.outputs().iter().map(|n| n.index() as u32).collect(),
+            state_slot,
+            faults: faults.to_vec(),
+        })
+    }
+
+    /// The faults baked into lanes `1..`.
+    pub fn faults(&self) -> &[StuckAt] {
+        &self.faults
+    }
+
+    /// Number of live lanes (fault count + 1; lane 0 is fault-free).
+    pub fn lanes(&self) -> usize {
+        self.faults.len() + 1
+    }
+
+    /// Number of tape instructions (diagnostic; scales with gates plus
+    /// baked-in force sites).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Per-lane switching-activity counters for a [`TapeSim`] — the
+/// wide-word generalization of [`crate::LaneActivity`].
+///
+/// Counters are kept as *deltas against lane 0*: a fault lane toggles
+/// exactly like the fault-free lane on almost every net in almost every
+/// cycle, so per column we store lane 0's scalar count plus a signed
+/// per-(column, lane) deviation matrix — `+1` whenever a lane switched
+/// while lane 0 did not, `−1` whenever it held still while lane 0
+/// switched. A lane's exact count is `base + delta`, integer arithmetic
+/// throughout, so extraction is bit-identical to a dense per-lane
+/// counter; the win is that the per-cycle accumulation only ever
+/// touches the (rare) individual lane bits that deviate, and columns
+/// with no deviation at all — the overwhelming majority — are tracked
+/// by one dirty flag and never rescanned.
+#[derive(Debug, Clone)]
+pub struct TapeActivity<W> {
+    lanes: usize,
+    nets: usize,
+    gates: usize,
+    /// Lane 0's toggle count per net.
+    net_base: Vec<u64>,
+    /// Signed per-lane deviation from `net_base`, `nets × W::LANES`
+    /// row-major. `i32` keeps the matrix cache-resident; a deviation's
+    /// magnitude is bounded by the tracked cycle count, which
+    /// [`TapeSim::clock`] caps at `i32::MAX`.
+    net_delta: Vec<i32>,
+    /// Whether any lane of this net ever deviated from lane 0.
+    net_dirty: Vec<bool>,
+    /// Lane 0's clock-event count per gate (zero for combinational).
+    clock_base: Vec<u64>,
+    /// Signed per-lane deviation from `clock_base`, `gates × W::LANES`
+    /// row-major.
+    clock_delta: Vec<i32>,
+    /// Whether any lane of this gate's clock ever deviated from lane 0.
+    clock_dirty: Vec<bool>,
+    cycles: u64,
+    _word: std::marker::PhantomData<W>,
+}
+
+/// Applies one column's deviation word to its delta row: every set bit
+/// is one lane that disagreed with lane 0 this edge, bumped by `sign`
+/// (`+1` for a toggle lane 0 did not make, `−1` for one it made alone).
+/// Deviation words almost always carry a single set bit, so this is a
+/// short trailing-zeros walk, not a per-lane sweep.
+#[inline]
+fn bump_delta<W: TapeWord>(delta: &mut [i32], dirty: &mut [bool], idx: usize, w: W, sign: i32) {
+    let row = &mut delta[idx * W::LANES..(idx + 1) * W::LANES];
+    if !dirty[idx] {
+        // Rows are zeroed lazily on their first deviation after a
+        // counter reset — a reset touches the (tiny) dirty flags only,
+        // never the whole matrix.
+        dirty[idx] = true;
+        row.fill(0);
+    }
+    for li in 0..W::LIMBS {
+        let mut bits = w.limb(li);
+        while bits != 0 {
+            let lane = li * 64 + bits.trailing_zeros() as usize;
+            row[lane] += sign;
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Drains the per-column deviation scratch into the delta matrix. A
+/// scratch word's bit 0 carries the sign (set ⇔ lane 0 toggled and the
+/// flagged lanes held, so their counts fall *behind* lane 0's).
+/// Deviations are sparse (most columns agree with lane 0 on most
+/// edges), and the toggle sweep already folded a one-bit
+/// nonzero-flag per column into the `sel` bitmap while the scratch
+/// word was in a register, so the drain walks straight to the hot
+/// columns — clean scratch words are never re-read at all.
+fn drain_deviations<W: TapeWord>(
+    sel: &[u64],
+    scratch: &[W],
+    delta: &mut [i32],
+    dirty: &mut [bool],
+) {
+    for (word, &bits) in sel.iter().enumerate() {
+        let mut bits = bits;
+        while bits != 0 {
+            let idx = word * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let w = scratch[idx];
+            let sign = 1 - 2 * (w.limb(0) & 1) as i32;
+            bump_delta(delta, dirty, idx, w.andnot(W::mask(0)), sign);
+        }
+    }
+}
+
+/// One column's per-lane counts, as streamed by
+/// [`TapeActivity::for_each_net_count`]: on almost every column no lane
+/// deviates from lane 0, so the counts collapse to one shared value and
+/// nothing is materialized.
+#[derive(Debug, Clone, Copy)]
+pub enum LaneCounts<'a> {
+    /// Every lane has this exact count.
+    Uniform(u64),
+    /// Per-lane counts, indexed by lane.
+    PerLane(&'a [u64]),
+}
+
+impl LaneCounts<'_> {
+    /// The count for `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`LaneCounts::PerLane`] column is indexed out of
+    /// range.
+    pub fn get(&self, lane: usize) -> u64 {
+        match *self {
+            LaneCounts::Uniform(c) => c,
+            LaneCounts::PerLane(counts) => counts[lane],
+        }
+    }
+}
+
+/// Streams exact per-lane counts for one counter family (`base` plus
+/// the signed deviation matrix), column by column. Columns where no
+/// lane ever deviated from lane 0 — the overwhelming majority — are
+/// streamed as [`LaneCounts::Uniform`] without touching the scratch
+/// buffer.
+fn for_each_count<W: TapeWord>(
+    base: &[u64],
+    delta: &[i32],
+    dirty: &[bool],
+    lanes: usize,
+    mut f: impl FnMut(usize, LaneCounts<'_>),
+) {
+    let mut counts = vec![0u64; lanes];
+    for (i, &b) in base.iter().enumerate() {
+        if !dirty[i] {
+            f(i, LaneCounts::Uniform(b));
+            continue;
+        }
+        let row = &delta[i * W::LANES..i * W::LANES + lanes];
+        for (c, &d) in counts.iter_mut().zip(row) {
+            // A lane's count never undershoots zero: `neg` events only
+            // occur on edges lane 0 actually toggled.
+            *c = b.wrapping_add_signed(i64::from(d));
+        }
+        f(i, LaneCounts::PerLane(&counts));
+    }
+}
+
+impl<W: TapeWord> TapeActivity<W> {
+    fn new(lanes: usize, nets: usize, gates: usize) -> Self {
+        TapeActivity {
+            lanes,
+            nets,
+            gates,
+            net_base: vec![0; nets],
+            net_delta: vec![0; nets * W::LANES],
+            net_dirty: vec![false; nets],
+            clock_base: vec![0; gates],
+            clock_delta: vec![0; gates * W::LANES],
+            clock_dirty: vec![false; gates],
+            cycles: 0,
+            _word: std::marker::PhantomData,
+        }
+    }
+
+    /// Restarts every counter from zero in place. Delta rows are *not*
+    /// wiped here — clearing the dirty flags invalidates them, and
+    /// [`bump_delta`] re-zeroes a row the first time it deviates again.
+    fn reset(&mut self) {
+        self.net_base.fill(0);
+        self.net_dirty.fill(false);
+        self.clock_base.fill(0);
+        self.clock_dirty.fill(false);
+        self.cycles = 0;
+    }
+
+    /// Number of lanes tracked (fault count + 1; lane 0 is fault-free).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of simulated cycles (identical across lanes).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Extracts one lane's counters as a scalar [`Activity`] record —
+    /// bit-identical to what a scalar simulation of that lane's circuit
+    /// would have accumulated. Returns `None` if `lane` is out of range.
+    pub fn try_lane(&self, lane: usize) -> Option<Activity> {
+        if lane >= self.lanes {
+            return None;
+        }
+        let read = |base: &[u64], delta: &[i32], dirty: &[bool], i: usize| {
+            // Non-dirty rows may hold stale deltas from before the last
+            // reset — the dirty flag, not the row, is authoritative.
+            if dirty[i] {
+                base[i].wrapping_add_signed(i64::from(delta[i * W::LANES + lane]))
+            } else {
+                base[i]
+            }
+        };
+        Some(Activity {
+            net_toggles: (0..self.nets)
+                .map(|i| read(&self.net_base, &self.net_delta, &self.net_dirty, i))
+                .collect(),
+            clock_events: (0..self.gates)
+                .map(|i| read(&self.clock_base, &self.clock_delta, &self.clock_dirty, i))
+                .collect(),
+            cycles: self.cycles,
+        })
+    }
+
+    /// Streams the exact per-lane toggle counts of every net, in net-id
+    /// order: `f(net_index, counts)` with `counts.get(lane)` the same
+    /// value [`try_lane`](Self::try_lane) would report. One pass over
+    /// the delta matrix — the fast path for whole-pack consumers
+    /// (per-lane power) that would otherwise extract `lanes` full
+    /// [`Activity`] records.
+    pub fn for_each_net_count(&self, f: impl FnMut(usize, LaneCounts<'_>)) {
+        for_each_count::<W>(
+            &self.net_base,
+            &self.net_delta,
+            &self.net_dirty,
+            self.lanes,
+            f,
+        );
+    }
+
+    /// Streams the exact per-lane clock-event counts of every gate, in
+    /// gate-index order (combinational gates report zero for all
+    /// lanes). See [`for_each_net_count`](Self::for_each_net_count).
+    pub fn for_each_clock_count(&self, f: impl FnMut(usize, LaneCounts<'_>)) {
+        for_each_count::<W>(
+            &self.clock_base,
+            &self.clock_delta,
+            &self.clock_dirty,
+            self.lanes,
+            f,
+        );
+    }
+
+    /// Extracts one lane's counters as a scalar [`Activity`] record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`; use
+    /// [`try_lane`](Self::try_lane) for a fallible read.
+    pub fn lane(&self, lane: usize) -> Activity {
+        match self.try_lane(lane) {
+            Some(a) => a,
+            None => panic!(
+                "TapeActivity lane index {lane} out of range: this pack tracks {} lanes \
+                 (lane 0 fault-free, one per fault)",
+                self.lanes
+            ),
+        }
+    }
+}
+
+/// The tape evaluator: runs a [`TapeProgram`] cycle by cycle with zero
+/// per-cycle allocation.
+///
+/// The call discipline mirrors [`crate::ParallelFaultSim`]: set inputs,
+/// [`eval`](Self::eval), read values/masks, [`clock`](Self::clock).
+#[derive(Debug, Clone)]
+pub struct TapeSim<'p, W: TapeWord> {
+    prog: &'p TapeProgram<W>,
+    /// The flat value array: net slots, then sequential state slots,
+    /// then forced-operand scratch slots.
+    slots: Vec<Pat<W>>,
+    /// Previous cycle's settled net values (for toggle accounting),
+    /// split into separate `lo`/`hi` planes so the toggle sweep streams
+    /// same-field data contiguously instead of shuffling interleaved
+    /// `Pat` pairs.
+    prev_lo: Vec<W>,
+    /// `hi` plane of the previous-cycle snapshot.
+    prev_hi: Vec<W>,
+    have_prev: bool,
+    /// Per-net scratch holding each net's deviation word for the edge:
+    /// lanes that disagreed with lane 0 about toggling, with the sign
+    /// packed into (otherwise always-clear) bit 0. Filled branch-free
+    /// each edge, drained sparsely into the delta matrix.
+    dev_scratch: Vec<W>,
+    /// One bit per net, set when that net's `dev_scratch` word is
+    /// nonzero, maintained by the toggle sweep so the drain walks
+    /// straight to deviating columns without re-reading clean ones.
+    dev_sel: Vec<u64>,
+    activity: Option<TapeActivity<W>>,
+}
+
+impl<'p, W: TapeWord> TapeSim<'p, W> {
+    /// Creates an evaluator over a compiled program.
+    pub fn new(prog: &'p TapeProgram<W>) -> Self {
+        TapeSim {
+            prog,
+            slots: vec![Pat::all_x(); prog.n_slots],
+            prev_lo: vec![W::ZERO; prog.n_nets],
+            prev_hi: vec![W::ZERO; prog.n_nets],
+            have_prev: false,
+            dev_scratch: vec![W::ZERO; prog.n_nets],
+            dev_sel: vec![0; prog.n_nets.div_ceil(64)],
+            activity: None,
+        }
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &'p TapeProgram<W> {
+        self.prog
+    }
+
+    /// The faults carried by lanes `1..`.
+    pub fn faults(&self) -> &[StuckAt] {
+        &self.prog.faults
+    }
+
+    /// Number of live lanes (fault count + 1; lane 0 is fault-free).
+    pub fn lanes(&self) -> usize {
+        self.prog.lanes()
+    }
+
+    /// Mask covering every live lane, including lane 0.
+    fn live_lanes_mask(&self) -> W {
+        W::low_mask(self.prog.faults.len() + 1)
+    }
+
+    /// Enables per-lane switching-activity accounting (off by default).
+    /// Enabling (re-)starts the counters from zero; an already-tracking
+    /// sim resets in place, reusing its counter buffers — the cheap path
+    /// for Monte Carlo loops that run many batches over one sim.
+    pub fn track_activity(&mut self, on: bool) {
+        match (on, self.activity.as_mut()) {
+            (true, Some(a)) => a.reset(),
+            (true, None) => {
+                self.activity = Some(TapeActivity::new(
+                    self.lanes(),
+                    self.prog.n_nets,
+                    self.prog.n_gates,
+                ));
+            }
+            (false, _) => self.activity = None,
+        }
+        self.have_prev = false;
+    }
+
+    /// The accumulated per-lane activity, if tracking is enabled.
+    pub fn activity(&self) -> Option<&TapeActivity<W>> {
+        self.activity.as_ref()
+    }
+
+    /// Extracts one lane's accumulated [`Activity`], or `None` when
+    /// tracking is disabled or `lane` is out of range.
+    pub fn try_lane_activity(&self, lane: usize) -> Option<Activity> {
+        self.activity.as_ref().and_then(|a| a.try_lane(lane))
+    }
+
+    /// Extracts one lane's accumulated [`Activity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is disabled or `lane` is out of range.
+    pub fn lane_activity(&self, lane: usize) -> Activity {
+        self.activity
+            .as_ref()
+            .expect(
+                "activity tracking not enabled: call track_activity(true) before simulating \
+                 to accumulate per-lane toggle counts",
+            )
+            .lane(lane)
+    }
+
+    /// Resets all sequential state in all lanes, discarding the
+    /// previous-cycle toggle baseline (accumulated counts survive).
+    pub fn reset_state(&mut self, v: Logic) {
+        let s = Pat::splat(v);
+        for op in &self.prog.seq {
+            let slot = match *op {
+                SeqOp::Dff { state, .. } | SeqOp::Dffe { state, .. } => state,
+            };
+            self.slots[slot as usize] = s;
+        }
+        self.have_prev = false;
+    }
+
+    /// Overwrites one sequential gate's stored state (all lanes) — used
+    /// by system-level reset to load a specific controller state code
+    /// while preserving the inter-run toggle edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not sequential.
+    pub fn set_gate_state(&mut self, gate: GateId, v: Pat<W>) {
+        let slot = self.prog.state_slot[gate.index()];
+        assert!(slot != u32::MAX, "{gate} is not a sequential gate");
+        self.slots[slot as usize] = v;
+    }
+
+    /// Reads one sequential gate's stored state lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not sequential.
+    pub fn gate_state(&self, gate: GateId) -> Pat<W> {
+        let slot = self.prog.state_slot[gate.index()];
+        assert!(slot != u32::MAX, "{gate} is not a sequential gate");
+        self.slots[slot as usize]
+    }
+
+    /// Applies the same value to a primary input across all lanes.
+    pub fn set_input(&mut self, net: NetId, v: Logic) {
+        self.slots[net.index()] = Pat::splat(v);
+    }
+
+    /// Applies the same values to all primary inputs across all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` length differs from the number of primary inputs.
+    pub fn set_inputs(&mut self, vals: &[Logic]) {
+        assert_eq!(vals.len(), self.prog.inputs.len(), "input width mismatch");
+        for (&slot, &v) in self.prog.inputs.iter().zip(vals) {
+            self.slots[slot as usize] = Pat::splat(v);
+        }
+    }
+
+    /// Lane-vector value of a net (valid after [`TapeSim::eval`]).
+    pub fn value(&self, net: NetId) -> Pat<W> {
+        self.slots[net.index()]
+    }
+
+    /// Settles all combinational logic: one pass over the flat tape.
+    pub fn eval(&mut self) {
+        let slots = &mut self.slots;
+        let masks = &self.prog.masks;
+        let vals = &self.prog.vals;
+        for op in &self.prog.ops {
+            match *op {
+                TapeOp::Const0 { dst } => slots[dst as usize] = Pat::splat(Logic::Zero),
+                TapeOp::Const1 { dst } => slots[dst as usize] = Pat::splat(Logic::One),
+                TapeOp::Copy { dst, a } => slots[dst as usize] = slots[a as usize],
+                TapeOp::Not { dst, a } => slots[dst as usize] = slots[a as usize].not(),
+                TapeOp::And2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].and(slots[b as usize]);
+                }
+                TapeOp::And3 { dst, a, b, c } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .and(slots[b as usize])
+                        .and(slots[c as usize]);
+                }
+                TapeOp::And4 { dst, a, b, c, d } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .and(slots[b as usize])
+                        .and(slots[c as usize])
+                        .and(slots[d as usize]);
+                }
+                TapeOp::Or2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].or(slots[b as usize]);
+                }
+                TapeOp::Or3 { dst, a, b, c } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .or(slots[b as usize])
+                        .or(slots[c as usize]);
+                }
+                TapeOp::Or4 { dst, a, b, c, d } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .or(slots[b as usize])
+                        .or(slots[c as usize])
+                        .or(slots[d as usize]);
+                }
+                TapeOp::Nand2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].and(slots[b as usize]).not();
+                }
+                TapeOp::Nand3 { dst, a, b, c } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .and(slots[b as usize])
+                        .and(slots[c as usize])
+                        .not();
+                }
+                TapeOp::Nand4 { dst, a, b, c, d } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .and(slots[b as usize])
+                        .and(slots[c as usize])
+                        .and(slots[d as usize])
+                        .not();
+                }
+                TapeOp::Nor2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].or(slots[b as usize]).not();
+                }
+                TapeOp::Nor3 { dst, a, b, c } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .or(slots[b as usize])
+                        .or(slots[c as usize])
+                        .not();
+                }
+                TapeOp::Nor4 { dst, a, b, c, d } => {
+                    slots[dst as usize] = slots[a as usize]
+                        .or(slots[b as usize])
+                        .or(slots[c as usize])
+                        .or(slots[d as usize])
+                        .not();
+                }
+                TapeOp::Xor2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].xor(slots[b as usize]);
+                }
+                TapeOp::Xnor2 { dst, a, b } => {
+                    slots[dst as usize] = slots[a as usize].xor(slots[b as usize]).not();
+                }
+                TapeOp::Mux2 { dst, a, b, sel } => {
+                    slots[dst as usize] =
+                        Pat::mux(slots[a as usize], slots[b as usize], slots[sel as usize]);
+                }
+                TapeOp::Force { dst, src, f } => {
+                    slots[dst as usize] =
+                        slots[src as usize].force(masks[f as usize], vals[f as usize]);
+                }
+            }
+        }
+    }
+
+    /// Advances sequential state one clock edge in all lanes, recording
+    /// activity when tracking is enabled. Per cycle and per lane the
+    /// accounting matches [`crate::ParallelFaultSim::clock`] (and hence
+    /// the scalar [`crate::CycleSim`]) exactly.
+    pub fn clock(&mut self) {
+        let live = self.live_lanes_mask();
+        let mut act = self.activity.take();
+        if let Some(a) = act.as_mut() {
+            if self.have_prev {
+                // Delta accumulation, two passes. Pass A is branch-free
+                // (no data-dependent control flow at all, so it
+                // auto-vectorizes): lane 0's toggle is a scalar
+                // increment, and the lanes *disagreeing* with lane 0
+                // land in one per-net scratch word,
+                // `d = toggled ^ (live & splat(toggled₀))` — when
+                // lane 0 held, `d` is the lanes that toggled anyway;
+                // when lane 0 toggled, `d` is the live lanes that held.
+                // Bit 0 of the scratch word is always clear (lane 0
+                // never disagrees with itself), so it carries the sign,
+                // set only when `d` is nonzero to keep clean columns
+                // all-zero. The previous-cycle snapshot is refreshed
+                // and each column's nonzero flag is folded into a
+                // selection bitmap in the same sweep while the scratch
+                // word is still in a register, so pass B walks straight
+                // to the deviating columns and never touches a clean
+                // one.
+                let nets = a.nets;
+                let bit0 = W::mask(0);
+                let slots = &self.slots[..nets];
+                let prev_lo = &mut self.prev_lo[..nets];
+                let prev_hi = &mut self.prev_hi[..nets];
+                let base = &mut a.net_base[..nets];
+                let dev = &mut self.dev_scratch[..nets];
+                // The per-net body, returning the scratch word's
+                // nonzero flag to fold into the selection bitmap.
+                // Split into full 8-net chunks plus a remainder so the
+                // hot inner loop has a constant trip count the
+                // compiler can unroll and vectorize.
+                macro_rules! sweep_net {
+                    ($i:expr) => {{
+                        let i = $i;
+                        let cur = slots[i];
+                        let toggled = prev_lo[i].and(cur.hi).or(prev_hi[i].and(cur.lo)).and(live);
+                        prev_lo[i] = cur.lo;
+                        prev_hi[i] = cur.hi;
+                        base[i] += u64::from(toggled.bit(0));
+                        let d = toggled.xor(live.and(toggled.lane0_splat()));
+                        let w = d.or(toggled.and(bit0).and(d.nonzero_splat()));
+                        dev[i] = w;
+                        w.any01()
+                    }};
+                }
+                let full = nets / 8;
+                let sel = &mut self.dev_sel[..nets.div_ceil(64)];
+                sel.fill(0);
+                for blk in 0..full {
+                    let start = blk * 8;
+                    let mut mask = 0u64;
+                    for j in 0..8 {
+                        mask |= sweep_net!(start + j) << j;
+                    }
+                    // 8-net chunks at 8-aligned offsets never straddle
+                    // a 64-bit selection word.
+                    sel[start >> 6] |= mask << (start & 63);
+                }
+                if nets % 8 != 0 {
+                    let start = full * 8;
+                    let mut mask = 0u64;
+                    for (j, i) in (start..nets).enumerate() {
+                        mask |= sweep_net!(i) << j;
+                    }
+                    sel[start >> 6] |= mask << (start & 63);
+                }
+                // Pass B drains the scratch into the delta matrix,
+                // walking the selection bitmap straight to the
+                // deviating columns.
+                drain_deviations(
+                    &self.dev_sel,
+                    &self.dev_scratch,
+                    &mut a.net_delta,
+                    &mut a.net_dirty,
+                );
+            } else {
+                for ((plo, phi), cur) in self
+                    .prev_lo
+                    .iter_mut()
+                    .zip(self.prev_hi.iter_mut())
+                    .zip(&self.slots[..self.prog.n_nets])
+                {
+                    *plo = cur.lo;
+                    *phi = cur.hi;
+                }
+            }
+            self.have_prev = true;
+            // The i32 delta matrix holds any deviation up to the
+            // tracked cycle count; refuse to run past its range rather
+            // than silently wrap.
+            assert!(
+                a.cycles < i32::MAX as u64,
+                "activity tracking is limited to i32::MAX cycles per reset"
+            );
+            a.cycles += 1;
+        }
+        for op in &self.prog.seq {
+            match *op {
+                SeqOp::Dff { state, d, gate } => {
+                    self.slots[state as usize] = self.slots[d as usize];
+                    if let Some(a) = act.as_mut() {
+                        // Every live lane clocks — no delta against
+                        // lane 0, just the scalar base count.
+                        a.clock_base[gate as usize] += 1;
+                    }
+                }
+                SeqOp::Dffe { state, d, en, gate } => {
+                    let d = self.slots[d as usize];
+                    let en = self.slots[en as usize];
+                    let cur = self.slots[state as usize];
+                    let agree_lo = d.lo.and(cur.lo);
+                    let agree_hi = d.hi.and(cur.hi);
+                    let x_en = en.lo.or(en.hi).not();
+                    self.slots[state as usize] = Pat {
+                        lo: en.hi.and(d.lo).or(en.lo.and(cur.lo)).or(x_en.and(agree_lo)),
+                        hi: en.hi.and(d.hi).or(en.lo.and(cur.hi)).or(x_en.and(agree_hi)),
+                    };
+                    if let Some(a) = act.as_mut() {
+                        let enabled = en.hi.and(live);
+                        let g = gate as usize;
+                        let e0 = enabled.lane0_splat();
+                        a.clock_base[g] += u64::from(enabled.bit(0));
+                        let pos = enabled.andnot(e0);
+                        let neg = live.and(e0).andnot(enabled);
+                        if !pos.is_zero() {
+                            bump_delta(&mut a.clock_delta, &mut a.clock_dirty, g, pos, 1);
+                        }
+                        if !neg.is_zero() {
+                            bump_delta(&mut a.clock_delta, &mut a.clock_dirty, g, neg, -1);
+                        }
+                    }
+                }
+            }
+        }
+        self.activity = act;
+    }
+
+    /// Mask of fault lanes whose primary outputs *definitely* differ
+    /// from lane 0 in the current cycle. Bit `i+1` corresponds to
+    /// `self.faults()[i]`.
+    pub fn detected_mask(&self) -> W {
+        let mut mask = W::ZERO;
+        for &o in &self.prog.outputs {
+            let v = self.slots[o as usize];
+            let golden = Pat::splat(v.lane(0));
+            mask = mask.or(v.definitely_differs(golden));
+        }
+        mask.andnot(W::mask(0))
+    }
+
+    /// Mask of fault lanes where some primary output is known in lane 0
+    /// but unknown in the fault lane (the "potentially detected"
+    /// GENTEST outcome).
+    pub fn potentially_detected_mask(&self) -> W {
+        let mut mask = W::ZERO;
+        for &o in &self.prog.outputs {
+            let v = self.slots[o as usize];
+            if v.lane(0).is_known() {
+                mask = mask.or(v.known().not());
+            }
+        }
+        mask.andnot(W::mask(0))
+            .and(W::low_mask(self.prog.faults.len() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::graph::NetlistBuilder;
+    use crate::logic::Logic::{One, Zero, X};
+    use crate::psim::ParallelFaultSim;
+    use crate::sim::CycleSim;
+
+    #[test]
+    fn w256_masks_and_bits() {
+        for lane in [0usize, 1, 63, 64, 127, 128, 255] {
+            let m = W256::mask(lane);
+            assert!(m.bit(lane));
+            assert_eq!(m.and(m.not()), W256::ZERO);
+        }
+        assert_eq!(W256::low_mask(0), W256::ZERO);
+        assert_eq!(W256::low_mask(256), W256::ONES);
+        let m = W256::low_mask(100);
+        assert!(m.bit(99) && !m.bit(100));
+        assert_eq!(<u64 as TapeWord>::low_mask(64), !0);
+        assert_eq!(<u64 as TapeWord>::low_mask(3), 0b111);
+    }
+
+    #[test]
+    fn pat_ops_match_scalar_logic_in_both_widths() {
+        fn check<W: TapeWord>(lane: usize) {
+            let vals = [Zero, One, X];
+            for &a in &vals {
+                for &b in &vals {
+                    let va = Pat::<W>::all_x().with_lane(lane, a);
+                    let vb = Pat::<W>::all_x().with_lane(lane, b);
+                    assert_eq!(va.and(vb).lane(lane), a & b, "and {a} {b}");
+                    assert_eq!(va.or(vb).lane(lane), a | b, "or {a} {b}");
+                    assert_eq!(va.xor(vb).lane(lane), a ^ b, "xor {a} {b}");
+                    assert_eq!(va.not().lane(lane), !a, "not {a}");
+                    for &s in &vals {
+                        let vs = Pat::<W>::splat(s);
+                        let expect = CellKind::Mux2.eval(&[a, b, s]);
+                        assert_eq!(
+                            Pat::mux(Pat::splat(a), Pat::splat(b), vs).lane(lane),
+                            expect,
+                            "mux {a} {b} {s}"
+                        );
+                    }
+                }
+            }
+        }
+        check::<u64>(17);
+        check::<W256>(17);
+        check::<W256>(200);
+    }
+
+    /// Small sequential circuit: enabled register + inverter cloud —
+    /// the same shape psim's unit tests use.
+    fn build() -> Netlist {
+        let mut b = NetlistBuilder::new("seq");
+        let d = b.input("d");
+        let en = b.input("en");
+        let q = b.net("q");
+        b.gate(CellKind::Dffe, "r", &[d, en], q);
+        let nq = b.gate_net(CellKind::Inv, "i", &[q]);
+        let o = b.gate_net(CellKind::And2, "a", &[nq, d]);
+        b.mark_output(o);
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn tape_agrees_with_interpretive_parallel_sim() {
+        let nl = build();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let prog = TapeProgram::<u64>::compile(&nl, &faults).expect("fits");
+        let mut tape = TapeSim::new(&prog);
+        let mut psim = ParallelFaultSim::new(&nl, &faults).expect("fits");
+        tape.reset_state(Zero);
+        psim.reset_state(Zero);
+        tape.track_activity(true);
+        psim.track_activity(true);
+        let stim = [
+            [One, Zero],
+            [One, One],
+            [Zero, One],
+            [X, One],
+            [One, X],
+            [Zero, Zero],
+        ];
+        for inputs in stim {
+            tape.set_inputs(&inputs);
+            psim.set_inputs(&inputs);
+            tape.eval();
+            psim.eval();
+            for net in nl.net_ids() {
+                let t = tape.value(net);
+                let p = psim.value(net);
+                assert_eq!((t.lo, t.hi), (p.lo, p.hi), "net {}", nl.net(net).name());
+            }
+            assert_eq!(tape.detected_mask(), psim.detected_mask());
+            assert_eq!(
+                tape.potentially_detected_mask(),
+                psim.potentially_detected_mask()
+            );
+            tape.clock();
+            psim.clock();
+        }
+        for lane in 0..tape.lanes() {
+            let t = tape.lane_activity(lane);
+            let p = psim.lane_activity(lane);
+            assert_eq!(t.net_toggles, p.net_toggles, "lane {lane}");
+            assert_eq!(t.clock_events, p.clock_events, "lane {lane}");
+            assert_eq!(t.cycles, p.cycles, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn wide_tape_lanes_agree_with_scalar_simulation() {
+        let nl = build();
+        // Pack the collapsed fault list several times over to exercise
+        // lanes past bit 63.
+        let base = StuckAt::enumerate_collapsed(&nl);
+        let faults: Vec<StuckAt> = base
+            .iter()
+            .cycle()
+            .take(base.len().clamp(80, MAX_WIDE_FAULTS))
+            .copied()
+            .collect();
+        let prog = TapeProgram::<W256>::compile(&nl, &faults).expect("fits");
+        let mut tape = TapeSim::new(&prog);
+        tape.track_activity(true);
+        tape.reset_state(Zero);
+        let mut scalars: Vec<CycleSim> = std::iter::once(CycleSim::new(&nl))
+            .chain(faults.iter().map(|&f| CycleSim::with_fault(&nl, f)))
+            .map(|mut s| {
+                s.track_activity(true);
+                s.reset_state(Zero);
+                s
+            })
+            .collect();
+        let stim = [[One, Zero], [Zero, One], [One, One], [X, One], [Zero, X]];
+        for inputs in stim {
+            tape.set_inputs(&inputs);
+            tape.eval();
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                s.set_inputs(&inputs);
+                s.eval();
+                for net in nl.net_ids() {
+                    assert_eq!(
+                        tape.value(net).lane(lane),
+                        s.value(net),
+                        "lane {lane} net {}",
+                        nl.net(net).name()
+                    );
+                }
+                s.clock();
+            }
+            tape.clock();
+        }
+        for (lane, s) in scalars.iter().enumerate() {
+            let got = tape.lane_activity(lane);
+            let want = s.activity();
+            assert_eq!(got.cycles, want.cycles, "lane {lane}");
+            assert_eq!(&got.net_toggles, &want.net_toggles, "lane {lane}");
+            assert_eq!(&got.clock_events, &want.clock_events, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn compile_rejects_oversized_packs() {
+        let nl = build();
+        let f = StuckAt::enumerate_collapsed(&nl)[0];
+        let too_many = vec![f; 64];
+        assert!(TapeProgram::<u64>::compile(&nl, &too_many).is_err());
+        let too_many_wide = vec![f; 256];
+        assert!(TapeProgram::<W256>::compile(&nl, &too_many_wide).is_err());
+        let fits = vec![f; 255];
+        assert!(TapeProgram::<W256>::compile(&nl, &fits).is_ok());
+    }
+
+    #[test]
+    fn detected_mask_flags_only_differing_lanes() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let o = b.gate_net(CellKind::Inv, "i", &[a]);
+        b.mark_output(o);
+        let nl = b.finish().expect("valid");
+        let g = nl.driver(nl.find_net("i_o").expect("net")).expect("gate");
+        let faults = vec![StuckAt::output(g, false), StuckAt::output(g, true)];
+        let prog = TapeProgram::<u64>::compile(&nl, &faults).expect("fits");
+        let mut sim = TapeSim::new(&prog);
+        sim.set_inputs(&[Zero]);
+        sim.eval();
+        // Fault-free output is 1, so only the s-a-0 lane differs.
+        assert_eq!(sim.detected_mask(), 0b01 << 1);
+    }
+}

@@ -375,3 +375,139 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The compiled op tape reproduces the interpretive parallel
+    /// simulator bit-for-bit — every net value on every lane every
+    /// cycle, the detection masks, and each lane's extracted activity —
+    /// over random netlists, random fault packings, and random
+    /// stimulus.
+    #[test]
+    fn tape_values_and_activity_equal_parallel_sim(
+        seed in 1u64..3000,
+        rot in any::<u64>(),
+        stimulus in proptest::collection::vec(0u8..8, 1..24),
+    ) {
+        use sfr_netlist::{TapeProgram, TapeSim};
+        let nl = random_seq(seed);
+        let all = StuckAt::enumerate_collapsed(&nl);
+        let start = (rot as usize) % all.len();
+        let batch: Vec<StuckAt> = all
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(all.len().min(63))
+            .copied()
+            .collect();
+        let prog = TapeProgram::<u64>::compile(&nl, &batch).expect("fits");
+        let mut tape = TapeSim::new(&prog);
+        tape.track_activity(true);
+        tape.reset_state(Logic::Zero);
+        let mut psim = ParallelFaultSim::new(&nl, &batch).expect("fits");
+        psim.track_activity(true);
+        psim.reset_state(Logic::Zero);
+        for &bits in &stimulus {
+            let inputs = [logic_of(bits, 0), logic_of(bits, 1), logic_of(bits, 2)];
+            tape.set_inputs(&inputs);
+            tape.eval();
+            psim.set_inputs(&inputs);
+            psim.eval();
+            for net in nl.net_ids() {
+                for lane in 0..=batch.len() {
+                    prop_assert_eq!(
+                        tape.value(net).lane(lane),
+                        psim.value(net).lane(lane),
+                        "net {} lane {}", nl.net(net).name(), lane
+                    );
+                }
+            }
+            prop_assert_eq!(tape.detected_mask(), psim.detected_mask());
+            prop_assert_eq!(
+                tape.potentially_detected_mask(),
+                psim.potentially_detected_mask()
+            );
+            tape.clock();
+            psim.clock();
+        }
+        for lane in 0..=batch.len() {
+            let got = tape.lane_activity(lane);
+            let want = psim.lane_activity(lane);
+            prop_assert_eq!(got.cycles, want.cycles, "lane {}", lane);
+            prop_assert_eq!(&got.net_toggles, &want.net_toggles, "lane {}", lane);
+            prop_assert_eq!(&got.clock_events, &want.clock_events, "lane {}", lane);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A wide (256-bit) tape packing more faults than one 64-lane word
+    /// can hold agrees with the interpretive simulator run chunk by
+    /// chunk: wide lane `1 + chunk_start + i` matches the chunk's lane
+    /// `1 + i`, and the shared lane 0 matches everywhere.
+    #[test]
+    fn wide_tape_lanes_equal_narrow_parallel_chunks(
+        seed in 1u64..3000,
+        stimulus in proptest::collection::vec(0u8..8, 1..12),
+    ) {
+        use sfr_netlist::{TapeProgram, TapeSim, W256};
+        let nl = random_seq(seed);
+        let all = StuckAt::enumerate_collapsed(&nl);
+        // Cycle the fault list to fill well past one 64-lane word.
+        let batch: Vec<StuckAt> = all.iter().cycle().take(100).copied().collect();
+        let prog = TapeProgram::<W256>::compile(&nl, &batch).expect("fits");
+        let mut wide = TapeSim::new(&prog);
+        wide.track_activity(true);
+        wide.reset_state(Logic::Zero);
+        let mut chunks: Vec<(usize, ParallelFaultSim)> = batch
+            .chunks(63)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let mut p = ParallelFaultSim::new(&nl, chunk).expect("fits");
+                p.track_activity(true);
+                p.reset_state(Logic::Zero);
+                (c * 63, p)
+            })
+            .collect();
+        for &bits in &stimulus {
+            let inputs = [logic_of(bits, 0), logic_of(bits, 1), logic_of(bits, 2)];
+            wide.set_inputs(&inputs);
+            wide.eval();
+            for (start, p) in chunks.iter_mut() {
+                p.set_inputs(&inputs);
+                p.eval();
+                for net in nl.net_ids() {
+                    let v = p.value(net);
+                    prop_assert_eq!(
+                        wide.value(net).lane(0),
+                        v.lane(0),
+                        "baseline, net {}", nl.net(net).name()
+                    );
+                    for i in 0..p.faults().len() {
+                        prop_assert_eq!(
+                            wide.value(net).lane(1 + *start + i),
+                            v.lane(1 + i),
+                            "net {} chunk lane {}", nl.net(net).name(), i
+                        );
+                    }
+                }
+            }
+            wide.clock();
+            for (_, p) in chunks.iter_mut() {
+                p.clock();
+            }
+        }
+        for (start, p) in &chunks {
+            for i in 0..p.faults().len() {
+                let got = wide.lane_activity(1 + start + i);
+                let want = p.lane_activity(1 + i);
+                prop_assert_eq!(got.cycles, want.cycles);
+                prop_assert_eq!(&got.net_toggles, &want.net_toggles);
+                prop_assert_eq!(&got.clock_events, &want.clock_events);
+            }
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //! *guaranteed* power increases: an extra load un-gates a register's clock
 //! for a cycle, spending clock energy even when the data does not change.
 
-use sfr_netlist::{Activity, ActivityMismatch, LaneActivity, Netlist};
+use sfr_netlist::{
+    Activity, ActivityMismatch, LaneActivity, LaneCounts, Netlist, TapeActivity, TapeWord,
+};
 
 /// Electrical operating point for power estimation.
 ///
@@ -142,6 +144,86 @@ pub fn power_from_lane_activity_where(
 ) -> Vec<PowerReport> {
     (0..act.lanes())
         .map(|lane| power_from_activity_where(nl, &act.lane(lane), cfg, &include))
+        .collect()
+}
+
+/// Converts a compiled-tape kernel's per-lane [`TapeActivity`] into one
+/// [`PowerReport`] per lane, restricted to the sub-circuit whose driver
+/// gates satisfy `include`.
+///
+/// Bit-identical to extracting each lane's [`Activity`] and calling
+/// [`power_from_activity_where`] on it, but one pass over the tape's
+/// sparse delta counters instead of `lanes` full extractions: per
+/// column the energy coefficient is computed once and every lane's
+/// accumulator receives its terms in the same order, with the same
+/// multiplications, as the per-lane reference — excluded or quiet
+/// columns contribute an exact `+0.0`, which leaves an IEEE-754 sum
+/// unchanged.
+pub fn power_from_tape_activity_where<W: TapeWord>(
+    nl: &Netlist,
+    act: &TapeActivity<W>,
+    cfg: &PowerConfig,
+    include: impl Fn(sfr_netlist::GateId) -> bool,
+) -> Vec<PowerReport> {
+    let lanes = act.lanes();
+    if act.cycles() == 0 {
+        return vec![PowerReport::default(); lanes];
+    }
+    let net_e: Vec<f64> = nl
+        .net_ids()
+        .map(|net| match nl.driver(net) {
+            Some(driver) if include(driver) => cfg.swing_energy_fj(nl.net_cap_ff(net)),
+            _ => 0.0,
+        })
+        .collect();
+    // Clock coefficients indexed by gate; combinational gates keep 0.0
+    // and report zero events, and `sequential_gates()` is ascending, so
+    // the index-order stream below adds each lane's nonzero clock terms
+    // in exactly the reference iteration order.
+    let mut clk_e = vec![0.0f64; nl.gate_count()];
+    for &g in nl.sequential_gates() {
+        if include(g) {
+            clk_e[g.index()] = cfg.swing_energy_fj(nl.gate(g).kind().clock_cap_ff());
+        }
+    }
+    let mut switching_fj = vec![0.0f64; lanes];
+    let mut clock_fj = vec![0.0f64; lanes];
+    let accumulate = |acc: &mut [f64], e: f64, counts: LaneCounts<'_>| {
+        if e == 0.0 {
+            return; // every lane's term is an exact +0.0
+        }
+        match counts {
+            LaneCounts::Uniform(c) => {
+                if c != 0 {
+                    let term = c as f64 * e;
+                    for a in acc.iter_mut() {
+                        *a += term;
+                    }
+                }
+            }
+            LaneCounts::PerLane(counts) => {
+                for (a, &c) in acc.iter_mut().zip(counts) {
+                    *a += c as f64 * e;
+                }
+            }
+        }
+    };
+    act.for_each_net_count(|net, counts| accumulate(&mut switching_fj, net_e[net], counts));
+    act.for_each_clock_count(|gate, counts| accumulate(&mut clock_fj, clk_e[gate], counts));
+    let scale = cfg.freq_hz / act.cycles() as f64 * 1e-9;
+    switching_fj
+        .iter()
+        .zip(&clock_fj)
+        .map(|(&s, &c)| {
+            let switching_uw = s * scale;
+            let clock_uw = c * scale;
+            PowerReport {
+                total_uw: switching_uw + clock_uw,
+                switching_uw,
+                clock_uw,
+                cycles: act.cycles(),
+            }
+        })
         .collect()
 }
 

@@ -13,13 +13,20 @@ cd "$(dirname "$0")/.."
 
 cargo bench -p sfr-bench --bench grade_throughput -- "$@"
 
+# The quick smoke writes its numbers to a scratch file so it never
+# clobbers the committed full-mode BENCH_grade.json.
+JSON=BENCH_grade.json
+for arg in "$@"; do
+    [ "$arg" = "--quick" ] && JSON="${TMPDIR:-/tmp}/BENCH_grade_quick.json"
+done
+
 echo
-echo "== BENCH_grade.json =="
-cat BENCH_grade.json
+echo "== $JSON =="
+cat "$JSON"
 
 # The observability contract: an enabled trace sink must cost under 2%
 # (events aggregate per worker and flush at pack boundaries). Single
 # runs are noisy, so the number is recorded rather than gated on.
-overhead=$(sed -n 's/.*"trace_overhead_pct": \([-0-9.]*\).*/\1/p' BENCH_grade.json)
+overhead=$(sed -n 's/.*"trace_overhead_pct": \([-0-9.]*\).*/\1/p' "$JSON")
 echo
 echo "tracing overhead: ${overhead}% (target < 2%)"

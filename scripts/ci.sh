@@ -53,6 +53,31 @@ done
 rm -rf "$PRUNE_DIR"
 echo "   pruned grade tables are byte-identical at 1/2/8 threads"
 
+echo "== tape kernel equivalence (diffeq, --engine tape / tape-wide) =="
+TAPE_DIR="$(mktemp -d)"
+# The manifest fingerprint covers only deterministic fields, so it must
+# match across engines, as must the grade table on stdout.
+manifest_fp() { sed -n 's/.*"fingerprint": "\(0x[0-9a-f]*\)".*/\1/p' "$1"; }
+"$SFR" grade diffeq --patterns 600 \
+    --manifest-out "$TAPE_DIR/lane-manifest.json" --quiet \
+    > "$TAPE_DIR/lane.out" 2>/dev/null
+for t in 1 2 8; do
+    "$SFR" grade diffeq --patterns 600 --engine tape --threads "$t" \
+        --manifest-out "$TAPE_DIR/tape-$t-manifest.json" --quiet \
+        > "$TAPE_DIR/tape-$t.out" 2>/dev/null
+    diff "$TAPE_DIR/lane.out" "$TAPE_DIR/tape-$t.out"
+    [ "$(manifest_fp "$TAPE_DIR/lane-manifest.json")" = \
+      "$(manifest_fp "$TAPE_DIR/tape-$t-manifest.json")" ]
+done
+"$SFR" grade diffeq --patterns 600 --engine tape-wide --threads 2 \
+    --manifest-out "$TAPE_DIR/tape-wide-manifest.json" --quiet \
+    > "$TAPE_DIR/tape-wide.out" 2>/dev/null
+diff "$TAPE_DIR/lane.out" "$TAPE_DIR/tape-wide.out"
+[ "$(manifest_fp "$TAPE_DIR/lane-manifest.json")" = \
+  "$(manifest_fp "$TAPE_DIR/tape-wide-manifest.json")" ]
+rm -rf "$TAPE_DIR"
+echo "   tape grade tables and manifest fingerprints match interpretive at 1/2/8 threads (and tape-wide)"
+
 echo "== observability equivalence (diffeq: trace + metrics + manifest) =="
 OBS_DIR="$(mktemp -d)"
 "$SFR" grade diffeq --patterns 600 > "$OBS_DIR/plain.out" 2>/dev/null

@@ -1,15 +1,18 @@
 //! `sfr` — command-line front end for the sfr-power workspace.
 //!
 //! ```text
-//! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--static-prune]
-//! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--static-prune]
-//!                             [--checkpoint FILE] [--resume FILE] [--cycle-budget N]
+//! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--engine NAME]
+//!                             [--static-prune]
+//! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--engine NAME]
+//!                             [--static-prune] [--checkpoint FILE] [--resume FILE]
+//!                             [--cycle-budget N]
 //! sfr lint        <benchmark>|--fixture [--width N]
 //! sfr stats       <benchmark> [--width N]
 //! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
 //! sfr verilog     <benchmark> [--width N] [--out FILE]
 //! sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]
-//! sfr table2      [--patterns N] [--threads N]
+//!                             [--engine NAME]
+//! sfr table2      [--patterns N] [--threads N] [--engine NAME]
 //! ```
 //!
 //! `<benchmark>` is one of `diffeq`, `facet`, `poly`, `fir`.
@@ -19,6 +22,13 @@
 //! at every thread count. A campaign summary — faults simulated and
 //! dropped, Monte Carlo convergence, wall time per phase — is printed
 //! to stderr.
+//!
+//! `--engine NAME` picks the simulation kernel: `serial`, `lane`,
+//! `threaded` (the interpretive simulators), `tape` (the compiled
+//! levelized op-tape kernel, byte-identical output to the interpretive
+//! engines), or `tape-wide` (the 256-bit tape packing 255 faults per
+//! pass; identical tables, pack-granular trace records differ). The
+//! default is chosen from `--threads` as before.
 //!
 //! `grade` supports crash-safe campaigns: `--checkpoint FILE` records
 //! every completed work pack to an fsynced journal, `--resume FILE`
@@ -62,19 +72,22 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--static-prune]\n  \
-         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--static-prune]\n                  \
-         [--checkpoint FILE] [--resume FILE] [--cycle-budget N]\n  \
+        "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--engine NAME]\n                  \
+         [--static-prune]\n  \
+         sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--engine NAME]\n                  \
+         [--static-prune] [--checkpoint FILE] [--resume FILE] [--cycle-budget N]\n  \
          sfr lint        <benchmark>|--fixture [--width N]\n  \
          sfr stats       <benchmark> [--width N]\n  \
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
-         sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]\n  \
-         sfr table2      [--patterns N] [--threads N]\n  \
+         sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]\n                  \
+         [--engine NAME]\n  \
+         sfr table2      [--patterns N] [--threads N] [--engine NAME]\n  \
          sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n\
          observability (classify/grade/testprogram): [--trace-out FILE] [--metrics-out FILE]\n                  \
          [--manifest-out FILE] [--force] [--quiet]\n\
-         benchmarks: diffeq | facet | poly | fir"
+         benchmarks: diffeq | facet | poly | fir\n\
+         engines: serial | lane | threaded | tape | tape-wide (default from --threads)"
     );
     ExitCode::FAILURE
 }
@@ -239,11 +252,17 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --threads"))
         .transpose()?
         .unwrap_or(1);
-    let engine = EngineKind::for_threads(if threads == 0 {
+    let eff_threads = if threads == 0 {
         sfr_power::exec::default_threads()
     } else {
         threads
-    });
+    };
+    let engine = match args.flag("--engine") {
+        Some(name) => EngineKind::parse(&name, eff_threads).ok_or_else(|| {
+            format!("unknown engine `{name}` (serial|lane|threaded|tape|tape-wide)")
+        })?,
+        None => EngineKind::for_threads(eff_threads),
+    };
     let static_prune = args.switch("--static-prune");
     let fault_spec = args.flag("--fault");
     let out_file = args.flag("--out");
@@ -303,6 +322,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 .threshold_pct(threshold)
                 .static_prune(static_prune)
                 .threads(threads)
+                .engine(engine)
                 .force(force);
             if let Some(path) = checkpoint {
                 builder = builder.checkpoint(path);
@@ -461,6 +481,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let mut builder = StudyBuilder::from_emitted(&name, emitted)
                 .test_patterns(patterns)
                 .threads(threads)
+                .engine(engine)
                 .force(force);
             if let Some(path) = &manifest_out {
                 builder = builder.manifest_out(path);

@@ -3,15 +3,19 @@
 //! Monte Carlo mean, percentage change and flag must be **bit-identical**
 //! between `grade_faults_scalar_with` and `grade_faults_with`, at every
 //! thread count, and the per-test-set measurement must agree
-//! fault-for-fault with the scalar simulator.
+//! fault-for-fault with the scalar simulator. The compiled tape kernels
+//! (`SimKernel::Tape` / `SimKernel::TapeWide`) are held to the same
+//! contract: identical grades at every thread count, and per-test-set
+//! reports identical to the interpretive lane simulator.
 
 #![allow(clippy::unwrap_used)]
 
-use sfr_power::exec::NullProgress;
+use sfr_power::exec::{NullProgress, SimKernel};
 use sfr_power::{
     benchmarks, classify_system, grade_faults_scalar_with, grade_faults_with,
-    measure_power_lanes_with_testset, measure_power_with_testset, ClassifyConfig, GradeConfig,
-    MonteCarloConfig, StuckAt, System, SystemConfig, TestSet,
+    grade_faults_with_kernel, measure_power_lanes_with_testset, measure_power_tape_watched,
+    measure_power_with_testset, ClassifyConfig, GradeConfig, MonteCarloConfig, StuckAt, System,
+    SystemConfig, TapeProgram, TestSet, W256,
 };
 
 fn quick_grade_cfg() -> GradeConfig {
@@ -59,6 +63,51 @@ fn lane_packed_grades_are_bit_identical_to_scalar_at_every_thread_count() {
             assert_eq!(g.flagged, r.flagged, "{:?}", g.fault);
         }
     }
+}
+
+#[test]
+fn tape_kernel_grades_are_bit_identical_to_scalar_at_every_thread_count() {
+    let (sys, faults) = diffeq_sfr();
+    let cfg = quick_grade_cfg();
+    let (base_ref, grades_ref) = grade_faults_scalar_with(&sys, &faults, &cfg, 1, &NullProgress);
+    for kernel in [SimKernel::Tape, SimKernel::TapeWide] {
+        for threads in [1, 2, 8] {
+            let (base, grades) =
+                grade_faults_with_kernel(&sys, &faults, &cfg, threads, &NullProgress, kernel);
+            assert_eq!(
+                base.mean_uw, base_ref.mean_uw,
+                "baseline, {kernel:?}, {threads} threads"
+            );
+            assert_eq!(base.batches, base_ref.batches);
+            assert_eq!(grades.len(), grades_ref.len());
+            for (g, r) in grades.iter().zip(&grades_ref) {
+                assert_eq!(g.fault, r.fault);
+                assert_eq!(
+                    g.mean_uw, r.mean_uw,
+                    "{:?}, {kernel:?}, {threads} threads",
+                    g.fault
+                );
+                assert_eq!(g.pct_change, r.pct_change, "{:?}, {kernel:?}", g.fault);
+                assert_eq!(g.flagged, r.flagged, "{:?}, {kernel:?}", g.fault);
+            }
+        }
+    }
+}
+
+#[test]
+fn table3_tape_measurement_matches_interpretive_fault_for_fault() {
+    let (sys, faults) = diffeq_sfr();
+    let cfg = quick_grade_cfg();
+    let ts = TestSet::pseudorandom(sys.pattern_width(), 200, 0xB007).expect("test set");
+    let pack = &faults[..faults.len().min(63)];
+    let want = measure_power_lanes_with_testset(&sys, pack, &ts, &cfg).expect("packed");
+    let prog = TapeProgram::<u64>::compile(&sys.netlist, pack).expect("compiles");
+    let (got, _) = measure_power_tape_watched(&sys, &prog, &ts, &cfg);
+    assert_eq!(want, got, "64-bit tape reports");
+    let wprog = TapeProgram::<W256>::compile(&sys.netlist, &faults).expect("compiles");
+    let (wgot, _) = measure_power_tape_watched(&sys, &wprog, &ts, &cfg);
+    assert_eq!(wgot.len(), faults.len() + 1);
+    assert_eq!(want[..], wgot[..want.len()], "wide tape lane prefix");
 }
 
 #[test]
