@@ -649,6 +649,106 @@ fn run_pack_tape<W: TapeWord>(
     })
 }
 
+/// Lane capacity of one grade pack under `kernel` — the number of
+/// faults that share a simulation pass with the fault-free baseline on
+/// lane 0. This is the unit of work a distributed campaign hands out:
+/// pack `p` covers `faults[p*cap .. (p+1)*cap]`.
+pub fn grade_pack_capacity(kernel: SimKernel) -> usize {
+    match kernel {
+        SimKernel::Interpretive | SimKernel::Tape => MAX_PARALLEL_FAULTS,
+        SimKernel::TapeWide => MAX_WIDE_FAULTS,
+    }
+}
+
+/// Number of grade packs `n_faults` faults occupy under `kernel`.
+/// Pack 0 always exists — with no faults to grade it still carries the
+/// fault-free baseline on lane 0.
+pub fn grade_pack_count(n_faults: usize, kernel: SimKernel) -> usize {
+    n_faults.div_ceil(grade_pack_capacity(kernel)).max(1)
+}
+
+/// The fault slice of pack `pack` under `kernel` (empty for the
+/// baseline-only pack 0 of an empty fault universe, and for any pack
+/// index past the end).
+pub fn grade_pack_slice(faults: &[StuckAt], pack: usize, kernel: SimKernel) -> &[StuckAt] {
+    let cap = grade_pack_capacity(kernel);
+    let lo = pack.saturating_mul(cap).min(faults.len());
+    let hi = pack.saturating_add(1).saturating_mul(cap).min(faults.len());
+    &faults[lo..hi]
+}
+
+/// One pack's full Monte Carlo estimation on `kernel`: per-lane results
+/// (lane 0 fault-free first), the accumulated watchdog stall mask, and
+/// the simulated cycle count. Pure function of `(sys, pack, cfg,
+/// kernel)` — every caller (local grading, a remote shard worker)
+/// produces bit-identical words for the same pack.
+fn run_pack(
+    sys: &System,
+    pack: &[StuckAt],
+    cfg: &GradeConfig,
+    kernel: SimKernel,
+) -> (Vec<MonteCarloResult>, Vec<u64>, u64) {
+    let mut stalls = vec![0u64; pack.len().div_ceil(64).max(1)];
+    let mut cycles = 0u64;
+    let results = match kernel {
+        SimKernel::Interpretive => run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+            let (reports, batch_stalls) =
+                mc_batch_lanes(sys, pack, cfg, batch).expect("packs never exceed the lane limit");
+            stalls[0] |= batch_stalls;
+            // All lanes share one schedule; lane 0's cycle count is
+            // the pack's per-batch simulation cost.
+            cycles += reports[0].cycles;
+            reports
+        }),
+        SimKernel::Tape => run_pack_tape::<u64>(sys, pack, cfg, &mut stalls, &mut cycles),
+        SimKernel::TapeWide => run_pack_tape::<W256>(sys, pack, cfg, &mut stalls, &mut cycles),
+    };
+    (results, stalls, cycles)
+}
+
+/// Computes pack `pack` of `faults` exactly as
+/// [`grade_faults_journaled_with_kernel`] would and returns the journal
+/// payload words — the byte-exact [`RecordKind::GradePack`] record a
+/// shard coordinator merges via [`CampaignJournal::record`]. Panics in
+/// the simulation are retried once and then normalized into a
+/// quarantine payload, mirroring the local path, so a remote worker
+/// reports a poisoned pack instead of crashing the campaign.
+pub fn compute_pack_payload(
+    sys: &System,
+    faults: &[StuckAt],
+    pack: usize,
+    cfg: &GradeConfig,
+    kernel: SimKernel,
+) -> Vec<u64> {
+    let slice = grade_pack_slice(faults, pack, kernel);
+    let wide = grade_pack_capacity(kernel) > MAX_PARALLEL_FAULTS;
+    let outcome = par_map_indexed_caught(1, 1, |_| run_pack(sys, slice, cfg, kernel))
+        .into_iter()
+        .next()
+        .expect("one task was submitted");
+    match outcome {
+        Ok((results, stalls, _cycles)) => encode_pack(&results, &stalls, wide),
+        Err(panic) => encode_quarantine(&panic.message),
+    }
+}
+
+/// Coordinator-side shape check for a pack payload received over the
+/// wire: `true` iff `words` decode as a computed or quarantined record
+/// for pack `pack` of `faults` under `kernel`. Recording an arbitrary
+/// payload would poison the journal with an undecodable (or worse,
+/// wrong-shaped-but-decodable) record, so garbage from a confused
+/// worker is rejected before it reaches the merge path.
+pub fn validate_pack_payload(
+    words: &[u64],
+    faults: &[StuckAt],
+    pack: usize,
+    kernel: SimKernel,
+) -> bool {
+    let slice = grade_pack_slice(faults, pack, kernel);
+    let wide = grade_pack_capacity(kernel) > MAX_PARALLEL_FAULTS;
+    decode_pack(words, slice.len() + 1, wide).is_some()
+}
+
 /// [`grade_faults_journaled`] with an explicit simulation kernel.
 ///
 /// The kernel selects both the per-batch simulator and the pack width:
@@ -682,10 +782,7 @@ pub fn grade_faults_journaled_with_kernel(
     kernel: SimKernel,
 ) -> GradeReport {
     let _timer = PhaseTimer::start(progress, Phase::Grade);
-    let capacity = match kernel {
-        SimKernel::Interpretive | SimKernel::Tape => MAX_PARALLEL_FAULTS,
-        SimKernel::TapeWide => MAX_WIDE_FAULTS,
-    };
+    let capacity = grade_pack_capacity(kernel);
     let wide = capacity > MAX_PARALLEL_FAULTS;
     // Pack 0 always exists — with no faults to grade it still carries
     // the baseline on lane 0.
@@ -713,21 +810,7 @@ pub fn grade_faults_journaled_with_kernel(
         // Cycle and wall-time accounting stays worker-local and is
         // flushed once per pack — the hot lane loop never observes it.
         let started = std::time::Instant::now();
-        let mut stalls = vec![0u64; pack.len().div_ceil(64).max(1)];
-        let mut cycles = 0u64;
-        let results = match kernel {
-            SimKernel::Interpretive => run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
-                let (reports, batch_stalls) = mc_batch_lanes(sys, pack, cfg, batch)
-                    .expect("packs never exceed the lane limit");
-                stalls[0] |= batch_stalls;
-                // All lanes share one schedule; lane 0's cycle count is
-                // the pack's per-batch simulation cost.
-                cycles += reports[0].cycles;
-                reports
-            }),
-            SimKernel::Tape => run_pack_tape::<u64>(sys, pack, cfg, &mut stalls, &mut cycles),
-            SimKernel::TapeWide => run_pack_tape::<W256>(sys, pack, cfg, &mut stalls, &mut cycles),
-        };
+        let (results, stalls, cycles) = run_pack(sys, pack, cfg, kernel);
         if let Some(j) = journal {
             j.record(
                 RecordKind::GradePack,

@@ -66,11 +66,12 @@ mod table;
 mod testutil;
 
 pub use grade::{
-    grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
-    grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel,
-    measure_power_lanes_watched, measure_power_lanes_with_testset, measure_power_monte_carlo,
-    measure_power_monte_carlo_par, measure_power_tape_watched, measure_power_tape_watched_with,
-    measure_power_with_testset, GradeConfig, GradeIncident, GradeReport, PowerGrade,
+    compute_pack_payload, grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
+    grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel, grade_pack_capacity,
+    grade_pack_count, grade_pack_slice, measure_power_lanes_watched,
+    measure_power_lanes_with_testset, measure_power_monte_carlo, measure_power_monte_carlo_par,
+    measure_power_tape_watched, measure_power_tape_watched_with, measure_power_with_testset,
+    validate_pack_payload, GradeConfig, GradeIncident, GradeReport, PowerGrade,
 };
 pub use oracle::{judge, Mismatch, Verdict, HOLD_OBSERVE_CYCLES, LOOP_DEPTHS};
 pub use pipeline::{

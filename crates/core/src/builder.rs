@@ -424,6 +424,45 @@ impl PreparedStudy {
         self.threads
     }
 
+    /// The campaign fingerprint: a stable 64-bit digest of everything
+    /// that determines results (design, width, classify and grade
+    /// settings — deliberately not threads or engine). Two prepared
+    /// studies with equal fingerprints produce bit-identical packs; a
+    /// shard coordinator uses this to reject workers built from a
+    /// different configuration.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The fault-simulation engine the run will use.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The grading configuration (after [`StudyBuilder::cycle_budget`]
+    /// resolution against the built system).
+    pub fn grade_config(&self) -> &GradeConfig {
+        &self.cfg.grade
+    }
+
+    /// Runs classification only and returns the SFR faults in grading
+    /// order — the fault universe a shard coordinator distributes as
+    /// grade packs. Completed fault-simulation chunks are recorded to
+    /// the configured journal, so a later [`run_with`](Self::run_with)
+    /// on the same journal restores classification instead of
+    /// re-simulating, and its SFR order matches this one bit-exactly.
+    pub fn classify_sfr(&self, progress: &dyn Progress) -> Vec<sfr_netlist::StuckAt> {
+        let engine = self.engine.build();
+        let (classification, _quarantined) = sfr_classify::classify_system_journaled(
+            &self.system,
+            &self.cfg.classify,
+            engine.as_ref(),
+            progress,
+            self.journal.as_ref(),
+        );
+        classification.sfr().map(|f| f.fault).collect()
+    }
+
     /// Runs classification and power grading to completion.
     pub fn run(self) -> Study {
         self.run_with(&NullProgress)

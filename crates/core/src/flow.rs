@@ -210,6 +210,7 @@ pub(crate) fn execute_study(
         });
     }
     if let Some(message) = journal.and_then(CampaignJournal::degradation) {
+        progress.event(sfr_exec::ProgressEvent::JournalDegraded);
         if progress.wants_records() {
             progress.record(&sfr_exec::TraceRecord::JournalDegraded {
                 message: message.clone(),

@@ -92,11 +92,12 @@ pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, Wors
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
     analyze_controller_fault, classify_system, classify_system_journaled, classify_system_with,
-    grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
-    grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel, judge, judge_by_rules,
-    measure_power_lanes_watched, measure_power_lanes_with_testset, measure_power_monte_carlo,
-    measure_power_monte_carlo_par, measure_power_tape_watched, measure_power_tape_watched_with,
-    measure_power_with_testset, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
+    compute_pack_payload, grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
+    grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel, grade_pack_capacity,
+    grade_pack_count, grade_pack_slice, judge, judge_by_rules, measure_power_lanes_watched,
+    measure_power_lanes_with_testset, measure_power_monte_carlo, measure_power_monte_carlo_par,
+    measure_power_tape_watched, measure_power_tape_watched_with, measure_power_with_testset,
+    validate_pack_payload, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
     ControllerBehavior, EffectClass, FaultClass, GradeConfig, GradeIncident, GradeReport, Mismatch,
     PowerGrade, RuleVerdict, SfiReason, Verdict,
 };

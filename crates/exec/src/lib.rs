@@ -213,6 +213,9 @@ pub enum Phase {
     Analyze,
     /// Monte Carlo power grading of the SFR faults.
     Grade,
+    /// Distributed pack distribution: the shard coordinator handing out
+    /// grade-pack leases to remote workers and merging their results.
+    Shard,
 }
 
 impl Phase {
@@ -225,6 +228,7 @@ impl Phase {
             Phase::FaultSim => "faultsim",
             Phase::Analyze => "analyze",
             Phase::Grade => "grade",
+            Phase::Shard => "shard",
         }
     }
 }
@@ -312,6 +316,23 @@ pub enum ProgressEvent {
     /// The static-analysis pre-pass classified one fault without
     /// simulation, pruning it from the campaign fault list.
     FaultPruned,
+    /// The checkpoint journal hit a write-side I/O error and degraded
+    /// to in-memory operation (the message travels in the incident
+    /// list and the structured [`TraceRecord::JournalDegraded`]).
+    JournalDegraded,
+    /// A shard worker completed its handshake with the coordinator.
+    ShardWorkerConnected,
+    /// The shard coordinator granted one pack lease to a worker.
+    ShardLeaseGranted,
+    /// A pack lease expired (missed heartbeats / deadline) and the pack
+    /// was queued for reassignment.
+    ShardLeaseExpired,
+    /// A result arrived under a stale (expired or superseded) lease and
+    /// was fenced off instead of merged.
+    ShardResultFenced,
+    /// A pack re-entered the queue under exponential backoff after its
+    /// lease expired.
+    ShardBackoff,
 }
 
 /// Which kind of campaign work a structured record describes.
@@ -422,6 +443,22 @@ pub enum TraceRecord {
     JournalDegraded {
         /// The I/O failure description.
         message: String,
+    },
+    /// One shard coordination event: a lease granted, expired, or
+    /// fenced, a worker joining or leaving. Cross-linked to the journal
+    /// record the pack merges into, so an incident in a distributed run
+    /// points straight at the checkpoint entry that replays it.
+    Shard {
+        /// Worker id the event concerns (coordinator-assigned).
+        worker: u64,
+        /// What happened (`"connected"`, `"granted"`, `"expired"`,
+        /// `"fenced"`, `"merged"`, `"disconnected"`, `"backoff"`).
+        action: &'static str,
+        /// The grade pack involved, when the event is pack-scoped.
+        pack: Option<usize>,
+        /// The checkpoint-journal record key (`"grade/3"`) the pack
+        /// merges into, when the campaign is journaled.
+        journal_key: Option<String>,
     },
     /// Free-form annotation (campaign metadata, tool chatter that
     /// previously went to stderr).
@@ -580,6 +617,18 @@ pub struct CounterState {
     /// Faults the static-analysis pre-pass classified without
     /// simulation.
     pub faults_pruned: usize,
+    /// Times the checkpoint journal degraded to in-memory operation.
+    pub journal_degraded: usize,
+    /// Shard workers that completed the coordinator handshake.
+    pub shard_workers: usize,
+    /// Pack leases the shard coordinator granted.
+    pub shard_leases_granted: usize,
+    /// Pack leases that expired and were queued for reassignment.
+    pub shard_leases_expired: usize,
+    /// Results fenced off for arriving under a stale lease.
+    pub shard_results_fenced: usize,
+    /// Packs re-queued under exponential backoff.
+    pub shard_backoffs: usize,
     /// Simulated cycles accounted by completed packs/chunks.
     pub cycles_simulated: u64,
     /// Wall time per completed phase, in completion order.
@@ -608,6 +657,12 @@ impl CounterState {
             faults_restored: self.faults_restored - earlier.faults_restored,
             budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
             faults_pruned: self.faults_pruned - earlier.faults_pruned,
+            journal_degraded: self.journal_degraded - earlier.journal_degraded,
+            shard_workers: self.shard_workers - earlier.shard_workers,
+            shard_leases_granted: self.shard_leases_granted - earlier.shard_leases_granted,
+            shard_leases_expired: self.shard_leases_expired - earlier.shard_leases_expired,
+            shard_results_fenced: self.shard_results_fenced - earlier.shard_results_fenced,
+            shard_backoffs: self.shard_backoffs - earlier.shard_backoffs,
             cycles_simulated: self.cycles_simulated - earlier.cycles_simulated,
             phase_times: self.phase_times[earlier.phase_times.len()..].to_vec(),
         }
@@ -672,6 +727,24 @@ impl std::fmt::Display for CounterState {
                 f,
                 "watchdog: {} fault(s) exhausted their cycle budget",
                 self.budget_exhausted
+            )?;
+        }
+        if self.journal_degraded > 0 {
+            writeln!(
+                f,
+                "journal: degraded to in-memory operation {} time(s) — campaign NOT checkpointed",
+                self.journal_degraded
+            )?;
+        }
+        if self.shard_workers + self.shard_leases_granted > 0 {
+            writeln!(
+                f,
+                "shard: {} worker(s), {} lease(s) granted, {} expired, {} fenced, {} backoff(s)",
+                self.shard_workers,
+                self.shard_leases_granted,
+                self.shard_leases_expired,
+                self.shard_results_fenced,
+                self.shard_backoffs
             )?;
         }
         for (phase, elapsed) in &self.phase_times {
@@ -739,6 +812,12 @@ impl Progress for Counters {
             }
             ProgressEvent::BudgetExhausted => s.budget_exhausted += 1,
             ProgressEvent::FaultPruned => s.faults_pruned += 1,
+            ProgressEvent::JournalDegraded => s.journal_degraded += 1,
+            ProgressEvent::ShardWorkerConnected => s.shard_workers += 1,
+            ProgressEvent::ShardLeaseGranted => s.shard_leases_granted += 1,
+            ProgressEvent::ShardLeaseExpired => s.shard_leases_expired += 1,
+            ProgressEvent::ShardResultFenced => s.shard_results_fenced += 1,
+            ProgressEvent::ShardBackoff => s.shard_backoffs += 1,
         }
     }
 }

@@ -210,6 +210,9 @@ struct JournalState {
     /// First write-side failure, if any; once set, persistence stops and the
     /// journal runs in-memory only.
     degraded: Option<String>,
+    /// Set when [`CampaignJournal::open`] recovered from a torn final line
+    /// (crash-truncated or CRC-failing tail) by dropping it.
+    torn_tail: Option<String>,
 }
 
 /// An append-only, checksummed, atomically-persisted checkpoint journal.
@@ -243,6 +246,7 @@ impl CampaignJournal {
                 records: BTreeMap::new(),
                 order: Vec::new(),
                 degraded: None,
+                torn_tail: None,
             }),
         };
         let state = journal.lock();
@@ -255,6 +259,13 @@ impl CampaignJournal {
     }
 
     /// Open an existing journal, verifying magic and per-line checksums.
+    ///
+    /// A damaged **final** line — the signature of a crash- or
+    /// storage-truncated tail — is tolerated: the tail is dropped (that
+    /// unit of work recomputes), the truncated journal is persisted back
+    /// to disk, and [`Self::torn_tail`] reports what happened. Damage
+    /// anywhere else still rejects the file as
+    /// [`JournalError::Corrupt`].
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
         let path = path.into();
         let mut text = String::new();
@@ -264,7 +275,22 @@ impl CampaignJournal {
                 path: path.clone(),
                 source,
             })?;
-        Self::parse(path, &text)
+        let journal = Self::parse(path, &text)?;
+        {
+            let mut state = journal.lock();
+            if state.torn_tail.is_some() {
+                // Persist the recovery so the damaged line never has to
+                // be re-dropped; a write failure here degrades exactly
+                // like a failed record() — the campaign still runs.
+                if let Err(err) = journal.persist(&state) {
+                    state.degraded = Some(format!(
+                        "checkpoint persistence disabled after I/O error on {}: {err}",
+                        journal.path.display()
+                    ));
+                }
+            }
+        }
+        Ok(journal)
     }
 
     /// Open `path` if it exists (validating its fingerprint against
@@ -319,72 +345,40 @@ impl CampaignJournal {
         let mut label = String::new();
         let mut records = BTreeMap::new();
         let mut order = Vec::new();
+        let mut torn_tail = None;
 
-        for (idx, line) in lines {
+        let body_lines: Vec<(usize, &str)> = lines.collect();
+        let last_nonempty = body_lines.iter().rposition(|(_, l)| !l.is_empty());
+        for (pos, &(idx, line)) in body_lines.iter().enumerate() {
             let lineno = idx + 1;
             if line.is_empty() {
                 continue;
             }
-            let (crc_field, body) = line
-                .split_once(' ')
-                .ok_or_else(|| corrupt(lineno, "missing checksum field".to_string()))?;
-            let crc = u32::from_str_radix(crc_field, 16)
-                .map_err(|_| corrupt(lineno, format!("bad checksum field {crc_field:?}")))?;
-            let actual = crc32(body.as_bytes());
-            if crc != actual {
-                return Err(corrupt(
-                    lineno,
-                    format!("checksum mismatch: stored {crc:08x}, computed {actual:08x}"),
-                ));
-            }
-            let mut fields = body.split(' ');
-            match fields.next() {
-                Some("H") => {
-                    let fp_field = fields
-                        .next()
-                        .ok_or_else(|| corrupt(lineno, "header missing fingerprint".into()))?;
-                    let fp = u64::from_str_radix(fp_field, 16)
-                        .map_err(|_| corrupt(lineno, format!("bad fingerprint {fp_field:?}")))?;
-                    fingerprint = Some(fp);
-                    label = fields.collect::<Vec<_>>().join(" ");
+            let parsed = Self::parse_line(
+                &corrupt,
+                lineno,
+                line,
+                &mut fingerprint,
+                &mut label,
+                &mut records,
+                &mut order,
+            );
+            if let Err(err) = parsed {
+                // A damaged *final* record line is the signature of a
+                // crash-truncated (or storage-torn) tail: everything
+                // before it checks out, so the journal recovers by
+                // dropping the tail — that one unit of work simply
+                // recomputes. Damage anywhere else (or before a valid
+                // header exists) still rejects the file.
+                if Some(pos) == last_nonempty && fingerprint.is_some() {
+                    let detail = match &err {
+                        JournalError::Corrupt { message, .. } => message.clone(),
+                        other => other.to_string(),
+                    };
+                    torn_tail = Some(format!("dropped torn final line {lineno}: {detail}"));
+                    break;
                 }
-                Some("R") => {
-                    let kind_field = fields
-                        .next()
-                        .ok_or_else(|| corrupt(lineno, "record missing kind".into()))?;
-                    let kind = RecordKind::from_tag(kind_field)
-                        .ok_or_else(|| corrupt(lineno, format!("unknown kind {kind_field:?}")))?;
-                    let id_field = fields
-                        .next()
-                        .ok_or_else(|| corrupt(lineno, "record missing id".into()))?;
-                    let id = u64::from_str_radix(id_field, 16)
-                        .map_err(|_| corrupt(lineno, format!("bad id {id_field:?}")))?;
-                    let n_field = fields
-                        .next()
-                        .ok_or_else(|| corrupt(lineno, "record missing length".into()))?;
-                    let n = usize::from_str_radix(n_field, 16)
-                        .map_err(|_| corrupt(lineno, format!("bad length {n_field:?}")))?;
-                    let mut words = Vec::with_capacity(n);
-                    for w in fields {
-                        let word = u64::from_str_radix(w, 16)
-                            .map_err(|_| corrupt(lineno, format!("bad word {w:?}")))?;
-                        words.push(word);
-                    }
-                    if words.len() != n {
-                        return Err(corrupt(
-                            lineno,
-                            format!("length says {n} words, line has {}", words.len()),
-                        ));
-                    }
-                    let key = (kind, id);
-                    if records.insert(key, words).is_none() {
-                        order.push(key);
-                    }
-                }
-                Some(other) => {
-                    return Err(corrupt(lineno, format!("unknown line tag {other:?}")));
-                }
-                None => return Err(corrupt(lineno, "blank body".into())),
+                return Err(err);
             }
         }
 
@@ -402,8 +396,84 @@ impl CampaignJournal {
                 records,
                 order,
                 degraded: None,
+                torn_tail,
             }),
         })
+    }
+
+    /// Parses one non-empty journal line into the accumulating state.
+    #[allow(clippy::too_many_arguments)]
+    fn parse_line(
+        corrupt: &dyn Fn(usize, String) -> JournalError,
+        lineno: usize,
+        line: &str,
+        fingerprint: &mut Option<u64>,
+        label: &mut String,
+        records: &mut BTreeMap<(RecordKind, u64), Vec<u64>>,
+        order: &mut Vec<(RecordKind, u64)>,
+    ) -> Result<(), JournalError> {
+        let (crc_field, body) = line
+            .split_once(' ')
+            .ok_or_else(|| corrupt(lineno, "missing checksum field".to_string()))?;
+        let crc = u32::from_str_radix(crc_field, 16)
+            .map_err(|_| corrupt(lineno, format!("bad checksum field {crc_field:?}")))?;
+        let actual = crc32(body.as_bytes());
+        if crc != actual {
+            return Err(corrupt(
+                lineno,
+                format!("checksum mismatch: stored {crc:08x}, computed {actual:08x}"),
+            ));
+        }
+        let mut fields = body.split(' ');
+        match fields.next() {
+            Some("H") => {
+                let fp_field = fields
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "header missing fingerprint".into()))?;
+                let fp = u64::from_str_radix(fp_field, 16)
+                    .map_err(|_| corrupt(lineno, format!("bad fingerprint {fp_field:?}")))?;
+                *fingerprint = Some(fp);
+                *label = fields.collect::<Vec<_>>().join(" ");
+            }
+            Some("R") => {
+                let kind_field = fields
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "record missing kind".into()))?;
+                let kind = RecordKind::from_tag(kind_field)
+                    .ok_or_else(|| corrupt(lineno, format!("unknown kind {kind_field:?}")))?;
+                let id_field = fields
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "record missing id".into()))?;
+                let id = u64::from_str_radix(id_field, 16)
+                    .map_err(|_| corrupt(lineno, format!("bad id {id_field:?}")))?;
+                let n_field = fields
+                    .next()
+                    .ok_or_else(|| corrupt(lineno, "record missing length".into()))?;
+                let n = usize::from_str_radix(n_field, 16)
+                    .map_err(|_| corrupt(lineno, format!("bad length {n_field:?}")))?;
+                let mut words = Vec::with_capacity(n);
+                for w in fields {
+                    let word = u64::from_str_radix(w, 16)
+                        .map_err(|_| corrupt(lineno, format!("bad word {w:?}")))?;
+                    words.push(word);
+                }
+                if words.len() != n {
+                    return Err(corrupt(
+                        lineno,
+                        format!("length says {n} words, line has {}", words.len()),
+                    ));
+                }
+                let key = (kind, id);
+                if records.insert(key, words).is_none() {
+                    order.push(key);
+                }
+            }
+            Some(other) => {
+                return Err(corrupt(lineno, format!("unknown line tag {other:?}")));
+            }
+            None => return Err(corrupt(lineno, "blank body".into())),
+        }
+        Ok(())
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, JournalState> {
@@ -462,6 +532,13 @@ impl CampaignJournal {
     /// itself still completes; callers surface this as an incident.
     pub fn degradation(&self) -> Option<String> {
         self.lock().degraded.clone()
+    }
+
+    /// If [`Self::open`] recovered from a torn final line by dropping it,
+    /// the message describing the recovery. The dropped unit of work is
+    /// simply recomputed by the resuming campaign.
+    pub fn torn_tail(&self) -> Option<String> {
+        self.lock().torn_tail.clone()
     }
 
     /// Checkpoint `(kind, id)` with `words` and atomically persist the
@@ -596,8 +673,10 @@ mod tests {
         let path = tmp_path("corrupt");
         let j = CampaignJournal::create(&path, 1, "x").expect("create");
         j.record(RecordKind::GradePack, 0, &[0xAB]);
+        j.record(RecordKind::GradePack, 1, &[0xCD]);
         let mut text = fs::read_to_string(&path).expect("read");
-        // Flip a payload character without updating the checksum.
+        // Flip a payload character in the FIRST record without updating
+        // its checksum: mid-file damage is never torn-tail recoverable.
         text = text.replace(" ab", " ac");
         fs::write(&path, text).expect("write");
         match CampaignJournal::open(&path) {
@@ -607,6 +686,26 @@ mod tests {
             }
             other => panic!("want Corrupt, got {other:?}"),
         }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_final_line_is_recovered_as_torn_tail() {
+        let path = tmp_path("torn-crc");
+        let j = CampaignJournal::create(&path, 1, "x").expect("create");
+        j.record(RecordKind::GradePack, 0, &[0xAB]);
+        j.record(RecordKind::GradePack, 1, &[0xCD]);
+        let mut text = fs::read_to_string(&path).expect("read");
+        // Damage the FINAL record's payload without updating its
+        // checksum — indistinguishable from a storage-torn tail.
+        text = text.replace(" cd", " ce");
+        fs::write(&path, text).expect("write");
+        let r = CampaignJournal::open(&path).expect("torn tail recovers");
+        assert_eq!(r.get(RecordKind::GradePack, 0), Some(vec![0xAB]));
+        assert_eq!(r.get(RecordKind::GradePack, 1), None, "tail dropped");
+        let note = r.torn_tail().expect("recovery reported");
+        assert!(note.contains("line 4"), "{note}");
+        assert!(r.degradation().is_none());
         let _ = fs::remove_file(&path);
     }
 
@@ -621,14 +720,42 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_never_parses_as_valid() {
-        // The rename protocol should prevent torn files, but if one appears
-        // anyway (storage-level truncation) the checksum layer catches it.
+    fn truncated_final_line_recovers_and_resumes_cleanly() {
+        // The rename protocol should prevent torn files, but if one
+        // appears anyway (storage-level truncation after a kill) the
+        // journal drops the torn tail, keeps every intact record, and
+        // persists the truncation so the next open is clean.
         let path = tmp_path("torn");
         let j = CampaignJournal::create(&path, 1, "x").expect("create");
-        j.record(RecordKind::GradePack, 0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        j.record(RecordKind::GradePack, 0, &[10, 20]);
+        j.record(RecordKind::GradePack, 1, &[1, 2, 3, 4, 5, 6, 7, 8]);
         let text = fs::read_to_string(&path).expect("read");
         let cut = text.len() - 5;
+        fs::write(&path, &text[..cut]).expect("write");
+        let r = CampaignJournal::open(&path).expect("torn tail recovers");
+        assert_eq!(r.get(RecordKind::GradePack, 0), Some(vec![10, 20]));
+        assert_eq!(r.get(RecordKind::GradePack, 1), None, "torn record lost");
+        assert!(r.torn_tail().is_some());
+        // The truncation was persisted: re-recording the lost pack and
+        // reopening yields a fully intact journal with no recovery note.
+        r.record(RecordKind::GradePack, 1, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let clean = CampaignJournal::open(&path).expect("reopen");
+        assert!(clean.torn_tail().is_none());
+        assert_eq!(
+            clean.get(RecordKind::GradePack, 1),
+            Some(vec![1, 2, 3, 4, 5, 6, 7, 8])
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_before_any_record_still_rejects() {
+        // A torn HEADER is not recoverable: without a fingerprint the
+        // file cannot be tied to a campaign.
+        let path = tmp_path("torn-header");
+        CampaignJournal::create(&path, 1, "x").expect("create");
+        let text = fs::read_to_string(&path).expect("read");
+        let cut = text.len() - 3;
         fs::write(&path, &text[..cut]).expect("write");
         assert!(matches!(
             CampaignJournal::open(&path),

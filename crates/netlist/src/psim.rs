@@ -336,7 +336,8 @@ fn eval_cell(kind: crate::cell::CellKind, ins: &[PatVec]) -> PatVec {
 /// let o = b.gate_net(CellKind::Inv, "i", &[a]);
 /// b.mark_output(o);
 /// let nl = b.finish()?;
-/// let g = nl.driver(nl.find_net("i_o").unwrap()).unwrap();
+/// let net = nl.find_net("i_o").expect("builder named this net");
+/// let g = nl.driver(net).expect("gate_net drives its output");
 ///
 /// let faults = vec![StuckAt::output(g, false), StuckAt::output(g, true)];
 /// let mut sim = ParallelFaultSim::new(&nl, &faults)?;

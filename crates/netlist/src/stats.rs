@@ -161,7 +161,7 @@ mod tests {
             cur = b.gate_net(CellKind::Inv, format!("i{i}"), &[cur]);
         }
         b.mark_output(cur);
-        b.finish().unwrap()
+        b.finish().expect("chain netlist is well-formed")
     }
 
     #[test]
@@ -183,7 +183,7 @@ mod tests {
         let q = b.net("q");
         b.gate(CellKind::Dff, "ff", &[n2], q);
         b.mark_output(q);
-        let nl = b.finish().unwrap();
+        let nl = b.finish().expect("flop netlist is well-formed");
         let s = NetlistStats::of(&nl);
         assert_eq!(s.depth, 2);
         assert_eq!(s.sequential, 1);

@@ -204,6 +204,18 @@ pub fn check_trace(text: &str) -> Result<TraceStats, String> {
             "journal_degraded" => {
                 str_field(&v, line_no, "message")?;
             }
+            "shard" => {
+                num_field(&v, line_no, "worker")?;
+                str_field(&v, line_no, "action")?;
+                // "pack" is number-or-null (worker-level actions carry
+                // no pack); "journal" is string-or-null.
+                match field(&v, line_no, "pack")? {
+                    Value::Null => {}
+                    p if p.as_num().is_some() => {}
+                    _ => return Err(format!("line {line_no}: \"pack\" must be a number or null")),
+                }
+                opt_str(&v, line_no, "journal")?;
+            }
             "note" => {
                 str_field(&v, line_no, "text")?;
                 stats.notes += 1;

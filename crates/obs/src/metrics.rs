@@ -149,6 +149,12 @@ registry_counters! {
     packs_restored => "sfr_packs_restored_total", "Packs/chunks restored from a checkpoint journal";
     budget_exhausted => "sfr_budget_exhausted_total", "Faults that exhausted their cycle budget";
     cycles_simulated => "sfr_cycles_simulated_total", "Simulated controller+datapath cycles";
+    journal_degraded => "sfr_journal_degraded_total", "Checkpoint journals that degraded to in-memory operation";
+    shard_workers => "sfr_shard_workers_total", "Shard workers that completed the coordinator handshake";
+    shard_leases_granted => "sfr_shard_leases_granted_total", "Pack leases granted to shard workers";
+    shard_leases_expired => "sfr_shard_leases_expired_total", "Pack leases that missed their heartbeat deadline";
+    shard_results_fenced => "sfr_shard_results_fenced_total", "Shard results discarded for arriving under a stale lease";
+    shard_backoffs => "sfr_shard_backoffs_total", "Packs re-queued under exponential backoff";
 }
 
 /// The lock-free metrics registry. Implements [`Progress`], so it taps
@@ -353,6 +359,12 @@ impl Progress for Metrics {
             ProgressEvent::PackQuarantined { .. } => self.add(&self.counters.packs_quarantined, 1),
             ProgressEvent::PackRestored { .. } => self.add(&self.counters.packs_restored, 1),
             ProgressEvent::BudgetExhausted => self.add(&self.counters.budget_exhausted, 1),
+            ProgressEvent::JournalDegraded => self.add(&self.counters.journal_degraded, 1),
+            ProgressEvent::ShardWorkerConnected => self.add(&self.counters.shard_workers, 1),
+            ProgressEvent::ShardLeaseGranted => self.add(&self.counters.shard_leases_granted, 1),
+            ProgressEvent::ShardLeaseExpired => self.add(&self.counters.shard_leases_expired, 1),
+            ProgressEvent::ShardResultFenced => self.add(&self.counters.shard_results_fenced, 1),
+            ProgressEvent::ShardBackoff => self.add(&self.counters.shard_backoffs, 1),
             ProgressEvent::PhaseStart { .. }
             | ProgressEvent::PhaseDone { .. }
             | ProgressEvent::WorkPlanned { .. } => {}

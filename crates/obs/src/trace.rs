@@ -182,7 +182,13 @@ impl Progress for TraceWriter {
             | ProgressEvent::PackQuarantined { .. }
             | ProgressEvent::PackRestored { .. }
             | ProgressEvent::BudgetExhausted
-            | ProgressEvent::FaultPruned => {}
+            | ProgressEvent::FaultPruned
+            | ProgressEvent::JournalDegraded
+            | ProgressEvent::ShardWorkerConnected
+            | ProgressEvent::ShardLeaseGranted
+            | ProgressEvent::ShardLeaseExpired
+            | ProgressEvent::ShardResultFenced
+            | ProgressEvent::ShardBackoff => {}
         }
     }
 
@@ -253,6 +259,24 @@ impl Progress for TraceWriter {
             } => {
                 let mut line = String::from("{\"ev\":\"budget\",\"fault\":");
                 json::push_str_escaped(&mut line, fault_id);
+                line.push(',');
+                push_opt_key(&mut line, "journal", journal_key.as_deref());
+                line.push_str(&format!(",\"t_ms\":{t}}}"));
+                self.emit(&line);
+            }
+            TraceRecord::Shard {
+                worker,
+                action,
+                pack,
+                journal_key,
+            } => {
+                let mut line = format!("{{\"ev\":\"shard\",\"worker\":{worker},\"action\":");
+                json::push_str_escaped(&mut line, action);
+                line.push_str(",\"pack\":");
+                match pack {
+                    Some(p) => line.push_str(&p.to_string()),
+                    None => line.push_str("null"),
+                }
                 line.push(',');
                 push_opt_key(&mut line, "journal", journal_key.as_deref());
                 line.push_str(&format!(",\"t_ms\":{t}}}"));

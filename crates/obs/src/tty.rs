@@ -143,13 +143,18 @@ impl Progress for TtyStatus {
                 state.items_done += 1;
                 state.incidents += 1;
             }
-            ProgressEvent::BudgetExhausted => state.incidents += 1,
+            ProgressEvent::BudgetExhausted | ProgressEvent::JournalDegraded => state.incidents += 1,
             ProgressEvent::FaultSimulated { .. } | ProgressEvent::FaultGraded { .. } => {
                 state.faults_done += 1;
             }
             ProgressEvent::CyclesSimulated { .. }
             | ProgressEvent::MonteCarlo { .. }
-            | ProgressEvent::FaultPruned => {}
+            | ProgressEvent::FaultPruned
+            | ProgressEvent::ShardWorkerConnected
+            | ProgressEvent::ShardLeaseGranted
+            | ProgressEvent::ShardLeaseExpired
+            | ProgressEvent::ShardResultFenced
+            | ProgressEvent::ShardBackoff => {}
         }
         self.repaint(&mut state, now);
     }

@@ -1,0 +1,138 @@
+//! The built-in chaos harness.
+//!
+//! `sfr shard serve --chaos kill=P,stall=P` arms two failure injectors:
+//!
+//! * **kill** — on every housekeeping tick the coordinator SIGKILLs
+//!   each of its spawned workers with probability `P`, then respawns
+//!   it. Exercises disconnect revocation, lease expiry, reassignment
+//!   and reconnect.
+//! * **stall** — each spawned worker is told (via `--stall P`) to
+//!   freeze for twice the lease timeout before sending a granted
+//!   pack's result, with heartbeats suppressed. Exercises expiry of a
+//!   live-but-silent worker and fencing of its late result.
+//!
+//! Randomness comes from a seeded [`Lcg`], so a chaos run is
+//! reproducible from `--chaos-seed`.
+
+/// Chaos injection probabilities, both in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Per-tick probability of SIGKILLing each spawned worker.
+    pub kill: f64,
+    /// Per-grant probability that a worker stalls past its lease.
+    pub stall: f64,
+}
+
+impl ChaosConfig {
+    /// Parses a `--chaos` argument: comma-separated `kill=P` and/or
+    /// `stall=P` terms, e.g. `kill=0.3`, `stall=0.2`,
+    /// `kill=0.3,stall=0.1`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an unknown term or a probability
+    /// outside `[0, 1]`.
+    pub fn parse(text: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for term in text.split(',').filter(|t| !t.is_empty()) {
+            let (key, value) = term
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos term `{term}` (expected key=probability)"))?;
+            let p: f64 = value
+                .parse()
+                .map_err(|_| format!("bad chaos probability `{value}`"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("chaos probability {p} is outside [0, 1]"));
+            }
+            match key {
+                "kill" => cfg.kill = p,
+                "stall" => cfg.stall = p,
+                other => return Err(format!("unknown chaos injector `{other}` (kill|stall)")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether any injector is armed.
+    pub fn is_active(&self) -> bool {
+        self.kill > 0.0 || self.stall > 0.0
+    }
+}
+
+/// A 64-bit linear congruential generator (Knuth's MMIX constants) —
+/// deterministic, dependency-free randomness for chaos decisions.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        // Scramble the seed so small seeds don't start near zero.
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// The next raw 64-bit state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 high bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_combined_terms() {
+        assert_eq!(
+            ChaosConfig::parse("kill=0.3").expect("kill"),
+            ChaosConfig {
+                kill: 0.3,
+                stall: 0.0
+            }
+        );
+        assert_eq!(
+            ChaosConfig::parse("kill=0.3,stall=0.1").expect("both"),
+            ChaosConfig {
+                kill: 0.3,
+                stall: 0.1
+            }
+        );
+        assert!(!ChaosConfig::parse("").expect("empty").is_active());
+        assert!(ChaosConfig::parse("burn=0.5").is_err());
+        assert!(ChaosConfig::parse("kill=1.5").is_err());
+        assert!(ChaosConfig::parse("kill").is_err());
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_roughly_calibrated() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+
+        let mut rng = Lcg::new(7);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!(
+            (2_500..3_500).contains(&hits),
+            "p=0.3 over 10k draws hit {hits} times"
+        );
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

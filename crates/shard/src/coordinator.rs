@@ -1,0 +1,569 @@
+//! The shard coordinator: `sfr shard serve`.
+//!
+//! The coordinator owns the campaign journal and the [`LeaseTable`];
+//! workers own nothing. Serving proceeds in three stages:
+//!
+//! 1. **Classify locally.** Classification is cheap relative to power
+//!    grading and fixes the SFR fault order every pack index refers
+//!    to; completed chunks are journaled so the final merge replays
+//!    them instead of re-simulating.
+//! 2. **Serve packs.** Workers handshake (protocol version, campaign
+//!    fingerprint), then loop `REQUEST → GRANT → RESULT`. Leases
+//!    expire without heartbeats, expired packs are reassigned under
+//!    exponential backoff, stale results are fenced, and every
+//!    accepted payload is validated before it touches the journal.
+//! 3. **Merge through the journal.** When every pack is done — or no
+//!    worker has made progress for the grace period — the coordinator
+//!    simply runs the study locally: journaled packs (whoever computed
+//!    them) are restored, leftovers are computed in-process. This is
+//!    also the graceful-degradation path: with zero workers the serve
+//!    phase idles out and the campaign completes as a plain local run,
+//!    byte-identical tables either way.
+//!
+//! Chaos injection (`--chaos kill=P,stall=P`) lives in the same
+//! housekeeping loop that expires leases: spawned workers are
+//! SIGKILLed with probability `kill` per tick and respawned, and the
+//! stall probability is forwarded to workers on their command line.
+
+use crate::chaos::{ChaosConfig, Lcg};
+use crate::lease::{Completion, LeaseTable};
+use crate::proto::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::spec::ShardSpec;
+use sfr_core::exec::SimKernel;
+use sfr_core::{
+    grade_pack_count, validate_pack_payload, CampaignJournal, PreparedStudy, StuckAt, Study,
+};
+use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress, ProgressEvent, TraceRecord};
+use sfr_journal::RecordKind;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Coordinator-side settings for one `sfr shard serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Lease timeout: a granted pack whose worker goes this long
+    /// without a heartbeat is reassigned.
+    pub lease: Duration,
+    /// Serve-phase idle bound: with no live lease and no grant or
+    /// merge for this long, the coordinator stops serving and
+    /// finishes the campaign locally.
+    pub grace: Duration,
+    /// First reassignment backoff (doubles per attempt on a pack).
+    pub backoff_base: Duration,
+    /// Local worker processes to spawn (0 = external workers only).
+    pub spawn_workers: usize,
+    /// Chaos injection probabilities.
+    pub chaos: ChaosConfig,
+    /// Seed for the chaos generator.
+    pub chaos_seed: u64,
+    /// Notified once with the actual bound listen address — the only
+    /// way to learn the port when `addr` asks for port 0. Best-effort:
+    /// a dropped receiver is ignored.
+    pub bound: Option<std::sync::mpsc::Sender<std::net::SocketAddr>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            lease: Duration::from_millis(2_000),
+            grace: Duration::from_millis(3_000),
+            backoff_base: Duration::from_millis(50),
+            spawn_workers: 0,
+            chaos: ChaosConfig::default(),
+            chaos_seed: 0,
+            bound: None,
+        }
+    }
+}
+
+/// What happened during the serve phase, for the CLI summary.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardStats {
+    /// Worker connections that completed the handshake (reconnects of
+    /// a respawned worker count again).
+    pub workers_connected: usize,
+    /// Pack leases granted.
+    pub leases_granted: usize,
+    /// Leases that expired (missed heartbeats) and were reassigned.
+    pub leases_expired: usize,
+    /// Results discarded for arriving under a stale lease, as a
+    /// duplicate of a completed pack, or with an invalid payload.
+    pub results_fenced: usize,
+    /// Packs re-queued under exponential backoff.
+    pub backoffs: usize,
+    /// Packs merged from worker results.
+    pub packs_merged_remote: usize,
+    /// Packs left for the local merge run (including packs restored
+    /// from a pre-existing journal).
+    pub packs_local: usize,
+    /// Spawned workers SIGKILLed by chaos injection.
+    pub chaos_kills: usize,
+}
+
+/// Locks `m`, riding through poisoning (a panicked connection thread
+/// must not wedge the campaign).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// State shared between the accept loop, the per-connection threads,
+/// and the housekeeping thread.
+struct Shared<'a> {
+    table: Mutex<LeaseTable>,
+    shutdown: AtomicBool,
+    connected: AtomicUsize,
+    /// Connections still in the handshake (which includes the
+    /// worker-side study build). These hold off the idle timer the way
+    /// a live lease does, bounded by the handshake read timeout.
+    handshaking: AtomicUsize,
+    stats: Mutex<ShardStats>,
+    /// Last completed handshake or merged pack. Grants deliberately do
+    /// NOT touch this: a worker that keeps accepting leases but never
+    /// delivers (a permanent staller) must not starve termination.
+    last_progress: Mutex<Instant>,
+    /// Clones of every accepted stream, shut down to unblock reads at
+    /// the end of the serve phase.
+    streams: Mutex<Vec<TcpStream>>,
+    progress: &'a dyn Progress,
+    journal: &'a CampaignJournal,
+    faults: &'a [StuckAt],
+    kernel: SimKernel,
+    fingerprint: u64,
+    spec_text: String,
+    lease: Duration,
+}
+
+impl Shared<'_> {
+    fn shard_record(&self, worker: u64, action: &'static str, pack: Option<usize>, with_key: bool) {
+        if self.progress.wants_records() {
+            let journal_key = pack
+                .filter(|_| with_key)
+                .map(|p| RecordKind::GradePack.key(p as u64));
+            self.progress.record(&TraceRecord::Shard {
+                worker,
+                action,
+                pack,
+                journal_key,
+            });
+        }
+    }
+
+    fn touch(&self, now: Instant) {
+        *lock(&self.last_progress) = now;
+    }
+}
+
+/// Runs a campaign as the shard coordinator and returns the completed
+/// study plus serve-phase statistics. See the module docs for the
+/// protocol and failure model. The merged grade table, incidents, and
+/// manifest fingerprint are byte-identical to running
+/// [`PreparedStudy::run_with`] directly — workers only ever contribute
+/// journal records the local path would have written itself.
+///
+/// # Errors
+///
+/// A human-readable message when the study has no checkpoint journal,
+/// the listen address cannot be bound, or a spawned worker cannot be
+/// launched. Worker-side failures (crashes, stalls, garbage) are
+/// handled, not errors.
+pub fn serve(
+    prepared: PreparedStudy,
+    spec: &ShardSpec,
+    cfg: &ServeConfig,
+    progress: &dyn Progress,
+) -> Result<(Study, ShardStats), String> {
+    let journal = prepared
+        .journal()
+        .ok_or("shard serve requires a checkpoint journal (--checkpoint FILE)")?;
+    let kernel = prepared.engine_kind().build().kernel();
+
+    // Stage 1: classify locally (journaled, silent — the final merge
+    // run replays these chunks into the caller's observer).
+    let faults = prepared.classify_sfr(&NullProgress);
+    let n_packs = grade_pack_count(faults.len(), kernel);
+
+    let mut table = LeaseTable::new(n_packs, cfg.lease, cfg.backoff_base);
+    let mut preloaded = 0usize;
+    for p in 0..n_packs {
+        let restored = journal
+            .get(RecordKind::GradePack, p as u64)
+            .is_some_and(|words| validate_pack_payload(&words, &faults, p, kernel));
+        if restored {
+            table.mark_done(p);
+            preloaded += 1;
+        }
+    }
+
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot listen on {}: {e}", cfg.addr))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    if let Some(tx) = &cfg.bound {
+        let _ = tx.send(local_addr);
+    }
+
+    let shared = Shared {
+        table: Mutex::new(table),
+        shutdown: AtomicBool::new(false),
+        connected: AtomicUsize::new(0),
+        handshaking: AtomicUsize::new(0),
+        stats: Mutex::new(ShardStats::default()),
+        last_progress: Mutex::new(Instant::now()),
+        streams: Mutex::new(Vec::new()),
+        progress,
+        journal,
+        faults: &faults,
+        kernel,
+        fingerprint: prepared.fingerprint(),
+        spec_text: spec.to_text(),
+        lease: cfg.lease,
+    };
+
+    // Stage 2: serve packs until done or idle.
+    {
+        let _timer = PhaseTimer::start(progress, Phase::Shard);
+        progress.event(ProgressEvent::WorkPlanned {
+            phase: Phase::Shard,
+            items: n_packs - preloaded,
+        });
+        std::thread::scope(|scope| {
+            scope.spawn(|| housekeeping(&shared, cfg, local_addr));
+            let mut next_worker: u64 = 1;
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&shared.streams).push(clone);
+                }
+                let worker = next_worker;
+                next_worker += 1;
+                let shared = &shared;
+                scope.spawn(move || handle_connection(shared, stream, worker));
+            }
+        });
+    }
+
+    let mut stats = *lock(&shared.stats);
+    stats.packs_local = n_packs - stats.packs_merged_remote;
+
+    // Stage 3: merge through the journal. Restores every pack the
+    // workers (or an earlier interrupted run) contributed and computes
+    // whatever is left locally — the graceful-degradation path and the
+    // happy path are the same code.
+    let study = prepared.run_with(progress);
+    Ok((study, stats))
+}
+
+/// Lease expiry, chaos injection, worker respawn, and termination —
+/// one loop, one tick.
+fn housekeeping(shared: &Shared<'_>, cfg: &ServeConfig, addr: std::net::SocketAddr) {
+    let tick = (cfg.lease / 4).max(Duration::from_millis(25));
+    let mut rng = Lcg::new(cfg.chaos_seed);
+    let mut children: Vec<Option<Child>> = Vec::new();
+    let exe = std::env::current_exe().ok();
+    if cfg.spawn_workers > 0 && exe.is_none() {
+        eprintln!("warning: cannot resolve own executable; no workers spawned");
+    }
+    for _ in 0..cfg.spawn_workers {
+        children.push(None);
+    }
+
+    loop {
+        // Expire overdue leases; their packs re-queue under backoff.
+        let now = Instant::now();
+        let expiries = lock(&shared.table).expire(now);
+        if !expiries.is_empty() {
+            let mut stats = lock(&shared.stats);
+            stats.leases_expired += expiries.len();
+            stats.backoffs += expiries.len();
+        }
+        for e in &expiries {
+            shared.progress.event(ProgressEvent::ShardLeaseExpired);
+            shared.progress.event(ProgressEvent::ShardBackoff);
+            shared.shard_record(e.worker, "expired", Some(e.pack), true);
+            shared.shard_record(e.worker, "backoff", Some(e.pack), false);
+        }
+
+        // Chaos: SIGKILL spawned workers; respawn the fallen.
+        if let Some(exe) = &exe {
+            for (i, slot) in children.iter_mut().enumerate() {
+                if let Some(child) = slot {
+                    let gone = child.try_wait().map(|s| s.is_some()).unwrap_or(true);
+                    if gone {
+                        *slot = None;
+                    } else if rng.chance(cfg.chaos.kill) {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        lock(&shared.stats).chaos_kills += 1;
+                        *slot = None;
+                    }
+                }
+                if slot.is_none() && !shared.shutdown.load(Ordering::SeqCst) {
+                    match spawn_worker(exe, addr, cfg, i as u64) {
+                        Ok(child) => *slot = Some(child),
+                        Err(e) => eprintln!("warning: cannot spawn shard worker: {e}"),
+                    }
+                }
+            }
+        }
+
+        // Termination: everything merged, or nothing is moving — no
+        // live lease, no handshake in flight, and no handshake or
+        // merge for the whole grace period.
+        let (all_done, active) = {
+            let table = lock(&shared.table);
+            (table.all_done(), table.active())
+        };
+        let idle = active == 0
+            && shared.handshaking.load(Ordering::SeqCst) == 0
+            && lock(&shared.last_progress).elapsed() >= cfg.grace;
+        if all_done || idle {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(tick);
+    }
+
+    // Unblock the accept loop and every connection read, then reap the
+    // spawned workers (a healthy worker already exited on DONE).
+    let _ = TcpStream::connect(addr);
+    for stream in lock(&shared.streams).iter() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for child in children.iter_mut().flatten() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+fn spawn_worker(
+    exe: &std::path::Path,
+    addr: std::net::SocketAddr,
+    cfg: &ServeConfig,
+    index: u64,
+) -> io::Result<Child> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("shard")
+        .arg("work")
+        .arg("--connect")
+        .arg(addr.to_string())
+        .arg("--max-retries")
+        .arg("12")
+        .arg("--quiet");
+    if cfg.chaos.stall > 0.0 {
+        cmd.arg("--stall").arg(cfg.chaos.stall.to_string());
+        cmd.arg("--chaos-seed")
+            .arg((cfg.chaos_seed ^ (index + 1).wrapping_mul(0x9E37)).to_string());
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd.spawn()
+}
+
+/// One worker session: handshake, then the request/result loop.
+fn handle_connection(shared: &Shared<'_>, mut stream: TcpStream, worker: u64) {
+    let _ = stream.set_nodelay(true);
+    shared.handshaking.fetch_add(1, Ordering::SeqCst);
+    let admitted = handshake(shared, &mut stream);
+    shared.handshaking.fetch_sub(1, Ordering::SeqCst);
+    if !admitted {
+        return;
+    }
+    shared.touch(Instant::now());
+    shared.connected.fetch_add(1, Ordering::SeqCst);
+    lock(&shared.stats).workers_connected += 1;
+    shared.progress.event(ProgressEvent::ShardWorkerConnected);
+    shared.shard_record(worker, "connected", None, false);
+
+    // Bounded reads: a silent worker's heartbeats arrive at lease/3,
+    // so a full lease without bytes means the peer is stalled or gone —
+    // drop back to the loop head, which notices shutdown.
+    let _ = stream.set_read_timeout(Some(shared.lease));
+    let mut clean_exit = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(&mut stream, &Frame::Done);
+            break;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        match frame {
+            Frame::Request => {
+                if !grant_or_wait(shared, &mut stream, worker) {
+                    clean_exit = true;
+                    break;
+                }
+            }
+            Frame::Heartbeat { lease } => {
+                lock(&shared.table).heartbeat(lease, Instant::now());
+            }
+            Frame::Result {
+                lease,
+                pack,
+                payload,
+            } => merge_result(shared, worker, lease, pack, &payload),
+            _ => break,
+        }
+    }
+
+    // Whatever this worker still held goes straight back in the pool;
+    // a disconnect is positive evidence, no backoff needed.
+    let released = lock(&shared.table).revoke_worker(worker);
+    for pack in released {
+        shared.shard_record(worker, "revoked", Some(pack), false);
+    }
+    shared.connected.fetch_sub(1, Ordering::SeqCst);
+    if !clean_exit {
+        shared.shard_record(worker, "disconnected", None, false);
+    }
+}
+
+/// Protocol version and campaign fingerprint checks. `true` iff the
+/// worker may enter the request loop.
+fn handshake(shared: &Shared<'_>, stream: &mut TcpStream) -> bool {
+    // The handshake includes a worker-side study build (benchmark
+    // synthesis + classification), so give it a generous bound.
+    let _ = stream.set_read_timeout(Some(shared.lease * 10 + Duration::from_secs(60)));
+    match read_frame(stream) {
+        Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {}
+        Ok(Frame::Hello { version }) => {
+            let _ = write_frame(
+                stream,
+                &Frame::Reject {
+                    reason: format!("protocol version {version} is not {PROTOCOL_VERSION}"),
+                },
+            );
+            return false;
+        }
+        _ => return false,
+    }
+    if write_frame(
+        stream,
+        &Frame::Spec {
+            text: shared.spec_text.clone(),
+        },
+    )
+    .is_err()
+    {
+        return false;
+    }
+    match read_frame(stream) {
+        Ok(Frame::Ready { fingerprint }) if fingerprint == shared.fingerprint => true,
+        Ok(Frame::Ready { fingerprint }) => {
+            let _ = write_frame(
+                stream,
+                &Frame::Reject {
+                    reason: format!(
+                        "campaign fingerprint mismatch: coordinator {:016x}, worker {fingerprint:016x}",
+                        shared.fingerprint
+                    ),
+                },
+            );
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Answers one `REQUEST`. `false` ends the session (campaign done or
+/// the reply could not be sent).
+fn grant_or_wait(shared: &Shared<'_>, stream: &mut TcpStream, worker: u64) -> bool {
+    let now = Instant::now();
+    let mut table = lock(&shared.table);
+    if table.all_done() {
+        drop(table);
+        let _ = write_frame(stream, &Frame::Done);
+        return false;
+    }
+    match table.grant(worker, now) {
+        Some((lease, pack)) => {
+            drop(table);
+            lock(&shared.stats).leases_granted += 1;
+            shared.progress.event(ProgressEvent::ShardLeaseGranted);
+            shared.shard_record(worker, "granted", Some(pack), true);
+            if write_frame(
+                stream,
+                &Frame::Grant {
+                    lease,
+                    pack: pack as u64,
+                },
+            )
+            .is_err()
+            {
+                // The grant never reached the worker; release it now
+                // rather than waiting out the lease.
+                lock(&shared.table).fail(lease, Instant::now());
+                return false;
+            }
+            true
+        }
+        None => {
+            let retry_ms = table
+                .next_eligible_ms(now)
+                .unwrap_or((shared.lease.as_millis() / 2) as u64)
+                .clamp(10, 1_000);
+            drop(table);
+            write_frame(stream, &Frame::NoWork { retry_ms }).is_ok()
+        }
+    }
+}
+
+/// Judges one `RESULT`: validate the payload shape, check the lease
+/// fence, and only then let it touch the journal.
+fn merge_result(shared: &Shared<'_>, worker: u64, lease: u64, pack: u64, payload: &[u64]) {
+    let now = Instant::now();
+    let pack_idx = pack as usize;
+    let valid = usize::try_from(pack).is_ok()
+        && validate_pack_payload(payload, shared.faults, pack_idx, shared.kernel);
+    if !valid {
+        // Garbage from a confused worker: fence the lease and re-queue
+        // the pack under backoff (the worker may be systematically
+        // broken — don't hand it straight back).
+        if lock(&shared.table).fail(lease, now).is_some() {
+            lock(&shared.stats).backoffs += 1;
+            shared.progress.event(ProgressEvent::ShardBackoff);
+        }
+        let mut stats = lock(&shared.stats);
+        stats.results_fenced += 1;
+        drop(stats);
+        shared.progress.event(ProgressEvent::ShardResultFenced);
+        shared.shard_record(worker, "fenced", Some(pack_idx), false);
+        return;
+    }
+    match lock(&shared.table).complete(lease, pack_idx, now) {
+        Completion::Accepted => {
+            // The payload is byte-exact journal currency; record() is
+            // the same call the local grading path makes.
+            shared.journal.record(RecordKind::GradePack, pack, payload);
+            shared.touch(now);
+            lock(&shared.stats).packs_merged_remote += 1;
+            shared.shard_record(worker, "merged", Some(pack_idx), true);
+        }
+        Completion::Fenced | Completion::AlreadyDone => {
+            lock(&shared.stats).results_fenced += 1;
+            shared.progress.event(ProgressEvent::ShardResultFenced);
+            shared.shard_record(worker, "fenced", Some(pack_idx), true);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Lease-based work distribution with fencing and exponential backoff.
+//!
+//! The coordinator owns one [`LeaseTable`] guarding the campaign's pack
+//! indices. Granting a pack issues a monotonically increasing **lease
+//! token**; the worker must echo that token with its result and keep it
+//! alive with heartbeats. A lease whose deadline passes is *expired*:
+//! the pack returns to the pending pool after an exponential backoff
+//! (doubling per failed attempt on that pack), and the stale token is
+//! **fenced** — a zombie worker's late result under it is discarded, so
+//! a pack can never be merged twice or merged from a revoked
+//! assignment.
+//!
+//! The table is pure state-machine code: `Instant`s are passed in by
+//! the caller, never read from the clock, so every transition is unit
+//! testable without sleeping.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Verdict for a `RESULT` frame arriving under `lease` for `pack`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The lease is live and matches: the result is merged and the
+    /// pack is done.
+    Accepted,
+    /// The lease was expired (or never existed, or named a different
+    /// pack) and the pack is still outstanding elsewhere: the result
+    /// is discarded.
+    Fenced,
+    /// The pack already completed under another lease; this duplicate
+    /// is discarded.
+    AlreadyDone,
+}
+
+/// One expired lease, reported by [`LeaseTable::expire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expiry {
+    /// The now-fenced lease token.
+    pub lease: u64,
+    /// The pack returning to the pending pool.
+    pub pack: usize,
+    /// The worker that held the lease.
+    pub worker: u64,
+    /// How long the pack backs off before it is eligible again.
+    pub backoff: Duration,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PackState {
+    /// Not yet assigned; eligible once `eligible_at` (if any) passes.
+    Pending { eligible_at: Option<Instant> },
+    /// Out under a live lease (tracked in [`LeaseTable::leases`]).
+    Leased,
+    /// Merged (or restored from the journal before serving started).
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveLease {
+    pack: usize,
+    worker: u64,
+    deadline: Instant,
+}
+
+/// The coordinator's pack ledger. See the module docs.
+#[derive(Debug)]
+pub struct LeaseTable {
+    packs: Vec<PackState>,
+    attempts: Vec<u32>,
+    leases: HashMap<u64, ActiveLease>,
+    next_lease: u64,
+    timeout: Duration,
+    backoff_base: Duration,
+    done: usize,
+}
+
+impl LeaseTable {
+    /// A table over `n_packs` pending packs. Leases live for `timeout`
+    /// between heartbeats; a pack's `i`-th reassignment waits
+    /// `backoff_base × 2^(i-1)` (capped at 2^8) before it is eligible
+    /// again.
+    pub fn new(n_packs: usize, timeout: Duration, backoff_base: Duration) -> Self {
+        LeaseTable {
+            packs: vec![PackState::Pending { eligible_at: None }; n_packs],
+            attempts: vec![0; n_packs],
+            leases: HashMap::new(),
+            next_lease: 1,
+            timeout,
+            backoff_base,
+            done: 0,
+        }
+    }
+
+    /// Marks `pack` complete without a lease — used for packs already
+    /// present in the journal when serving starts.
+    pub fn mark_done(&mut self, pack: usize) {
+        if !matches!(self.packs[pack], PackState::Done) {
+            self.packs[pack] = PackState::Done;
+            self.done += 1;
+        }
+    }
+
+    /// Number of packs not yet done.
+    pub fn remaining(&self) -> usize {
+        self.packs.len() - self.done
+    }
+
+    /// Whether every pack is done.
+    pub fn all_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Number of live leases.
+    pub fn active(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Leases the lowest-indexed eligible pending pack to `worker`.
+    /// Returns `None` when nothing is eligible right now (everything is
+    /// leased, done, or backing off).
+    pub fn grant(&mut self, worker: u64, now: Instant) -> Option<(u64, usize)> {
+        let pack = self.packs.iter().position(|s| match s {
+            PackState::Pending { eligible_at } => eligible_at.map_or(true, |t| t <= now),
+            _ => false,
+        })?;
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.packs[pack] = PackState::Leased;
+        self.leases.insert(
+            lease,
+            ActiveLease {
+                pack,
+                worker,
+                deadline: now + self.timeout,
+            },
+        );
+        Some((lease, pack))
+    }
+
+    /// Extends a live lease's deadline. Returns `false` for a fenced
+    /// (expired or unknown) token.
+    pub fn heartbeat(&mut self, lease: u64, now: Instant) -> bool {
+        match self.leases.get_mut(&lease) {
+            Some(active) => {
+                active.deadline = now + self.timeout;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Expires every lease whose deadline has passed. Each expired
+    /// pack returns to pending with an exponentially grown backoff.
+    pub fn expire(&mut self, now: Instant) -> Vec<Expiry> {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, a)| a.deadline <= now)
+            .map(|(&lease, _)| lease)
+            .collect();
+        let mut out: Vec<Expiry> = expired
+            .into_iter()
+            .map(|lease| {
+                let active = self.leases.remove(&lease).expect("lease was just listed");
+                let backoff = self.release(active.pack, now);
+                Expiry {
+                    lease,
+                    pack: active.pack,
+                    worker: active.worker,
+                    backoff,
+                }
+            })
+            .collect();
+        out.sort_by_key(|e| e.lease);
+        out
+    }
+
+    /// Revokes every lease held by `worker` (it disconnected) and
+    /// returns the released pack indices. The packs become eligible
+    /// immediately: a disconnect is detected positively, so there is
+    /// no reason to back off before reassigning.
+    pub fn revoke_worker(&mut self, worker: u64) -> Vec<usize> {
+        let held: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, a)| a.worker == worker)
+            .map(|(&lease, _)| lease)
+            .collect();
+        let mut packs: Vec<usize> = held
+            .into_iter()
+            .map(|lease| {
+                let active = self.leases.remove(&lease).expect("lease was just listed");
+                self.packs[active.pack] = PackState::Pending { eligible_at: None };
+                active.pack
+            })
+            .collect();
+        packs.sort_unstable();
+        packs
+    }
+
+    /// Fails a live lease in place (e.g. its worker returned a garbage
+    /// payload): the lease is fenced and the pack backs off like an
+    /// expiry. No-op for an already-fenced token.
+    pub fn fail(&mut self, lease: u64, now: Instant) -> Option<Expiry> {
+        let active = self.leases.remove(&lease)?;
+        let backoff = self.release(active.pack, now);
+        Some(Expiry {
+            lease,
+            pack: active.pack,
+            worker: active.worker,
+            backoff,
+        })
+    }
+
+    /// Judges a result arriving under `lease` for `pack` and, when
+    /// [`Completion::Accepted`], marks the pack done.
+    pub fn complete(&mut self, lease: u64, pack: usize, _now: Instant) -> Completion {
+        match self.leases.get(&lease) {
+            Some(active) if active.pack == pack => {
+                self.leases.remove(&lease);
+                self.packs[pack] = PackState::Done;
+                self.done += 1;
+                Completion::Accepted
+            }
+            _ => {
+                if pack < self.packs.len() && matches!(self.packs[pack], PackState::Done) {
+                    Completion::AlreadyDone
+                } else {
+                    Completion::Fenced
+                }
+            }
+        }
+    }
+
+    /// Milliseconds until the next pending pack becomes eligible — the
+    /// retry hint for a `NOWORK` reply. Zero means "a pack is eligible
+    /// now" (raced away between calls); `None` means nothing is pending
+    /// (everything leased or done).
+    pub fn next_eligible_ms(&self, now: Instant) -> Option<u64> {
+        self.packs
+            .iter()
+            .filter_map(|s| match s {
+                PackState::Pending { eligible_at } => Some(
+                    eligible_at
+                        .map(|t| t.saturating_duration_since(now).as_millis() as u64)
+                        .unwrap_or(0),
+                ),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Returns `pack` to pending with the next backoff step and bumps
+    /// its attempt count; returns the backoff applied.
+    fn release(&mut self, pack: usize, now: Instant) -> Duration {
+        let exp = self.attempts[pack].min(8);
+        let backoff = self.backoff_base * 2u32.pow(exp);
+        self.attempts[pack] += 1;
+        self.packs[pack] = PackState::Pending {
+            eligible_at: Some(now + backoff),
+        };
+        backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: Duration = Duration::from_millis(100);
+    const BACKOFF: Duration = Duration::from_millis(10);
+
+    fn table(n: usize) -> LeaseTable {
+        LeaseTable::new(n, TIMEOUT, BACKOFF)
+    }
+
+    #[test]
+    fn packs_are_granted_lowest_index_first_with_unique_leases() {
+        let mut t = table(3);
+        let now = Instant::now();
+        let (l0, p0) = t.grant(1, now).expect("first grant");
+        let (l1, p1) = t.grant(2, now).expect("second grant");
+        assert_eq!((p0, p1), (0, 1));
+        assert_ne!(l0, l1);
+        assert_eq!(t.active(), 2);
+        // Third worker gets the last pack, then the pool is dry.
+        t.grant(3, now).expect("third grant");
+        assert!(t.grant(4, now).is_none());
+        assert_eq!(t.next_eligible_ms(now), None, "nothing pending");
+    }
+
+    #[test]
+    fn accepted_result_completes_the_pack_once() {
+        let mut t = table(1);
+        let now = Instant::now();
+        let (lease, pack) = t.grant(1, now).expect("grant");
+        assert_eq!(t.complete(lease, pack, now), Completion::Accepted);
+        assert!(t.all_done());
+        // A replayed duplicate of the same frame is not merged again.
+        assert_eq!(t.complete(lease, pack, now), Completion::AlreadyDone);
+    }
+
+    #[test]
+    fn expired_lease_is_fenced_and_pack_is_reassigned() {
+        let mut t = table(1);
+        let now = Instant::now();
+        let (stale, pack) = t.grant(1, now).expect("grant to worker 1");
+        let later = now + TIMEOUT + Duration::from_millis(1);
+        let expiries = t.expire(later);
+        assert_eq!(expiries.len(), 1);
+        assert_eq!(expiries[0].pack, pack);
+        assert_eq!(expiries[0].worker, 1);
+        assert_eq!(t.active(), 0);
+
+        // After the backoff the pack goes to worker 2 under a new lease.
+        let retry = later + expiries[0].backoff;
+        let (fresh, repack) = t.grant(2, retry).expect("regrant to worker 2");
+        assert_eq!(repack, pack);
+        assert_ne!(fresh, stale);
+
+        // The zombie's late result under the stale lease is fenced —
+        // the pack stays with worker 2 and is not double-merged.
+        assert_eq!(t.complete(stale, pack, retry), Completion::Fenced);
+        assert!(!t.all_done());
+        // Worker 2's result lands normally.
+        assert_eq!(t.complete(fresh, pack, retry), Completion::Accepted);
+        assert!(t.all_done());
+        // The zombie retransmits after completion: still discarded.
+        assert_eq!(t.complete(stale, pack, retry), Completion::AlreadyDone);
+    }
+
+    #[test]
+    fn heartbeat_extends_the_deadline() {
+        let mut t = table(1);
+        let now = Instant::now();
+        let (lease, _) = t.grant(1, now).expect("grant");
+        let near_deadline = now + TIMEOUT - Duration::from_millis(1);
+        assert!(t.heartbeat(lease, near_deadline));
+        // Past the original deadline: still alive thanks to the beat.
+        assert!(t.expire(now + TIMEOUT).is_empty());
+        // Past the extended deadline: expires.
+        assert_eq!(t.expire(near_deadline + TIMEOUT).len(), 1);
+        // A fenced token can no longer beat.
+        assert!(!t.heartbeat(lease, now));
+    }
+
+    #[test]
+    fn backoff_doubles_per_failed_attempt() {
+        let mut t = table(1);
+        let mut now = Instant::now();
+        let mut backoffs = Vec::new();
+        for _ in 0..4 {
+            let eligible = now + Duration::from_millis(t.next_eligible_ms(now).expect("pending"));
+            let (_, _) = t.grant(1, eligible).expect("grant");
+            now = eligible + TIMEOUT + Duration::from_millis(1);
+            let expiries = t.expire(now);
+            backoffs.push(expiries[0].backoff);
+        }
+        assert_eq!(
+            backoffs,
+            vec![BACKOFF, BACKOFF * 2, BACKOFF * 4, BACKOFF * 8]
+        );
+        // While backing off, the pack is not eligible.
+        assert!(t.grant(1, now).is_none());
+        assert!(t.next_eligible_ms(now).expect("pending soon") > 0);
+    }
+
+    #[test]
+    fn worker_revocation_releases_its_packs_immediately() {
+        let mut t = table(3);
+        let now = Instant::now();
+        t.grant(1, now).expect("w1 pack 0");
+        t.grant(2, now).expect("w2 pack 1");
+        t.grant(1, now).expect("w1 pack 2");
+        assert_eq!(t.revoke_worker(1), vec![0, 2]);
+        assert_eq!(t.active(), 1);
+        // Released packs are eligible right away, no backoff.
+        let (_, pack) = t.grant(3, now).expect("regrant");
+        assert_eq!(pack, 0);
+    }
+
+    #[test]
+    fn failed_lease_backs_off_like_an_expiry() {
+        let mut t = table(1);
+        let now = Instant::now();
+        let (lease, pack) = t.grant(1, now).expect("grant");
+        let expiry = t.fail(lease, now).expect("live lease fails");
+        assert_eq!(expiry.pack, pack);
+        assert!(t.fail(lease, now).is_none(), "already fenced");
+        assert!(t.grant(2, now).is_none(), "backing off");
+        let (_, repack) = t.grant(2, now + expiry.backoff).expect("eligible again");
+        assert_eq!(repack, pack);
+    }
+
+    #[test]
+    fn journal_restored_packs_are_done_before_any_grant() {
+        let mut t = table(2);
+        t.mark_done(0);
+        t.mark_done(0); // idempotent
+        assert_eq!(t.remaining(), 1);
+        let (_, pack) = t.grant(1, Instant::now()).expect("grant");
+        assert_eq!(pack, 1, "done pack is never granted");
+    }
+}

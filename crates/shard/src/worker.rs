@@ -1,0 +1,293 @@
+//! The shard worker: `sfr shard work`.
+//!
+//! A worker is stateless and owns no journal: it connects, rebuilds
+//! the campaign from the coordinator's spec, proves it built the same
+//! one (fingerprint), then loops `REQUEST → compute → RESULT`. Packs
+//! are computed with [`compute_pack_payload`], the exact function the
+//! local grading path uses, so the payload words a worker ships are
+//! byte-identical to what the coordinator would have journaled itself.
+//!
+//! While computing, a side thread heartbeats the live lease at a third
+//! of the lease timeout. Panics inside the simulation are caught and
+//! normalized into quarantine payloads by `compute_pack_payload` — a
+//! poisoned pack is reported, not crashed on. Connection loss triggers
+//! reconnect with exponential backoff; the campaign spec is cached so
+//! a reconnect only re-classifies when the spec actually changed.
+
+use crate::chaos::Lcg;
+use crate::proto::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::spec::ShardSpec;
+use sfr_core::exec::SimKernel;
+use sfr_core::{compute_pack_payload, PreparedStudy, StuckAt};
+use sfr_exec::{NullProgress, Progress, ProgressEvent};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker-side settings for one `sfr shard work` run.
+#[derive(Debug, Clone)]
+pub struct WorkConfig {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Connection attempts before giving up (each attempt backs off
+    /// exponentially from 100 ms, capped at 2 s).
+    pub max_retries: u32,
+    /// Chaos: probability of stalling past the lease timeout (with
+    /// heartbeats suppressed) before sending a granted pack's result.
+    pub stall: f64,
+    /// Seed for the chaos generator.
+    pub chaos_seed: u64,
+}
+
+impl Default for WorkConfig {
+    fn default() -> Self {
+        WorkConfig {
+            connect: "127.0.0.1:9077".into(),
+            max_retries: 8,
+            stall: 0.0,
+            chaos_seed: 0,
+        }
+    }
+}
+
+/// What one worker run accomplished.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerSummary {
+    /// Packs computed and sent (some may have been fenced).
+    pub packs_computed: usize,
+    /// Sessions established (first connect plus reconnects).
+    pub connects: usize,
+    /// Chaos stalls injected.
+    pub stalls_injected: usize,
+}
+
+/// The campaign rebuilt from a spec, cached across reconnects.
+struct BuiltCampaign {
+    spec_text: String,
+    prepared: PreparedStudy,
+    faults: Vec<StuckAt>,
+    kernel: SimKernel,
+    lease_ms: u64,
+}
+
+/// A zero-lease means "no live lease; do not heartbeat".
+const NO_LEASE: u64 = 0;
+
+/// Runs the worker loop against the configured coordinator until the
+/// campaign completes (`DONE`), the coordinator disappears for good
+/// (retries exhausted — normal at campaign end), or the coordinator
+/// rejects this worker.
+///
+/// `progress` receives [`ProgressEvent::ShardBackoff`] per reconnect
+/// backoff; pass [`NullProgress`] when running headless.
+///
+/// # Errors
+///
+/// A human-readable message when the coordinator rejects the
+/// handshake (version or fingerprint mismatch) or the spec cannot be
+/// rebuilt into a study.
+pub fn work(cfg: &WorkConfig, progress: &dyn Progress) -> Result<WorkerSummary, String> {
+    let mut summary = WorkerSummary::default();
+    let mut cached: Option<BuiltCampaign> = None;
+    let mut rng = Lcg::new(cfg.chaos_seed);
+    let mut attempts = 0u32;
+    loop {
+        let stream = match TcpStream::connect(&cfg.connect) {
+            Ok(stream) => stream,
+            Err(e) => {
+                attempts += 1;
+                if attempts > cfg.max_retries {
+                    // The coordinator being gone is the normal end of a
+                    // campaign from the worker's point of view.
+                    if summary.connects == 0 {
+                        return Err(format!("cannot reach coordinator at {}: {e}", cfg.connect));
+                    }
+                    return Ok(summary);
+                }
+                let backoff = Duration::from_millis(100) * 2u32.pow((attempts - 1).min(4));
+                progress.event(ProgressEvent::ShardBackoff);
+                std::thread::sleep(backoff);
+                continue;
+            }
+        };
+        attempts = 0;
+        summary.connects += 1;
+        match session(stream, cfg, &mut cached, &mut rng, &mut summary)? {
+            SessionEnd::CampaignDone => return Ok(summary),
+            SessionEnd::ConnectionLost => continue,
+        }
+    }
+}
+
+enum SessionEnd {
+    CampaignDone,
+    ConnectionLost,
+}
+
+/// One connection's lifetime: handshake, then request/compute/result
+/// until `DONE` or the stream dies.
+fn session(
+    stream: TcpStream,
+    cfg: &WorkConfig,
+    cached: &mut Option<BuiltCampaign>,
+    rng: &mut Lcg,
+    summary: &mut WorkerSummary,
+) -> Result<SessionEnd, String> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return Ok(SessionEnd::ConnectionLost),
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let write = |frame: &Frame| -> io::Result<()> {
+        let mut guard = match writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        write_frame(&mut *guard, frame)
+    };
+
+    if write(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+    })
+    .is_err()
+    {
+        return Ok(SessionEnd::ConnectionLost);
+    }
+    let spec_text = match read_frame(&mut reader) {
+        Ok(Frame::Spec { text }) => text,
+        Ok(Frame::Reject { reason }) => return Err(format!("coordinator rejected us: {reason}")),
+        _ => return Ok(SessionEnd::ConnectionLost),
+    };
+
+    // Rebuild the campaign only when the spec changed — classification
+    // is the expensive part of a reconnect.
+    if cached.as_ref().map_or(true, |c| c.spec_text != spec_text) {
+        let spec = ShardSpec::parse(&spec_text)
+            .map_err(|e| format!("coordinator sent a bad spec: {e}"))?;
+        let prepared = spec
+            .study_builder()
+            .build()
+            .map_err(|e| format!("cannot build campaign from spec: {e}"))?;
+        let faults = prepared.classify_sfr(&NullProgress);
+        let kernel = prepared.engine_kind().build().kernel();
+        *cached = Some(BuiltCampaign {
+            spec_text,
+            prepared,
+            faults,
+            kernel,
+            lease_ms: spec.lease_ms,
+        });
+    }
+    let campaign = cached.as_ref().expect("campaign was just built");
+
+    if write(&Frame::Ready {
+        fingerprint: campaign.prepared.fingerprint(),
+    })
+    .is_err()
+    {
+        return Ok(SessionEnd::ConnectionLost);
+    }
+
+    // Heartbeat side thread: beats the current lease (if any) at a
+    // third of the lease timeout, sharing the write half.
+    let current_lease = Arc::new(AtomicU64::new(NO_LEASE));
+    let session_over = Arc::new(AtomicBool::new(false));
+    let end = std::thread::scope(|scope| {
+        {
+            let writer = Arc::clone(&writer);
+            let current_lease = Arc::clone(&current_lease);
+            let session_over = Arc::clone(&session_over);
+            let beat_every = Duration::from_millis((campaign.lease_ms / 3).max(10));
+            scope.spawn(move || {
+                while !session_over.load(Ordering::SeqCst) {
+                    std::thread::sleep(beat_every);
+                    let lease = current_lease.load(Ordering::SeqCst);
+                    if lease != NO_LEASE {
+                        let mut guard = match writer.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        let _ = write_frame(&mut *guard, &Frame::Heartbeat { lease });
+                    }
+                }
+            });
+        }
+
+        let end = request_loop(
+            &mut reader,
+            &write,
+            campaign,
+            cfg,
+            rng,
+            &current_lease,
+            summary,
+        );
+        session_over.store(true, Ordering::SeqCst);
+        end
+    });
+    end
+}
+
+/// The steady-state loop: request, compute, send, repeat.
+#[allow(clippy::too_many_arguments)]
+fn request_loop(
+    reader: &mut TcpStream,
+    write: &dyn Fn(&Frame) -> io::Result<()>,
+    campaign: &BuiltCampaign,
+    cfg: &WorkConfig,
+    rng: &mut Lcg,
+    current_lease: &AtomicU64,
+    summary: &mut WorkerSummary,
+) -> Result<SessionEnd, String> {
+    loop {
+        if write(&Frame::Request).is_err() {
+            return Ok(SessionEnd::ConnectionLost);
+        }
+        let frame = match read_frame(reader) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(SessionEnd::ConnectionLost),
+        };
+        match frame {
+            Frame::Grant { lease, pack } => {
+                let pack_idx = pack as usize;
+                // Chaos stall: freeze past the lease deadline with
+                // heartbeats suppressed, so the coordinator expires the
+                // lease and our eventual result arrives fenced.
+                let stalled = rng.chance(cfg.stall);
+                if stalled {
+                    summary.stalls_injected += 1;
+                    std::thread::sleep(Duration::from_millis(campaign.lease_ms * 2));
+                } else {
+                    current_lease.store(lease, Ordering::SeqCst);
+                }
+                let payload = compute_pack_payload(
+                    campaign.prepared.system(),
+                    &campaign.faults,
+                    pack_idx,
+                    campaign.prepared.grade_config(),
+                    campaign.kernel,
+                );
+                current_lease.store(NO_LEASE, Ordering::SeqCst);
+                summary.packs_computed += 1;
+                if write(&Frame::Result {
+                    lease,
+                    pack,
+                    payload,
+                })
+                .is_err()
+                {
+                    return Ok(SessionEnd::ConnectionLost);
+                }
+            }
+            Frame::NoWork { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 2_000)));
+            }
+            Frame::Done => return Ok(SessionEnd::CampaignDone),
+            Frame::Reject { reason } => return Err(format!("coordinator rejected us: {reason}")),
+            _ => return Ok(SessionEnd::ConnectionLost),
+        }
+    }
+}

@@ -140,6 +140,28 @@ else
     diff "$SMOKE_DIR/killed.out" "$SMOKE_DIR/resumed.out"
 fi
 
+echo "== shard chaos (coordinator + 3 kill-chaos workers vs single-process) =="
+SHARD_DIR="$(mktemp -d)"
+for bench in diffeq facet poly fir; do
+    "$SFR" grade "$bench" --patterns 240 \
+        --manifest-out "$SHARD_DIR/$bench-ref-manifest.json" --quiet \
+        > "$SHARD_DIR/$bench-ref.out" 2>/dev/null
+    for t in 1 2 8; do
+        # The hard timeout turns a wedged coordinator into a fast CI
+        # failure instead of a hang.
+        timeout 180 "$SFR" shard serve "$bench" --patterns 240 --threads "$t" \
+            --spawn-workers 3 --chaos kill=0.3 --chaos-seed "$((4242 + t))" \
+            --lease-ms 500 --grace-ms 4000 \
+            --manifest-out "$SHARD_DIR/$bench-$t-manifest.json" --quiet \
+            > "$SHARD_DIR/$bench-$t.out" 2>"$SHARD_DIR/$bench-$t.err"
+        diff "$SHARD_DIR/$bench-ref.out" "$SHARD_DIR/$bench-$t.out"
+        [ "$(manifest_fp "$SHARD_DIR/$bench-ref-manifest.json")" = \
+          "$(manifest_fp "$SHARD_DIR/$bench-$t-manifest.json")" ]
+    done
+    echo "   $bench: chaos-ravaged shard tables and fingerprints match at 1/2/8 threads"
+done
+rm -rf "$SHARD_DIR"
+
 echo "== cargo bench --no-run =="
 cargo bench --workspace --no-run
 

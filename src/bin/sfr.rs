@@ -13,6 +13,10 @@
 //! sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]
 //!                             [--engine NAME]
 //! sfr table2      [--patterns N] [--threads N] [--engine NAME]
+//! sfr shard serve <benchmark> [grade flags] [--addr HOST:PORT] [--lease-ms N]
+//!                             [--grace-ms N] [--spawn-workers N]
+//!                             [--chaos kill=P,stall=P] [--chaos-seed N]
+//! sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]
 //! ```
 //!
 //! `<benchmark>` is one of `diffeq`, `facet`, `poly`, `fir`.
@@ -47,6 +51,15 @@
 //! simulation and prunes them from the campaign; results are
 //! byte-identical to the unpruned run.
 //!
+//! `shard serve` runs a `grade` campaign as a fault-tolerant
+//! distributed coordinator: grade packs are leased to connecting
+//! `shard work` processes over a length-prefixed TCP protocol with
+//! heartbeats, expired leases are reassigned under exponential
+//! backoff, stale results are fenced, and the merged table is
+//! byte-identical to a local `grade` run — even with zero workers
+//! (graceful local fallback) or with the built-in chaos harness
+//! (`--chaos kill=P,stall=P`) killing and stalling workers mid-run.
+//!
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
@@ -64,6 +77,7 @@
 
 use sfr_power::exec::{Counters, EngineKind, Progress, Tee};
 use sfr_power::obs::{Metrics, TraceWriter, TtyStatus};
+use sfr_power::shard;
 use sfr_power::{
     benchmarks, classify_system_with, describe_effect, ClassifyConfig, EmittedSystem, FaultClass,
     Logic, StuckAt, StudyBuilder, System, SystemConfig,
@@ -83,6 +97,9 @@ fn usage() -> ExitCode {
          sfr testprogram <benchmark> [--width N] [--patterns N] [--out FILE] [--threads N]\n                  \
          [--engine NAME]\n  \
          sfr table2      [--patterns N] [--threads N] [--engine NAME]\n  \
+         sfr shard serve <benchmark> [grade flags] [--addr HOST:PORT] [--lease-ms N]\n                  \
+         [--grace-ms N] [--spawn-workers N] [--chaos kill=P,stall=P] [--chaos-seed N]\n  \
+         sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]\n  \
          sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n\
          observability (classify/grade/testprogram): [--trace-out FILE] [--metrics-out FILE]\n                  \
          [--manifest-out FILE] [--force] [--quiet]\n\
@@ -352,35 +369,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     eprintln!("manifest written to {path}");
                 }
             }
-            println!(
-                "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
-                study.baseline.mean_uw
-            );
-            let mut flagged = 0;
-            for g in &study.grades {
-                if g.flagged {
-                    flagged += 1;
-                }
-                println!(
-                    "  {:<14} {:>9.2} uW {:>+8.2}% {}",
-                    g.fault.to_string(),
-                    g.mean_uw,
-                    g.pct_change,
-                    if g.flagged { "DETECTED" } else { "" }
-                );
-            }
-            println!(
-                "{flagged}/{} undetectable faults flagged by power",
-                study.grades.len()
-            );
-            if !study.is_clean() {
-                eprint!("{}", sfr_power::render_incidents(&study));
-                return Err(format!(
-                    "study completed with {} incident(s)",
-                    study.incidents.len()
-                ));
-            }
-            Ok(())
+            print_grade_table(&name, threshold, &study)
         }
         "lint" => {
             let report = if args.switch("--fixture") {
@@ -542,6 +531,160 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             }
             Ok(())
         }
+        "shard" => {
+            let sub = args
+                .positional()
+                .ok_or("missing shard subcommand (serve|work)")?;
+            let chaos_seed: u64 = args
+                .flag("--chaos-seed")
+                .map(|s| s.parse().map_err(|_| "bad --chaos-seed"))
+                .transpose()?
+                .unwrap_or(0x5FAD);
+            match sub.as_str() {
+                "serve" => {
+                    let name = args.positional().ok_or("missing benchmark name")?;
+                    let addr = args
+                        .flag("--addr")
+                        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+                    let lease_ms: u64 = args
+                        .flag("--lease-ms")
+                        .map(|s| s.parse().map_err(|_| "bad --lease-ms"))
+                        .transpose()?
+                        .unwrap_or(2_000);
+                    let grace_ms: u64 = args
+                        .flag("--grace-ms")
+                        .map(|s| s.parse().map_err(|_| "bad --grace-ms"))
+                        .transpose()?
+                        .unwrap_or(3_000);
+                    let spawn_workers: usize = args
+                        .flag("--spawn-workers")
+                        .map(|s| s.parse().map_err(|_| "bad --spawn-workers"))
+                        .transpose()?
+                        .unwrap_or(0);
+                    let chaos = match args.flag("--chaos") {
+                        Some(text) => shard::ChaosConfig::parse(&text)?,
+                        None => shard::ChaosConfig::default(),
+                    };
+                    if lease_ms == 0 {
+                        return Err("--lease-ms must be positive".into());
+                    }
+
+                    let mut spec = shard::ShardSpec::new(&name, width);
+                    spec.patterns = patterns;
+                    spec.threshold_pct = threshold;
+                    spec.static_prune = static_prune;
+                    spec.cycle_budget = cycle_budget;
+                    spec.engine = engine;
+                    spec.lease_ms = lease_ms;
+
+                    let mut builder = spec.study_builder().threads(threads).force(force);
+                    // The coordinator merges through journal replay, so
+                    // a journal is mandatory; without --checkpoint it
+                    // lives in a temp file for the run's duration.
+                    let mut temp_journal = None;
+                    match (&checkpoint, &resume) {
+                        (_, Some(path)) => builder = builder.resume(path),
+                        (Some(path), None) => builder = builder.checkpoint(path),
+                        (None, None) => {
+                            let path = std::env::temp_dir()
+                                .join(format!("sfr-shard-{name}-{}.journal", std::process::id()));
+                            builder = builder.checkpoint(&path);
+                            temp_journal = Some(path);
+                        }
+                    }
+                    if let Some(path) = &manifest_out {
+                        builder = builder.manifest_out(path);
+                    }
+                    let prepared = builder.build().map_err(|e| e.to_string())?;
+
+                    let (bound_tx, bound_rx) = std::sync::mpsc::channel();
+                    let serve_cfg = shard::ServeConfig {
+                        addr,
+                        lease: std::time::Duration::from_millis(lease_ms),
+                        grace: std::time::Duration::from_millis(grace_ms),
+                        spawn_workers,
+                        chaos,
+                        chaos_seed,
+                        bound: Some(bound_tx),
+                        ..Default::default()
+                    };
+                    // The listener may pick an ephemeral port; announce
+                    // the real address once it is bound.
+                    let announce = std::thread::spawn(move || {
+                        if let Ok(addr) = bound_rx.recv() {
+                            eprintln!(
+                                "serving grade packs on {addr} \
+                                 ({spawn_workers} spawned worker(s), lease {lease_ms} ms)..."
+                            );
+                        }
+                    });
+                    let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+                    let sinks = obs.sinks();
+                    let tee = Tee::new(&sinks);
+                    let result = shard::serve(prepared, &spec, &serve_cfg, &tee);
+                    drop(sinks);
+                    drop(serve_cfg);
+                    let _ = announce.join();
+                    if let Some(path) = &temp_journal {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    let (study, stats) = result?;
+                    obs.finish()?;
+                    eprintln!(
+                        "shard: {} worker connection(s), {} lease(s) granted, {} expired, \
+                         {} result(s) fenced, {} pack(s) merged from workers, {} local, \
+                         {} chaos kill(s)",
+                        stats.workers_connected,
+                        stats.leases_granted,
+                        stats.leases_expired,
+                        stats.results_fenced,
+                        stats.packs_merged_remote,
+                        stats.packs_local,
+                        stats.chaos_kills
+                    );
+                    if let Some(path) = &manifest_out {
+                        if std::path::Path::new(path).exists() {
+                            eprintln!("manifest written to {path}");
+                        }
+                    }
+                    print_grade_table(&name, threshold, &study)
+                }
+                "work" => {
+                    let connect = args
+                        .flag("--connect")
+                        .ok_or("shard work needs --connect HOST:PORT")?;
+                    let max_retries: u32 = args
+                        .flag("--max-retries")
+                        .map(|s| s.parse().map_err(|_| "bad --max-retries"))
+                        .transpose()?
+                        .unwrap_or(8);
+                    let stall: f64 = args
+                        .flag("--stall")
+                        .map(|s| s.parse().map_err(|_| "bad --stall"))
+                        .transpose()?
+                        .unwrap_or(0.0);
+                    let work_cfg = shard::WorkConfig {
+                        connect,
+                        max_retries,
+                        stall,
+                        chaos_seed,
+                    };
+                    let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+                    let sinks = obs.sinks();
+                    let tee = Tee::new(&sinks);
+                    let result = shard::work(&work_cfg, &tee);
+                    drop(sinks);
+                    let summary = result?;
+                    obs.finish()?;
+                    eprintln!(
+                        "worker: {} pack(s) computed over {} session(s), {} chaos stall(s)",
+                        summary.packs_computed, summary.connects, summary.stalls_injected
+                    );
+                    Ok(())
+                }
+                other => Err(format!("unknown shard subcommand `{other}` (serve|work)")),
+            }
+        }
         "obs-check" => {
             let trace = args.flag("--trace");
             let manifest = args.flag("--manifest");
@@ -589,6 +732,41 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             Err(format!("unknown command `{cmd}`"))
         }
     }
+}
+
+/// Prints the grade table to stdout and turns incidents into a nonzero
+/// exit. Shared by `grade` and `shard serve` so the local and
+/// distributed paths emit byte-identical output.
+fn print_grade_table(name: &str, threshold: f64, study: &sfr_power::Study) -> Result<(), String> {
+    println!(
+        "{name}: fault-free datapath power {:.2} uW; band ±{threshold}%",
+        study.baseline.mean_uw
+    );
+    let mut flagged = 0;
+    for g in &study.grades {
+        if g.flagged {
+            flagged += 1;
+        }
+        println!(
+            "  {:<14} {:>9.2} uW {:>+8.2}% {}",
+            g.fault.to_string(),
+            g.mean_uw,
+            g.pct_change,
+            if g.flagged { "DETECTED" } else { "" }
+        );
+    }
+    println!(
+        "{flagged}/{} undetectable faults flagged by power",
+        study.grades.len()
+    );
+    if !study.is_clean() {
+        eprint!("{}", sfr_power::render_incidents(study));
+        return Err(format!(
+            "study completed with {} incident(s)",
+            study.incidents.len()
+        ));
+    }
+    Ok(())
 }
 
 fn sfr_netlist_stats(nl: &sfr_power::Netlist) -> String {

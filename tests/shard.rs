@@ -1,0 +1,290 @@
+//! Distributed shard campaign integration tests.
+//!
+//! These drive the real TCP protocol end to end — coordinator and
+//! workers in one process, on an ephemeral localhost port — and check
+//! the tentpole guarantee: a distributed run (healthy, chaotic, or
+//! abandoned) produces byte-identical reports to a plain local run,
+//! and zombie results are fenced before they can touch the journal.
+
+#![allow(clippy::unwrap_used)]
+
+use sfr_power::exec::NullProgress;
+use sfr_power::shard::{
+    self, read_frame, write_frame, Frame, ServeConfig, ShardSpec, ShardStats, WorkConfig,
+    PROTOCOL_VERSION,
+};
+use sfr_power::{render_classification_csv, render_table1, Study};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sfr-shard-{}-{name}", std::process::id()));
+    p
+}
+
+/// The smallest campaign in the suite: facet has 15 SFR faults — one
+/// grade pack — so these tests exercise every protocol path without
+/// long debug-profile simulations.
+fn quick_spec() -> ShardSpec {
+    let mut spec = ShardSpec::new("facet", 4).quick_monte_carlo();
+    spec.patterns = 240;
+    spec
+}
+
+/// Byte-comparable study reports (float formatting is shortest-
+/// roundtrip, so equal strings mean bit-identical grades).
+fn reports(study: &Study) -> (String, String) {
+    (render_table1(study, 5), render_classification_csv(study))
+}
+
+fn local_baseline(spec: &ShardSpec, name: &str) -> Study {
+    let journal = scratch(name);
+    let _ = std::fs::remove_file(&journal);
+    let study = spec
+        .study_builder()
+        .checkpoint(&journal)
+        .build()
+        .unwrap()
+        .run();
+    let _ = std::fs::remove_file(&journal);
+    study
+}
+
+/// Runs `serve` on an ephemeral port in a scoped thread and hands the
+/// bound address to `drive`, which plays the worker side.
+fn serve_campaign(
+    spec: &ShardSpec,
+    cfg: ServeConfig,
+    journal_name: &str,
+    drive: impl FnOnce(std::net::SocketAddr) + Send,
+) -> (Study, ShardStats) {
+    let journal = scratch(journal_name);
+    let _ = std::fs::remove_file(&journal);
+    let prepared = spec.study_builder().checkpoint(&journal).build().unwrap();
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServeConfig {
+        bound: Some(tx),
+        ..cfg
+    };
+    let result = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| shard::serve(prepared, spec, &cfg, &NullProgress));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("coordinator never bound");
+        drive(addr);
+        serve.join().expect("serve thread panicked")
+    });
+    let _ = std::fs::remove_file(&journal);
+    result.expect("serve failed")
+}
+
+#[test]
+fn distributed_run_is_byte_identical_to_local() {
+    let spec = quick_spec();
+    let baseline = local_baseline(&spec, "dist-base.journal");
+
+    let cfg = ServeConfig {
+        grace: Duration::from_millis(8_000),
+        ..Default::default()
+    };
+    let (study, stats) = serve_campaign(&spec, cfg, "dist.journal", |addr| {
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let connect = addr.to_string();
+                scope.spawn(move || {
+                    let cfg = WorkConfig {
+                        connect,
+                        ..Default::default()
+                    };
+                    shard::work(&cfg, &NullProgress).expect("worker failed")
+                });
+            }
+        });
+    });
+
+    assert!(
+        stats.packs_merged_remote >= 1,
+        "no pack was merged from a worker: {stats:?}"
+    );
+    assert_eq!(
+        stats.results_fenced, 0,
+        "healthy run fenced results: {stats:?}"
+    );
+    assert!(
+        study.incidents.is_empty(),
+        "incidents: {:?}",
+        study.incidents
+    );
+    assert_eq!(reports(&baseline), reports(&study));
+}
+
+#[test]
+fn stalled_worker_is_expired_and_fenced_but_run_stays_identical() {
+    let mut spec = quick_spec();
+    spec.lease_ms = 300;
+    let baseline = local_baseline(&spec, "stall-base.journal");
+
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(300),
+        grace: Duration::from_millis(5_000),
+        ..Default::default()
+    };
+    let (study, stats) = serve_campaign(&spec, cfg, "stall.journal", |addr| {
+        std::thread::scope(|scope| {
+            // A permanent staller connects first: it always sleeps past
+            // the lease with heartbeats suppressed, so every result it
+            // sends arrives under a stale token.
+            let stall_connect = addr.to_string();
+            scope.spawn(move || {
+                let cfg = WorkConfig {
+                    connect: stall_connect,
+                    stall: 1.0,
+                    chaos_seed: 11,
+                    ..Default::default()
+                };
+                let _ = shard::work(&cfg, &NullProgress);
+            });
+            std::thread::sleep(Duration::from_millis(150));
+            let connect = addr.to_string();
+            scope.spawn(move || {
+                let cfg = WorkConfig {
+                    connect,
+                    ..Default::default()
+                };
+                shard::work(&cfg, &NullProgress).expect("healthy worker failed")
+            });
+        });
+    });
+
+    assert!(stats.leases_expired >= 1, "no lease expired: {stats:?}");
+    assert!(
+        study.incidents.is_empty(),
+        "incidents: {:?}",
+        study.incidents
+    );
+    assert_eq!(reports(&baseline), reports(&study));
+}
+
+#[test]
+fn zombie_result_is_fenced_and_campaign_heals_locally() {
+    let mut spec = quick_spec();
+    spec.lease_ms = 300;
+    let baseline = local_baseline(&spec, "fence-base.journal");
+
+    let journal = scratch("fence.journal");
+    let _ = std::fs::remove_file(&journal);
+    let prepared = spec.study_builder().checkpoint(&journal).build().unwrap();
+    let fingerprint = prepared.fingerprint();
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(300),
+        grace: Duration::from_millis(2_500),
+        bound: Some(tx),
+        ..Default::default()
+    };
+    let result = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| shard::serve(prepared, &spec, &cfg, &NullProgress));
+        let addr = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+
+        // An obsolete worker is turned away at the door...
+        let mut old = TcpStream::connect(addr).unwrap();
+        write_frame(&mut old, &Frame::Hello { version: 0 }).unwrap();
+        assert!(
+            matches!(read_frame(&mut old).unwrap(), Frame::Reject { .. }),
+            "wrong protocol version must be rejected"
+        );
+        drop(old);
+
+        // ...as is a worker whose campaign doesn't match the spec.
+        let mut alien = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut alien,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut alien).unwrap(),
+            Frame::Spec { .. }
+        ));
+        write_frame(
+            &mut alien,
+            &Frame::Ready {
+                fingerprint: !fingerprint,
+            },
+        )
+        .unwrap();
+        assert!(
+            matches!(read_frame(&mut alien).unwrap(), Frame::Reject { .. }),
+            "fingerprint mismatch must be rejected"
+        );
+        drop(alien);
+
+        // A zombie takes a lease, never heartbeats, and delivers a
+        // garbage payload three lease-lifetimes later. The payload
+        // must be fenced, and the campaign must finish locally.
+        let mut zombie = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut zombie,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut zombie).unwrap(),
+            Frame::Spec { .. }
+        ));
+        write_frame(&mut zombie, &Frame::Ready { fingerprint }).unwrap();
+        write_frame(&mut zombie, &Frame::Request).unwrap();
+        let Frame::Grant { lease, pack } = read_frame(&mut zombie).unwrap() else {
+            panic!("expected a GRANT for the only pack");
+        };
+        std::thread::sleep(Duration::from_millis(900));
+        let _ = write_frame(
+            &mut zombie,
+            &Frame::Result {
+                lease,
+                pack,
+                payload: vec![0xDEAD_BEEF; 3],
+            },
+        );
+        drop(zombie);
+
+        serve.join().expect("serve thread panicked")
+    });
+    let _ = std::fs::remove_file(&journal);
+    let (study, stats) = result.expect("serve failed");
+
+    assert!(
+        stats.leases_expired >= 1,
+        "zombie lease never expired: {stats:?}"
+    );
+    assert!(
+        stats.results_fenced >= 1,
+        "zombie result was not fenced: {stats:?}"
+    );
+    assert_eq!(
+        stats.packs_merged_remote, 0,
+        "a fenced payload reached the journal: {stats:?}"
+    );
+    assert!(
+        study.incidents.is_empty(),
+        "incidents: {:?}",
+        study.incidents
+    );
+    assert_eq!(reports(&baseline), reports(&study));
+}
+
+#[test]
+fn serve_requires_a_checkpoint_journal() {
+    let spec = quick_spec();
+    let prepared = spec.study_builder().build().unwrap();
+    let err = shard::serve(prepared, &spec, &ServeConfig::default(), &NullProgress)
+        .expect_err("serve without a journal must fail");
+    assert!(err.contains("journal"), "unhelpful error: {err}");
+}
