@@ -20,10 +20,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sfr_bench::quick_config;
 use sfr_core::exec::{Counters, EngineKind, NullProgress, SimKernel};
 use sfr_core::{
-    benchmarks, classify_system_with, grade_faults_scalar_with, grade_faults_with,
-    grade_faults_with_kernel, measure_power_lanes_with_testset, measure_power_tape_watched,
-    measure_power_with_testset, GradeConfig, MonteCarloConfig, PowerGrade, StuckAt, System,
-    TapeProgram, TestSet, W256,
+    analyze_controller_static, benchmarks, classify_system_with, grade_faults_scalar_with,
+    grade_faults_with, grade_faults_with_kernel, measure_power_lanes_with_testset,
+    measure_power_tape_watched, measure_power_with_testset, static_rule_label, FaultClasses,
+    GradeConfig, MonteCarloConfig, PowerGrade, StuckAt, System, SystemConfig, TapeProgram, TestSet,
+    W256,
 };
 use std::time::Instant;
 
@@ -235,6 +236,47 @@ fn bench(c: &mut Criterion) {
         );
     }
     engines_json.truncate(engines_json.trim_end_matches(",\n").len());
+    // The analyze stage (`sfr analyze`): per-benchmark collapse ratio
+    // and the wall time of the full static pass — equivalence-class
+    // partition plus the abstract-interpretation/table/oracle rules.
+    // The claim worth tracking is that shrinking the universe costs
+    // milliseconds against grading sweeps that cost seconds.
+    let mut collapse_json = String::new();
+    for (bench, emitted) in benchmarks::extended_benchmarks(4).expect("benchmarks build") {
+        let csys = System::build(&emitted, SystemConfig::default()).expect("system builds");
+        let universe = csys.controller_faults();
+        let start = Instant::now();
+        let classes = FaultClasses::build(&csys.netlist, &universe);
+        let analysis = analyze_controller_static(&csys);
+        let mut campaign = std::collections::BTreeSet::new();
+        for (i, &f) in universe.iter().enumerate() {
+            if static_rule_label(&csys, &analysis, f).is_none() {
+                campaign.insert(classes.representative(i));
+            }
+        }
+        let analyze_seconds = start.elapsed().as_secs_f64();
+        collapse_json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"universe\": {}, \"classes\": {}, \
+             \"collapse_ratio\": {:.4}, \"campaign\": {}, \"analyze_seconds\": {:.4}}},\n",
+            bench,
+            classes.len(),
+            classes.class_count(),
+            classes.collapse_ratio(),
+            campaign.len(),
+            analyze_seconds
+        ));
+        eprintln!(
+            "  analyze {:<7} {:>3}/{:<3} classes (ratio {:.3}), campaign {:>3}, {:>7.4} s",
+            bench,
+            classes.class_count(),
+            classes.len(),
+            classes.collapse_ratio(),
+            campaign.len(),
+            analyze_seconds
+        );
+    }
+    collapse_json.truncate(collapse_json.trim_end_matches(",\n").len());
+
     let (lanes_fps, lanes_cps) = metric(&lanes);
     let (threaded_fps, _) = metric(&threaded);
     let (tape_fps, tape_cps) = metric(&tape);
@@ -249,7 +291,7 @@ fn bench(c: &mut Criterion) {
          \"speedup_tape_mt\": {:.2},\n  \"tape_vs_lanes_1t_cycles\": {:.2},\n  \
          \"tape_wide_vs_lanes_1t_cycles\": {:.2},\n  \"tape_mt_vs_lanes_1t_cycles\": {:.2},\n  \
          \"trace_overhead_pct\": {:.2},\n  \
-         \"baseline_cycles_per_sec\": {:.0}\n}}\n",
+         \"baseline_cycles_per_sec\": {:.0},\n  \"collapse\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         faults.len(),
         threads,
@@ -264,7 +306,8 @@ fn bench(c: &mut Criterion) {
         tape_wide_cps / lanes_cps,
         tape_mt_cps / lanes_cps,
         trace_overhead_pct,
-        scalar_cps
+        scalar_cps,
+        collapse_json
     );
     // The quick CI smoke exercises the whole bench but must not clobber
     // the committed full-mode numbers.

@@ -75,8 +75,9 @@ pub use grade::{
 };
 pub use oracle::{judge, Mismatch, Verdict, HOLD_OBSERVE_CYCLES, LOOP_DEPTHS};
 pub use pipeline::{
-    classify_system, classify_system_journaled, classify_system_with, Classification,
-    ClassifiedFault, ClassifyConfig, FaultClass, SfiReason,
+    classify_system, classify_system_collapsed, classify_system_journaled, classify_system_with,
+    collapse_grading_set, static_rule_label, Classification, ClassifiedFault, ClassifyConfig,
+    FaultClass, SfiReason,
 };
 pub use rules::{classify_effect, judge_by_rules, EffectClass, RuleVerdict};
 pub use table::{analyze_controller_fault, ControlLineEffect, ControllerBehavior};

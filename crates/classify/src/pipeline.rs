@@ -13,16 +13,18 @@
 //!    symbolic input-output [oracle](crate::judge) decides the
 //!    data-dependent ones — yielding the final SFR/SFI split.
 
+use std::collections::HashMap;
+
 use crate::oracle::{judge, Mismatch, Verdict};
 use crate::rules::{judge_by_rules, RuleVerdict};
 use crate::table::{analyze_controller_fault, ControlLineEffect};
-use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress, ProgressEvent};
+use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress, ProgressEvent, TraceRecord};
 use sfr_faultsim::{
     golden_trace, run_campaign_quarantined, Detection, Engine, LaneEngine, QuarantinedChunk,
     RunConfig, SerialEngine, System,
 };
 use sfr_journal::CampaignJournal;
-use sfr_netlist::StuckAt;
+use sfr_netlist::{FaultClasses, StuckAt};
 use sfr_tpg::TestSet;
 
 /// Why a fault was classified SFI.
@@ -196,6 +198,32 @@ pub fn classify_system_journaled(
     progress: &dyn Progress,
     journal: Option<&CampaignJournal>,
 ) -> (Classification, Vec<QuarantinedChunk>) {
+    classify_system_collapsed(sys, cfg, engine, progress, journal, false)
+}
+
+/// [`classify_system_journaled`] plus structural fault collapsing: with
+/// `collapse` set, equivalence classes from
+/// [`FaultClasses`] are built over the controller
+/// universe and only one *campaign representative* per class — the
+/// class's first member the static pre-pass left undecided — enters the
+/// fault-simulation campaign. Every folded member then clones its
+/// representative's verdict with its own fault identity restored.
+///
+/// Equivalent faults produce faulty machines that agree at every
+/// observation point (system outputs, watchdog state decode, datapath
+/// activity), so the representative's detection verdict, detection
+/// cycle, table effects, and oracle verdict are the member's own — the
+/// returned [`Classification`] is bit-identical to the uncollapsed run.
+/// Members whose representative landed in a quarantined chunk are
+/// absent, exactly as the representative is.
+pub fn classify_system_collapsed(
+    sys: &System,
+    cfg: &ClassifyConfig,
+    engine: &dyn Engine,
+    progress: &dyn Progress,
+    journal: Option<&CampaignJournal>,
+    collapse: bool,
+) -> (Classification, Vec<QuarantinedChunk>) {
     let faults = sys.controller_faults();
 
     // Static pre-pass: classify what needs no simulation, prune it
@@ -213,12 +241,50 @@ pub fn classify_system_journaled(
         }
         timer.finish();
     }
-    let undecided: Vec<StuckAt> = faults
-        .iter()
-        .zip(&decided)
-        .filter(|(_, d)| d.is_none())
-        .map(|(&f, _)| f)
-        .collect();
+
+    // Collapse: pick one campaign representative per equivalence class
+    // and remember, for every folded member, whose verdict it inherits.
+    // The pre-pass decides classes all-or-none (equivalent faults have
+    // identical controller tables), so a class either vanishes entirely
+    // or fields exactly one representative.
+    let mut campaign: Vec<StuckAt> = Vec::with_capacity(faults.len());
+    let mut inherits: Vec<Option<StuckAt>> = vec![None; faults.len()];
+    if collapse {
+        let timer = PhaseTimer::start(progress, Phase::Collapse);
+        let classes = FaultClasses::build(&sys.netlist, &faults);
+        let mut chosen: HashMap<usize, StuckAt> = HashMap::new();
+        for (i, (&f, d)) in faults.iter().zip(&decided).enumerate() {
+            if d.is_some() {
+                continue;
+            }
+            match chosen.get(&classes.representative(i)) {
+                None => {
+                    chosen.insert(classes.representative(i), f);
+                    campaign.push(f);
+                }
+                Some(&rep) => {
+                    inherits[i] = Some(rep);
+                    progress.event(ProgressEvent::FaultCollapsed);
+                }
+            }
+        }
+        if progress.wants_records() {
+            progress.record(&TraceRecord::Collapse {
+                universe: classes.len(),
+                classes: classes.class_count(),
+                merged: classes.merged_count(),
+            });
+        }
+        timer.finish();
+    } else {
+        campaign.extend(
+            faults
+                .iter()
+                .zip(&decided)
+                .filter(|(_, d)| d.is_none())
+                .map(|(&f, _)| f),
+        );
+    }
 
     let timer = PhaseTimer::start(progress, Phase::Golden);
     let ts = TestSet::pseudorandom(sys.pattern_width(), cfg.test_patterns, cfg.test_seed)
@@ -228,7 +294,7 @@ pub fn classify_system_journaled(
 
     let timer = PhaseTimer::start(progress, Phase::FaultSim);
     let (outcomes, quarantined) =
-        run_campaign_quarantined(engine, sys, &golden, &undecided, progress, journal);
+        run_campaign_quarantined(engine, sys, &golden, &campaign, progress, journal);
     timer.finish();
 
     // Steps 2–4 are independent per fault; shard them to the engine's
@@ -239,16 +305,21 @@ pub fn classify_system_journaled(
         classify_outcome(sys, outcomes[i])
     });
 
-    // Merge statically-decided faults back into fault-universe order.
-    // `classified` is an ordered subsequence of `undecided` (faults in
-    // quarantined chunks carry no verdict and stay absent).
-    let mut simulated = classified.into_iter().peekable();
+    // Merge back into fault-universe order: statically-decided faults
+    // carry their own record, simulated faults look themselves up, and
+    // folded members look up their representative and re-label the
+    // clone. Faults in quarantined chunks (and their folded members)
+    // carry no verdict and stay absent.
+    let simulated: HashMap<StuckAt, ClassifiedFault> =
+        classified.into_iter().map(|c| (c.fault, c)).collect();
     let mut merged: Vec<ClassifiedFault> = Vec::with_capacity(faults.len());
-    for (f, d) in faults.iter().zip(decided) {
+    for (i, (&f, d)) in faults.iter().zip(decided).enumerate() {
         if let Some(c) = d {
             merged.push(c);
-        } else if simulated.peek().is_some_and(|c| c.fault == *f) {
-            merged.push(simulated.next().expect("peeked element exists"));
+        } else if let Some(c) = simulated.get(&inherits[i].unwrap_or(f)) {
+            let mut c = c.clone();
+            c.fault = f;
+            merged.push(c);
         }
     }
 
@@ -304,6 +375,72 @@ fn static_decide(
             effects: behavior.effects,
             rule_verdict,
         }),
+        Verdict::Irredundant(_) => None,
+    }
+}
+
+/// Collapses a universe-ordered SFR list to its grading set: one
+/// representative per structural equivalence class (the class's first
+/// SFR member) plus the member → representative map for expanding the
+/// representatives' power grades back over the whole list.
+///
+/// Equivalence classes never split across verdicts — equivalent faults
+/// share their controller table, detection behaviour, and datapath
+/// activity — so each class is either absent from `sfr` or present in
+/// full, and the representative's grade is every member's grade.
+pub fn collapse_grading_set(
+    sys: &System,
+    sfr: &[StuckAt],
+) -> (Vec<StuckAt>, HashMap<StuckAt, StuckAt>) {
+    let universe = sys.controller_faults();
+    let classes = FaultClasses::build(&sys.netlist, &universe);
+    let index: HashMap<StuckAt, usize> =
+        universe.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let mut reps = Vec::with_capacity(sfr.len());
+    let mut rep_of = HashMap::with_capacity(sfr.len());
+    let mut chosen: HashMap<usize, StuckAt> = HashMap::new();
+    for &f in sfr {
+        let root = classes.representative(index[&f]);
+        let rep = *chosen.entry(root).or_insert_with(|| {
+            reps.push(f);
+            f
+        });
+        rep_of.insert(f, rep);
+    }
+    (reps, rep_of)
+}
+
+/// Attribution for `sfr analyze`: which static rule decides `fault`
+/// without any simulation. Returns the deciding rule's stable label —
+/// `dead-cone`, `constant-site`, `masked-propagation`,
+/// `parity-cancellation` (CFR proofs, cheapest first), `table-cfr`, or
+/// `oracle-sfr` — or `None` when only campaign evidence can finish the
+/// classification. Decisions match [`classify_system_collapsed`]'s
+/// static pre-pass exactly.
+pub fn static_rule_label(
+    sys: &System,
+    analysis: &sfr_lint::StaticAnalysis,
+    fault: StuckAt,
+) -> Option<&'static str> {
+    use sfr_lint::StaticCfrReason;
+    let sf = sys.fault_to_standalone(fault)?;
+    if let Some(reason) = sfr_lint::statically_cfr(sys, analysis, sf) {
+        return Some(match reason {
+            StaticCfrReason::DeadCone => "dead-cone",
+            StaticCfrReason::ConstantSite => "constant-site",
+            StaticCfrReason::MaskedPropagation => "masked-propagation",
+            StaticCfrReason::ParityCancellation => "parity-cancellation",
+        });
+    }
+    let behavior = analyze_controller_fault(sys, sf);
+    if behavior.is_cfr() {
+        return Some("table-cfr");
+    }
+    if behavior.sequence_altering {
+        return None;
+    }
+    match judge(sys, &behavior.faulty_outputs) {
+        Verdict::Redundant => Some("oracle-sfr"),
         Verdict::Irredundant(_) => None,
     }
 }
@@ -502,6 +639,55 @@ mod tests {
             c.total() - snap.faults_pruned,
             "pruned faults must not enter the campaign"
         );
+    }
+
+    #[test]
+    fn collapsed_classification_is_bit_identical() {
+        for sys in [toy_system(), muxed_system()] {
+            for static_prune in [false, true] {
+                let cfg = ClassifyConfig {
+                    static_prune,
+                    ..quick_cfg()
+                };
+                let (plain, _) = classify_system_collapsed(
+                    &sys,
+                    &cfg,
+                    &LaneEngine,
+                    &sfr_exec::NullProgress,
+                    None,
+                    false,
+                );
+                let (collapsed, _) = classify_system_collapsed(
+                    &sys,
+                    &cfg,
+                    &LaneEngine,
+                    &sfr_exec::NullProgress,
+                    None,
+                    true,
+                );
+                assert_eq!(plain.faults.len(), collapsed.faults.len());
+                for (a, b) in plain.faults.iter().zip(&collapsed.faults) {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "fault {}", a.fault);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_campaign_simulates_only_representatives() {
+        let sys = toy_system();
+        let counters = sfr_exec::Counters::new();
+        let (c, _) =
+            classify_system_collapsed(&sys, &quick_cfg(), &LaneEngine, &counters, None, true);
+        let snap = counters.snapshot();
+        assert_eq!(c.total(), sys.controller_faults().len());
+        assert_eq!(
+            snap.faults_simulated + snap.faults_collapsed + snap.faults_pruned,
+            c.total(),
+            "every fault is simulated, folded, or statically pruned"
+        );
+        let classes = FaultClasses::build(&sys.netlist, &sys.controller_faults());
+        assert_eq!(snap.faults_collapsed, classes.merged_count());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub struct StudyBuilder {
     cycle_budget: Option<usize>,
     manifest_out: Option<PathBuf>,
     force: bool,
+    collapse: bool,
 }
 
 impl StudyBuilder {
@@ -78,6 +79,7 @@ impl StudyBuilder {
             cycle_budget: None,
             manifest_out: None,
             force: false,
+            collapse: false,
         }
     }
 
@@ -94,6 +96,7 @@ impl StudyBuilder {
             cycle_budget: None,
             manifest_out: None,
             force: false,
+            collapse: false,
         }
     }
 
@@ -146,6 +149,21 @@ impl StudyBuilder {
     /// and grade table are bit-identical to the unpruned run.
     pub fn static_prune(mut self, enabled: bool) -> Self {
         self.cfg.classify.static_prune = enabled;
+        self
+    }
+
+    /// Enables structural fault collapsing: equivalence classes over
+    /// the controller fault universe
+    /// ([`sfr_netlist::FaultClasses`]) are built before the campaign,
+    /// only one representative per class is simulated and power-graded,
+    /// and every member inherits its representative's verdict and
+    /// grade. The classification and grade table are bit-identical to
+    /// the uncollapsed run at any thread count and engine.
+    ///
+    /// Composes with [`static_prune`](Self::static_prune) — the
+    /// pre-pass decides whole classes, collapsing folds what remains.
+    pub fn collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
         self
     }
 
@@ -327,16 +345,26 @@ impl StudyBuilder {
         // interrupted 8-thread run may resume on 1 thread (or vice
         // versa) and still reproduce bit-identical tables.
         let fingerprint = campaign_fingerprint(&name, self.width, &cfg);
+        // A collapsed campaign journals representative packs only, so
+        // its journal must never restore into (or from) an uncollapsed
+        // run of the same configuration: salt the journal's fingerprint.
+        // The campaign fingerprint itself stays unsalted — collapsing
+        // does not change the results it digests.
+        let journal_fp = if self.collapse {
+            fingerprint ^ COLLAPSE_JOURNAL_SALT
+        } else {
+            fingerprint
+        };
         let journal = match (&self.resume, &self.checkpoint) {
             (Some(path), _) => {
                 let journal = CampaignJournal::open(path).map_err(StudyError::Journal)?;
                 journal
-                    .check_fingerprint(fingerprint)
+                    .check_fingerprint(journal_fp)
                     .map_err(StudyError::Journal)?;
                 Some(journal)
             }
             (None, Some(path)) => Some(
-                CampaignJournal::open_or_create(path, fingerprint, &name)
+                CampaignJournal::open_or_create(path, journal_fp, &name)
                     .map_err(StudyError::Journal)?,
             ),
             (None, None) => None,
@@ -354,9 +382,15 @@ impl StudyBuilder {
             journal,
             fingerprint,
             manifest_out: self.manifest_out,
+            collapse: self.collapse,
         })
     }
 }
+
+/// XORed into the *journal* fingerprint of collapsed campaigns: their
+/// packs cover representatives only and must not be restored into an
+/// uncollapsed run (or vice versa).
+const COLLAPSE_JOURNAL_SALT: u64 = 0x434F_4C4C_4150_5345; // "COLLAPSE"
 
 /// A stable 64-bit fingerprint of everything that determines a
 /// campaign's results (FNV-1a over the configuration's debug
@@ -387,6 +421,7 @@ pub struct PreparedStudy {
     journal: Option<CampaignJournal>,
     fingerprint: u64,
     manifest_out: Option<PathBuf>,
+    collapse: bool,
 }
 
 /// Internal sink recording per-phase wall time *with* the aborted flag
@@ -451,16 +486,28 @@ impl PreparedStudy {
     /// the configured journal, so a later [`run_with`](Self::run_with)
     /// on the same journal restores classification instead of
     /// re-simulating, and its SFR order matches this one bit-exactly.
+    ///
+    /// With [`StudyBuilder::collapse`], the returned list holds one
+    /// grading representative per structural equivalence class — the
+    /// collapsed packs a shard coordinator leases — and coordinator and
+    /// workers (which derive the same list independently) agree on it
+    /// bit-exactly.
     pub fn classify_sfr(&self, progress: &dyn Progress) -> Vec<sfr_netlist::StuckAt> {
         let engine = self.engine.build();
-        let (classification, _quarantined) = sfr_classify::classify_system_journaled(
+        let (classification, _quarantined) = sfr_classify::classify_system_collapsed(
             &self.system,
             &self.cfg.classify,
             engine.as_ref(),
             progress,
             self.journal.as_ref(),
+            self.collapse,
         );
-        classification.sfr().map(|f| f.fault).collect()
+        let sfr: Vec<sfr_netlist::StuckAt> = classification.sfr().map(|f| f.fault).collect();
+        if self.collapse {
+            sfr_classify::collapse_grading_set(&self.system, &sfr).0
+        } else {
+            sfr
+        }
     }
 
     /// Runs classification and power grading to completion.
@@ -494,6 +541,7 @@ impl PreparedStudy {
             self.threads,
             &tee,
             self.journal.as_ref(),
+            self.collapse,
         );
         if let Some(path) = &self.manifest_out {
             let manifest = assemble_manifest(
@@ -666,6 +714,30 @@ mod tests {
         assert_eq!(study.name, "poly");
         assert_eq!(study.grades.len(), study.classification.sfr_count());
         assert_eq!(study.sfr_faults().len(), study.grades.len());
+    }
+
+    #[test]
+    fn collapsed_study_matches_uncollapsed_bit_for_bit() {
+        let run = |collapse: bool| {
+            StudyBuilder::new("poly")
+                .test_patterns(240)
+                .quick_monte_carlo()
+                .collapse(collapse)
+                .build()
+                .expect("poly builds")
+                .run()
+        };
+        let plain = run(false);
+        let collapsed = run(true);
+        assert_eq!(
+            format!("{:?}", plain.classification),
+            format!("{:?}", collapsed.classification)
+        );
+        assert_eq!(plain.grades.len(), collapsed.grades.len());
+        for (a, b) in plain.grades.iter().zip(&collapsed.grades) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "fault {}", a.fault);
+        }
+        assert_eq!(plain.incidents, collapsed.incidents);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::error::StudyError;
 use sfr_classify::{
-    classify_system_journaled, grade_faults_journaled_with_kernel, Classification, ClassifyConfig,
-    GradeConfig, GradeIncident, PowerGrade,
+    classify_system_collapsed, collapse_grading_set, grade_faults_journaled_with_kernel,
+    Classification, ClassifyConfig, GradeConfig, GradeIncident, PowerGrade,
 };
 use sfr_exec::{NullProgress, Phase, PhaseTimer, Progress};
 use sfr_faultsim::{Engine, LaneEngine, SerialEngine, System, SystemConfig};
@@ -163,6 +163,7 @@ impl Study {
 /// The shared execution path behind [`crate::StudyBuilder`] and the
 /// deprecated free functions: classify on `engine`, grade on `threads`
 /// workers, report everything to `progress`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_study(
     name: String,
     system: System,
@@ -171,15 +172,28 @@ pub(crate) fn execute_study(
     threads: usize,
     progress: &dyn Progress,
     journal: Option<&CampaignJournal>,
+    collapse: bool,
 ) -> Study {
     let (classification, quarantined_chunks) =
-        classify_system_journaled(&system, &cfg.classify, engine, progress, journal);
+        classify_system_collapsed(&system, &cfg.classify, engine, progress, journal, collapse);
     let sfr: Vec<StuckAt> = classification.sfr().map(|f| f.fault).collect();
+
+    // With collapsing, grade one representative per equivalence class
+    // and copy its measurement to every member: equivalent faults force
+    // identical datapath activity, so the expanded table is the one an
+    // uncollapsed run would have measured fault by fault.
+    let (to_grade, rep_of) = if collapse {
+        let (reps, rep_of) = collapse_grading_set(&system, &sfr);
+        (reps, Some(rep_of))
+    } else {
+        (sfr.clone(), None)
+    };
+
     // Grading runs on the same kernel family the engine classifies
     // with, so `--engine tape`/`tape-wide` accelerates both phases.
     let report = grade_faults_journaled_with_kernel(
         &system,
-        &sfr,
+        &to_grade,
         &cfg.grade,
         threads,
         progress,
@@ -195,7 +209,44 @@ pub(crate) fn execute_study(
             message: q.message,
         });
     }
-    for i in report.incidents {
+
+    let (grades, grade_incidents) = match rep_of {
+        None => (report.grades, report.incidents),
+        Some(rep_of) => {
+            // Expand representative measurements over the members, in
+            // SFR order — the order the uncollapsed run grades (and
+            // reports watchdog hits) in. Members whose representative
+            // sat in a quarantined pack stay ungraded, exactly as the
+            // representative does; the pack incidents themselves remain
+            // representative-scoped (those are the faults that ran).
+            let mut packs = Vec::new();
+            let mut exhausted = std::collections::HashSet::new();
+            for i in report.incidents {
+                match i {
+                    GradeIncident::QuarantinedPack { .. } => packs.push(i),
+                    GradeIncident::BudgetExhausted { fault } => {
+                        exhausted.insert(fault);
+                    }
+                }
+            }
+            let by_rep: std::collections::HashMap<StuckAt, PowerGrade> =
+                report.grades.into_iter().map(|g| (g.fault, g)).collect();
+            let mut grades = Vec::with_capacity(sfr.len());
+            let mut expanded = packs;
+            for &f in &sfr {
+                let rep = rep_of[&f];
+                if let Some(g) = by_rep.get(&rep) {
+                    grades.push(PowerGrade { fault: f, ..*g });
+                }
+                if exhausted.contains(&rep) {
+                    expanded.push(GradeIncident::BudgetExhausted { fault: f });
+                }
+            }
+            (grades, expanded)
+        }
+    };
+
+    for i in grade_incidents {
         incidents.push(match i {
             GradeIncident::QuarantinedPack {
                 pack,
@@ -225,7 +276,7 @@ pub(crate) fn execute_study(
         classification,
         sfr,
         baseline: report.baseline,
-        grades: report.grades,
+        grades,
         incidents,
     }
 }
@@ -247,7 +298,9 @@ pub(crate) fn run_study_impl(
     } else {
         &SerialEngine
     };
-    Ok(execute_study(name, system, cfg, engine, 1, progress, None))
+    Ok(execute_study(
+        name, system, cfg, engine, 1, progress, None, false,
+    ))
 }
 
 /// Runs the full methodology over one emitted benchmark.

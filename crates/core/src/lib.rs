@@ -91,15 +91,16 @@ pub use worstcase::{table_power, worst_case_extra_effects, DatapathHarness, Wors
 // The substrates, re-exported under their domain names.
 pub use sfr_benchmarks as benchmarks;
 pub use sfr_classify::{
-    analyze_controller_fault, classify_system, classify_system_journaled, classify_system_with,
-    compute_pack_payload, grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
+    analyze_controller_fault, classify_system, classify_system_collapsed,
+    classify_system_journaled, classify_system_with, collapse_grading_set, compute_pack_payload,
+    grade_faults, grade_faults_journaled, grade_faults_journaled_with_kernel,
     grade_faults_scalar_with, grade_faults_with, grade_faults_with_kernel, grade_pack_capacity,
     grade_pack_count, grade_pack_slice, judge, judge_by_rules, measure_power_lanes_watched,
     measure_power_lanes_with_testset, measure_power_monte_carlo, measure_power_monte_carlo_par,
     measure_power_tape_watched, measure_power_tape_watched_with, measure_power_with_testset,
-    validate_pack_payload, Classification, ClassifiedFault, ClassifyConfig, ControlLineEffect,
-    ControllerBehavior, EffectClass, FaultClass, GradeConfig, GradeIncident, GradeReport, Mismatch,
-    PowerGrade, RuleVerdict, SfiReason, Verdict,
+    static_rule_label, validate_pack_payload, Classification, ClassifiedFault, ClassifyConfig,
+    ControlLineEffect, ControllerBehavior, EffectClass, FaultClass, GradeConfig, GradeIncident,
+    GradeReport, Mismatch, PowerGrade, RuleVerdict, SfiReason, Verdict,
 };
 pub use sfr_faultsim::{
     golden_trace, run_parallel, run_serial, CampaignOutcome, Detection, GoldenTrace, RunConfig,
@@ -112,18 +113,19 @@ pub use sfr_hls::{
 };
 pub use sfr_journal::{CampaignJournal, JournalError, RecordKind};
 pub use sfr_lint::{
-    analyze_controller_static, cone_is_dead, controller_net_constants, fixture_report, lint_fsm,
-    lint_netlist, lint_schedule, lint_system, lint_verilog, static_cfr_verdicts, statically_cfr,
-    Diagnostic, LintReport, Location, NetConstants, Severity, StaticAnalysis, StaticCfrReason,
+    absint_cfr, analyze_controller_static, cone_is_dead, controller_net_constants, fixture_report,
+    lint_fsm, lint_netlist, lint_schedule, lint_system, lint_verilog, static_cfr_verdicts,
+    statically_cfr, Diagnostic, LintReport, Location, NetConstants, Severity, StaticAnalysis,
+    StaticCfrReason,
 };
 pub use sfr_logic::{minimize, Cover, Cube, SopMapper};
 pub use sfr_netlist::{
     critical_path, logic_to_u64, parse_verilog, parse_verilog_spanned, u64_to_logic,
     write_cell_library, write_verilog, Activity, ActivityMismatch, Atpg, CellKind, CycleSim,
-    EventSim, FaultSite, GateId, LaneActivity, LaneCounts, Logic, NetId, Netlist, NetlistBuilder,
-    NetlistError, NetlistStats, ParallelFaultSim, ParseError, Pat, PatVec, SourceSpans, StuckAt,
-    TapeActivity, TapeProgram, TapeSim, TapeWord, TestOutcome, VcdRecorder, MAX_PARALLEL_FAULTS,
-    MAX_WIDE_FAULTS, W256,
+    EventSim, FaultClasses, FaultSite, GateId, LaneActivity, LaneCounts, Logic, NetId, Netlist,
+    NetlistBuilder, NetlistError, NetlistStats, ParallelFaultSim, ParseError, Pat, PatVec,
+    SourceSpans, StuckAt, TapeActivity, TapeProgram, TapeSim, TapeWord, TestOutcome, VcdRecorder,
+    MAX_PARALLEL_FAULTS, MAX_WIDE_FAULTS, W256,
 };
 pub use sfr_obs as obs;
 pub use sfr_power_model::{

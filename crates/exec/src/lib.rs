@@ -205,6 +205,9 @@ pub enum Phase {
     /// Static analysis pre-pass: lint rules and simulation-free fault
     /// classification over the controller netlist.
     Lint,
+    /// Structural fault collapsing: partitioning the fault universe
+    /// into equivalence classes so only representatives simulate.
+    Collapse,
     /// Fault-free golden-trace simulation.
     Golden,
     /// Integrated fault-simulation campaign (step 1).
@@ -224,6 +227,7 @@ impl Phase {
         match self {
             Phase::Build => "build",
             Phase::Lint => "lint",
+            Phase::Collapse => "collapse",
             Phase::Golden => "golden",
             Phase::FaultSim => "faultsim",
             Phase::Analyze => "analyze",
@@ -316,6 +320,10 @@ pub enum ProgressEvent {
     /// The static-analysis pre-pass classified one fault without
     /// simulation, pruning it from the campaign fault list.
     FaultPruned,
+    /// Fault collapsing folded one fault into another's equivalence
+    /// class: it inherits its representative's verdict and grade
+    /// instead of simulating.
+    FaultCollapsed,
     /// The checkpoint journal hit a write-side I/O error and degraded
     /// to in-memory operation (the message travels in the incident
     /// list and the structured [`TraceRecord::JournalDegraded`]).
@@ -443,6 +451,15 @@ pub enum TraceRecord {
     JournalDegraded {
         /// The I/O failure description.
         message: String,
+    },
+    /// The fault-collapsing pass partitioned the campaign universe.
+    Collapse {
+        /// Faults in the (already enumeration-collapsed) universe.
+        universe: usize,
+        /// Equivalence classes — the faults that will actually run.
+        classes: usize,
+        /// Faults folded into another fault's class.
+        merged: usize,
     },
     /// One shard coordination event: a lease granted, expired, or
     /// fenced, a worker joining or leaving. Cross-linked to the journal
@@ -617,6 +634,9 @@ pub struct CounterState {
     /// Faults the static-analysis pre-pass classified without
     /// simulation.
     pub faults_pruned: usize,
+    /// Faults folded into an equivalence class representative by the
+    /// collapsing pass (they inherit its verdict without simulating).
+    pub faults_collapsed: usize,
     /// Times the checkpoint journal degraded to in-memory operation.
     pub journal_degraded: usize,
     /// Shard workers that completed the coordinator handshake.
@@ -657,6 +677,7 @@ impl CounterState {
             faults_restored: self.faults_restored - earlier.faults_restored,
             budget_exhausted: self.budget_exhausted - earlier.budget_exhausted,
             faults_pruned: self.faults_pruned - earlier.faults_pruned,
+            faults_collapsed: self.faults_collapsed - earlier.faults_collapsed,
             journal_degraded: self.journal_degraded - earlier.journal_degraded,
             shard_workers: self.shard_workers - earlier.shard_workers,
             shard_leases_granted: self.shard_leases_granted - earlier.shard_leases_granted,
@@ -680,6 +701,13 @@ impl std::fmt::Display for CounterState {
                 f,
                 "static prune: {} fault(s) classified without simulation",
                 self.faults_pruned
+            )?;
+        }
+        if self.faults_collapsed > 0 {
+            writeln!(
+                f,
+                "collapse: {} fault(s) folded into equivalence-class representatives",
+                self.faults_collapsed
             )?;
         }
         if self.faults_simulated > 0 {
@@ -812,6 +840,7 @@ impl Progress for Counters {
             }
             ProgressEvent::BudgetExhausted => s.budget_exhausted += 1,
             ProgressEvent::FaultPruned => s.faults_pruned += 1,
+            ProgressEvent::FaultCollapsed => s.faults_collapsed += 1,
             ProgressEvent::JournalDegraded => s.journal_degraded += 1,
             ProgressEvent::ShardWorkerConnected => s.shard_workers += 1,
             ProgressEvent::ShardLeaseGranted => s.shard_leases_granted += 1,

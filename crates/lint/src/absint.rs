@@ -1,0 +1,421 @@
+//! Difference-domain abstract interpretation: a third static CFR proof.
+//!
+//! [`crate::constprop`] proves a fault harmless when its *site* never
+//! moves; this pass proves faults harmless even when the site moves, by
+//! tracking how far the disturbance can travel. Each net gets an
+//! abstract *difference* between the faulty and fault-free machines,
+//! quantified over the whole controller-table domain (every enumerated
+//! state × every binary status):
+//!
+//! * `Equal` — the faulty value equals the fault-free value everywhere;
+//! * `Inverted` — the faulty value is the complement everywhere;
+//! * `Unknown` — no relation is proven.
+//!
+//! The lattice is seeded at the fault site from [`NetConstants`] (a
+//! stuck output is `Inverted` when the fault-free net is provably the
+//! complement constant) and pushed through the combinational topo order
+//! with transfer rules that exploit two facts pure constant propagation
+//! cannot:
+//!
+//! * **masking** — an AND/NAND/OR/NOR input that is `Equal` and
+//!   provably constant at the gate's controlling value absorbs *any*
+//!   difference on the other pins;
+//! * **parity cancellation** — two `Inverted` inputs of an XOR/XNOR
+//!   cancel: `!a ⊕ !b = a ⊕ b`.
+//!
+//! Buffers/inverters carry differences through; a single disturbed
+//! input passes through an AND/OR whose other pins are `Equal` and
+//! constant at the non-controlling value (the gate is transparent); a
+//! MUX2 with an `Equal` constant select reduces to the selected leg.
+//! Sequential gate outputs are `Equal` by construction — the table
+//! domain clamps state identically in both machines.
+//!
+//! If every controller output net *and* every sequential-gate input net
+//! ends `Equal`, no table evaluation can differ in any output or
+//! next-state bit, so the fault is CFR by the same argument that makes
+//! the exhaustive table analysis sound — this proof is a strict subset
+//! of table-CFR, just computed without walking the table.
+
+use crate::constprop::NetConstants;
+use sfr_netlist::{CellKind, FaultSite, GateId, Netlist, StuckAt};
+
+/// Abstract faulty-vs-fault-free relation on one net, over the whole
+/// controller-table domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Diff {
+    Equal,
+    Inverted,
+    Unknown,
+}
+
+/// Largest gate arity in the cell library (And4/Nand4/Or4/Nor4).
+const MAX_PINS: usize = 4;
+
+/// Outcome of one transfer: the output difference, plus whether the
+/// XOR parity-cancellation rule fired (for attribution).
+struct Transfer {
+    out: Diff,
+    parity: bool,
+}
+
+/// Tries to prove `fault` CFR by difference-domain abstract
+/// interpretation over `nl` (standalone-controller coordinates, same as
+/// [`crate::statically_cfr`]). Returns the rule that closed the proof:
+/// [`ParityCancellation`](crate::StaticCfrReason::ParityCancellation)
+/// when an XOR cancelled two inversions along the way,
+/// [`MaskedPropagation`](crate::StaticCfrReason::MaskedPropagation)
+/// otherwise. `None` means the disturbance may reach an output or a
+/// flip-flop — which says nothing about the fault's real class.
+pub fn absint_cfr(
+    nl: &Netlist,
+    constants: &NetConstants,
+    fault: StuckAt,
+) -> Option<crate::StaticCfrReason> {
+    let n_nets = nl.net_ids().count();
+    let mut diff = vec![Diff::Equal; n_nets];
+    let mut used_parity = false;
+
+    // Seed the lattice at the fault site. A stuck net carries the
+    // constant `stuck` in the faulty machine; comparing against the
+    // fault-free constancy verdict classifies the seed.
+    let seed_from_forced = |net_const: Option<bool>, forced: bool| match net_const {
+        Some(v) if v == forced => Diff::Equal,
+        Some(_) => Diff::Inverted,
+        None => Diff::Unknown,
+    };
+    let skip: Option<GateId> = match fault.site {
+        FaultSite::GateOutput { gate } => {
+            let g = nl.gate(gate);
+            // A stuck flop output changes machine state, which the
+            // table domain treats as an independent input — out of
+            // scope for this dataflow argument.
+            if g.kind().is_sequential() {
+                return None;
+            }
+            let out = g.output();
+            diff[out.index()] = seed_from_forced(constants.constant_everywhere(out), fault.stuck);
+            Some(gate)
+        }
+        FaultSite::GateInput { gate, pin } => {
+            let g = nl.gate(gate);
+            if g.kind().is_sequential() {
+                // A disturbed data/enable pin changes next-state.
+                return None;
+            }
+            let out = g.output();
+            diff[out.index()] = match forced_output_for_pin(g.kind(), fault.stuck) {
+                // The stuck pin value forces the gate output to a
+                // constant; compare against the fault-free output.
+                Some(w) => seed_from_forced(constants.constant_everywhere(out), w),
+                None => match g.kind() {
+                    // A non-forcing pin of XOR/XNOR whose fault-free
+                    // driver is provably the complement constant acts
+                    // as a pin inverter: the output inverts everywhere.
+                    CellKind::Xor2 | CellKind::Xnor2
+                        if constants.constant_everywhere(g.inputs()[pin]) == Some(!fault.stuck) =>
+                    {
+                        Diff::Inverted
+                    }
+                    _ => Diff::Unknown,
+                },
+            };
+            Some(gate)
+        }
+        FaultSite::PrimaryInput { net } => {
+            diff[net.index()] = seed_from_forced(constants.constant_everywhere(net), fault.stuck);
+            None
+        }
+    };
+
+    // Push differences through the combinational evaluation order.
+    // Sequential gates are absent from `topo_order` and their outputs
+    // stay `Equal` (state is clamped identically in both machines).
+    for &g in nl.topo_order() {
+        if skip == Some(g) {
+            continue; // the seed already accounts for this gate
+        }
+        let gate = nl.gate(g);
+        let mut ins = [Diff::Equal; MAX_PINS];
+        let mut consts = [None; MAX_PINS];
+        for (k, &n) in gate.inputs().iter().enumerate() {
+            ins[k] = diff[n.index()];
+            consts[k] = constants.constant_everywhere(n);
+        }
+        let n_ins = gate.inputs().len();
+        let t = transfer(gate.kind(), &ins[..n_ins], &consts[..n_ins]);
+        used_parity |= t.parity;
+        diff[gate.output().index()] = t.out;
+    }
+
+    // CFR iff nothing the table analysis observes can differ: every
+    // controller output net and every flip-flop input net is `Equal`.
+    let clean = nl.outputs().iter().all(|&n| diff[n.index()] == Diff::Equal)
+        && nl.sequential_gates().iter().all(|&g| {
+            nl.gate(g)
+                .inputs()
+                .iter()
+                .all(|&n| diff[n.index()] == Diff::Equal)
+        });
+    clean.then_some(if used_parity {
+        crate::StaticCfrReason::ParityCancellation
+    } else {
+        crate::StaticCfrReason::MaskedPropagation
+    })
+}
+
+/// The constant a gate's output is forced to when one input pin is
+/// stuck at `v` — `None` when `v` is not a forcing value for `kind`.
+fn forced_output_for_pin(kind: CellKind, v: bool) -> Option<bool> {
+    use CellKind::*;
+    match kind {
+        Buf => Some(v),
+        Inv => Some(!v),
+        And2 | And3 | And4 if !v => Some(false),
+        Nand2 | Nand3 | Nand4 if !v => Some(true),
+        Or2 | Or3 | Or4 if v => Some(true),
+        Nor2 | Nor3 | Nor4 if v => Some(false),
+        _ => None,
+    }
+}
+
+/// One gate's abstract transfer: given per-input differences and
+/// fault-free constancy verdicts, the output difference.
+fn transfer(kind: CellKind, ins: &[Diff], consts: &[Option<bool>]) -> Transfer {
+    use CellKind::*;
+    let no = |out: Diff| Transfer { out, parity: false };
+    if ins.iter().all(|&d| d == Diff::Equal) {
+        return no(Diff::Equal);
+    }
+    match kind {
+        Buf => no(ins[0]),
+        // An inverter of an everywhere-inverted signal is itself
+        // everywhere-inverted relative to the fault-free machine.
+        Inv => no(ins[0]),
+        Xor2 | Xnor2 => {
+            if ins.contains(&Diff::Unknown) {
+                return no(Diff::Unknown);
+            }
+            let inverted = ins.iter().filter(|&&d| d == Diff::Inverted).count();
+            if inverted % 2 == 0 {
+                // Two inversions cancel: !a ⊕ !b = a ⊕ b.
+                Transfer {
+                    out: Diff::Equal,
+                    parity: true,
+                }
+            } else {
+                no(Diff::Inverted)
+            }
+        }
+        And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 => {
+            let controlling = matches!(kind, Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4);
+            // Masking: an undisturbed pin pinned at the controlling
+            // value decides the output in both machines.
+            if ins
+                .iter()
+                .zip(consts)
+                .any(|(&d, &c)| d == Diff::Equal && c == Some(controlling))
+            {
+                return no(Diff::Equal);
+            }
+            // Transparency: one disturbed pin, every other pin
+            // undisturbed and pinned non-controlling — the gate is a
+            // buffer (or inverter) of the disturbed pin.
+            let disturbed: Vec<usize> = (0..ins.len()).filter(|&k| ins[k] != Diff::Equal).collect();
+            if let [only] = disturbed[..] {
+                let others_transparent = (0..ins.len())
+                    .filter(|&k| k != only)
+                    .all(|k| ins[k] == Diff::Equal && consts[k] == Some(!controlling));
+                if others_transparent {
+                    return no(ins[only]);
+                }
+            }
+            no(Diff::Unknown)
+        }
+        Mux2 => {
+            let (a, b, sel) = (ins[0], ins[1], ins[2]);
+            if sel == Diff::Equal {
+                match consts[2] {
+                    Some(false) => no(a),
+                    Some(true) => no(b),
+                    // Varying select picks the same leg in both
+                    // machines; the output difference is whatever both
+                    // legs agree on.
+                    None if a == b => no(a),
+                    None => no(Diff::Unknown),
+                }
+            } else if ins[0] == Diff::Equal
+                && ins[1] == Diff::Equal
+                && consts[0].is_some()
+                && consts[0] == consts[1]
+            {
+                // Both legs undisturbed and provably the same constant:
+                // the (disturbed) choice is immaterial.
+                no(Diff::Equal)
+            } else {
+                no(Diff::Unknown)
+            }
+        }
+        Const0 | Const1 => no(Diff::Equal),
+        // Unreachable: sequential gates are absent from `topo_order`.
+        Dff | Dffe => no(Diff::Equal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfr::analyze_controller_static;
+    use crate::StaticCfrReason;
+    use sfr_faultsim::fixtures::toy_system;
+    use sfr_netlist::NetlistBuilder;
+
+    /// Doctors the toy controller with extra logic rooted at a state
+    /// bit and returns (system, ids of the added gates).
+    fn doctored(
+        build: impl FnOnce(&mut NetlistBuilder, sfr_netlist::NetId) -> Vec<usize>,
+    ) -> (sfr_faultsim::System, Vec<GateId>) {
+        let mut sys = toy_system();
+        let mut b = NetlistBuilder::from_netlist(&sys.ctrl_netlist);
+        let probe = sys.ctrl_standalone.state_nets[0];
+        let offsets = build(&mut b, probe);
+        let base = sys.ctrl_netlist.gate_count();
+        sys.ctrl_netlist = b.finish().expect("doctored netlist is valid");
+        let ids = offsets
+            .into_iter()
+            .map(|k| GateId::from_index(base + k))
+            .collect();
+        (sys, ids)
+    }
+
+    #[test]
+    fn masked_disturbance_is_proven_cfr() {
+        // probe → inv → AND(·, const0) → xor-mixed into nothing: the
+        // AND's const-0 side masks any disturbance on the inv.
+        let (sys, ids) = doctored(|b, probe| {
+            let zero = b.gate_net(CellKind::Const0, "k0", &[]);
+            let n1 = b.gate_net(CellKind::Inv, "ai_inv", &[probe]);
+            let n2 = b.gate_net(CellKind::And2, "ai_and", &[n1, zero]);
+            // Keep the cone alive: feed an output-reaching XOR would
+            // change outputs; instead leave n2 dangling — but then the
+            // dead-cone rule fires first. Route it into a second AND
+            // masked again so the cone stays "live" via the mask gate.
+            let _n3 = b.gate_net(CellKind::Buf, "ai_buf", &[n2]);
+            vec![1]
+        });
+        let analysis = analyze_controller_static(&sys);
+        let inv = ids[0];
+        for stuck in [false, true] {
+            let f = StuckAt::output(inv, stuck);
+            // The inverter's output varies with the state bit, so
+            // constprop alone cannot decide it; the mask can.
+            let v = absint_cfr(&sys.ctrl_netlist, &analysis.constants, f);
+            assert_eq!(v, Some(StaticCfrReason::MaskedPropagation), "sa{stuck}");
+        }
+    }
+
+    #[test]
+    fn parity_cancellation_is_proven_cfr() {
+        // probe feeds both XOR pins through an inverter pair: stuck
+        // inverter output inverts both pins — the XOR cancels it.
+        //
+        //   probe → invA ─┬─────────────→ xor ─→ and(·,0) → buf
+        //                 └→ invB → invC ─↑
+        //
+        // A fault on invA inverts pin0 directly and pin1 through the
+        // invB/invC chain; the XOR output stays Equal everywhere. The
+        // const-0 AND keeps the cone from being dead without letting
+        // anything reach an output.
+        let (sys, ids) = doctored(|b, probe| {
+            let zero = b.gate_net(CellKind::Const0, "k0", &[]);
+            let na = b.gate_net(CellKind::Inv, "pa_a", &[probe]);
+            let nb = b.gate_net(CellKind::Inv, "pa_b", &[na]);
+            let nc = b.gate_net(CellKind::Inv, "pa_c", &[nb]);
+            let nx = b.gate_net(CellKind::Xor2, "pa_x", &[na, nc]);
+            let nm = b.gate_net(CellKind::And2, "pa_m", &[nx, zero]);
+            let _ = b.gate_net(CellKind::Buf, "pa_o", &[nm]);
+            vec![1]
+        });
+        let analysis = analyze_controller_static(&sys);
+        let inv_a = ids[0];
+        for stuck in [false, true] {
+            let f = StuckAt::output(inv_a, stuck);
+            let v = absint_cfr(&sys.ctrl_netlist, &analysis.constants, f);
+            // The fault forces na constant; na is not provably constant
+            // fault-free (it follows the state bit), so the seed is
+            // Unknown on na — both XOR pins go Unknown and the mask
+            // still closes the proof. Parity kicks in only when the
+            // seed is Inverted; either reason proves CFR.
+            assert!(v.is_some(), "sa{stuck} must be proven CFR");
+        }
+    }
+
+    #[test]
+    fn parity_reason_is_attributed() {
+        // Force a provable inversion seed: a const-1 net stuck at 0.
+        //
+        //   k1 ─┬──────────→ xor ─→ and(·,0) → buf
+        //       └→ inv → inv ─↑
+        //
+        // k1.out/sa0 seeds Inverted (fault-free constant 1, stuck 0);
+        // both XOR pins arrive Inverted and cancel.
+        let (sys, ids) = doctored(|b, _probe| {
+            let zero = b.gate_net(CellKind::Const0, "k0", &[]);
+            let one = b.gate_net(CellKind::Const1, "k1", &[]);
+            let na = b.gate_net(CellKind::Inv, "pr_a", &[one]);
+            let nb = b.gate_net(CellKind::Inv, "pr_b", &[na]);
+            let nx = b.gate_net(CellKind::Xor2, "pr_x", &[one, nb]);
+            let nm = b.gate_net(CellKind::And2, "pr_m", &[nx, zero]);
+            let _ = b.gate_net(CellKind::Buf, "pr_o", &[nm]);
+            vec![1]
+        });
+        let analysis = analyze_controller_static(&sys);
+        let k1 = ids[0];
+        let f = StuckAt::output(k1, false);
+        let v = absint_cfr(&sys.ctrl_netlist, &analysis.constants, f);
+        assert_eq!(v, Some(StaticCfrReason::ParityCancellation));
+    }
+
+    #[test]
+    fn reaching_disturbances_are_not_claimed() {
+        // Nothing in the exactly-minimized toy controller is absint-CFR.
+        let sys = toy_system();
+        let analysis = analyze_controller_static(&sys);
+        for g in sys.ctrl_netlist.gate_ids() {
+            for stuck in [false, true] {
+                let f = StuckAt::output(g, stuck);
+                assert_eq!(
+                    absint_cfr(&sys.ctrl_netlist, &analysis.constants, f),
+                    None,
+                    "{f} wrongly proven CFR"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absint_claims_are_table_cfr() {
+        // Every absint claim on a doctored controller must agree with
+        // the behaviour the exhaustive table would find: the claim set
+        // is validated end-to-end by classify's static_prune
+        // bit-identity tests; here we check the structural invariant
+        // that no claimed fault sits on a sequential gate.
+        let (sys, _) = doctored(|b, probe| {
+            let zero = b.gate_net(CellKind::Const0, "k0", &[]);
+            let n1 = b.gate_net(CellKind::Inv, "t_inv", &[probe]);
+            let n2 = b.gate_net(CellKind::And2, "t_and", &[n1, zero]);
+            let _ = b.gate_net(CellKind::Buf, "t_buf", &[n2]);
+            vec![]
+        });
+        let analysis = analyze_controller_static(&sys);
+        for g in sys.ctrl_netlist.gate_ids() {
+            for pin in 0..sys.ctrl_netlist.gate(g).inputs().len() {
+                for stuck in [false, true] {
+                    let f = StuckAt::input(g, pin, stuck);
+                    if absint_cfr(&sys.ctrl_netlist, &analysis.constants, f).is_some() {
+                        assert!(!sys.ctrl_netlist.gate(g).kind().is_sequential());
+                    }
+                }
+            }
+        }
+    }
+}

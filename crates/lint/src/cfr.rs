@@ -1,6 +1,6 @@
 //! Static (simulation-free) CFR proofs for controller stuck-at faults.
 //!
-//! Two sufficient conditions prove a fault controller-functionally
+//! Three sufficient conditions prove a fault controller-functionally
 //! redundant without running a single simulation cycle:
 //!
 //! 1. **Dead cone** — the fault's combinational influence cone reaches
@@ -9,13 +9,18 @@
 //!    the stuck value over the entire controller-table domain (every
 //!    enumerated state × every binary status), so forcing it there
 //!    changes nothing ([`NetConstants::constant_everywhere`]).
+//! 3. **Contained disturbance** — the difference-domain abstract
+//!    interpretation ([`crate::absint_cfr`]) proves the disturbance is
+//!    masked or parity-cancelled before it reaches any output or
+//!    flip-flop, even though the site itself moves.
 //!
-//! Either condition implies the exhaustive table analysis would find no
+//! Any condition implies the exhaustive table analysis would find no
 //! output or next-state change anywhere — the fault is CFR, and (since
 //! a CFR fault leaves every physical completion of the machine
 //! bit-identical to the fault-free one) it can never be detected by any
 //! I/O test. Pruning it before the campaign is behaviour-preserving.
 
+use crate::absint::absint_cfr;
 use crate::cone::cone_is_dead;
 use crate::constprop::{controller_net_constants, NetConstants};
 use sfr_faultsim::System;
@@ -28,6 +33,13 @@ pub enum StaticCfrReason {
     DeadCone,
     /// Its site holds the stuck value over the whole table domain.
     ConstantSite,
+    /// Abstract interpretation proved the disturbance absorbed by a
+    /// controlling-constant side input before reaching anything
+    /// observable.
+    MaskedPropagation,
+    /// Abstract interpretation proved the disturbance cancelled by
+    /// XOR/XNOR parity before reaching anything observable.
+    ParityCancellation,
 }
 
 /// Precomputed per-system facts shared by all per-fault checks.
@@ -74,8 +86,10 @@ pub fn statically_cfr(
         FaultSite::GateInput { gate, pin } => nl.gate(gate).inputs()[pin],
         FaultSite::PrimaryInput { net } => net,
     };
-    (analysis.constants.constant_everywhere(site_net) == Some(fault.stuck))
-        .then_some(StaticCfrReason::ConstantSite)
+    if analysis.constants.constant_everywhere(site_net) == Some(fault.stuck) {
+        return Some(StaticCfrReason::ConstantSite);
+    }
+    absint_cfr(nl, &analysis.constants, fault)
 }
 
 /// Checks the system's whole controller fault universe in parallel:

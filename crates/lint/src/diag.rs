@@ -111,6 +111,25 @@ impl LintReport {
     pub fn is_error_free(&self) -> bool {
         self.error_count() == 0
     }
+
+    /// Canonicalizes the report for stable CI diffing: diagnostics are
+    /// sorted by (severity descending, rule, subject, span, message)
+    /// and exact repeats of the same rule id at the same location are
+    /// emitted once. The sort is total, so two reports over the same
+    /// design render byte-identically regardless of rule evaluation
+    /// order.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.rule.cmp(b.rule))
+                .then_with(|| a.location.subject.cmp(&b.location.subject))
+                .then_with(|| a.location.span.cmp(&b.location.span))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        self.diagnostics
+            .dedup_by(|a, b| a.rule == b.rule && a.location == b.location);
+    }
 }
 
 impl fmt::Display for LintReport {
@@ -169,5 +188,56 @@ mod tests {
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.count(Severity::Info), 1);
         assert!(!r.is_error_free());
+    }
+
+    #[test]
+    fn normalize_dedupes_and_stable_sorts() {
+        let at = |subject: &str, span| Location {
+            subject: subject.into(),
+            span,
+        };
+        let d = |rule, severity, location: Location, message: &str| Diagnostic {
+            rule,
+            severity,
+            location,
+            message: message.into(),
+        };
+        let mut r = LintReport::new();
+        r.push(d("b-rule", Severity::Info, at("n2", None), "later"));
+        r.push(d(
+            "a-rule",
+            Severity::Warning,
+            at("n1", Some((3, 1))),
+            "dup",
+        ));
+        r.push(d(
+            "a-rule",
+            Severity::Warning,
+            at("n1", Some((3, 1))),
+            "dup",
+        ));
+        r.push(d("a-rule", Severity::Error, at("n0", None), "first"));
+        // Same rule, different span: both survive.
+        r.push(d(
+            "a-rule",
+            Severity::Warning,
+            at("n1", Some((9, 1))),
+            "dup",
+        ));
+        r.normalize();
+        let rendered: Vec<String> = r.diagnostics.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "error[a-rule] n0: first",
+                "warning[a-rule] n1:3:1: dup",
+                "warning[a-rule] n1:9:1: dup",
+                "info[b-rule] n2: later",
+            ]
+        );
+        // Idempotent: a second pass changes nothing.
+        let before = r.diagnostics.clone();
+        r.normalize();
+        assert_eq!(before, r.diagnostics);
     }
 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod absint;
 mod cfr;
 mod cone;
 mod constprop;
@@ -37,6 +38,7 @@ mod diag;
 mod fixture;
 pub mod rules;
 
+pub use absint::absint_cfr;
 pub use cfr::{
     analyze_controller_static, static_cfr_verdicts, statically_cfr, StaticAnalysis, StaticCfrReason,
 };

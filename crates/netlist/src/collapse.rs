@@ -1,0 +1,427 @@
+//! Structural fault collapsing over an already-enumerated universe.
+//!
+//! [`StuckAt::enumerate_collapsed`] folds gate-local equivalences (pin
+//! faults that force the same gate output) at enumeration time. What it
+//! cannot fold are equivalences that span *gates*: a stuck output that
+//! forces the single gate it feeds to a constant is indistinguishable —
+//! on every net from that gate onward — from the consumer's own output
+//! fault. [`FaultClasses`] finds those chains and partitions the fault
+//! universe into equivalence classes, so a campaign can simulate one
+//! representative per class and copy its verdict to every member.
+//!
+//! ## Chain-merge rule
+//!
+//! `d.out/sa-v ≡ g.out/sa-w` when the net between them is fanout-free
+//! (exactly one reader, not a primary output), the driver `d` is
+//! combinational, and forcing the net to `v` forces `g`'s output to the
+//! constant `w`:
+//!
+//! | consumer `g` | forcing `v` | forced `w` |
+//! |--------------|-------------|------------|
+//! | BUF          | 0, 1        | `v`        |
+//! | INV          | 0, 1        | `!v`       |
+//! | AND*         | 0           | 0          |
+//! | NAND*        | 0           | 1          |
+//! | OR*          | 1           | 1          |
+//! | NOR*         | 1           | 0          |
+//!
+//! XOR/XNOR/MUX2 have no forcing input value; DFF/DFFE outputs are
+//! never merged because a stuck flop changes the machine *state*, which
+//! watchdog/observation logic may read directly even when the net's
+//! combinational fanout is identical. Merges compose transitively
+//! through buffer/inverter chains via union-find.
+//!
+//! ## Why the merge is behaviour-preserving
+//!
+//! Both faults force the identical constant on `g`'s output in every
+//! cycle (a controlling input value forces a *definite* output even
+//! under X-propagation), and every net downstream of `g` — the only
+//! nets either fault can influence — therefore carries identical values
+//! under either fault. Detectability, classification, and any power
+//! accounting that excludes the merged-over nets are all identical
+//! between class members. The nets *between* the two sites do differ,
+//! which is why callers that account power over those nets must not
+//! collapse across them (the paper's flow measures controller-external
+//! power only, so controller-internal chains are safe).
+//!
+//! ## Dominance
+//!
+//! Gate-local dominance pairs (e.g. AND output sa-1 dominates any input
+//! sa-1) are *counted* for reporting but never merged: dominance
+//! preserves detectability, not behaviour, and a dominated fault's
+//! power signature can differ from its dominator's.
+
+use crate::cell::CellKind;
+use crate::fault::StuckAt;
+use crate::graph::Netlist;
+use std::collections::{HashMap, HashSet};
+
+/// The value `v` on one input of `kind` that forces the output to a
+/// constant, together with that constant — `None` when no single input
+/// value forces the output (XOR/XNOR/MUX2/flops/constants).
+fn forced_output(kind: CellKind, v: bool) -> Option<bool> {
+    use CellKind::*;
+    match kind {
+        Buf => Some(v),
+        Inv => Some(!v),
+        And2 | And3 | And4 if !v => Some(false),
+        Nand2 | Nand3 | Nand4 if !v => Some(true),
+        Or2 | Or3 | Or4 if v => Some(true),
+        Nor2 | Nor3 | Nor4 if v => Some(false),
+        _ => None,
+    }
+}
+
+/// An equivalence partition of a stuck-at fault universe, produced by
+/// chain-merging output faults through fanout-free nets (see the
+/// module docs for the rule and its soundness argument).
+///
+/// Faults are identified by their index in the universe slice given to
+/// [`FaultClasses::build`]; a class's representative is its
+/// lowest-indexed member, so representatives appear in universe order.
+#[derive(Debug, Clone)]
+pub struct FaultClasses {
+    /// Universe index → representative's universe index.
+    rep_of: Vec<usize>,
+    /// Number of distinct classes.
+    class_count: usize,
+    /// Members folded into another class through a BUF/INV chain link.
+    chain_buffer: usize,
+    /// Members folded through a controlling-value link into an
+    /// AND/NAND/OR/NOR consumer.
+    chain_controlling: usize,
+    /// Gate-local dominance pairs present in the universe (report
+    /// only — never merged).
+    dominance_pairs: usize,
+}
+
+impl FaultClasses {
+    /// Partitions `faults` (a universe over `nl`, typically from
+    /// [`StuckAt::enumerate_collapsed`]) into equivalence classes.
+    pub fn build(nl: &Netlist, faults: &[StuckAt]) -> FaultClasses {
+        let index: HashMap<StuckAt, usize> = faults
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, f)| (f, i))
+            .collect();
+        let primary_outputs: HashSet<_> = nl.outputs().iter().copied().collect();
+
+        let mut uf = UnionFind::new(faults.len());
+        let mut chain_buffer = 0usize;
+        let mut chain_controlling = 0usize;
+        for d in nl.gate_ids() {
+            let driver = nl.gate(d);
+            if driver.kind().is_sequential() {
+                continue;
+            }
+            let net = driver.output();
+            if primary_outputs.contains(&net) {
+                continue;
+            }
+            let &[(g, _pin)] = nl.fanout(net) else {
+                continue;
+            };
+            let kind = nl.gate(g).kind();
+            if kind.is_sequential() {
+                continue;
+            }
+            for v in [false, true] {
+                let Some(w) = forced_output(kind, v) else {
+                    continue;
+                };
+                let (Some(&a), Some(&b)) = (
+                    index.get(&StuckAt::output(d, v)),
+                    index.get(&StuckAt::output(g, w)),
+                ) else {
+                    continue;
+                };
+                if uf.union(a, b) {
+                    match kind {
+                        CellKind::Buf | CellKind::Inv => chain_buffer += 1,
+                        _ => chain_controlling += 1,
+                    }
+                }
+            }
+        }
+
+        let rep_of: Vec<usize> = (0..faults.len()).map(|i| uf.find(i)).collect();
+        let class_count = faults.len() - chain_buffer - chain_controlling;
+        let dominance_pairs = count_dominance_pairs(nl, &index);
+        FaultClasses {
+            rep_of,
+            class_count,
+            chain_buffer,
+            chain_controlling,
+            dominance_pairs,
+        }
+    }
+
+    /// Universe size this partition was built over.
+    pub fn len(&self) -> usize {
+        self.rep_of.len()
+    }
+
+    /// Whether the universe was empty.
+    pub fn is_empty(&self) -> bool {
+        self.rep_of.is_empty()
+    }
+
+    /// Number of equivalence classes (faults left after collapsing).
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Members folded into another fault's class.
+    pub fn merged_count(&self) -> usize {
+        self.len() - self.class_count
+    }
+
+    /// `class_count / len` — the fraction of the universe that must
+    /// still be simulated (1.0 when nothing collapsed or empty).
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.is_empty() {
+            1.0
+        } else {
+            self.class_count as f64 / self.len() as f64
+        }
+    }
+
+    /// The representative (lowest universe index) of fault `i`'s class.
+    pub fn representative(&self, i: usize) -> usize {
+        self.rep_of[i]
+    }
+
+    /// Whether fault `i` is its own class representative.
+    pub fn is_representative(&self, i: usize) -> bool {
+        self.rep_of[i] == i
+    }
+
+    /// All member indices of the class represented by `rep`, in
+    /// universe order (empty when `rep` is not a representative).
+    pub fn members(&self, rep: usize) -> Vec<usize> {
+        self.rep_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == rep)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Members merged via BUF/INV chain links.
+    pub fn chain_buffer_merges(&self) -> usize {
+        self.chain_buffer
+    }
+
+    /// Members merged via controlling-value links into AND/NAND/OR/NOR.
+    pub fn chain_controlling_merges(&self) -> usize {
+        self.chain_controlling
+    }
+
+    /// Gate-local dominance pairs present in the universe (reported,
+    /// never merged — see module docs).
+    pub fn dominance_pairs(&self) -> usize {
+        self.dominance_pairs
+    }
+}
+
+/// Counts `(dominator, dominated)` gate-local dominance pairs whose
+/// both ends are in the universe: AND out/sa1 ≻ in/sa1, OR out/sa0 ≻
+/// in/sa0, NAND out/sa0 ≻ in/sa1, NOR out/sa1 ≻ in/sa0.
+fn count_dominance_pairs(nl: &Netlist, index: &HashMap<StuckAt, usize>) -> usize {
+    use CellKind::*;
+    let mut pairs = 0usize;
+    for g in nl.gate_ids() {
+        let gate = nl.gate(g);
+        let (in_stuck, out_stuck) = match gate.kind() {
+            And2 | And3 | And4 => (true, true),
+            Or2 | Or3 | Or4 => (false, false),
+            Nand2 | Nand3 | Nand4 => (true, false),
+            Nor2 | Nor3 | Nor4 => (false, true),
+            _ => continue,
+        };
+        if !index.contains_key(&StuckAt::output(g, out_stuck)) {
+            continue;
+        }
+        for pin in 0..gate.inputs().len() {
+            if index.contains_key(&StuckAt::input(g, pin, in_stuck)) {
+                pairs += 1;
+            }
+        }
+    }
+    pairs
+}
+
+/// Union-find with the *smallest index* kept as class root, so the
+/// representative is always the earliest fault in universe order.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Returns `true` when two previously distinct classes were joined.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.parent[hi] = lo;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetlistBuilder;
+
+    /// inv chain: a → i1 → i2 → AND(b) → out, plus a side output so the
+    /// chain nets stay internal.
+    fn chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let c = b.input("b");
+        let n1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let n2 = b.gate_net(CellKind::Inv, "i2", &[n1]);
+        let o = b.gate_net(CellKind::And2, "g", &[n2, c]);
+        b.mark_output(o);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn inverter_chain_collapses_transitively() {
+        let nl = chain();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        // i1.out/sa0 ≡ i2.out/sa1; i2.out/sa0 ≡ g.out/sa0 (AND forced by 0);
+        // i1.out/sa1 ≡ i2.out/sa0 — so {i1/sa1, i2/sa0, g/sa0} is one class.
+        assert!(classes.merged_count() >= 3);
+        assert_eq!(classes.class_count(), faults.len() - classes.merged_count());
+        let idx = |f: StuckAt| faults.iter().position(|&x| x == f).unwrap();
+        let g_ids: Vec<_> = nl.gate_ids().collect();
+        let (i1, i2, g) = (g_ids[0], g_ids[1], g_ids[2]);
+        assert_eq!(
+            classes.representative(idx(StuckAt::output(i2, false))),
+            classes.representative(idx(StuckAt::output(g, false)))
+        );
+        assert_eq!(
+            classes.representative(idx(StuckAt::output(i1, true))),
+            classes.representative(idx(StuckAt::output(i2, false)))
+        );
+        // The non-controlling side doesn't merge into the AND.
+        assert_ne!(
+            classes.representative(idx(StuckAt::output(i2, true))),
+            classes.representative(idx(StuckAt::output(g, true)))
+        );
+        // Representative is the earliest member.
+        let rep = classes.representative(idx(StuckAt::output(g, false)));
+        assert_eq!(rep, idx(StuckAt::output(i1, true)));
+        assert!(classes.is_representative(rep));
+        assert!(classes
+            .members(rep)
+            .contains(&idx(StuckAt::output(g, false))));
+        let _ = (i1, i2);
+    }
+
+    #[test]
+    fn primary_output_nets_never_merge() {
+        let mut b = NetlistBuilder::new("po");
+        let a = b.input("a");
+        let n1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let n2 = b.gate_net(CellKind::Inv, "i2", &[n1]);
+        b.mark_output(n1); // n1 is observable even though fanout is 1
+        b.mark_output(n2);
+        let nl = b.finish().unwrap();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        assert_eq!(classes.merged_count(), 0);
+    }
+
+    #[test]
+    fn sequential_boundaries_never_merge() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let n1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let q = b.gate_net(CellKind::Dff, "r", &[n1]);
+        let o = b.gate_net(CellKind::Inv, "i2", &[q]);
+        b.mark_output(o);
+        let nl = b.finish().unwrap();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        // i1→r would need a sequential consumer; r→i2 a sequential driver.
+        assert_eq!(classes.merged_count(), 0);
+    }
+
+    #[test]
+    fn fanout_blocks_merging() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let n1 = b.gate_net(CellKind::Inv, "i1", &[a]);
+        let o1 = b.gate_net(CellKind::Inv, "i2", &[n1]);
+        let o2 = b.gate_net(CellKind::Buf, "b1", &[n1]);
+        b.mark_output(o1);
+        b.mark_output(o2);
+        let nl = b.finish().unwrap();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        assert_eq!(classes.merged_count(), 0);
+    }
+
+    #[test]
+    fn dominance_is_counted_not_merged() {
+        let nl = chain();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        // AND pins are fanout-free here, so pin faults were already
+        // folded at enumeration and no dominance pair survives.
+        assert_eq!(classes.dominance_pairs(), 0);
+
+        // Give the AND a pin fault that survives: shared fanout net.
+        let mut b = NetlistBuilder::new("dom");
+        let a = b.input("a");
+        let c = b.input("b");
+        let sh = b.gate_net(CellKind::Buf, "bf", &[a]);
+        let o1 = b.gate_net(CellKind::And2, "g", &[sh, c]);
+        let o2 = b.gate_net(CellKind::Inv, "i", &[sh]);
+        b.mark_output(o1);
+        b.mark_output(o2);
+        let nl = b.finish().unwrap();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        // g.in0/sa1 survives (shared net) and g.out/sa1 dominates it.
+        assert_eq!(classes.dominance_pairs(), 1);
+        assert_eq!(classes.merged_count(), 0);
+    }
+
+    #[test]
+    fn ratio_and_accessors() {
+        let nl = chain();
+        let faults = StuckAt::enumerate_collapsed(&nl);
+        let classes = FaultClasses::build(&nl, &faults);
+        assert_eq!(classes.len(), faults.len());
+        assert!(!classes.is_empty());
+        assert!(classes.collapse_ratio() < 1.0);
+        assert_eq!(
+            classes.chain_buffer_merges() + classes.chain_controlling_merges(),
+            classes.merged_count()
+        );
+        let empty = FaultClasses::build(&nl, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.collapse_ratio(), 1.0);
+    }
+}

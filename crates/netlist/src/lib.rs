@@ -56,6 +56,7 @@
 
 mod atpg;
 mod cell;
+mod collapse;
 mod esim;
 mod fault;
 mod graph;
@@ -69,6 +70,7 @@ mod verilog;
 
 pub use atpg::{Atpg, TestOutcome};
 pub use cell::{CellKind, ALL_CELL_KINDS};
+pub use collapse::FaultClasses;
 pub use esim::EventSim;
 pub use fault::{FaultSite, StuckAt};
 pub use graph::{

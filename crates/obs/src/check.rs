@@ -26,6 +26,8 @@ pub struct TraceStats {
     pub quarantines: usize,
     /// Budget-exhaustion records.
     pub budgets: usize,
+    /// Fault-collapsing summary records.
+    pub collapses: usize,
     /// Note records.
     pub notes: usize,
 }
@@ -201,6 +203,17 @@ pub fn check_trace(text: &str) -> Result<TraceStats, String> {
                 opt_str(&v, line_no, "journal")?;
                 stats.budgets += 1;
             }
+            "collapse" => {
+                let universe = num_field(&v, line_no, "universe")?;
+                let classes = num_field(&v, line_no, "classes")?;
+                let merged = num_field(&v, line_no, "merged")?;
+                if classes + merged != universe {
+                    return Err(format!(
+                        "line {line_no}: classes {classes} + merged {merged} != universe {universe}"
+                    ));
+                }
+                stats.collapses += 1;
+            }
             "journal_degraded" => {
                 str_field(&v, line_no, "message")?;
             }
@@ -332,6 +345,132 @@ pub fn check_metrics(text: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Validate a machine-readable lint report (`sfr lint --format json`):
+/// tool tag, per-diagnostic shape (rule id, known severity, subject,
+/// span null-or-`[line,col]`, message), and severity counts consistent
+/// with the diagnostics array. Returns the diagnostic count.
+pub fn check_diagnostics(text: &str) -> Result<usize, String> {
+    let v = json::parse(text).map_err(|e| format!("diagnostics: {e}"))?;
+    let tool = str_field(&v, 1, "tool")?;
+    if tool != "sfr-lint" {
+        return Err(format!("unexpected tool tag {tool:?}"));
+    }
+    str_field(&v, 1, "subject")?;
+    let diags = field(&v, 1, "diagnostics")?
+        .as_arr()
+        .ok_or("\"diagnostics\" must be an array")?;
+    let mut tally = [0usize; 3]; // error, warning, info
+    for (i, d) in diags.iter().enumerate() {
+        let line_no = i + 1;
+        str_field(d, line_no, "rule")?;
+        str_field(d, line_no, "subject")?;
+        str_field(d, line_no, "message")?;
+        match str_field(d, line_no, "severity")? {
+            "error" => tally[0] += 1,
+            "warning" => tally[1] += 1,
+            "info" => tally[2] += 1,
+            other => {
+                return Err(format!("diagnostic {line_no}: unknown severity {other:?}"));
+            }
+        }
+        match field(d, line_no, "span")? {
+            Value::Null => {}
+            span => {
+                let arr = span.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                    format!("diagnostic {line_no}: span must be null or [line, col]")
+                })?;
+                for half in arr {
+                    if half.as_num().is_none() {
+                        return Err(format!("diagnostic {line_no}: span halves must be numbers"));
+                    }
+                }
+            }
+        }
+    }
+    let counts = field(&v, 1, "counts")?;
+    for (key, expected) in [
+        ("error", tally[0]),
+        ("warning", tally[1]),
+        ("info", tally[2]),
+    ] {
+        let n = num_field(counts, 1, key)?;
+        if n as usize != expected {
+            return Err(format!(
+                "counts.{key} = {n} but the diagnostics array holds {expected}"
+            ));
+        }
+    }
+    Ok(diags.len())
+}
+
+/// Validate a static-analysis report (`sfr analyze --format json`):
+/// tool tag, universe/class arithmetic, ratio ranges, per-rule static
+/// attribution, and simulation-reduction figures.
+pub fn check_analysis(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("analysis: {e}"))?;
+    let tool = str_field(&v, 1, "tool")?;
+    if tool != "sfr-analyze" {
+        return Err(format!("unexpected tool tag {tool:?}"));
+    }
+    str_field(&v, 1, "benchmark")?;
+    num_field(&v, 1, "width")?;
+
+    let universe = field(&v, 1, "universe")?;
+    let uncollapsed = num_field(universe, 1, "uncollapsed")?;
+    let enumerated = num_field(universe, 1, "collapsed")?;
+    if enumerated > uncollapsed {
+        return Err("universe.collapsed exceeds universe.uncollapsed".into());
+    }
+
+    let classes = field(&v, 1, "classes")?;
+    let count = num_field(classes, 1, "count")?;
+    let merged = num_field(classes, 1, "merged")?;
+    if count + merged != enumerated {
+        return Err(format!(
+            "classes.count {count} + classes.merged {merged} != universe.collapsed {enumerated}"
+        ));
+    }
+    let chain_buffer = num_field(classes, 1, "chain_buffer")?;
+    let chain_controlling = num_field(classes, 1, "chain_controlling")?;
+    if chain_buffer + chain_controlling != merged {
+        return Err("chain merge attribution does not sum to classes.merged".into());
+    }
+    let ratio = num_field(classes, 1, "collapse_ratio")?;
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(format!("collapse_ratio {ratio} outside [0, 1]"));
+    }
+    num_field(classes, 1, "dominance_pairs")?;
+
+    let stat = field(&v, 1, "static")?;
+    let cfr = num_field(stat, 1, "cfr")?;
+    let sfr = num_field(stat, 1, "sfr")?;
+    let undecided = num_field(stat, 1, "undecided")?;
+    if cfr + sfr + undecided != enumerated {
+        return Err("static cfr + sfr + undecided != universe.collapsed".into());
+    }
+    let by_rule = field(stat, 1, "by_rule")?
+        .as_obj()
+        .ok_or("\"static.by_rule\" must be an object")?;
+    for (rule, n) in by_rule {
+        if n.as_num().is_none() {
+            return Err(format!("static.by_rule.{rule} must be a number"));
+        }
+    }
+
+    let simulate = field(&v, 1, "simulate")?;
+    for key in ["collapse_only", "static_only", "combined"] {
+        let n = num_field(simulate, 1, key)?;
+        if n > enumerated {
+            return Err(format!("simulate.{key} {n} exceeds the universe"));
+        }
+    }
+    let pct = num_field(simulate, 1, "reduction_pct")?;
+    if !(0.0..=100.0).contains(&pct) {
+        return Err(format!("reduction_pct {pct} outside [0, 100]"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +555,47 @@ mod tests {
         assert!(check_metrics("").is_err());
         assert!(check_metrics("bad metric line with no value at all\n").is_err());
         assert!(check_metrics("name notanumber\n").is_err());
+    }
+
+    #[test]
+    fn validates_diagnostics_json() {
+        let good = r#"{"tool":"sfr-lint","subject":"poly","diagnostics":[
+            {"rule":"constant-net","severity":"warning","subject":"n3","span":[7,3],"message":"stuck"},
+            {"rule":"dead-state","severity":"info","subject":"s1","span":null,"message":"slack"}
+        ],"counts":{"error":0,"warning":1,"info":1}}"#;
+        assert_eq!(check_diagnostics(good), Ok(2));
+
+        let wrong_tool = good.replace("sfr-lint", "sfr-lintx");
+        assert!(check_diagnostics(&wrong_tool).is_err());
+        let bad_sev = good.replace("\"warning\",", "\"fatal\",");
+        assert!(check_diagnostics(&bad_sev).is_err());
+        let bad_span = good.replace("[7,3]", "[7]");
+        assert!(check_diagnostics(&bad_span).is_err());
+        let bad_count = good.replace("\"warning\":1", "\"warning\":2");
+        assert!(check_diagnostics(&bad_count).is_err());
+        assert!(check_diagnostics("not json").is_err());
+    }
+
+    #[test]
+    fn validates_analysis_json() {
+        let good = r#"{"tool":"sfr-analyze","benchmark":"poly","width":8,
+            "universe":{"uncollapsed":120,"collapsed":100},
+            "classes":{"count":80,"merged":20,"chain_buffer":12,"chain_controlling":8,
+                       "collapse_ratio":0.8,"dominance_pairs":5},
+            "static":{"cfr":30,"sfr":10,"undecided":60,"by_rule":{"dead-cone":9,"masked-propagation":2}},
+            "simulate":{"collapse_only":80,"static_only":60,"combined":48,"reduction_pct":52.0}}"#;
+        check_analysis(good).expect("analysis valid");
+
+        let bad_sum = good.replace("\"count\":80", "\"count\":81");
+        assert!(check_analysis(&bad_sum).is_err());
+        let bad_static = good.replace("\"undecided\":60", "\"undecided\":61");
+        assert!(check_analysis(&bad_static).is_err());
+        let bad_ratio = good.replace("\"collapse_ratio\":0.8", "\"collapse_ratio\":1.3");
+        assert!(check_analysis(&bad_ratio).is_err());
+        let bad_pct = good.replace("52.0", "152.0");
+        assert!(check_analysis(&bad_pct).is_err());
+        let bad_universe = good.replace("\"collapsed\":100", "\"collapsed\":130");
+        assert!(check_analysis(&bad_universe).is_err());
+        assert!(check_analysis("{}").is_err());
     }
 }

@@ -41,7 +41,9 @@ pub mod metrics;
 pub mod trace;
 pub mod tty;
 
-pub use check::{check_manifest, check_metrics, check_trace, TraceStats};
+pub use check::{
+    check_analysis, check_diagnostics, check_manifest, check_metrics, check_trace, TraceStats,
+};
 pub use manifest::{git_revision, process_cpu_ms, PhaseTime, RunManifest, Tallies};
 pub use metrics::{Histogram, Metrics};
 pub use trace::{TraceWriter, TRACE_VERSION};

@@ -140,6 +140,7 @@ registry_counters! {
     faults_simulated => "sfr_faults_simulated_total", "Faults that finished fault simulation";
     faults_dropped => "sfr_faults_dropped_total", "Simulated faults detected and dropped";
     faults_pruned => "sfr_faults_pruned_total", "Faults classified statically without simulation";
+    faults_collapsed => "sfr_faults_collapsed_total", "Faults folded into equivalence-class representatives";
     faults_graded => "sfr_faults_graded_total", "SFR faults that received a power grade";
     faults_flagged => "sfr_faults_flagged_total", "Graded faults the power test flags";
     mc_estimations => "sfr_mc_estimations_total", "Monte Carlo power estimations completed";
@@ -335,6 +336,7 @@ impl Progress for Metrics {
                 }
             }
             ProgressEvent::FaultPruned => self.add(&self.counters.faults_pruned, 1),
+            ProgressEvent::FaultCollapsed => self.add(&self.counters.faults_collapsed, 1),
             ProgressEvent::FaultGraded { flagged } => {
                 self.add(&self.counters.faults_graded, 1);
                 if flagged {

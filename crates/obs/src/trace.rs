@@ -183,6 +183,7 @@ impl Progress for TraceWriter {
             | ProgressEvent::PackRestored { .. }
             | ProgressEvent::BudgetExhausted
             | ProgressEvent::FaultPruned
+            | ProgressEvent::FaultCollapsed
             | ProgressEvent::JournalDegraded
             | ProgressEvent::ShardWorkerConnected
             | ProgressEvent::ShardLeaseGranted
@@ -281,6 +282,15 @@ impl Progress for TraceWriter {
                 push_opt_key(&mut line, "journal", journal_key.as_deref());
                 line.push_str(&format!(",\"t_ms\":{t}}}"));
                 self.emit(&line);
+            }
+            TraceRecord::Collapse {
+                universe,
+                classes,
+                merged,
+            } => {
+                self.emit(&format!(
+                    "{{\"ev\":\"collapse\",\"universe\":{universe},\"classes\":{classes},\"merged\":{merged},\"t_ms\":{t}}}"
+                ));
             }
             TraceRecord::JournalDegraded { message } => {
                 let mut line = String::from("{\"ev\":\"journal_degraded\",\"message\":");

@@ -150,6 +150,7 @@ impl Progress for TtyStatus {
             ProgressEvent::CyclesSimulated { .. }
             | ProgressEvent::MonteCarlo { .. }
             | ProgressEvent::FaultPruned
+            | ProgressEvent::FaultCollapsed
             | ProgressEvent::ShardWorkerConnected
             | ProgressEvent::ShardLeaseGranted
             | ProgressEvent::ShardLeaseExpired

@@ -32,6 +32,10 @@ pub struct ShardSpec {
     pub test_seed: u32,
     /// Whether the static-prune pre-pass is enabled.
     pub static_prune: bool,
+    /// Whether structural fault collapsing is enabled: coordinator and
+    /// workers each derive the same representative-only grading set, so
+    /// the leased packs cover one fault per equivalence class.
+    pub collapse: bool,
     /// Detection tolerance band in percent.
     pub threshold_pct: f64,
     /// Monte Carlo relative tolerance.
@@ -75,6 +79,7 @@ impl ShardSpec {
             patterns: classify.test_patterns,
             test_seed: classify.test_seed,
             static_prune: classify.static_prune,
+            collapse: false,
             threshold_pct: grade.threshold_pct,
             mc_rel_tolerance: grade.mc.rel_tolerance,
             mc_min_batches: grade.mc.min_batches,
@@ -112,6 +117,7 @@ impl ShardSpec {
         kv("patterns", self.patterns.to_string());
         kv("test_seed", self.test_seed.to_string());
         kv("static_prune", u8::from(self.static_prune).to_string());
+        kv("collapse", u8::from(self.collapse).to_string());
         kv(
             "threshold_bits",
             format!("{:016x}", self.threshold_pct.to_bits()),
@@ -170,6 +176,7 @@ impl ShardSpec {
                         .map_err(|_| format!("bad spec value `{key}={value}`"))?;
                 }
                 "static_prune" => spec.static_prune = int(value)? != 0,
+                "collapse" => spec.collapse = int(value)? != 0,
                 "threshold_bits" => spec.threshold_pct = f64_bits(value)?,
                 "mc_rel_tol_bits" => spec.mc_rel_tolerance = f64_bits(value)?,
                 "mc_min_batches" => spec.mc_min_batches = int(value)?,
@@ -223,6 +230,7 @@ impl ShardSpec {
             .test_patterns(self.patterns)
             .test_seed(self.test_seed)
             .static_prune(self.static_prune)
+            .collapse(self.collapse)
             .grade_config(grade)
             .engine(self.engine);
         if let Some(factor) = self.cycle_budget {
@@ -240,6 +248,7 @@ mod tests {
     fn spec_roundtrips_through_text() {
         let mut spec = ShardSpec::new("poly", 6).quick_monte_carlo();
         spec.static_prune = true;
+        spec.collapse = true;
         spec.threshold_pct = 2.5;
         spec.cycle_budget = Some(12);
         spec.engine = EngineKind::TapeWide(4);

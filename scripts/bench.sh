@@ -30,3 +30,10 @@ cat "$JSON"
 overhead=$(sed -n 's/.*"trace_overhead_pct": \([-0-9.]*\).*/\1/p' "$JSON")
 echo
 echo "tracing overhead: ${overhead}% (target < 2%)"
+
+# Fault-collapsing stage: ratio of the universe left after structural
+# equivalence merging, and the wall time of the whole `sfr analyze`
+# static pass (collapse + abstract interpretation + table + oracle).
+echo
+echo "collapse/analyze per benchmark:"
+sed -n 's/.*"bench": "\([a-z]*\)", "universe": \([0-9]*\), "classes": \([0-9]*\), "collapse_ratio": \([0-9.]*\), "campaign": \([0-9]*\), "analyze_seconds": \([0-9.]*\).*/  \1: \3 of \2 classes (ratio \4), campaign \5, analyze \6 s/p' "$JSON"

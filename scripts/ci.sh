@@ -162,6 +162,44 @@ for bench in diffeq facet poly fir; do
 done
 rm -rf "$SHARD_DIR"
 
+echo "== fault collapsing (sfr analyze + --collapse equivalence) =="
+COLLAPSE_DIR="$(mktemp -d)"
+for bench in diffeq facet poly fir; do
+    # Machine-readable diagnostics must round-trip through the
+    # validating readers.
+    "$SFR" lint "$bench" --format json > "$COLLAPSE_DIR/$bench-lint.json"
+    "$SFR" obs-check --diagnostics "$COLLAPSE_DIR/$bench-lint.json" | sed 's/^/   /'
+    "$SFR" analyze "$bench" --format json > "$COLLAPSE_DIR/$bench-analyze.json"
+    "$SFR" obs-check --analysis "$COLLAPSE_DIR/$bench-analyze.json" | sed 's/^/   /'
+    # Collapsed grading is a pure execution strategy: grade table and
+    # manifest fingerprint must match the uncollapsed run exactly.
+    "$SFR" grade "$bench" --patterns 240 \
+        --manifest-out "$COLLAPSE_DIR/$bench-ref-manifest.json" --quiet \
+        > "$COLLAPSE_DIR/$bench-ref.out" 2>/dev/null
+    for t in 1 2 8; do
+        "$SFR" grade "$bench" --patterns 240 --collapse --threads "$t" \
+            --manifest-out "$COLLAPSE_DIR/$bench-$t-manifest.json" --quiet \
+            > "$COLLAPSE_DIR/$bench-$t.out" 2>/dev/null
+        diff "$COLLAPSE_DIR/$bench-ref.out" "$COLLAPSE_DIR/$bench-$t.out"
+        [ "$(manifest_fp "$COLLAPSE_DIR/$bench-ref-manifest.json")" = \
+          "$(manifest_fp "$COLLAPSE_DIR/$bench-$t-manifest.json")" ]
+    done
+    # The acceptance bar: collapse + static rules shrink the simulated
+    # campaign by at least 20% on every benchmark.
+    pct=$(sed -n 's/.*"reduction_pct": *\([0-9]*\).*/\1/p' "$COLLAPSE_DIR/$bench-analyze.json")
+    [ "$pct" -ge 20 ]
+    echo "   $bench: collapsed tables and fingerprints match at 1/2/8 threads; analyze reduction ${pct}%"
+done
+# Collapsing composes with the compiled engines.
+"$SFR" grade poly --patterns 240 --collapse --engine tape --threads 2 --quiet \
+    > "$COLLAPSE_DIR/poly-tape.out" 2>/dev/null
+diff "$COLLAPSE_DIR/poly-ref.out" "$COLLAPSE_DIR/poly-tape.out"
+"$SFR" grade poly --patterns 240 --collapse --engine tape-wide --threads 2 --quiet \
+    > "$COLLAPSE_DIR/poly-tape-wide.out" 2>/dev/null
+diff "$COLLAPSE_DIR/poly-ref.out" "$COLLAPSE_DIR/poly-tape-wide.out"
+echo "   poly: collapsed tape/tape-wide grade tables match the interpretive reference"
+rm -rf "$COLLAPSE_DIR"
+
 echo "== cargo bench --no-run =="
 cargo bench --workspace --no-run
 

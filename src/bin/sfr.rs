@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--engine NAME]
-//!                             [--static-prune]
+//!                             [--static-prune] [--collapse]
 //! sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--engine NAME]
-//!                             [--static-prune] [--checkpoint FILE] [--resume FILE]
-//!                             [--cycle-budget N]
-//! sfr lint        <benchmark>|--fixture [--width N]
+//!                             [--static-prune] [--collapse] [--checkpoint FILE]
+//!                             [--resume FILE] [--cycle-budget N]
+//! sfr analyze     <benchmark> [--width N] [--threads N] [--format text|json]
+//! sfr lint        <benchmark>|--fixture [--width N] [--format text|json]
 //! sfr stats       <benchmark> [--width N]
 //! sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]
 //! sfr verilog     <benchmark> [--width N] [--out FILE]
@@ -46,10 +47,32 @@
 //! states, dead transitions, constant and stuck nets, never-selected
 //! mux inputs, lifespan overlaps, combinational loops — over a
 //! benchmark (or the built-in broken `--fixture`) and exits nonzero if
-//! any `error`-severity diagnostic fires. `--static-prune` on
+//! any `error`-severity diagnostic fires. Diagnostics are normalized:
+//! stable-sorted by severity/rule/location and exact repeats of the
+//! same rule at the same location printed once. `--format json` emits
+//! the report as a machine-readable object instead (validated by
+//! `sfr obs-check --diagnostics`). `--static-prune` on
 //! `classify`/`grade` classifies statically-provable faults without
 //! simulation and prunes them from the campaign; results are
 //! byte-identical to the unpruned run.
+//!
+//! `--collapse` on `classify`/`grade`/`shard serve` enables structural
+//! fault collapsing: structurally equivalent controller faults (BUF/INV
+//! chains, controlling-value links through fanout-free nets) are folded
+//! into equivalence classes and only one representative per class is
+//! simulated and power-graded; every member inherits its
+//! representative's verdict and grade, so the tables and the campaign
+//! fingerprint are byte-identical to the uncollapsed run at any thread
+//! count and engine.
+//!
+//! `analyze` reports what the static layer proves about a benchmark
+//! *without* running a campaign: the collapsed fault universe, the
+//! equivalence-class partition with per-rule merge attribution, the
+//! statically-decided CFR/SFR split (dead cone, constant site,
+//! abstract-interpretation masking/parity, exhaustive table, oracle),
+//! and how many faults a `--static-prune --collapse` campaign would
+//! actually simulate. `--format json` emits the same report
+//! machine-readably (validated by `sfr obs-check --analysis`).
 //!
 //! `shard serve` runs a `grade` campaign as a fault-tolerant
 //! distributed coordinator: grade packs are leased to connecting
@@ -87,10 +110,12 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sfr classify    <benchmark> [--width N] [--patterns N] [--threads N] [--engine NAME]\n                  \
-         [--static-prune]\n  \
+         [--static-prune] [--collapse]\n  \
          sfr grade       <benchmark> [--width N] [--threshold PCT] [--threads N] [--engine NAME]\n                  \
-         [--static-prune] [--checkpoint FILE] [--resume FILE] [--cycle-budget N]\n  \
-         sfr lint        <benchmark>|--fixture [--width N]\n  \
+         [--static-prune] [--collapse] [--checkpoint FILE] [--resume FILE]\n                  \
+         [--cycle-budget N]\n  \
+         sfr analyze     <benchmark> [--width N] [--threads N] [--format text|json]\n  \
+         sfr lint        <benchmark>|--fixture [--width N] [--format text|json]\n  \
          sfr stats       <benchmark> [--width N]\n  \
          sfr vcd         <benchmark> [--width N] [--fault SPEC] [--out FILE]\n  \
          sfr verilog     <benchmark> [--width N] [--out FILE]\n  \
@@ -100,7 +125,8 @@ fn usage() -> ExitCode {
          sfr shard serve <benchmark> [grade flags] [--addr HOST:PORT] [--lease-ms N]\n                  \
          [--grace-ms N] [--spawn-workers N] [--chaos kill=P,stall=P] [--chaos-seed N]\n  \
          sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]\n  \
-         sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n\
+         sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n                  \
+         [--diagnostics FILE] [--analysis FILE]\n\
          observability (classify/grade/testprogram): [--trace-out FILE] [--metrics-out FILE]\n                  \
          [--manifest-out FILE] [--force] [--quiet]\n\
          benchmarks: diffeq | facet | poly | fir\n\
@@ -281,6 +307,11 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
         None => EngineKind::for_threads(eff_threads),
     };
     let static_prune = args.switch("--static-prune");
+    let collapse = args.switch("--collapse");
+    let format = args.flag("--format").unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format `{format}` (text|json)"));
+    }
     let fault_spec = args.flag("--fault");
     let out_file = args.flag("--out");
     let checkpoint = args.flag("--checkpoint");
@@ -304,7 +335,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
             let sinks = obs.sinks();
             let tee = Tee::new(&sinks);
-            let c = classify_system_with(
+            let (c, _quarantined) = sfr_power::classify_system_collapsed(
                 &sys,
                 &ClassifyConfig {
                     test_patterns: patterns,
@@ -313,6 +344,8 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 },
                 engine.build().as_ref(),
                 &tee,
+                None,
+                collapse,
             );
             drop(sinks);
             obs.finish()?;
@@ -338,6 +371,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 .test_patterns(patterns)
                 .threshold_pct(threshold)
                 .static_prune(static_prune)
+                .collapse(collapse)
                 .threads(threads)
                 .engine(engine)
                 .force(force);
@@ -372,17 +406,22 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             print_grade_table(&name, threshold, &study)
         }
         "lint" => {
-            let report = if args.switch("--fixture") {
-                sfr_power::fixture_report()
+            let (subject, mut report) = if args.switch("--fixture") {
+                ("fixture".to_string(), sfr_power::fixture_report())
             } else {
                 let name = args.positional().ok_or("missing benchmark name")?;
                 let emitted = build_bench(&name, width)?;
                 let sys =
                     System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
-                sfr_power::lint_system(&sys)
+                (name, sfr_power::lint_system(&sys))
             };
-            for d in &report.diagnostics {
-                println!("{d}");
+            report.normalize();
+            if format == "json" {
+                println!("{}", render_lint_json(&subject, &report));
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
             }
             let errors = report.error_count();
             if errors > 0 {
@@ -395,6 +434,24 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 "lint: clean ({} non-error diagnostic(s))",
                 report.diagnostics.len()
             );
+            Ok(())
+        }
+        "analyze" => {
+            let name = args.positional().ok_or("missing benchmark name")?;
+            let emitted = build_bench(&name, width)?;
+            let sys =
+                System::build(&emitted, SystemConfig::default()).map_err(|e| e.to_string())?;
+            let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
+            let sinks = obs.sinks();
+            let tee = Tee::new(&sinks);
+            let report = run_analysis(&name, width, &sys, eff_threads, &tee);
+            drop(sinks);
+            obs.finish()?;
+            if format == "json" {
+                println!("{}", report.render_json());
+            } else {
+                print!("{report}");
+            }
             Ok(())
         }
         "stats" => {
@@ -573,6 +630,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     spec.patterns = patterns;
                     spec.threshold_pct = threshold;
                     spec.static_prune = static_prune;
+                    spec.collapse = collapse;
                     spec.cycle_budget = cycle_budget;
                     spec.engine = engine;
                     spec.lease_ms = lease_ms;
@@ -689,9 +747,18 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
             let trace = args.flag("--trace");
             let manifest = args.flag("--manifest");
             let metrics = args.flag("--metrics");
-            if trace.is_none() && manifest.is_none() && metrics.is_none() {
+            let diagnostics = args.flag("--diagnostics");
+            let analysis = args.flag("--analysis");
+            if trace.is_none()
+                && manifest.is_none()
+                && metrics.is_none()
+                && diagnostics.is_none()
+                && analysis.is_none()
+            {
                 return Err(
-                    "obs-check needs at least one of --trace, --manifest, --metrics".into(),
+                    "obs-check needs at least one of --trace, --manifest, --metrics, \
+                            --diagnostics, --analysis"
+                        .into(),
                 );
             }
             if let Some(path) = trace {
@@ -701,14 +768,15 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                     .map_err(|e| format!("invalid trace {path}: {e}"))?;
                 println!(
                     "trace {path}: ok — {} lines, {} spans ({} aborted), {} packs, {} chunks, \
-                     {} quarantines, {} budget hits",
+                     {} quarantines, {} budget hits, {} collapse record(s)",
                     stats.lines,
                     stats.spans,
                     stats.aborted_spans,
                     stats.packs,
                     stats.chunks,
                     stats.quarantines,
-                    stats.budgets
+                    stats.budgets,
+                    stats.collapses
                 );
             }
             if let Some(path) = manifest {
@@ -724,6 +792,20 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 let samples = sfr_power::obs::check_metrics(&text)
                     .map_err(|e| format!("invalid metrics {path}: {e}"))?;
                 println!("metrics {path}: ok — {samples} samples");
+            }
+            if let Some(path) = diagnostics {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read diagnostics {path}: {e}"))?;
+                let n = sfr_power::obs::check_diagnostics(&text)
+                    .map_err(|e| format!("invalid diagnostics {path}: {e}"))?;
+                println!("diagnostics {path}: ok — {n} diagnostic(s)");
+            }
+            if let Some(path) = analysis {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read analysis {path}: {e}"))?;
+                sfr_power::obs::check_analysis(&text)
+                    .map_err(|e| format!("invalid analysis {path}: {e}"))?;
+                println!("analysis {path}: ok");
             }
             Ok(())
         }
@@ -771,6 +853,248 @@ fn print_grade_table(name: &str, threshold: f64, study: &sfr_power::Study) -> Re
 
 fn sfr_netlist_stats(nl: &sfr_power::Netlist) -> String {
     sfr_power::NetlistStats::of(nl).to_string()
+}
+
+/// Renders a normalized lint report as the `sfr-lint` JSON object
+/// validated by `sfr obs-check --diagnostics`.
+fn render_lint_json(subject: &str, report: &sfr_power::LintReport) -> String {
+    use sfr_power::obs::json::escaped;
+    use sfr_power::Severity;
+    let mut out = String::from("{\"tool\":\"sfr-lint\",\"subject\":");
+    out.push_str(&escaped(subject));
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let span = match d.location.span {
+            Some((line, col)) => format!("[{line},{col}]"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"rule\":{},\"severity\":{},\"subject\":{},\"span\":{span},\"message\":{}}}",
+            escaped(d.rule),
+            escaped(&d.severity.to_string()),
+            escaped(&d.location.subject),
+            escaped(&d.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"counts\":{{\"error\":{},\"warning\":{},\"info\":{}}}}}",
+        report.error_count(),
+        report.count(Severity::Warning),
+        report.count(Severity::Info)
+    ));
+    out
+}
+
+/// The stable order static rules are attributed and printed in:
+/// structural CFR proofs cheapest-first, then the abstract-interpretation
+/// proofs, then the exhaustive fallbacks.
+const ANALYZE_RULES: [&str; 6] = [
+    "dead-cone",
+    "constant-site",
+    "masked-propagation",
+    "parity-cancellation",
+    "table-cfr",
+    "oracle-sfr",
+];
+
+/// What `sfr analyze` computed for one benchmark.
+struct AnalysisReport {
+    benchmark: String,
+    width: usize,
+    uncollapsed: usize,
+    universe: usize,
+    class_count: usize,
+    merged: usize,
+    chain_buffer: usize,
+    chain_controlling: usize,
+    collapse_ratio: f64,
+    dominance_pairs: usize,
+    cfr: usize,
+    sfr: usize,
+    undecided: usize,
+    by_rule: Vec<(&'static str, usize)>,
+    collapse_only: usize,
+    static_only: usize,
+    combined: usize,
+}
+
+impl AnalysisReport {
+    fn reduction_pct(&self) -> f64 {
+        if self.universe == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.combined as f64 / self.universe as f64)
+        }
+    }
+
+    /// The `sfr-analyze` JSON object validated by
+    /// `sfr obs-check --analysis`.
+    fn render_json(&self) -> String {
+        use sfr_power::obs::json::{escaped, num};
+        let by_rule: Vec<String> = self
+            .by_rule
+            .iter()
+            .map(|(rule, n)| format!("{}:{n}", escaped(rule)))
+            .collect();
+        format!(
+            "{{\"tool\":\"sfr-analyze\",\"benchmark\":{},\"width\":{},\
+             \"universe\":{{\"uncollapsed\":{},\"collapsed\":{}}},\
+             \"classes\":{{\"count\":{},\"merged\":{},\"chain_buffer\":{},\
+             \"chain_controlling\":{},\"collapse_ratio\":{},\"dominance_pairs\":{}}},\
+             \"static\":{{\"cfr\":{},\"sfr\":{},\"undecided\":{},\"by_rule\":{{{}}}}},\
+             \"simulate\":{{\"collapse_only\":{},\"static_only\":{},\"combined\":{},\
+             \"reduction_pct\":{}}}}}",
+            escaped(&self.benchmark),
+            self.width,
+            self.uncollapsed,
+            self.universe,
+            self.class_count,
+            self.merged,
+            self.chain_buffer,
+            self.chain_controlling,
+            num(self.collapse_ratio),
+            self.dominance_pairs,
+            self.cfr,
+            self.sfr,
+            self.undecided,
+            by_rule.join(","),
+            self.collapse_only,
+            self.static_only,
+            self.combined,
+            num(self.reduction_pct()),
+        )
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} (width {}) — static fault analysis:",
+            self.benchmark, self.width
+        )?;
+        writeln!(
+            f,
+            "  fault universe:      {} site-collapsed faults ({} uncollapsed)",
+            self.universe, self.uncollapsed
+        )?;
+        writeln!(
+            f,
+            "  equivalence classes: {} ({} folded: {} buf/inv chain, {} controlling link; \
+             ratio {:.3})",
+            self.class_count,
+            self.merged,
+            self.chain_buffer,
+            self.chain_controlling,
+            self.collapse_ratio
+        )?;
+        writeln!(
+            f,
+            "  dominance pairs:     {} (reported, not merged)",
+            self.dominance_pairs
+        )?;
+        writeln!(
+            f,
+            "  statically decided:  {} CFR + {} SFR of {} ({} undecided)",
+            self.cfr, self.sfr, self.universe, self.undecided
+        )?;
+        for (rule, n) in &self.by_rule {
+            writeln!(f, "    {rule:<20} {n}")?;
+        }
+        writeln!(
+            f,
+            "  campaign after --static-prune --collapse: {} of {} faults \
+             ({:.1}% fewer simulated)",
+            self.combined,
+            self.universe,
+            self.reduction_pct()
+        )
+    }
+}
+
+/// Runs the static layer — fault collapsing plus the rule/table/oracle
+/// attribution — over one benchmark, reporting phases, counters, and
+/// the collapse trace record to `progress` exactly as a campaign would.
+fn run_analysis(
+    name: &str,
+    width: usize,
+    sys: &System,
+    threads: usize,
+    progress: &dyn Progress,
+) -> AnalysisReport {
+    use sfr_power::exec::{par_map_indexed, Phase, PhaseTimer, ProgressEvent, TraceRecord};
+
+    let faults = sys.controller_faults();
+    let uncollapsed = sys.controller_faults_uncollapsed().len();
+
+    let timer = PhaseTimer::start(progress, Phase::Collapse);
+    let classes = sfr_power::FaultClasses::build(&sys.netlist, &faults);
+    for _ in 0..classes.merged_count() {
+        progress.event(ProgressEvent::FaultCollapsed);
+    }
+    if progress.wants_records() {
+        progress.record(&TraceRecord::Collapse {
+            universe: classes.len(),
+            classes: classes.class_count(),
+            merged: classes.merged_count(),
+        });
+    }
+    timer.finish();
+
+    let timer = PhaseTimer::start(progress, Phase::Lint);
+    let analysis = sfr_power::analyze_controller_static(sys);
+    let labels = par_map_indexed(threads, faults.len(), |i| {
+        sfr_power::static_rule_label(sys, &analysis, faults[i])
+    });
+    for _ in labels.iter().flatten() {
+        progress.event(ProgressEvent::FaultPruned);
+    }
+    timer.finish();
+
+    let mut by_rule: Vec<(&'static str, usize)> = ANALYZE_RULES.iter().map(|&r| (r, 0)).collect();
+    let mut undecided_classes = std::collections::BTreeSet::new();
+    let mut undecided = 0;
+    for (i, label) in labels.iter().enumerate() {
+        match label {
+            Some(rule) => {
+                if let Some(slot) = by_rule.iter_mut().find(|(r, _)| r == rule) {
+                    slot.1 += 1;
+                }
+            }
+            None => {
+                undecided += 1;
+                undecided_classes.insert(classes.representative(i));
+            }
+        }
+    }
+    let sfr = by_rule
+        .iter()
+        .find(|(r, _)| *r == "oracle-sfr")
+        .map_or(0, |(_, n)| *n);
+    let cfr = faults.len() - undecided - sfr;
+
+    AnalysisReport {
+        benchmark: name.to_string(),
+        width,
+        uncollapsed,
+        universe: faults.len(),
+        class_count: classes.class_count(),
+        merged: classes.merged_count(),
+        chain_buffer: classes.chain_buffer_merges(),
+        chain_controlling: classes.chain_controlling_merges(),
+        collapse_ratio: classes.collapse_ratio(),
+        dominance_pairs: classes.dominance_pairs(),
+        cfr,
+        sfr,
+        undecided,
+        by_rule,
+        collapse_only: classes.class_count(),
+        static_only: undecided,
+        combined: undecided_classes.len(),
+    }
 }
 
 /// Parses a fault spec like `g21.out/sa1` or `g7.in2/sa0` against the
