@@ -624,6 +624,21 @@ pub fn grade_faults_journaled(
     )
 }
 
+/// Tape-kernel shape counters the always-on self-profiler captures per
+/// computed pack: program size, levelized depth, baked-in force ops,
+/// and the delta sweep's dirty-column count from the final batch. All
+/// zeros under the interpretive kernel, which compiles no tape. Pure
+/// diagnostics — never journaled, never fingerprinted.
+#[derive(Debug, Default, Clone, Copy)]
+struct PackProf {
+    ops: usize,
+    levels: usize,
+    force_ops: usize,
+    lanes: usize,
+    dirty_nets: usize,
+    nets: usize,
+}
+
 /// One pack's Monte Carlo estimation on a tape kernel: the pack's
 /// [`TapeProgram`] is compiled once and one [`TapeSim`] is reused by
 /// every batch — compile and allocation costs are paid once per pack
@@ -634,11 +649,12 @@ fn run_pack_tape<W: TapeWord>(
     cfg: &GradeConfig,
     stalls: &mut [u64],
     cycles: &mut u64,
+    prof: &mut PackProf,
 ) -> Vec<MonteCarloResult> {
     let prog =
         TapeProgram::<W>::compile(&sys.netlist, pack).expect("packs never exceed the lane limit");
     let mut sim = TapeSim::new(&prog);
-    run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
+    let results = run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
         let ts = batch_testset(sys, cfg, batch);
         let (reports, batch_stalls) = measure_power_tape_watched_with(sys, &mut sim, &ts, cfg);
         for (acc, w) in stalls.iter_mut().zip(&batch_stalls) {
@@ -646,7 +662,16 @@ fn run_pack_tape<W: TapeWord>(
         }
         *cycles += reports[0].cycles;
         reports
-    })
+    });
+    *prof = PackProf {
+        ops: prog.len(),
+        levels: prog.level_count(),
+        force_ops: prog.force_op_count(),
+        lanes: prog.lanes(),
+        dirty_nets: sim.activity().map_or(0, |a| a.dirty_net_columns()),
+        nets: prog.net_count(),
+    };
+    results
 }
 
 /// Lane capacity of one grade pack under `kernel` — the number of
@@ -678,18 +703,24 @@ pub fn grade_pack_slice(faults: &[StuckAt], pack: usize, kernel: SimKernel) -> &
 }
 
 /// One pack's full Monte Carlo estimation on `kernel`: per-lane results
-/// (lane 0 fault-free first), the accumulated watchdog stall mask, and
-/// the simulated cycle count. Pure function of `(sys, pack, cfg,
-/// kernel)` — every caller (local grading, a remote shard worker)
-/// produces bit-identical words for the same pack.
+/// (lane 0 fault-free first), the accumulated watchdog stall mask, the
+/// simulated cycle count, and the self-profiler's tape shape counters.
+/// The first three are a pure function of `(sys, pack, cfg, kernel)` —
+/// every caller (local grading, a remote shard worker) produces
+/// bit-identical words for the same pack; the profile is diagnostic
+/// only and never enters a payload or journal.
 fn run_pack(
     sys: &System,
     pack: &[StuckAt],
     cfg: &GradeConfig,
     kernel: SimKernel,
-) -> (Vec<MonteCarloResult>, Vec<u64>, u64) {
+) -> (Vec<MonteCarloResult>, Vec<u64>, u64, PackProf) {
     let mut stalls = vec![0u64; pack.len().div_ceil(64).max(1)];
     let mut cycles = 0u64;
+    let mut prof = PackProf {
+        lanes: pack.len() + 1,
+        ..PackProf::default()
+    };
     let results = match kernel {
         SimKernel::Interpretive => run_monte_carlo_lanes(&cfg.mc, pack.len() + 1, |batch| {
             let (reports, batch_stalls) =
@@ -700,10 +731,14 @@ fn run_pack(
             cycles += reports[0].cycles;
             reports
         }),
-        SimKernel::Tape => run_pack_tape::<u64>(sys, pack, cfg, &mut stalls, &mut cycles),
-        SimKernel::TapeWide => run_pack_tape::<W256>(sys, pack, cfg, &mut stalls, &mut cycles),
+        SimKernel::Tape => {
+            run_pack_tape::<u64>(sys, pack, cfg, &mut stalls, &mut cycles, &mut prof)
+        }
+        SimKernel::TapeWide => {
+            run_pack_tape::<W256>(sys, pack, cfg, &mut stalls, &mut cycles, &mut prof)
+        }
     };
-    (results, stalls, cycles)
+    (results, stalls, cycles, prof)
 }
 
 /// Computes pack `pack` of `faults` exactly as
@@ -727,7 +762,7 @@ pub fn compute_pack_payload(
         .next()
         .expect("one task was submitted");
     match outcome {
-        Ok((results, stalls, _cycles)) => encode_pack(&results, &stalls, wide),
+        Ok((results, stalls, _cycles, _prof)) => encode_pack(&results, &stalls, wide),
         Err(panic) => encode_quarantine(&panic.message),
     }
 }
@@ -795,6 +830,11 @@ pub fn grade_faults_journaled_with_kernel(
         phase: Phase::Grade,
         items: packs.len(),
     });
+    // Self-profiler side table, indexed by pack. Kept out of
+    // `PackOutcome` so the journal payload format (and every
+    // decode/restore path) stays untouched by profiling.
+    let profiles: std::sync::Mutex<Vec<PackProf>> =
+        std::sync::Mutex::new(vec![PackProf::default(); packs.len()]);
     let outcomes = par_map_indexed_caught(threads, packs.len(), |p| {
         let pack = packs[p];
         if let Some(j) = journal {
@@ -810,7 +850,10 @@ pub fn grade_faults_journaled_with_kernel(
         // Cycle and wall-time accounting stays worker-local and is
         // flushed once per pack — the hot lane loop never observes it.
         let started = std::time::Instant::now();
-        let (results, stalls, cycles) = run_pack(sys, pack, cfg, kernel);
+        let (results, stalls, cycles, prof) = run_pack(sys, pack, cfg, kernel);
+        if let Ok(mut table) = profiles.lock() {
+            table[p] = prof;
+        }
         if let Some(j) = journal {
             j.record(
                 RecordKind::GradePack,
@@ -877,6 +920,19 @@ pub fn grade_faults_journaled_with_kernel(
                     }
                     progress.event(ProgressEvent::CyclesSimulated { cycles: *cycles });
                     progress.event(ProgressEvent::GradePack { faults: n_faults });
+                    // Self-profiler flush, in the same deterministic
+                    // pack order as every other event. Timings vary
+                    // run to run, but the event *sequence* does not.
+                    let prof = profiles.lock().map(|t| t[p]).unwrap_or_default();
+                    progress.event(ProgressEvent::PackProfile {
+                        us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                        ops: prof.ops,
+                        levels: prof.levels,
+                        force_ops: prof.force_ops,
+                        lanes: prof.lanes,
+                        dirty_nets: prof.dirty_nets,
+                        nets: prof.nets,
+                    });
                 }
                 if tracing {
                     let lanes = results

@@ -25,7 +25,7 @@ use sfr_faultsim::{EngineKind, System};
 use sfr_fsm::{Encoding, FillPolicy};
 use sfr_hls::EmittedSystem;
 use sfr_journal::CampaignJournal;
-use sfr_obs::{PhaseTime, RunManifest, Tallies};
+use sfr_obs::{PhaseTime, ProfileSection, RunManifest, Tallies};
 use sfr_power_model::MonteCarloConfig;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -443,6 +443,80 @@ impl Progress for PhaseLog {
     }
 }
 
+/// Internal sink collecting the always-on self-profiler's
+/// [`ProgressEvent::PackProfile`] stream for the manifest's `profile`
+/// section: per-pack wall times for percentiles plus the compiled
+/// tape's shape counters (identical across packs of one campaign, so
+/// keeping the last observation suffices).
+#[derive(Default)]
+struct ProfileLog(Mutex<ProfileScratch>);
+
+#[derive(Default)]
+struct ProfileScratch {
+    pack_us: Vec<u64>,
+    ops: usize,
+    levels: usize,
+    force_ops: usize,
+    dirty_nets: usize,
+    nets: usize,
+}
+
+impl Progress for ProfileLog {
+    fn event(&self, event: ProgressEvent) {
+        if let ProgressEvent::PackProfile {
+            us,
+            ops,
+            levels,
+            force_ops,
+            dirty_nets,
+            nets,
+            ..
+        } = event
+        {
+            if let Ok(mut scratch) = self.0.lock() {
+                scratch.pack_us.push(us);
+                scratch.ops = ops;
+                scratch.levels = levels;
+                scratch.force_ops = force_ops;
+                scratch.dirty_nets = dirty_nets;
+                scratch.nets = nets;
+            }
+        }
+    }
+}
+
+impl ProfileScratch {
+    /// Fold the collected stream into the manifest section.
+    /// `packs_restored` and `mc_batches` come from the counters sink —
+    /// restored packs are never timed, so they are not in `pack_us`.
+    fn section(mut self, packs_restored: usize, mc_batches: usize) -> ProfileSection {
+        self.pack_us.sort_unstable();
+        let pct = |p: usize| -> u64 {
+            if self.pack_us.is_empty() {
+                0
+            } else {
+                self.pack_us[(self.pack_us.len() - 1) * p / 100]
+            }
+        };
+        ProfileSection {
+            packs_computed: self.pack_us.len(),
+            packs_restored,
+            pack_p50_us: pct(50),
+            pack_p90_us: pct(90),
+            pack_max_us: self.pack_us.last().copied().unwrap_or(0),
+            mc_batches,
+            tape_ops: self.ops,
+            tape_levels: self.levels,
+            tape_force_ops: self.force_ops,
+            tape_sparsity_pct: if self.nets == 0 {
+                0.0
+            } else {
+                self.dirty_nets as f64 * 100.0 / self.nets as f64
+            },
+        }
+    }
+}
+
 impl PreparedStudy {
     /// The benchmark name.
     pub fn name(&self) -> &str {
@@ -531,7 +605,8 @@ impl PreparedStudy {
         // stream it would see without a manifest.
         let counters = Counters::new();
         let phases = PhaseLog(Mutex::new(Vec::new()));
-        let sinks: [&dyn Progress; 3] = [progress, &counters, &phases];
+        let profile = ProfileLog::default();
+        let sinks: [&dyn Progress; 4] = [progress, &counters, &phases, &profile];
         let tee = Tee::new(&sinks);
         let study = execute_study(
             self.name.clone(),
@@ -544,6 +619,12 @@ impl PreparedStudy {
             self.collapse,
         );
         if let Some(path) = &self.manifest_out {
+            let snapshot = counters.snapshot();
+            let profile = profile
+                .0
+                .into_inner()
+                .unwrap_or_default()
+                .section(snapshot.packs_restored, snapshot.mc_batches);
             let manifest = assemble_manifest(
                 &self.name,
                 self.width,
@@ -553,8 +634,9 @@ impl PreparedStudy {
                 self.threads,
                 self.journal.as_ref(),
                 &study,
-                counters.snapshot().faults_pruned,
+                snapshot.faults_pruned,
                 phases.0.lock().map(|log| log.clone()).unwrap_or_default(),
+                profile,
                 started.elapsed(),
             );
             // Overwrite was vetted in build(); force unconditionally so
@@ -591,6 +673,7 @@ fn assemble_manifest(
     study: &Study,
     pruned: usize,
     phases: Vec<(Phase, Duration, bool)>,
+    profile: ProfileSection,
     wall: Duration,
 ) -> RunManifest {
     let c = &study.classification;
@@ -651,6 +734,7 @@ fn assemble_manifest(
                 aborted,
             })
             .collect(),
+        profile,
         wall_ms: wall.as_secs_f64() * 1e3,
         cpu_ms: sfr_obs::process_cpu_ms(),
         git: sfr_obs::git_revision(std::path::Path::new(".")),

@@ -341,6 +341,30 @@ pub enum ProgressEvent {
     /// A pack re-entered the queue under exponential backoff after its
     /// lease expired.
     ShardBackoff,
+    /// A shard worker's connection ended (cleanly or by a chaos kill).
+    ShardWorkerDisconnected,
+    /// The coordinator merged one worker-computed pack result under a
+    /// still-valid lease.
+    ShardPackMerged,
+    /// The always-on self-profiler finished accounting one computed
+    /// grade pack: wall time plus tape-kernel shape counters. Zeros for
+    /// the interpretive engine, which has no compiled tape.
+    PackProfile {
+        /// Wall time the pack spent simulating, µs (saturated).
+        us: u64,
+        /// Tape ops executed per Monte Carlo sweep (program length).
+        ops: usize,
+        /// Topological levels in the compiled tape.
+        levels: usize,
+        /// Fault-injection `Force` ops in the tape.
+        force_ops: usize,
+        /// Lanes occupied, including the baseline lane.
+        lanes: usize,
+        /// Net columns touched by the delta sweep in the final batch.
+        dirty_nets: usize,
+        /// Total net columns in the tape (sparsity denominator).
+        nets: usize,
+    },
 }
 
 /// Which kind of campaign work a structured record describes.
@@ -466,13 +490,22 @@ pub enum TraceRecord {
     /// record the pack merges into, so an incident in a distributed run
     /// points straight at the checkpoint entry that replays it.
     Shard {
-        /// Worker id the event concerns (coordinator-assigned).
+        /// Worker id the event concerns. Coordinator-assigned on the
+        /// coordinator side; `--worker-id` (the spawn slot) on the
+        /// worker side, so the two trace streams agree.
         worker: u64,
-        /// What happened (`"connected"`, `"granted"`, `"expired"`,
-        /// `"fenced"`, `"merged"`, `"disconnected"`, `"backoff"`).
+        /// What happened. Coordinator actions: `"connected"`,
+        /// `"granted"`, `"heartbeat"`, `"expired"`, `"backoff"`,
+        /// `"fenced"`, `"merged"`, `"revoked"`, `"disconnected"`.
+        /// Worker actions: `"received"`, `"stalled"`, `"sent"`.
         action: &'static str,
         /// The grade pack involved, when the event is pack-scoped.
         pack: Option<usize>,
+        /// The lease token involved, when the event is lease-scoped.
+        /// The token doubles as the fencing token — a result frame is
+        /// merged only while this exact token is still current — so it
+        /// is the join key between coordinator and worker traces.
+        lease: Option<u64>,
         /// The checkpoint-journal record key (`"grade/3"`) the pack
         /// merges into, when the campaign is journaled.
         journal_key: Option<String>,
@@ -649,6 +682,14 @@ pub struct CounterState {
     pub shard_results_fenced: usize,
     /// Packs re-queued under exponential backoff.
     pub shard_backoffs: usize,
+    /// Worker-computed pack results merged under a valid lease.
+    pub shard_packs_merged: usize,
+    /// Worker connections that ended (cleanly or by a chaos kill).
+    pub shard_disconnects: usize,
+    /// Packs the self-profiler accounted (computed, not restored).
+    pub packs_profiled: usize,
+    /// Total pack wall time the self-profiler accounted, µs.
+    pub pack_time_us: u64,
     /// Simulated cycles accounted by completed packs/chunks.
     pub cycles_simulated: u64,
     /// Wall time per completed phase, in completion order.
@@ -684,6 +725,10 @@ impl CounterState {
             shard_leases_expired: self.shard_leases_expired - earlier.shard_leases_expired,
             shard_results_fenced: self.shard_results_fenced - earlier.shard_results_fenced,
             shard_backoffs: self.shard_backoffs - earlier.shard_backoffs,
+            shard_packs_merged: self.shard_packs_merged - earlier.shard_packs_merged,
+            shard_disconnects: self.shard_disconnects - earlier.shard_disconnects,
+            packs_profiled: self.packs_profiled - earlier.packs_profiled,
+            pack_time_us: self.pack_time_us - earlier.pack_time_us,
             cycles_simulated: self.cycles_simulated - earlier.cycles_simulated,
             phase_times: self.phase_times[earlier.phase_times.len()..].to_vec(),
         }
@@ -767,12 +812,21 @@ impl std::fmt::Display for CounterState {
         if self.shard_workers + self.shard_leases_granted > 0 {
             writeln!(
                 f,
-                "shard: {} worker(s), {} lease(s) granted, {} expired, {} fenced, {} backoff(s)",
+                "shard: {} worker(s), {} lease(s) granted, {} expired, {} fenced, {} backoff(s), {} merged",
                 self.shard_workers,
                 self.shard_leases_granted,
                 self.shard_leases_expired,
                 self.shard_results_fenced,
-                self.shard_backoffs
+                self.shard_backoffs,
+                self.shard_packs_merged
+            )?;
+        }
+        if self.packs_profiled > 0 {
+            writeln!(
+                f,
+                "profile: {} pack(s) timed, {:.1} ms total pack wall time",
+                self.packs_profiled,
+                self.pack_time_us as f64 / 1e3
             )?;
         }
         for (phase, elapsed) in &self.phase_times {
@@ -847,6 +901,12 @@ impl Progress for Counters {
             ProgressEvent::ShardLeaseExpired => s.shard_leases_expired += 1,
             ProgressEvent::ShardResultFenced => s.shard_results_fenced += 1,
             ProgressEvent::ShardBackoff => s.shard_backoffs += 1,
+            ProgressEvent::ShardPackMerged => s.shard_packs_merged += 1,
+            ProgressEvent::ShardWorkerDisconnected => s.shard_disconnects += 1,
+            ProgressEvent::PackProfile { us, .. } => {
+                s.packs_profiled += 1;
+                s.pack_time_us = s.pack_time_us.saturating_add(us);
+            }
         }
     }
 }
@@ -970,6 +1030,42 @@ mod tests {
         assert_eq!(s.faults_flagged, 1);
         assert_eq!(s.grade_packs, 2);
         assert_eq!(s.grade_pack_faults, 70);
+    }
+
+    #[test]
+    fn counters_accumulate_shard_and_profile_events() {
+        let c = Counters::new();
+        c.event(ProgressEvent::ShardWorkerConnected);
+        c.event(ProgressEvent::ShardLeaseGranted);
+        c.event(ProgressEvent::ShardPackMerged);
+        c.event(ProgressEvent::ShardWorkerDisconnected);
+        c.event(ProgressEvent::PackProfile {
+            us: u64::MAX,
+            ops: 10,
+            levels: 3,
+            force_ops: 2,
+            lanes: 8,
+            dirty_nets: 5,
+            nets: 20,
+        });
+        c.event(ProgressEvent::PackProfile {
+            us: 7,
+            ops: 10,
+            levels: 3,
+            force_ops: 2,
+            lanes: 8,
+            dirty_nets: 5,
+            nets: 20,
+        });
+        let s = c.snapshot();
+        assert_eq!(s.shard_workers, 1);
+        assert_eq!(s.shard_packs_merged, 1);
+        assert_eq!(s.shard_disconnects, 1);
+        assert_eq!(s.packs_profiled, 2);
+        assert_eq!(s.pack_time_us, u64::MAX, "pack time saturates");
+        let text = s.to_string();
+        assert!(text.contains("profile: 2 pack(s) timed"));
+        assert!(text.contains("1 merged"));
     }
 
     #[test]

@@ -517,6 +517,8 @@ pub struct TapeProgram<W> {
     /// Gate index → state slot (`u32::MAX` for combinational gates).
     state_slot: Vec<u32>,
     faults: Vec<StuckAt>,
+    /// Deepest combinational level in the levelized schedule.
+    n_levels: usize,
 }
 
 impl<W: TapeWord> TapeProgram<W> {
@@ -627,6 +629,7 @@ impl<W: TapeWord> TapeProgram<W> {
             order.push((lvl, gate.kind() as u8, i as u32, g));
         }
         order.sort_unstable();
+        let n_levels = order.last().map_or(0, |&(lvl, ..)| lvl as usize);
         for &(_, _, _, g) in &order {
             let gate = nl.gate(g);
             let dst = gate.output().index() as u32;
@@ -705,6 +708,7 @@ impl<W: TapeWord> TapeProgram<W> {
             outputs: nl.outputs().iter().map(|n| n.index() as u32).collect(),
             state_slot,
             faults: faults.to_vec(),
+            n_levels,
         })
     }
 
@@ -727,6 +731,27 @@ impl<W: TapeWord> TapeProgram<W> {
     /// Whether the tape has no instructions.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Deepest combinational level in the levelized schedule — the
+    /// dependency depth one eval sweep walks (diagnostic).
+    pub fn level_count(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Number of fault-injection [`TapeOp::Force`] ops baked into the
+    /// tape (diagnostic; scales with the pack's fault sites).
+    pub fn force_op_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TapeOp::Force { .. }))
+            .count()
+    }
+
+    /// Net columns the tape's activity counters track (the sparsity
+    /// denominator for delta-sweep diagnostics).
+    pub fn net_count(&self) -> usize {
+        self.n_nets
     }
 }
 
@@ -911,6 +936,19 @@ impl<W: TapeWord> TapeActivity<W> {
     /// Number of simulated cycles (identical across lanes).
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Net columns where some lane deviated from lane 0 since the last
+    /// reset — the columns the delta sweep actually materialized.
+    /// `dirty_net_columns() / net_columns()` is the density the sparse
+    /// representation exploits (diagnostic).
+    pub fn dirty_net_columns(&self) -> usize {
+        self.net_dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Total net columns tracked (the sparsity denominator).
+    pub fn net_columns(&self) -> usize {
+        self.nets
     }
 
     /// Extracts one lane's counters as a scalar [`Activity`] record —

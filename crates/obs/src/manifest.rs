@@ -46,6 +46,37 @@ pub struct Tallies {
     pub incidents: usize,
 }
 
+/// Self-profiling figures for one run: pack wall-time percentiles and
+/// compiled-tape shape counters, collected by the always-on profiler
+/// in `sfr-exec`. Pure observability — deliberately excluded from
+/// [`RunManifest::fingerprint`], which digests results only, so two
+/// runs with different timings still fingerprint identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileSection {
+    /// Grading packs computed this run (restored packs are not timed).
+    pub packs_computed: usize,
+    /// Grading packs restored from a checkpoint journal.
+    pub packs_restored: usize,
+    /// Median computed-pack wall time, µs.
+    pub pack_p50_us: u64,
+    /// 90th-percentile computed-pack wall time, µs.
+    pub pack_p90_us: u64,
+    /// Slowest computed-pack wall time, µs.
+    pub pack_max_us: u64,
+    /// Monte Carlo batches simulated across the whole run.
+    pub mc_batches: usize,
+    /// Compiled tape ops per pack (0 on the interpretive engine).
+    pub tape_ops: usize,
+    /// Tape levelization depth (0 on the interpretive engine).
+    pub tape_levels: usize,
+    /// Fault-injection force ops per pack (0 on the interpretive
+    /// engine).
+    pub tape_force_ops: usize,
+    /// Delta-sweep dirty net-column share of the final Monte Carlo
+    /// batch, percent (0 on the interpretive engine).
+    pub tape_sparsity_pct: f64,
+}
+
 /// A study's run manifest. Built by `sfr-core` after a study
 /// completes; this crate owns the format.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +103,9 @@ pub struct RunManifest {
     pub tallies: Tallies,
     /// Wall time per phase, in execution order.
     pub phases: Vec<PhaseTime>,
+    /// Self-profiling figures (timings, tape counters). Not part of
+    /// the fingerprint.
+    pub profile: ProfileSection,
     /// Total wall-clock milliseconds.
     pub wall_ms: f64,
     /// Process CPU milliseconds (user+sys), when the platform exposes
@@ -165,6 +199,23 @@ impl RunManifest {
             );
         }
         out.push_str("  ],\n");
+        let pr = &self.profile;
+        out.push_str("  \"profile\": {\n");
+        let _ = writeln!(out, "    \"packs_computed\": {},", pr.packs_computed);
+        let _ = writeln!(out, "    \"packs_restored\": {},", pr.packs_restored);
+        let _ = writeln!(out, "    \"pack_p50_us\": {},", pr.pack_p50_us);
+        let _ = writeln!(out, "    \"pack_p90_us\": {},", pr.pack_p90_us);
+        let _ = writeln!(out, "    \"pack_max_us\": {},", pr.pack_max_us);
+        let _ = writeln!(out, "    \"mc_batches\": {},", pr.mc_batches);
+        let _ = writeln!(out, "    \"tape_ops\": {},", pr.tape_ops);
+        let _ = writeln!(out, "    \"tape_levels\": {},", pr.tape_levels);
+        let _ = writeln!(out, "    \"tape_force_ops\": {},", pr.tape_force_ops);
+        let _ = writeln!(
+            out,
+            "    \"tape_sparsity_pct\": {}",
+            json::num(pr.tape_sparsity_pct)
+        );
+        out.push_str("  },\n");
         let _ = writeln!(out, "  \"wall_ms\": {},", json::num(self.wall_ms));
         match self.cpu_ms {
             Some(ms) => {
@@ -290,6 +341,18 @@ mod tests {
                     aborted: false,
                 },
             ],
+            profile: ProfileSection {
+                packs_computed: 7,
+                packs_restored: 1,
+                pack_p50_us: 900,
+                pack_p90_us: 1_400,
+                pack_max_us: 2_000,
+                mc_batches: 64,
+                tape_ops: 5_000,
+                tape_levels: 30,
+                tape_force_ops: 62,
+                tape_sparsity_pct: 12.5,
+            },
             wall_ms: 950.0,
             cpu_ms: Some(940.0),
             git: Some("1a2b3c4d5e6f (main)".into()),
@@ -315,6 +378,12 @@ mod tests {
             v.get("fingerprint").and_then(crate::json::Value::as_str),
             Some(format!("{:#018x}", m.fingerprint()).as_str())
         );
+        assert_eq!(
+            v.get("profile")
+                .and_then(|p| p.get("pack_p90_us"))
+                .and_then(crate::json::Value::as_num),
+            Some(1_400.0)
+        );
     }
 
     #[test]
@@ -327,6 +396,7 @@ mod tests {
         b.cpu_ms = None;
         b.git = None;
         b.phases.clear();
+        b.profile = ProfileSection::default();
         assert_eq!(a.fingerprint(), b.fingerprint());
         let mut c = sample();
         c.campaign_fingerprint ^= 1; // a seed change reaches this

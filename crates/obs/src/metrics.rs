@@ -43,13 +43,20 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Record one observation. The running sum saturates at
+    /// `u64::MAX` instead of wrapping, so a pathological observation
+    /// (or very long campaign) degrades the mean gracefully rather
+    /// than corrupting it.
     pub fn observe(&self, value: u64) {
         let idx = (u64::BITS - value.leading_zeros()) as usize;
         let idx = idx.min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
     }
 
     /// Total observations.
@@ -91,7 +98,8 @@ impl Histogram {
         Some(bucket_bound(BUCKETS - 1))
     }
 
-    fn render_prometheus(&self, out: &mut String, name: &str) {
+    fn render_prometheus(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
@@ -156,6 +164,9 @@ registry_counters! {
     shard_leases_expired => "sfr_shard_leases_expired_total", "Pack leases that missed their heartbeat deadline";
     shard_results_fenced => "sfr_shard_results_fenced_total", "Shard results discarded for arriving under a stale lease";
     shard_backoffs => "sfr_shard_backoffs_total", "Packs re-queued under exponential backoff";
+    shard_packs_merged => "sfr_shard_packs_merged_total", "Worker pack results merged under a valid lease";
+    shard_disconnects => "sfr_shard_disconnects_total", "Shard worker connections that ended";
+    tape_force_ops => "sfr_tape_force_ops_total", "Fault-injection Force ops across compiled tapes";
 }
 
 /// The lock-free metrics registry. Implements [`Progress`], so it taps
@@ -174,6 +185,11 @@ pub struct Metrics {
     mc_batches: Histogram,
     /// Occupied lanes per grading pack (including the baseline lane).
     lane_occupancy: Histogram,
+    /// Tape ops per topological level, per profiled pack.
+    tape_ops_per_level: Histogram,
+    /// Delta-sweep dirty net columns as a percentage of all net
+    /// columns, per profiled pack (the sparsity the sweep exploits).
+    tape_dirty_net_pct: Histogram,
 }
 
 impl Default for Metrics {
@@ -186,6 +202,8 @@ impl Default for Metrics {
             cycles_per_item: Histogram::default(),
             mc_batches: Histogram::default(),
             lane_occupancy: Histogram::default(),
+            tape_ops_per_level: Histogram::default(),
+            tape_dirty_net_pct: Histogram::default(),
         }
     }
 }
@@ -258,14 +276,44 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {gauge} gauge");
             let _ = writeln!(out, "{gauge} {value:.6}");
         }
-        for (hist, name) in [
-            (&self.pack_latency_us, "sfr_pack_latency_microseconds"),
-            (&self.chunk_latency_us, "sfr_chunk_latency_microseconds"),
-            (&self.cycles_per_item, "sfr_cycles_per_work_item"),
-            (&self.mc_batches, "sfr_mc_batches_per_estimation"),
-            (&self.lane_occupancy, "sfr_lane_occupancy"),
+        for (hist, name, help) in [
+            (
+                &self.pack_latency_us,
+                "sfr_pack_latency_microseconds",
+                "Wall time per computed grading pack",
+            ),
+            (
+                &self.chunk_latency_us,
+                "sfr_chunk_latency_microseconds",
+                "Wall time per computed fault-simulation chunk",
+            ),
+            (
+                &self.cycles_per_item,
+                "sfr_cycles_per_work_item",
+                "Simulated cycles per pack/chunk work item",
+            ),
+            (
+                &self.mc_batches,
+                "sfr_mc_batches_per_estimation",
+                "Monte Carlo batches per power estimation",
+            ),
+            (
+                &self.lane_occupancy,
+                "sfr_lane_occupancy",
+                "Occupied lanes per grading pack including the baseline",
+            ),
+            (
+                &self.tape_ops_per_level,
+                "sfr_tape_ops_per_level",
+                "Tape ops per topological level per profiled pack",
+            ),
+            (
+                &self.tape_dirty_net_pct,
+                "sfr_tape_dirty_net_pct",
+                "Delta-sweep dirty net columns as percent of all columns",
+            ),
         ] {
-            hist.render_prometheus(&mut out, name);
+            hist.render_prometheus(&mut out, name, help);
         }
         out
     }
@@ -367,6 +415,24 @@ impl Progress for Metrics {
             ProgressEvent::ShardLeaseExpired => self.add(&self.counters.shard_leases_expired, 1),
             ProgressEvent::ShardResultFenced => self.add(&self.counters.shard_results_fenced, 1),
             ProgressEvent::ShardBackoff => self.add(&self.counters.shard_backoffs, 1),
+            ProgressEvent::ShardPackMerged => self.add(&self.counters.shard_packs_merged, 1),
+            ProgressEvent::ShardWorkerDisconnected => self.add(&self.counters.shard_disconnects, 1),
+            ProgressEvent::PackProfile {
+                ops,
+                levels,
+                force_ops,
+                dirty_nets,
+                nets,
+                ..
+            } => {
+                self.add(&self.counters.tape_force_ops, force_ops as u64);
+                if let Some(per_level) = ops.checked_div(levels) {
+                    self.tape_ops_per_level.observe(per_level as u64);
+                }
+                if let Some(pct) = (dirty_nets * 100).checked_div(nets) {
+                    self.tape_dirty_net_pct.observe(pct as u64);
+                }
+            }
             ProgressEvent::PhaseStart { .. }
             | ProgressEvent::PhaseDone { .. }
             | ProgressEvent::WorkPlanned { .. } => {}
@@ -415,16 +481,59 @@ mod tests {
     }
 
     #[test]
+    fn histogram_edge_values_and_saturating_sum() {
+        let h = Histogram::default();
+        h.observe(0);
+        assert_eq!(h.quantile_bound(1.0), Some(0), "0 lands in bucket 0");
+        h.observe(1);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(
+            h.quantile_bound(1.0),
+            Some(bucket_bound(BUCKETS - 1)),
+            "u64::MAX clamps into the last bucket"
+        );
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "saturated sum is sticky");
+        assert_eq!(h.count(), 4, "count still advances past saturation");
+    }
+
+    #[test]
     fn prometheus_exposition_shape() {
         let m = Metrics::new();
         m.event(ProgressEvent::FaultGraded { flagged: true });
         m.event(ProgressEvent::GradePack { faults: 63 });
         m.event(ProgressEvent::CyclesSimulated { cycles: 500 });
+        m.event(ProgressEvent::ShardPackMerged);
+        m.event(ProgressEvent::PackProfile {
+            us: 900,
+            ops: 120,
+            levels: 6,
+            force_ops: 63,
+            lanes: 64,
+            dirty_nets: 25,
+            nets: 100,
+        });
         let text = m.render_prometheus();
         assert!(text.contains("sfr_faults_graded_total 1"));
         assert!(text.contains("sfr_cycles_simulated_total 500"));
+        assert!(text.contains("sfr_shard_packs_merged_total 1"));
+        assert!(text.contains("sfr_tape_force_ops_total 63"));
+        assert!(text.contains("# HELP sfr_pack_latency_microseconds "));
         assert!(text.contains("# TYPE sfr_pack_latency_microseconds histogram"));
+        assert!(text.contains("# HELP sfr_tape_dirty_net_pct "));
         assert!(text.contains("sfr_lane_occupancy_bucket{le=\"+Inf\"} 1"));
+        // Every exposed metric family carries both comment lines.
+        for family in text.lines().filter_map(|l| {
+            l.strip_prefix("# TYPE ")
+                .and_then(|rest| rest.split(' ').next())
+        }) {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+        }
         // Cumulative buckets: every bucket line's count must be
         // monotonically non-decreasing.
         let mut last = 0u64;

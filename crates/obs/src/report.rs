@@ -1,0 +1,1018 @@
+//! Flight-recorder aggregation behind `sfr report`.
+//!
+//! Merges the trace artifacts one campaign left behind — the
+//! coordinator's JSONL trace, any number of per-worker JSONL traces,
+//! and the run manifest — into a single causally-ordered account of
+//! what happened. Cross-process joining never relies on wall clocks
+//! (each trace's `t_ms` is local to its process): the lease token,
+//! which doubles as the fencing token, is the join key. A lease's
+//! lifecycle has one causal order regardless of clocks —
+//! `granted → received → (stalled) → heartbeat* → sent →
+//! expired|merged|fenced` — so the timeline is reconstructed per
+//! lease and ordered by pack.
+//!
+//! The reader is deliberately lenient where the validators in
+//! [`crate::check`] are strict: a worker SIGKILLed mid-campaign leaves
+//! a torn trace (no `trace_end`, possibly a half-written last line),
+//! and the whole point of a flight recorder is to read those. Torn
+//! tails are flagged as [`GapKind::TornTrace`] gaps, not errors.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// One artifact handed to [`build_report`]: a display label (usually
+/// the file path) and the raw text. The kind is sniffed from the
+/// content — a JSON object with a `tallies` field is a manifest,
+/// JSONL starting with `trace_start` is a trace, and a trace's role
+/// (coordinator vs worker) is sniffed from the shard actions it
+/// carries, which are disjoint between the two sides.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Display label, usually the source path.
+    pub label: String,
+    /// Raw artifact text.
+    pub text: String,
+}
+
+/// Which process wrote a trace, sniffed from its shard records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// The coordinator (or a plain local run — same position).
+    Coordinator,
+    /// A shard worker (`sfr shard work --trace-out`).
+    Worker,
+}
+
+/// Kinds of reconstruction gaps the report flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapKind {
+    /// A lease was granted but no terminal record (merged, fenced, or
+    /// expired) was ever seen for it.
+    UnresolvedGrant,
+    /// A result arrived under a stale lease and was fenced off — the
+    /// worker kept computing after its lease expired.
+    FencedZombie,
+    /// A trace has no `trace_end` footer (the writer was killed).
+    TornTrace,
+    /// A journaled grade pack that no trace record accounts for.
+    UnattributedPack,
+}
+
+impl GapKind {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GapKind::UnresolvedGrant => "unresolved_grant",
+            GapKind::FencedZombie => "fenced_zombie",
+            GapKind::TornTrace => "torn_trace",
+            GapKind::UnattributedPack => "unattributed_pack",
+        }
+    }
+}
+
+/// One flagged gap in the reconstruction.
+#[derive(Debug, Clone)]
+pub struct Gap {
+    /// What kind of gap.
+    pub kind: GapKind,
+    /// The pack involved, when one is known.
+    pub pack: Option<u64>,
+    /// The lease involved, when one is known.
+    pub lease: Option<u64>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// An incident (quarantine, budget exhaustion, journal degradation)
+/// lifted from the traces, cross-linked to its checkpoint-journal key
+/// when the producer recorded one.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Incident kind (`"quarantine"`, `"budget"`, `"journal_degraded"`).
+    pub kind: &'static str,
+    /// Checkpoint-journal key (`"grade/3"`), when recorded.
+    pub journal: Option<String>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Per-worker statistics reconstructed from that worker's own trace.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The id the worker stamped on its records (`--worker-id`).
+    pub worker: u64,
+    /// Source trace label.
+    pub label: String,
+    /// Packs received (grants seen by this worker).
+    pub packs_received: usize,
+    /// Packs computed and sent back.
+    pub packs_sent: usize,
+    /// Chaos stalls this worker injected.
+    pub stalls: usize,
+    /// Total receive→send wall time, ms (local clock).
+    pub busy_ms: f64,
+    /// First-to-last record span, ms (local clock).
+    pub span_ms: f64,
+    /// `busy_ms / span_ms`, percent (0 when the span is empty).
+    pub utilization_pct: f64,
+    /// True when the trace has no `trace_end` footer.
+    pub torn: bool,
+}
+
+/// One lease's reconstructed lifecycle: the timeline unit.
+#[derive(Debug, Clone)]
+pub struct LeaseTimeline {
+    /// The lease (= fencing) token.
+    pub lease: u64,
+    /// The pack the lease covered.
+    pub pack: Option<u64>,
+    /// The coordinator-side worker id the lease was granted to.
+    pub worker: Option<u64>,
+    /// Actions in causal order (`granted`, `received`, `stalled`,
+    /// `heartbeat`, `sent`, `expired`, `fenced`, `revoked`, `merged`).
+    pub events: Vec<&'static str>,
+}
+
+/// Lease-churn tallies across the whole campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeaseStats {
+    /// Leases granted.
+    pub granted: usize,
+    /// Results merged under a valid lease.
+    pub merged: usize,
+    /// Leases that expired.
+    pub expired: usize,
+    /// Results fenced off as stale.
+    pub fenced: usize,
+    /// Leases revoked on worker disconnect.
+    pub revoked: usize,
+    /// Packs re-queued under backoff.
+    pub backoffs: usize,
+    /// Heartbeats the coordinator accepted.
+    pub heartbeats: usize,
+}
+
+impl LeaseStats {
+    /// Share of grants that did not merge (expired, fenced, or
+    /// revoked), percent.
+    pub fn churn_pct(&self) -> f64 {
+        if self.granted == 0 {
+            0.0
+        } else {
+            (self.granted.saturating_sub(self.merged)) as f64 * 100.0 / self.granted as f64
+        }
+    }
+}
+
+/// Pack accounting and latency percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct PackStats {
+    /// Packs computed locally (`pack` records, `restored:false`).
+    pub computed: usize,
+    /// Packs restored from a checkpoint journal.
+    pub restored: usize,
+    /// Distinct packs merged from workers.
+    pub merged: usize,
+    /// Journaled grade packs, when a journal was supplied.
+    pub journaled: Option<usize>,
+    /// Pack wall-time samples, ms (local records plus worker
+    /// receive→send deltas).
+    pub latencies_ms: Vec<f64>,
+}
+
+impl PackStats {
+    fn percentile(&self, sorted: &[f64], pct: usize) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[(sorted.len() - 1) * pct / 100]
+    }
+
+    /// `(p50, p90, max)` pack latency in ms, zeros when no samples.
+    pub fn latency_percentiles(&self) -> (f64, f64, f64) {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        (
+            self.percentile(&sorted, 50),
+            self.percentile(&sorted, 90),
+            sorted.last().copied().unwrap_or(0.0),
+        )
+    }
+}
+
+/// Heartbeat cadence statistics from the coordinator's accepted
+/// heartbeats, grouped per lease (consecutive beats of one lease are
+/// one worker's cadence on one clock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeartbeatStats {
+    /// Inter-beat intervals measured.
+    pub intervals: usize,
+    /// Mean interval, ms.
+    pub mean_ms: f64,
+    /// Longest interval, ms.
+    pub max_ms: f64,
+}
+
+impl HeartbeatStats {
+    /// Worst deviation from the mean cadence, ms.
+    pub fn jitter_ms(&self) -> f64 {
+        (self.max_ms - self.mean_ms).max(0.0)
+    }
+}
+
+/// The merged flight-recorder report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Benchmark name, from the manifest when one was supplied.
+    pub benchmark: Option<String>,
+    /// Manifest results fingerprint (`"0x…"`), when supplied.
+    pub fingerprint: Option<String>,
+    /// Traces read.
+    pub traces: usize,
+    /// Of those, coordinator/local traces.
+    pub coordinator_traces: usize,
+    /// Of those, worker traces.
+    pub worker_traces: usize,
+    /// Per-worker statistics, ordered by worker id.
+    pub workers: Vec<WorkerReport>,
+    /// Lease churn tallies.
+    pub leases: LeaseStats,
+    /// Pack accounting and latencies.
+    pub packs: PackStats,
+    /// Per-phase wall time from the coordinator trace (name, ms,
+    /// aborted).
+    pub phases: Vec<(String, f64, bool)>,
+    /// Heartbeat cadence figures from coordinator-accepted beats.
+    pub heartbeats: HeartbeatStats,
+    /// Incidents cross-linked to journal keys.
+    pub incidents: Vec<Incident>,
+    /// Reconstruction gaps.
+    pub gaps: Vec<Gap>,
+    /// Causally-ordered lease timeline, by (pack, lease).
+    pub timeline: Vec<LeaseTimeline>,
+}
+
+/// Canonical causal rank of a lease-lifecycle action. Within one
+/// lease, this order holds on every interleaving the protocol allows,
+/// so sorting by it reconstructs causality without comparing clocks
+/// across processes.
+fn causal_rank(action: &str) -> usize {
+    match action {
+        "granted" => 0,
+        "received" => 1,
+        "stalled" => 2,
+        "heartbeat" => 3,
+        "sent" => 4,
+        "expired" => 5,
+        "fenced" => 6,
+        "revoked" => 7,
+        "merged" => 8,
+        _ => 9,
+    }
+}
+
+const WORKER_ACTIONS: [&str; 3] = ["received", "stalled", "sent"];
+
+/// Everything collected about one lease while scanning traces.
+#[derive(Debug, Default)]
+struct LeaseLife {
+    pack: Option<u64>,
+    worker: Option<u64>,
+    /// `(causal rank, arrival index, action)` — sorted before emit.
+    events: Vec<(usize, usize, &'static str)>,
+}
+
+fn intern_action(action: &str) -> &'static str {
+    match action {
+        "granted" => "granted",
+        "received" => "received",
+        "stalled" => "stalled",
+        "heartbeat" => "heartbeat",
+        "sent" => "sent",
+        "expired" => "expired",
+        "fenced" => "fenced",
+        "revoked" => "revoked",
+        "merged" => "merged",
+        "backoff" => "backoff",
+        "connected" => "connected",
+        "disconnected" => "disconnected",
+        _ => "other",
+    }
+}
+
+/// Build the merged report from raw artifacts. `journal_packs`, when
+/// supplied by the caller (the CLI reads the checkpoint journal —
+/// this crate has no journal dependency), lists the journaled grade
+/// pack indices so the report can prove every one is attributed.
+///
+/// # Errors
+///
+/// A human-readable message when an artifact is neither a run
+/// manifest nor a trace, or a manifest fails to parse. Torn traces
+/// are *not* errors — they become [`GapKind::TornTrace`] gaps.
+pub fn build_report(
+    artifacts: &[Artifact],
+    journal_packs: Option<&[u64]>,
+) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut leases: BTreeMap<u64, LeaseLife> = BTreeMap::new();
+    let mut merged_packs: Vec<u64> = Vec::new();
+    let mut attributed: Vec<u64> = Vec::new();
+    let mut arrival = 0usize;
+
+    for artifact in artifacts {
+        let head = artifact.text.trim_start();
+        if head.starts_with('{')
+            && head
+                .lines()
+                .next()
+                .is_some_and(|l| l.contains("trace_start"))
+        {
+            scan_trace(
+                artifact,
+                &mut report,
+                &mut leases,
+                &mut merged_packs,
+                &mut attributed,
+                &mut arrival,
+            );
+        } else if head.starts_with('{') {
+            scan_manifest(artifact, &mut report)?;
+        } else {
+            return Err(format!(
+                "{}: not a trace (no trace_start) and not a JSON manifest",
+                artifact.label
+            ));
+        }
+    }
+
+    merged_packs.sort_unstable();
+    merged_packs.dedup();
+    report.packs.merged = merged_packs.len();
+
+    // Lease lifecycle → timeline + lifecycle gaps.
+    for (lease, mut life) in leases {
+        life.events.sort_by_key(|&(rank, idx, _)| (rank, idx));
+        let actions: Vec<&'static str> = life.events.iter().map(|&(_, _, a)| a).collect();
+        let granted = actions.contains(&"granted");
+        let resolved = ["merged", "fenced", "expired", "revoked"]
+            .iter()
+            .any(|t| actions.contains(t));
+        if granted && !resolved {
+            report.gaps.push(Gap {
+                kind: GapKind::UnresolvedGrant,
+                pack: life.pack,
+                lease: Some(lease),
+                detail: format!("lease {lease} was granted but never merged, fenced, or expired"),
+            });
+        }
+        if actions.contains(&"fenced") {
+            report.gaps.push(Gap {
+                kind: GapKind::FencedZombie,
+                pack: life.pack,
+                lease: Some(lease),
+                detail: format!(
+                    "a result under stale lease {lease} was fenced off (zombie worker)"
+                ),
+            });
+        }
+        report.timeline.push(LeaseTimeline {
+            lease,
+            pack: life.pack,
+            worker: life.worker,
+            events: actions,
+        });
+    }
+    report
+        .timeline
+        .sort_by_key(|t| (t.pack.unwrap_or(u64::MAX), t.lease));
+
+    // Journal reconciliation: every journaled pack must be attributed
+    // to a trace record (computed, restored, or merged).
+    if let Some(journaled) = journal_packs {
+        report.packs.journaled = Some(journaled.len());
+        attributed.sort_unstable();
+        attributed.dedup();
+        for &pack in journaled {
+            if attributed.binary_search(&pack).is_err() {
+                report.gaps.push(Gap {
+                    kind: GapKind::UnattributedPack,
+                    pack: Some(pack),
+                    lease: None,
+                    detail: format!(
+                        "journaled pack {pack} is not accounted for by any trace record"
+                    ),
+                });
+            }
+        }
+    }
+
+    report.workers.sort_by_key(|w| w.worker);
+    Ok(report)
+}
+
+/// Scan one trace leniently: unparseable lines (torn tails) and
+/// unknown events are skipped, a missing `trace_end` marks the trace
+/// torn.
+fn scan_trace(
+    artifact: &Artifact,
+    report: &mut Report,
+    leases: &mut BTreeMap<u64, LeaseLife>,
+    merged_packs: &mut Vec<u64>,
+    attributed: &mut Vec<u64>,
+    arrival: &mut usize,
+) {
+    report.traces += 1;
+    let mut saw_worker_action = false;
+    let mut saw_coordinator_record = false;
+    let mut ended = false;
+    // Worker-side aggregation (ids from the worker's own records).
+    let mut received: BTreeMap<u64, f64> = BTreeMap::new(); // lease → t_ms
+    let mut worker_stats: Option<WorkerReport> = None;
+    let mut first_t: Option<f64> = None;
+    let mut last_t: Option<f64> = None;
+    // Heartbeat cadence per lease on this trace's clock.
+    let mut beats: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+
+    for line in artifact.text.lines() {
+        let Ok(v) = json::parse(line) else { continue };
+        let Some(ev) = v.get("ev").and_then(Value::as_str) else {
+            continue;
+        };
+        let t_ms = v.get("t_ms").and_then(Value::as_num);
+        if let Some(t) = t_ms {
+            first_t.get_or_insert(t);
+            last_t = Some(t);
+        }
+        match ev {
+            "trace_end" => ended = true,
+            "span_begin" | "plan" => saw_coordinator_record = true,
+            "span_end" => {
+                saw_coordinator_record = true;
+                let name = v.get("phase").and_then(Value::as_str).unwrap_or("?");
+                let ms = v.get("ms").and_then(Value::as_num).unwrap_or(0.0);
+                let aborted = v.get("aborted").and_then(Value::as_bool).unwrap_or(false);
+                report.phases.push((name.to_string(), ms, aborted));
+            }
+            "pack" => {
+                let restored = v.get("restored").and_then(Value::as_bool).unwrap_or(false);
+                if restored {
+                    report.packs.restored += 1;
+                } else {
+                    report.packs.computed += 1;
+                    if let Some(ms) = v.get("ms").and_then(Value::as_num) {
+                        report.packs.latencies_ms.push(ms);
+                    }
+                }
+                if let Some(p) = v.get("pack").and_then(Value::as_num) {
+                    attributed.push(p as u64);
+                }
+            }
+            "quarantine" | "budget" | "journal_degraded" => {
+                let journal = v.get("journal").and_then(Value::as_str).map(str::to_string);
+                let detail = v
+                    .get("message")
+                    .or_else(|| v.get("fault"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let kind = match ev {
+                    "quarantine" => "quarantine",
+                    "budget" => "budget",
+                    _ => "journal_degraded",
+                };
+                report.incidents.push(Incident {
+                    kind,
+                    journal,
+                    detail,
+                });
+            }
+            "shard" => {
+                let action = intern_action(v.get("action").and_then(Value::as_str).unwrap_or(""));
+                let worker = v.get("worker").and_then(Value::as_num).map(|n| n as u64);
+                let pack = v.get("pack").and_then(Value::as_num).map(|n| n as u64);
+                let lease = v.get("lease").and_then(Value::as_num).map(|n| n as u64);
+                if WORKER_ACTIONS.contains(&action) {
+                    saw_worker_action = true;
+                    let stats = worker_stats.get_or_insert_with(|| WorkerReport {
+                        worker: worker.unwrap_or(0),
+                        label: artifact.label.clone(),
+                        packs_received: 0,
+                        packs_sent: 0,
+                        stalls: 0,
+                        busy_ms: 0.0,
+                        span_ms: 0.0,
+                        utilization_pct: 0.0,
+                        torn: false,
+                    });
+                    match action {
+                        "received" => {
+                            stats.packs_received += 1;
+                            if let (Some(l), Some(t)) = (lease, t_ms) {
+                                received.insert(l, t);
+                            }
+                        }
+                        "stalled" => stats.stalls += 1,
+                        "sent" => {
+                            stats.packs_sent += 1;
+                            if let (Some(l), Some(t)) = (lease, t_ms) {
+                                if let Some(t0) = received.get(&l) {
+                                    let d = (t - t0).max(0.0);
+                                    stats.busy_ms += d;
+                                    report.packs.latencies_ms.push(d);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                } else {
+                    saw_coordinator_record = true;
+                    match action {
+                        "granted" => report.leases.granted += 1,
+                        "merged" => {
+                            report.leases.merged += 1;
+                            if let Some(p) = pack {
+                                merged_packs.push(p);
+                                attributed.push(p);
+                            }
+                        }
+                        "expired" => report.leases.expired += 1,
+                        "fenced" => report.leases.fenced += 1,
+                        "revoked" => report.leases.revoked += 1,
+                        "backoff" => report.leases.backoffs += 1,
+                        "heartbeat" => {
+                            report.leases.heartbeats += 1;
+                            if let (Some(l), Some(t)) = (lease, t_ms) {
+                                beats.entry(l).or_default().push(t);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(l) = lease {
+                    let life = leases.entry(l).or_default();
+                    if life.pack.is_none() {
+                        life.pack = pack;
+                    }
+                    if action == "granted" {
+                        life.worker = worker;
+                    }
+                    life.events.push((causal_rank(action), *arrival, action));
+                    *arrival += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // A coordinator trace always records phase spans; a trace with
+    // worker-side shard actions — or with no records at all (a worker
+    // killed before it received anything) — is a worker's.
+    let role = if saw_worker_action || !saw_coordinator_record {
+        Role::Worker
+    } else {
+        Role::Coordinator
+    };
+    if role == Role::Worker {
+        report.worker_traces += 1;
+    } else {
+        report.coordinator_traces += 1;
+    }
+    if !ended {
+        report.gaps.push(Gap {
+            kind: GapKind::TornTrace,
+            pack: None,
+            lease: None,
+            detail: format!("{}: no trace_end (writer was killed)", artifact.label),
+        });
+    }
+    if let Some(mut stats) = worker_stats {
+        stats.torn = !ended;
+        stats.span_ms = match (first_t, last_t) {
+            (Some(a), Some(b)) => (b - a).max(0.0),
+            _ => 0.0,
+        };
+        stats.utilization_pct = if stats.span_ms > 0.0 {
+            (stats.busy_ms * 100.0 / stats.span_ms).min(100.0)
+        } else {
+            0.0
+        };
+        report.workers.push(stats);
+    }
+    // Fold this trace's heartbeat intervals into the report.
+    for series in beats.values() {
+        for pair in series.windows(2) {
+            let d = (pair[1] - pair[0]).max(0.0);
+            let h = &mut report.heartbeats;
+            let total = h.mean_ms * h.intervals as f64 + d;
+            h.intervals += 1;
+            h.mean_ms = total / h.intervals as f64;
+            h.max_ms = h.max_ms.max(d);
+        }
+    }
+}
+
+fn scan_manifest(artifact: &Artifact, report: &mut Report) -> Result<(), String> {
+    let v = json::parse(&artifact.text).map_err(|e| format!("{}: {e}", artifact.label))?;
+    if v.get("tallies").is_none() {
+        return Err(format!(
+            "{}: JSON object is not a run manifest (no tallies)",
+            artifact.label
+        ));
+    }
+    report.benchmark = v
+        .get("benchmark")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    report.fingerprint = v
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    // A manifest's phase list stands in when no coordinator trace
+    // carried span records.
+    if report.phases.is_empty() {
+        if let Some(phases) = v.get("phases").and_then(Value::as_arr) {
+            for p in phases {
+                let name = p.get("name").and_then(Value::as_str).unwrap_or("?");
+                let ms = p.get("wall_ms").and_then(Value::as_num).unwrap_or(0.0);
+                let aborted = p.get("aborted").and_then(Value::as_bool).unwrap_or(false);
+                report.phases.push((name.to_string(), ms, aborted));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Report {
+    /// Count of timeline events across all leases.
+    pub fn timeline_events(&self) -> usize {
+        self.timeline.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Journaled packs with no attributing trace record.
+    pub fn unattributed_packs(&self) -> usize {
+        self.gaps
+            .iter()
+            .filter(|g| g.kind == GapKind::UnattributedPack)
+            .count()
+    }
+
+    /// Render the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} trace(s) merged ({} coordinator, {} worker)",
+            self.traces, self.coordinator_traces, self.worker_traces
+        );
+        if let Some(benchmark) = &self.benchmark {
+            let fp = self.fingerprint.as_deref().unwrap_or("?");
+            let _ = writeln!(out, "  campaign: {benchmark} (fingerprint {fp})");
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\nphases:\n");
+            for (name, ms, aborted) in &self.phases {
+                let mark = if *aborted { "  [aborted]" } else { "" };
+                let _ = writeln!(out, "  {name:<10} {ms:>10.1} ms{mark}");
+            }
+        }
+        let (p50, p90, max) = self.packs.latency_percentiles();
+        out.push_str("\npacks:\n");
+        let _ = writeln!(
+            out,
+            "  computed {}  restored {}  merged-from-workers {}",
+            self.packs.computed, self.packs.restored, self.packs.merged
+        );
+        if let Some(journaled) = self.packs.journaled {
+            let _ = writeln!(
+                out,
+                "  journaled {journaled}  unattributed {}",
+                self.unattributed_packs()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  latency p50 {p50:.1} ms  p90 {p90:.1} ms  max {max:.1} ms ({} sample(s))",
+            self.packs.latencies_ms.len()
+        );
+        let l = &self.leases;
+        out.push_str("\nleases:\n");
+        let _ = writeln!(
+            out,
+            "  granted {}  merged {}  expired {}  fenced {}  revoked {}  backoffs {}",
+            l.granted, l.merged, l.expired, l.fenced, l.revoked, l.backoffs
+        );
+        let _ = writeln!(
+            out,
+            "  churn {:.1}%  heartbeats {}  cadence mean {:.1} ms  jitter {:.1} ms",
+            l.churn_pct(),
+            l.heartbeats,
+            self.heartbeats.mean_ms,
+            self.heartbeats.jitter_ms()
+        );
+        if !self.workers.is_empty() {
+            out.push_str("\nworkers:\n");
+            for w in &self.workers {
+                let torn = if w.torn { "  [torn trace]" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  worker {}: received {}  sent {}  stalls {}  busy {:.1} ms  utilization {:.1}%{torn}",
+                    w.worker, w.packs_received, w.packs_sent, w.stalls, w.busy_ms, w.utilization_pct
+                );
+            }
+        }
+        if !self.incidents.is_empty() {
+            out.push_str("\nincidents:\n");
+            for i in &self.incidents {
+                let key = i.journal.as_deref().unwrap_or("-");
+                let _ = writeln!(out, "  {:<16} [{key}] {}", i.kind, i.detail);
+            }
+        }
+        if !self.timeline.is_empty() {
+            out.push_str("\ntimeline (causal, by pack/lease):\n");
+            for t in &self.timeline {
+                let pack = t.pack.map_or("?".into(), |p| p.to_string());
+                let worker = t.worker.map_or("?".into(), |w| w.to_string());
+                let _ = writeln!(
+                    out,
+                    "  pack {pack:>4} lease {:>4} worker {worker:>2}: {}",
+                    t.lease,
+                    t.events.join(" -> ")
+                );
+            }
+        }
+        out.push_str("\ngaps:\n");
+        if self.gaps.is_empty() {
+            out.push_str("  none — every pack is accounted for\n");
+        }
+        for g in &self.gaps {
+            let _ = writeln!(out, "  {:<18} {}", g.kind.label(), g.detail);
+        }
+        out
+    }
+
+    /// Render the machine-readable report (validated by
+    /// [`crate::check::check_report`]).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"sfr-report\",\n");
+        let opt = |v: &Option<String>| match v {
+            Some(s) => json::escaped(s),
+            None => "null".into(),
+        };
+        let _ = writeln!(out, "  \"benchmark\": {},", opt(&self.benchmark));
+        let _ = writeln!(out, "  \"fingerprint\": {},", opt(&self.fingerprint));
+        let _ = writeln!(
+            out,
+            "  \"traces\": {{\"total\": {}, \"coordinator\": {}, \"worker\": {}}},",
+            self.traces, self.coordinator_traces, self.worker_traces
+        );
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let comma = if i + 1 == self.workers.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"worker\": {}, \"label\": {}, \"packs_received\": {}, \"packs_sent\": {}, \"stalls\": {}, \"busy_ms\": {}, \"span_ms\": {}, \"utilization_pct\": {}, \"torn\": {}}}{comma}",
+                w.worker,
+                json::escaped(&w.label),
+                w.packs_received,
+                w.packs_sent,
+                w.stalls,
+                json::num(w.busy_ms),
+                json::num(w.span_ms),
+                json::num(w.utilization_pct),
+                w.torn
+            );
+        }
+        out.push_str("  ],\n");
+        let l = &self.leases;
+        let _ = writeln!(
+            out,
+            "  \"leases\": {{\"granted\": {}, \"merged\": {}, \"expired\": {}, \"fenced\": {}, \"revoked\": {}, \"backoffs\": {}, \"heartbeats\": {}, \"churn_pct\": {}}},",
+            l.granted, l.merged, l.expired, l.fenced, l.revoked, l.backoffs, l.heartbeats,
+            json::num(l.churn_pct())
+        );
+        let (p50, p90, max) = self.packs.latency_percentiles();
+        let journaled = self
+            .packs
+            .journaled
+            .map_or("null".to_string(), |n| n.to_string());
+        let _ = writeln!(
+            out,
+            "  \"packs\": {{\"computed\": {}, \"restored\": {}, \"merged\": {}, \"journaled\": {journaled}, \"unattributed\": {}, \"latency_p50_ms\": {}, \"latency_p90_ms\": {}, \"latency_max_ms\": {}}},",
+            self.packs.computed,
+            self.packs.restored,
+            self.packs.merged,
+            self.unattributed_packs(),
+            json::num(p50),
+            json::num(p90),
+            json::num(max)
+        );
+        let h = &self.heartbeats;
+        let _ = writeln!(
+            out,
+            "  \"heartbeat\": {{\"intervals\": {}, \"mean_ms\": {}, \"max_ms\": {}, \"jitter_ms\": {}}},",
+            h.intervals,
+            json::num(h.mean_ms),
+            json::num(h.max_ms),
+            json::num(h.jitter_ms())
+        );
+        out.push_str("  \"phases\": [\n");
+        for (i, (name, ms, aborted)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 == self.phases.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"wall_ms\": {}, \"aborted\": {aborted}}}{comma}",
+                json::escaped(name),
+                json::num(*ms)
+            );
+        }
+        out.push_str("  ],\n  \"incidents\": [\n");
+        for (i, inc) in self.incidents.iter().enumerate() {
+            let comma = if i + 1 == self.incidents.len() {
+                ""
+            } else {
+                ","
+            };
+            let journal = inc
+                .journal
+                .as_deref()
+                .map_or("null".to_string(), json::escaped);
+            let _ = writeln!(
+                out,
+                "    {{\"kind\": {}, \"journal\": {journal}, \"detail\": {}}}{comma}",
+                json::escaped(inc.kind),
+                json::escaped(&inc.detail)
+            );
+        }
+        out.push_str("  ],\n  \"timeline\": [\n");
+        for (i, t) in self.timeline.iter().enumerate() {
+            let comma = if i + 1 == self.timeline.len() {
+                ""
+            } else {
+                ","
+            };
+            let pack = t.pack.map_or("null".to_string(), |p| p.to_string());
+            let worker = t.worker.map_or("null".to_string(), |w| w.to_string());
+            let events: Vec<String> = t.events.iter().map(|e| json::escaped(e)).collect();
+            let _ = writeln!(
+                out,
+                "    {{\"pack\": {pack}, \"lease\": {}, \"worker\": {worker}, \"events\": [{}]}}{comma}",
+                t.lease,
+                events.join(", ")
+            );
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"timeline_events\": {},", self.timeline_events());
+        out.push_str("  \"gaps\": [\n");
+        for (i, g) in self.gaps.iter().enumerate() {
+            let comma = if i + 1 == self.gaps.len() { "" } else { "," };
+            let pack = g.pack.map_or("null".to_string(), |p| p.to_string());
+            let lease = g.lease.map_or("null".to_string(), |l| l.to_string());
+            let _ = writeln!(
+                out,
+                "    {{\"kind\": {}, \"pack\": {pack}, \"lease\": {lease}, \"detail\": {}}}{comma}",
+                json::escaped(g.kind.label()),
+                json::escaped(&g.detail)
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coordinator_trace() -> String {
+        [
+            r#"{"ev":"trace_start","version":1}"#,
+            r#"{"ev":"span_begin","phase":"grade","t_ms":0.1}"#,
+            r#"{"ev":"shard","worker":1,"action":"connected","pack":null,"lease":null,"journal":null,"t_ms":0.2}"#,
+            r#"{"ev":"shard","worker":1,"action":"granted","pack":0,"lease":11,"journal":"grade/0","t_ms":0.3}"#,
+            r#"{"ev":"shard","worker":1,"action":"heartbeat","pack":null,"lease":11,"journal":null,"t_ms":0.9}"#,
+            r#"{"ev":"shard","worker":1,"action":"heartbeat","pack":null,"lease":11,"journal":null,"t_ms":1.6}"#,
+            r#"{"ev":"shard","worker":1,"action":"merged","pack":0,"lease":11,"journal":"grade/0","t_ms":2.0}"#,
+            r#"{"ev":"shard","worker":1,"action":"granted","pack":1,"lease":12,"journal":"grade/1","t_ms":2.1}"#,
+            r#"{"ev":"shard","worker":1,"action":"expired","pack":1,"lease":12,"journal":"grade/1","t_ms":4.5}"#,
+            r#"{"ev":"shard","worker":2,"action":"granted","pack":1,"lease":13,"journal":"grade/1","t_ms":4.6}"#,
+            r#"{"ev":"shard","worker":2,"action":"merged","pack":1,"lease":13,"journal":"grade/1","t_ms":5.0}"#,
+            r#"{"ev":"shard","worker":1,"action":"fenced","pack":1,"lease":12,"journal":"grade/1","t_ms":5.2}"#,
+            r#"{"ev":"shard","worker":1,"action":"granted","pack":2,"lease":14,"journal":"grade/2","t_ms":5.3}"#,
+            r#"{"ev":"span_end","phase":"grade","ms":6.0,"aborted":false,"t_ms":6.1}"#,
+            r#"{"ev":"trace_end","t_ms":6.2}"#,
+        ]
+        .join("\n")
+    }
+
+    fn worker_trace(torn: bool) -> String {
+        let mut lines = vec![
+            r#"{"ev":"trace_start","version":1}"#.to_string(),
+            r#"{"ev":"shard","worker":1,"action":"received","pack":0,"lease":11,"journal":"grade/0","t_ms":0.5}"#.to_string(),
+            r#"{"ev":"shard","worker":1,"action":"sent","pack":0,"lease":11,"journal":"grade/0","t_ms":1.8}"#.to_string(),
+            r#"{"ev":"shard","worker":1,"action":"received","pack":1,"lease":12,"journal":"grade/1","t_ms":2.2}"#.to_string(),
+            r#"{"ev":"shard","worker":1,"action":"stalled","pack":1,"lease":12,"journal":"grade/1","t_ms":2.3}"#.to_string(),
+        ];
+        if torn {
+            // A half-written last line, as a SIGKILL mid-write leaves.
+            lines.push(r#"{"ev":"shard","worker":1,"ac"#.to_string());
+        } else {
+            lines.push(r#"{"ev":"shard","worker":1,"action":"sent","pack":1,"lease":12,"journal":"grade/1","t_ms":5.1}"#.to_string());
+            lines.push(r#"{"ev":"trace_end","t_ms":5.2}"#.to_string());
+        }
+        lines.join("\n")
+    }
+
+    fn artifacts(torn: bool) -> Vec<Artifact> {
+        vec![
+            Artifact {
+                label: "trace.jsonl".into(),
+                text: coordinator_trace(),
+            },
+            Artifact {
+                label: "worker-1-0.jsonl".into(),
+                text: worker_trace(torn),
+            },
+        ]
+    }
+
+    #[test]
+    fn joins_coordinator_and_worker_by_lease() {
+        let report = build_report(&artifacts(false), Some(&[0, 1])).expect("report");
+        assert_eq!(report.coordinator_traces, 1);
+        assert_eq!(report.worker_traces, 1);
+        // Lease 11: granted → received → heartbeat ×2 → sent → merged.
+        let lease11 = report
+            .timeline
+            .iter()
+            .find(|t| t.lease == 11)
+            .expect("lease 11 reconstructed");
+        assert_eq!(
+            lease11.events,
+            vec![
+                "granted",
+                "received",
+                "heartbeat",
+                "heartbeat",
+                "sent",
+                "merged"
+            ]
+        );
+        // Lease 12 expired, its zombie result was fenced: one gap.
+        assert!(report
+            .gaps
+            .iter()
+            .any(|g| g.kind == GapKind::FencedZombie && g.lease == Some(12)));
+        // Lease 14 was granted but never resolved.
+        assert!(report
+            .gaps
+            .iter()
+            .any(|g| g.kind == GapKind::UnresolvedGrant && g.lease == Some(14)));
+        // Both journaled packs were merged — no unattributed gaps.
+        assert_eq!(report.unattributed_packs(), 0);
+        assert_eq!(report.packs.merged, 2);
+        assert_eq!(report.leases.granted, 4);
+        assert_eq!(report.leases.merged, 2);
+        assert!(report.heartbeats.intervals >= 1);
+        let w = &report.workers[0];
+        assert_eq!(w.worker, 1);
+        assert_eq!(w.packs_received, 2);
+        assert_eq!(w.stalls, 1);
+        assert!(w.utilization_pct > 0.0 && w.utilization_pct <= 100.0);
+    }
+
+    #[test]
+    fn torn_worker_trace_is_a_gap_not_an_error() {
+        let report = build_report(&artifacts(true), Some(&[0, 1, 7])).expect("report");
+        assert!(report
+            .gaps
+            .iter()
+            .any(|g| g.kind == GapKind::TornTrace && g.detail.contains("worker-1-0")));
+        assert!(report.workers[0].torn);
+        // Pack 7 was journaled but no trace accounts for it.
+        assert!(report
+            .gaps
+            .iter()
+            .any(|g| g.kind == GapKind::UnattributedPack && g.pack == Some(7)));
+    }
+
+    #[test]
+    fn renders_validating_json_and_readable_text() {
+        let report = build_report(&artifacts(false), Some(&[0, 1])).expect("report");
+        crate::check::check_report(&report.render_json()).expect("report json validates");
+        let text = report.render_text();
+        assert!(text.contains("granted"), "{text}");
+        assert!(text.contains("worker 1"), "{text}");
+    }
+
+    #[test]
+    fn rejects_non_artifact_input() {
+        let junk = vec![Artifact {
+            label: "junk.txt".into(),
+            text: "hello".into(),
+        }];
+        assert!(build_report(&junk, None).is_err());
+    }
+}

@@ -7,6 +7,13 @@
 //! fields vary). The writer buffers through [`BufWriter`] and never
 //! panics on I/O trouble: a failed write latches an error that
 //! [`TraceWriter::finish`] reports.
+//!
+//! The flight recorder depends on traces surviving a SIGKILL: the
+//! header, phase ends, pack records, and shard protocol records are
+//! flushed to the OS as they are written (durable points), so a worker
+//! killed mid-campaign leaves every completed record on disk — at
+//! worst a torn final line — instead of an empty buffer. Per-lane
+//! progress ticks never flush; the cost stays proportional to packs.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -53,7 +60,7 @@ impl TraceWriter {
                 error: None,
             }),
         };
-        writer.emit(&format!(
+        writer.emit_durable(&format!(
             "{{\"ev\":\"trace_start\",\"version\":{TRACE_VERSION}}}"
         ));
         Ok(writer)
@@ -87,6 +94,17 @@ impl TraceWriter {
     }
 
     fn emit(&self, line: &str) {
+        self.write_line(line, false);
+    }
+
+    /// Write a line and push it (and everything buffered before it)
+    /// to the OS. Used at durable points so a killed process leaves
+    /// its trace on disk up to the last completed record.
+    fn emit_durable(&self, line: &str) {
+        self.write_line(line, true);
+    }
+
+    fn write_line(&self, line: &str, durable: bool) {
         let mut state = match self.state.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -98,6 +116,7 @@ impl TraceWriter {
             .out
             .write_all(line.as_bytes())
             .and_then(|()| state.out.write_all(b"\n"))
+            .and_then(|()| if durable { state.out.flush() } else { Ok(()) })
         {
             state.error = Some(format!("trace write failed: {e}"));
         }
@@ -158,7 +177,7 @@ impl Progress for TraceWriter {
                 elapsed,
                 aborted,
             } => {
-                self.emit(&format!(
+                self.emit_durable(&format!(
                     "{{\"ev\":\"span_end\",\"phase\":\"{}\",\"ms\":{},\"aborted\":{aborted},\"t_ms\":{t}}}",
                     phase.label(),
                     json::num(ms(elapsed)),
@@ -189,7 +208,10 @@ impl Progress for TraceWriter {
             | ProgressEvent::ShardLeaseGranted
             | ProgressEvent::ShardLeaseExpired
             | ProgressEvent::ShardResultFenced
-            | ProgressEvent::ShardBackoff => {}
+            | ProgressEvent::ShardBackoff
+            | ProgressEvent::ShardWorkerDisconnected
+            | ProgressEvent::ShardPackMerged
+            | ProgressEvent::PackProfile { .. } => {}
         }
     }
 
@@ -233,7 +255,7 @@ impl Progress for TraceWriter {
                     render_lane(&mut line, lane);
                 }
                 line.push_str(&format!("],\"t_ms\":{t}}}"));
-                self.emit(&line);
+                self.emit_durable(&line);
             }
             TraceRecord::Quarantined {
                 kind,
@@ -252,7 +274,7 @@ impl Progress for TraceWriter {
                 line.push(',');
                 push_opt_key(&mut line, "journal", journal_key.as_deref());
                 line.push_str(&format!(",\"t_ms\":{t}}}"));
-                self.emit(&line);
+                self.emit_durable(&line);
             }
             TraceRecord::BudgetExhausted {
                 fault_id,
@@ -269,6 +291,7 @@ impl Progress for TraceWriter {
                 worker,
                 action,
                 pack,
+                lease,
                 journal_key,
             } => {
                 let mut line = format!("{{\"ev\":\"shard\",\"worker\":{worker},\"action\":");
@@ -278,10 +301,15 @@ impl Progress for TraceWriter {
                     Some(p) => line.push_str(&p.to_string()),
                     None => line.push_str("null"),
                 }
+                line.push_str(",\"lease\":");
+                match lease {
+                    Some(l) => line.push_str(&l.to_string()),
+                    None => line.push_str("null"),
+                }
                 line.push(',');
                 push_opt_key(&mut line, "journal", journal_key.as_deref());
                 line.push_str(&format!(",\"t_ms\":{t}}}"));
-                self.emit(&line);
+                self.emit_durable(&line);
             }
             TraceRecord::Collapse {
                 universe,
@@ -296,7 +324,7 @@ impl Progress for TraceWriter {
                 let mut line = String::from("{\"ev\":\"journal_degraded\",\"message\":");
                 json::push_str_escaped(&mut line, message);
                 line.push_str(&format!(",\"t_ms\":{t}}}"));
-                self.emit(&line);
+                self.emit_durable(&line);
             }
             TraceRecord::Note { text } => {
                 let mut line = String::from("{\"ev\":\"note\",\"text\":");

@@ -62,6 +62,12 @@ pub struct ServeConfig {
     pub chaos: ChaosConfig,
     /// Seed for the chaos generator.
     pub chaos_seed: u64,
+    /// Directory for spawned workers' own trace files. Each spawn gets
+    /// `worker-<slot>-<generation>.jsonl` — the generation counter
+    /// keeps a chaos-killed worker's torn trace on disk instead of
+    /// truncating it on respawn (the flight recorder flags torn tails,
+    /// it must not lose them).
+    pub worker_trace_dir: Option<std::path::PathBuf>,
     /// Notified once with the actual bound listen address — the only
     /// way to learn the port when `addr` asks for port 0. Best-effort:
     /// a dropped receiver is ignored.
@@ -78,6 +84,7 @@ impl Default for ServeConfig {
             spawn_workers: 0,
             chaos: ChaosConfig::default(),
             chaos_seed: 0,
+            worker_trace_dir: None,
             bound: None,
         }
     }
@@ -144,7 +151,14 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    fn shard_record(&self, worker: u64, action: &'static str, pack: Option<usize>, with_key: bool) {
+    fn shard_record(
+        &self,
+        worker: u64,
+        action: &'static str,
+        pack: Option<usize>,
+        lease: Option<u64>,
+        with_key: bool,
+    ) {
         if self.progress.wants_records() {
             let journal_key = pack
                 .filter(|_| with_key)
@@ -153,6 +167,7 @@ impl Shared<'_> {
                 worker,
                 action,
                 pack,
+                lease,
                 journal_key,
             });
         }
@@ -272,6 +287,7 @@ pub fn serve(
 fn housekeeping(shared: &Shared<'_>, cfg: &ServeConfig, addr: std::net::SocketAddr) {
     let tick = (cfg.lease / 4).max(Duration::from_millis(25));
     let mut rng = Lcg::new(cfg.chaos_seed);
+    let mut generations: Vec<u64> = vec![0; cfg.spawn_workers];
     let mut children: Vec<Option<Child>> = Vec::new();
     let exe = std::env::current_exe().ok();
     if cfg.spawn_workers > 0 && exe.is_none() {
@@ -293,8 +309,8 @@ fn housekeeping(shared: &Shared<'_>, cfg: &ServeConfig, addr: std::net::SocketAd
         for e in &expiries {
             shared.progress.event(ProgressEvent::ShardLeaseExpired);
             shared.progress.event(ProgressEvent::ShardBackoff);
-            shared.shard_record(e.worker, "expired", Some(e.pack), true);
-            shared.shard_record(e.worker, "backoff", Some(e.pack), false);
+            shared.shard_record(e.worker, "expired", Some(e.pack), Some(e.lease), true);
+            shared.shard_record(e.worker, "backoff", Some(e.pack), Some(e.lease), false);
         }
 
         // Chaos: SIGKILL spawned workers; respawn the fallen.
@@ -312,8 +328,11 @@ fn housekeeping(shared: &Shared<'_>, cfg: &ServeConfig, addr: std::net::SocketAd
                     }
                 }
                 if slot.is_none() && !shared.shutdown.load(Ordering::SeqCst) {
-                    match spawn_worker(exe, addr, cfg, i as u64) {
-                        Ok(child) => *slot = Some(child),
+                    match spawn_worker(exe, addr, cfg, i as u64, generations[i]) {
+                        Ok(child) => {
+                            *slot = Some(child);
+                            generations[i] += 1;
+                        }
                         Err(e) => eprintln!("warning: cannot spawn shard worker: {e}"),
                     }
                 }
@@ -337,8 +356,22 @@ fn housekeeping(shared: &Shared<'_>, cfg: &ServeConfig, addr: std::net::SocketAd
         std::thread::sleep(tick);
     }
 
-    // Unblock the accept loop and every connection read, then reap the
-    // spawned workers (a healthy worker already exited on DONE).
+    // Drain: healthy workers exit on DONE within one backoff cycle —
+    // give them a moment to do so and flush their flight-recorder
+    // traces before the hard reap, which would otherwise tear even a
+    // clean campaign's worker traces.
+    let drain_deadline = Instant::now() + Duration::from_millis(1_500);
+    while Instant::now() < drain_deadline
+        && children
+            .iter_mut()
+            .flatten()
+            .any(|c| matches!(c.try_wait(), Ok(None)))
+    {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Unblock the accept loop and every connection read, then reap
+    // whatever is left (stalled or chaos-wounded workers).
     let _ = TcpStream::connect(addr);
     for stream in lock(&shared.streams).iter() {
         let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -354,6 +387,7 @@ fn spawn_worker(
     addr: std::net::SocketAddr,
     cfg: &ServeConfig,
     index: u64,
+    generation: u64,
 ) -> io::Result<Child> {
     let mut cmd = Command::new(exe);
     cmd.arg("shard")
@@ -363,6 +397,11 @@ fn spawn_worker(
         .arg("--max-retries")
         .arg("12")
         .arg("--quiet");
+    if let Some(dir) = &cfg.worker_trace_dir {
+        cmd.arg("--worker-id").arg((index + 1).to_string());
+        cmd.arg("--trace-out")
+            .arg(dir.join(format!("worker-{}-{generation}.jsonl", index + 1)));
+    }
     if cfg.chaos.stall > 0.0 {
         cmd.arg("--stall").arg(cfg.chaos.stall.to_string());
         cmd.arg("--chaos-seed")
@@ -387,7 +426,7 @@ fn handle_connection(shared: &Shared<'_>, mut stream: TcpStream, worker: u64) {
     shared.connected.fetch_add(1, Ordering::SeqCst);
     lock(&shared.stats).workers_connected += 1;
     shared.progress.event(ProgressEvent::ShardWorkerConnected);
-    shared.shard_record(worker, "connected", None, false);
+    shared.shard_record(worker, "connected", None, None, false);
 
     // Bounded reads: a silent worker's heartbeats arrive at lease/3,
     // so a full lease without bytes means the peer is stalled or gone —
@@ -416,7 +455,9 @@ fn handle_connection(shared: &Shared<'_>, mut stream: TcpStream, worker: u64) {
                 }
             }
             Frame::Heartbeat { lease } => {
-                lock(&shared.table).heartbeat(lease, Instant::now());
+                if lock(&shared.table).heartbeat(lease, Instant::now()) {
+                    shared.shard_record(worker, "heartbeat", None, Some(lease), false);
+                }
             }
             Frame::Result {
                 lease,
@@ -430,12 +471,15 @@ fn handle_connection(shared: &Shared<'_>, mut stream: TcpStream, worker: u64) {
     // Whatever this worker still held goes straight back in the pool;
     // a disconnect is positive evidence, no backoff needed.
     let released = lock(&shared.table).revoke_worker(worker);
-    for pack in released {
-        shared.shard_record(worker, "revoked", Some(pack), false);
+    for (lease, pack) in released {
+        shared.shard_record(worker, "revoked", Some(pack), Some(lease), false);
     }
     shared.connected.fetch_sub(1, Ordering::SeqCst);
+    shared
+        .progress
+        .event(ProgressEvent::ShardWorkerDisconnected);
     if !clean_exit {
-        shared.shard_record(worker, "disconnected", None, false);
+        shared.shard_record(worker, "disconnected", None, None, false);
     }
 }
 
@@ -501,7 +545,7 @@ fn grant_or_wait(shared: &Shared<'_>, stream: &mut TcpStream, worker: u64) -> bo
             drop(table);
             lock(&shared.stats).leases_granted += 1;
             shared.progress.event(ProgressEvent::ShardLeaseGranted);
-            shared.shard_record(worker, "granted", Some(pack), true);
+            shared.shard_record(worker, "granted", Some(pack), Some(lease), true);
             if write_frame(
                 stream,
                 &Frame::Grant {
@@ -548,7 +592,7 @@ fn merge_result(shared: &Shared<'_>, worker: u64, lease: u64, pack: u64, payload
         stats.results_fenced += 1;
         drop(stats);
         shared.progress.event(ProgressEvent::ShardResultFenced);
-        shared.shard_record(worker, "fenced", Some(pack_idx), false);
+        shared.shard_record(worker, "fenced", Some(pack_idx), Some(lease), false);
         return;
     }
     match lock(&shared.table).complete(lease, pack_idx, now) {
@@ -558,12 +602,13 @@ fn merge_result(shared: &Shared<'_>, worker: u64, lease: u64, pack: u64, payload
             shared.journal.record(RecordKind::GradePack, pack, payload);
             shared.touch(now);
             lock(&shared.stats).packs_merged_remote += 1;
-            shared.shard_record(worker, "merged", Some(pack_idx), true);
+            shared.progress.event(ProgressEvent::ShardPackMerged);
+            shared.shard_record(worker, "merged", Some(pack_idx), Some(lease), true);
         }
         Completion::Fenced | Completion::AlreadyDone => {
             lock(&shared.stats).results_fenced += 1;
             shared.progress.event(ProgressEvent::ShardResultFenced);
-            shared.shard_record(worker, "fenced", Some(pack_idx), true);
+            shared.shard_record(worker, "fenced", Some(pack_idx), Some(lease), true);
         }
     }
 }

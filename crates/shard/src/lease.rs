@@ -176,26 +176,28 @@ impl LeaseTable {
     }
 
     /// Revokes every lease held by `worker` (it disconnected) and
-    /// returns the released pack indices. The packs become eligible
-    /// immediately: a disconnect is detected positively, so there is
-    /// no reason to back off before reassigning.
-    pub fn revoke_worker(&mut self, worker: u64) -> Vec<usize> {
+    /// returns the released `(lease, pack)` pairs, pack-ordered. The
+    /// packs become eligible immediately: a disconnect is detected
+    /// positively, so there is no reason to back off before
+    /// reassigning. The returned lease tokens let the trace record the
+    /// fenced assignment each released pack came from.
+    pub fn revoke_worker(&mut self, worker: u64) -> Vec<(u64, usize)> {
         let held: Vec<u64> = self
             .leases
             .iter()
             .filter(|(_, a)| a.worker == worker)
             .map(|(&lease, _)| lease)
             .collect();
-        let mut packs: Vec<usize> = held
+        let mut released: Vec<(u64, usize)> = held
             .into_iter()
             .map(|lease| {
                 let active = self.leases.remove(&lease).expect("lease was just listed");
                 self.packs[active.pack] = PackState::Pending { eligible_at: None };
-                active.pack
+                (lease, active.pack)
             })
             .collect();
-        packs.sort_unstable();
-        packs
+        released.sort_unstable_by_key(|&(_, pack)| pack);
+        released
     }
 
     /// Fails a live lease in place (e.g. its worker returned a garbage
@@ -369,10 +371,10 @@ mod tests {
     fn worker_revocation_releases_its_packs_immediately() {
         let mut t = table(3);
         let now = Instant::now();
-        t.grant(1, now).expect("w1 pack 0");
+        let (l0, _) = t.grant(1, now).expect("w1 pack 0");
         t.grant(2, now).expect("w2 pack 1");
-        t.grant(1, now).expect("w1 pack 2");
-        assert_eq!(t.revoke_worker(1), vec![0, 2]);
+        let (l2, _) = t.grant(1, now).expect("w1 pack 2");
+        assert_eq!(t.revoke_worker(1), vec![(l0, 0), (l2, 2)]);
         assert_eq!(t.active(), 1);
         // Released packs are eligible right away, no backoff.
         let (_, pack) = t.grant(3, now).expect("regrant");

@@ -19,7 +19,8 @@ use crate::proto::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use crate::spec::ShardSpec;
 use sfr_core::exec::SimKernel;
 use sfr_core::{compute_pack_payload, PreparedStudy, StuckAt};
-use sfr_exec::{NullProgress, Progress, ProgressEvent};
+use sfr_exec::{NullProgress, Progress, ProgressEvent, TraceRecord};
+use sfr_journal::RecordKind;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,6 +40,11 @@ pub struct WorkConfig {
     pub stall: f64,
     /// Seed for the chaos generator.
     pub chaos_seed: u64,
+    /// Id stamped on this worker's own trace records (`--worker-id`,
+    /// the coordinator passes the spawn slot). Purely cosmetic for the
+    /// flight recorder — the lease token, not this id, is the join key
+    /// against coordinator records.
+    pub worker_id: u64,
 }
 
 impl Default for WorkConfig {
@@ -48,6 +54,7 @@ impl Default for WorkConfig {
             max_retries: 8,
             stall: 0.0,
             chaos_seed: 0,
+            worker_id: 0,
         }
     }
 }
@@ -74,6 +81,28 @@ struct BuiltCampaign {
 
 /// A zero-lease means "no live lease; do not heartbeat".
 const NO_LEASE: u64 = 0;
+
+/// Emits one worker-side shard trace record. Worker actions
+/// (`"received"`, `"stalled"`, `"sent"`) are disjoint from coordinator
+/// actions, so `sfr report` can classify a trace's role from its
+/// records alone; the lease token joins the two streams.
+fn worker_record(
+    progress: &dyn Progress,
+    worker: u64,
+    action: &'static str,
+    pack: u64,
+    lease: u64,
+) {
+    if progress.wants_records() {
+        progress.record(&TraceRecord::Shard {
+            worker,
+            action,
+            pack: Some(pack as usize),
+            lease: Some(lease),
+            journal_key: Some(RecordKind::GradePack.key(pack)),
+        });
+    }
+}
 
 /// Runs the worker loop against the configured coordinator until the
 /// campaign completes (`DONE`), the coordinator disappears for good
@@ -114,7 +143,7 @@ pub fn work(cfg: &WorkConfig, progress: &dyn Progress) -> Result<WorkerSummary, 
         };
         attempts = 0;
         summary.connects += 1;
-        match session(stream, cfg, &mut cached, &mut rng, &mut summary)? {
+        match session(stream, cfg, &mut cached, &mut rng, &mut summary, progress)? {
             SessionEnd::CampaignDone => return Ok(summary),
             SessionEnd::ConnectionLost => continue,
         }
@@ -134,6 +163,7 @@ fn session(
     cached: &mut Option<BuiltCampaign>,
     rng: &mut Lcg,
     summary: &mut WorkerSummary,
+    progress: &dyn Progress,
 ) -> Result<SessionEnd, String> {
     let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
@@ -224,6 +254,7 @@ fn session(
             rng,
             &current_lease,
             summary,
+            progress,
         );
         session_over.store(true, Ordering::SeqCst);
         end
@@ -241,6 +272,7 @@ fn request_loop(
     rng: &mut Lcg,
     current_lease: &AtomicU64,
     summary: &mut WorkerSummary,
+    progress: &dyn Progress,
 ) -> Result<SessionEnd, String> {
     loop {
         if write(&Frame::Request).is_err() {
@@ -253,12 +285,14 @@ fn request_loop(
         match frame {
             Frame::Grant { lease, pack } => {
                 let pack_idx = pack as usize;
+                worker_record(progress, cfg.worker_id, "received", pack, lease);
                 // Chaos stall: freeze past the lease deadline with
                 // heartbeats suppressed, so the coordinator expires the
                 // lease and our eventual result arrives fenced.
                 let stalled = rng.chance(cfg.stall);
                 if stalled {
                     summary.stalls_injected += 1;
+                    worker_record(progress, cfg.worker_id, "stalled", pack, lease);
                     std::thread::sleep(Duration::from_millis(campaign.lease_ms * 2));
                 } else {
                     current_lease.store(lease, Ordering::SeqCst);
@@ -281,6 +315,7 @@ fn request_loop(
                 {
                     return Ok(SessionEnd::ConnectionLost);
                 }
+                worker_record(progress, cfg.worker_id, "sent", pack, lease);
             }
             Frame::NoWork { retry_ms } => {
                 std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 2_000)));

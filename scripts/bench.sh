@@ -31,6 +31,20 @@ overhead=$(sed -n 's/.*"trace_overhead_pct": \([-0-9.]*\).*/\1/p' "$JSON")
 echo
 echo "tracing overhead: ${overhead}% (target < 2%)"
 
+# Shard flight-recorder contract: a coordinator + worker campaign with
+# both sides tracing must stay within 5% of the untraced wall clock.
+# The full run is best-of-3 interleaved and stable enough to gate on;
+# the quick smoke is a single short campaign dominated by protocol
+# latency, so it only records the number.
+shard_overhead=$(sed -n 's/.*"shard_trace_overhead_pct": \([-0-9.]*\).*/\1/p' "$JSON")
+echo "shard tracing overhead: ${shard_overhead}% (target < 5%)"
+if [ "$JSON" = "BENCH_grade.json" ]; then
+    awk -v pct="$shard_overhead" 'BEGIN { exit !(pct < 5.0) }' || {
+        echo "ERROR: shard tracing overhead ${shard_overhead}% breaches the 5% budget"
+        exit 1
+    }
+fi
+
 # Fault-collapsing stage: ratio of the universe left after structural
 # equivalence merging, and the wall time of the whole `sfr analyze`
 # static pass (collapse + abstract interpretation + table + oracle).

@@ -162,6 +162,53 @@ for bench in diffeq facet poly fir; do
 done
 rm -rf "$SHARD_DIR"
 
+echo "== flight recorder (traced shard campaigns, sfr report round-trip) =="
+FR_DIR="$(mktemp -d)"
+"$SFR" grade diffeq --patterns 240 --quiet > "$FR_DIR/ref.out" 2>/dev/null
+# Healthy traced campaign: coordinator + 3 workers, every process
+# writing its own flight-recorder trace. The merged report must
+# reconstruct a gap-free timeline that attributes every journaled pack
+# (`sfr report` exits nonzero on unattributed packs).
+mkdir -p "$FR_DIR/traces"
+timeout 180 "$SFR" shard serve diffeq --patterns 240 --spawn-workers 3 \
+    --checkpoint "$FR_DIR/flight.journal" \
+    --trace-out "$FR_DIR/traces/coordinator.jsonl" \
+    --worker-trace-dir "$FR_DIR/traces" --quiet \
+    > "$FR_DIR/traced.out" 2>/dev/null
+diff "$FR_DIR/ref.out" "$FR_DIR/traced.out"
+echo "   traced shard grade table is byte-identical to the local run"
+"$SFR" report "$FR_DIR/traces/coordinator.jsonl" "$FR_DIR/traces"/worker-*.jsonl \
+    --journal "$FR_DIR/flight.journal" --format json > "$FR_DIR/report.json"
+"$SFR" obs-check --report "$FR_DIR/report.json" | sed 's/^/   /'
+grep -q '"unattributed": 0' "$FR_DIR/report.json"
+if grep -q '"kind": "\(unresolved_grant\|fenced_zombie\|torn_trace\|unattributed_pack\)"' \
+    "$FR_DIR/report.json"; then
+    echo "   ERROR: healthy traced campaign reconstructed with gaps"
+    exit 1
+fi
+echo "   healthy campaign timeline is gap-free and accounts for every journaled pack"
+# Chaos campaign: kill-chaos workers leave torn traces behind; the
+# flight recorder must still merge them, flag the torn tails, and
+# attribute every journaled pack — and the grade table must stay
+# byte-identical.
+mkdir -p "$FR_DIR/chaos-traces"
+timeout 180 "$SFR" shard serve diffeq --patterns 240 --spawn-workers 3 \
+    --chaos kill=0.3 --chaos-seed 4207 --lease-ms 500 --grace-ms 4000 \
+    --checkpoint "$FR_DIR/chaos.journal" \
+    --trace-out "$FR_DIR/chaos-traces/coordinator.jsonl" \
+    --worker-trace-dir "$FR_DIR/chaos-traces" --quiet \
+    > "$FR_DIR/chaos.out" 2>/dev/null
+diff "$FR_DIR/ref.out" "$FR_DIR/chaos.out"
+"$SFR" report "$FR_DIR/chaos-traces/coordinator.jsonl" "$FR_DIR/chaos-traces"/worker-*.jsonl \
+    --journal "$FR_DIR/chaos.journal" --format json > "$FR_DIR/chaos-report.json"
+"$SFR" obs-check --report "$FR_DIR/chaos-report.json" | sed 's/^/   /'
+grep -q '"unattributed": 0' "$FR_DIR/chaos-report.json"
+# The human-readable rendering must work over the same artifacts.
+"$SFR" report "$FR_DIR/chaos-traces/coordinator.jsonl" "$FR_DIR/chaos-traces"/worker-*.jsonl \
+    --journal "$FR_DIR/chaos.journal" > /dev/null
+echo "   chaos campaign report merges torn worker traces and attributes every journaled pack"
+rm -rf "$FR_DIR"
+
 echo "== fault collapsing (sfr analyze + --collapse equivalence) =="
 COLLAPSE_DIR="$(mktemp -d)"
 for bench in diffeq facet poly fir; do

@@ -17,7 +17,10 @@
 //! sfr shard serve <benchmark> [grade flags] [--addr HOST:PORT] [--lease-ms N]
 //!                             [--grace-ms N] [--spawn-workers N]
 //!                             [--chaos kill=P,stall=P] [--chaos-seed N]
+//!                             [--worker-trace-dir DIR]
 //! sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]
+//!                             [--worker-id N]
+//! sfr report      <artifacts...> [--journal FILE] [--format text|json]
 //! ```
 //!
 //! `<benchmark>` is one of `diffeq`, `facet`, `poly`, `fir`.
@@ -83,6 +86,26 @@
 //! (graceful local fallback) or with the built-in chaos harness
 //! (`--chaos kill=P,stall=P`) killing and stalling workers mid-run.
 //!
+//! `shard serve --worker-trace-dir DIR` makes every spawned worker
+//! write its own flight-recorder trace to
+//! `DIR/worker-<slot>-<generation>.jsonl` (the generation counts
+//! respawns, so a chaos-killed worker's torn trace survives next to
+//! its replacement's). `shard work --worker-id N` stamps N on the
+//! worker's own trace records; the lease token, which doubles as the
+//! fencing token, is the join key against the coordinator's trace.
+//!
+//! `report` is the flight-recorder reader: it merges a coordinator
+//! trace, any number of worker traces, and the run manifest into one
+//! causally-ordered account — per-worker utilization, lease churn,
+//! heartbeat jitter, pack latency percentiles, incidents cross-linked
+//! to checkpoint-journal keys, and per-phase wall clock. Cross-process
+//! ordering never compares clocks: lease lifecycles are reconstructed
+//! per token. With `--journal FILE` it also proves every journaled
+//! grade pack is attributed to a trace record, and it flags gaps —
+//! packs granted but never resolved, fenced zombie results, torn
+//! worker traces. `--format json` emits a machine-readable report
+//! (validated by `sfr obs-check --report`).
+//!
 //! `vcd` dumps a waveform of one computation run (optionally with a
 //! controller fault injected, e.g. `--fault g21.out/sa1`) for any VCD
 //! viewer.
@@ -123,10 +146,13 @@ fn usage() -> ExitCode {
          [--engine NAME]\n  \
          sfr table2      [--patterns N] [--threads N] [--engine NAME]\n  \
          sfr shard serve <benchmark> [grade flags] [--addr HOST:PORT] [--lease-ms N]\n                  \
-         [--grace-ms N] [--spawn-workers N] [--chaos kill=P,stall=P] [--chaos-seed N]\n  \
-         sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]\n  \
+         [--grace-ms N] [--spawn-workers N] [--chaos kill=P,stall=P] [--chaos-seed N]\n                  \
+         [--worker-trace-dir DIR]\n  \
+         sfr shard work  --connect HOST:PORT [--max-retries N] [--stall P] [--chaos-seed N]\n                  \
+         [--worker-id N]\n  \
+         sfr report      <artifacts...> [--journal FILE] [--format text|json]\n  \
          sfr obs-check   [--trace FILE] [--manifest FILE] [--metrics FILE]\n                  \
-         [--diagnostics FILE] [--analysis FILE]\n\
+         [--diagnostics FILE] [--analysis FILE] [--report FILE]\n\
          observability (classify/grade/testprogram): [--trace-out FILE] [--metrics-out FILE]\n                  \
          [--manifest-out FILE] [--force] [--quiet]\n\
          benchmarks: diffeq | facet | poly | fir\n\
@@ -622,6 +648,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                         Some(text) => shard::ChaosConfig::parse(&text)?,
                         None => shard::ChaosConfig::default(),
                     };
+                    let worker_trace_dir = args.flag("--worker-trace-dir");
                     if lease_ms == 0 {
                         return Err("--lease-ms must be positive".into());
                     }
@@ -664,6 +691,7 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                         chaos,
                         chaos_seed,
                         bound: Some(bound_tx),
+                        worker_trace_dir: worker_trace_dir.map(std::path::PathBuf::from),
                         ..Default::default()
                     };
                     // The listener may pick an ephemeral port; announce
@@ -721,11 +749,17 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                         .map(|s| s.parse().map_err(|_| "bad --stall"))
                         .transpose()?
                         .unwrap_or(0.0);
+                    let worker_id: u64 = args
+                        .flag("--worker-id")
+                        .map(|s| s.parse().map_err(|_| "bad --worker-id"))
+                        .transpose()?
+                        .unwrap_or(0);
                     let work_cfg = shard::WorkConfig {
                         connect,
                         max_retries,
                         stall,
                         chaos_seed,
+                        worker_id,
                     };
                     let obs = Obs::create(trace_out.as_deref(), metrics_out.as_deref(), quiet)?;
                     let sinks = obs.sinks();
@@ -743,21 +777,66 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 other => Err(format!("unknown shard subcommand `{other}` (serve|work)")),
             }
         }
+        "report" => {
+            let journal_in = args.flag("--journal");
+            let mut artifacts = Vec::new();
+            while let Some(path) = args.positional() {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read artifact {path}: {e}"))?;
+                artifacts.push(sfr_power::obs::Artifact { label: path, text });
+            }
+            if artifacts.is_empty() {
+                return Err("report needs at least one trace or manifest artifact".into());
+            }
+            // The journal is read here, not in sfr-obs (which is
+            // dependency-free): only the grade-pack ids cross over.
+            let journal_packs: Option<Vec<u64>> = match &journal_in {
+                Some(path) => {
+                    let journal =
+                        sfr_power::CampaignJournal::open(path).map_err(|e| e.to_string())?;
+                    let mut packs: Vec<u64> = journal
+                        .entries()
+                        .into_iter()
+                        .filter(|(kind, ..)| matches!(kind, sfr_power::RecordKind::GradePack))
+                        .map(|(_, id, _)| id)
+                        .collect();
+                    packs.sort_unstable();
+                    packs.dedup();
+                    Some(packs)
+                }
+                None => None,
+            };
+            let report = sfr_power::obs::build_report(&artifacts, journal_packs.as_deref())?;
+            if format == "json" {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            let unattributed = report.unattributed_packs();
+            if unattributed > 0 {
+                return Err(format!(
+                    "{unattributed} journaled pack(s) are not attributed by any trace"
+                ));
+            }
+            Ok(())
+        }
         "obs-check" => {
             let trace = args.flag("--trace");
             let manifest = args.flag("--manifest");
             let metrics = args.flag("--metrics");
             let diagnostics = args.flag("--diagnostics");
             let analysis = args.flag("--analysis");
+            let report = args.flag("--report");
             if trace.is_none()
                 && manifest.is_none()
                 && metrics.is_none()
                 && diagnostics.is_none()
                 && analysis.is_none()
+                && report.is_none()
             {
                 return Err(
                     "obs-check needs at least one of --trace, --manifest, --metrics, \
-                            --diagnostics, --analysis"
+                            --diagnostics, --analysis, --report"
                         .into(),
                 );
             }
@@ -806,6 +885,13 @@ fn run(cmd: &str, args: &mut Args) -> Result<(), String> {
                 sfr_power::obs::check_analysis(&text)
                     .map_err(|e| format!("invalid analysis {path}: {e}"))?;
                 println!("analysis {path}: ok");
+            }
+            if let Some(path) = report {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read report {path}: {e}"))?;
+                let n = sfr_power::obs::check_report(&text)
+                    .map_err(|e| format!("invalid report {path}: {e}"))?;
+                println!("report {path}: ok — {n} timeline entry(ies)");
             }
             Ok(())
         }

@@ -153,6 +153,33 @@ fn manifest_fingerprint_is_stable_but_seed_sensitive() {
 }
 
 #[test]
+fn manifest_profile_reports_pack_timings_and_tape_shape() {
+    use sfr_power::exec::EngineKind;
+    let path = scratch("manifest-profile.json");
+    StudyBuilder::new("poly")
+        .test_patterns(240)
+        .quick_monte_carlo()
+        .engine(EngineKind::parse("tape", 1).expect("tape engine"))
+        .manifest_out(&path)
+        .force(true)
+        .build()
+        .expect("poly builds")
+        .run();
+    let text = std::fs::read_to_string(&path).unwrap();
+    obs::check_manifest(&text).expect("manifest with profile validates");
+    let v = obs::json::parse(&text).unwrap();
+    let profile = v.get("profile").expect("profile section present");
+    let num = |key: &str| profile.get(key).unwrap().as_num().unwrap();
+    assert!(num("packs_computed") >= 1.0, "packs were timed");
+    assert!(num("pack_max_us") >= num("pack_p90_us"));
+    assert!(num("pack_p90_us") >= num("pack_p50_us"));
+    assert!(num("mc_batches") >= 1.0);
+    assert!(num("tape_ops") > 0.0, "tape engine reports op counts");
+    assert!(num("tape_levels") > 0.0, "levelization depth recorded");
+    assert!(num("tape_force_ops") > 0.0, "fault-injection ops recorded");
+}
+
+#[test]
 fn manifest_refuses_overwrite_without_force() {
     let path = scratch("manifest-protected.json");
     std::fs::write(&path, "{}").unwrap();

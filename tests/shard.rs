@@ -281,6 +281,99 @@ fn zombie_result_is_fenced_and_campaign_heals_locally() {
 }
 
 #[test]
+fn flight_recorder_joins_worker_and_coordinator_traces() {
+    use sfr_power::obs::{build_report, check_report, Artifact, TraceWriter};
+
+    let spec = quick_spec();
+    let baseline = local_baseline(&spec, "recorder-base.journal");
+
+    let journal = scratch("recorder.journal");
+    let _ = std::fs::remove_file(&journal);
+    let trace_dir = scratch("recorder-traces");
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let coord_path = trace_dir.join("trace.jsonl");
+    let worker_path = trace_dir.join("worker-1-0.jsonl");
+
+    let prepared = spec.study_builder().checkpoint(&journal).build().unwrap();
+    let (tx, rx) = mpsc::channel();
+    let cfg = ServeConfig {
+        grace: Duration::from_millis(8_000),
+        bound: Some(tx),
+        ..Default::default()
+    };
+    let coord_trace = TraceWriter::create(&coord_path).unwrap();
+    let worker_trace = TraceWriter::create(&worker_path).unwrap();
+    let result = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| shard::serve(prepared, &spec, &cfg, &coord_trace));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("coordinator never bound");
+        let worker_cfg = WorkConfig {
+            connect: addr.to_string(),
+            worker_id: 1,
+            ..Default::default()
+        };
+        shard::work(&worker_cfg, &worker_trace).expect("worker failed");
+        serve.join().expect("serve thread panicked")
+    });
+    let (study, stats) = result.expect("serve failed");
+    coord_trace.finish().unwrap();
+    worker_trace.finish().unwrap();
+    assert!(stats.packs_merged_remote >= 1, "{stats:?}");
+
+    // The tracing side channel must not perturb a single result bit.
+    assert_eq!(reports(&baseline), reports(&study));
+
+    // Journal → report: every journaled grade pack must be attributed.
+    let packs: Vec<u64> = sfr_power::CampaignJournal::open(&journal)
+        .unwrap()
+        .entries()
+        .into_iter()
+        .filter(|(kind, ..)| matches!(kind, sfr_power::RecordKind::GradePack))
+        .map(|(_, id, _)| id)
+        .collect();
+    assert!(!packs.is_empty(), "journal holds the graded packs");
+
+    let artifacts: Vec<Artifact> = [&coord_path, &worker_path]
+        .iter()
+        .map(|p| Artifact {
+            label: p.display().to_string(),
+            text: std::fs::read_to_string(p).unwrap(),
+        })
+        .collect();
+    let report = build_report(&artifacts, Some(&packs)).expect("report builds");
+
+    assert_eq!(report.coordinator_traces, 1, "role sniffing: coordinator");
+    assert_eq!(report.worker_traces, 1, "role sniffing: worker");
+    assert!(
+        report.gaps.is_empty(),
+        "healthy traced campaign reconstructs gap-free: {:?}",
+        report.gaps
+    );
+    assert_eq!(report.unattributed_packs(), 0);
+    assert!(report.packs.merged >= 1);
+    // The merged pack's lease lifecycle joins both processes:
+    // coordinator grant and merge bracket the worker's receive/send.
+    let merged = report
+        .timeline
+        .iter()
+        .find(|t| t.events.contains(&"merged"))
+        .expect("a merged lease in the timeline");
+    for action in ["granted", "received", "sent", "merged"] {
+        assert!(
+            merged.events.contains(&action),
+            "lease {} timeline {:?} missing {action}",
+            merged.lease,
+            merged.events
+        );
+    }
+    check_report(&report.render_json()).expect("report JSON validates");
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&trace_dir);
+}
+
+#[test]
 fn serve_requires_a_checkpoint_journal() {
     let spec = quick_spec();
     let prepared = spec.study_builder().build().unwrap();
